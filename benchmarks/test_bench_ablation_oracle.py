@@ -1,0 +1,64 @@
+"""Ablation: the designer vs brute-force oracles (near-optimality cost).
+
+Times the algorithm against (a) the exhaustive lattice search on a tiny
+instance and (b) the continuous-relaxation scan, quantifying how much
+utility the O(m^2) construction gives up for its speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import continuum_optimal_utility, grid_search_contract
+from repro.core import ContractDesigner, DesignerConfig
+from repro.types import DiscretizationGrid
+
+
+@pytest.fixture(scope="module")
+def tiny_grid(psi):
+    return DiscretizationGrid.for_max_effort(0.9 * psi.max_increasing_effort, 4)
+
+
+def test_bench_oracle_grid_search(benchmark, psi, tiny_grid, honest_params):
+    """Time the exponential lattice oracle (m=4, 10 pay levels)."""
+    result = benchmark(
+        grid_search_contract,
+        psi,
+        tiny_grid,
+        honest_params,
+        1.0,
+        1.0,
+        10,
+    )
+    assert result.requester_utility > 0.0
+
+
+def test_bench_designer_vs_grid_oracle(benchmark, psi, tiny_grid, honest_params):
+    """Time the designer at the same resolution; compare utilities."""
+    config = DesignerConfig(n_intervals=4, delta=tiny_grid.delta)
+
+    def design():
+        return ContractDesigner(mu=1.0, config=config).design(
+            psi, honest_params, feedback_weight=1.0
+        )
+
+    ours = benchmark(design)
+    oracle = grid_search_contract(psi, tiny_grid, honest_params, 1.0, 1.0, 10)
+    # Near-optimality: within 30% of the unconstrained lattice optimum
+    # even at this very coarse resolution (the gap closes as m grows;
+    # see tests/core/test_designer.py::TestNearOptimality).
+    assert ours.requester_utility >= 0.7 * oracle.requester_utility
+
+
+def test_bench_continuum_oracle(benchmark, psi, honest_params):
+    """Time the dense continuum scan used as the convergence target."""
+    utility, effort = benchmark(
+        continuum_optimal_utility,
+        psi,
+        honest_params,
+        1.0,
+        1.0,
+        0.95 * psi.max_increasing_effort,
+    )
+    assert utility > 0.0
+    assert effort > 0.0

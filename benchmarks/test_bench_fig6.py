@@ -1,0 +1,36 @@
+"""Bench: Fig. 6 — utility-vs-resolution sweep with Theorem 4.1 bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ContractDesigner, DesignerConfig
+from repro.experiments import fig6_bounds
+from repro.experiments.fig6_bounds import FIG6_EFFORT_FUNCTION
+from repro.types import WorkerParameters
+
+
+def test_bench_fig6_experiment(benchmark, context):
+    """Time the full Fig. 6 sweep (m = 2..40)."""
+    result = benchmark(fig6_bounds.run, context)
+    assert result.all_checks_pass, result.format()
+
+
+@pytest.mark.parametrize("n_intervals", [10, 20, 40])
+def test_bench_fig6_single_design(benchmark, n_intervals):
+    """Time one contract design at the paper's mu = 10 setting.
+
+    A fresh designer per round keeps the candidate cache cold, so the
+    timing reflects the O(m^2) candidate sweep itself.
+    """
+    params = WorkerParameters.honest(beta=1.0)
+
+    def design():
+        designer = ContractDesigner(
+            mu=10.0, config=DesignerConfig(n_intervals=n_intervals)
+        )
+        return designer.design(FIG6_EFFORT_FUNCTION, params, feedback_weight=1.0)
+
+    result = benchmark(design)
+    assert result.hired
+    assert result.bounds.is_consistent

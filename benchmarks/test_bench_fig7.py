@@ -1,0 +1,20 @@
+"""Bench: Fig. 7 — per-class effort/feedback aggregation."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_worker_types
+from repro.types import WorkerType
+
+
+def test_bench_fig7_experiment(benchmark, context):
+    """Time the Fig. 7 driver (trace-wide per-class aggregation)."""
+    result = benchmark(fig7_worker_types.run, context)
+    assert result.all_checks_pass, result.format()
+
+
+def test_bench_fig7_class_aggregates(benchmark, context):
+    """Time the underlying aggregation primitive on its own."""
+    aggregates = benchmark(context.trace.class_aggregates)
+    assert aggregates[WorkerType.COLLUSIVE_MALICIOUS]["mean_feedback"] > (
+        aggregates[WorkerType.HONEST]["mean_feedback"]
+    )

@@ -1,0 +1,38 @@
+"""Bench: Fig. 8a — per-worker fits + designs vs the Lemma 4.3 floor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ContractDesigner, DesignerConfig
+from repro.experiments import fig8a_compensation
+from repro.fitting import fit_concave_quadratic
+from repro.types import WorkerParameters, WorkerType
+
+
+def test_bench_fig8a_experiment(benchmark, context):
+    """Time the full Fig. 8a driver (per-worker fit + 3 grid sweeps)."""
+    result = benchmark(fig8a_compensation.run, context)
+    assert result.all_checks_pass, result.format()
+
+
+@pytest.mark.parametrize("n_intervals", [10, 20, 40])
+def test_bench_fig8a_per_worker_design(benchmark, context, n_intervals):
+    """Time fit + design for one long-history honest worker."""
+    worker_id = context.trace.workers_with_min_reviews(
+        context.config.fig8a_min_reviews, WorkerType.HONEST
+    )[0]
+    efforts, upvotes = context.proxy.worker_points(context.trace, worker_id)
+    params = WorkerParameters.honest(beta=1.0)
+
+    def fit_and_design():
+        psi = fit_concave_quadratic(efforts, upvotes)
+        designer = ContractDesigner(
+            mu=1.0, config=DesignerConfig(n_intervals=n_intervals)
+        )
+        cap = 1.25 * float(np.percentile(efforts, 99))
+        return designer.design(psi, params, feedback_weight=1.0, max_effort=cap)
+
+    result = benchmark(fit_and_design)
+    assert result.hired

@@ -1,0 +1,36 @@
+"""Bench: Fig. 8b — decomposed subproblem solving across the mu sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import solve_subproblems
+from repro.experiments import fig8b_mu_sweep
+from repro.types import WorkerType
+
+
+def test_bench_fig8b_experiment(benchmark, context):
+    """Time the full Fig. 8b driver (three mu values)."""
+    result = benchmark(fig8b_mu_sweep.run, context)
+    assert result.all_checks_pass, result.format()
+
+
+@pytest.mark.parametrize("mu", [1.0, 0.8])
+def test_bench_fig8b_population_solve(benchmark, context, mu):
+    """Time one full-population decomposed solve at a single mu.
+
+    The candidate cache makes same-class subproblems nearly free, which
+    is exactly the Section IV-B decomposition payoff being measured.
+    """
+    population = context.population()
+    solutions = benchmark(solve_subproblems, population.subproblems, mu)
+    honest = [
+        solutions[s].per_member_compensation
+        for s in population.subjects_of_type(WorkerType.HONEST)
+    ]
+    collusive = [
+        solutions[s].per_member_compensation
+        for s in population.subjects_of_type(WorkerType.COLLUSIVE_MALICIOUS)
+    ]
+    assert np.mean(honest) > np.mean(collusive)

@@ -1,0 +1,34 @@
+"""Bench: Fig. 8c — dynamic contract vs exclude-all-malicious baseline."""
+
+from __future__ import annotations
+
+from repro.baselines import compare_policies
+from repro.experiments import fig8c_baseline
+from repro.simulation import DynamicContractPolicy, ExclusionPolicy
+
+
+def test_bench_fig8c_experiment(benchmark, context):
+    """Time the full Fig. 8c driver (two simulated policies)."""
+    result = benchmark(fig8c_baseline.run, context)
+    assert result.all_checks_pass, result.format()
+
+
+def test_bench_fig8c_single_round_pair(benchmark, context):
+    """Time one aligned dynamic-vs-exclusion round pair."""
+    population = context.population(honest_sample=100)
+    objective = context.objective()
+
+    def run_pair():
+        return compare_policies(
+            population,
+            objective,
+            {
+                "dynamic": DynamicContractPolicy(mu=1.0),
+                "exclusion": ExclusionPolicy(inner=DynamicContractPolicy(mu=1.0)),
+            },
+            n_rounds=1,
+            seed=0,
+        )
+
+    comparison = benchmark(run_pair)
+    assert comparison.total("dynamic") >= comparison.total("exclusion")

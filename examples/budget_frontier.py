@@ -1,0 +1,63 @@
+"""Budget planning: how much workforce a pay budget buys.
+
+Run with::
+
+    python examples/budget_frontier.py
+
+Solves the decomposed contract design once, then sweeps a hard total-pay
+budget through the multiple-choice-knapsack selector
+(:mod:`repro.core.budget`) and prints the utility-vs-budget frontier —
+the question a requester with a fixed campaign budget actually asks.
+"""
+
+from __future__ import annotations
+
+from repro.collusion import cluster_collusive_workers
+from repro.core import budgeted_selection, solve_subproblems
+from repro.core.utility import RequesterObjective
+from repro.data import AmazonTraceGenerator, TraceConfig
+from repro.estimation import DeviationMaliceEstimator, EffortProxy
+from repro.types import RequesterParameters, WorkerType
+from repro.workers import build_population
+
+
+def main() -> None:
+    trace = AmazonTraceGenerator(TraceConfig.small(), seed=21).generate()
+    clusters = cluster_collusive_workers(trace.malicious_targets())
+    proxy = EffortProxy.from_trace(trace)
+    malice = DeviationMaliceEstimator().estimate(trace)
+    objective = RequesterObjective(RequesterParameters(mu=1.0))
+    population = build_population(
+        trace=trace,
+        clusters=clusters,
+        proxy=proxy,
+        malice_estimates=malice,
+        objective=objective,
+        honest_subset=trace.worker_ids(WorkerType.HONEST)[:250],
+    )
+
+    print(f"solving {len(population.subproblems)} subproblems once...")
+    solutions = solve_subproblems(population.subproblems, mu=1.0)
+    unconstrained_pay = sum(
+        s.result.response.compensation for s in solutions.values()
+    )
+    print(f"unconstrained total pay would be {unconstrained_pay:.1f}\n")
+
+    print(f"{'budget':>8} {'spent':>8} {'hired':>6} {'utility':>9} {'util/$':>8}")
+    for fraction in (0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5):
+        budget = fraction * unconstrained_pay
+        design = budgeted_selection(solutions, budget=budget)
+        efficiency = design.total_utility / max(design.total_cost, 1e-9)
+        print(
+            f"{budget:>8.1f} {design.total_cost:>8.1f} {design.n_hired:>6} "
+            f"{design.total_utility:>9.1f} {efficiency:>8.2f}"
+        )
+    print(
+        "\nreading the frontier: early dollars buy the cheap high-value "
+        "workers (huge utility per unit pay); the tail buys marginal "
+        "effort from workers already close to their ceiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Collusion forensics: detecting and profiling review rings.
+
+Run with::
+
+    python examples/collusion_forensics.py
+
+Uses the library's clustering and estimation substrates as a forensic
+toolkit: recover collusive communities from co-reviewing structure,
+verify the recovery against the generator's planted ground truth,
+profile the largest ring, and measure how well the deviation-based
+malice estimator separates the classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collusion import cluster_collusive_workers, community_summary
+from repro.data import AmazonTraceGenerator, TraceConfig
+from repro.estimation import DeviationMaliceEstimator
+from repro.types import WorkerType
+
+
+def main() -> None:
+    trace = AmazonTraceGenerator(TraceConfig.small(), seed=99).generate()
+
+    print("=== ring detection ===")
+    clusters = cluster_collusive_workers(trace.malicious_targets())
+    summary = community_summary(clusters)
+    print(
+        f"found {int(summary['n_communities'])} rings, "
+        f"{int(summary['n_collusive_workers'])} members, "
+        f"largest ring: {int(summary['max_size'])} workers"
+    )
+
+    planted = {frozenset(m) for m in trace.planted_communities().values()}
+    recovered = set(clusters.communities)
+    print(
+        f"ground-truth check: {len(recovered & planted)}/{len(planted)} "
+        "planted rings recovered exactly"
+    )
+
+    print("\n=== profiling the largest ring ===")
+    ring = clusters.communities[0]
+    members = sorted(ring)
+    ring_feedback, honest_feedback = [], []
+    for worker_id in members:
+        series = trace.series_of(worker_id)
+        ring_feedback.append(series.mean_feedback)
+    honest_ids = trace.worker_ids(WorkerType.HONEST)[:500]
+    for worker_id in honest_ids:
+        series = trace.series_of(worker_id)
+        if series.n_reviews:
+            honest_feedback.append(series.mean_feedback)
+    print(f"members: {', '.join(members[:8])}{'...' if len(members) > 8 else ''}")
+    print(
+        f"mean upvotes per review: ring {np.mean(ring_feedback):.2f} vs "
+        f"honest {np.mean(honest_feedback):.2f} "
+        "(mutual upvoting inflates ring feedback — the Fig. 7 signature)"
+    )
+    shared_products = set.intersection(
+        *({r.product_id for r in trace.reviews_of(m)} for m in members[:3])
+    )
+    print(f"products shared by the first 3 members: {sorted(shared_products)}")
+
+    print("\n=== malice estimation quality ===")
+    estimates = DeviationMaliceEstimator().estimate(trace)
+    by_class = {worker_type: [] for worker_type in WorkerType}
+    for worker_id, reviewer in trace.reviewers.items():
+        by_class[reviewer.worker_type].append(estimates[worker_id])
+    for worker_type, values in by_class.items():
+        print(
+            f"  {worker_type.short_label:<8} mean e_mal = {np.mean(values):.3f} "
+            f"(n={len(values)})"
+        )
+    threshold = 0.5
+    labels = [
+        (estimates[w] > threshold, trace.reviewers[w].is_malicious)
+        for w in trace.reviewers
+    ]
+    true_positive = sum(1 for flagged, truth in labels if flagged and truth)
+    false_positive = sum(1 for flagged, truth in labels if flagged and not truth)
+    positives = sum(1 for _, truth in labels if truth)
+    print(
+        f"  at e_mal > {threshold}: recall "
+        f"{true_positive / positives:.2%}, false flags {false_positive}"
+    )
+
+
+if __name__ == "__main__":
+    main()

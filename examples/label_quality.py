@@ -1,0 +1,112 @@
+"""Classification tasks under dynamic contracts (Section VII extension).
+
+Run with::
+
+    python examples/label_quality.py
+
+Moves the contract machinery from review tasks to binary classification:
+workers label task batches, feedback is agreement with the weighted
+consensus, and pay follows the paper's quality-contingent contract.
+Compares consensus accuracy and requester utility against a fixed
+per-task payment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.designer import DesignerConfig
+from repro.labeling import (
+    AccuracyModel,
+    LabelingMarket,
+    LabelingWorker,
+    TaskGenerator,
+    quadratic_feedback_approximation,
+)
+
+BATCH_SIZE = 50
+N_ROUNDS = 8
+MAX_EFFORT = 8.0
+
+
+def build_market(seed: int = 0) -> LabelingMarket:
+    model = AccuracyModel(p_max=0.95, effort_scale=2.0)
+    feedback_function = quadratic_feedback_approximation(
+        model, BATCH_SIZE, mean_difficulty=0.3, max_effort=MAX_EFFORT
+    )
+    workers = []
+    weights = {}
+    for index in range(10):
+        worker_id = f"labeler{index:02d}"
+        workers.append(
+            LabelingWorker(worker_id, model, feedback_function, beta=1.0)
+        )
+        weights[worker_id] = 1.0
+    for index in range(3):
+        worker_id = f"shill{index:02d}"
+        workers.append(
+            LabelingWorker(
+                worker_id,
+                model,
+                feedback_function,
+                beta=1.0,
+                omega=0.3,
+                target_label=True,
+                flip_rate=0.7,
+            )
+        )
+        weights[worker_id] = 0.15
+    return LabelingMarket(
+        workers=workers,
+        weights=weights,
+        mu=1.0,
+        value_per_correct=2.0,
+        designer_config=DesignerConfig(n_intervals=16),
+        max_effort=MAX_EFFORT,
+        seed=seed,
+    )
+
+
+def main() -> None:
+    print(
+        f"labeling market: 10 honest + 3 shills, {BATCH_SIZE}-task batches, "
+        f"{N_ROUNDS} rounds"
+    )
+    market = build_market()
+    dynamic = market.run(
+        TaskGenerator(mean_difficulty=0.3, seed=1),
+        batch_size=BATCH_SIZE,
+        n_rounds=N_ROUNDS,
+    )
+    market_fixed = build_market()
+    fixed = market_fixed.run(
+        TaskGenerator(mean_difficulty=0.3, seed=1),
+        batch_size=BATCH_SIZE,
+        n_rounds=N_ROUNDS,
+        contracts=market_fixed.flat_contracts(pay=2.0),
+    )
+
+    print(f"\n{'policy':<14} {'accuracy':>9} {'utility/round':>14} {'pay/round':>10}")
+    for name, rounds in (("dynamic", dynamic), ("fixed pay", fixed)):
+        accuracy = float(np.mean([r.consensus_accuracy for r in rounds]))
+        utility = float(np.mean([r.requester_utility for r in rounds]))
+        pay = float(np.mean([r.total_pay for r in rounds]))
+        print(f"{name:<14} {accuracy:>9.3f} {utility:>14.2f} {pay:>10.2f}")
+
+    honest_effort = np.mean(
+        [
+            effort
+            for r in dynamic
+            for worker_id, effort in r.worker_efforts.items()
+            if worker_id.startswith("labeler")
+        ]
+    )
+    print(
+        f"\nunder the dynamic contract honest labellers exert effort "
+        f"{honest_effort:.2f}; under flat pay they exert none — accuracy is "
+        "bought with incentives, not with budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""End-to-end marketplace: trace -> clustering -> contracts -> simulation.
+
+Run with::
+
+    python examples/review_marketplace.py
+
+Builds a synthetic Amazon-style review trace (the paper's evaluation
+substrate), runs the full Fig. 4 pipeline — collusive clustering, effort
+function fitting, Eq. (5) weighting, decomposed contract design — then
+simulates repeated task rounds under three payment policies and compares
+the requester's utility:
+
+* ``dynamic``   — the paper's contract design for everyone;
+* ``exclusion`` — the Fig. 8c baseline (ban all malicious workers);
+* ``fixed``     — a flat per-task price (the classic scheme the paper's
+  introduction argues against).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import compare_policies
+from repro.collusion import cluster_collusive_workers, community_size_table
+from repro.core.utility import RequesterObjective
+from repro.data import AmazonTraceGenerator, TraceConfig
+from repro.estimation import DeviationMaliceEstimator, EffortProxy
+from repro.simulation import (
+    DynamicContractPolicy,
+    ExclusionPolicy,
+    FixedPaymentPolicy,
+)
+from repro.types import RequesterParameters, WorkerType
+from repro.workers import build_population
+
+
+def main() -> None:
+    print("generating synthetic review trace (small scale)...")
+    trace = AmazonTraceGenerator(TraceConfig.small(), seed=42).generate()
+    stats = trace.stats()
+    print(
+        f"  {stats['n_reviews']} reviews, {stats['n_reviewers']} reviewers "
+        f"({stats['n_malicious']} malicious), {stats['n_products']} products"
+    )
+
+    print("\nclustering collusive workers (Section IV-A)...")
+    clusters = cluster_collusive_workers(trace.malicious_targets())
+    print(
+        f"  {clusters.n_communities} communities covering "
+        f"{clusters.n_collusive_workers} workers; "
+        f"{len(clusters.noncollusive)} non-collusive malicious"
+    )
+    print(community_size_table(clusters).format())
+
+    print("\nfitting effort functions and assembling the population...")
+    proxy = EffortProxy.from_trace(trace)
+    malice = DeviationMaliceEstimator().estimate(trace)
+    objective = RequesterObjective(RequesterParameters(mu=1.0))
+    population = build_population(
+        trace=trace,
+        clusters=clusters,
+        proxy=proxy,
+        malice_estimates=malice,
+        objective=objective,
+        honest_subset=trace.worker_ids(WorkerType.HONEST)[:200],
+    )
+    functions = population.class_functions
+    print(f"  honest psi:        {functions.honest.coefficients()}")
+    print(f"  non-collusive psi: {functions.noncollusive.coefficients()}")
+    print(f"  collusive psi:     {functions.collusive_member.coefficients()}")
+
+    print("\nsimulating 10 task rounds under three payment policies...")
+    comparison = compare_policies(
+        population,
+        objective,
+        {
+            "dynamic": DynamicContractPolicy(mu=1.0),
+            "exclusion": ExclusionPolicy(inner=DynamicContractPolicy(mu=1.0)),
+            "fixed": FixedPaymentPolicy(pay_per_member=1.0),
+        },
+        n_rounds=10,
+        seed=7,
+    )
+    print(f"{'policy':<12} {'total utility':>14} {'mean/round':>12}")
+    for name, series in comparison.utility_series.items():
+        print(f"{name:<12} {series.sum():>14.1f} {series.mean():>12.1f}")
+    print(f"\nwinner: {comparison.winner()}")
+    print(
+        "margin of dynamic over exclusion: "
+        f"{comparison.margin('dynamic', 'exclusion'):.1f} "
+        "(the harvest from accurate-but-biased malicious workers)"
+    )
+
+
+if __name__ == "__main__":
+    main()

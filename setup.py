@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+environments without the `wheel` package (where PEP 660 editable
+installs fail) can still do `python setup.py develop`.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Baselines and comparators: oracles, policy comparison harness."""
+
+from .comparison import PolicyComparison, compare_policies
+from .oracle import GridSearchResult, continuum_optimal_utility, grid_search_contract
+
+__all__ = [
+    "PolicyComparison",
+    "compare_policies",
+    "GridSearchResult",
+    "continuum_optimal_utility",
+    "grid_search_contract",
+]

@@ -1,0 +1,148 @@
+"""Near-optimality comparators for the contract designer.
+
+Two oracles bracket what any contract could achieve for one subject:
+
+* :func:`continuum_optimal_utility` — the continuous-relaxation optimum:
+  steering a worker to effort ``y`` costs at least the participation
+  floor ``max(beta*y - omega*(psi(y) - psi(0)), 0)``, so the requester's
+  utility is at most ``max_y { w*psi(y) - mu*floor(y) }``.  A dense scan
+  of that envelope is the "true optimum" the designed contract should
+  approach as the grid refines (the paper's Fig. 6 convergence claim).
+
+* :func:`grid_search_contract` — exhaustive search over small monotone
+  piecewise-linear contracts with discretized pay levels; exponential,
+  so only usable at toy sizes, but makes no relaxation at all.  Tests
+  and the oracle ablation bench use it to confirm the designer is near
+  the discrete optimum too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.best_response import solve_best_response
+from ..core.contract import Contract
+from ..core.effort import QuadraticEffort
+from ..errors import DesignError
+from ..types import DiscretizationGrid, WorkerParameters
+
+__all__ = ["continuum_optimal_utility", "GridSearchResult", "grid_search_contract"]
+
+
+def continuum_optimal_utility(
+    effort_function: QuadraticEffort,
+    params: WorkerParameters,
+    mu: float,
+    feedback_weight: float,
+    max_effort: float,
+    n_grid: int = 10_000,
+) -> Tuple[float, float]:
+    """The continuous-relaxation optimum over target efforts.
+
+    Args:
+        effort_function: the worker's ``psi``.
+        params: worker ``(beta, omega)``.
+        mu: requester compensation weight.
+        feedback_weight: the Eq. (5) weight ``w``.
+        max_effort: right edge of the admissible effort region.
+        n_grid: scan resolution.
+
+    Returns:
+        ``(optimal_utility, optimal_effort)``.
+    """
+    if mu <= 0.0:
+        raise DesignError(f"mu must be positive, got {mu!r}")
+    if max_effort <= 0.0:
+        raise DesignError(f"max_effort must be positive, got {max_effort!r}")
+    if n_grid < 2:
+        raise DesignError(f"n_grid must be >= 2, got {n_grid!r}")
+    efforts = np.linspace(0.0, max_effort, n_grid)
+    feedback = np.asarray(effort_function(efforts))
+    influence_reward = params.omega * (feedback - effort_function(0.0))
+    pay_floor = np.maximum(params.beta * efforts - influence_reward, 0.0)
+    utilities = feedback_weight * feedback - mu * pay_floor
+    index = int(np.argmax(utilities))
+    return float(utilities[index]), float(efforts[index])
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of the exhaustive discrete contract search.
+
+    Attributes:
+        contract: the best contract found.
+        requester_utility: its utility under the worker's exact best
+            response.
+        n_evaluated: how many monotone contracts were scanned.
+    """
+
+    contract: Contract
+    requester_utility: float
+    n_evaluated: int
+
+
+def grid_search_contract(
+    effort_function: QuadraticEffort,
+    grid: DiscretizationGrid,
+    params: WorkerParameters,
+    mu: float,
+    feedback_weight: float,
+    pay_levels: int = 8,
+    max_pay: Optional[float] = None,
+) -> GridSearchResult:
+    """Exhaustively search monotone contracts on a coarse pay lattice.
+
+    Compensations at the ``m+1`` breakpoints are drawn (monotonically)
+    from ``pay_levels`` equispaced levels in ``[0, max_pay]``.  The
+    search space is ``C(pay_levels + m, m + 1)``-ish; keep ``m`` small.
+
+    Args:
+        effort_function: the worker's ``psi``.
+        grid: the effort discretization (small ``m``!).
+        params: worker parameters.
+        mu: requester compensation weight.
+        feedback_weight: the Eq. (5) weight.
+        pay_levels: lattice resolution.
+        max_pay: largest pay level; defaults to ``beta * max_effort``
+            (the honest participation cost of the whole region).
+    """
+    if pay_levels < 2:
+        raise DesignError(f"pay_levels must be >= 2, got {pay_levels!r}")
+    if grid.n_intervals > 6:
+        raise DesignError(
+            f"grid_search_contract is exponential; use n_intervals <= 6, "
+            f"got {grid.n_intervals}"
+        )
+    if max_pay is None:
+        max_pay = params.beta * grid.max_effort
+    if max_pay <= 0.0:
+        raise DesignError(f"max_pay must be positive, got {max_pay!r}")
+    levels = np.linspace(0.0, max_pay, pay_levels)
+
+    best_contract: Optional[Contract] = None
+    best_utility = -float("inf")
+    n_evaluated = 0
+    # Monotone vectors of length m+1 over the lattice == multisets.
+    for combo in combinations_with_replacement(levels, grid.n_intervals + 1):
+        contract = Contract(
+            grid=grid,
+            effort_function=effort_function,
+            compensations=tuple(combo),
+        )
+        response = solve_best_response(contract, params)
+        utility = (
+            feedback_weight * response.feedback - mu * response.compensation
+        )
+        n_evaluated += 1
+        if utility > best_utility:
+            best_utility = utility
+            best_contract = contract
+    return GridSearchResult(
+        contract=best_contract,
+        requester_utility=best_utility,
+        n_evaluated=n_evaluated,
+    )

@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro`` / ``repro-experiments``.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig8b --scale small
+    python -m repro run all --scale paper --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.config import ExperimentConfig
+from .experiments.runner import EXPERIMENTS, EXTENSIONS, run_all, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Dynamic Contract Design for Heterogenous "
+            "Workers in Crowdsourcing for Quality Control' (ICDCS 2017)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment or 'all'")
+    run_parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + sorted(EXTENSIONS) + ["all"],
+        help="experiment id from DESIGN.md, an extension id, or 'all'",
+    )
+    run_parser.add_argument(
+        "--extensions",
+        action="store_true",
+        help="with 'all': also run the ext_* extension experiments",
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=["paper", "small"],
+        default="paper",
+        help="trace scale (default: paper)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=7, help="trace/simulation seed (default: 7)"
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="run experiments and write a markdown report"
+    )
+    report_parser.add_argument(
+        "--out", default="report.md", help="output markdown path"
+    )
+    report_parser.add_argument(
+        "--scale", choices=["paper", "small"], default="paper"
+    )
+    report_parser.add_argument("--seed", type=int, default=7)
+    report_parser.add_argument(
+        "--no-extensions",
+        action="store_true",
+        help="omit the ext_* extension experiments",
+    )
+    return parser
+
+
+def _config_for(args: argparse.Namespace) -> ExperimentConfig:
+    if args.scale == "small":
+        return ExperimentConfig.small(seed=args.seed)
+    return ExperimentConfig(scale="paper", seed=args.seed)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        for experiment_id in EXTENSIONS:
+            print(experiment_id)
+        return 0
+
+    config = _config_for(args)
+    if args.command == "report":
+        from .experiments.report import write_report
+
+        path = write_report(
+            args.out,
+            config=config,
+            include_extensions=not args.no_extensions,
+        )
+        print(f"wrote {path}")
+        return 0
+
+    if args.experiment == "all":
+        results = run_all(config, include_extensions=args.extensions)
+    else:
+        results = [run_experiment(args.experiment, config)]
+
+    all_pass = True
+    for result in results:
+        print(result.format())
+        print()
+        all_pass = all_pass and result.all_checks_pass
+    return 0 if all_pass else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

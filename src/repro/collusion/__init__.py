@@ -1,0 +1,32 @@
+"""Collusive-worker clustering (Section IV-A of the paper)."""
+
+from .clustering import (
+    CollusionClusters,
+    build_auxiliary_graph,
+    cluster_collusive_workers,
+    cluster_streaming,
+)
+from .communities import CommunitySizeTable, community_size_table, community_summary
+from .confidence import (
+    CommunityConfidence,
+    community_confidences,
+    edge_collision_probability,
+    edge_confidence,
+)
+from .graph import Graph, UnionFind
+
+__all__ = [
+    "CollusionClusters",
+    "build_auxiliary_graph",
+    "cluster_collusive_workers",
+    "cluster_streaming",
+    "CommunityConfidence",
+    "community_confidences",
+    "edge_collision_probability",
+    "edge_confidence",
+    "CommunitySizeTable",
+    "community_size_table",
+    "community_summary",
+    "Graph",
+    "UnionFind",
+]

@@ -1,0 +1,186 @@
+"""Collusive-worker clustering from shared targets (Section IV-A).
+
+Two malicious workers are assumed collusive when they target the same
+product ([13]'s observation: collusive workers are recruited from the
+same source and paid to hit the same task).  Building the auxiliary
+graph ``G = (U, H)`` — one node per malicious worker, one edge per
+shared target — reduces community detection to connected components.
+
+A *collusive community* then is a connected component of size >= 2; a
+malicious worker in a singleton component is non-collusive malicious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Set, Tuple
+
+from ..errors import DataError
+from .graph import Graph, UnionFind
+
+__all__ = [
+    "CollusionClusters",
+    "build_auxiliary_graph",
+    "cluster_collusive_workers",
+    "cluster_streaming",
+]
+
+
+@dataclass(frozen=True)
+class CollusionClusters:
+    """The result of collusive-worker clustering.
+
+    Attributes:
+        communities: collusive communities (components of size >= 2),
+            sorted descending by size then by smallest member for
+            deterministic output.
+        noncollusive: malicious workers in singleton components.
+    """
+
+    communities: Tuple[FrozenSet[Hashable], ...]
+    noncollusive: FrozenSet[Hashable]
+
+    @property
+    def n_communities(self) -> int:
+        """Number of collusive communities (paper reports 47)."""
+        return len(self.communities)
+
+    @property
+    def n_collusive_workers(self) -> int:
+        """Total workers inside communities (paper reports 212)."""
+        return sum(len(community) for community in self.communities)
+
+    def community_of(self, worker: Hashable) -> FrozenSet[Hashable]:
+        """The community containing ``worker``.
+
+        Raises:
+            DataError: if the worker is not in any community.
+        """
+        for community in self.communities:
+            if worker in community:
+                return community
+        raise DataError(f"worker {worker!r} is not in any collusive community")
+
+    def partners_of(self, worker: Hashable) -> int:
+        """Number of collusive partners ``A_i`` of ``worker`` (Eq. 5).
+
+        Non-collusive workers have zero partners.
+        """
+        for community in self.communities:
+            if worker in community:
+                return len(community) - 1
+        return 0
+
+    def membership(self) -> Dict[Hashable, int]:
+        """Map each collusive worker to its community index."""
+        mapping: Dict[Hashable, int] = {}
+        for index, community in enumerate(self.communities):
+            for worker in community:
+                mapping[worker] = index
+        return mapping
+
+    def size_histogram(self) -> Dict[int, int]:
+        """Community-size histogram (basis of Table II)."""
+        histogram: Dict[int, int] = {}
+        for community in self.communities:
+            histogram[len(community)] = histogram.get(len(community), 0) + 1
+        return dict(sorted(histogram.items()))
+
+
+def build_auxiliary_graph(
+    worker_targets: Mapping[Hashable, Iterable[Hashable]],
+) -> Graph:
+    """Build the auxiliary graph of Fig. 5.
+
+    Args:
+        worker_targets: mapping from malicious worker id to the products
+            the worker targeted.
+
+    Returns:
+        The undirected graph with an edge between every pair of workers
+        sharing at least one target.  Edge construction goes through a
+        product -> workers inverted index, so the cost is linear in the
+        index plus the produced edges rather than quadratic in workers.
+    """
+    graph = Graph()
+    by_product: Dict[Hashable, List[Hashable]] = {}
+    for worker, targets in worker_targets.items():
+        graph.add_node(worker)
+        for product in targets:
+            by_product.setdefault(product, []).append(worker)
+    for workers in by_product.values():
+        for left, right in combinations(workers, 2):
+            graph.add_edge(left, right)
+    return graph
+
+
+def cluster_collusive_workers(
+    worker_targets: Mapping[Hashable, Iterable[Hashable]],
+) -> CollusionClusters:
+    """Cluster malicious workers into collusive communities.
+
+    This is the complete Section IV-A pipeline: auxiliary graph, DFS
+    connected components, then splitting singleton components (workers
+    with no shared target) from true communities.
+
+    Args:
+        worker_targets: mapping from malicious worker id to targeted
+            product ids.  Pass *only* malicious workers — the paper's
+            assumption applies to workers already labelled malicious.
+
+    Returns:
+        The :class:`CollusionClusters` partition.
+    """
+    graph = build_auxiliary_graph(worker_targets)
+    components = graph.connected_components()
+    communities = [frozenset(c) for c in components if len(c) >= 2]
+    communities.sort(key=lambda c: (-len(c), min(str(w) for w in c)))
+    noncollusive = frozenset(
+        next(iter(c)) for c in components if len(c) == 1
+    )
+    return CollusionClusters(
+        communities=tuple(communities), noncollusive=noncollusive
+    )
+
+
+def cluster_streaming(
+    review_pairs: Iterable[Tuple[Hashable, Hashable]],
+    malicious_workers: Set[Hashable],
+) -> CollusionClusters:
+    """One-pass clustering over a (worker, product) review stream.
+
+    Functionally identical to :func:`cluster_collusive_workers` but
+    consumes an edge stream with a union-find, so a large trace never
+    needs its per-worker target sets materialized.
+
+    Args:
+        review_pairs: iterable of (worker, product) pairs, e.g. straight
+            from a review trace.
+        malicious_workers: the set of workers labelled malicious; pairs
+            from other workers are skipped.
+    """
+    sets = UnionFind()
+    last_reviewer_of: Dict[Hashable, Hashable] = {}
+    for worker, product in review_pairs:
+        if worker not in malicious_workers:
+            continue
+        sets.add(worker)
+        if product in last_reviewer_of:
+            sets.union(last_reviewer_of[product], worker)
+        last_reviewer_of[product] = worker
+    communities = [frozenset(g) for g in sets.groups() if len(g) >= 2]
+    communities.sort(key=lambda c: (-len(c), min(str(w) for w in c)))
+    singletons = frozenset(
+        next(iter(g)) for g in sets.groups() if len(g) == 1
+    )
+    # Malicious workers with no reviews at all are trivially non-collusive.
+    unseen = frozenset(w for w in malicious_workers if w not in last_set(sets))
+    return CollusionClusters(
+        communities=tuple(communities), noncollusive=singletons | unseen
+    )
+
+
+def last_set(sets: UnionFind) -> Set[Hashable]:
+    """All items a union-find has ever seen (helper for streaming mode)."""
+    return {item for group in sets.groups() for item in group}

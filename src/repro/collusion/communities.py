@@ -1,0 +1,112 @@
+"""Community statistics: the Table II view of a clustering result.
+
+Table II of the paper reports the distribution of collusive-community
+sizes over buckets ``2, 3, 4, 5, 6, >=10`` as percentages of the 47
+communities found in the Amazon trace.  This module turns a
+:class:`~repro.collusion.clustering.CollusionClusters` into exactly that
+table, plus general summary statistics used by the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import DataError
+from .clustering import CollusionClusters
+
+__all__ = ["CommunitySizeTable", "community_size_table", "community_summary"]
+
+#: The size buckets Table II reports.  Sizes 7-9 fall outside every
+#: printed bucket (the paper's percentages sum to 97.6%); we expose them
+#: in the ``other`` field rather than silently dropping them.
+TABLE_II_BUCKETS: Tuple[int, ...] = (2, 3, 4, 5, 6)
+TABLE_II_TAIL_MIN: int = 10
+
+
+@dataclass(frozen=True)
+class CommunitySizeTable:
+    """Distribution of community sizes in Table II's bucketing.
+
+    Attributes:
+        counts: number of communities per exact-size bucket (2..6).
+        tail_count: communities with size >= 10.
+        other_count: communities of sizes 7-9 (outside the paper's
+            printed buckets).
+        n_communities: total number of communities.
+    """
+
+    counts: Dict[int, int]
+    tail_count: int
+    other_count: int
+    n_communities: int
+
+    def percentage(self, size: int) -> float:
+        """Percentage of communities with the exact ``size`` (2..6)."""
+        if size not in self.counts:
+            raise DataError(
+                f"size must be one of {sorted(self.counts)}, got {size!r}"
+            )
+        return self._pct(self.counts[size])
+
+    @property
+    def tail_percentage(self) -> float:
+        """Percentage of communities of size >= 10."""
+        return self._pct(self.tail_count)
+
+    @property
+    def other_percentage(self) -> float:
+        """Percentage of communities of sizes 7-9."""
+        return self._pct(self.other_count)
+
+    def _pct(self, count: int) -> float:
+        if self.n_communities == 0:
+            return 0.0
+        return 100.0 * count / self.n_communities
+
+    def as_rows(self) -> List[Tuple[str, float]]:
+        """The table rows, paper order: sizes 2..6 then ``>=10``."""
+        rows = [(str(size), self.percentage(size)) for size in TABLE_II_BUCKETS]
+        rows.append((f">={TABLE_II_TAIL_MIN}", self.tail_percentage))
+        return rows
+
+    def format(self) -> str:
+        """Human-readable rendering mirroring Table II."""
+        header = "Size          " + "".join(f"{label:>8}" for label, _ in self.as_rows())
+        values = "Percentage (%)" + "".join(
+            f"{pct:8.1f}" for _, pct in self.as_rows()
+        )
+        return header + "\n" + values
+
+
+def community_size_table(clusters: CollusionClusters) -> CommunitySizeTable:
+    """Bucket a clustering result the way Table II does."""
+    counts = {size: 0 for size in TABLE_II_BUCKETS}
+    tail = 0
+    other = 0
+    for community in clusters.communities:
+        size = len(community)
+        if size in counts:
+            counts[size] += 1
+        elif size >= TABLE_II_TAIL_MIN:
+            tail += 1
+        else:
+            other += 1
+    return CommunitySizeTable(
+        counts=counts,
+        tail_count=tail,
+        other_count=other,
+        n_communities=clusters.n_communities,
+    )
+
+
+def community_summary(clusters: CollusionClusters) -> Dict[str, float]:
+    """Headline statistics of a clustering (counts the paper quotes)."""
+    sizes = [len(community) for community in clusters.communities]
+    return {
+        "n_communities": float(len(sizes)),
+        "n_collusive_workers": float(sum(sizes)),
+        "n_noncollusive_malicious": float(len(clusters.noncollusive)),
+        "max_size": float(max(sizes)) if sizes else 0.0,
+        "mean_size": float(sum(sizes)) / len(sizes) if sizes else 0.0,
+    }

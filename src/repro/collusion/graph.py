@@ -1,0 +1,176 @@
+"""Minimal graph substrate: adjacency lists, DFS components, union-find.
+
+Section IV-A reduces collusive-community detection to finding connected
+components of an auxiliary graph and cites CLRS depth-first search.  We
+implement the substrate from scratch (no networkx dependency in the
+library proper; networkx is only used in tests as a cross-check):
+
+* :class:`Graph` — an undirected graph over hashable node ids.
+* :meth:`Graph.connected_components` — iterative DFS (explicit stack, so
+  hundred-thousand-node traces cannot hit the recursion limit).
+* :class:`UnionFind` — path-halving + union-by-size disjoint sets, used
+  as an independent second implementation for property tests and for
+  streaming construction where edges arrive one at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from ..errors import DataError
+
+__all__ = ["Graph", "UnionFind"]
+
+
+class Graph:
+    """An undirected graph with hashable node identifiers.
+
+    Self-loops are permitted but ignored by traversal; parallel edges
+    collapse (adjacency is a set).
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[Hashable, Set[Hashable]] = {}
+
+    def add_node(self, node: Hashable) -> None:
+        """Add an isolated node (no-op if present)."""
+        self._adjacency.setdefault(node, set())
+
+    def add_edge(self, left: Hashable, right: Hashable) -> None:
+        """Add an undirected edge, creating endpoints as needed."""
+        self.add_node(left)
+        self.add_node(right)
+        if left != right:
+            self._adjacency[left].add(right)
+            self._adjacency[right].add(left)
+
+    def add_edges(self, edges: Iterable[Tuple[Hashable, Hashable]]) -> None:
+        """Bulk :meth:`add_edge`."""
+        for left, right in edges:
+            self.add_edge(left, right)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adjacency)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+
+    def nodes(self) -> Iterator[Hashable]:
+        """Iterate over all node ids."""
+        return iter(self._adjacency)
+
+    def neighbors(self, node: Hashable) -> Set[Hashable]:
+        """The neighbor set of ``node``."""
+        if node not in self._adjacency:
+            raise DataError(f"unknown node {node!r}")
+        return set(self._adjacency[node])
+
+    def has_edge(self, left: Hashable, right: Hashable) -> bool:
+        """Whether an undirected edge connects the two nodes."""
+        return left in self._adjacency and right in self._adjacency[left]
+
+    def degree(self, node: Hashable) -> int:
+        """Number of neighbors of ``node``."""
+        if node not in self._adjacency:
+            raise DataError(f"unknown node {node!r}")
+        return len(self._adjacency[node])
+
+    def connected_components(self) -> List[Set[Hashable]]:
+        """All connected components via iterative depth-first search.
+
+        Returns components as node sets; the order follows first
+        discovery over the (insertion-ordered) node iteration, and is
+        therefore deterministic for a deterministic construction order.
+        """
+        visited: Set[Hashable] = set()
+        components: List[Set[Hashable]] = []
+        for start in self._adjacency:
+            if start in visited:
+                continue
+            component: Set[Hashable] = set()
+            stack = [start]
+            visited.add(start)
+            while stack:
+                node = stack.pop()
+                component.add(node)
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        stack.append(neighbor)
+            components.append(component)
+        return components
+
+    def component_of(self, node: Hashable) -> Set[Hashable]:
+        """The connected component containing ``node``."""
+        if node not in self._adjacency:
+            raise DataError(f"unknown node {node!r}")
+        visited = {node}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    stack.append(neighbor)
+        return visited
+
+
+class UnionFind:
+    """Disjoint-set forest with union by size and path halving.
+
+    An independent second route to connected components: tests assert it
+    always agrees with :meth:`Graph.connected_components`, and streaming
+    consumers use it to cluster while scanning a trace in one pass.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as its own singleton set (no-op if known)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: Hashable) -> Hashable:
+        """The canonical representative of ``item``'s set."""
+        if item not in self._parent:
+            raise DataError(f"unknown item {item!r}")
+        root = item
+        while self._parent[root] != root:
+            # Path halving: point every other node at its grandparent.
+            self._parent[root] = self._parent[self._parent[root]]
+            root = self._parent[root]
+        return root
+
+    def union(self, left: Hashable, right: Hashable) -> Hashable:
+        """Merge the sets of the two items; returns the new root."""
+        self.add(left)
+        self.add(right)
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return root_left
+        if self._size[root_left] < self._size[root_right]:
+            root_left, root_right = root_right, root_left
+        self._parent[root_right] = root_left
+        self._size[root_left] += self._size[root_right]
+        return root_left
+
+    def connected(self, left: Hashable, right: Hashable) -> bool:
+        """Whether the two items are in the same set."""
+        return self.find(left) == self.find(right)
+
+    def groups(self) -> List[Set[Hashable]]:
+        """All sets, as a list of member sets (singletons included)."""
+        by_root: Dict[Hashable, Set[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return list(by_root.values())
+
+    def __len__(self) -> int:
+        return len(self._parent)

@@ -1,0 +1,163 @@
+"""Exact worker best response to a piecewise-linear contract.
+
+Given a posted contract (a piecewise-linear pay function of *feedback*)
+a worker with parameters ``(beta, omega)`` and effort function ``psi``
+chooses effort maximizing
+
+    F(y) = pay(psi(y)) + omega * psi(y) - beta * y     (Eqs. 11 and 14)
+
+with ``omega = 0`` recovering the honest worker as a special case
+(Section IV-C).  Within the effort range mapping into one contract piece
+the objective is concave, so the global maximum is attained at a piece
+boundary (in feedback space: a contract knot) or at the interior
+stationary point ``psi'(y) = beta / (alpha_l + omega)`` (Eq. 31 for
+quadratic ``psi``).  Outside the knot span the contract is flat; for
+malicious workers (``omega > 0``) the influence term can still reward
+effort there, so the solver also checks the stationary point
+``psi'(y) = beta / omega`` of the flat regions — a case the paper's
+construction implicitly assumes away (see DESIGN.md §2).
+
+The solver optionally takes the worker's *true* effort function, which
+may differ from the fitted one embedded in the contract — this is what
+lets the marketplace simulation quantify model-misfit effects.
+
+Ties are broken toward the *lowest* effort: a worker indifferent between
+two efforts prefers the cheaper one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import DesignError
+from ..types import WorkerParameters
+from .contract import Contract
+from .effort import QuadraticEffort
+
+__all__ = ["BestResponse", "solve_best_response", "worker_utility"]
+
+_TIE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class BestResponse:
+    """The worker's optimal reaction to a contract.
+
+    Attributes:
+        effort: the utility-maximizing effort level ``y*``.
+        utility: the worker's utility at ``y*``.
+        feedback: the feedback ``psi(y*)`` the effort produces (under the
+            effort function the response was solved with).
+        compensation: the pay the contract awards for that feedback.
+        piece: 1-based index of the contract's effort-grid interval
+            containing ``y*`` (efforts beyond the grid map to the last
+            interval).
+    """
+
+    effort: float
+    utility: float
+    feedback: float
+    compensation: float
+    piece: int
+
+
+def worker_utility(
+    contract: Contract,
+    params: WorkerParameters,
+    effort: float,
+    effort_function: Optional[QuadraticEffort] = None,
+) -> float:
+    """Worker utility ``pay(psi(y)) + omega * psi(y) - beta * y``.
+
+    Args:
+        contract: the posted contract.
+        params: worker ``(beta, omega)``.
+        effort: the effort to evaluate at.
+        effort_function: the worker's true ``psi``; defaults to the one
+            the contract was designed with.
+    """
+    if effort < 0.0:
+        raise DesignError(f"effort must be >= 0, got {effort!r}")
+    psi = effort_function if effort_function is not None else contract.effort_function
+    feedback = float(psi(effort))
+    pay = contract.pay_for_feedback(max(feedback, 0.0))
+    return pay + params.omega * feedback - params.beta * effort
+
+
+def _candidate_efforts(
+    contract: Contract, params: WorkerParameters, psi: QuadraticEffort
+) -> List[float]:
+    """All efforts that can host the global maximum of the worker utility.
+
+    The utility is piecewise concave in effort, with breaks where
+    ``psi(y)`` crosses a contract knot; beyond the vertex of ``psi`` it
+    strictly decreases (pay and influence both fall while cost rises),
+    so only the increasing branch needs candidates.
+    """
+    pay = contract.as_feedback_function()
+    knots = pay.knots
+    slopes = pay.slopes()
+    candidates: List[float] = [0.0]
+    # Efforts at which feedback crosses a contract knot.
+    for knot in knots:
+        if psi.r0 <= knot <= psi.max_feedback:
+            candidates.append(psi.inverse(knot))
+    # Interior stationary points, one per piece whose feedback span the
+    # stationary feedback actually falls into.
+    for index, alpha in enumerate(slopes):
+        gain = alpha + params.omega
+        if gain <= 0.0:
+            # Utility strictly decreases across the piece; the knots
+            # already cover its endpoints.
+            continue
+        stationary = psi.derivative_inverse(params.beta / gain)
+        if stationary <= 0.0:
+            continue
+        feedback = float(psi(stationary))
+        if knots[index] <= feedback < knots[index + 1]:
+            candidates.append(stationary)
+    # Flat regions outside the knot span: pay is constant, influence may
+    # still reward effort until psi'(y) == beta / omega.
+    if params.omega > 0.0:
+        stationary = psi.derivative_inverse(params.beta / params.omega)
+        if stationary > 0.0:
+            feedback = float(psi(stationary))
+            if feedback >= knots[-1] or feedback <= knots[0]:
+                candidates.append(stationary)
+    return candidates
+
+
+def solve_best_response(
+    contract: Contract,
+    params: WorkerParameters,
+    effort_function: Optional[QuadraticEffort] = None,
+) -> BestResponse:
+    """Solve the worker's inner problem exactly.
+
+    Args:
+        contract: the posted contract.
+        params: the worker's ``(beta, omega)`` parameters.
+        effort_function: the worker's true ``psi``; defaults to the
+            contract's fitted one (the designer's view).
+
+    Returns:
+        The :class:`BestResponse` with ties broken toward lower effort.
+    """
+    psi = effort_function if effort_function is not None else contract.effort_function
+    best_effort = math.nan
+    best_utility = -math.inf
+    for effort in sorted(_candidate_efforts(contract, params, psi)):
+        utility = worker_utility(contract, params, effort, effort_function=psi)
+        if utility > best_utility + _TIE_TOLERANCE:
+            best_utility = utility
+            best_effort = effort
+    feedback = float(psi(best_effort))
+    return BestResponse(
+        effort=best_effort,
+        utility=best_utility,
+        feedback=feedback,
+        compensation=contract.pay_for_feedback(max(feedback, 0.0)),
+        piece=contract.grid.locate(best_effort),
+    )

@@ -1,0 +1,243 @@
+"""Theoretical guarantees: Lemma 4.2, Lemma 4.3 and Theorem 4.1.
+
+These bounds certify the near-optimality of the designed contract:
+
+* **Lemma 4.2** — under the candidate contract ``xi^(k)`` the pay to the
+  worker is bounded above; we implement the certified per-piece window
+  sum (every slope is strictly below ``beta/psi'(l*delta) - omega``) and
+  keep the paper's printed closed form for reference.
+* **Lemma 4.3** — *any* contract that steers the worker's optimum into
+  ``[(k-1)delta, k*delta)`` must pay at least ``beta*(k-1)*delta``
+  (otherwise the worker would prefer zero effort).
+* **Theorem 4.1** — combining the two, the requester's per-worker utility
+  obtained by the algorithm is sandwiched between an upper bound
+  ``max_l { w*psi(l*delta) - mu*beta*(l-1)*delta }`` (no contract can do
+  better) and a lower bound evaluated at the selected ``k_opt``.
+
+The paper's printed statements set the feedback weight ``w = 1`` and are
+loose with the ``mu``/``beta`` placement; we implement the dimensionally
+consistent form (DESIGN.md §2), which reduces to the printed formulas at
+``w = 1``.  The optimal utility always lies in ``[achieved, UB]``, so a
+shrinking ``UB - achieved`` gap (Fig. 6) certifies convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DesignError
+from ..types import DiscretizationGrid
+from .effort import QuadraticEffort
+
+__all__ = [
+    "compensation_upper_bound",
+    "compensation_upper_bound_paper",
+    "compensation_lower_bound",
+    "requester_utility_upper_bound",
+    "requester_utility_lower_bound",
+    "UtilityBounds",
+]
+
+
+def compensation_upper_bound(
+    effort_function: QuadraticEffort,
+    grid: DiscretizationGrid,
+    beta: float,
+    target_piece: int,
+    omega: float = 0.0,
+) -> float:
+    """Lemma 4.2: a certified ceiling on pay under ``xi^(k)``.
+
+    Every constructed slope sits strictly below its Case II threshold
+    ``beta / psi'(l*delta) - omega`` (Eq. 42), so the contract's maximum
+    pay telescopes to
+
+        c <= sum_{l=1..k} max(beta / psi'(l*delta) - omega, 0)
+             * (d_l - d_{l-1}).
+
+    This is the rigorous form of the paper's printed bound
+    ``beta*k*delta - 2*beta*r2*k*delta^2 / psi'((k-1)*delta)``, which the
+    two agree with up to O(delta^2) per piece; the printed formula can
+    *under*-estimate the pay by up to ~10% for very coarse grids at
+    ``k = 2`` (see :func:`compensation_upper_bound_paper` and
+    DESIGN.md §2), so the certified sum is what the designer uses.
+    """
+    _validate(grid, beta, target_piece)
+    if omega < 0.0:
+        raise DesignError(f"omega must be >= 0, got {omega!r}")
+    effort_function.require_increasing_on(grid.max_effort)
+    breakpoints = effort_function.feedback_breakpoints(grid.edges())
+    total = 0.0
+    for piece in range(1, target_piece + 1):
+        slope_right = effort_function.derivative(piece * grid.delta)
+        window_top = max(beta / slope_right - omega, 0.0)
+        total += window_top * (breakpoints[piece] - breakpoints[piece - 1])
+    return total
+
+
+def compensation_upper_bound_paper(
+    effort_function: QuadraticEffort,
+    grid: DiscretizationGrid,
+    beta: float,
+    target_piece: int,
+) -> float:
+    """The ceiling exactly as printed in Lemma 4.2.
+
+    ``c <= beta*k*delta - 2*beta*r2*k*delta^2 / (2*r2*(k-1)*delta + r1)``
+
+    Kept for reference and for reproducing the paper's Fig. 6 curves;
+    slightly anti-conservative at coarse grids (see
+    :func:`compensation_upper_bound`).
+    """
+    _validate(grid, beta, target_piece)
+    effort_function.require_increasing_on(grid.max_effort)
+    k, delta = target_piece, grid.delta
+    slope_left = effort_function.derivative((k - 1) * delta)
+    correction = -2.0 * beta * effort_function.r2 * k * delta * delta / slope_left
+    return beta * k * delta + correction
+
+
+def compensation_lower_bound(
+    grid: DiscretizationGrid,
+    beta: float,
+    target_piece: int,
+    effort_function: QuadraticEffort = None,
+    omega: float = 0.0,
+) -> float:
+    """Lemma 4.3: min pay needed to steer the optimum into piece ``k``.
+
+    For honest workers (``omega == 0``) this is the paper's
+    ``beta*(k-1)*delta``: below it the worker's utility at the induced
+    effort would be negative, worse than zero effort.
+
+    The printed proof silently drops the influence term ``omega*q`` from
+    the malicious utility, so the stated floor only holds at
+    ``omega == 0``.  The corrected participation argument gives
+
+        c >= beta*(k-1)*delta - omega*(psi(k*delta) - psi(0)),
+
+    clamped at zero — a malicious worker accepts lower pay because the
+    influence of its review is itself a reward (DESIGN.md §2).
+
+    Args:
+        grid: effort discretization.
+        beta: effort-cost weight.
+        target_piece: the 1-based piece ``k`` containing the optimum.
+        effort_function: required when ``omega > 0`` (the correction
+            depends on ``psi``).
+        omega: the worker's influence weight.
+    """
+    _validate(grid, beta, target_piece)
+    if omega < 0.0:
+        raise DesignError(f"omega must be >= 0, got {omega!r}")
+    floor = beta * (target_piece - 1) * grid.delta
+    if omega == 0.0:
+        return floor
+    if effort_function is None:
+        raise DesignError("effort_function is required when omega > 0")
+    influence_reward = omega * (
+        effort_function(target_piece * grid.delta) - effort_function(0.0)
+    )
+    return max(floor - influence_reward, 0.0)
+
+
+def requester_utility_upper_bound(
+    effort_function: QuadraticEffort,
+    grid: DiscretizationGrid,
+    beta: float,
+    mu: float,
+    feedback_weight: float = 1.0,
+    omega: float = 0.0,
+) -> float:
+    """Theorem 4.1 upper bound on the per-worker requester utility.
+
+    For honest workers (``omega == 0``) this is the paper's
+
+    ``UB = max_l { w * psi(l*delta) - mu * beta * (l-1) * delta }``:
+
+    feedback is at most ``psi(l*delta)`` inside piece ``l`` while pay is
+    at least the Lemma 4.3 floor.  For ``omega > 0`` the floor is the
+    corrected (lower) participation floor, and an extra term covers the
+    flat-tail region beyond the grid where an influence-motivated worker
+    supplies feedback up to ``psi(psi'^{-1}(beta/omega))`` at zero
+    marginal pay.
+    """
+    if mu <= 0.0:
+        raise DesignError(f"mu must be positive, got {mu!r}")
+    effort_function.require_increasing_on(grid.max_effort)
+    best = -float("inf")
+    for piece in range(1, grid.n_intervals + 1):
+        feedback = effort_function(piece * grid.delta)
+        floor_pay = compensation_lower_bound(
+            grid, beta, piece, effort_function=effort_function, omega=omega
+        )
+        best = max(best, feedback_weight * feedback - mu * floor_pay)
+    if omega > 0.0:
+        free_effort = effort_function.derivative_inverse(beta / omega)
+        if free_effort > grid.max_effort:
+            best = max(best, feedback_weight * effort_function(free_effort))
+    return best
+
+
+def requester_utility_lower_bound(
+    effort_function: QuadraticEffort,
+    grid: DiscretizationGrid,
+    beta: float,
+    mu: float,
+    target_piece: int,
+    feedback_weight: float = 1.0,
+) -> float:
+    """Theorem 4.1 lower bound given the selected piece ``k_opt``.
+
+    ``LB = w * psi((k_opt-1)*delta) - mu * c_max(k_opt)``
+
+    where ``c_max`` is the Lemma 4.2 pay ceiling: the worker exerts at
+    least ``(k_opt-1)*delta`` effort (so produces at least that much
+    feedback, since ``psi`` is increasing) while the contract never pays
+    more than the ceiling.
+    """
+    if mu <= 0.0:
+        raise DesignError(f"mu must be positive, got {mu!r}")
+    feedback_floor = effort_function((target_piece - 1) * grid.delta)
+    pay_ceiling = compensation_upper_bound(effort_function, grid, beta, target_piece)
+    return feedback_weight * feedback_floor - mu * pay_ceiling
+
+
+@dataclass(frozen=True)
+class UtilityBounds:
+    """Theorem 4.1 bounds bundled with the achieved utility.
+
+    Attributes:
+        lower: the Theorem 4.1 lower bound at the designer's ``k_opt``.
+        achieved: the requester utility the designed contract attains.
+        upper: the Theorem 4.1 upper bound over all pieces.
+        certified: whether the preconditions of the bound proofs held at
+            the solution (the best response landed in the target piece
+            and no slope had to be clamped); uncertified bounds are
+            diagnostic only.
+    """
+
+    lower: float
+    achieved: float
+    upper: float
+    certified: bool = True
+
+    @property
+    def gap(self) -> float:
+        """Optimality gap ``upper - achieved`` (the optimum lies within)."""
+        return self.upper - self.achieved
+
+    @property
+    def is_consistent(self) -> bool:
+        """Whether ``lower <= achieved <= upper`` (up to float slack)."""
+        slack = 1e-9 * max(1.0, abs(self.upper), abs(self.achieved), abs(self.lower))
+        return self.lower <= self.achieved + slack and self.achieved <= self.upper + slack
+
+
+def _validate(grid: DiscretizationGrid, beta: float, target_piece: int) -> None:
+    if beta <= 0.0:
+        raise DesignError(f"beta must be positive, got {beta!r}")
+    if not 1 <= target_piece <= grid.n_intervals:
+        raise DesignError(
+            f"target_piece must be in [1, {grid.n_intervals}], got {target_piece!r}"
+        )

@@ -1,0 +1,221 @@
+"""Budget-feasible contract selection (multiple-choice knapsack).
+
+The paper's requester only penalizes pay through the weight ``mu``; the
+budget-feasibility line it cites (Singer, FOCS'10 and follow-ups)
+instead imposes a *hard* budget ``B`` on total pay.  This module bridges
+the two: the designer's candidate sweep already prices every effort
+interval for every subject (one ``(utility, pay)`` pair per candidate,
+plus the free null contract), so budgeting the whole population is a
+multiple-choice knapsack — pick exactly one option per subject,
+maximize summed utility, keep summed pay within ``B``.
+
+The solver is the standard pseudo-polynomial DP over a discretized cost
+axis; with the null option always available it is feasible for every
+budget, and as ``B`` grows the selection converges to the unconstrained
+per-subject optima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DesignError
+from .decomposition import SubproblemSolution
+
+__all__ = ["BudgetOption", "BudgetedDesign", "budget_options", "budgeted_selection"]
+
+
+@dataclass(frozen=True)
+class BudgetOption:
+    """One way to engage one subject.
+
+    Attributes:
+        subject_id: the worker or community.
+        target_piece: the candidate's effort interval, or ``None`` for
+            the null (do-not-hire) option.
+        utility: requester utility of the option.
+        cost: expected pay of the option.
+    """
+
+    subject_id: str
+    target_piece: Optional[int]
+    utility: float
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cost < 0.0:
+            raise DesignError(f"cost must be >= 0, got {self.cost!r}")
+
+
+@dataclass(frozen=True)
+class BudgetedDesign:
+    """Result of the budgeted selection.
+
+    Attributes:
+        chosen: selected option per subject.
+        total_utility: summed utility of the selection.
+        total_cost: summed expected pay (``<= budget``).
+        budget: the budget it was solved for.
+    """
+
+    chosen: Dict[str, BudgetOption]
+    total_utility: float
+    total_cost: float
+    budget: float
+
+    @property
+    def n_hired(self) -> int:
+        """Subjects engaged with a non-null contract."""
+        return sum(
+            1 for option in self.chosen.values() if option.target_piece is not None
+        )
+
+
+def budget_options(
+    solutions: Mapping[str, SubproblemSolution],
+) -> Dict[str, List[BudgetOption]]:
+    """Extract per-subject options from solved subproblems.
+
+    Each candidate evaluation becomes one option (its exact
+    best-response utility and pay); a zero-cost null option is always
+    included.  Options that are dominated (another option has at least
+    the utility at no more cost) are pruned — the knapsack answer is
+    unchanged and the DP gets cheaper.
+    """
+    per_subject: Dict[str, List[BudgetOption]] = {}
+    for subject_id, solution in solutions.items():
+        options = [
+            BudgetOption(
+                subject_id=subject_id, target_piece=None, utility=0.0, cost=0.0
+            )
+        ]
+        for evaluation in solution.result.evaluations:
+            options.append(
+                BudgetOption(
+                    subject_id=subject_id,
+                    target_piece=evaluation.candidate.target_piece,
+                    utility=evaluation.requester_utility,
+                    cost=max(evaluation.response.compensation, 0.0),
+                )
+            )
+        per_subject[subject_id] = _prune_dominated(options)
+    return per_subject
+
+
+def _prune_dominated(options: Sequence[BudgetOption]) -> List[BudgetOption]:
+    """Keep only the Pareto frontier (increasing cost, increasing utility)."""
+    ordered = sorted(options, key=lambda option: (option.cost, -option.utility))
+    frontier: List[BudgetOption] = []
+    best_utility = -float("inf")
+    for option in ordered:
+        if option.utility > best_utility:
+            frontier.append(option)
+            best_utility = option.utility
+    return frontier
+
+
+def budgeted_selection(
+    solutions: Mapping[str, SubproblemSolution],
+    budget: float,
+    resolution: Optional[int] = None,
+) -> BudgetedDesign:
+    """Solve the multiple-choice knapsack over all subjects.
+
+    Args:
+        solutions: solved subproblems (each carrying its candidate
+            evaluations).
+        budget: hard cap on total expected pay; 0 selects only null
+            options.
+        resolution: number of discrete cost levels for the DP; higher is
+            tighter (the realized total cost never exceeds ``budget``
+            regardless — costs are rounded *up* to grid levels).
+            Defaults to ``max(400, 4 * n_subjects)``: with fewer levels
+            than subjects, ceil-rounding alone would exhaust the grid
+            and starve the selection.
+
+    Returns:
+        The :class:`BudgetedDesign`.
+    """
+    if budget < 0.0:
+        raise DesignError(f"budget must be >= 0, got {budget!r}")
+    if resolution is None:
+        resolution = max(400, 4 * len(solutions))
+    if resolution < 1:
+        raise DesignError(f"resolution must be >= 1, got {resolution!r}")
+    per_subject = budget_options(solutions)
+    subjects = sorted(per_subject)
+    if not subjects:
+        return BudgetedDesign(
+            chosen={}, total_utility=0.0, total_cost=0.0, budget=budget
+        )
+
+    if budget == 0.0:
+        chosen = {
+            subject_id: per_subject[subject_id][0] for subject_id in subjects
+        }
+        return BudgetedDesign(
+            chosen=chosen,
+            total_utility=float(
+                sum(option.utility for option in chosen.values())
+            ),
+            total_cost=0.0,
+            budget=budget,
+        )
+
+    step = budget / resolution
+    # dp[r]: best utility using at most r * step budget.  With zero
+    # subjects the utility is 0 at every level (null options make every
+    # budget feasible).  choices[i][r]: option index chosen for subject
+    # i when the prefix 0..i is solved at level r.
+    dp = np.zeros(resolution + 1)
+    choices: List[np.ndarray] = []
+    for subject_id in subjects:
+        options = per_subject[subject_id]
+        new_dp = np.full(resolution + 1, -np.inf)
+        choice = np.zeros(resolution + 1, dtype=int)
+        for option_index, option in enumerate(options):
+            # Round cost *up* so the realized spend never exceeds budget.
+            cost_units = int(np.ceil(option.cost / step - 1e-12))
+            if cost_units > resolution:
+                continue
+            if cost_units == 0:
+                candidate_values = dp + option.utility
+                better = candidate_values > new_dp
+                new_dp = np.where(better, candidate_values, new_dp)
+                choice = np.where(better, option_index, choice)
+            else:
+                candidate_values = dp[:-cost_units] + option.utility
+                better = candidate_values > new_dp[cost_units:]
+                new_dp[cost_units:] = np.where(
+                    better, candidate_values, new_dp[cost_units:]
+                )
+                choice[cost_units:] = np.where(
+                    better, option_index, choice[cost_units:]
+                )
+        if not np.isfinite(new_dp).any():
+            raise DesignError(
+                f"subject {subject_id!r} has no feasible option within budget"
+            )
+        dp = new_dp
+        choices.append(choice)
+
+    final_state = int(np.argmax(dp))
+    chosen: Dict[str, BudgetOption] = {}
+    state = final_state
+    for index in range(len(subjects) - 1, -1, -1):
+        subject_id = subjects[index]
+        option = per_subject[subject_id][choices[index][state]]
+        chosen[subject_id] = option
+        cost_units = int(np.ceil(option.cost / step - 1e-12))
+        state -= cost_units
+    total_cost = float(sum(option.cost for option in chosen.values()))
+    total_utility = float(sum(option.utility for option in chosen.values()))
+    return BudgetedDesign(
+        chosen=chosen,
+        total_utility=total_utility,
+        total_cost=total_cost,
+        budget=budget,
+    )

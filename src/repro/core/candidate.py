@@ -1,0 +1,207 @@
+"""Candidate-contract construction (Section IV-C, Part 2).
+
+For a target effort interval ``[(k-1)*delta, k*delta)`` the designer
+builds the *candidate contract* ``xi^(k)`` piece by piece so that
+
+1. the worker's optimal effort falls in interval ``k`` — utilities at the
+   per-piece optima strictly increase up to piece ``k`` (Eq. 36), and
+2. compensation is as small as possible — each slope sits just above the
+   minimum that satisfies (1).
+
+Pieces ``1..k`` are built in the Case III window of Lemma 4.1 using the
+recursion (Eqs. 39-40, with the typo fixes of DESIGN.md §2):
+
+    alpha_l + omega = beta^2 / ((alpha_{l-1} + omega) * psi'((l-1)delta)^2)
+                      + eps_l,
+    eps_l = 4*beta*r2^2*delta^2 /
+            (psi'((l-1)delta)^2 * psi'(l*delta)),
+
+seeded with the self-consistent virtual slope
+``alpha_0 + omega = beta / psi'(0)``.  Pieces ``k+1..m`` are flat
+(``alpha_l = 0``): more effort, same pay.
+
+The identity behind the recursion (re-derived in our tests): with
+quadratic ``psi`` the gain in per-piece optimal utility is
+
+    F(y*_l) - F(y*_{l-1})
+      = (alpha_l - alpha_{l-1}) *
+        (beta^2 / (4 r2 a_l a_{l-1}) + psi_max - d_{l-1}),
+
+where ``a_l = alpha_l + omega`` and ``psi_max - d_{l-1} =
+psi'((l-1)delta)^2 / (4 |r2|)``, so the gain is positive exactly when
+``a_l > beta^2 / (a_{l-1} * psi'((l-1)delta)^2)`` — the Eq. (39)
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import DesignError
+from ..types import DiscretizationGrid, WorkerParameters
+from .cases import CaseThresholds, PieceCase, case_thresholds
+from .contract import Contract
+from .effort import QuadraticEffort
+
+__all__ = ["CandidateContract", "build_candidate", "slope_epsilon", "case_windows"]
+
+
+@dataclass(frozen=True)
+class CandidateContract:
+    """A candidate contract targeting one effort interval.
+
+    Attributes:
+        target_piece: the interval ``k`` the contract steers the worker to.
+        params: the worker parameters the contract was designed against.
+        contract: the resulting posted contract.
+        slopes: feedback-space slopes ``alpha^(k)_l`` for ``l = 1..m``.
+        epsilons: the slack terms ``eps_l`` used for pieces ``1..k``.
+        cases: the Lemma 4.1 case of each piece under these slopes.
+        clamped_pieces: pieces whose recursion slope fell below zero and
+            was clamped to zero to keep the contract monotone (only
+            possible for large ``omega``).
+    """
+
+    target_piece: int
+    params: WorkerParameters
+    contract: Contract
+    slopes: Tuple[float, ...]
+    epsilons: Tuple[float, ...]
+    cases: Tuple[PieceCase, ...]
+    clamped_pieces: Tuple[int, ...]
+
+    @property
+    def designed_effort(self) -> float:
+        """The Eq. (31) interior optimum of the target piece.
+
+        This is where the construction *intends* the worker to land; the
+        designer confirms it with the exact best-response solver.  When
+        the target piece is not in Case III (a clamped piece), the value
+        is clipped to the target interval.
+        """
+        psi = self.contract.effort_function
+        gain = self.slopes[self.target_piece - 1] + self.params.omega
+        left, right = self.contract.grid.interval(self.target_piece)
+        if gain <= 0.0:
+            return left
+        stationary = psi.derivative_inverse(self.params.beta / gain)
+        return min(max(stationary, left), right)
+
+
+def slope_epsilon(
+    effort_function: QuadraticEffort,
+    grid: DiscretizationGrid,
+    piece: int,
+    beta: float,
+) -> float:
+    """The slack ``eps_l`` of Eq. (40) (with the division typo fixed).
+
+    ``eps_l = 4*beta*r2^2*delta^2 / (psi'((l-1)delta)^2 * psi'(l*delta))``
+    is exactly the margin that keeps the recursion's slope strictly below
+    the piece's Case II threshold (Eq. 42).
+    """
+    r2 = effort_function.r2
+    delta = grid.delta
+    left_edge, right_edge = grid.interval(piece)
+    slope_left = effort_function.derivative(left_edge)
+    slope_right = effort_function.derivative(right_edge)
+    if slope_right <= 0.0:
+        raise DesignError(
+            f"psi' must stay positive over the grid; psi'({right_edge!r}) = "
+            f"{slope_right!r}"
+        )
+    return 4.0 * beta * r2 * r2 * delta * delta / (
+        slope_left * slope_left * slope_right
+    )
+
+
+def build_candidate(
+    effort_function: QuadraticEffort,
+    grid: DiscretizationGrid,
+    params: WorkerParameters,
+    target_piece: int,
+    base_pay: float = 0.0,
+) -> CandidateContract:
+    """Construct the candidate contract ``xi^(k)`` for ``k = target_piece``.
+
+    Args:
+        effort_function: the worker's fitted effort function ``psi``.
+        grid: effort discretization (``m`` intervals of width ``delta``).
+        params: worker parameters ``(beta, omega)``.
+        target_piece: the interval the worker should be steered into.
+        base_pay: compensation at zero effort (``x_0``).
+
+    Returns:
+        The assembled :class:`CandidateContract`.
+
+    Raises:
+        DesignError: if the target piece is out of range or the grid
+            leaves the increasing range of ``psi``.
+    """
+    if not 1 <= target_piece <= grid.n_intervals:
+        raise DesignError(
+            f"target_piece must be in [1, {grid.n_intervals}], got {target_piece!r}"
+        )
+    effort_function.require_increasing_on(grid.max_effort)
+    beta, omega = params.beta, params.omega
+
+    slopes: List[float] = []
+    epsilons: List[float] = []
+    clamped: List[int] = []
+    # Virtual seed: alpha_0 + omega = beta / psi'(0).
+    previous_gain = beta / effort_function.derivative(0.0)
+    for piece in range(1, target_piece + 1):
+        epsilon = slope_epsilon(effort_function, grid, piece, beta)
+        left_edge, _ = grid.interval(piece)
+        slope_left = effort_function.derivative(left_edge)
+        gain = beta * beta / (previous_gain * slope_left * slope_left) + epsilon
+        slope = gain - omega
+        if slope < 0.0:
+            # The whole Case III window sits below zero: a monotone
+            # contract cannot realize it, so fall back to a flat piece.
+            # With alpha = 0 the piece is Case II (the influence term
+            # alone pushes the worker rightward), which still satisfies
+            # Eq. (36)'s "move right of the left endpoint" requirement.
+            slope = 0.0
+            clamped.append(piece)
+        slopes.append(slope)
+        epsilons.append(epsilon)
+        previous_gain = slope + omega
+    # Flat tail: more effort, same pay (Section IV-C, "determining the
+    # contract pieces defined on [k*delta, inf) is trivial").
+    slopes.extend([0.0] * (grid.n_intervals - target_piece))
+
+    contract = Contract.from_feedback_slopes(
+        grid=grid,
+        effort_function=effort_function,
+        slopes=slopes,
+        base_pay=base_pay,
+    )
+    cases = tuple(
+        case_thresholds(effort_function, grid, piece, beta, omega).classify(
+            slopes[piece - 1]
+        )
+        for piece in range(1, grid.n_intervals + 1)
+    )
+    return CandidateContract(
+        target_piece=target_piece,
+        params=params,
+        contract=contract,
+        slopes=tuple(slopes),
+        epsilons=tuple(epsilons),
+        cases=cases,
+        clamped_pieces=tuple(clamped),
+    )
+
+
+def case_windows(
+    effort_function: QuadraticEffort,
+    grid: DiscretizationGrid,
+    params: WorkerParameters,
+) -> Tuple[CaseThresholds, ...]:
+    """The Lemma 4.1 slope windows for every piece of the grid."""
+    return tuple(
+        case_thresholds(effort_function, grid, piece, params.beta, params.omega)
+        for piece in range(1, grid.n_intervals + 1)
+    )

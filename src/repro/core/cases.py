@@ -1,0 +1,135 @@
+"""Lemma 4.1: classification of contract pieces into Cases I/II/III.
+
+Inside one effort interval ``[(l-1)*delta, l*delta)`` the worker utility
+
+    F(y) = (alpha_l + omega) * psi(y) - beta * y + const
+
+is concave (``alpha_l + omega >= 0`` and ``psi'' < 0``), so its behaviour
+is fully determined by the sign of ``F'`` at the interval's endpoints.
+Because ``psi'`` is strictly decreasing this yields three regimes
+depending on where the contract slope ``alpha_l`` falls relative to two
+thresholds:
+
+* **Case I** (``alpha_l <= beta / psi'((l-1)delta) - omega``):
+  ``F`` is non-increasing on the interval; the worker slides to the left
+  endpoint ``(l-1)*delta``.
+* **Case II** (``alpha_l >= beta / psi'(l*delta) - omega``):
+  ``F`` is non-decreasing; the worker pushes to the right endpoint.
+* **Case III** (strictly between the thresholds): ``F`` has an interior
+  stationary maximum at ``y = psi'^{-1}(beta / (alpha_l + omega))``.
+
+The printed lemma in the paper swaps the Case I/II ranges; this module
+implements the version proved in Eqs. (32)-(35), which is the one the
+construction in Section IV-C actually relies on (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import DesignError
+from ..types import DiscretizationGrid
+from .effort import QuadraticEffort
+
+__all__ = ["PieceCase", "CaseThresholds", "classify_piece", "case_thresholds"]
+
+
+class PieceCase(enum.Enum):
+    """Behaviour of the worker's utility within one contract piece."""
+
+    LEFT_ENDPOINT = "case_i"
+    RIGHT_ENDPOINT = "case_ii"
+    INTERIOR = "case_iii"
+
+
+@dataclass(frozen=True)
+class CaseThresholds:
+    """The two slope thresholds separating Cases I/III/II for a piece.
+
+    Attributes:
+        lower: slopes at or below this value are Case I.
+        upper: slopes at or above this value are Case II.
+    """
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.upper < self.lower:
+            raise DesignError(
+                f"inconsistent thresholds: lower={self.lower!r} > upper={self.upper!r}"
+            )
+
+    def classify(self, slope: float) -> PieceCase:
+        """Classify a contract slope against these thresholds."""
+        if slope <= self.lower:
+            return PieceCase.LEFT_ENDPOINT
+        if slope >= self.upper:
+            return PieceCase.RIGHT_ENDPOINT
+        return PieceCase.INTERIOR
+
+    @property
+    def width(self) -> float:
+        """Width of the Case III slope window."""
+        return self.upper - self.lower
+
+
+def case_thresholds(
+    effort_function: QuadraticEffort,
+    grid: DiscretizationGrid,
+    piece: int,
+    beta: float,
+    omega: float,
+) -> CaseThresholds:
+    """Slope thresholds of Lemma 4.1 for the 1-based ``piece``-th interval.
+
+    The lower threshold is ``beta / psi'((piece-1)*delta) - omega`` and
+    the upper threshold is ``beta / psi'(piece*delta) - omega``.  Both
+    derivatives must be positive, i.e. the grid must lie inside the
+    increasing range of ``psi`` (enforced here).
+
+    Args:
+        effort_function: the worker's effort function ``psi``.
+        grid: the effort discretization.
+        piece: 1-based interval index ``l``.
+        beta: the worker's effort-cost weight.
+        omega: the worker's feedback weight (0 for honest workers).
+
+    Returns:
+        The :class:`CaseThresholds` for the piece.
+    """
+    if not 1 <= piece <= grid.n_intervals:
+        raise DesignError(
+            f"piece must be in [1, {grid.n_intervals}], got {piece!r}"
+        )
+    if beta <= 0.0:
+        raise DesignError(f"beta must be positive, got {beta!r}")
+    if omega < 0.0:
+        raise DesignError(f"omega must be >= 0, got {omega!r}")
+    effort_function.require_increasing_on(grid.max_effort)
+    left_edge, right_edge = grid.interval(piece)
+    slope_left = effort_function.derivative(left_edge)
+    slope_right = effort_function.derivative(right_edge)
+    if slope_right <= 0.0:
+        raise DesignError(
+            f"psi' must stay positive on the grid; psi'({right_edge!r}) = "
+            f"{slope_right!r}"
+        )
+    return CaseThresholds(
+        lower=beta / slope_left - omega,
+        upper=beta / slope_right - omega,
+    )
+
+
+def classify_piece(
+    effort_function: QuadraticEffort,
+    grid: DiscretizationGrid,
+    piece: int,
+    slope: float,
+    beta: float,
+    omega: float,
+) -> PieceCase:
+    """Classify the ``piece``-th contract piece given its feedback slope."""
+    thresholds = case_thresholds(effort_function, grid, piece, beta, omega)
+    return thresholds.classify(slope)

@@ -1,0 +1,202 @@
+"""Effort functions: the mapping from worker effort to feedback.
+
+The paper (Section IV-B) fits workers' observed (effort, feedback) pairs
+with low-order polynomials and settles on concave quadratics
+
+    psi(y) = r2 * y**2 + r1 * y + r0,      r2 < 0, r1 > 0,
+
+as the *effort function* of every worker class.  The contract-building
+algorithm of Section IV-C exploits exactly three analytic properties of
+``psi``: concavity, twice-differentiability, and a strictly decreasing
+first derivative (hence an invertible ``psi'``).  This module provides
+the quadratic implementation together with the handful of derived
+quantities the algorithm needs (``psi'``, ``psi'`` inverse, the largest
+effort at which ``psi`` is still increasing).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import EffortFunctionError
+
+__all__ = ["QuadraticEffort"]
+
+
+@dataclass(frozen=True)
+class QuadraticEffort:
+    """Concave quadratic effort function ``psi(y) = r2*y^2 + r1*y + r0``.
+
+    Attributes:
+        r2: quadratic coefficient; must be negative (concavity).
+        r1: linear coefficient; must be positive so that ``psi`` is
+            increasing at zero effort.
+        r0: constant term (baseline feedback at zero effort); must be
+            non-negative because feedback counts cannot be negative.
+    """
+
+    r2: float
+    r1: float
+    r0: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in (("r2", self.r2), ("r1", self.r1), ("r0", self.r0)):
+            if not math.isfinite(value):
+                raise EffortFunctionError(f"{name} must be finite, got {value!r}")
+        if self.r2 >= 0.0:
+            raise EffortFunctionError(
+                f"r2 must be negative for a concave effort function, got {self.r2!r}"
+            )
+        if self.r1 <= 0.0:
+            raise EffortFunctionError(
+                f"r1 must be positive so psi is increasing at 0, got {self.r1!r}"
+            )
+        if self.r0 < 0.0:
+            raise EffortFunctionError(
+                f"r0 must be non-negative (feedback is a count), got {self.r0!r}"
+            )
+
+    def __call__(self, effort):
+        """Evaluate ``psi`` at a scalar effort or numpy array of efforts."""
+        return (self.r2 * effort + self.r1) * effort + self.r0
+
+    def derivative(self, effort):
+        """First derivative ``psi'(y) = 2*r2*y + r1``."""
+        return 2.0 * self.r2 * effort + self.r1
+
+    def second_derivative(self) -> float:
+        """Second derivative ``psi''(y) = 2*r2`` (constant, negative)."""
+        return 2.0 * self.r2
+
+    def derivative_inverse(self, slope: float) -> float:
+        """Invert ``psi'``: the effort at which ``psi'(y) == slope``.
+
+        ``psi'`` is strictly decreasing, so the inverse is well defined
+        for every real slope; callers are responsible for checking the
+        result lies in their effort region of interest.
+        """
+        return (slope - self.r1) / (2.0 * self.r2)
+
+    @property
+    def max_increasing_effort(self) -> float:
+        """The vertex ``-r1 / (2*r2)``: effort where ``psi'`` hits zero.
+
+        ``psi`` is strictly increasing on ``[0, max_increasing_effort)``;
+        contract design must restrict the effort region to this range so
+        that feedback breakpoints ``d_l = psi(l*delta)`` stay strictly
+        increasing.
+        """
+        return -self.r1 / (2.0 * self.r2)
+
+    @property
+    def max_feedback(self) -> float:
+        """The supremum of ``psi`` (its value at the vertex)."""
+        return self(self.max_increasing_effort)
+
+    def is_increasing_on(self, max_effort: float) -> bool:
+        """Whether ``psi`` is strictly increasing on ``[0, max_effort]``."""
+        return max_effort < self.max_increasing_effort
+
+    def require_increasing_on(self, max_effort: float) -> None:
+        """Raise :class:`EffortFunctionError` unless ``psi`` increases on
+        ``[0, max_effort]``.
+        """
+        if not self.is_increasing_on(max_effort):
+            raise EffortFunctionError(
+                f"effort region [0, {max_effort!r}] exceeds the increasing range "
+                f"[0, {self.max_increasing_effort!r}) of psi; shrink delta or m"
+            )
+
+    def feedback_breakpoints(self, edges: Iterable[float]) -> Tuple[float, ...]:
+        """Map effort edges ``l*delta`` to feedback breakpoints ``d_l``.
+
+        This realizes the Section III-A construction
+        ``d_l = psi(l * delta)``.  The edges must be non-decreasing and
+        lie inside the increasing range of ``psi``.
+        """
+        edge_list = list(edges)
+        if not edge_list:
+            raise EffortFunctionError("at least one effort edge is required")
+        last = edge_list[-1]
+        self.require_increasing_on(last)
+        previous = -math.inf
+        for edge in edge_list:
+            if edge < previous:
+                raise EffortFunctionError(
+                    f"effort edges must be non-decreasing, got {edge_list!r}"
+                )
+            previous = edge
+        return tuple(float(self(edge)) for edge in edge_list)
+
+    def inverse(self, feedback: float) -> float:
+        """Effort producing ``feedback`` on the increasing branch of psi.
+
+        Raises:
+            EffortFunctionError: if ``feedback`` is below ``psi(0)`` or
+                above the maximum attainable feedback.
+        """
+        if feedback < self.r0:
+            raise EffortFunctionError(
+                f"feedback {feedback!r} is below psi(0) = {self.r0!r}"
+            )
+        if feedback > self.max_feedback:
+            raise EffortFunctionError(
+                f"feedback {feedback!r} exceeds the maximum {self.max_feedback!r}"
+            )
+        # Solve r2*y^2 + r1*y + (r0 - feedback) = 0 for the smaller root
+        # (the increasing branch).
+        discriminant = self.r1 * self.r1 - 4.0 * self.r2 * (self.r0 - feedback)
+        discriminant = max(discriminant, 0.0)
+        return (-self.r1 + math.sqrt(discriminant)) / (2.0 * self.r2)
+
+    def coefficients(self) -> Tuple[float, float, float]:
+        """Coefficients ``(r2, r1, r0)`` in the paper's order."""
+        return (self.r2, self.r1, self.r0)
+
+    @staticmethod
+    def from_coefficients(coefficients: Sequence[float]) -> "QuadraticEffort":
+        """Build from ``(r2, r1, r0)`` (paper order, highest degree first)."""
+        if len(coefficients) != 3:
+            raise EffortFunctionError(
+                f"expected 3 coefficients (r2, r1, r0), got {len(coefficients)}"
+            )
+        r2, r1, r0 = (float(value) for value in coefficients)
+        return QuadraticEffort(r2=r2, r1=r1, r0=r0)
+
+    def scaled(self, feedback_scale: float) -> "QuadraticEffort":
+        """A new effort function with feedback scaled by a positive factor."""
+        if feedback_scale <= 0.0:
+            raise EffortFunctionError(
+                f"feedback_scale must be positive, got {feedback_scale!r}"
+            )
+        return QuadraticEffort(
+            r2=self.r2 * feedback_scale,
+            r1=self.r1 * feedback_scale,
+            r0=self.r0 * feedback_scale,
+        )
+
+    def sample(self, efforts: Sequence[float]) -> np.ndarray:
+        """Vectorized evaluation over a sequence of efforts."""
+        return np.asarray(self(np.asarray(efforts, dtype=float)))
+
+    def community_scaled(self, n_members: int) -> "QuadraticEffort":
+        """The meta effort function of an ``n_members`` community.
+
+        If each member contributes feedback ``psi(y)`` and the community
+        splits its total effort ``Y`` evenly (any split is optimal under
+        a concave ``psi``... the even split maximizes the sum), the
+        summed feedback is ``n * psi(Y / n)``, i.e. a quadratic with
+        ``r2/n, r1, r0*n``.  This realizes Eq. (3)'s ``psi_A`` from the
+        per-member class fit.
+        """
+        if n_members < 1:
+            raise EffortFunctionError(
+                f"n_members must be >= 1, got {n_members!r}"
+            )
+        return QuadraticEffort(
+            r2=self.r2 / n_members, r1=self.r1, r0=self.r0 * n_members
+        )

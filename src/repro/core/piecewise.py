@@ -1,0 +1,173 @@
+"""Monotone piecewise-linear functions.
+
+Section III-A approximates every contract function by a piecewise-linear
+function over a partition of the worker's feedback region.  This module
+provides the generic representation used for both the feedback-space
+contract ``f_i`` (Eq. 6) and the effort-space composition
+``xi_i = f_i(psi_i(.))`` that the designer manipulates.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from ..errors import ContractError
+
+__all__ = ["PiecewiseLinear"]
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """A continuous piecewise-linear function defined by breakpoints.
+
+    The function interpolates linearly between ``(knots[l], values[l])``
+    pairs and extrapolates *flat* outside ``[knots[0], knots[-1]]`` — a
+    worker producing feedback beyond the last breakpoint earns the last
+    breakpoint's compensation, mirroring the paper's construction where
+    the contract is only pinned down on the discretized region.
+
+    Attributes:
+        knots: strictly increasing breakpoint abscissae.
+        values: ordinates at each breakpoint.
+    """
+
+    knots: Tuple[float, ...]
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        knots = tuple(float(k) for k in self.knots)
+        values = tuple(float(v) for v in self.values)
+        object.__setattr__(self, "knots", knots)
+        object.__setattr__(self, "values", values)
+        if len(knots) < 2:
+            raise ContractError(
+                f"a piecewise-linear function needs >= 2 knots, got {len(knots)}"
+            )
+        if len(knots) != len(values):
+            raise ContractError(
+                f"knots ({len(knots)}) and values ({len(values)}) differ in length"
+            )
+        for sequence, name in ((knots, "knots"), (values, "values")):
+            for entry in sequence:
+                if not math.isfinite(entry):
+                    raise ContractError(f"{name} must be finite, got {entry!r}")
+        for left, right in zip(knots, knots[1:]):
+            if right <= left:
+                raise ContractError(
+                    f"knots must be strictly increasing, got {left!r} -> {right!r}"
+                )
+
+    @property
+    def n_pieces(self) -> int:
+        """Number of linear pieces (one fewer than the knot count)."""
+        return len(self.knots) - 1
+
+    def __call__(self, x: float) -> float:
+        """Evaluate the function with flat extrapolation outside the knots."""
+        if x <= self.knots[0]:
+            return self.values[0]
+        if x >= self.knots[-1]:
+            return self.values[-1]
+        index = bisect.bisect_right(self.knots, x) - 1
+        left, right = self.knots[index], self.knots[index + 1]
+        fraction = (x - left) / (right - left)
+        return self.values[index] + fraction * (self.values[index + 1] - self.values[index])
+
+    def slope(self, piece: int) -> float:
+        """Slope of the 1-based ``piece``-th linear piece."""
+        if not 1 <= piece <= self.n_pieces:
+            raise ContractError(
+                f"piece must be in [1, {self.n_pieces}], got {piece!r}"
+            )
+        dx = self.knots[piece] - self.knots[piece - 1]
+        dy = self.values[piece] - self.values[piece - 1]
+        return dy / dx
+
+    def slopes(self) -> Tuple[float, ...]:
+        """Slopes of all pieces, in order."""
+        return tuple(self.slope(piece) for piece in range(1, self.n_pieces + 1))
+
+    def increments(self) -> Tuple[float, ...]:
+        """Value increments ``values[l] - values[l-1]`` for all pieces."""
+        return tuple(
+            self.values[piece] - self.values[piece - 1]
+            for piece in range(1, self.n_pieces + 1)
+        )
+
+    def is_monotone_nondecreasing(self, tolerance: float = 0.0) -> bool:
+        """Whether the function never decreases (contract feasibility)."""
+        return all(
+            later >= earlier - tolerance
+            for earlier, later in zip(self.values, self.values[1:])
+        )
+
+    def require_monotone(self, tolerance: float = 1e-12) -> None:
+        """Raise :class:`ContractError` if any piece has negative slope."""
+        if not self.is_monotone_nondecreasing(tolerance=tolerance):
+            raise ContractError(
+                f"piecewise-linear function is not monotone: values={self.values!r}"
+            )
+
+    def piece_containing(self, x: float) -> int:
+        """1-based index of the piece whose half-open span contains ``x``.
+
+        Points left of the first knot map to piece 1 and points at or
+        beyond the last knot map to the final piece, mirroring the flat
+        extrapolation of :meth:`__call__`.
+        """
+        if x <= self.knots[0]:
+            return 1
+        if x >= self.knots[-1]:
+            return self.n_pieces
+        return bisect.bisect_right(self.knots, x)
+
+    def shifted(self, offset: float) -> "PiecewiseLinear":
+        """A copy with every value shifted by ``offset``."""
+        if not math.isfinite(offset):
+            raise ContractError(f"offset must be finite, got {offset!r}")
+        return PiecewiseLinear(
+            knots=self.knots, values=tuple(v + offset for v in self.values)
+        )
+
+    def scaled(self, factor: float) -> "PiecewiseLinear":
+        """A copy with every value scaled by a non-negative ``factor``."""
+        if not math.isfinite(factor) or factor < 0.0:
+            raise ContractError(f"factor must be finite and >= 0, got {factor!r}")
+        return PiecewiseLinear(
+            knots=self.knots, values=tuple(v * factor for v in self.values)
+        )
+
+    def pieces(self) -> Iterator[Tuple[float, float, float, float]]:
+        """Iterate ``(x_left, x_right, y_left, y_right)`` per piece."""
+        for index in range(self.n_pieces):
+            yield (
+                self.knots[index],
+                self.knots[index + 1],
+                self.values[index],
+                self.values[index + 1],
+            )
+
+    @staticmethod
+    def from_slopes(
+        knots: Sequence[float], start_value: float, slopes: Sequence[float]
+    ) -> "PiecewiseLinear":
+        """Build from a start value and per-piece slopes.
+
+        This is the natural constructor for the candidate contracts of
+        Section IV-C, which are described by contract slopes
+        ``alpha_{i,l}`` rather than absolute values.
+        """
+        knot_list = [float(k) for k in knots]
+        if len(slopes) != len(knot_list) - 1:
+            raise ContractError(
+                f"expected {len(knot_list) - 1} slopes for {len(knot_list)} knots, "
+                f"got {len(slopes)}"
+            )
+        values = [float(start_value)]
+        for index, slope in enumerate(slopes):
+            width = knot_list[index + 1] - knot_list[index]
+            values.append(values[-1] + slope * width)
+        return PiecewiseLinear(knots=tuple(knot_list), values=tuple(values))

@@ -1,0 +1,243 @@
+"""Robustness of designed contracts to effort-function misfit.
+
+The designer optimizes against a *fitted* effort function; the worker
+best-responds with its *true* one.  Section IV-B justifies the quadratic
+fit empirically, but never quantifies what a misfit costs.  This module
+does: it designs on the fitted ``psi``, replays the worker's exact best
+response under perturbed true curves, and reports the requester-utility
+degradation across the perturbation grid.
+
+The exact-best-response machinery (``solve_best_response`` with an
+``effort_function`` override) makes this a pure evaluation sweep — no
+re-design is involved, exactly matching the deployment situation where
+the posted contract is already live when the misfit bites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import DesignError
+from ..types import WorkerParameters
+from .best_response import solve_best_response
+from .designer import ContractDesigner, DesignerConfig, DesignResult
+from .effort import QuadraticEffort
+from .utility import per_worker_utility
+
+__all__ = [
+    "MisfitPoint",
+    "MisfitReport",
+    "misfit_sweep",
+    "perturbed_effort_function",
+    "robust_design",
+]
+
+
+def perturbed_effort_function(
+    psi: QuadraticEffort,
+    curvature_factor: float = 1.0,
+    slope_factor: float = 1.0,
+) -> QuadraticEffort:
+    """A multiplicatively perturbed copy of ``psi``.
+
+    Args:
+        psi: the reference (fitted) effort function.
+        curvature_factor: multiplies ``r2`` (values > 1 mean the true
+            curve saturates faster than fitted).
+        slope_factor: multiplies ``r1``.
+
+    Raises:
+        DesignError: on non-positive factors (the perturbed curve must
+            stay a valid concave increasing quadratic).
+    """
+    if curvature_factor <= 0.0 or slope_factor <= 0.0:
+        raise DesignError("perturbation factors must be positive")
+    return QuadraticEffort(
+        r2=psi.r2 * curvature_factor,
+        r1=psi.r1 * slope_factor,
+        r0=psi.r0,
+    )
+
+
+@dataclass(frozen=True)
+class MisfitPoint:
+    """Outcome of one perturbation of the true effort function.
+
+    Attributes:
+        curvature_factor: the ``r2`` multiplier applied.
+        slope_factor: the ``r1`` multiplier applied.
+        effort: the worker's best-response effort under the true curve.
+        feedback: the realized feedback under the true curve.
+        compensation: what the (fitted-curve) contract pays for it.
+        requester_utility: ``w * q - mu * c`` realized.
+    """
+
+    curvature_factor: float
+    slope_factor: float
+    effort: float
+    feedback: float
+    compensation: float
+    requester_utility: float
+
+
+@dataclass(frozen=True)
+class MisfitReport:
+    """The full sweep, anchored at the no-misfit design point.
+
+    Attributes:
+        design: the fitted-curve design result.
+        nominal_utility: requester utility with a perfectly fitted curve.
+        points: per-perturbation outcomes.
+    """
+
+    design: DesignResult
+    nominal_utility: float
+    points: Tuple[MisfitPoint, ...]
+
+    def worst_case(self) -> MisfitPoint:
+        """The perturbation with the lowest realized utility."""
+        return min(self.points, key=lambda point: point.requester_utility)
+
+    def max_degradation(self) -> float:
+        """Largest relative utility loss over the sweep.
+
+        Relative to ``|nominal_utility|``; 0.0 when nothing degrades.
+        """
+        scale = max(abs(self.nominal_utility), 1e-12)
+        worst = self.worst_case().requester_utility
+        return max((self.nominal_utility - worst) / scale, 0.0)
+
+    def degradation_at(
+        self, curvature_factor: float, slope_factor: float
+    ) -> float:
+        """Relative utility loss at one grid point."""
+        for point in self.points:
+            if (
+                point.curvature_factor == curvature_factor
+                and point.slope_factor == slope_factor
+            ):
+                scale = max(abs(self.nominal_utility), 1e-12)
+                return max(
+                    (self.nominal_utility - point.requester_utility) / scale, 0.0
+                )
+        raise DesignError(
+            f"no sweep point at ({curvature_factor!r}, {slope_factor!r})"
+        )
+
+
+def misfit_sweep(
+    fitted: QuadraticEffort,
+    params: WorkerParameters,
+    mu: float = 1.0,
+    feedback_weight: float = 1.0,
+    curvature_factors: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2),
+    slope_factors: Sequence[float] = (0.9, 1.0, 1.1),
+    config: Optional[DesignerConfig] = None,
+    max_effort: Optional[float] = None,
+) -> MisfitReport:
+    """Design once on ``fitted``, replay under every perturbation.
+
+    Args:
+        fitted: the effort function the requester believes in.
+        params: the worker's utility parameters.
+        mu: requester compensation weight.
+        feedback_weight: the Eq. (5) weight.
+        curvature_factors: ``r2`` multipliers for the true curve.
+        slope_factors: ``r1`` multipliers for the true curve.
+        config: designer configuration.
+        max_effort: optional cap on the design grid.
+
+    Returns:
+        The :class:`MisfitReport`.
+    """
+    if not curvature_factors or not slope_factors:
+        raise DesignError("perturbation grids must be non-empty")
+    designer = ContractDesigner(mu=mu, config=config)
+    design = designer.design(
+        fitted, params, feedback_weight=feedback_weight, max_effort=max_effort
+    )
+    points: List[MisfitPoint] = []
+    for curvature_factor in curvature_factors:
+        for slope_factor in slope_factors:
+            true_psi = perturbed_effort_function(
+                fitted, curvature_factor, slope_factor
+            )
+            response = solve_best_response(
+                design.contract, params, effort_function=true_psi
+            )
+            utility = per_worker_utility(
+                feedback_weight, response.feedback, response.compensation, mu
+            )
+            points.append(
+                MisfitPoint(
+                    curvature_factor=float(curvature_factor),
+                    slope_factor=float(slope_factor),
+                    effort=response.effort,
+                    feedback=response.feedback,
+                    compensation=response.compensation,
+                    requester_utility=utility,
+                )
+            )
+    return MisfitReport(
+        design=design,
+        nominal_utility=design.requester_utility,
+        points=tuple(points),
+    )
+
+
+def robust_design(
+    fitted: QuadraticEffort,
+    params: WorkerParameters,
+    mu: float = 1.0,
+    feedback_weight: float = 1.0,
+    curvature_factors: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2),
+    slope_factors: Sequence[float] = (0.9, 1.0, 1.1),
+    config: Optional[DesignerConfig] = None,
+    max_effort: Optional[float] = None,
+) -> Tuple[DesignResult, float]:
+    """Design on the pessimistic curve of the misfit uncertainty set.
+
+    The Eq. (39) minimal-slope construction is knife-edge: it gives the
+    worker *barely* enough marginal incentive under the fitted curve, so
+    any true curve with a slightly lower marginal feedback rate kills
+    participation — at every target piece, which is why selecting a
+    different candidate cannot rescue the nominal design.
+
+    The principled fix designs against the *pessimistic* member of the
+    uncertainty set (highest curvature factor, lowest slope factor):
+    every other curve in the set has pointwise stronger marginal
+    feedback, so the pessimistically-designed contract's incentives only
+    get stronger and participation survives the whole set.  The price is
+    the usual robustness premium: lower nominal utility when the fit was
+    exact.
+
+    Returns:
+        ``(result, worst_case_utility)`` — the design on the pessimistic
+        curve, and its worst-case utility when replayed over the full
+        perturbation grid.
+    """
+    if not curvature_factors or not slope_factors:
+        raise DesignError("perturbation grids must be non-empty")
+    pessimistic = perturbed_effort_function(
+        fitted, max(curvature_factors), min(slope_factors)
+    )
+    designer = ContractDesigner(mu=mu, config=config)
+    cap = max_effort
+    result = designer.design(
+        pessimistic, params, feedback_weight=feedback_weight, max_effort=cap
+    )
+    worst = float("inf")
+    for curvature_factor in curvature_factors:
+        for slope_factor in slope_factors:
+            true_psi = perturbed_effort_function(
+                fitted, curvature_factor, slope_factor
+            )
+            response = solve_best_response(
+                result.contract, params, effort_function=true_psi
+            )
+            utility = per_worker_utility(
+                feedback_weight, response.feedback, response.compensation, mu
+            )
+            worst = min(worst, utility)
+    return result, worst

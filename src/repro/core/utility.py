@@ -1,0 +1,109 @@
+"""Requester-side utility accounting (Eqs. 4, 5 and 7).
+
+The requester's round utility is ``U = p - mu * sum(c_i)`` where the
+benefit ``p = sum_i w_i * q_i`` aggregates feedback weighted by the
+accuracy/malice/collusion-aware coefficients of Eq. (5).  This module
+provides the per-worker decomposed view ``F^{1,1}_i = w_i * q_i - mu *
+c_i`` that the subproblem solvers maximize, plus round-level aggregation
+used by the simulation engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+from ..errors import ModelError
+from ..types import FeedbackWeightParameters, RequesterParameters
+
+__all__ = [
+    "RequesterObjective",
+    "per_worker_utility",
+    "round_benefit",
+    "round_utility",
+]
+
+
+def per_worker_utility(
+    feedback_weight: float, feedback: float, compensation: float, mu: float
+) -> float:
+    """The decomposed requester utility ``w * q - mu * c`` (Section IV-B)."""
+    if mu <= 0.0:
+        raise ModelError(f"mu must be positive, got {mu!r}")
+    return feedback_weight * feedback - mu * compensation
+
+
+def round_benefit(
+    feedback_weights: Sequence[float], feedbacks: Sequence[float]
+) -> float:
+    """The requester's round benefit ``p = sum_i w_i * q_i`` (Eq. 4)."""
+    if len(feedback_weights) != len(feedbacks):
+        raise ModelError(
+            f"weights ({len(feedback_weights)}) and feedbacks ({len(feedbacks)}) "
+            "differ in length"
+        )
+    return float(sum(w * q for w, q in zip(feedback_weights, feedbacks)))
+
+
+def round_utility(
+    feedback_weights: Sequence[float],
+    feedbacks: Sequence[float],
+    compensations: Iterable[float],
+    mu: float,
+) -> float:
+    """The requester's round utility ``p - mu * sum(c_i)`` (Eq. 7)."""
+    if mu <= 0.0:
+        raise ModelError(f"mu must be positive, got {mu!r}")
+    return round_benefit(feedback_weights, feedbacks) - mu * float(
+        sum(compensations)
+    )
+
+
+@dataclass(frozen=True)
+class RequesterObjective:
+    """The requester's preferences, bundled for the designer.
+
+    Attributes:
+        params: the requester parameters (``mu`` plus Eq. 5 coefficients).
+    """
+
+    params: RequesterParameters = field(default_factory=RequesterParameters)
+
+    @property
+    def mu(self) -> float:
+        """Weight of compensation in the requester's utility."""
+        return self.params.mu
+
+    @property
+    def weight_params(self) -> FeedbackWeightParameters:
+        """The Eq. (5) coefficients."""
+        return self.params.weight_params
+
+    def feedback_weight(
+        self,
+        review_score: float,
+        expert_score: float,
+        malice_probability: float = 0.0,
+        n_partners: int = 0,
+    ) -> float:
+        """The Eq. (5) weight ``w_i`` for one worker."""
+        return self.weight_params.weight(
+            review_score=review_score,
+            expert_score=expert_score,
+            malice_probability=malice_probability,
+            n_partners=n_partners,
+        )
+
+    def value_of(self, feedback_weight: float, feedback: float, compensation: float) -> float:
+        """Per-worker utility ``w * q - mu * c`` under this objective."""
+        return per_worker_utility(feedback_weight, feedback, compensation, self.mu)
+
+    def round_value(
+        self,
+        weighted: Sequence[Tuple[float, float, float]],
+    ) -> float:
+        """Round utility from ``(weight, feedback, compensation)`` triples."""
+        weights = [entry[0] for entry in weighted]
+        feedbacks = [entry[1] for entry in weighted]
+        compensations = [entry[2] for entry in weighted]
+        return round_utility(weights, feedbacks, compensations, self.mu)

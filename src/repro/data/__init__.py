@@ -1,0 +1,28 @@
+"""Review-trace substrate: schema, calibrated synthetic generator,
+endorsement model, expert panel and the trace container."""
+
+from .csvio import export_csv, import_csv
+from .dataset import ReviewTrace, WorkerSeries
+from .endorsements import EndorsementModel
+from .experts import ExpertPanel
+from .schema import Product, Review, Reviewer
+from .synthetic import PAPER_COMMUNITY_SIZES, AmazonTraceGenerator, TraceConfig
+from .validation import CalibrationCheck, CalibrationReport, validate_trace
+
+__all__ = [
+    "export_csv",
+    "import_csv",
+    "ReviewTrace",
+    "WorkerSeries",
+    "EndorsementModel",
+    "ExpertPanel",
+    "Product",
+    "Review",
+    "Reviewer",
+    "PAPER_COMMUNITY_SIZES",
+    "AmazonTraceGenerator",
+    "TraceConfig",
+    "CalibrationCheck",
+    "CalibrationReport",
+    "validate_trace",
+]

@@ -1,0 +1,160 @@
+"""CSV interoperability for review traces.
+
+JSON-lines (see :meth:`~repro.data.dataset.ReviewTrace.save`) is the
+native format; this module adds three-file CSV export/import so traces
+can round-trip through spreadsheet tools and dataframe libraries:
+
+    <stem>.products.csv    product_id,true_quality,expert_score,category
+    <stem>.reviewers.csv   reviewer_id,worker_type,community_id,latent_expertise
+    <stem>.reviews.csv     review_id,reviewer_id,product_id,rating,
+                           text_length,upvotes,latent_effort
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List
+
+from ..errors import DataError
+from ..types import WorkerType
+from .dataset import ReviewTrace
+from .schema import Product, Review, Reviewer
+
+__all__ = ["export_csv", "import_csv"]
+
+_PRODUCT_FIELDS = ["product_id", "true_quality", "expert_score", "category"]
+_REVIEWER_FIELDS = [
+    "reviewer_id",
+    "worker_type",
+    "community_id",
+    "latent_expertise",
+]
+_REVIEW_FIELDS = [
+    "review_id",
+    "reviewer_id",
+    "product_id",
+    "rating",
+    "text_length",
+    "upvotes",
+    "latent_effort",
+]
+
+
+def _paths(stem) -> dict:
+    stem = Path(stem)
+    return {
+        "products": stem.with_suffix(".products.csv"),
+        "reviewers": stem.with_suffix(".reviewers.csv"),
+        "reviews": stem.with_suffix(".reviews.csv"),
+    }
+
+
+def export_csv(trace: ReviewTrace, stem) -> dict:
+    """Write the trace to three CSV files; returns the paths used."""
+    paths = _paths(stem)
+    with paths["products"].open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_PRODUCT_FIELDS)
+        writer.writeheader()
+        for product in trace.products.values():
+            writer.writerow(
+                {
+                    "product_id": product.product_id,
+                    "true_quality": product.true_quality,
+                    "expert_score": product.expert_score,
+                    "category": product.category,
+                }
+            )
+    with paths["reviewers"].open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_REVIEWER_FIELDS)
+        writer.writeheader()
+        for reviewer in trace.reviewers.values():
+            writer.writerow(
+                {
+                    "reviewer_id": reviewer.reviewer_id,
+                    "worker_type": reviewer.worker_type.value,
+                    "community_id": reviewer.community_id or "",
+                    "latent_expertise": reviewer.latent_expertise,
+                }
+            )
+    with paths["reviews"].open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_REVIEW_FIELDS)
+        writer.writeheader()
+        for review in trace.reviews:
+            writer.writerow(
+                {
+                    "review_id": review.review_id,
+                    "reviewer_id": review.reviewer_id,
+                    "product_id": review.product_id,
+                    "rating": review.rating,
+                    "text_length": review.text_length,
+                    "upvotes": review.upvotes,
+                    "latent_effort": review.latent_effort,
+                }
+            )
+    return paths
+
+
+def import_csv(stem) -> ReviewTrace:
+    """Read a trace previously written by :func:`export_csv`.
+
+    Raises:
+        DataError: when a file is missing or a header does not match.
+    """
+    paths = _paths(stem)
+    for name, path in paths.items():
+        if not path.exists():
+            raise DataError(f"missing CSV file for {name}: {path}")
+
+    products: List[Product] = []
+    with paths["products"].open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        _check_header(reader.fieldnames, _PRODUCT_FIELDS, paths["products"])
+        for row in reader:
+            products.append(
+                Product(
+                    product_id=row["product_id"],
+                    true_quality=float(row["true_quality"]),
+                    expert_score=float(row["expert_score"]),
+                    category=row["category"],
+                )
+            )
+
+    reviewers: List[Reviewer] = []
+    with paths["reviewers"].open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        _check_header(reader.fieldnames, _REVIEWER_FIELDS, paths["reviewers"])
+        for row in reader:
+            reviewers.append(
+                Reviewer(
+                    reviewer_id=row["reviewer_id"],
+                    worker_type=WorkerType(row["worker_type"]),
+                    community_id=row["community_id"] or None,
+                    latent_expertise=float(row["latent_expertise"]),
+                )
+            )
+
+    reviews: List[Review] = []
+    with paths["reviews"].open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        _check_header(reader.fieldnames, _REVIEW_FIELDS, paths["reviews"])
+        for row in reader:
+            reviews.append(
+                Review(
+                    review_id=row["review_id"],
+                    reviewer_id=row["reviewer_id"],
+                    product_id=row["product_id"],
+                    rating=float(row["rating"]),
+                    text_length=int(row["text_length"]),
+                    upvotes=int(row["upvotes"]),
+                    latent_effort=float(row["latent_effort"]),
+                )
+            )
+    return ReviewTrace(products=products, reviewers=reviewers, reviews=reviews)
+
+
+def _check_header(actual, expected, path) -> None:
+    if list(actual or []) != expected:
+        raise DataError(
+            f"{path}: unexpected header {actual!r}; expected {expected!r}"
+        )

@@ -1,0 +1,296 @@
+"""The review-trace container and its query surface.
+
+:class:`ReviewTrace` bundles products, reviewers and reviews and exposes
+exactly the derived views the paper's pipeline needs: per-worker review
+series, malicious workers' target sets (input to collusive clustering),
+per-class aggregates (Fig. 7), worker filters (Fig. 8a selects honest
+workers with at least 20 reviews) and JSON-lines (de)serialization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import DataError
+from ..types import WorkerType
+from .schema import Product, Review, Reviewer
+
+__all__ = ["ReviewTrace", "WorkerSeries"]
+
+
+@dataclass(frozen=True)
+class WorkerSeries:
+    """All of one worker's reviews as aligned numpy arrays.
+
+    Attributes:
+        worker_id: the reviewer's identifier.
+        efforts: latent efforts (generator oracle), one per review.
+        upvotes: feedback counts, one per review.
+        ratings: star ratings, one per review.
+        text_lengths: character counts, one per review.
+        product_ids: reviewed products, one per review.
+    """
+
+    worker_id: str
+    efforts: np.ndarray
+    upvotes: np.ndarray
+    ratings: np.ndarray
+    text_lengths: np.ndarray
+    product_ids: Tuple[str, ...]
+
+    @property
+    def n_reviews(self) -> int:
+        """Number of reviews in the series."""
+        return len(self.product_ids)
+
+    @property
+    def mean_feedback(self) -> float:
+        """Average upvotes — the paper's *expertise* proxy."""
+        return float(self.upvotes.mean()) if self.n_reviews else 0.0
+
+
+class ReviewTrace:
+    """An immutable-by-convention review trace.
+
+    Args:
+        products: all products, keyed consistency-checked against reviews.
+        reviewers: all reviewers.
+        reviews: all reviews; every referenced reviewer/product must
+            exist, and a reviewer may review a product at most once.
+    """
+
+    def __init__(
+        self,
+        products: Sequence[Product],
+        reviewers: Sequence[Reviewer],
+        reviews: Sequence[Review],
+    ) -> None:
+        self.products: Dict[str, Product] = {p.product_id: p for p in products}
+        self.reviewers: Dict[str, Reviewer] = {r.reviewer_id: r for r in reviewers}
+        if len(self.products) != len(products):
+            raise DataError("duplicate product ids in trace")
+        if len(self.reviewers) != len(reviewers):
+            raise DataError("duplicate reviewer ids in trace")
+        self.reviews: List[Review] = list(reviews)
+        self._by_worker: Dict[str, List[Review]] = {}
+        seen_pairs: Set[Tuple[str, str]] = set()
+        for review in self.reviews:
+            if review.reviewer_id not in self.reviewers:
+                raise DataError(
+                    f"review {review.review_id!r} references unknown reviewer "
+                    f"{review.reviewer_id!r}"
+                )
+            if review.product_id not in self.products:
+                raise DataError(
+                    f"review {review.review_id!r} references unknown product "
+                    f"{review.product_id!r}"
+                )
+            pair = (review.reviewer_id, review.product_id)
+            if pair in seen_pairs:
+                raise DataError(
+                    f"reviewer {review.reviewer_id!r} reviews product "
+                    f"{review.product_id!r} more than once"
+                )
+            seen_pairs.add(pair)
+            self._by_worker.setdefault(review.reviewer_id, []).append(review)
+
+    # ------------------------------------------------------------------
+    # Counting / headline statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def n_reviews(self) -> int:
+        """Total number of reviews (paper: 118,142)."""
+        return len(self.reviews)
+
+    @property
+    def n_reviewers(self) -> int:
+        """Total number of reviewers (paper: 19,686)."""
+        return len(self.reviewers)
+
+    @property
+    def n_products(self) -> int:
+        """Total number of products (paper: 75,508)."""
+        return len(self.products)
+
+    def worker_ids(self, worker_type: Optional[WorkerType] = None) -> List[str]:
+        """All reviewer ids, optionally filtered by class."""
+        if worker_type is None:
+            return list(self.reviewers)
+        return [
+            worker_id
+            for worker_id, reviewer in self.reviewers.items()
+            if reviewer.worker_type is worker_type
+        ]
+
+    def malicious_ids(self) -> List[str]:
+        """Reviewers with a malicious planted label (paper: 1,524)."""
+        return [
+            worker_id
+            for worker_id, reviewer in self.reviewers.items()
+            if reviewer.is_malicious
+        ]
+
+    def stats(self) -> Dict[str, int]:
+        """Headline counts matching the paper's dataset description."""
+        by_type = {worker_type: 0 for worker_type in WorkerType}
+        for reviewer in self.reviewers.values():
+            by_type[reviewer.worker_type] += 1
+        return {
+            "n_reviews": self.n_reviews,
+            "n_reviewers": self.n_reviewers,
+            "n_products": self.n_products,
+            "n_honest": by_type[WorkerType.HONEST],
+            "n_noncollusive_malicious": by_type[WorkerType.NONCOLLUSIVE_MALICIOUS],
+            "n_collusive_malicious": by_type[WorkerType.COLLUSIVE_MALICIOUS],
+            "n_malicious": by_type[WorkerType.NONCOLLUSIVE_MALICIOUS]
+            + by_type[WorkerType.COLLUSIVE_MALICIOUS],
+        }
+
+    # ------------------------------------------------------------------
+    # Per-worker views
+    # ------------------------------------------------------------------
+
+    def reviews_of(self, worker_id: str) -> List[Review]:
+        """All reviews by one worker (empty list if none)."""
+        if worker_id not in self.reviewers:
+            raise DataError(f"unknown reviewer {worker_id!r}")
+        return list(self._by_worker.get(worker_id, []))
+
+    def series_of(self, worker_id: str) -> WorkerSeries:
+        """The worker's reviews as aligned arrays."""
+        reviews = self.reviews_of(worker_id)
+        return WorkerSeries(
+            worker_id=worker_id,
+            efforts=np.array([r.latent_effort for r in reviews], dtype=float),
+            upvotes=np.array([r.upvotes for r in reviews], dtype=float),
+            ratings=np.array([r.rating for r in reviews], dtype=float),
+            text_lengths=np.array([r.text_length for r in reviews], dtype=float),
+            product_ids=tuple(r.product_id for r in reviews),
+        )
+
+    def workers_with_min_reviews(
+        self, min_reviews: int, worker_type: Optional[WorkerType] = None
+    ) -> List[str]:
+        """Workers with at least ``min_reviews`` reviews (Fig. 8a filter).
+
+        Sorted by descending review count, then id, for determinism.
+        """
+        if min_reviews < 0:
+            raise DataError(f"min_reviews must be >= 0, got {min_reviews!r}")
+        candidates = self.worker_ids(worker_type)
+        eligible = [
+            worker_id
+            for worker_id in candidates
+            if len(self._by_worker.get(worker_id, [])) >= min_reviews
+        ]
+        eligible.sort(key=lambda w: (-len(self._by_worker.get(w, [])), w))
+        return eligible
+
+    # ------------------------------------------------------------------
+    # Clustering / estimation inputs
+    # ------------------------------------------------------------------
+
+    def malicious_targets(self) -> Dict[str, Set[str]]:
+        """``worker -> targeted products`` over malicious workers only.
+
+        This is precisely the input of Section IV-A's clustering.
+        """
+        targets: Dict[str, Set[str]] = {}
+        for worker_id in self.malicious_ids():
+            targets[worker_id] = {
+                review.product_id for review in self._by_worker.get(worker_id, [])
+            }
+        return targets
+
+    def planted_communities(self) -> Dict[str, Set[str]]:
+        """``community_id -> member workers`` from the planted labels."""
+        communities: Dict[str, Set[str]] = {}
+        for worker_id, reviewer in self.reviewers.items():
+            if reviewer.community_id is not None:
+                communities.setdefault(reviewer.community_id, set()).add(worker_id)
+        return communities
+
+    def class_aggregates(self) -> Dict[WorkerType, Dict[str, float]]:
+        """Per-class mean effort and mean feedback (the Fig. 7 bars).
+
+        Means are per-worker means averaged across workers, so prolific
+        reviewers do not dominate their class.
+        """
+        sums: Dict[WorkerType, List[Tuple[float, float]]] = {
+            worker_type: [] for worker_type in WorkerType
+        }
+        for worker_id, reviewer in self.reviewers.items():
+            reviews = self._by_worker.get(worker_id)
+            if not reviews:
+                continue
+            mean_effort = float(np.mean([r.latent_effort for r in reviews]))
+            mean_feedback = float(np.mean([r.upvotes for r in reviews]))
+            sums[reviewer.worker_type].append((mean_effort, mean_feedback))
+        aggregates: Dict[WorkerType, Dict[str, float]] = {}
+        for worker_type, entries in sums.items():
+            if entries:
+                efforts, feedbacks = zip(*entries)
+                aggregates[worker_type] = {
+                    "mean_effort": float(np.mean(efforts)),
+                    "mean_feedback": float(np.mean(feedbacks)),
+                    "n_workers": float(len(entries)),
+                }
+            else:
+                aggregates[worker_type] = {
+                    "mean_effort": 0.0,
+                    "mean_feedback": 0.0,
+                    "n_workers": 0.0,
+                }
+        return aggregates
+
+    # ------------------------------------------------------------------
+    # (De)serialization
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the trace as JSON lines (one record per line)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for product in self.products.values():
+                handle.write(
+                    json.dumps({"kind": "product", **asdict(product)}) + "\n"
+                )
+            for reviewer in self.reviewers.values():
+                record = asdict(reviewer)
+                record["worker_type"] = reviewer.worker_type.value
+                handle.write(json.dumps({"kind": "reviewer", **record}) + "\n")
+            for review in self.reviews:
+                handle.write(json.dumps({"kind": "review", **asdict(review)}) + "\n")
+
+    @staticmethod
+    def load(path) -> "ReviewTrace":
+        """Read a trace previously written by :meth:`save`."""
+        path = Path(path)
+        products: List[Product] = []
+        reviewers: List[Reviewer] = []
+        reviews: List[Review] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                kind = record.pop("kind", None)
+                if kind == "product":
+                    products.append(Product(**record))
+                elif kind == "reviewer":
+                    record["worker_type"] = WorkerType(record["worker_type"])
+                    reviewers.append(Reviewer(**record))
+                elif kind == "review":
+                    reviews.append(Review(**record))
+                else:
+                    raise DataError(
+                        f"{path}:{line_number}: unknown record kind {kind!r}"
+                    )
+        return ReviewTrace(products=products, reviewers=reviewers, reviews=reviews)

@@ -1,0 +1,66 @@
+"""Expert panel: ground-truth review scores (Section II).
+
+The paper measures review accuracy against "the average review score
+given by experts", treating that consensus as the task's ground truth.
+This module models the panel: experts observe a product's true quality
+with small independent errors and the consensus is their mean, clipped
+to the rating scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from .schema import MAX_RATING, MIN_RATING
+
+__all__ = ["ExpertPanel"]
+
+
+class ExpertPanel:
+    """A panel of expert reviewers producing consensus scores.
+
+    Args:
+        n_experts: panel size; the consensus error shrinks as
+            ``score_noise / sqrt(n_experts)``.
+        score_noise: standard deviation of one expert's error.
+        rng: numpy random generator (seeded by the caller).
+    """
+
+    def __init__(
+        self,
+        n_experts: int = 5,
+        score_noise: float = 0.2,
+        rng: np.random.Generator = None,
+    ) -> None:
+        if n_experts < 1:
+            raise DataError(f"n_experts must be >= 1, got {n_experts!r}")
+        if score_noise < 0.0:
+            raise DataError(f"score_noise must be >= 0, got {score_noise!r}")
+        self.n_experts = n_experts
+        self.score_noise = score_noise
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def consensus(self, true_quality: float) -> float:
+        """The panel's mean score for a product of given true quality."""
+        if not MIN_RATING <= true_quality <= MAX_RATING:
+            raise DataError(
+                f"true_quality must lie in [{MIN_RATING}, {MAX_RATING}], "
+                f"got {true_quality!r}"
+            )
+        errors = self._rng.normal(0.0, self.score_noise, size=self.n_experts)
+        score = true_quality + float(np.mean(errors))
+        return float(np.clip(score, MIN_RATING, MAX_RATING))
+
+    def consensus_batch(self, true_qualities: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`consensus` over many products."""
+        qualities = np.asarray(true_qualities, dtype=float)
+        if qualities.size and (
+            qualities.min() < MIN_RATING or qualities.max() > MAX_RATING
+        ):
+            raise DataError("true qualities must lie within the rating scale")
+        errors = self._rng.normal(
+            0.0, self.score_noise, size=(qualities.size, self.n_experts)
+        )
+        scores = qualities + errors.mean(axis=1)
+        return np.clip(scores, MIN_RATING, MAX_RATING)

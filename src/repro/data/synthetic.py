@@ -1,0 +1,522 @@
+"""Calibrated synthetic Amazon review trace (dataset substitution).
+
+The paper evaluates on a private Amazon trace ([13]) with ground-truth
+malice labels crawled from underground recruiting sites.  That dataset
+is not publicly distributable, so this module generates a synthetic
+trace calibrated to every statistic the paper publishes:
+
+* 118,142 reviews by 19,686 reviewers over 75,508 products;
+* 1,524 malicious reviewers, of which 212 collusive in 47 communities;
+* the Table II community-size histogram (matched as closely as 47
+  integer community sizes allow — see ``PAPER_COMMUNITY_SIZES``);
+* concave-quadratic feedback-vs-effort relations per worker class
+  (what makes the Table III order sweep favor quadratics);
+* similar effort distributions across classes but strongly inflated
+  collusive feedback via intra-community upvoting (the Fig. 7
+  signature);
+* honest ratings near the expert consensus, malicious ratings biased
+  upward — with a *subtle* malicious minority whose bias is small
+  ("biased but still accurate within a certain acceptable range"),
+  which is what makes the dynamic contract beat the exclusion baseline
+  in Fig. 8c.
+
+Every draw flows from one seeded :class:`numpy.random.Generator`, so a
+``(config, seed)`` pair pins the trace exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.effort import QuadraticEffort
+from ..errors import TraceCalibrationError
+from ..types import WorkerType
+from .dataset import ReviewTrace
+from .endorsements import EndorsementModel
+from .experts import ExpertPanel
+from .schema import MAX_RATING, MIN_RATING, Product, Review, Reviewer
+
+__all__ = ["TraceConfig", "AmazonTraceGenerator", "PAPER_COMMUNITY_SIZES"]
+
+#: 47 community sizes summing to 212 workers, matching Table II's
+#: histogram as closely as integers allow: 24 pairs (51.1% vs paper's
+#: 51.2%), 10 triples (21.3% / 22.0%), 3 of size 4 (6.4% / 7.3%), 1 of
+#: size 5 (2.1% / 2.4%), 5 of size 6 (10.6% / 9.8%), 2 in 7-9 (the
+#: paper's percentages only sum to 97.6%), and 2 of size >= 10
+#: (4.3% / 4.9%).
+PAPER_COMMUNITY_SIZES: Tuple[int, ...] = (
+    (40, 32, 8, 7) + (6,) * 5 + (5,) + (4,) * 3 + (3,) * 10 + (2,) * 24
+)
+
+#: Product categories the paper mentions.
+CATEGORIES: Tuple[str, ...] = ("electronics", "books", "beauty", "medications")
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """All calibration knobs of the synthetic trace.
+
+    The defaults reproduce the paper's full-scale dataset; use
+    :meth:`small` for test-sized traces with the same structure.
+
+    Attributes:
+        n_reviewers: total reviewers.
+        n_malicious: reviewers with a malicious planted label.
+        community_sizes: collusive community sizes (sum <= n_malicious).
+        n_products: total products.
+        n_reviews: total reviews (matched exactly).
+        n_prolific_honest: honest workers guaranteed many reviews
+            (Fig. 8a needs 200 honest workers with >= 20 reviews).
+        prolific_min_reviews: review floor for prolific workers.
+        prolific_extra_mean: Poisson mean of reviews beyond the floor.
+        mean_text_length: median review length in characters.
+        length_sigma: lognormal sigma of review length.
+        expertise_sigma: lognormal sigma of worker latent expertise.
+        effort_scale: converts expertise x normalized length to effort.
+        honest_psi / ncm_psi / cm_psi: per-class organic feedback curves.
+        honest_noise / ncm_noise / cm_noise: organic upvote noise std.
+        honest_worker_spread / ncm_worker_spread / cm_worker_spread: std
+            of the per-worker popularity offset shared by all of one
+            worker's reviews — the idiosyncratic spread that dominates
+            the Table III residual norms in the real trace.
+        boost_rate / boost_cap: collusive upvote model (per partner).
+        rating_noise: honest rating noise around true quality.
+        subtle_fraction: fraction of malicious workers with small bias.
+        subtle_bias: rating bias of subtle malicious workers.
+        bias_range: rating-bias range of blatant malicious workers.
+        ncm_reviews: (min, max) reviews per non-collusive malicious
+            worker (each on a distinct private target product).
+        cm_reviews: (min, max) reviews per collusive member (always
+            including the community's anchor product).
+    """
+
+    n_reviewers: int = 19_686
+    n_malicious: int = 1_524
+    community_sizes: Tuple[int, ...] = PAPER_COMMUNITY_SIZES
+    n_products: int = 75_508
+    n_reviews: int = 118_142
+    n_prolific_honest: int = 300
+    prolific_min_reviews: int = 20
+    prolific_extra_mean: float = 8.0
+    mean_text_length: float = 400.0
+    length_sigma: float = 0.5
+    expertise_sigma: float = 0.35
+    effort_scale: float = 2.0
+    honest_psi: QuadraticEffort = field(
+        default_factory=lambda: QuadraticEffort(r2=-0.05, r1=1.2, r0=0.5)
+    )
+    ncm_psi: QuadraticEffort = field(
+        default_factory=lambda: QuadraticEffort(r2=-0.04, r1=0.9, r0=0.3)
+    )
+    cm_psi: QuadraticEffort = field(
+        default_factory=lambda: QuadraticEffort(r2=-0.04, r1=0.9, r0=0.3)
+    )
+    honest_noise: float = 0.25
+    ncm_noise: float = 0.18
+    cm_noise: float = 0.8
+    honest_worker_spread: float = 0.6
+    ncm_worker_spread: float = 0.35
+    cm_worker_spread: float = 1.2
+    boost_rate: float = 0.8
+    boost_cap: int = 15
+    rating_noise: float = 0.35
+    subtle_fraction: float = 0.3
+    subtle_bias: float = 0.5
+    bias_range: Tuple[float, float] = (1.5, 3.0)
+    ncm_reviews: Tuple[int, int] = (2, 8)
+    cm_reviews: Tuple[int, int] = (2, 6)
+
+    def __post_init__(self) -> None:
+        if self.n_reviewers < 1 or self.n_products < 1 or self.n_reviews < 1:
+            raise TraceCalibrationError("counts must be positive")
+        if not 0 <= self.n_malicious <= self.n_reviewers:
+            raise TraceCalibrationError(
+                f"n_malicious={self.n_malicious} exceeds n_reviewers="
+                f"{self.n_reviewers}"
+            )
+        if any(size < 2 for size in self.community_sizes):
+            raise TraceCalibrationError("community sizes must all be >= 2")
+        if sum(self.community_sizes) > self.n_malicious:
+            raise TraceCalibrationError(
+                f"community sizes sum to {sum(self.community_sizes)} > "
+                f"n_malicious={self.n_malicious}"
+            )
+        if self.n_prolific_honest > self.n_honest:
+            raise TraceCalibrationError(
+                f"n_prolific_honest={self.n_prolific_honest} exceeds the "
+                f"{self.n_honest} honest workers"
+            )
+        if not 0.0 <= self.subtle_fraction <= 1.0:
+            raise TraceCalibrationError("subtle_fraction must lie in [0, 1]")
+        for name in ("honest_worker_spread", "ncm_worker_spread", "cm_worker_spread"):
+            if getattr(self, name) < 0.0:
+                raise TraceCalibrationError(f"{name} must be >= 0")
+        for name, (low, high) in (
+            ("ncm_reviews", self.ncm_reviews),
+            ("cm_reviews", self.cm_reviews),
+        ):
+            if not 1 <= low <= high:
+                raise TraceCalibrationError(f"{name} bounds are invalid: {low}..{high}")
+        min_reviews = self._min_total_reviews()
+        if self.n_reviews < min_reviews:
+            raise TraceCalibrationError(
+                f"n_reviews={self.n_reviews} cannot cover the structural "
+                f"minimum of {min_reviews}"
+            )
+        reserved = self._reserved_products()
+        if reserved > self.n_products:
+            raise TraceCalibrationError(
+                f"need {reserved} reserved target products but only "
+                f"{self.n_products} exist"
+            )
+
+    @property
+    def n_collusive(self) -> int:
+        """Workers inside collusive communities."""
+        return sum(self.community_sizes)
+
+    @property
+    def n_noncollusive_malicious(self) -> int:
+        """Malicious workers outside any community."""
+        return self.n_malicious - self.n_collusive
+
+    @property
+    def n_honest(self) -> int:
+        """Honest workers."""
+        return self.n_reviewers - self.n_malicious
+
+    def _min_total_reviews(self) -> int:
+        """Structural floor: every worker writes at least one review,
+        prolific workers write their floor, malicious their minimum."""
+        return (
+            (self.n_honest - self.n_prolific_honest)
+            + self.n_prolific_honest * self.prolific_min_reviews
+            + self.n_noncollusive_malicious * self.ncm_reviews[0]
+            + self.n_collusive * self.cm_reviews[0]
+        )
+
+    def _reserved_products(self) -> int:
+        """Products reserved as malicious targets (disjoint blocks, so
+        planted communities are exactly recoverable by clustering)."""
+        community_pool = sum(max(3, size) for size in self.community_sizes)
+        ncm_pool = self.n_noncollusive_malicious * self.ncm_reviews[1]
+        return community_pool + ncm_pool
+
+    @staticmethod
+    def paper() -> "TraceConfig":
+        """The full-scale configuration matching the paper's counts."""
+        return TraceConfig()
+
+    @staticmethod
+    def small(seed_sizes: Sequence[int] = (10, 6, 4, 3, 3, 2, 2, 2)) -> "TraceConfig":
+        """A test-sized trace preserving all structure (~6k reviews)."""
+        return TraceConfig(
+            n_reviewers=1_000,
+            n_malicious=110,
+            community_sizes=tuple(seed_sizes),
+            n_products=4_000,
+            n_reviews=6_000,
+            n_prolific_honest=40,
+        )
+
+
+class AmazonTraceGenerator:
+    """Seeded generator of calibrated synthetic review traces.
+
+    Args:
+        config: calibration targets; defaults to the paper's counts.
+        seed: seed of the single numpy generator driving every draw.
+    """
+
+    def __init__(self, config: TraceConfig = None, seed: int = 0) -> None:
+        self.config = config if config is not None else TraceConfig()
+        self.seed = seed
+
+    def generate(self) -> ReviewTrace:
+        """Produce the full trace."""
+        rng = np.random.default_rng(self.seed)
+        config = self.config
+
+        products = self._make_products(rng)
+        reviewers, communities = self._make_reviewers(rng)
+        counts = self._review_counts(rng, reviewers, communities)
+
+        reviews: List[Review] = []
+        review_counter = 0
+
+        # Disjoint target-product blocks: community pools first, then
+        # per-NCM private blocks; honest workers roam the whole catalog.
+        next_block = 0
+        community_pools: Dict[str, List[int]] = {}
+        for community_id, members in communities.items():
+            pool_size = max(3, len(members))
+            community_pools[community_id] = list(
+                range(next_block, next_block + pool_size)
+            )
+            next_block += pool_size
+
+        endorsements = {
+            WorkerType.HONEST: EndorsementModel(
+                config.honest_psi, noise_std=config.honest_noise
+            ),
+            WorkerType.NONCOLLUSIVE_MALICIOUS: EndorsementModel(
+                config.ncm_psi, noise_std=config.ncm_noise
+            ),
+            WorkerType.COLLUSIVE_MALICIOUS: EndorsementModel(
+                config.cm_psi,
+                noise_std=config.cm_noise,
+                boost_rate=config.boost_rate,
+                boost_cap=config.boost_cap,
+            ),
+        }
+
+        community_size = {cid: len(m) for cid, m in communities.items()}
+        bias_of = self._malicious_biases(rng, reviewers)
+        worker_spread = {
+            WorkerType.HONEST: config.honest_worker_spread,
+            WorkerType.NONCOLLUSIVE_MALICIOUS: config.ncm_worker_spread,
+            WorkerType.COLLUSIVE_MALICIOUS: config.cm_worker_spread,
+        }
+
+        for reviewer in reviewers:
+            n_worker_reviews = counts[reviewer.reviewer_id]
+            if n_worker_reviews == 0:
+                continue
+            worker_type = reviewer.worker_type
+            if worker_type is WorkerType.HONEST:
+                product_indices = self._honest_products(rng, n_worker_reviews)
+            elif worker_type is WorkerType.NONCOLLUSIVE_MALICIOUS:
+                product_indices = list(
+                    range(next_block, next_block + n_worker_reviews)
+                )
+                next_block += n_worker_reviews
+            else:
+                pool = community_pools[reviewer.community_id]
+                anchor = pool[0]
+                extras = [p for p in pool[1:]]
+                rng.shuffle(extras)
+                product_indices = [anchor] + extras[: n_worker_reviews - 1]
+
+            n_actual = len(product_indices)
+            lengths = np.maximum(
+                rng.lognormal(
+                    math.log(config.mean_text_length),
+                    config.length_sigma,
+                    size=n_actual,
+                ),
+                30.0,
+            )
+            psi = endorsements[worker_type].effort_function
+            efforts = (
+                reviewer.latent_expertise
+                * (lengths / config.mean_text_length)
+                * config.effort_scale
+            )
+            efforts = np.minimum(efforts, 0.95 * psi.max_increasing_effort)
+            n_partners = (
+                community_size[reviewer.community_id] - 1
+                if worker_type is WorkerType.COLLUSIVE_MALICIOUS
+                else 0
+            )
+            worker_offset = float(rng.normal(0.0, worker_spread[worker_type]))
+            upvotes = endorsements[worker_type].sample_upvotes(
+                efforts, n_partners, rng, worker_offset=worker_offset
+            )
+            ratings = self._ratings(
+                rng,
+                [products[index] for index in product_indices],
+                bias_of.get(reviewer.reviewer_id),
+            )
+            for position, product_index in enumerate(product_indices):
+                reviews.append(
+                    Review(
+                        review_id=f"r{review_counter:07d}",
+                        reviewer_id=reviewer.reviewer_id,
+                        product_id=products[product_index].product_id,
+                        rating=float(ratings[position]),
+                        text_length=int(lengths[position]),
+                        upvotes=int(upvotes[position]),
+                        latent_effort=float(efforts[position]),
+                    )
+                )
+                review_counter += 1
+
+        return ReviewTrace(products=products, reviewers=reviewers, reviews=reviews)
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+
+    def _make_products(self, rng: np.random.Generator) -> List[Product]:
+        config = self.config
+        qualities = np.clip(
+            rng.normal(3.6, 0.7, size=config.n_products), MIN_RATING, MAX_RATING
+        )
+        panel = ExpertPanel(n_experts=5, score_noise=0.2, rng=rng)
+        expert_scores = panel.consensus_batch(qualities)
+        categories = rng.choice(len(CATEGORIES), size=config.n_products)
+        return [
+            Product(
+                product_id=f"p{index:06d}",
+                true_quality=float(qualities[index]),
+                expert_score=float(expert_scores[index]),
+                category=CATEGORIES[categories[index]],
+            )
+            for index in range(config.n_products)
+        ]
+
+    def _make_reviewers(
+        self, rng: np.random.Generator
+    ) -> Tuple[List[Reviewer], Dict[str, List[str]]]:
+        config = self.config
+        expertise = rng.lognormal(0.0, config.expertise_sigma, size=config.n_reviewers)
+        reviewers: List[Reviewer] = []
+        communities: Dict[str, List[str]] = {}
+        index = 0
+        for _ in range(config.n_honest):
+            reviewers.append(
+                Reviewer(
+                    reviewer_id=f"w{index:05d}",
+                    worker_type=WorkerType.HONEST,
+                    latent_expertise=float(expertise[index]),
+                )
+            )
+            index += 1
+        for _ in range(config.n_noncollusive_malicious):
+            reviewers.append(
+                Reviewer(
+                    reviewer_id=f"w{index:05d}",
+                    worker_type=WorkerType.NONCOLLUSIVE_MALICIOUS,
+                    latent_expertise=float(expertise[index]),
+                )
+            )
+            index += 1
+        for community_index, size in enumerate(config.community_sizes):
+            community_id = f"c{community_index:03d}"
+            members: List[str] = []
+            for _ in range(size):
+                reviewer = Reviewer(
+                    reviewer_id=f"w{index:05d}",
+                    worker_type=WorkerType.COLLUSIVE_MALICIOUS,
+                    community_id=community_id,
+                    latent_expertise=float(expertise[index]),
+                )
+                reviewers.append(reviewer)
+                members.append(reviewer.reviewer_id)
+                index += 1
+            communities[community_id] = members
+        return reviewers, communities
+
+    def _review_counts(
+        self,
+        rng: np.random.Generator,
+        reviewers: Sequence[Reviewer],
+        communities: Dict[str, List[str]],
+    ) -> Dict[str, int]:
+        """Per-worker review counts summing exactly to ``n_reviews``."""
+        config = self.config
+        counts: Dict[str, int] = {}
+        honest_ids: List[str] = []
+        malicious_total = 0
+        for reviewer in reviewers:
+            if reviewer.worker_type is WorkerType.HONEST:
+                honest_ids.append(reviewer.reviewer_id)
+            elif reviewer.worker_type is WorkerType.NONCOLLUSIVE_MALICIOUS:
+                low, high = config.ncm_reviews
+                counts[reviewer.reviewer_id] = int(rng.integers(low, high + 1))
+                malicious_total += counts[reviewer.reviewer_id]
+            else:
+                low, high = config.cm_reviews
+                # A member cannot review more products than its
+                # community's pool holds (one review per product).
+                pool_size = max(3, len(communities[reviewer.community_id]))
+                draw = int(rng.integers(low, high + 1))
+                counts[reviewer.reviewer_id] = min(draw, pool_size)
+                malicious_total += counts[reviewer.reviewer_id]
+
+        honest_budget = config.n_reviews - malicious_total
+        n_prolific = config.n_prolific_honest
+        prolific = honest_ids[:n_prolific]
+        regular = honest_ids[n_prolific:]
+        for worker_id in prolific:
+            counts[worker_id] = config.prolific_min_reviews + int(
+                rng.poisson(config.prolific_extra_mean)
+            )
+        remaining = honest_budget - sum(counts[w] for w in prolific)
+        if regular:
+            if remaining < len(regular):
+                raise TraceCalibrationError(
+                    "review budget too small for every honest worker to review once"
+                )
+            mean_rest = remaining / len(regular)
+            draws = rng.geometric(min(1.0, 1.0 / mean_rest), size=len(regular))
+            for worker_id, draw in zip(regular, draws):
+                counts[worker_id] = int(draw)
+        # Exactly hit the target: push the residual onto random regular
+        # honest workers, one review at a time (never below one review).
+        pool = regular if regular else prolific
+        residual = config.n_reviews - sum(counts.values())
+        while residual != 0:
+            step = 1 if residual > 0 else -1
+            batch = min(abs(residual), len(pool))
+            chosen = rng.choice(len(pool), size=batch, replace=False)
+            for position in chosen:
+                worker_id = pool[position]
+                if step < 0 and counts[worker_id] <= 1:
+                    continue
+                counts[worker_id] += step
+                residual -= step
+                if residual == 0:
+                    break
+        return counts
+
+    def _honest_products(self, rng: np.random.Generator, count: int) -> List[int]:
+        """Catalog-wide product picks, distinct within the worker."""
+        chosen = rng.integers(0, self.config.n_products, size=count)
+        unique = list(dict.fromkeys(int(p) for p in chosen))
+        while len(unique) < count:
+            extra = int(rng.integers(0, self.config.n_products))
+            if extra not in unique:
+                unique.append(extra)
+        return unique
+
+    def _malicious_biases(
+        self, rng: np.random.Generator, reviewers: Sequence[Reviewer]
+    ) -> Dict[str, float]:
+        """Planted rating bias per malicious worker.
+
+        A ``subtle_fraction`` of malicious workers carries a small bias —
+        the "biased but still accurate within a certain acceptable range"
+        population whose feedback the dynamic contract can still harvest
+        (Fig. 8c).
+        """
+        config = self.config
+        biases: Dict[str, float] = {}
+        for reviewer in reviewers:
+            if not reviewer.is_malicious:
+                continue
+            if rng.random() < config.subtle_fraction:
+                biases[reviewer.reviewer_id] = config.subtle_bias
+            else:
+                low, high = config.bias_range
+                biases[reviewer.reviewer_id] = float(rng.uniform(low, high))
+        return biases
+
+    def _ratings(
+        self,
+        rng: np.random.Generator,
+        reviewed: Sequence[Product],
+        bias: float = None,
+    ) -> np.ndarray:
+        config = self.config
+        qualities = np.array([product.true_quality for product in reviewed])
+        noise = rng.normal(0.0, config.rating_noise, size=len(reviewed))
+        if bias is None:
+            ratings = qualities + noise
+        else:
+            ratings = qualities + bias + 0.85 * noise
+        return np.clip(ratings, MIN_RATING, MAX_RATING)

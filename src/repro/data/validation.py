@@ -1,0 +1,201 @@
+"""Trace calibration validation.
+
+Users generating custom traces (different counts, noise levels, ring
+structures) need to know whether the result still carries the structure
+the paper's pipeline assumes.  This module centralizes those checks into
+one report: exact-count calibration, planted-ring recoverability, the
+Fig. 7 feedback signature, and enough long-history honest workers for
+per-worker fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..collusion.clustering import cluster_collusive_workers
+from ..types import WorkerType
+from .dataset import ReviewTrace
+from .synthetic import TraceConfig
+
+__all__ = ["CalibrationCheck", "CalibrationReport", "validate_trace"]
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One named validation with its verdict.
+
+    Attributes:
+        name: what was checked.
+        passed: the verdict.
+        detail: measured-vs-expected context for failures.
+    """
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """All checks for one trace.
+
+    Attributes:
+        checks: the individual verdicts.
+    """
+
+    checks: Tuple[CalibrationCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every check passed."""
+        return all(check.passed for check in self.checks)
+
+    def failures(self) -> List[CalibrationCheck]:
+        """The failing checks."""
+        return [check for check in self.checks if not check.passed]
+
+    def format(self) -> str:
+        """Console rendering."""
+        lines = []
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            suffix = f"  ({check.detail})" if check.detail else ""
+            lines.append(f"[{mark}] {check.name}{suffix}")
+        return "\n".join(lines)
+
+
+def validate_trace(
+    trace: ReviewTrace,
+    config: Optional[TraceConfig] = None,
+    feedback_dominance: float = 1.5,
+    effort_similarity: float = 1.5,
+    min_prolific_fraction: float = 0.5,
+) -> CalibrationReport:
+    """Validate a trace against its config and the pipeline's assumptions.
+
+    Args:
+        trace: the trace to validate.
+        config: the calibration it was generated from; count checks are
+            skipped when omitted.
+        feedback_dominance: required ratio of collusive mean feedback
+            over the best other class (Fig. 7 signature).
+        effort_similarity: max allowed ratio between class mean efforts.
+        min_prolific_fraction: fraction of the configured prolific count
+            that must actually clear the review floor.
+
+    Returns:
+        The :class:`CalibrationReport`.
+    """
+    checks: List[CalibrationCheck] = []
+    stats = trace.stats()
+
+    if config is not None:
+        for name, expected, actual in (
+            ("n_reviews", config.n_reviews, stats["n_reviews"]),
+            ("n_reviewers", config.n_reviewers, stats["n_reviewers"]),
+            ("n_products", config.n_products, stats["n_products"]),
+            ("n_malicious", config.n_malicious, stats["n_malicious"]),
+            (
+                "n_collusive",
+                config.n_collusive,
+                stats["n_collusive_malicious"],
+            ),
+        ):
+            checks.append(
+                CalibrationCheck(
+                    name=f"count_{name}",
+                    passed=expected == actual,
+                    detail=f"expected {expected}, got {actual}",
+                )
+            )
+        planted_sizes = sorted(
+            len(members) for members in trace.planted_communities().values()
+        )
+        checks.append(
+            CalibrationCheck(
+                name="community_sizes_match_config",
+                passed=planted_sizes == sorted(config.community_sizes),
+                detail=f"planted {planted_sizes}",
+            )
+        )
+        prolific = trace.workers_with_min_reviews(
+            config.prolific_min_reviews, WorkerType.HONEST
+        )
+        needed = int(min_prolific_fraction * config.n_prolific_honest)
+        checks.append(
+            CalibrationCheck(
+                name="enough_prolific_honest_workers",
+                passed=len(prolific) >= needed,
+                detail=f"{len(prolific)} with >= {config.prolific_min_reviews} reviews",
+            )
+        )
+
+    # Ring recoverability: clustering on shared targets must reproduce
+    # the planted communities exactly.
+    clusters = cluster_collusive_workers(trace.malicious_targets())
+    planted = {
+        frozenset(members) for members in trace.planted_communities().values()
+    }
+    checks.append(
+        CalibrationCheck(
+            name="clustering_recovers_planted_rings",
+            passed=set(clusters.communities) == planted,
+            detail=(
+                f"found {clusters.n_communities} communities, "
+                f"planted {len(planted)}"
+            ),
+        )
+    )
+
+    # Fig. 7 signature.
+    aggregates = trace.class_aggregates()
+    efforts = [
+        aggregates[worker_type]["mean_effort"]
+        for worker_type in WorkerType
+        if aggregates[worker_type]["n_workers"] > 0
+    ]
+    if efforts and min(efforts) > 0:
+        checks.append(
+            CalibrationCheck(
+                name="efforts_similar_across_classes",
+                passed=max(efforts) <= effort_similarity * min(efforts),
+                detail=f"spread {max(efforts) / min(efforts):.2f}x",
+            )
+        )
+    cm = aggregates[WorkerType.COLLUSIVE_MALICIOUS]["mean_feedback"]
+    others = max(
+        aggregates[WorkerType.HONEST]["mean_feedback"],
+        aggregates[WorkerType.NONCOLLUSIVE_MALICIOUS]["mean_feedback"],
+    )
+    if others > 0:
+        checks.append(
+            CalibrationCheck(
+                name="collusive_feedback_dominates",
+                passed=cm >= feedback_dominance * others,
+                detail=f"ratio {cm / others:.2f}x",
+            )
+        )
+
+    # Malicious rating bias: required for Eq. (5) weights to separate.
+    honest_dev, malicious_dev = [], []
+    for review in trace.reviews:
+        reviewer = trace.reviewers[review.reviewer_id]
+        expert = trace.products[review.product_id].expert_score
+        target = malicious_dev if reviewer.is_malicious else honest_dev
+        target.append(abs(review.rating - expert))
+    if honest_dev and malicious_dev:
+        checks.append(
+            CalibrationCheck(
+                name="malicious_ratings_deviate_more",
+                passed=float(np.mean(malicious_dev))
+                > float(np.mean(honest_dev)),
+                detail=(
+                    f"malicious {np.mean(malicious_dev):.2f} vs honest "
+                    f"{np.mean(honest_dev):.2f}"
+                ),
+            )
+        )
+    return CalibrationReport(checks=tuple(checks))

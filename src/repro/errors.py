@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers embedding the library can catch a single base class.  Subclasses
+are organized by subsystem (model validation, contract design, fitting,
+data generation, simulation) so that tests and downstream tooling can
+assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "EffortFunctionError",
+    "ContractError",
+    "DesignError",
+    "InfeasibleDesignError",
+    "FitError",
+    "DataError",
+    "TraceCalibrationError",
+    "EstimationError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A model object (worker, utility, parameter set) is invalid."""
+
+
+class EffortFunctionError(ModelError):
+    """An effort function violates the paper's assumptions.
+
+    The contract-design algorithm of Section IV-C requires the effort
+    function ``psi`` to be concave, twice differentiable and strictly
+    increasing over the effort region under consideration.
+    """
+
+
+class ContractError(ReproError):
+    """A contract function is malformed (non-monotone, bad breakpoints)."""
+
+
+class DesignError(ReproError):
+    """The contract designer could not produce a valid contract."""
+
+
+class InfeasibleDesignError(DesignError):
+    """No candidate contract satisfies the design constraints."""
+
+
+class FitError(ReproError):
+    """Least-squares fitting failed or produced an unusable model."""
+
+
+class DataError(ReproError):
+    """A trace, review record or dataset is malformed."""
+
+
+class TraceCalibrationError(DataError):
+    """The synthetic trace generator cannot satisfy a calibration target."""
+
+
+class EstimationError(ReproError):
+    """Requester-side estimation (expertise, malice probability) failed."""
+
+
+class SimulationError(ReproError):
+    """The marketplace simulation entered an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured or produced no result."""

@@ -1,0 +1,11 @@
+"""Requester-side estimation: expertise, effort proxies, malice."""
+
+from .expertise import EffortProxy, estimate_expertise
+from .malice import DeviationMaliceEstimator, OracleMaliceEstimator
+
+__all__ = [
+    "EffortProxy",
+    "estimate_expertise",
+    "DeviationMaliceEstimator",
+    "OracleMaliceEstimator",
+]

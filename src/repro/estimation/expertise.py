@@ -1,0 +1,115 @@
+"""Requester-side expertise and effort estimation (Section V).
+
+The paper parametrizes its pipeline with observable proxies:
+
+* *expertise* of a worker — "the average feedback (upvotes) over all
+  reviews written by that worker";
+* *effort level* of a review — "the product of the worker's expertise
+  and the length of the review".
+
+These run on observables only (no oracle fields), exactly as a real
+requester would.  Proxies are normalized by corpus means so downstream
+effort grids stay O(1) regardless of raw upvote and character scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..data.dataset import ReviewTrace
+from ..errors import EstimationError
+
+__all__ = ["EffortProxy", "estimate_expertise"]
+
+
+def estimate_expertise(trace: ReviewTrace) -> Dict[str, float]:
+    """Per-worker expertise: mean upvotes over the worker's reviews.
+
+    Workers with no reviews get zero expertise.
+    """
+    expertise: Dict[str, float] = {}
+    for worker_id in trace.reviewers:
+        series = trace.series_of(worker_id)
+        expertise[worker_id] = series.mean_feedback
+    return expertise
+
+
+@dataclass(frozen=True)
+class EffortProxy:
+    """Effort estimator: normalized expertise x normalized length.
+
+    Attributes:
+        expertise: per-worker expertise (mean upvotes).
+        mean_expertise: corpus mean of positive expertise values.
+        mean_length: corpus mean review length.
+    """
+
+    expertise: Dict[str, float]
+    mean_expertise: float
+    mean_length: float
+
+    @staticmethod
+    def from_trace(trace: ReviewTrace) -> "EffortProxy":
+        """Fit the proxy's normalizers from a trace."""
+        if trace.n_reviews == 0:
+            raise EstimationError("cannot build an effort proxy from an empty trace")
+        expertise = estimate_expertise(trace)
+        positive = [value for value in expertise.values() if value > 0.0]
+        mean_expertise = float(np.mean(positive)) if positive else 1.0
+        mean_length = float(
+            np.mean([review.text_length for review in trace.reviews])
+        )
+        return EffortProxy(
+            expertise=expertise,
+            mean_expertise=max(mean_expertise, 1e-9),
+            mean_length=max(mean_length, 1.0),
+        )
+
+    def effort_of(self, worker_id: str, text_length: float) -> float:
+        """Estimated effort of one review."""
+        if worker_id not in self.expertise:
+            raise EstimationError(f"unknown worker {worker_id!r}")
+        if text_length <= 0.0:
+            raise EstimationError(f"text_length must be positive, got {text_length!r}")
+        normalized_expertise = self.expertise[worker_id] / self.mean_expertise
+        normalized_length = text_length / self.mean_length
+        return normalized_expertise * normalized_length
+
+    def worker_points(
+        self, trace: ReviewTrace, worker_id: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(estimated efforts, upvotes) for one worker's reviews.
+
+        This is the per-worker scatter Fig. 8a's per-worker fits use.
+        """
+        reviews = trace.reviews_of(worker_id)
+        efforts = np.array(
+            [self.effort_of(worker_id, review.text_length) for review in reviews]
+        )
+        upvotes = np.array([review.upvotes for review in reviews], dtype=float)
+        return efforts, upvotes
+
+    def class_points(
+        self, trace: ReviewTrace, worker_ids
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One (mean effort, mean feedback) point per worker.
+
+        These are the "data points ... from honest workers" the paper
+        feeds the Table III order sweep: one aggregated point per worker.
+        Workers without reviews are skipped.
+        """
+        efforts = []
+        feedbacks = []
+        for worker_id in worker_ids:
+            reviews = trace.reviews_of(worker_id)
+            if not reviews:
+                continue
+            per_review = [
+                self.effort_of(worker_id, review.text_length) for review in reviews
+            ]
+            efforts.append(float(np.mean(per_review)))
+            feedbacks.append(float(np.mean([r.upvotes for r in reviews])))
+        return np.asarray(efforts), np.asarray(feedbacks)

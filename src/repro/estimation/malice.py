@@ -1,0 +1,141 @@
+"""Malice-probability estimation (the ``e_mal`` of Eq. 5).
+
+The paper assumes the requester "can estimate an individual worker's
+performance and expected behavior with some ease, e.g. by comparing a
+worker's response with the estimated true response from a small number
+of experts" ([14], [15]).  We implement that deviation-based estimator,
+plus an oracle that reads the generator's planted labels — both produce
+the same ``worker -> e_mal in [0, 1]`` interface the designer consumes,
+so experiments can quantify how much estimator noise costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..data.dataset import ReviewTrace
+from ..errors import EstimationError
+
+__all__ = ["DeviationMaliceEstimator", "OracleMaliceEstimator", "deviation_to_malice"]
+
+
+def deviation_to_malice(
+    deviation: float,
+    honest_deviation: float = 0.4,
+    malicious_deviation: float = 1.5,
+    steepness: float = 4.0,
+) -> float:
+    """Logistic ramp from rating deviation to a malice probability.
+
+    Deviations around ``honest_deviation`` map near 0, around
+    ``malicious_deviation`` near 1.  Shared by the offline estimator and
+    the online (per-round) re-estimator.
+    """
+    if not 0.0 < honest_deviation < malicious_deviation:
+        raise EstimationError(
+            "need 0 < honest_deviation < malicious_deviation, got "
+            f"{honest_deviation!r} / {malicious_deviation!r}"
+        )
+    if steepness <= 0.0:
+        raise EstimationError(f"steepness must be positive, got {steepness!r}")
+    midpoint = 0.5 * (honest_deviation + malicious_deviation)
+    width = malicious_deviation - honest_deviation
+    z = steepness * (deviation - midpoint) / width
+    return 1.0 / (1.0 + math.exp(-z))
+
+
+@dataclass(frozen=True)
+class DeviationMaliceEstimator:
+    """Estimates ``e_mal`` from rating deviation against expert scores.
+
+    A worker whose mean absolute deviation from the expert consensus is
+    at or below ``honest_deviation`` scores ~0; deviations at or above
+    ``malicious_deviation`` score ~1; a logistic ramp interpolates in
+    between.  Shrinkage pulls small-sample workers toward the prior
+    (few reviews say little about intent).
+
+    Attributes:
+        honest_deviation: deviation typical of honest raters.
+        malicious_deviation: deviation typical of planted bias.
+        prior: e_mal assigned to workers with no reviews.
+        shrinkage_reviews: pseudo-count of prior-weighted reviews.
+        steepness: logistic steepness of the ramp.
+    """
+
+    honest_deviation: float = 0.4
+    malicious_deviation: float = 1.5
+    prior: float = 0.1
+    shrinkage_reviews: float = 2.0
+    steepness: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.honest_deviation < self.malicious_deviation:
+            raise EstimationError(
+                "need 0 < honest_deviation < malicious_deviation, got "
+                f"{self.honest_deviation!r} / {self.malicious_deviation!r}"
+            )
+        if not 0.0 <= self.prior <= 1.0:
+            raise EstimationError(f"prior must lie in [0, 1], got {self.prior!r}")
+        if self.shrinkage_reviews < 0.0 or self.steepness <= 0.0:
+            raise EstimationError("shrinkage_reviews >= 0 and steepness > 0 required")
+
+    def estimate(self, trace: ReviewTrace) -> Dict[str, float]:
+        """``worker -> e_mal`` over every reviewer in the trace."""
+        estimates: Dict[str, float] = {}
+        for worker_id in trace.reviewers:
+            reviews = trace.reviews_of(worker_id)
+            if not reviews:
+                estimates[worker_id] = self.prior
+                continue
+            deviations = [
+                abs(review.rating - trace.products[review.product_id].expert_score)
+                for review in reviews
+            ]
+            mean_deviation = float(np.mean(deviations))
+            raw = self._ramp(mean_deviation)
+            weight = len(reviews) / (len(reviews) + self.shrinkage_reviews)
+            estimates[worker_id] = weight * raw + (1.0 - weight) * self.prior
+        return estimates
+
+    def _ramp(self, deviation: float) -> float:
+        """Logistic ramp mapping deviation to [0, 1]."""
+        return deviation_to_malice(
+            deviation,
+            honest_deviation=self.honest_deviation,
+            malicious_deviation=self.malicious_deviation,
+            steepness=self.steepness,
+        )
+
+
+@dataclass(frozen=True)
+class OracleMaliceEstimator:
+    """Reads the planted labels (stands in for [13]'s crawled ground
+    truth, which the original study possessed).
+
+    Attributes:
+        certainty: the e_mal assigned to labelled-malicious workers;
+            honest workers get ``1 - certainty`` complement scaled by
+            ``honest_floor``.
+        honest_floor: the e_mal assigned to labelled-honest workers.
+    """
+
+    certainty: float = 0.95
+    honest_floor: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.honest_floor <= self.certainty <= 1.0:
+            raise EstimationError(
+                "need 0 <= honest_floor <= certainty <= 1, got "
+                f"{self.honest_floor!r} / {self.certainty!r}"
+            )
+
+    def estimate(self, trace: ReviewTrace) -> Dict[str, float]:
+        """``worker -> e_mal`` from the planted labels."""
+        return {
+            worker_id: (self.certainty if reviewer.is_malicious else self.honest_floor)
+            for worker_id, reviewer in trace.reviewers.items()
+        }

@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per table/figure of the paper."""
+
+from .common import ExperimentContext, ExperimentResult, build_context, clear_context_cache
+from .config import ExperimentConfig
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "build_context",
+    "clear_context_cache",
+    "ExperimentConfig",
+]

@@ -1,0 +1,159 @@
+"""Shared experiment context: trace, clustering, estimators, population.
+
+Building the full-scale trace takes a few seconds, so the context is
+cached per ``(scale, seed)`` — every experiment driver (and the
+benchmarks) then reuses the same materialized world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..collusion.clustering import CollusionClusters, cluster_collusive_workers
+from ..core.utility import RequesterObjective
+from ..data.dataset import ReviewTrace
+from ..data.synthetic import AmazonTraceGenerator
+from ..estimation.expertise import EffortProxy
+from ..estimation.malice import DeviationMaliceEstimator
+from ..types import RequesterParameters, WorkerType
+from ..workers.population import PopulationModel, build_population
+from .config import ExperimentConfig
+
+__all__ = ["ExperimentContext", "ExperimentResult", "build_context", "clear_context_cache"]
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the experiment drivers consume.
+
+    Attributes:
+        config: the experiment configuration.
+        trace: the generated review trace.
+        clusters: Section IV-A clustering of the malicious workers.
+        proxy: the effort-proxy estimator fitted on the trace.
+        malice: per-worker ``e_mal`` estimates.
+    """
+
+    config: ExperimentConfig
+    trace: ReviewTrace
+    clusters: CollusionClusters
+    proxy: EffortProxy
+    malice: Dict[str, float]
+    _population_cache: Dict[Tuple[float, Optional[int]], PopulationModel] = field(
+        default_factory=dict, repr=False
+    )
+
+    def objective(self, mu: Optional[float] = None) -> RequesterObjective:
+        """A requester objective at ``mu`` (default: the config's)."""
+        return RequesterObjective(
+            RequesterParameters(
+                mu=mu if mu is not None else self.config.mu_default,
+                weight_params=self.config.weight_params,
+            )
+        )
+
+    def invalidate_populations(self) -> None:
+        """Drop cached populations (needed after mutating their agents,
+        e.g. when an experiment plants strategic workers)."""
+        self._population_cache.clear()
+
+    def population(
+        self,
+        mu: Optional[float] = None,
+        honest_sample: Optional[int] = None,
+    ) -> PopulationModel:
+        """The assembled population (cached per ``(mu, honest_sample)``).
+
+        Args:
+            mu: requester compensation weight (weights themselves do not
+                depend on mu, but the objective carried downstream does).
+            honest_sample: cap on the number of honest workers included;
+                sampling is deterministic given the config seed.
+        """
+        key = (mu if mu is not None else self.config.mu_default, honest_sample)
+        if key not in self._population_cache:
+            honest_subset = None
+            if honest_sample is not None:
+                honest_ids = self.trace.worker_ids(WorkerType.HONEST)
+                if honest_sample < len(honest_ids):
+                    rng = np.random.default_rng(self.config.seed)
+                    chosen = rng.choice(
+                        len(honest_ids), size=honest_sample, replace=False
+                    )
+                    honest_subset = [honest_ids[i] for i in sorted(chosen)]
+                else:
+                    honest_subset = honest_ids
+            self._population_cache[key] = build_population(
+                trace=self.trace,
+                clusters=self.clusters,
+                proxy=self.proxy,
+                malice_estimates=self.malice,
+                objective=self.objective(mu),
+                behavior=self.config.behavior,
+                honest_subset=honest_subset,
+            )
+        return self._population_cache[key]
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result record every driver returns.
+
+    Attributes:
+        experiment_id: the DESIGN.md experiment id (e.g. ``"fig8b"``).
+        tables: formatted paper-vs-measured tables.
+        data: raw numeric payload for programmatic consumers.
+        checks: named boolean shape checks — the properties the paper's
+            narrative claims, verified on this run.
+    """
+
+    experiment_id: str
+    tables: List[str]
+    data: Dict[str, object]
+    checks: Dict[str, bool]
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """Whether every claimed shape property held."""
+        return all(self.checks.values())
+
+    def format(self) -> str:
+        """Console rendering: tables followed by the check list."""
+        lines = list(self.tables)
+        lines.append("-- shape checks --")
+        for name, passed in sorted(self.checks.items()):
+            lines.append(f"[{'PASS' if passed else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+
+_CONTEXT_CACHE: Dict[Tuple[str, int], ExperimentContext] = {}
+
+
+def build_context(config: Optional[ExperimentConfig] = None) -> ExperimentContext:
+    """Materialize (or fetch the cached) experiment world."""
+    config = config if config is not None else ExperimentConfig()
+    key = (config.scale, config.seed)
+    cached = _CONTEXT_CACHE.get(key)
+    if cached is not None and cached.config == config:
+        return cached
+    trace = AmazonTraceGenerator(config.trace_config(), seed=config.seed).generate()
+    clusters = cluster_collusive_workers(trace.malicious_targets())
+    proxy = EffortProxy.from_trace(trace)
+    malice = DeviationMaliceEstimator().estimate(trace)
+    context = ExperimentContext(
+        config=config,
+        trace=trace,
+        clusters=clusters,
+        proxy=proxy,
+        malice=malice,
+    )
+    _CONTEXT_CACHE[key] = context
+    return context
+
+
+def clear_context_cache() -> None:
+    """Drop all cached contexts (tests use this for isolation)."""
+    _CONTEXT_CACHE.clear()

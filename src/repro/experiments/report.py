@@ -1,0 +1,87 @@
+"""Markdown report generation for experiment runs.
+
+``python -m repro report --out results.md`` runs the selected
+experiments and writes a self-contained markdown report: one section per
+experiment with its paper-vs-measured tables (as fenced monospace
+blocks) and its shape-check verdicts.  EXPERIMENTS.md in this repository
+was seeded from exactly this output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..errors import ExperimentError
+from .common import ExperimentResult, build_context
+from .config import ExperimentConfig
+from .runner import EXPERIMENTS, EXTENSIONS
+
+__all__ = ["render_markdown", "write_report"]
+
+
+def render_markdown(results: Sequence[ExperimentResult], title: str) -> str:
+    """Render experiment results as a markdown document."""
+    if not results:
+        raise ExperimentError("no results to render")
+    lines: List[str] = [f"# {title}", ""]
+    n_pass = sum(1 for r in results for ok in r.checks.values() if ok)
+    n_total = sum(len(r.checks) for r in results)
+    lines.append(
+        f"**{len(results)} experiments, {n_pass}/{n_total} shape checks "
+        f"passing.**"
+    )
+    lines.append("")
+    for result in results:
+        lines.append(f"## {result.experiment_id}")
+        lines.append("")
+        for table in result.tables:
+            lines.append("```")
+            lines.append(table)
+            lines.append("```")
+            lines.append("")
+        lines.append("Shape checks:")
+        lines.append("")
+        for name, passed in sorted(result.checks.items()):
+            mark = "x" if passed else " "
+            lines.append(f"- [{mark}] {name}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    out_path,
+    config: Optional[ExperimentConfig] = None,
+    experiment_ids: Optional[Sequence[str]] = None,
+    include_extensions: bool = True,
+) -> Path:
+    """Run experiments and write the markdown report.
+
+    Args:
+        out_path: destination file.
+        config: experiment configuration (paper scale by default).
+        experiment_ids: explicit subset; ``None`` runs everything (paper
+            artifacts, plus extensions when ``include_extensions``).
+        include_extensions: include the ``ext_*`` drivers in a full run.
+
+    Returns:
+        The path written.
+    """
+    config = config if config is not None else ExperimentConfig()
+    registry = {**EXPERIMENTS, **EXTENSIONS}
+    if experiment_ids is None:
+        experiment_ids = list(EXPERIMENTS)
+        if include_extensions:
+            experiment_ids += list(EXTENSIONS)
+    unknown = [eid for eid in experiment_ids if eid not in registry]
+    if unknown:
+        raise ExperimentError(f"unknown experiment ids: {unknown!r}")
+
+    context = build_context(config)
+    results = [registry[eid](context) for eid in experiment_ids]
+    title = (
+        f"Reproduction report — scale={config.scale}, seed={config.seed}"
+    )
+    out_path = Path(out_path)
+    out_path.write_text(render_markdown(results, title), encoding="utf-8")
+    return out_path

@@ -1,0 +1,71 @@
+"""Run-all driver: every table and figure in one call."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ExperimentError
+from . import (
+    ext_adaptive,
+    ext_budget,
+    ext_camouflage,
+    ext_labeling,
+    ext_retention,
+    fig6_bounds,
+    fig7_worker_types,
+    fig8a_compensation,
+    fig8b_mu_sweep,
+    fig8c_baseline,
+    table2_communities,
+    table3_fitting,
+)
+from .common import ExperimentContext, ExperimentResult, build_context
+from .config import ExperimentConfig
+
+__all__ = ["EXPERIMENTS", "EXTENSIONS", "run_experiment", "run_all"]
+
+#: Experiment id -> driver, in the order the paper presents them.
+EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentContext]], ExperimentResult]] = {
+    "table2": table2_communities.run,
+    "table3": table3_fitting.run,
+    "fig6": fig6_bounds.run,
+    "fig7": fig7_worker_types.run,
+    "fig8a": fig8a_compensation.run,
+    "fig8b": fig8b_mu_sweep.run,
+    "fig8c": fig8c_baseline.run,
+}
+
+#: Extension experiments realizing the paper's Section VII future work.
+EXTENSIONS: Dict[str, Callable[[Optional[ExperimentContext]], ExperimentResult]] = {
+    "ext_adaptive": ext_adaptive.run,
+    "ext_budget": ext_budget.run,
+    "ext_camouflage": ext_camouflage.run,
+    "ext_labeling": ext_labeling.run,
+    "ext_retention": ext_retention.run,
+}
+
+
+def run_experiment(
+    experiment_id: str, config: Optional[ExperimentConfig] = None
+) -> ExperimentResult:
+    """Run one experiment (paper artifact or extension) by id."""
+    registry = {**EXPERIMENTS, **EXTENSIONS}
+    if experiment_id not in registry:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(registry)}"
+        )
+    context = build_context(config)
+    return registry[experiment_id](context)
+
+
+def run_all(
+    config: Optional[ExperimentConfig] = None,
+    include_extensions: bool = False,
+) -> List[ExperimentResult]:
+    """Run every paper experiment (and optionally the extensions)."""
+    context = build_context(config)
+    drivers = list(EXPERIMENTS.values())
+    if include_extensions:
+        drivers.extend(EXTENSIONS.values())
+    return [driver(context) for driver in drivers]

@@ -1,0 +1,73 @@
+"""Table II: distribution of collusive-community sizes.
+
+Runs Section IV-A clustering over the trace's malicious workers and
+reports the community-size histogram in the paper's bucketing, alongside
+the paper's published percentages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..collusion.communities import community_size_table
+from ..metrics.comparison import ComparisonTable
+from .common import ExperimentContext, ExperimentResult, build_context
+from .config import ExperimentConfig
+
+__all__ = ["run"]
+
+#: The percentages Table II prints (size bucket -> % of communities).
+PAPER_TABLE_II = {"2": 51.2, "3": 22.0, "4": 7.3, "5": 2.4, "6": 9.8, ">=10": 4.9}
+
+#: Headline counts quoted in Section V's prose.
+PAPER_N_COMMUNITIES = 47
+PAPER_N_COLLUSIVE = 212
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """Regenerate Table II.
+
+    Args:
+        context: a prebuilt experiment context (a fresh paper-scale one
+            is built when omitted).
+    """
+    context = context if context is not None else build_context(ExperimentConfig())
+    clusters = context.clusters
+    size_table = community_size_table(clusters)
+
+    table = ComparisonTable(title="Table II: collusive community sizes (%)", rows=[])
+    for label, measured in size_table.as_rows():
+        table.add(label=f"size {label}", measured=measured, paper=PAPER_TABLE_II[label])
+    table.add(
+        label="n_communities",
+        measured=float(clusters.n_communities),
+        paper=float(PAPER_N_COMMUNITIES),
+    )
+    table.add(
+        label="n_collusive_workers",
+        measured=float(clusters.n_collusive_workers),
+        paper=float(PAPER_N_COLLUSIVE),
+    )
+
+    planted = {
+        frozenset(members)
+        for members in context.trace.planted_communities().values()
+    }
+    found = set(clusters.communities)
+    checks = {
+        "pairs_are_the_most_common_size": size_table.percentage(2)
+        == max(pct for _, pct in size_table.as_rows()),
+        "clustering_recovers_planted_communities": planted == found,
+        "all_collusive_workers_assigned": clusters.n_collusive_workers
+        == sum(len(c) for c in planted),
+    }
+    return ExperimentResult(
+        experiment_id="table2",
+        tables=[table.format(), size_table.format()],
+        data={
+            "histogram": clusters.size_histogram(),
+            "n_communities": clusters.n_communities,
+            "n_collusive_workers": clusters.n_collusive_workers,
+        },
+        checks=checks,
+    )

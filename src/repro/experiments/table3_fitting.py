@@ -1,0 +1,109 @@
+"""Table III: norm of residual across polynomial orders, per class.
+
+Fits polynomial orders 1..6 to one (mean effort, mean feedback) point
+per worker — honest, non-collusive malicious, collusive malicious —
+mirroring Section IV-B's fit over 18,176 / 1,312 / 212 data points, and
+reproduces the selection argument: NoR is nearly flat across orders, so
+the quadratic wins on simplicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..fitting.selection import TABLE_III_LABELS, TABLE_III_ORDERS, sweep_orders
+from ..metrics.comparison import ComparisonTable
+from ..types import WorkerType
+from .common import ExperimentContext, ExperimentResult, build_context
+from .config import ExperimentConfig
+
+__all__ = ["run"]
+
+#: The NoR rows Table III prints.
+PAPER_TABLE_III = {
+    "Honest": {1: 13.8, 2: 13.7, 3: 13.7, 4: 13.7, 5: 13.7, 6: 13.7},
+    "NC-Mal": {1: 2.60, 2: 2.60, 3: 2.60, 4: 2.59, 5: 2.59, 6: 2.59},
+    "C-Mal": {1: 11.3, 2: 11.3, 3: 11.3, 4: 11.3, 5: 11.3, 6: 11.3},
+}
+
+#: The relative NoR flatness the selection argument needs: from order 2
+#: on, no higher order improves the (dof-adjusted) residual by more than
+#: this factor.  The paper's real trace is noise-dominated (sub-1%
+#: differences); our synthetic trace carries the effort proxy's
+#: multiplicative distortion undiluted, leaving higher orders ~5-7%
+#: headroom — still far below a complexity-justifying gain.
+_FLATNESS_TOLERANCE = 0.10
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """Regenerate Table III."""
+    context = context if context is not None else build_context(ExperimentConfig())
+    trace, proxy, clusters = context.trace, context.proxy, context.clusters
+
+    class_ids = {
+        "Honest": trace.worker_ids(WorkerType.HONEST),
+        "NC-Mal": sorted(clusters.noncollusive),
+        "C-Mal": sorted(
+            worker for community in clusters.communities for worker in community
+        ),
+    }
+
+    tables = []
+    data: Dict[str, object] = {}
+    checks: Dict[str, bool] = {}
+    for class_label, worker_ids in class_ids.items():
+        efforts, feedbacks = proxy.class_points(trace, worker_ids)
+        sweep = sweep_orders(efforts, feedbacks, orders=TABLE_III_ORDERS)
+        nors = sweep.nor_row()
+        data[f"nor_{class_label}"] = nors
+        data[f"n_points_{class_label}"] = len(efforts)
+
+        table = ComparisonTable(
+            title=f"Table III ({class_label}, {len(efforts)} points): NoR by order",
+            rows=[],
+        )
+        for order, measured in zip(TABLE_III_ORDERS, nors):
+            table.add(
+                label=TABLE_III_LABELS[order],
+                measured=measured,
+                paper=PAPER_TABLE_III[class_label][order],
+                note="absolute NoR depends on trace scale; flatness is the claim",
+            )
+        tables.append(table.format())
+
+        # The selection argument Table III supports: from order 2 on the
+        # residual norm is flat — higher orders buy (almost) nothing —
+        # so the quadratic is the complexity knee.  Residuals are
+        # degrees-of-freedom adjusted: with n points an order-k fit
+        # shrinks the raw norm by ~sqrt((n-k-1)/n) on pure noise, which
+        # at small n masquerades as an improvement.  (Our synthetic
+        # trace has a cleaner effort->feedback signal than the noise-
+        # dominated real trace, so the *linear* column is visibly worse
+        # than the paper's; the quadratic-selection conclusion is
+        # unchanged — see EXPERIMENTS.md.)
+        n_points = len(efforts)
+        adjusted = [
+            nor / np.sqrt(max(n_points - order - 1, 1))
+            for order, nor in zip(TABLE_III_ORDERS, nors)
+        ]
+        quad_and_up = adjusted[1:]
+        checks[f"{class_label}_nor_flat_from_quadratic_on"] = max(
+            quad_and_up
+        ) <= min(quad_and_up) * (1.0 + _FLATNESS_TOLERANCE)
+        checks[f"{class_label}_quadratic_selected"] = adjusted[1] <= min(
+            adjusted
+        ) * (1.0 + _FLATNESS_TOLERANCE)
+        checks[f"{class_label}_linear_never_better_than_quadratic"] = (
+            adjusted[0] >= adjusted[1] * (1.0 - 1e-9)
+        )
+    checks["ordering_matches_paper_honest_gt_cmal_gt_ncmal"] = (
+        data["nor_Honest"][1] > data["nor_C-Mal"][1] > data["nor_NC-Mal"][1]
+    )
+    return ExperimentResult(
+        experiment_id="table3",
+        tables=tables,
+        data=data,
+        checks=checks,
+    )

@@ -1,0 +1,27 @@
+"""Effort-function fitting (Section IV-B / Table III of the paper)."""
+
+from .polynomial import PolynomialModel, fit_polynomial
+from .quadratic import fit_concave_quadratic
+from .residuals import norm_of_residual, r_squared, residuals, rmse
+from .selection import (
+    TABLE_III_LABELS,
+    TABLE_III_ORDERS,
+    OrderSweep,
+    select_order,
+    sweep_orders,
+)
+
+__all__ = [
+    "PolynomialModel",
+    "fit_polynomial",
+    "fit_concave_quadratic",
+    "norm_of_residual",
+    "r_squared",
+    "residuals",
+    "rmse",
+    "TABLE_III_LABELS",
+    "TABLE_III_ORDERS",
+    "OrderSweep",
+    "select_order",
+    "sweep_orders",
+]

@@ -1,0 +1,137 @@
+"""Least-squares polynomial fitting (the Section IV-B substrate).
+
+The paper fits workers' observed (effort, feedback) pairs with
+polynomials of orders 1 through 6 and compares their norm of residual
+(Table III).  We implement the fit from first principles — a scaled
+Vandermonde design matrix solved with ``numpy.linalg.lstsq`` — rather
+than calling ``numpy.polyfit``, both to keep the substrate self-contained
+and so tests can cross-check the two implementations against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import FitError
+
+__all__ = ["PolynomialModel", "fit_polynomial"]
+
+
+@dataclass(frozen=True)
+class PolynomialModel:
+    """A fitted polynomial ``sum_j coeffs[j] * x**(order - j)``.
+
+    Coefficients are stored highest degree first (the paper's
+    ``(r2, r1, r0)`` convention for quadratics).
+
+    Attributes:
+        coefficients: highest-degree-first coefficients, length
+            ``order + 1``.
+        scale: the abscissa scaling applied before solving (for
+            conditioning); evaluation undoes it transparently.
+    """
+
+    coefficients: Tuple[float, ...]
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.coefficients) < 1:
+            raise FitError("a polynomial needs at least one coefficient")
+        if not np.isfinite(self.coefficients).all():
+            raise FitError(f"non-finite coefficients: {self.coefficients!r}")
+        if self.scale <= 0.0:
+            raise FitError(f"scale must be positive, got {self.scale!r}")
+
+    @property
+    def order(self) -> int:
+        """Degree of the polynomial."""
+        return len(self.coefficients) - 1
+
+    def __call__(self, x):
+        """Evaluate at a scalar or numpy array (Horner's rule)."""
+        scaled = np.asarray(x, dtype=float) / self.scale
+        result = np.zeros_like(scaled)
+        for coefficient in self.coefficients:
+            result = result * scaled + coefficient
+        if np.ndim(x) == 0:
+            return float(result)
+        return result
+
+    def unscaled_coefficients(self) -> Tuple[float, ...]:
+        """Coefficients in the original (unscaled) abscissa.
+
+        ``p(x) = sum_j c_j * (x / s)**d_j  =  sum_j (c_j / s**d_j) * x**d_j``
+        """
+        order = self.order
+        return tuple(
+            coefficient / self.scale ** (order - index)
+            for index, coefficient in enumerate(self.coefficients)
+        )
+
+    def derivative_at(self, x: float) -> float:
+        """First derivative evaluated at ``x``."""
+        scaled = x / self.scale
+        order = self.order
+        total = 0.0
+        for index, coefficient in enumerate(self.coefficients[:-1]):
+            degree = order - index
+            total += degree * coefficient * scaled ** (degree - 1)
+        return total / self.scale
+
+
+def fit_polynomial(
+    x: Sequence[float],
+    y: Sequence[float],
+    order: int,
+    rescale: bool = True,
+) -> PolynomialModel:
+    """Least-squares fit of a degree-``order`` polynomial.
+
+    Args:
+        x: abscissae (e.g. effort levels).
+        y: ordinates (e.g. feedback values).
+        order: polynomial degree, ``>= 0``.
+        rescale: divide abscissae by their max magnitude before building
+            the Vandermonde matrix; ill-conditioning at order 6 over raw
+            effort magnitudes is otherwise severe.
+
+    Returns:
+        The fitted :class:`PolynomialModel`.
+
+    Raises:
+        FitError: on shape mismatch, too few points, or a degenerate
+            design matrix.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.ndim != 1 or y_arr.ndim != 1:
+        raise FitError("x and y must be one-dimensional")
+    if x_arr.shape != y_arr.shape:
+        raise FitError(
+            f"x ({x_arr.shape}) and y ({y_arr.shape}) must have the same length"
+        )
+    if order < 0:
+        raise FitError(f"order must be >= 0, got {order!r}")
+    if x_arr.size < order + 1:
+        raise FitError(
+            f"need at least {order + 1} points for an order-{order} fit, "
+            f"got {x_arr.size}"
+        )
+    if not np.isfinite(x_arr).all() or not np.isfinite(y_arr).all():
+        raise FitError("x and y must be finite")
+
+    scale = float(np.max(np.abs(x_arr))) if rescale else 1.0
+    if scale == 0.0:
+        scale = 1.0
+    scaled = x_arr / scale
+    # Vandermonde with columns x^order, ..., x^1, 1 (highest degree first).
+    design = np.vander(scaled, N=order + 1, increasing=False)
+    solution, _, rank, _ = np.linalg.lstsq(design, y_arr, rcond=None)
+    if rank < order + 1 and np.unique(x_arr).size > order:
+        raise FitError(
+            f"design matrix is rank deficient (rank {rank} < {order + 1})"
+        )
+    return PolynomialModel(coefficients=tuple(float(c) for c in solution), scale=scale)

@@ -1,0 +1,88 @@
+"""Concave-constrained quadratic fits producing valid effort functions.
+
+The contract designer needs effort functions that satisfy the paper's
+standing assumptions: concave (``r2 < 0``), increasing at zero effort
+(``r1 > 0``) and with non-negative baseline feedback (``r0 >= 0``).  An
+unconstrained least-squares quadratic over noisy per-worker data can
+violate any of them, so this module fits with repair: start from the
+unconstrained solution, then clamp each offending coefficient in turn
+and re-solve the remaining ones — each re-solve is again a plain
+least-squares problem, so the result stays the constrained optimum for
+the coefficients still free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.effort import QuadraticEffort
+from ..errors import FitError
+from .polynomial import fit_polynomial
+
+__all__ = ["fit_concave_quadratic"]
+
+
+def fit_concave_quadratic(
+    x: Sequence[float],
+    y: Sequence[float],
+    min_curvature: float = None,
+    min_slope: float = None,
+) -> QuadraticEffort:
+    """Fit ``psi(y) = r2*y^2 + r1*y + r0`` with the paper's constraints.
+
+    Args:
+        x: effort levels (non-negative).
+        y: feedback values.
+        min_curvature: smallest admissible ``|r2|``; defaults to a scale
+            set by the data (``y_span / x_span**2 * 1e-3``) so a nearly
+            linear cloud still produces a usable concave function.
+        min_slope: smallest admissible ``r1``; defaults analogously to
+            ``y_span / x_span * 1e-3``.
+
+    Returns:
+        A valid :class:`~repro.core.effort.QuadraticEffort`.
+
+    Raises:
+        FitError: when fewer than three points are given or the data is
+            degenerate (no effort spread).
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size < 3:
+        raise FitError(f"need at least 3 points for a quadratic fit, got {x_arr.size}")
+    if np.any(x_arr < 0.0):
+        raise FitError("effort levels must be non-negative")
+    x_span = float(x_arr.max() - x_arr.min())
+    if x_span <= 0.0:
+        raise FitError("effort levels are all identical; cannot fit a quadratic")
+    y_span = float(max(y_arr.max() - y_arr.min(), abs(y_arr).max(), 1.0))
+    if min_curvature is None:
+        min_curvature = 1e-3 * y_span / (x_span * x_span)
+    if min_slope is None:
+        min_slope = 1e-3 * y_span / x_span
+    if min_curvature <= 0.0 or min_slope <= 0.0:
+        raise FitError("min_curvature and min_slope must be positive")
+
+    model = fit_polynomial(x_arr, y_arr, order=2)
+    r2, r1, r0 = model.unscaled_coefficients()
+
+    if r2 > -min_curvature:
+        # Curvature violated: pin r2 and re-solve (r1, r0) by least squares.
+        r2 = -min_curvature
+        r1, r0 = _refit_linear(x_arr, y_arr - r2 * x_arr * x_arr)
+    if r1 < min_slope:
+        # Slope violated: pin r1 too and re-solve the intercept alone.
+        r1 = min_slope
+        r0 = float(np.mean(y_arr - r2 * x_arr * x_arr - r1 * x_arr))
+    if r0 < 0.0:
+        r0 = 0.0
+    return QuadraticEffort(r2=float(r2), r1=float(r1), r0=float(r0))
+
+
+def _refit_linear(x: np.ndarray, target: np.ndarray):
+    """Least-squares ``target ~ r1*x + r0``."""
+    design = np.column_stack([x, np.ones_like(x)])
+    (slope, intercept), _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+    return float(slope), float(intercept)

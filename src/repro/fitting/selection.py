@@ -1,0 +1,108 @@
+"""Model selection across polynomial orders (the Table III sweep).
+
+Section IV-B fits polynomial orders 1..6 to each worker class, compares
+norms of residual, and — because the NoRs are nearly identical while
+complexity grows — settles on quadratics.  This module reproduces that
+sweep and encodes the paper's selection rule: pick the lowest order
+whose NoR is within a tolerance of the best order's NoR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..errors import FitError
+from .polynomial import PolynomialModel, fit_polynomial
+from .residuals import norm_of_residual
+
+__all__ = ["OrderSweep", "sweep_orders", "select_order"]
+
+#: The polynomial orders Table III compares.
+TABLE_III_ORDERS: Tuple[int, ...] = (1, 2, 3, 4, 5, 6)
+
+#: Column labels, in the paper's order.
+TABLE_III_LABELS: Dict[int, str] = {
+    1: "linear",
+    2: "quad",
+    3: "cubic",
+    4: "4th",
+    5: "5th",
+    6: "6th",
+}
+
+
+@dataclass(frozen=True)
+class OrderSweep:
+    """Fits and NoRs across polynomial orders for one dataset.
+
+    Attributes:
+        models: fitted model per order.
+        nors: norm of residual per order.
+    """
+
+    models: Dict[int, PolynomialModel]
+    nors: Dict[int, float]
+
+    def nor_row(self, orders: Sequence[int] = TABLE_III_ORDERS) -> Tuple[float, ...]:
+        """NoRs in the requested column order (a Table III row)."""
+        missing = [order for order in orders if order not in self.nors]
+        if missing:
+            raise FitError(f"sweep has no fits for orders {missing!r}")
+        return tuple(self.nors[order] for order in orders)
+
+    @property
+    def best_order(self) -> int:
+        """The order with the strictly smallest NoR."""
+        return min(self.nors, key=lambda order: (self.nors[order], order))
+
+    def selected_order(self, tolerance: float = 0.02) -> int:
+        """The paper's rule: lowest order within ``tolerance`` of the best.
+
+        ``tolerance`` is relative: an order qualifies when its NoR is at
+        most ``(1 + tolerance)`` times the best NoR.  Table III's NoRs
+        differ by well under 2% across orders, which is why the paper
+        picks the quadratic ("considering the complexity of the
+        functions").
+        """
+        if tolerance < 0.0:
+            raise FitError(f"tolerance must be >= 0, got {tolerance!r}")
+        best = self.nors[self.best_order]
+        ceiling = best * (1.0 + tolerance) if best > 0.0 else tolerance
+        for order in sorted(self.nors):
+            if self.nors[order] <= ceiling:
+                return order
+        return self.best_order
+
+
+def sweep_orders(
+    x: Sequence[float],
+    y: Sequence[float],
+    orders: Sequence[int] = TABLE_III_ORDERS,
+) -> OrderSweep:
+    """Fit every order and record its NoR.
+
+    Args:
+        x: effort levels.
+        y: feedback values.
+        orders: polynomial orders to try (defaults to Table III's 1..6).
+    """
+    if not orders:
+        raise FitError("at least one order is required")
+    models: Dict[int, PolynomialModel] = {}
+    nors: Dict[int, float] = {}
+    for order in orders:
+        model = fit_polynomial(x, y, order=order)
+        models[order] = model
+        nors[order] = norm_of_residual(model, x, y)
+    return OrderSweep(models=models, nors=nors)
+
+
+def select_order(
+    x: Sequence[float],
+    y: Sequence[float],
+    orders: Sequence[int] = TABLE_III_ORDERS,
+    tolerance: float = 0.02,
+) -> int:
+    """Run the sweep and apply the paper's selection rule in one call."""
+    return sweep_orders(x, y, orders=orders).selected_order(tolerance=tolerance)

@@ -1,0 +1,22 @@
+"""Classification-task extension (the paper's Section VII plan)."""
+
+from .accuracy import AccuracyModel, quadratic_feedback_approximation
+from .aggregate import labeling_accuracy, majority_vote, weighted_vote
+from .simulate import LabelingMarket, LabelingRoundResult
+from .tasks import BinaryTask, TaskBatch, TaskGenerator
+from .workers import LabelSheet, LabelingWorker
+
+__all__ = [
+    "AccuracyModel",
+    "quadratic_feedback_approximation",
+    "labeling_accuracy",
+    "majority_vote",
+    "weighted_vote",
+    "LabelingMarket",
+    "LabelingRoundResult",
+    "BinaryTask",
+    "TaskBatch",
+    "TaskGenerator",
+    "LabelSheet",
+    "LabelingWorker",
+]

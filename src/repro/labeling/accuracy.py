@@ -1,0 +1,117 @@
+"""Effort-to-accuracy model and its quadratic feedback approximation.
+
+In the labeling extension, a worker's *feedback* for a batch is the
+number of its labels that agree with the reference (expert/consensus)
+labels — the classification analogue of review upvotes.  Accuracy rises
+with effort with diminishing returns:
+
+    p(y, d) = 0.5 + (p_max - 0.5) * (1 - exp(-y / scale)) * (1 - d)
+
+(``d`` = task difficulty; zero effort is a coin flip, infinite effort
+saturates at ``p_max`` attenuated by difficulty).  Expected batch
+feedback ``n * E_d[p(y, d)]`` is then concave and increasing in effort,
+so the paper's contract machinery applies once it is approximated by a
+concave quadratic over the relevant effort region — precisely the
+Section IV-B fitting step, with the saturating exponential playing the
+role of the unknown true curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.effort import QuadraticEffort
+from ..errors import ModelError
+from ..fitting.quadratic import fit_concave_quadratic
+from .tasks import TaskBatch
+
+__all__ = ["AccuracyModel", "quadratic_feedback_approximation"]
+
+
+@dataclass(frozen=True)
+class AccuracyModel:
+    """Saturating effort-to-accuracy curve.
+
+    Attributes:
+        p_max: asymptotic accuracy on a zero-difficulty task (in
+            ``(0.5, 1]``).
+        effort_scale: effort at which ~63% of the accuracy headroom is
+            realized.
+    """
+
+    p_max: float = 0.95
+    effort_scale: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.5 < self.p_max <= 1.0:
+            raise ModelError(f"p_max must lie in (0.5, 1], got {self.p_max!r}")
+        if self.effort_scale <= 0.0:
+            raise ModelError(
+                f"effort_scale must be positive, got {self.effort_scale!r}"
+            )
+
+    def accuracy(self, effort: float, difficulty: float = 0.0) -> float:
+        """Probability of labelling one task correctly."""
+        if effort < 0.0:
+            raise ModelError(f"effort must be >= 0, got {effort!r}")
+        if not 0.0 <= difficulty < 1.0:
+            raise ModelError(f"difficulty must lie in [0, 1), got {difficulty!r}")
+        headroom = (self.p_max - 0.5) * (1.0 - math.exp(-effort / self.effort_scale))
+        return 0.5 + headroom * (1.0 - difficulty)
+
+    def accuracy_batch(self, effort: float, difficulties: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`accuracy` over task difficulties."""
+        if effort < 0.0:
+            raise ModelError(f"effort must be >= 0, got {effort!r}")
+        difficulties = np.asarray(difficulties, dtype=float)
+        headroom = (self.p_max - 0.5) * (1.0 - math.exp(-effort / self.effort_scale))
+        return 0.5 + headroom * (1.0 - difficulties)
+
+    def expected_feedback(self, effort: float, batch: TaskBatch) -> float:
+        """Expected number of reference-agreeing labels on a batch."""
+        return float(self.accuracy_batch(effort, batch.difficulties()).sum())
+
+
+def quadratic_feedback_approximation(
+    model: AccuracyModel,
+    batch_size: int,
+    mean_difficulty: float,
+    max_effort: float,
+    n_points: int = 200,
+) -> QuadraticEffort:
+    """Fit the paper's concave quadratic to the labeling feedback curve.
+
+    Samples the expected-batch-feedback curve
+    ``y -> batch_size * E[p(y, d)]`` over ``[0, max_effort]`` and fits a
+    constrained concave quadratic — the exact analogue of fitting
+    review-trace points in Section IV-B.  The returned function is what
+    the contract designer consumes.
+
+    Args:
+        model: the accuracy model.
+        batch_size: tasks per round.
+        mean_difficulty: mean task difficulty of the workload.
+        max_effort: right edge of the effort region of interest.
+        n_points: sampling resolution.
+    """
+    if batch_size < 1:
+        raise ModelError(f"batch_size must be >= 1, got {batch_size!r}")
+    if not 0.0 <= mean_difficulty < 1.0:
+        raise ModelError(
+            f"mean_difficulty must lie in [0, 1), got {mean_difficulty!r}"
+        )
+    if max_effort <= 0.0:
+        raise ModelError(f"max_effort must be positive, got {max_effort!r}")
+    if n_points < 3:
+        raise ModelError(f"n_points must be >= 3, got {n_points!r}")
+    efforts = np.linspace(0.0, max_effort, n_points)
+    feedback = np.array(
+        [
+            batch_size * model.accuracy(float(y), mean_difficulty)
+            for y in efforts
+        ]
+    )
+    return fit_concave_quadratic(efforts, feedback)

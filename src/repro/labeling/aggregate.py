@@ -1,0 +1,72 @@
+"""Label aggregation: majority and weighted votes.
+
+The requester combines the submitted label sheets into one consensus
+labelling per batch.  The weighted vote uses the Eq. (5)-style feedback
+weights — exactly the quantity the contract designer already maintains —
+so the aggregation and payment layers share one notion of worker value.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from .tasks import TaskBatch
+from .workers import LabelSheet
+
+__all__ = ["majority_vote", "weighted_vote", "labeling_accuracy"]
+
+
+def _stack(sheets: Sequence[LabelSheet]) -> np.ndarray:
+    if not sheets:
+        raise ModelError("at least one label sheet is required")
+    lengths = {sheet.labels.shape[0] for sheet in sheets}
+    if len(lengths) != 1:
+        raise ModelError(f"label sheets disagree on batch size: {lengths}")
+    return np.stack([sheet.labels for sheet in sheets])
+
+
+def majority_vote(sheets: Sequence[LabelSheet]) -> np.ndarray:
+    """Unweighted majority per task; ties break toward ``True``."""
+    stacked = _stack(sheets)
+    positives = stacked.sum(axis=0)
+    return positives * 2 >= stacked.shape[0]
+
+
+def weighted_vote(
+    sheets: Sequence[LabelSheet],
+    weights: Mapping[str, float],
+) -> np.ndarray:
+    """Weight each worker's vote; non-positive weights are ignored.
+
+    Args:
+        sheets: submitted label sheets.
+        weights: per-worker vote weights (e.g. the requester's Eq. (5)
+            feedback weights); workers missing from the mapping get
+            weight zero.
+
+    Returns:
+        The consensus labelling; a task with zero total positive weight
+        falls back to the unweighted majority.
+    """
+    stacked = _stack(sheets)
+    vote_weights = np.array(
+        [max(float(weights.get(sheet.worker_id, 0.0)), 0.0) for sheet in sheets]
+    )
+    if vote_weights.sum() == 0.0:
+        return majority_vote(sheets)
+    positive_mass = (stacked * vote_weights[:, None]).sum(axis=0)
+    return positive_mass * 2 >= vote_weights.sum()
+
+
+def labeling_accuracy(consensus: np.ndarray, batch: TaskBatch) -> float:
+    """Fraction of consensus labels matching ground truth."""
+    consensus = np.asarray(consensus, dtype=bool)
+    truths = batch.truths()
+    if consensus.shape != truths.shape:
+        raise ModelError(
+            f"consensus shape {consensus.shape} != batch size {truths.shape}"
+        )
+    return float(np.mean(consensus == truths))

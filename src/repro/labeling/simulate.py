@@ -1,0 +1,176 @@
+"""The labeling marketplace: contracts drive classification quality.
+
+One round: the requester posts per-worker contracts (designed with the
+paper's algorithm on the quadratic feedback approximation); each worker
+best-responds with an effort and labels the batch; feedback = agreement
+with the aggregated consensus; contracts pay on that feedback; the
+requester's utility is the value of correct consensus labels minus
+``mu`` times the pay.
+
+This realizes the paper's Section VII plan to move the contract model
+from review tasks to classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.contract import Contract
+from ..core.designer import ContractDesigner, DesignerConfig
+from ..errors import SimulationError
+from .aggregate import labeling_accuracy, weighted_vote
+from .tasks import TaskBatch, TaskGenerator
+from .workers import LabelingWorker
+
+__all__ = ["LabelingRoundResult", "LabelingMarket"]
+
+
+@dataclass(frozen=True)
+class LabelingRoundResult:
+    """Outcome of one labeling round.
+
+    Attributes:
+        consensus_accuracy: consensus-vs-truth accuracy on the batch.
+        worker_efforts: chosen efforts by worker.
+        worker_pay: pay awarded by worker.
+        total_pay: total compensation this round.
+        requester_utility: ``value * correct_labels - mu * total_pay``.
+    """
+
+    consensus_accuracy: float
+    worker_efforts: Dict[str, float]
+    worker_pay: Dict[str, float]
+    total_pay: float
+    requester_utility: float
+
+
+class LabelingMarket:
+    """A labeling crowdsourcing market under dynamic contracts.
+
+    Args:
+        workers: the worker pool.
+        weights: per-worker Eq. (5)-style weights (aggregation + design).
+        mu: the requester's compensation weight.
+        value_per_correct: requester value of one correct consensus label.
+        designer_config: contract grid configuration.
+        max_effort: cap on the contract effort region.
+        seed: noise seed for labelling randomness.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[LabelingWorker],
+        weights: Dict[str, float],
+        mu: float = 1.0,
+        value_per_correct: float = 1.0,
+        designer_config: Optional[DesignerConfig] = None,
+        max_effort: float = 8.0,
+        seed: int = 0,
+    ) -> None:
+        if not workers:
+            raise SimulationError("at least one worker is required")
+        if mu <= 0.0:
+            raise SimulationError(f"mu must be positive, got {mu!r}")
+        if value_per_correct <= 0.0:
+            raise SimulationError(
+                f"value_per_correct must be positive, got {value_per_correct!r}"
+            )
+        if max_effort <= 0.0:
+            raise SimulationError(f"max_effort must be positive, got {max_effort!r}")
+        ids = [worker.worker_id for worker in workers]
+        if len(set(ids)) != len(ids):
+            raise SimulationError("duplicate worker ids")
+        self.workers = list(workers)
+        self.weights = dict(weights)
+        self.mu = mu
+        self.value_per_correct = value_per_correct
+        self.designer_config = (
+            designer_config if designer_config is not None else DesignerConfig()
+        )
+        self.max_effort = max_effort
+        self._rng = np.random.default_rng(seed)
+
+    def design_contracts(self) -> Dict[str, Contract]:
+        """One contract per worker via the paper's designer."""
+        designer = ContractDesigner(mu=self.mu, config=self.designer_config)
+        contracts: Dict[str, Contract] = {}
+        for worker in self.workers:
+            result = designer.design(
+                worker.feedback_function,
+                worker.params,
+                feedback_weight=self.weights.get(worker.worker_id, 0.0),
+                max_effort=self.max_effort,
+            )
+            contracts[worker.worker_id] = result.contract
+        return contracts
+
+    def flat_contracts(self, pay: float) -> Dict[str, Contract]:
+        """Fixed-payment baseline: the same flat pay for everyone."""
+        if pay < 0.0:
+            raise SimulationError(f"pay must be >= 0, got {pay!r}")
+        designer_config = self.designer_config
+        contracts: Dict[str, Contract] = {}
+        for worker in self.workers:
+            grid = designer_config.grid_for(
+                worker.feedback_function, max_effort=self.max_effort
+            )
+            contracts[worker.worker_id] = Contract.flat(
+                grid, worker.feedback_function, pay=pay
+            )
+        return contracts
+
+    def play_round(
+        self, batch: TaskBatch, contracts: Dict[str, Contract]
+    ) -> LabelingRoundResult:
+        """Run one labeling round under the given contracts."""
+        sheets = []
+        efforts: Dict[str, float] = {}
+        for worker in self.workers:
+            contract = contracts.get(worker.worker_id)
+            if contract is None:
+                continue
+            response = worker.choose_effort(contract)
+            efforts[worker.worker_id] = response.effort
+            sheets.append(worker.label(batch, response.effort, rng=self._rng))
+        if not sheets:
+            raise SimulationError("no worker had a contract; nothing to label")
+
+        consensus = weighted_vote(sheets, self.weights)
+        accuracy = labeling_accuracy(consensus, batch)
+
+        pay: Dict[str, float] = {}
+        for sheet in sheets:
+            agreement = float(sheet.agreement_with(consensus))
+            pay[sheet.worker_id] = contracts[sheet.worker_id].pay_for_feedback(
+                agreement
+            )
+        total_pay = float(sum(pay.values()))
+        utility = (
+            self.value_per_correct * accuracy * len(batch) - self.mu * total_pay
+        )
+        return LabelingRoundResult(
+            consensus_accuracy=accuracy,
+            worker_efforts=efforts,
+            worker_pay=pay,
+            total_pay=total_pay,
+            requester_utility=utility,
+        )
+
+    def run(
+        self,
+        generator: TaskGenerator,
+        batch_size: int,
+        n_rounds: int,
+        contracts: Optional[Dict[str, Contract]] = None,
+    ) -> List[LabelingRoundResult]:
+        """Run several rounds under fixed contracts (designed if None)."""
+        if n_rounds < 1:
+            raise SimulationError(f"n_rounds must be >= 1, got {n_rounds!r}")
+        posted = contracts if contracts is not None else self.design_contracts()
+        return [
+            self.play_round(generator.batch(batch_size), posted)
+            for _ in range(n_rounds)
+        ]

@@ -1,0 +1,123 @@
+"""Binary labeling tasks (the paper's Section VII classification setting).
+
+A requester posts batches of binary classification tasks (is this
+review fake? does this image contain a product?).  Each task has a
+latent ground-truth label and a difficulty in ``[0, 1)`` that attenuates
+worker accuracy.  The generator is seeded and produces batches with a
+configurable difficulty mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = ["BinaryTask", "TaskBatch", "TaskGenerator"]
+
+
+@dataclass(frozen=True)
+class BinaryTask:
+    """One binary classification task.
+
+    Attributes:
+        task_id: unique identifier.
+        truth: the latent ground-truth label.
+        difficulty: in ``[0, 1)``; 0 is trivial, values near 1 reduce
+            every worker to coin-flipping.
+    """
+
+    task_id: str
+    truth: bool
+    difficulty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise DataError("task_id must be non-empty")
+        if not 0.0 <= self.difficulty < 1.0:
+            raise DataError(
+                f"difficulty must lie in [0, 1), got {self.difficulty!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TaskBatch:
+    """A batch of tasks labelled together in one round."""
+
+    tasks: Sequence[BinaryTask]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise DataError("a task batch cannot be empty")
+        ids = {task.task_id for task in self.tasks}
+        if len(ids) != len(self.tasks):
+            raise DataError("duplicate task ids in batch")
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def truths(self) -> np.ndarray:
+        """Ground-truth labels as a boolean array."""
+        return np.array([task.truth for task in self.tasks], dtype=bool)
+
+    def difficulties(self) -> np.ndarray:
+        """Per-task difficulties."""
+        return np.array([task.difficulty for task in self.tasks], dtype=float)
+
+
+class TaskGenerator:
+    """Seeded generator of task batches.
+
+    Args:
+        mean_difficulty: Beta-distributed difficulty mean in ``(0, 1)``.
+        concentration: Beta concentration; larger = tighter around the
+            mean.
+        positive_rate: probability a task's ground truth is ``True``.
+        seed: numpy seed.
+    """
+
+    def __init__(
+        self,
+        mean_difficulty: float = 0.3,
+        concentration: float = 8.0,
+        positive_rate: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < mean_difficulty < 1.0:
+            raise DataError(
+                f"mean_difficulty must lie in (0, 1), got {mean_difficulty!r}"
+            )
+        if concentration <= 0.0:
+            raise DataError(f"concentration must be positive, got {concentration!r}")
+        if not 0.0 <= positive_rate <= 1.0:
+            raise DataError(f"positive_rate must lie in [0, 1], got {positive_rate!r}")
+        self.mean_difficulty = mean_difficulty
+        self.concentration = concentration
+        self.positive_rate = positive_rate
+        self._rng = np.random.default_rng(seed)
+        self._counter = 0
+
+    def batch(self, size: int) -> TaskBatch:
+        """Generate one batch of ``size`` tasks."""
+        if size < 1:
+            raise DataError(f"size must be >= 1, got {size!r}")
+        alpha = self.mean_difficulty * self.concentration
+        beta = (1.0 - self.mean_difficulty) * self.concentration
+        difficulties = np.clip(
+            self._rng.beta(alpha, beta, size=size), 0.0, 0.999
+        )
+        truths = self._rng.random(size) < self.positive_rate
+        tasks: List[BinaryTask] = []
+        for index in range(size):
+            tasks.append(
+                BinaryTask(
+                    task_id=f"t{self._counter:07d}",
+                    truth=bool(truths[index]),
+                    difficulty=float(difficulties[index]),
+                )
+            )
+            self._counter += 1
+        return TaskBatch(tasks=tasks)

@@ -1,0 +1,139 @@
+"""Labeling workers: effort choice plus stochastic label production.
+
+A labeling worker wraps the core best-response machinery (effort choice
+against a posted contract, using the quadratic feedback approximation)
+and adds the classification-specific part: actually producing labels.
+Honest workers report their best guess; malicious workers *flip* their
+guess toward a target label on a fraction of tasks (promoting one class
+regardless of truth — the classification analogue of biased reviews).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.best_response import BestResponse, solve_best_response
+from ..core.contract import Contract
+from ..core.effort import QuadraticEffort
+from ..errors import ModelError
+from ..types import WorkerParameters
+from .accuracy import AccuracyModel
+from .tasks import TaskBatch
+
+__all__ = ["LabelingWorker", "LabelSheet"]
+
+
+@dataclass(frozen=True)
+class LabelSheet:
+    """One worker's labels for one batch.
+
+    Attributes:
+        worker_id: the labeller.
+        labels: submitted labels, aligned with the batch's tasks.
+        effort: the effort the worker chose.
+    """
+
+    worker_id: str
+    labels: np.ndarray
+    effort: float
+
+    def agreement_with(self, reference: np.ndarray) -> int:
+        """Number of labels agreeing with a reference labelling."""
+        reference = np.asarray(reference, dtype=bool)
+        if reference.shape != self.labels.shape:
+            raise ModelError(
+                f"reference shape {reference.shape} != labels shape "
+                f"{self.labels.shape}"
+            )
+        return int(np.sum(self.labels == reference))
+
+
+class LabelingWorker:
+    """A worker on classification tasks.
+
+    Args:
+        worker_id: unique identifier.
+        accuracy_model: the worker's true effort-to-accuracy curve.
+        feedback_function: the quadratic approximation the contract was
+            designed on (drives effort choice).
+        beta: effort-cost weight.
+        omega: influence weight (0 = honest).
+        target_label: the label a malicious worker promotes.
+        flip_rate: fraction of tasks a malicious worker forces to the
+            target label, regardless of its own guess.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        accuracy_model: AccuracyModel,
+        feedback_function: QuadraticEffort,
+        beta: float = 1.0,
+        omega: float = 0.0,
+        target_label: bool = True,
+        flip_rate: float = 0.0,
+    ) -> None:
+        if not worker_id:
+            raise ModelError("worker_id must be non-empty")
+        if not 0.0 <= flip_rate <= 1.0:
+            raise ModelError(f"flip_rate must lie in [0, 1], got {flip_rate!r}")
+        if omega > 0.0 and flip_rate == 0.0:
+            raise ModelError(
+                "a malicious labeling worker (omega > 0) needs flip_rate > 0"
+            )
+        if omega == 0.0 and flip_rate > 0.0:
+            raise ModelError("an honest labeling worker cannot flip labels")
+        self.worker_id = worker_id
+        self.accuracy_model = accuracy_model
+        self.feedback_function = feedback_function
+        self.params = (
+            WorkerParameters.honest(beta=beta)
+            if omega == 0.0
+            else WorkerParameters.malicious(beta=beta, omega=omega)
+        )
+        self.target_label = target_label
+        self.flip_rate = flip_rate
+
+    @property
+    def is_malicious(self) -> bool:
+        """Whether the worker promotes a target label."""
+        return self.flip_rate > 0.0
+
+    def choose_effort(self, contract: Contract) -> BestResponse:
+        """Best-respond to the posted contract (core machinery)."""
+        return solve_best_response(
+            contract, self.params, effort_function=self.feedback_function
+        )
+
+    def label(
+        self,
+        batch: TaskBatch,
+        effort: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LabelSheet:
+        """Produce labels for a batch at the given effort.
+
+        Each task is answered correctly with the accuracy the model
+        assigns to (effort, difficulty); malicious workers then force a
+        ``flip_rate`` fraction of tasks to the target label.
+        """
+        if effort < 0.0:
+            raise ModelError(f"effort must be >= 0, got {effort!r}")
+        rng = rng if rng is not None else np.random.default_rng()
+        accuracies = self.accuracy_model.accuracy_batch(
+            effort, batch.difficulties()
+        )
+        truths = batch.truths()
+        correct = rng.random(len(batch)) < accuracies
+        labels = np.where(correct, truths, ~truths)
+        if self.flip_rate > 0.0:
+            forced = rng.random(len(batch)) < self.flip_rate
+            labels = np.where(forced, self.target_label, labels)
+        return LabelSheet(
+            worker_id=self.worker_id,
+            labels=labels.astype(bool),
+            effort=effort,
+        )

@@ -1,0 +1,11 @@
+"""Metrics: distribution summaries and paper-vs-measured tables."""
+
+from .comparison import ComparisonRow, ComparisonTable
+from .percentiles import DistributionSummary, summarize
+
+__all__ = [
+    "ComparisonRow",
+    "ComparisonTable",
+    "DistributionSummary",
+    "summarize",
+]

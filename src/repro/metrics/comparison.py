@@ -1,0 +1,77 @@
+"""Paper-vs-measured comparison helpers for EXPERIMENTS.md reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ExperimentError
+
+__all__ = ["ComparisonRow", "ComparisonTable"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured line.
+
+    Attributes:
+        label: what is being compared.
+        paper: the value the paper reports (``None`` when the paper only
+            shows a figure without numbers).
+        measured: the value this reproduction measured.
+        note: free-form remark (units, caveats).
+    """
+
+    label: str
+    paper: Optional[float]
+    measured: float
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """measured / paper, when both are available and paper != 0."""
+        if self.paper is None or self.paper == 0.0:
+            return None
+        return self.measured / self.paper
+
+
+@dataclass
+class ComparisonTable:
+    """A titled collection of comparison rows with text rendering."""
+
+    title: str
+    rows: List[ComparisonRow]
+
+    def add(
+        self,
+        label: str,
+        measured: float,
+        paper: Optional[float] = None,
+        note: str = "",
+    ) -> None:
+        """Append one row."""
+        self.rows.append(
+            ComparisonRow(label=label, paper=paper, measured=measured, note=note)
+        )
+
+    def format(self) -> str:
+        """Monospace rendering for console output and EXPERIMENTS.md."""
+        if not self.rows:
+            raise ExperimentError(f"comparison table {self.title!r} is empty")
+        header = f"== {self.title} =="
+        label_width = max(len(row.label) for row in self.rows)
+        lines = [header]
+        lines.append(
+            f"{'metric'.ljust(label_width)}  {'paper':>12}  {'measured':>12}  note"
+        )
+        for row in self.rows:
+            paper_text = "-" if row.paper is None else f"{row.paper:12.4g}"
+            lines.append(
+                f"{row.label.ljust(label_width)}  {paper_text:>12}  "
+                f"{row.measured:12.4g}  {row.note}"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Tuple[Optional[float], float]]:
+        """``label -> (paper, measured)`` for programmatic checks."""
+        return {row.label: (row.paper, row.measured) for row in self.rows}

@@ -1,0 +1,51 @@
+"""Distribution summaries used by the Fig. 8 experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = ["DistributionSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Mean plus the 5th/95th percentiles (Fig. 8b's error bars).
+
+    Attributes:
+        mean: arithmetic mean.
+        p5: 5th percentile.
+        p95: 95th percentile.
+        n: sample count.
+    """
+
+    mean: float
+    p5: float
+    p95: float
+    n: int
+
+    @property
+    def spread(self) -> float:
+        """The p95 - p5 width."""
+        return self.p95 - self.p5
+
+
+def summarize(values: Sequence[float]) -> DistributionSummary:
+    """Summarize a sample the way Fig. 8b reports compensation.
+
+    Raises:
+        ExperimentError: on an empty sample.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ExperimentError("cannot summarize an empty sample")
+    return DistributionSummary(
+        mean=float(array.mean()),
+        p5=float(np.percentile(array, 5)),
+        p95=float(np.percentile(array, 95)),
+        n=int(array.size),
+    )

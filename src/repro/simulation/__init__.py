@@ -1,0 +1,27 @@
+"""Round-based crowdsourcing marketplace simulation."""
+
+from .adaptive import AdaptiveDynamicPolicy, EwmaDeviationTracker
+from .engine import MarketplaceSimulation
+from .ledger import RoundRecord, SimulationLedger, SubjectRoundOutcome
+from .retention import RetentionModel, RetentionSimulation
+from .policies import (
+    DynamicContractPolicy,
+    ExclusionPolicy,
+    FixedPaymentPolicy,
+    PaymentPolicy,
+)
+
+__all__ = [
+    "AdaptiveDynamicPolicy",
+    "EwmaDeviationTracker",
+    "MarketplaceSimulation",
+    "RetentionModel",
+    "RetentionSimulation",
+    "RoundRecord",
+    "SimulationLedger",
+    "SubjectRoundOutcome",
+    "DynamicContractPolicy",
+    "ExclusionPolicy",
+    "FixedPaymentPolicy",
+    "PaymentPolicy",
+]

@@ -1,0 +1,176 @@
+"""The round-based crowdsourcing marketplace simulation.
+
+Each round realizes one iteration of the Stackelberg game over the whole
+population (Section III: "each iteration of the game represents the
+completion of one task"):
+
+1. the requester's policy posts (or re-posts) contracts;
+2. every non-excluded agent best-responds with an effort using its
+   *true* effort function;
+3. the platform realizes noisy feedback for that effort;
+4. the contract pays out on the *realized* feedback (this is the
+   quality-contingent ``c^t = f(q^{t-1})`` coupling — workers are paid
+   what their observed feedback earns, not what they hoped for);
+5. the requester books ``sum_i w_i q_i - mu * sum_i c_i``.
+
+Excluded subjects (the Fig. 8c baseline) neither get paid nor have
+their feedback counted — they are outside the system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.utility import RequesterObjective
+from ..errors import SimulationError
+from ..workers.population import PopulationModel
+from .ledger import RoundRecord, SimulationLedger, SubjectRoundOutcome
+from .policies import PaymentPolicy
+
+__all__ = ["MarketplaceSimulation"]
+
+
+class MarketplaceSimulation:
+    """Drives a population through repeated task rounds.
+
+    Args:
+        population: the assembled worker population.
+        objective: the requester's parameters (``mu``, Eq. 5 weights).
+        policy: the payment policy under test.
+        seed: seed for the feedback-noise generator.
+        redesign_every: re-run the policy every this many rounds; 1
+            re-designs each round (fully dynamic), larger values model a
+            requester that amortizes design cost.
+        lagged_payment: pay round ``t`` on round ``t-1``'s realized
+            feedback — the paper's literal ``c^t = f(q^{t-1})`` timing
+            (Eq. 1).  Round 0 pays the contract's zero-feedback value.
+            The default (False) settles each round on its own feedback,
+            which has the same steady state and simpler accounting.
+    """
+
+    def __init__(
+        self,
+        population: PopulationModel,
+        objective: RequesterObjective,
+        policy: PaymentPolicy,
+        seed: int = 0,
+        redesign_every: int = 1,
+        lagged_payment: bool = False,
+    ) -> None:
+        if redesign_every < 1:
+            raise SimulationError(
+                f"redesign_every must be >= 1, got {redesign_every!r}"
+            )
+        self.population = population
+        self.objective = objective
+        self.policy = policy
+        self.redesign_every = redesign_every
+        self.lagged_payment = lagged_payment
+        self._previous_feedback: Dict[str, float] = {}
+        self._rng = np.random.default_rng(seed)
+        self.ledger = SimulationLedger()
+        self._contracts: Optional[Dict[str, object]] = None
+        self._excluded = None
+        # Subjects that have left the marketplace for good (populated by
+        # retention-aware subclasses; the base engine never adds here).
+        self._departed: set = set()
+
+    def run(self, n_rounds: int) -> SimulationLedger:
+        """Simulate ``n_rounds`` task rounds and return the ledger."""
+        if n_rounds < 1:
+            raise SimulationError(f"n_rounds must be >= 1, got {n_rounds!r}")
+        for _ in range(n_rounds):
+            self.step()
+        return self.ledger
+
+    def step(self) -> RoundRecord:
+        """Simulate one round and return its record."""
+        round_index = self.ledger.n_rounds
+        # Strategic agents may change behaviour between rounds; inform
+        # them before the requester re-designs, so this round's contracts
+        # face this round's behaviour.
+        for agent in self.population.agents.values():
+            agent.on_round(round_index)
+        if self._contracts is None or round_index % self.redesign_every == 0:
+            self._contracts = self.policy.contracts(self.population)
+            self._excluded = self.policy.excluded_subjects(self.population)
+        policy_weights = self.policy.current_weights(self.population)
+
+        outcomes: Dict[str, SubjectRoundOutcome] = {}
+        benefit = 0.0
+        total_compensation = 0.0
+        for subproblem in self.population.subproblems:
+            subject_id = subproblem.subject_id
+            agent = self.population.agents[subject_id]
+            # Utility is always booked with the reference (population)
+            # weight; the policy's belief is recorded for diagnostics
+            # but cannot inflate the score.
+            evaluation_weight = self.population.weights[subject_id]
+            believed = (
+                policy_weights.get(subject_id)
+                if policy_weights is not None
+                else None
+            )
+            excluded = (
+                subject_id in self._excluded
+                or subject_id in self._departed
+                or subject_id not in self._contracts
+            )
+            if excluded:
+                outcomes[subject_id] = SubjectRoundOutcome(
+                    subject_id=subject_id,
+                    worker_type=subproblem.params.worker_type,
+                    effort=0.0,
+                    feedback=0.0,
+                    compensation=0.0,
+                    feedback_weight=evaluation_weight,
+                    excluded=True,
+                    n_members=agent.n_members,
+                    policy_weight=believed,
+                )
+                continue
+            contract = self._contracts[subject_id]
+            response = agent.respond(contract)
+            realized = agent.realize_feedback(response.effort, rng=self._rng)
+            if self.lagged_payment:
+                # Eq. (1): this round's pay rewards last round's feedback.
+                pay = contract.pay_for_feedback(
+                    self._previous_feedback.get(subject_id, 0.0)
+                )
+                self._previous_feedback[subject_id] = realized
+            else:
+                pay = contract.pay_for_feedback(realized)
+            realized_worker_utility = (
+                pay
+                + agent.params.omega * realized
+                - agent.params.beta * response.effort
+            )
+            outcome = SubjectRoundOutcome(
+                subject_id=subject_id,
+                worker_type=subproblem.params.worker_type,
+                effort=response.effort,
+                feedback=realized,
+                compensation=pay,
+                feedback_weight=evaluation_weight,
+                excluded=False,
+                n_members=agent.n_members,
+                rating_deviation=agent.rating_deviation(rng=self._rng),
+                policy_weight=believed,
+                worker_utility=realized_worker_utility,
+            )
+            outcomes[subject_id] = outcome
+            benefit += outcome.requester_value
+            total_compensation += pay
+
+        record = RoundRecord(
+            round_index=round_index,
+            outcomes=outcomes,
+            benefit=benefit,
+            total_compensation=total_compensation,
+            utility=self.objective.params.utility(benefit, total_compensation),
+        )
+        self.ledger.append(record)
+        self.policy.observe(record)
+        return record

@@ -1,0 +1,191 @@
+"""Round records and the simulation ledger.
+
+The marketplace engine produces one :class:`RoundRecord` per task round;
+the :class:`SimulationLedger` accumulates them and answers the
+aggregate questions the experiments ask (utility series for Fig. 8c,
+per-class compensation traces, totals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..types import WorkerType
+
+__all__ = ["SubjectRoundOutcome", "RoundRecord", "SimulationLedger"]
+
+
+@dataclass(frozen=True)
+class SubjectRoundOutcome:
+    """One subject's realized outcome in one round.
+
+    Attributes:
+        subject_id: worker or community identifier.
+        worker_type: the subject's class.
+        effort: the (total) effort the subject chose.
+        feedback: the realized (noisy) feedback the platform observed.
+        compensation: the pay the contract awarded for that feedback.
+        feedback_weight: the *evaluation* Eq. (5) weight — the reference
+            (population) value of this subject's feedback, used to book
+            the requester's realized utility.  Policies cannot inflate
+            their scores by believing optimistic weights.
+        excluded: whether the policy excluded the subject this round.
+        n_members: humans behind the subject.
+        rating_deviation: the observed |review score - expert consensus|
+            this round (what online re-estimation feeds on).
+        policy_weight: the weight the policy *believed* when designing
+            this round's contract (diagnostics; ``None`` when the policy
+            just used the population weights).
+        worker_utility: the subject's *realized* utility this round
+            (``pay + omega * feedback - beta * effort``), the quantity
+            retention decisions hinge on.
+    """
+
+    subject_id: str
+    worker_type: WorkerType
+    effort: float
+    feedback: float
+    compensation: float
+    feedback_weight: float
+    excluded: bool
+    n_members: int
+    rating_deviation: float = 0.0
+    policy_weight: Optional[float] = None
+    worker_utility: float = 0.0
+
+    @property
+    def believed_weight(self) -> float:
+        """The weight the acting policy used (falls back to the
+        evaluation weight)."""
+        return (
+            self.policy_weight
+            if self.policy_weight is not None
+            else self.feedback_weight
+        )
+
+    @property
+    def requester_value(self) -> float:
+        """The subject's contribution ``w * q`` (zero when excluded)."""
+        return 0.0 if self.excluded else self.feedback_weight * self.feedback
+
+    @property
+    def per_member_compensation(self) -> float:
+        """Even per-member pay split (community reporting, Fig. 8b)."""
+        return self.compensation / self.n_members
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Aggregate record of one simulated round.
+
+    Attributes:
+        round_index: 0-based round number.
+        outcomes: per-subject outcomes keyed by subject id.
+        benefit: the requester's realized benefit ``sum w_i q_i``.
+        total_compensation: total pay this round.
+        utility: ``benefit - mu * total_compensation``.
+    """
+
+    round_index: int
+    outcomes: Dict[str, SubjectRoundOutcome]
+    benefit: float
+    total_compensation: float
+    utility: float
+
+
+class SimulationLedger:
+    """Accumulates round records and derives aggregate views."""
+
+    def __init__(self) -> None:
+        self._records: List[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        """Add the next round's record (rounds must arrive in order)."""
+        expected = len(self._records)
+        if record.round_index != expected:
+            raise SimulationError(
+                f"expected round {expected}, got {record.round_index}"
+            )
+        self._records.append(record)
+
+    @property
+    def n_rounds(self) -> int:
+        """Rounds recorded so far."""
+        return len(self._records)
+
+    @property
+    def records(self) -> Tuple[RoundRecord, ...]:
+        """All records, in round order."""
+        return tuple(self._records)
+
+    def utility_series(self) -> np.ndarray:
+        """Per-round requester utility (the Fig. 8c series)."""
+        return np.array([record.utility for record in self._records])
+
+    def cumulative_utility(self) -> np.ndarray:
+        """Cumulative requester utility over rounds."""
+        return np.cumsum(self.utility_series())
+
+    def total_utility(self) -> float:
+        """Total requester utility over the whole run."""
+        return float(self.utility_series().sum()) if self._records else 0.0
+
+    def compensation_by_type(
+        self, worker_type: Optional[WorkerType] = None
+    ) -> Dict[WorkerType, np.ndarray]:
+        """Per-round mean per-member compensation for each class.
+
+        Args:
+            worker_type: restrict to one class, or ``None`` for all.
+        """
+        selected = (
+            [worker_type] if worker_type is not None else list(WorkerType)
+        )
+        series: Dict[WorkerType, List[float]] = {wt: [] for wt in selected}
+        for record in self._records:
+            per_type: Dict[WorkerType, List[float]] = {wt: [] for wt in selected}
+            for outcome in record.outcomes.values():
+                if outcome.worker_type in per_type:
+                    per_type[outcome.worker_type].append(
+                        outcome.per_member_compensation
+                    )
+            for wt in selected:
+                values = per_type[wt]
+                series[wt].append(float(np.mean(values)) if values else 0.0)
+        return {wt: np.array(values) for wt, values in series.items()}
+
+    def mean_effort_by_type(self) -> Dict[WorkerType, float]:
+        """Run-level mean per-member effort for each class."""
+        totals: Dict[WorkerType, List[float]] = {wt: [] for wt in WorkerType}
+        for record in self._records:
+            for outcome in record.outcomes.values():
+                totals[outcome.worker_type].append(
+                    outcome.effort / outcome.n_members
+                )
+        return {
+            wt: (float(np.mean(values)) if values else 0.0)
+            for wt, values in totals.items()
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Headline totals for quick comparisons."""
+        if not self._records:
+            return {
+                "n_rounds": 0.0,
+                "total_utility": 0.0,
+                "mean_round_utility": 0.0,
+                "total_compensation": 0.0,
+            }
+        utilities = self.utility_series()
+        return {
+            "n_rounds": float(self.n_rounds),
+            "total_utility": float(utilities.sum()),
+            "mean_round_utility": float(utilities.mean()),
+            "total_compensation": float(
+                sum(record.total_compensation for record in self._records)
+            ),
+        }

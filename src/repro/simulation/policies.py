@@ -1,0 +1,169 @@
+"""Payment policies: how the requester sets contracts each round.
+
+Three policies cover the paper's evaluation:
+
+* :class:`DynamicContractPolicy` — the paper's algorithm: solve the
+  decomposed subproblems and post the designed contracts.
+* :class:`ExclusionPolicy` — the Fig. 8c baseline: run an inner policy
+  but exclude every (labelled) malicious subject from the system — they
+  are neither paid nor does their feedback count.
+* :class:`FixedPaymentPolicy` — the classic fixed-price scheme the
+  introduction argues against: one flat pay per task, independent of
+  feedback.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Set
+
+from ..core.contract import Contract
+from ..core.decomposition import solve_subproblems
+from ..core.designer import DesignerConfig
+from ..errors import SimulationError
+from ..workers.population import PopulationModel
+
+__all__ = ["PaymentPolicy", "DynamicContractPolicy", "ExclusionPolicy", "FixedPaymentPolicy"]
+
+
+class PaymentPolicy(abc.ABC):
+    """Strategy interface: population knowledge -> posted contracts."""
+
+    @abc.abstractmethod
+    def contracts(self, population: PopulationModel) -> Dict[str, Contract]:
+        """Contracts per subject id; omitted subjects are excluded."""
+
+    def excluded_subjects(self, population: PopulationModel) -> Set[str]:
+        """Subjects this policy bars from the system entirely."""
+        return set()
+
+    def current_weights(self, population: PopulationModel) -> Optional[Dict[str, float]]:
+        """Per-subject Eq. (5) weights this policy wants applied.
+
+        ``None`` (the default) means "use the population's static
+        weights"; adaptive policies return their online estimates.
+        """
+        return None
+
+    def observe(self, record) -> None:
+        """Feed one realized round back into the policy (no-op here).
+
+        Adaptive policies override this to update their estimators from
+        the :class:`~repro.simulation.ledger.RoundRecord`.
+        """
+
+
+class DynamicContractPolicy(PaymentPolicy):
+    """The paper's dynamic contract design (Sections III-IV).
+
+    Args:
+        mu: the requester's compensation weight.
+        config: designer configuration.
+        max_workers: parallelism across the independent subproblems.
+    """
+
+    def __init__(
+        self,
+        mu: float = 1.0,
+        config: Optional[DesignerConfig] = None,
+        max_workers: int = 1,
+    ) -> None:
+        if mu <= 0.0:
+            raise SimulationError(f"mu must be positive, got {mu!r}")
+        self.mu = mu
+        self.config = config
+        self.max_workers = max_workers
+        self._solutions = None
+
+    def contracts(self, population: PopulationModel) -> Dict[str, Contract]:
+        solutions = solve_subproblems(
+            population.subproblems,
+            mu=self.mu,
+            config=self.config,
+            max_workers=self.max_workers,
+        )
+        self._solutions = solutions
+        return {
+            subject_id: solution.result.contract
+            for subject_id, solution in solutions.items()
+        }
+
+    @property
+    def last_solutions(self):
+        """Per-subject design results of the most recent call."""
+        return self._solutions
+
+
+class ExclusionPolicy(PaymentPolicy):
+    """Exclude all malicious subjects; delegate the rest to ``inner``.
+
+    The paper's baseline "in which all the malicious workers are simply
+    excluded from the system": excluded subjects earn nothing and their
+    feedback does not enter the requester's benefit.
+
+    Args:
+        inner: the policy applied to the surviving (honest) subjects.
+        malice_threshold: subjects with estimated ``e_mal`` above this
+            are excluded.  The default 0.5 with oracle estimates excludes
+            exactly the labelled-malicious population.
+    """
+
+    def __init__(self, inner: PaymentPolicy, malice_threshold: float = 0.5) -> None:
+        if not 0.0 <= malice_threshold <= 1.0:
+            raise SimulationError(
+                f"malice_threshold must lie in [0, 1], got {malice_threshold!r}"
+            )
+        self.inner = inner
+        self.malice_threshold = malice_threshold
+
+    def excluded_subjects(self, population: PopulationModel) -> Set[str]:
+        return {
+            subproblem.subject_id
+            for subproblem in population.subproblems
+            if population.malice.get(subproblem.subject_id, 0.0)
+            > self.malice_threshold
+            or subproblem.params.worker_type.is_malicious
+        }
+
+    def contracts(self, population: PopulationModel) -> Dict[str, Contract]:
+        excluded = self.excluded_subjects(population)
+        inner_contracts = self.inner.contracts(population)
+        return {
+            subject_id: contract
+            for subject_id, contract in inner_contracts.items()
+            if subject_id not in excluded
+        }
+
+
+class FixedPaymentPolicy(PaymentPolicy):
+    """A single flat payment per task, independent of feedback.
+
+    Args:
+        pay_per_member: the flat pay offered to each human worker (a
+            community receives ``size * pay_per_member``).
+        n_intervals: grid resolution of the (degenerate) flat contract.
+    """
+
+    def __init__(self, pay_per_member: float = 1.0, n_intervals: int = 4) -> None:
+        if pay_per_member < 0.0:
+            raise SimulationError(
+                f"pay_per_member must be >= 0, got {pay_per_member!r}"
+            )
+        if n_intervals < 1:
+            raise SimulationError(f"n_intervals must be >= 1, got {n_intervals!r}")
+        self.pay_per_member = pay_per_member
+        self.n_intervals = n_intervals
+
+    def contracts(self, population: PopulationModel) -> Dict[str, Contract]:
+        config = DesignerConfig(n_intervals=self.n_intervals)
+        posted: Dict[str, Contract] = {}
+        for subproblem in population.subproblems:
+            grid = config.grid_for(
+                subproblem.effort_function, max_effort=subproblem.max_effort
+            )
+            posted[subproblem.subject_id] = Contract.flat(
+                grid,
+                subproblem.effort_function,
+                pay=self.pay_per_member * len(subproblem.member_ids),
+            )
+        return posted

@@ -1,0 +1,119 @@
+"""Worker retention dynamics.
+
+The paper's abstract frames the goal as incentivizing "users' quality
+*and retention*", but its model keeps the worker pool fixed.  This
+module adds the retention half: each worker has a reservation utility
+(its outside option per task) and a patience; after ``patience``
+consecutive rounds of realized utility below the reservation level, the
+worker leaves the marketplace for good.
+
+Departure is what makes under-paying expensive in the long run: a flat
+low payment doesn't just buy zero effort this round — it bleeds the
+honest workforce, and with it all future benefit.  The ``ext_retention``
+experiment quantifies exactly that against the dynamic contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from ..core.utility import RequesterObjective
+from ..errors import SimulationError
+from ..types import WorkerType
+from ..workers.population import PopulationModel
+from .engine import MarketplaceSimulation
+from .ledger import RoundRecord
+from .policies import PaymentPolicy
+
+__all__ = ["RetentionModel", "RetentionSimulation"]
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """When a worker gives up on the marketplace.
+
+    Attributes:
+        reservation_utility: the per-member utility the worker could get
+            outside; per-round realized utility below this counts as a
+            bad round.
+        patience: consecutive bad rounds tolerated before leaving.
+    """
+
+    reservation_utility: float = 0.1
+    patience: int = 2
+
+    def __post_init__(self) -> None:
+        if self.patience < 1:
+            raise SimulationError(f"patience must be >= 1, got {self.patience!r}")
+
+
+class RetentionSimulation(MarketplaceSimulation):
+    """A marketplace where underpaid workers quit.
+
+    After every round, each active subject's realized per-member utility
+    is compared with the retention model's reservation level; subjects
+    accumulating ``patience`` consecutive bad rounds depart permanently
+    (they are treated as excluded from then on — no pay, no feedback).
+
+    Args:
+        population: the assembled worker population.
+        objective: the requester's parameters.
+        policy: the payment policy under test.
+        retention: the departure rule.
+        seed: feedback-noise seed.
+        redesign_every: policy re-design cadence.
+    """
+
+    def __init__(
+        self,
+        population: PopulationModel,
+        objective: RequesterObjective,
+        policy: PaymentPolicy,
+        retention: Optional[RetentionModel] = None,
+        seed: int = 0,
+        redesign_every: int = 1,
+    ) -> None:
+        super().__init__(
+            population=population,
+            objective=objective,
+            policy=policy,
+            seed=seed,
+            redesign_every=redesign_every,
+        )
+        self.retention = retention if retention is not None else RetentionModel()
+        self._bad_rounds: Dict[str, int] = {}
+
+    @property
+    def departed(self) -> Set[str]:
+        """Subjects that have left the marketplace."""
+        return set(self._departed)
+
+    def retention_rate(self, worker_type: Optional[WorkerType] = None) -> float:
+        """Fraction of (optionally type-filtered) subjects still active."""
+        subjects = [
+            subproblem.subject_id
+            for subproblem in self.population.subproblems
+            if worker_type is None
+            or subproblem.params.worker_type is worker_type
+        ]
+        if not subjects:
+            return 1.0
+        active = sum(1 for s in subjects if s not in self._departed)
+        return active / len(subjects)
+
+    def step(self) -> RoundRecord:
+        """One round, then apply the departure rule."""
+        record = super().step()
+        for subject_id, outcome in record.outcomes.items():
+            if outcome.excluded:
+                continue
+            per_member = outcome.worker_utility / outcome.n_members
+            if per_member < self.retention.reservation_utility:
+                bad = self._bad_rounds.get(subject_id, 0) + 1
+                self._bad_rounds[subject_id] = bad
+                if bad >= self.retention.patience:
+                    self._departed.add(subject_id)
+            else:
+                self._bad_rounds[subject_id] = 0
+        return record

@@ -1,0 +1,293 @@
+"""Shared value types used across the repro library.
+
+This module deliberately holds only small, dependency-free records so
+that every subsystem (core algorithm, data substrate, simulation engine)
+can exchange data without import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .errors import ModelError
+
+__all__ = [
+    "WorkerType",
+    "WorkerParameters",
+    "RequesterParameters",
+    "FeedbackWeightParameters",
+    "DiscretizationGrid",
+]
+
+
+class WorkerType(enum.Enum):
+    """The three worker classes of the paper (Section II).
+
+    * ``HONEST`` — maximizes compensation minus effort cost (Eq. 11).
+    * ``NONCOLLUSIVE_MALICIOUS`` — additionally values the influence
+      (feedback) of its biased reviews (Eq. 14).
+    * ``COLLUSIVE_MALICIOUS`` — malicious and a member of a collusive
+      community; the community acts as a single meta-worker (Eq. 17).
+    """
+
+    HONEST = "honest"
+    NONCOLLUSIVE_MALICIOUS = "noncollusive_malicious"
+    COLLUSIVE_MALICIOUS = "collusive_malicious"
+
+    @property
+    def is_malicious(self) -> bool:
+        """Whether workers of this type pursue a hidden agenda."""
+        return self is not WorkerType.HONEST
+
+    @property
+    def short_label(self) -> str:
+        """Compact label used in printed tables (matches the paper)."""
+        return _SHORT_LABELS[self]
+
+
+_SHORT_LABELS = {
+    WorkerType.HONEST: "Honest",
+    WorkerType.NONCOLLUSIVE_MALICIOUS: "NC-Mal",
+    WorkerType.COLLUSIVE_MALICIOUS: "C-Mal",
+}
+
+
+@dataclass(frozen=True)
+class WorkerParameters:
+    """Behavioural parameters of a single worker (or meta-worker).
+
+    Attributes:
+        beta: weight of the effort cost in the worker utility
+            (``beta > 0``; Eq. 11/14).
+        omega: weight of the feedback (influence) term in a malicious
+            worker's utility (Eq. 14).  Honest workers are the special
+            case ``omega == 0`` (Section IV-C).
+        worker_type: the behavioural class of the worker.
+    """
+
+    beta: float = 1.0
+    omega: float = 0.0
+    worker_type: WorkerType = WorkerType.HONEST
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.beta) or self.beta <= 0.0:
+            raise ModelError(f"beta must be finite and positive, got {self.beta!r}")
+        if not math.isfinite(self.omega) or self.omega < 0.0:
+            raise ModelError(f"omega must be finite and >= 0, got {self.omega!r}")
+        if self.worker_type is WorkerType.HONEST and self.omega != 0.0:
+            raise ModelError(
+                "honest workers must have omega == 0 "
+                f"(got omega={self.omega!r}); use a malicious worker type"
+            )
+
+    @staticmethod
+    def honest(beta: float = 1.0) -> "WorkerParameters":
+        """Parameters for an honest worker (``omega = 0``)."""
+        return WorkerParameters(beta=beta, omega=0.0, worker_type=WorkerType.HONEST)
+
+    @staticmethod
+    def malicious(
+        beta: float = 1.0,
+        omega: float = 0.5,
+        collusive: bool = False,
+    ) -> "WorkerParameters":
+        """Parameters for a malicious worker or collusive community."""
+        worker_type = (
+            WorkerType.COLLUSIVE_MALICIOUS if collusive else WorkerType.NONCOLLUSIVE_MALICIOUS
+        )
+        return WorkerParameters(beta=beta, omega=omega, worker_type=worker_type)
+
+
+@dataclass(frozen=True)
+class FeedbackWeightParameters:
+    """Coefficients of the requester's feedback weight (Eq. 5).
+
+    ``w_i = rho / |l_i - l_bar| - kappa * e_mal - gamma * n_partners``
+
+    Attributes:
+        rho: coefficient of review accuracy.
+        kappa: penalty coefficient for the malice probability.
+        gamma: penalty coefficient per collusive partner.
+        min_deviation: floor applied to ``|l_i - l_bar|`` so that a
+            review exactly matching the expert consensus yields a large
+            but finite weight (the paper leaves the singular point
+            unspecified).
+        max_weight: optional hard cap on the resulting weight.
+    """
+
+    rho: float = 1.0
+    kappa: float = 0.1
+    gamma: float = 0.1
+    min_deviation: float = 0.1
+    max_weight: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0.0:
+            raise ModelError(f"rho must be positive, got {self.rho!r}")
+        if self.kappa < 0.0 or self.gamma < 0.0:
+            raise ModelError("kappa and gamma must be non-negative")
+        if self.min_deviation <= 0.0:
+            raise ModelError(
+                f"min_deviation must be positive, got {self.min_deviation!r}"
+            )
+        if self.max_weight is not None and self.max_weight <= 0.0:
+            raise ModelError("max_weight, when set, must be positive")
+
+    def weight(
+        self,
+        review_score: float,
+        expert_score: float,
+        malice_probability: float = 0.0,
+        n_partners: int = 0,
+    ) -> float:
+        """Compute the feedback weight ``w_i`` of Eq. (5).
+
+        Args:
+            review_score: the worker's review score ``l_i``.
+            expert_score: the expert consensus ``l_bar`` ("ground truth").
+            malice_probability: estimated probability ``e_mal`` that the
+                worker is malicious, in ``[0, 1]``.
+            n_partners: number of collusive partners ``A_i``.
+
+        Returns:
+            The (possibly negative) weight the requester assigns to this
+            worker's feedback.
+        """
+        return self.weight_from_deviation(
+            deviation=abs(review_score - expert_score),
+            malice_probability=malice_probability,
+            n_partners=n_partners,
+        )
+
+    def weight_from_deviation(
+        self,
+        deviation: float,
+        malice_probability: float = 0.0,
+        n_partners: int = 0,
+    ) -> float:
+        """Eq. (5) weight from an already-computed ``|l_i - l_bar|``.
+
+        Useful when the deviation is an aggregate (e.g. a worker's mean
+        deviation over its review history).
+        """
+        if deviation < 0.0 or not math.isfinite(deviation):
+            # An infinite deviation models "no usable reviews": the
+            # accuracy term vanishes and only penalties remain.
+            if math.isinf(deviation) and deviation > 0.0:
+                return -self.kappa * malice_probability - self.gamma * n_partners
+            raise ModelError(f"deviation must be finite and >= 0, got {deviation!r}")
+        if not 0.0 <= malice_probability <= 1.0:
+            raise ModelError(
+                f"malice_probability must lie in [0, 1], got {malice_probability!r}"
+            )
+        if n_partners < 0:
+            raise ModelError(f"n_partners must be >= 0, got {n_partners!r}")
+        weight = self.rho / max(deviation, self.min_deviation)
+        if self.max_weight is not None:
+            weight = min(weight, self.max_weight)
+        return weight - self.kappa * malice_probability - self.gamma * n_partners
+
+
+@dataclass(frozen=True)
+class RequesterParameters:
+    """Parameters of the requester's utility (Eq. 7).
+
+    Attributes:
+        mu: weight of the total compensation in the requester utility.
+        weight_params: coefficients used to score worker feedback.
+    """
+
+    mu: float = 1.0
+    weight_params: FeedbackWeightParameters = field(
+        default_factory=FeedbackWeightParameters
+    )
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.mu) or self.mu <= 0.0:
+            raise ModelError(f"mu must be finite and positive, got {self.mu!r}")
+
+    def utility(self, benefit: float, total_compensation: float) -> float:
+        """Requester utility ``p^t - mu * sum(c_i^t)`` for one round."""
+        return benefit - self.mu * total_compensation
+
+
+@dataclass(frozen=True)
+class DiscretizationGrid:
+    """Uniform partition of the effort region (Section III-A).
+
+    The effort region ``[0, m * delta)`` is split into ``m`` intervals
+    ``[0, delta), [delta, 2*delta), ..., [(m-1)*delta, m*delta)``.
+
+    Attributes:
+        n_intervals: the number of intervals ``m``.
+        delta: the width of each interval.
+    """
+
+    n_intervals: int
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.n_intervals < 1:
+            raise ModelError(
+                f"n_intervals must be >= 1, got {self.n_intervals!r}"
+            )
+        if not math.isfinite(self.delta) or self.delta <= 0.0:
+            raise ModelError(f"delta must be finite and positive, got {self.delta!r}")
+
+    @property
+    def max_effort(self) -> float:
+        """The right edge ``m * delta`` of the effort region."""
+        return self.n_intervals * self.delta
+
+    def edge(self, index: int) -> float:
+        """The effort value ``index * delta`` (``index`` in ``0..m``)."""
+        if not 0 <= index <= self.n_intervals:
+            raise ModelError(
+                f"edge index must be in [0, {self.n_intervals}], got {index!r}"
+            )
+        return index * self.delta
+
+    def edges(self) -> Tuple[float, ...]:
+        """All interval edges ``(0, delta, ..., m * delta)``."""
+        return tuple(i * self.delta for i in range(self.n_intervals + 1))
+
+    def interval(self, index: int) -> Tuple[float, float]:
+        """The half-open effort interval ``[(index-1)*delta, index*delta)``.
+
+        Intervals are numbered ``1..m`` following the paper.
+        """
+        if not 1 <= index <= self.n_intervals:
+            raise ModelError(
+                f"interval index must be in [1, {self.n_intervals}], got {index!r}"
+            )
+        return ((index - 1) * self.delta, index * self.delta)
+
+    def locate(self, effort: float) -> int:
+        """Return the 1-based index of the interval containing ``effort``.
+
+        Efforts at or beyond ``m * delta`` are clamped to interval ``m``.
+        """
+        if effort < 0.0:
+            raise ModelError(f"effort must be >= 0, got {effort!r}")
+        index = int(effort // self.delta) + 1
+        return min(index, self.n_intervals)
+
+    @staticmethod
+    def for_max_effort(max_effort: float, n_intervals: int) -> "DiscretizationGrid":
+        """Build a grid covering ``[0, max_effort)`` with ``n_intervals``."""
+        if max_effort <= 0.0:
+            raise ModelError(f"max_effort must be positive, got {max_effort!r}")
+        return DiscretizationGrid(
+            n_intervals=n_intervals, delta=max_effort / n_intervals
+        )
+
+
+def worker_type_counts(types: Dict[str, WorkerType]) -> Dict[WorkerType, int]:
+    """Count workers per type from a ``worker_id -> WorkerType`` mapping."""
+    counts = {worker_type: 0 for worker_type in WorkerType}
+    for worker_type in types.values():
+        counts[worker_type] += 1
+    return counts

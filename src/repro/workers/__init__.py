@@ -1,0 +1,28 @@
+"""Behavioural worker agents and population assembly."""
+
+from .base import WorkerAgent
+from .collusive import CollusiveCommunity
+from .honest import HonestWorker
+from .malicious import MaliciousWorker
+from .strategic import CamouflagedWorker, IntermittentWorker
+from .population import (
+    BehaviorConfig,
+    ClassEffortFunctions,
+    PopulationModel,
+    build_population,
+    fit_class_functions,
+)
+
+__all__ = [
+    "WorkerAgent",
+    "CollusiveCommunity",
+    "HonestWorker",
+    "MaliciousWorker",
+    "CamouflagedWorker",
+    "IntermittentWorker",
+    "BehaviorConfig",
+    "ClassEffortFunctions",
+    "PopulationModel",
+    "build_population",
+    "fit_class_functions",
+]

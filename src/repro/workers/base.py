@@ -1,0 +1,116 @@
+"""Behavioural worker agents (the follower side of the game).
+
+Agents wrap the paper's worker model for use by the marketplace
+simulation: each agent owns its *true* effort function (which can differ
+from the requester's fitted one), its ``(beta, omega)`` parameters, and
+a noisy feedback realization — the requester only ever observes the
+realized feedback, never the effort.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..core.best_response import BestResponse, solve_best_response
+from ..core.contract import Contract
+from ..core.effort import QuadraticEffort
+from ..errors import ModelError
+from ..types import WorkerParameters
+
+__all__ = ["WorkerAgent"]
+
+
+class WorkerAgent(abc.ABC):
+    """A worker (or meta-worker) participating in repeated tasks.
+
+    Args:
+        worker_id: unique identifier.
+        params: the agent's ``(beta, omega)`` utility parameters.
+        effort_function: the agent's true ``psi``.
+        feedback_noise: std of the noise on realized feedback.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        params: WorkerParameters,
+        effort_function: QuadraticEffort,
+        feedback_noise: float = 0.0,
+        rating_noise: float = 0.35,
+    ) -> None:
+        if not worker_id:
+            raise ModelError("worker_id must be non-empty")
+        if feedback_noise < 0.0:
+            raise ModelError(f"feedback_noise must be >= 0, got {feedback_noise!r}")
+        if rating_noise < 0.0:
+            raise ModelError(f"rating_noise must be >= 0, got {rating_noise!r}")
+        self.worker_id = worker_id
+        self.params = params
+        self.effort_function = effort_function
+        self.feedback_noise = feedback_noise
+        self.rating_noise = rating_noise
+
+    def respond(self, contract: Contract) -> BestResponse:
+        """Best-respond to a posted contract using the *true* psi."""
+        return solve_best_response(
+            contract, self.params, effort_function=self.effort_function
+        )
+
+    def on_round(self, round_index: int) -> None:
+        """Hook called by the engine at the start of every round.
+
+        Stationary agents ignore it; strategic agents (e.g. camouflaged
+        malicious workers) use it to switch behaviour over time.
+        """
+
+    @property
+    def rating_bias_now(self) -> float:
+        """The agent's current rating bias over the expert consensus.
+
+        Honest agents rate truthfully (zero bias); malicious agents
+        override this with their planted bias.
+        """
+        return 0.0
+
+    def rating_deviation(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """One observed |review score - expert consensus| sample.
+
+        This is what the requester actually sees each round and feeds
+        into the Eq. (5) accuracy term when estimating online.
+        """
+        bias = self.rating_bias_now
+        if rng is None or self.rating_noise == 0.0:
+            return abs(bias)
+        return abs(bias + float(rng.normal(0.0, self.rating_noise)))
+
+    def realize_feedback(
+        self, effort: float, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """The feedback the platform observes for the chosen effort.
+
+        Noise-free expectation is ``psi(effort)``; with a generator, a
+        zero-mean Gaussian perturbation is added and the result clamped
+        at zero (feedback is a count).
+        """
+        if effort < 0.0:
+            raise ModelError(f"effort must be >= 0, got {effort!r}")
+        expected = float(self.effort_function(effort))
+        if rng is None or self.feedback_noise == 0.0:
+            return max(expected, 0.0)
+        return max(expected + float(rng.normal(0.0, self.feedback_noise)), 0.0)
+
+    @property
+    @abc.abstractmethod
+    def n_members(self) -> int:
+        """Number of underlying human workers (1 unless a community)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"{type(self).__name__}(id={self.worker_id!r}, "
+            f"beta={self.params.beta}, omega={self.params.omega})"
+        )

@@ -1,0 +1,104 @@
+"""Collusive communities as single meta-workers (Eq. 17 / Eq. 3).
+
+A collusive community shares information and upvotes internally; the
+paper designs *one* contract for the whole community and models it as a
+meta-worker whose feedback is a concave function of the members' summed
+effort.  The agent here owns the member list, best-responds with a total
+effort, and reports an even per-member effort split (any split of the
+sum is utility-equivalent under the meta model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..core.best_response import BestResponse
+from ..core.contract import Contract
+from ..core.effort import QuadraticEffort
+from ..errors import ModelError
+from ..types import WorkerParameters, WorkerType
+from .base import WorkerAgent
+
+__all__ = ["CollusiveCommunity"]
+
+
+class CollusiveCommunity(WorkerAgent):
+    """A set of collusive workers acting as one meta-worker.
+
+    Args:
+        community_id: unique identifier of the community.
+        member_ids: the member workers (>= 2).
+        effort_function: the community's meta effort function
+            ``psi_A`` mapping *summed* effort to *summed* feedback.
+        beta: per-unit effort cost (identical across members, Eq. 17).
+        omega: the community's shared influence weight.
+        rating_bias: rating bias of the members' reviews.
+        feedback_noise: std of realized-feedback noise on the sum.
+    """
+
+    def __init__(
+        self,
+        community_id: str,
+        member_ids: Sequence[str],
+        effort_function: QuadraticEffort,
+        beta: float = 1.0,
+        omega: float = 0.5,
+        rating_bias: float = 2.0,
+        feedback_noise: float = 0.0,
+    ) -> None:
+        members = tuple(dict.fromkeys(member_ids))
+        if len(members) < 2:
+            raise ModelError(
+                f"a collusive community needs >= 2 distinct members, got {members!r}"
+            )
+        if omega <= 0.0:
+            raise ModelError(f"a collusive community needs omega > 0, got {omega!r}")
+        super().__init__(
+            worker_id=community_id,
+            params=WorkerParameters.malicious(beta=beta, omega=omega, collusive=True),
+            effort_function=effort_function,
+            feedback_noise=feedback_noise,
+        )
+        self.member_ids: Tuple[str, ...] = members
+        self.rating_bias = rating_bias
+
+    @property
+    def n_members(self) -> int:
+        """Community size."""
+        return len(self.member_ids)
+
+    @property
+    def worker_type(self) -> WorkerType:
+        """Always :attr:`WorkerType.COLLUSIVE_MALICIOUS`."""
+        return WorkerType.COLLUSIVE_MALICIOUS
+
+    @property
+    def n_partners(self) -> int:
+        """Partners per member, the ``A_i`` of Eq. (5)."""
+        return self.n_members - 1
+
+    @property
+    def rating_bias_now(self) -> float:
+        """Community reviews carry the shared planted bias."""
+        return self.rating_bias
+
+    def split_effort(self, total_effort: float) -> Dict[str, float]:
+        """Even per-member split of the community's total effort.
+
+        Under the meta model only the *sum* matters (Eq. 3), so the even
+        split is as good as any; it is also what the even per-member pay
+        split of Fig. 8b implies.
+        """
+        if total_effort < 0.0:
+            raise ModelError(f"total_effort must be >= 0, got {total_effort!r}")
+        share = total_effort / self.n_members
+        return {member_id: share for member_id in self.member_ids}
+
+    def respond(self, contract: Contract) -> BestResponse:
+        """Best-respond with the community's total effort.
+
+        Identical machinery to the single-worker case: the meta-worker's
+        ``psi_A`` plays the role of ``psi`` (Section IV-C: "a collusive
+        community can be treated as a 'single meta-worker'").
+        """
+        return super().respond(contract)

@@ -1,0 +1,44 @@
+"""Honest worker agents (Eq. 11): pay minus effort cost, no agenda."""
+
+from __future__ import annotations
+
+from ..core.effort import QuadraticEffort
+from ..types import WorkerParameters, WorkerType
+from .base import WorkerAgent
+
+__all__ = ["HonestWorker"]
+
+
+class HonestWorker(WorkerAgent):
+    """A worker maximizing ``c - beta * y`` (the ``omega = 0`` case).
+
+    Args:
+        worker_id: unique identifier.
+        effort_function: the worker's true ``psi``.
+        beta: effort-cost weight.
+        feedback_noise: std of realized-feedback noise.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        effort_function: QuadraticEffort,
+        beta: float = 1.0,
+        feedback_noise: float = 0.0,
+    ) -> None:
+        super().__init__(
+            worker_id=worker_id,
+            params=WorkerParameters.honest(beta=beta),
+            effort_function=effort_function,
+            feedback_noise=feedback_noise,
+        )
+
+    @property
+    def n_members(self) -> int:
+        """An honest worker is a single person."""
+        return 1
+
+    @property
+    def worker_type(self) -> WorkerType:
+        """Always :attr:`WorkerType.HONEST`."""
+        return WorkerType.HONEST

@@ -1,0 +1,67 @@
+"""Non-collusive malicious worker agents (Eq. 14).
+
+Besides pay minus effort cost, a malicious worker values the *influence*
+of its (biased) reviews: utility gains ``omega * q``.  The agent also
+carries its planted rating bias so the simulation can realize biased
+review scores the requester grades against expert consensus.
+"""
+
+from __future__ import annotations
+
+from ..core.effort import QuadraticEffort
+from ..errors import ModelError
+from ..types import WorkerParameters, WorkerType
+from .base import WorkerAgent
+
+__all__ = ["MaliciousWorker"]
+
+
+class MaliciousWorker(WorkerAgent):
+    """A worker maximizing ``c + omega * q - beta * y``.
+
+    Args:
+        worker_id: unique identifier.
+        effort_function: the worker's true ``psi``.
+        beta: effort-cost weight.
+        omega: influence weight (must be positive — otherwise use
+            :class:`~repro.workers.honest.HonestWorker`).
+        rating_bias: how far above truth the worker rates its targets.
+        feedback_noise: std of realized-feedback noise.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        effort_function: QuadraticEffort,
+        beta: float = 1.0,
+        omega: float = 0.5,
+        rating_bias: float = 2.0,
+        feedback_noise: float = 0.0,
+    ) -> None:
+        if omega <= 0.0:
+            raise ModelError(
+                f"a malicious worker needs omega > 0, got {omega!r}; "
+                "use HonestWorker for omega == 0"
+            )
+        super().__init__(
+            worker_id=worker_id,
+            params=WorkerParameters.malicious(beta=beta, omega=omega),
+            effort_function=effort_function,
+            feedback_noise=feedback_noise,
+        )
+        self.rating_bias = rating_bias
+
+    @property
+    def n_members(self) -> int:
+        """A non-collusive malicious worker acts alone."""
+        return 1
+
+    @property
+    def worker_type(self) -> WorkerType:
+        """Always :attr:`WorkerType.NONCOLLUSIVE_MALICIOUS`."""
+        return WorkerType.NONCOLLUSIVE_MALICIOUS
+
+    @property
+    def rating_bias_now(self) -> float:
+        """Malicious ratings are shifted by the planted bias."""
+        return self.rating_bias

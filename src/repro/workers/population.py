@@ -1,0 +1,409 @@
+"""Population assembly: trace -> agents, weights and subproblems.
+
+This module wires the substrates together exactly the way Fig. 4's
+strategy framework prescribes:
+
+1. cluster malicious workers into collusive communities (Section IV-A),
+2. fit class-level effort functions from trace observables
+   (Section IV-B),
+3. compute each subject's Eq. (5) feedback weight from its rating
+   deviation, estimated malice probability and partner count,
+4. emit one :class:`~repro.core.decomposition.Subproblem` per honest
+   worker, per non-collusive malicious worker and per community,
+   plus matching behavioural agents for the simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..collusion.clustering import CollusionClusters
+from ..core.decomposition import Subproblem
+from ..core.effort import QuadraticEffort
+from ..core.utility import RequesterObjective
+from ..data.dataset import ReviewTrace
+from ..errors import FitError, ModelError
+from ..estimation.expertise import EffortProxy
+from ..fitting.quadratic import fit_concave_quadratic
+from ..types import WorkerParameters, WorkerType
+from .base import WorkerAgent
+from .collusive import CollusiveCommunity
+from .honest import HonestWorker
+from .malicious import MaliciousWorker
+
+__all__ = ["BehaviorConfig", "ClassEffortFunctions", "PopulationModel", "build_population", "fit_class_functions"]
+
+
+@dataclass(frozen=True)
+class BehaviorConfig:
+    """Behavioural parameters assumed for each worker class.
+
+    The trace does not reveal ``beta``/``omega`` (they are preference
+    parameters, not observables); the paper likewise fixes them
+    (``beta = 1`` in Section IV's numeric study).
+
+    Attributes:
+        beta: effort-cost weight, shared by all classes.
+        omega_noncollusive: influence weight of non-collusive malicious
+            workers.
+        omega_collusive: influence weight of collusive communities.
+        feedback_noise: std of realized-feedback noise in simulation.
+    """
+
+    beta: float = 1.0
+    omega_noncollusive: float = 0.3
+    omega_collusive: float = 0.3
+    feedback_noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0.0:
+            raise ModelError(f"beta must be positive, got {self.beta!r}")
+        if self.omega_noncollusive <= 0.0 or self.omega_collusive <= 0.0:
+            raise ModelError("malicious omegas must be positive")
+        if self.feedback_noise < 0.0:
+            raise ModelError("feedback_noise must be >= 0")
+
+
+@dataclass(frozen=True)
+class ClassEffortFunctions:
+    """Fitted effort functions, one per worker class (Section IV-B).
+
+    Attributes:
+        honest: per-worker ``psi`` for honest workers.
+        noncollusive: per-worker ``psi`` for non-collusive malicious.
+        collusive_member: per-*member* ``psi`` for collusive workers
+            (the Table III "C-Mal" fit on one point per worker); the
+            per-community meta function ``psi_A`` is derived from it via
+            :meth:`~repro.core.effort.QuadraticEffort.community_scaled`.
+    """
+
+    honest: QuadraticEffort
+    noncollusive: QuadraticEffort
+    collusive_member: QuadraticEffort
+
+    def community_function(self, n_members: int) -> QuadraticEffort:
+        """The Eq. (3) meta function for a community of ``n_members``."""
+        return self.collusive_member.community_scaled(n_members)
+
+
+def fit_class_functions(
+    trace: ReviewTrace,
+    proxy: EffortProxy,
+    clusters: CollusionClusters,
+) -> ClassEffortFunctions:
+    """Fit the three class-level effort functions from observables.
+
+    Every fit uses one (mean effort, mean feedback) point per worker —
+    the paper's "18,176 / 1,312 / 212 data points".  The per-community
+    meta function of Eq. (3) is *derived* from the per-member collusive
+    fit (``psi_A(Y) = n * psi(Y / n)``) rather than fitted across
+    communities: a cross-community fit degenerates to a line because
+    both summed effort and summed feedback scale with community size.
+    """
+    honest_ids = trace.worker_ids(WorkerType.HONEST)
+    honest_x, honest_y = proxy.class_points(trace, honest_ids)
+    honest_fit = fit_concave_quadratic(honest_x, honest_y)
+
+    ncm_x, ncm_y = proxy.class_points(trace, sorted(clusters.noncollusive))
+    ncm_fit = fit_concave_quadratic(ncm_x, ncm_y)
+
+    collusive_ids = sorted(
+        worker for community in clusters.communities for worker in community
+    )
+    cm_x, cm_y = proxy.class_points(trace, collusive_ids)
+    cm_fit = fit_concave_quadratic(cm_x, cm_y)
+    return ClassEffortFunctions(
+        honest=honest_fit, noncollusive=ncm_fit, collusive_member=cm_fit
+    )
+
+
+@dataclass
+class PopulationModel:
+    """Everything the requester knows about the worker population.
+
+    Attributes:
+        subproblems: one per subject (worker or community), the direct
+            input of :func:`~repro.core.decomposition.solve_subproblems`.
+        agents: behavioural agents keyed by subject id (the simulation's
+            follower side).
+        weights: Eq. (5) feedback weight per subject.
+        class_functions: the fitted per-class effort functions.
+        deviations: mean |rating - expert| per subject (diagnostics).
+        malice: the e_mal estimate per subject.
+    """
+
+    subproblems: List[Subproblem]
+    agents: Dict[str, WorkerAgent]
+    weights: Dict[str, float]
+    class_functions: ClassEffortFunctions
+    deviations: Dict[str, float] = field(default_factory=dict)
+    malice: Dict[str, float] = field(default_factory=dict)
+
+    def subjects_of_type(self, worker_type: WorkerType) -> List[str]:
+        """Subject ids whose parameters carry the given class."""
+        return [
+            subproblem.subject_id
+            for subproblem in self.subproblems
+            if subproblem.params.worker_type is worker_type
+        ]
+
+    def subproblem_of(self, subject_id: str) -> Subproblem:
+        """Look up one subject's subproblem."""
+        for subproblem in self.subproblems:
+            if subproblem.subject_id == subject_id:
+                return subproblem
+        raise ModelError(f"unknown subject {subject_id!r}")
+
+
+#: Headroom multiplier on the observed effort maximum when capping the
+#: contract grid: the contract may ask for somewhat more effort than the
+#: workers have historically shown, but not arbitrarily more.
+_EFFORT_CAP_HEADROOM = 1.25
+
+
+def _class_effort_caps(
+    trace: ReviewTrace, proxy: EffortProxy, clusters: CollusionClusters
+) -> Dict[str, float]:
+    """Effort-grid caps for the individual-worker classes.
+
+    The 99th percentile of observed per-worker efforts times a small
+    headroom factor.  (Communities get per-community caps from their own
+    members' observed efforts.)  This pins the
+    Section III-A discretization to "the effort region of workers"
+    rather than to the fitted parabola's potentially enormous increasing
+    range.
+    """
+    honest_x, _ = proxy.class_points(trace, trace.worker_ids(WorkerType.HONEST))
+    ncm_x, _ = proxy.class_points(trace, sorted(clusters.noncollusive))
+    caps: Dict[str, float] = {}
+    for name, values in (("honest", honest_x), ("noncollusive", ncm_x)):
+        if np.asarray(values).size == 0:
+            raise ModelError(f"no observed efforts to cap the {name} grid with")
+        caps[name] = _EFFORT_CAP_HEADROOM * float(
+            np.percentile(np.asarray(values), 99)
+        )
+    return caps
+
+
+def _per_worker_fit(
+    trace: ReviewTrace,
+    proxy: EffortProxy,
+    worker_id: str,
+    min_reviews: int,
+):
+    """Fit one worker's own concave quadratic from its review scatter.
+
+    Returns ``(psi, effort_cap)`` or ``None`` when the history is too
+    thin or the fit degenerates (the caller falls back to the class
+    fit).
+    """
+    efforts, upvotes = proxy.worker_points(trace, worker_id)
+    if efforts.size < min_reviews:
+        return None
+    try:
+        psi = fit_concave_quadratic(efforts, upvotes)
+    except FitError:
+        return None
+    cap = _EFFORT_CAP_HEADROOM * float(np.percentile(efforts, 99))
+    if cap <= 0.0:
+        return None
+    return psi, cap
+
+
+def _mean_rating_deviation(trace: ReviewTrace, worker_ids: Sequence[str]) -> float:
+    """Mean |rating - expert consensus| across the workers' reviews."""
+    deviations: List[float] = []
+    for worker_id in worker_ids:
+        for review in trace.reviews_of(worker_id):
+            expert = trace.products[review.product_id].expert_score
+            deviations.append(abs(review.rating - expert))
+    if not deviations:
+        return float("inf")
+    return float(np.mean(deviations))
+
+
+def build_population(
+    trace: ReviewTrace,
+    clusters: CollusionClusters,
+    proxy: EffortProxy,
+    malice_estimates: Mapping[str, float],
+    objective: RequesterObjective,
+    behavior: Optional[BehaviorConfig] = None,
+    honest_subset: Optional[Sequence[str]] = None,
+    true_functions: Optional[ClassEffortFunctions] = None,
+    per_worker_fits: bool = False,
+    min_reviews_for_fit: int = 15,
+) -> PopulationModel:
+    """Assemble the population model from trace-derived knowledge.
+
+    Args:
+        trace: the review trace.
+        clusters: collusive clustering over the malicious workers.
+        proxy: the effort-proxy estimator.
+        malice_estimates: per-worker ``e_mal`` estimates.
+        objective: the requester's parameters.
+        behavior: behavioural class parameters (defaults used if None).
+        honest_subset: optionally restrict honest workers to this subset
+            (full-trace runs with 18k honest subproblems are expensive;
+            the paper's Fig. 8 likewise samples).
+        true_functions: the agents' true effort functions; defaults to
+            the fitted ones (self-consistent world).  Pass the
+            generator's ground truth to study model-misfit effects.
+        per_worker_fits: fit an individual ``psi`` for every honest
+            worker with at least ``min_reviews_for_fit`` reviews (the
+            paper's Fig. 8a treatment), falling back to the class fit
+            for thin histories or degenerate fits.
+        min_reviews_for_fit: history floor for a per-worker fit.
+
+    Returns:
+        The assembled :class:`PopulationModel`.
+    """
+    behavior = behavior if behavior is not None else BehaviorConfig()
+    fitted = fit_class_functions(trace, proxy, clusters)
+    acting = true_functions if true_functions is not None else fitted
+    weight_params = objective.weight_params
+    caps = _class_effort_caps(trace, proxy, clusters)
+    if min_reviews_for_fit < 3:
+        raise ModelError(
+            f"min_reviews_for_fit must be >= 3, got {min_reviews_for_fit!r}"
+        )
+
+    subproblems: List[Subproblem] = []
+    agents: Dict[str, WorkerAgent] = {}
+    weights: Dict[str, float] = {}
+    deviations: Dict[str, float] = {}
+    malice: Dict[str, float] = {}
+
+    honest_ids = (
+        list(honest_subset)
+        if honest_subset is not None
+        else trace.worker_ids(WorkerType.HONEST)
+    )
+    for worker_id in honest_ids:
+        if trace.reviewers[worker_id].worker_type is not WorkerType.HONEST:
+            raise ModelError(f"worker {worker_id!r} in honest_subset is not honest")
+        deviation = _mean_rating_deviation(trace, [worker_id])
+        e_mal = float(malice_estimates.get(worker_id, 0.0))
+        weight = weight_params.weight_from_deviation(
+            deviation, malice_probability=e_mal
+        )
+        worker_psi, worker_cap = fitted.honest, caps["honest"]
+        if per_worker_fits:
+            individual = _per_worker_fit(
+                trace, proxy, worker_id, min_reviews_for_fit
+            )
+            if individual is not None:
+                worker_psi, worker_cap = individual
+        subproblems.append(
+            Subproblem(
+                subject_id=worker_id,
+                effort_function=worker_psi,
+                params=WorkerParameters.honest(beta=behavior.beta),
+                feedback_weight=weight,
+                max_effort=worker_cap,
+            )
+        )
+        agents[worker_id] = HonestWorker(
+            worker_id=worker_id,
+            effort_function=(
+                worker_psi if per_worker_fits and true_functions is None
+                else acting.honest
+            ),
+            beta=behavior.beta,
+            feedback_noise=behavior.feedback_noise,
+        )
+        weights[worker_id] = weight
+        deviations[worker_id] = deviation
+        malice[worker_id] = e_mal
+
+    for worker_id in sorted(clusters.noncollusive):
+        deviation = _mean_rating_deviation(trace, [worker_id])
+        e_mal = float(malice_estimates.get(worker_id, 1.0))
+        weight = weight_params.weight_from_deviation(
+            deviation, malice_probability=e_mal
+        )
+        subproblems.append(
+            Subproblem(
+                subject_id=worker_id,
+                effort_function=fitted.noncollusive,
+                params=WorkerParameters.malicious(
+                    beta=behavior.beta, omega=behavior.omega_noncollusive
+                ),
+                feedback_weight=weight,
+                max_effort=caps["noncollusive"],
+            )
+        )
+        agents[worker_id] = MaliciousWorker(
+            worker_id=worker_id,
+            effort_function=acting.noncollusive,
+            beta=behavior.beta,
+            omega=behavior.omega_noncollusive,
+            # The agent rates the way its trace history shows: its bias
+            # is the observed mean deviation.  Subtle malicious workers
+            # stay subtle in simulation — which is exactly what lets the
+            # dynamic policy (and online re-estimation) harvest them.
+            rating_bias=deviation if math.isfinite(deviation) else 2.0,
+            feedback_noise=behavior.feedback_noise,
+        )
+        weights[worker_id] = weight
+        deviations[worker_id] = deviation
+        malice[worker_id] = e_mal
+
+    for index, community in enumerate(clusters.communities):
+        community_id = f"community{index:03d}"
+        members = sorted(community)
+        meta_function = fitted.community_function(len(members))
+        acting_meta = acting.community_function(len(members))
+        member_x, _ = proxy.class_points(trace, members)
+        community_cap = (
+            _EFFORT_CAP_HEADROOM * float(member_x.sum()) if member_x.size else None
+        )
+        deviation = _mean_rating_deviation(trace, members)
+        e_mal = float(
+            np.mean([malice_estimates.get(member, 1.0) for member in members])
+        )
+        weight = weight_params.weight_from_deviation(
+            deviation,
+            malice_probability=e_mal,
+            n_partners=len(members) - 1,
+        )
+        subproblems.append(
+            Subproblem(
+                subject_id=community_id,
+                effort_function=meta_function,
+                params=WorkerParameters.malicious(
+                    beta=behavior.beta,
+                    omega=behavior.omega_collusive,
+                    collusive=True,
+                ),
+                feedback_weight=weight,
+                member_ids=tuple(members),
+                max_effort=community_cap,
+            )
+        )
+        agents[community_id] = CollusiveCommunity(
+            community_id=community_id,
+            member_ids=members,
+            effort_function=acting_meta,
+            beta=behavior.beta,
+            omega=behavior.omega_collusive,
+            rating_bias=deviation if math.isfinite(deviation) else 2.0,
+            feedback_noise=behavior.feedback_noise,
+        )
+        weights[community_id] = weight
+        deviations[community_id] = deviation
+        malice[community_id] = e_mal
+
+    return PopulationModel(
+        subproblems=subproblems,
+        agents=agents,
+        weights=weights,
+        class_functions=fitted,
+        deviations=deviations,
+        malice=malice,
+    )

@@ -1,0 +1,76 @@
+"""Tests for the policy comparison harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import compare_policies
+from repro.core.utility import RequesterObjective
+from repro.errors import SimulationError
+from repro.simulation import DynamicContractPolicy, ExclusionPolicy
+from repro.types import RequesterParameters, WorkerType
+from repro.workers import build_population
+
+
+@pytest.fixture(scope="module")
+def population(request):
+    return build_population(
+        trace=request.getfixturevalue("small_trace"),
+        clusters=request.getfixturevalue("small_clusters"),
+        proxy=request.getfixturevalue("small_proxy"),
+        malice_estimates=request.getfixturevalue("small_malice"),
+        objective=RequesterObjective(RequesterParameters(mu=1.0)),
+        honest_subset=request.getfixturevalue("small_trace").worker_ids(
+            WorkerType.HONEST
+        )[:50],
+    )
+
+
+class TestComparePolicies:
+    def test_aligned_series(self, population):
+        comparison = compare_policies(
+            population,
+            RequesterObjective(RequesterParameters(mu=1.0)),
+            {
+                "dynamic": DynamicContractPolicy(mu=1.0),
+                "exclusion": ExclusionPolicy(inner=DynamicContractPolicy(mu=1.0)),
+            },
+            n_rounds=3,
+            seed=1,
+        )
+        assert set(comparison.ledgers) == {"dynamic", "exclusion"}
+        assert comparison.utility_series["dynamic"].shape == (3,)
+        assert comparison.winner() in {"dynamic", "exclusion"}
+
+    def test_margin_antisymmetric(self, population):
+        comparison = compare_policies(
+            population,
+            RequesterObjective(RequesterParameters(mu=1.0)),
+            {
+                "dynamic": DynamicContractPolicy(mu=1.0),
+                "exclusion": ExclusionPolicy(inner=DynamicContractPolicy(mu=1.0)),
+            },
+            n_rounds=2,
+            seed=1,
+        )
+        assert comparison.margin("dynamic", "exclusion") == pytest.approx(
+            -comparison.margin("exclusion", "dynamic")
+        )
+
+    def test_unknown_policy_name(self, population):
+        comparison = compare_policies(
+            population,
+            RequesterObjective(RequesterParameters(mu=1.0)),
+            {"dynamic": DynamicContractPolicy(mu=1.0)},
+            n_rounds=1,
+        )
+        with pytest.raises(SimulationError):
+            comparison.total("nope")
+
+    def test_empty_policies_rejected(self, population):
+        with pytest.raises(SimulationError):
+            compare_policies(
+                population,
+                RequesterObjective(RequesterParameters(mu=1.0)),
+                {},
+            )

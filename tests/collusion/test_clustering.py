@@ -1,0 +1,149 @@
+"""Tests for collusive-community clustering (Section IV-A)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collusion import (
+    build_auxiliary_graph,
+    cluster_collusive_workers,
+    cluster_streaming,
+)
+from repro.errors import DataError
+
+
+class TestAuxiliaryGraph:
+    def test_shared_target_creates_edge(self):
+        graph = build_auxiliary_graph({"w1": ["p1"], "w2": ["p1"], "w3": ["p2"]})
+        assert graph.has_edge("w1", "w2")
+        assert not graph.has_edge("w1", "w3")
+
+    def test_workers_without_targets_are_isolated(self):
+        graph = build_auxiliary_graph({"w1": [], "w2": ["p1"]})
+        assert graph.n_nodes == 2
+        assert graph.degree("w1") == 0
+
+
+class TestClustering:
+    def test_simple_communities(self):
+        clusters = cluster_collusive_workers(
+            {
+                "w1": ["p1", "p2"],
+                "w2": ["p2"],
+                "w3": ["p3"],
+                "w4": ["p3"],
+                "w5": ["p4"],
+            }
+        )
+        assert clusters.n_communities == 2
+        communities = {frozenset(c) for c in clusters.communities}
+        assert frozenset({"w1", "w2"}) in communities
+        assert frozenset({"w3", "w4"}) in communities
+        assert clusters.noncollusive == frozenset({"w5"})
+
+    def test_transitive_collusion(self):
+        """w1-w2 share p1, w2-w3 share p2: all three form one community."""
+        clusters = cluster_collusive_workers(
+            {"w1": ["p1"], "w2": ["p1", "p2"], "w3": ["p2"]}
+        )
+        assert clusters.n_communities == 1
+        assert clusters.communities[0] == frozenset({"w1", "w2", "w3"})
+
+    def test_deterministic_ordering(self):
+        targets = {
+            "a1": ["x"], "a2": ["x"],
+            "b1": ["y"], "b2": ["y"], "b3": ["y"],
+        }
+        clusters = cluster_collusive_workers(targets)
+        # Larger community first.
+        assert len(clusters.communities[0]) == 3
+
+    def test_partners_of(self):
+        clusters = cluster_collusive_workers(
+            {"w1": ["p1"], "w2": ["p1"], "w3": ["p1"], "w4": ["q"]}
+        )
+        assert clusters.partners_of("w1") == 2
+        assert clusters.partners_of("w4") == 0
+
+    def test_community_of(self):
+        clusters = cluster_collusive_workers({"w1": ["p1"], "w2": ["p1"]})
+        assert clusters.community_of("w1") == frozenset({"w1", "w2"})
+        with pytest.raises(DataError):
+            clusters.community_of("unknown")
+
+    def test_membership_map(self):
+        clusters = cluster_collusive_workers(
+            {"w1": ["p1"], "w2": ["p1"], "w3": ["p2"], "w4": ["p2"]}
+        )
+        membership = clusters.membership()
+        assert membership["w1"] == membership["w2"]
+        assert membership["w3"] == membership["w4"]
+        assert membership["w1"] != membership["w3"]
+
+    def test_size_histogram(self):
+        clusters = cluster_collusive_workers(
+            {"a": ["x"], "b": ["x"], "c": ["y"], "d": ["y"], "e": ["y"]}
+        )
+        assert clusters.size_histogram() == {2: 1, 3: 1}
+
+    def test_counts(self):
+        clusters = cluster_collusive_workers(
+            {"a": ["x"], "b": ["x"], "c": ["z"]}
+        )
+        assert clusters.n_collusive_workers == 2
+        assert clusters.n_communities == 1
+
+
+class TestStreaming:
+    def test_matches_batch_clustering(self):
+        targets = {
+            "w1": ["p1", "p2"],
+            "w2": ["p2"],
+            "w3": ["p3"],
+            "w4": ["p3"],
+            "w5": ["p9"],
+        }
+        pairs = [(w, p) for w, products in targets.items() for p in products]
+        batch = cluster_collusive_workers(targets)
+        streaming = cluster_streaming(pairs, set(targets))
+        assert set(batch.communities) == set(streaming.communities)
+        assert batch.noncollusive == streaming.noncollusive
+
+    def test_skips_non_malicious(self):
+        pairs = [("w1", "p1"), ("honest", "p1"), ("w2", "p1")]
+        clusters = cluster_streaming(pairs, {"w1", "w2"})
+        assert clusters.communities[0] == frozenset({"w1", "w2"})
+
+    def test_reviewless_malicious_are_noncollusive(self):
+        clusters = cluster_streaming([("w1", "p1")], {"w1", "ghost"})
+        assert "ghost" in clusters.noncollusive
+
+
+_target_maps = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=20),
+    values=st.lists(st.integers(min_value=0, max_value=15), max_size=4),
+    max_size=20,
+)
+
+
+@given(targets=_target_maps)
+@settings(max_examples=200, deadline=None)
+def test_property_streaming_equals_batch(targets):
+    """The one-pass union-find clustering equals the batch DFS one."""
+    pairs = [(w, p) for w, products in targets.items() for p in products]
+    batch = cluster_collusive_workers(targets)
+    streaming = cluster_streaming(pairs, set(targets))
+    assert set(batch.communities) == set(streaming.communities)
+    assert batch.noncollusive == streaming.noncollusive
+
+
+@given(targets=_target_maps)
+@settings(max_examples=200, deadline=None)
+def test_property_partition_is_complete(targets):
+    """Every malicious worker lands in exactly one bucket."""
+    clusters = cluster_collusive_workers(targets)
+    in_communities = {w for c in clusters.communities for w in c}
+    assert in_communities.isdisjoint(clusters.noncollusive)
+    assert in_communities | set(clusters.noncollusive) == set(targets)

@@ -1,0 +1,76 @@
+"""Tests for the Table II community-size view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collusion import (
+    CollusionClusters,
+    community_size_table,
+    community_summary,
+)
+from repro.errors import DataError
+
+
+def _clusters(sizes):
+    communities = []
+    counter = 0
+    for size in sizes:
+        communities.append(
+            frozenset(f"w{counter + offset}" for offset in range(size))
+        )
+        counter += size
+    return CollusionClusters(
+        communities=tuple(communities), noncollusive=frozenset({"solo"})
+    )
+
+
+class TestSizeTable:
+    def test_buckets(self):
+        table = community_size_table(_clusters([2, 2, 3, 6, 8, 12]))
+        assert table.counts[2] == 2
+        assert table.counts[3] == 1
+        assert table.counts[6] == 1
+        assert table.other_count == 1  # size 8 falls in the 7-9 gap
+        assert table.tail_count == 1  # size 12
+        assert table.n_communities == 6
+
+    def test_percentages_sum_to_100(self):
+        table = community_size_table(_clusters([2, 3, 4, 5, 6, 7, 11]))
+        total = sum(pct for _, pct in table.as_rows())
+        total += table.other_percentage
+        assert total == pytest.approx(100.0)
+
+    def test_percentage_unknown_size_rejected(self):
+        table = community_size_table(_clusters([2, 2]))
+        with pytest.raises(DataError):
+            table.percentage(9)
+
+    def test_empty_clustering(self):
+        table = community_size_table(
+            CollusionClusters(communities=(), noncollusive=frozenset())
+        )
+        assert table.n_communities == 0
+        assert table.tail_percentage == 0.0
+
+    def test_format_contains_paper_buckets(self):
+        rendered = community_size_table(_clusters([2, 10])).format()
+        assert ">=10" in rendered
+        assert "Percentage" in rendered
+
+
+class TestSummary:
+    def test_summary_counts(self):
+        summary = community_summary(_clusters([2, 3, 10]))
+        assert summary["n_communities"] == 3
+        assert summary["n_collusive_workers"] == 15
+        assert summary["n_noncollusive_malicious"] == 1
+        assert summary["max_size"] == 10
+        assert summary["mean_size"] == pytest.approx(5.0)
+
+    def test_summary_empty(self):
+        summary = community_summary(
+            CollusionClusters(communities=(), noncollusive=frozenset())
+        )
+        assert summary["mean_size"] == 0.0
+        assert summary["max_size"] == 0.0

@@ -1,0 +1,146 @@
+"""Tests for the graph substrate, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collusion import Graph, UnionFind
+from repro.errors import DataError
+
+
+class TestGraph:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.n_nodes == 0
+        assert graph.n_edges == 0
+        assert graph.connected_components() == []
+
+    def test_add_edge_creates_nodes(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        assert graph.n_nodes == 2
+        assert graph.n_edges == 1
+        assert graph.has_edge("a", "b")
+        assert graph.has_edge("b", "a")
+
+    def test_parallel_edges_collapse(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "b")
+        assert graph.n_edges == 1
+
+    def test_self_loops_ignored(self):
+        graph = Graph()
+        graph.add_edge("a", "a")
+        assert graph.n_nodes == 1
+        assert graph.n_edges == 0
+        assert graph.degree("a") == 0
+
+    def test_neighbors_and_degree(self):
+        graph = Graph()
+        graph.add_edges([("a", "b"), ("a", "c")])
+        assert graph.neighbors("a") == {"b", "c"}
+        assert graph.degree("a") == 2
+        with pytest.raises(DataError):
+            graph.neighbors("zz")
+        with pytest.raises(DataError):
+            graph.degree("zz")
+
+    def test_components_with_isolated_node(self):
+        graph = Graph()
+        graph.add_edges([("a", "b"), ("b", "c")])
+        graph.add_node("lonely")
+        components = graph.connected_components()
+        assert {frozenset(c) for c in components} == {
+            frozenset({"a", "b", "c"}),
+            frozenset({"lonely"}),
+        }
+
+    def test_component_of(self):
+        graph = Graph()
+        graph.add_edges([("a", "b"), ("c", "d")])
+        assert graph.component_of("a") == {"a", "b"}
+        with pytest.raises(DataError):
+            graph.component_of("zz")
+
+    def test_deep_chain_no_recursion_limit(self):
+        """Iterative DFS must survive a 50k-node path graph."""
+        graph = Graph()
+        for index in range(50_000):
+            graph.add_edge(index, index + 1)
+        components = graph.connected_components()
+        assert len(components) == 1
+        assert len(components[0]) == 50_001
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        sets = UnionFind()
+        sets.union("a", "b")
+        sets.union("b", "c")
+        assert sets.connected("a", "c")
+        assert len(sets) == 3
+
+    def test_disjoint(self):
+        sets = UnionFind()
+        sets.union("a", "b")
+        sets.union("c", "d")
+        assert not sets.connected("a", "c")
+
+    def test_find_unknown_raises(self):
+        sets = UnionFind()
+        with pytest.raises(DataError):
+            sets.find("missing")
+
+    def test_groups_include_singletons(self):
+        sets = UnionFind()
+        sets.add("solo")
+        sets.union("a", "b")
+        groups = {frozenset(g) for g in sets.groups()}
+        assert frozenset({"solo"}) in groups
+        assert frozenset({"a", "b"}) in groups
+
+    def test_idempotent_union(self):
+        sets = UnionFind()
+        root1 = sets.union("a", "b")
+        root2 = sets.union("a", "b")
+        assert root1 == root2
+
+
+_edge_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30)),
+    max_size=80,
+)
+
+
+@given(edges=_edge_lists)
+@settings(max_examples=200, deadline=None)
+def test_property_components_match_networkx(edges):
+    """DFS components agree with networkx on random graphs."""
+    graph = Graph()
+    reference = nx.Graph()
+    for left, right in edges:
+        graph.add_edge(left, right)
+        reference.add_edge(left, right)
+    ours = {frozenset(c) for c in graph.connected_components()}
+    theirs = {frozenset(c) for c in nx.connected_components(reference)}
+    # networkx keeps self-loop-only nodes too; ours does as well (as
+    # isolated nodes), so the partitions must match exactly.
+    assert ours == theirs
+
+
+@given(edges=_edge_lists)
+@settings(max_examples=200, deadline=None)
+def test_property_union_find_agrees_with_dfs(edges):
+    """The two component implementations always agree."""
+    graph = Graph()
+    sets = UnionFind()
+    for left, right in edges:
+        graph.add_edge(left, right)
+        sets.union(left, right)
+    dfs_parts = {frozenset(c) for c in graph.connected_components()}
+    uf_parts = {frozenset(g) for g in sets.groups()}
+    assert dfs_parts == uf_parts

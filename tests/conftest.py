@@ -1,0 +1,78 @@
+"""Shared fixtures: effort functions, grids, small traces, contexts.
+
+The small trace and the experiment context are session-scoped — they are
+deterministic in (config, seed), so sharing them across tests is safe
+and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collusion import cluster_collusive_workers
+from repro.data import AmazonTraceGenerator, TraceConfig
+from repro.estimation import DeviationMaliceEstimator, EffortProxy
+from repro.experiments import ExperimentConfig, build_context
+from repro.types import DiscretizationGrid, WorkerParameters
+from repro.core import QuadraticEffort
+
+
+@pytest.fixture()
+def psi() -> QuadraticEffort:
+    """The reference concave effort function used across core tests."""
+    return QuadraticEffort(r2=-0.5, r1=10.0, r0=1.0)
+
+
+@pytest.fixture()
+def steep_psi() -> QuadraticEffort:
+    """The Fig. 6-style effort function (large marginal feedback)."""
+    return QuadraticEffort(r2=-1.0, r1=30.0, r0=5.0)
+
+
+@pytest.fixture()
+def grid(psi: QuadraticEffort) -> DiscretizationGrid:
+    """A 10-interval grid covering 95% of the increasing range."""
+    return DiscretizationGrid.for_max_effort(0.95 * psi.max_increasing_effort, 10)
+
+
+@pytest.fixture()
+def honest_params() -> WorkerParameters:
+    return WorkerParameters.honest(beta=1.0)
+
+
+@pytest.fixture()
+def malicious_params() -> WorkerParameters:
+    return WorkerParameters.malicious(beta=1.0, omega=0.3)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A deterministic small trace shared by the whole session."""
+    return AmazonTraceGenerator(TraceConfig.small(), seed=11).generate()
+
+
+@pytest.fixture(scope="session")
+def small_clusters(small_trace):
+    return cluster_collusive_workers(small_trace.malicious_targets())
+
+
+@pytest.fixture(scope="session")
+def small_proxy(small_trace):
+    return EffortProxy.from_trace(small_trace)
+
+
+@pytest.fixture(scope="session")
+def small_malice(small_trace):
+    return DeviationMaliceEstimator().estimate(small_trace)
+
+
+@pytest.fixture(scope="session")
+def small_context():
+    """A cached small-scale experiment context."""
+    return build_context(ExperimentConfig.small(seed=11))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,164 @@
+"""Tests for the exact best-response solver.
+
+The load-bearing property: the solver's optimum always matches (or
+beats, within tolerance) a dense brute-force scan of the worker utility
+— for random contracts, random worker parameters, and a true effort
+function that may differ from the contract's fitted one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Contract, QuadraticEffort, solve_best_response
+from repro.core.best_response import worker_utility
+from repro.errors import DesignError
+from repro.types import DiscretizationGrid, WorkerParameters
+
+
+def _contract_from_values(psi, grid, values) -> Contract:
+    return Contract(grid=grid, effort_function=psi, compensations=tuple(values))
+
+
+class TestWorkerUtility:
+    def test_utility_formula(self, psi, grid, malicious_params):
+        values = np.linspace(0.0, 5.0, grid.n_intervals + 1)
+        contract = _contract_from_values(psi, grid, values)
+        effort = 3.3
+        expected = (
+            contract.pay_for_effort(effort)
+            + malicious_params.omega * psi(effort)
+            - malicious_params.beta * effort
+        )
+        assert worker_utility(contract, malicious_params, effort) == pytest.approx(
+            expected
+        )
+
+    def test_rejects_negative_effort(self, psi, grid, honest_params):
+        contract = Contract.flat(grid, psi, pay=1.0)
+        with pytest.raises(DesignError):
+            worker_utility(contract, honest_params, -0.1)
+
+    def test_true_psi_override(self, psi, grid, honest_params):
+        contract = _contract_from_values(
+            psi, grid, np.linspace(0.0, 5.0, grid.n_intervals + 1)
+        )
+        true_psi = QuadraticEffort(r2=-0.4, r1=8.0, r0=0.5)
+        effort = 2.0
+        expected = (
+            contract.pay_for_feedback(float(true_psi(effort)))
+            - honest_params.beta * effort
+        )
+        assert worker_utility(
+            contract, honest_params, effort, effort_function=true_psi
+        ) == pytest.approx(expected)
+
+
+class TestFlatContract:
+    def test_honest_worker_stays_home(self, psi, grid, honest_params):
+        contract = Contract.flat(grid, psi, pay=2.0)
+        response = solve_best_response(contract, honest_params)
+        assert response.effort == pytest.approx(0.0)
+        assert response.compensation == pytest.approx(2.0)
+        assert response.utility == pytest.approx(2.0)
+
+    def test_malicious_worker_works_for_influence(self, psi, grid):
+        params = WorkerParameters.malicious(beta=1.0, omega=1.0)
+        contract = Contract.flat(grid, psi, pay=0.0)
+        response = solve_best_response(contract, params)
+        # Stationary point of omega*psi(y) - beta*y.
+        expected = psi.derivative_inverse(params.beta / params.omega)
+        assert response.effort == pytest.approx(expected)
+        assert response.compensation == pytest.approx(0.0)
+
+
+class TestSteppedContract:
+    def test_strong_slope_pulls_effort_up(self, psi, grid, honest_params):
+        lazy = Contract.flat(grid, psi, pay=0.0)
+        generous = _contract_from_values(
+            psi, grid, np.linspace(0.0, 40.0, grid.n_intervals + 1)
+        )
+        lazy_response = solve_best_response(lazy, honest_params)
+        generous_response = solve_best_response(generous, honest_params)
+        assert generous_response.effort > lazy_response.effort
+
+    def test_reported_feedback_matches_psi(self, psi, grid, honest_params):
+        contract = _contract_from_values(
+            psi, grid, np.linspace(0.0, 10.0, grid.n_intervals + 1)
+        )
+        response = solve_best_response(contract, honest_params)
+        assert response.feedback == pytest.approx(float(psi(response.effort)))
+
+    def test_reported_compensation_matches_contract(self, psi, grid, honest_params):
+        contract = _contract_from_values(
+            psi, grid, np.linspace(0.0, 10.0, grid.n_intervals + 1)
+        )
+        response = solve_best_response(contract, honest_params)
+        assert response.compensation == pytest.approx(
+            contract.pay_for_feedback(response.feedback)
+        )
+
+    def test_piece_reports_grid_interval(self, psi, grid, honest_params):
+        contract = _contract_from_values(
+            psi, grid, np.linspace(0.0, 10.0, grid.n_intervals + 1)
+        )
+        response = solve_best_response(contract, honest_params)
+        left, right = grid.interval(response.piece)
+        assert left <= response.effort <= right
+
+
+@st.composite
+def _contract_setup(draw):
+    r2 = draw(st.floats(min_value=-2.0, max_value=-0.05))
+    r1 = draw(st.floats(min_value=1.0, max_value=30.0))
+    r0 = draw(st.floats(min_value=0.0, max_value=5.0))
+    psi = QuadraticEffort(r2=r2, r1=r1, r0=r0)
+    m = draw(st.integers(min_value=2, max_value=8))
+    grid = DiscretizationGrid.for_max_effort(0.9 * psi.max_increasing_effort, m)
+    increments = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0), min_size=m + 1, max_size=m + 1
+        )
+    )
+    values = np.cumsum(increments)
+    values -= values[0]
+    beta = draw(st.floats(min_value=0.2, max_value=3.0))
+    omega = draw(st.floats(min_value=0.0, max_value=1.5))
+    params = (
+        WorkerParameters.honest(beta=beta)
+        if omega == 0.0
+        else WorkerParameters.malicious(beta=beta, omega=omega)
+    )
+    return psi, grid, tuple(float(v) for v in values), params
+
+
+@given(setup=_contract_setup())
+@settings(max_examples=150, deadline=None)
+def test_property_solver_beats_dense_scan(setup):
+    """The analytic optimum is never worse than a dense effort scan."""
+    psi, grid, values, params = setup
+    contract = Contract(grid=grid, effort_function=psi, compensations=values)
+    response = solve_best_response(contract, params)
+    scan_max = psi.max_increasing_effort * 1.05
+    efforts = np.linspace(0.0, scan_max, 2001)
+    utilities = [worker_utility(contract, params, float(y)) for y in efforts]
+    assert response.utility >= max(utilities) - 1e-6
+
+
+@given(setup=_contract_setup())
+@settings(max_examples=100, deadline=None)
+def test_property_solver_with_true_psi_override(setup):
+    """Same optimality property when the worker's true psi differs."""
+    psi, grid, values, params = setup
+    contract = Contract(grid=grid, effort_function=psi, compensations=values)
+    true_psi = QuadraticEffort(r2=psi.r2 * 1.2, r1=psi.r1 * 0.9, r0=psi.r0)
+    response = solve_best_response(contract, params, effort_function=true_psi)
+    efforts = np.linspace(0.0, true_psi.max_increasing_effort * 1.05, 2001)
+    utilities = [
+        worker_utility(contract, params, float(y), effort_function=true_psi)
+        for y in efforts
+    ]
+    assert response.utility >= max(utilities) - 1e-6

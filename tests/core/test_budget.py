@@ -1,0 +1,125 @@
+"""Tests for budget-feasible contract selection (MCKP)."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QuadraticEffort,
+    Subproblem,
+    budget_options,
+    budgeted_selection,
+    solve_subproblems,
+)
+from repro.core.budget import _prune_dominated, BudgetOption
+from repro.errors import DesignError
+from repro.types import WorkerParameters
+
+
+@pytest.fixture(scope="module")
+def solutions(request):
+    psi = QuadraticEffort(r2=-0.5, r1=10.0, r0=1.0)
+    problems = [
+        Subproblem(
+            subject_id=f"w{i}",
+            effort_function=psi,
+            params=WorkerParameters.honest(),
+            feedback_weight=0.4 + 0.3 * i,
+        )
+        for i in range(5)
+    ]
+    return solve_subproblems(problems, mu=1.0)
+
+
+class TestOptions:
+    def test_null_option_always_present(self, solutions):
+        per_subject = budget_options(solutions)
+        for options in per_subject.values():
+            assert any(
+                option.target_piece is None and option.cost == 0.0
+                for option in options
+            )
+
+    def test_frontier_is_monotone(self, solutions):
+        per_subject = budget_options(solutions)
+        for options in per_subject.values():
+            costs = [option.cost for option in options]
+            utilities = [option.utility for option in options]
+            assert costs == sorted(costs)
+            assert utilities == sorted(utilities)
+
+    def test_prune_dominated(self):
+        options = [
+            BudgetOption("w", None, 0.0, 0.0),
+            BudgetOption("w", 1, 5.0, 2.0),
+            BudgetOption("w", 2, 4.0, 3.0),  # dominated by piece 1
+            BudgetOption("w", 3, 6.0, 3.5),
+        ]
+        frontier = _prune_dominated(options)
+        pieces = [option.target_piece for option in frontier]
+        assert pieces == [None, 1, 3]
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(DesignError):
+            BudgetOption("w", 1, 1.0, -0.1)
+
+
+class TestSelection:
+    def test_zero_budget_hires_nobody(self, solutions):
+        design = budgeted_selection(solutions, budget=0.0)
+        assert design.n_hired == 0
+        assert design.total_cost == 0.0
+        assert design.total_utility == 0.0
+
+    def test_budget_respected(self, solutions):
+        for budget in (1.0, 5.0, 12.0, 40.0):
+            design = budgeted_selection(solutions, budget=budget)
+            assert design.total_cost <= budget + 1e-9
+            realized = sum(option.cost for option in design.chosen.values())
+            assert design.total_cost == pytest.approx(realized)
+
+    def test_utility_monotone_in_budget(self, solutions):
+        utilities = [
+            budgeted_selection(solutions, budget=b).total_utility
+            for b in (0.0, 2.0, 8.0, 20.0, 50.0, 500.0)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(utilities, utilities[1:]))
+
+    def test_large_budget_matches_unconstrained(self, solutions):
+        design = budgeted_selection(solutions, budget=10_000.0, resolution=2_000)
+        unconstrained = sum(
+            max(s.result.requester_utility, 0.0) for s in solutions.values()
+        )
+        assert design.total_utility == pytest.approx(unconstrained, rel=1e-6)
+
+    def test_every_subject_gets_exactly_one_option(self, solutions):
+        design = budgeted_selection(solutions, budget=10.0)
+        assert set(design.chosen) == set(solutions)
+
+    def test_matches_bruteforce_on_tiny_instance(self, solutions):
+        """Exact check: DP equals exhaustive enumeration (2 subjects)."""
+        pair = dict(list(solutions.items())[:2])
+        per_subject = budget_options(pair)
+        budget = 6.0
+        best = -np.inf
+        subjects = sorted(per_subject)
+        for combo in product(*(per_subject[s] for s in subjects)):
+            cost = sum(option.cost for option in combo)
+            if cost <= budget:
+                best = max(best, sum(option.utility for option in combo))
+        design = budgeted_selection(pair, budget=budget, resolution=4_000)
+        assert design.total_utility == pytest.approx(best, rel=1e-3)
+
+    def test_validation(self, solutions):
+        with pytest.raises(DesignError):
+            budgeted_selection(solutions, budget=-1.0)
+        with pytest.raises(DesignError):
+            budgeted_selection(solutions, budget=1.0, resolution=0)
+
+    def test_empty_solutions(self):
+        design = budgeted_selection({}, budget=10.0)
+        assert design.total_utility == 0.0
+        assert design.chosen == {}

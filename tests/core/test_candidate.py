@@ -1,0 +1,174 @@
+"""Tests for candidate-contract construction (Section IV-C, Part 2).
+
+These verify the paper's analytical guarantees directly:
+
+* Eq. (41)/(42): every constructed slope sits strictly inside its
+  Lemma 4.1 Case III window;
+* Eq. (37): per-piece optimal utilities strictly increase up to the
+  target piece;
+* the flat tail makes pieces beyond the target Case I for honest
+  workers;
+* for honest workers the exact best response always lands in the target
+  piece (the construction's purpose).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PieceCase,
+    QuadraticEffort,
+    build_candidate,
+    case_thresholds,
+    slope_epsilon,
+    solve_best_response,
+)
+from repro.core.best_response import worker_utility
+from repro.errors import DesignError
+from repro.types import DiscretizationGrid, WorkerParameters
+
+
+def _grid_for(psi: QuadraticEffort, m: int = 10) -> DiscretizationGrid:
+    return DiscretizationGrid.for_max_effort(0.9 * psi.max_increasing_effort, m)
+
+
+class TestSlopeEpsilon:
+    def test_epsilon_positive(self, psi, grid):
+        for piece in range(1, grid.n_intervals + 1):
+            assert slope_epsilon(psi, grid, piece, beta=1.0) > 0.0
+
+    def test_epsilon_formula(self, psi, grid):
+        piece, beta = 3, 1.0
+        left, right = grid.interval(piece)
+        expected = (
+            4.0
+            * beta
+            * psi.r2**2
+            * grid.delta**2
+            / (psi.derivative(left) ** 2 * psi.derivative(right))
+        )
+        assert slope_epsilon(psi, grid, piece, beta) == pytest.approx(expected)
+
+
+class TestConstruction:
+    def test_rejects_bad_target(self, psi, grid, honest_params):
+        with pytest.raises(DesignError):
+            build_candidate(psi, grid, honest_params, target_piece=0)
+        with pytest.raises(DesignError):
+            build_candidate(psi, grid, honest_params, target_piece=grid.n_intervals + 1)
+
+    def test_slopes_inside_case_iii_windows(self, psi, grid, honest_params):
+        """Eqs. (41)-(42): pieces up to the target are strictly Case III."""
+        for target in (1, 4, grid.n_intervals):
+            candidate = build_candidate(psi, grid, honest_params, target_piece=target)
+            assert not candidate.clamped_pieces
+            for piece in range(1, target + 1):
+                thresholds = case_thresholds(
+                    psi, grid, piece, honest_params.beta, honest_params.omega
+                )
+                slope = candidate.slopes[piece - 1]
+                assert thresholds.lower < slope < thresholds.upper
+                assert candidate.cases[piece - 1] is PieceCase.INTERIOR
+
+    def test_tail_is_flat_and_case_i_for_honest(self, psi, grid, honest_params):
+        candidate = build_candidate(psi, grid, honest_params, target_piece=4)
+        for piece in range(5, grid.n_intervals + 1):
+            assert candidate.slopes[piece - 1] == pytest.approx(0.0)
+            assert candidate.cases[piece - 1] is PieceCase.LEFT_ENDPOINT
+
+    def test_slopes_strictly_increase_to_target(self, psi, grid, honest_params):
+        candidate = build_candidate(psi, grid, honest_params, target_piece=7)
+        climbing = candidate.slopes[:7]
+        assert all(b > a for a, b in zip(climbing, climbing[1:]))
+
+    def test_contract_monotone(self, psi, grid, malicious_params):
+        candidate = build_candidate(psi, grid, malicious_params, target_piece=6)
+        pay = candidate.contract.compensations
+        assert all(b >= a for a, b in zip(pay, pay[1:]))
+
+    def test_designed_effort_inside_target(self, psi, grid, honest_params):
+        for target in (2, 5, 9):
+            candidate = build_candidate(psi, grid, honest_params, target_piece=target)
+            left, right = grid.interval(target)
+            assert left <= candidate.designed_effort <= right
+
+    def test_large_omega_clamps_to_flat(self, psi, grid):
+        """When the whole Case III window is below zero the piece falls
+        back to a flat (slope-0) segment rather than a decreasing one."""
+        params = WorkerParameters.malicious(beta=0.1, omega=5.0)
+        candidate = build_candidate(psi, grid, params, target_piece=5)
+        assert candidate.clamped_pieces
+        assert all(slope >= 0.0 for slope in candidate.slopes)
+
+
+class TestUtilityIncrease:
+    def test_per_piece_optimal_utilities_increase(self, psi, grid, honest_params):
+        """Eq. (37): the worker's best utility per piece climbs to k."""
+        target = 8
+        candidate = build_candidate(psi, grid, honest_params, target_piece=target)
+        contract = candidate.contract
+        best_per_piece = []
+        for piece in range(1, target + 1):
+            slope = candidate.slopes[piece - 1]
+            gain = slope + honest_params.omega
+            stationary = psi.derivative_inverse(honest_params.beta / gain)
+            best_per_piece.append(
+                worker_utility(contract, honest_params, stationary)
+            )
+        assert all(b > a for a, b in zip(best_per_piece, best_per_piece[1:]))
+
+    def test_honest_best_response_on_target(self, psi, grid, honest_params):
+        for target in range(1, grid.n_intervals + 1):
+            candidate = build_candidate(psi, grid, honest_params, target_piece=target)
+            response = solve_best_response(candidate.contract, honest_params)
+            assert response.piece == target, f"target={target}"
+
+
+@given(
+    r2=st.floats(min_value=-2.0, max_value=-0.02),
+    r1=st.floats(min_value=0.5, max_value=40.0),
+    r0=st.floats(min_value=0.0, max_value=5.0),
+    beta=st.floats(min_value=0.2, max_value=4.0),
+    m=st.integers(min_value=2, max_value=12),
+    data=st.data(),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_honest_on_target_for_random_psi(r2, r1, r0, beta, m, data):
+    """The construction steers an honest worker into ANY requested piece,
+    for any valid quadratic effort function and grid resolution."""
+    psi = QuadraticEffort(r2=r2, r1=r1, r0=r0)
+    grid = DiscretizationGrid.for_max_effort(0.9 * psi.max_increasing_effort, m)
+    target = data.draw(st.integers(min_value=1, max_value=m))
+    params = WorkerParameters.honest(beta=beta)
+    candidate = build_candidate(psi, grid, params, target_piece=target)
+    response = solve_best_response(candidate.contract, params)
+    assert response.piece == target
+
+
+@given(
+    r2=st.floats(min_value=-2.0, max_value=-0.05),
+    r1=st.floats(min_value=1.0, max_value=30.0),
+    beta=st.floats(min_value=0.2, max_value=3.0),
+    omega=st.floats(min_value=0.01, max_value=1.0),
+    data=st.data(),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_malicious_slopes_stay_in_window_unless_clamped(
+    r2, r1, beta, omega, data
+):
+    """Eqs. (41)-(42) hold for malicious workers too, except where the
+    window sits below zero and the slope is clamped (recorded)."""
+    psi = QuadraticEffort(r2=r2, r1=r1, r0=0.5)
+    grid = DiscretizationGrid.for_max_effort(0.9 * psi.max_increasing_effort, 8)
+    target = data.draw(st.integers(min_value=1, max_value=8))
+    params = WorkerParameters.malicious(beta=beta, omega=omega)
+    candidate = build_candidate(psi, grid, params, target_piece=target)
+    for piece in range(1, target + 1):
+        if piece in candidate.clamped_pieces:
+            assert candidate.slopes[piece - 1] == 0.0
+            continue
+        thresholds = case_thresholds(psi, grid, piece, beta, omega)
+        assert thresholds.lower < candidate.slopes[piece - 1] < thresholds.upper

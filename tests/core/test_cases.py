@@ -1,0 +1,101 @@
+"""Tests for the Lemma 4.1 case classification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PieceCase, QuadraticEffort, case_thresholds, classify_piece
+from repro.types import DiscretizationGrid
+from repro.core.cases import CaseThresholds
+from repro.errors import DesignError
+
+
+class TestThresholds:
+    def test_formulas_match_lemma(self, psi, grid):
+        beta, omega = 1.0, 0.2
+        piece = 3
+        thresholds = case_thresholds(psi, grid, piece, beta, omega)
+        left, right = grid.interval(piece)
+        assert thresholds.lower == pytest.approx(beta / psi.derivative(left) - omega)
+        assert thresholds.upper == pytest.approx(beta / psi.derivative(right) - omega)
+
+    def test_lower_below_upper(self, psi, grid):
+        for piece in range(1, grid.n_intervals + 1):
+            thresholds = case_thresholds(psi, grid, piece, beta=1.0, omega=0.0)
+            assert thresholds.lower < thresholds.upper
+
+    def test_windows_are_adjacent(self, psi, grid):
+        """Piece l's upper threshold is piece l+1's lower threshold."""
+        for piece in range(1, grid.n_intervals):
+            this = case_thresholds(psi, grid, piece, beta=1.0, omega=0.1)
+            following = case_thresholds(psi, grid, piece + 1, beta=1.0, omega=0.1)
+            assert this.upper == pytest.approx(following.lower)
+
+    def test_rejects_bad_piece(self, psi, grid):
+        with pytest.raises(DesignError):
+            case_thresholds(psi, grid, 0, beta=1.0, omega=0.0)
+        with pytest.raises(DesignError):
+            case_thresholds(psi, grid, grid.n_intervals + 1, beta=1.0, omega=0.0)
+
+    def test_rejects_bad_params(self, psi, grid):
+        with pytest.raises(DesignError):
+            case_thresholds(psi, grid, 1, beta=0.0, omega=0.0)
+        with pytest.raises(DesignError):
+            case_thresholds(psi, grid, 1, beta=1.0, omega=-0.1)
+
+    def test_threshold_record_rejects_inverted(self):
+        with pytest.raises(DesignError):
+            CaseThresholds(lower=1.0, upper=0.5)
+
+
+class TestClassification:
+    def test_low_slope_is_case_i(self, psi, grid):
+        thresholds = case_thresholds(psi, grid, 2, beta=1.0, omega=0.0)
+        assert (
+            classify_piece(psi, grid, 2, thresholds.lower - 0.01, 1.0, 0.0)
+            is PieceCase.LEFT_ENDPOINT
+        )
+
+    def test_high_slope_is_case_ii(self, psi, grid):
+        thresholds = case_thresholds(psi, grid, 2, beta=1.0, omega=0.0)
+        assert (
+            classify_piece(psi, grid, 2, thresholds.upper + 0.01, 1.0, 0.0)
+            is PieceCase.RIGHT_ENDPOINT
+        )
+
+    def test_mid_slope_is_case_iii(self, psi, grid):
+        thresholds = case_thresholds(psi, grid, 2, beta=1.0, omega=0.0)
+        midpoint = 0.5 * (thresholds.lower + thresholds.upper)
+        assert (
+            classify_piece(psi, grid, 2, midpoint, 1.0, 0.0) is PieceCase.INTERIOR
+        )
+
+    def test_boundaries_are_endpoint_cases(self, psi, grid):
+        thresholds = case_thresholds(psi, grid, 2, beta=1.0, omega=0.0)
+        assert thresholds.classify(thresholds.lower) is PieceCase.LEFT_ENDPOINT
+        assert thresholds.classify(thresholds.upper) is PieceCase.RIGHT_ENDPOINT
+
+
+@given(
+    r2=st.floats(min_value=-2.0, max_value=-0.05),
+    r1=st.floats(min_value=1.0, max_value=30.0),
+    beta=st.floats(min_value=0.1, max_value=5.0),
+    omega=st.floats(min_value=0.0, max_value=2.0),
+    piece=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_case_iii_slope_yields_interior_stationary(
+    r2, r1, beta, omega, piece
+):
+    """A slope inside the window places the Eq. (31) stationary point
+    strictly inside the piece's effort interval, for any valid psi."""
+    psi = QuadraticEffort(r2=r2, r1=r1, r0=0.5)
+    grid = DiscretizationGrid.for_max_effort(0.9 * psi.max_increasing_effort, 10)
+    thresholds = case_thresholds(psi, grid, piece, beta, omega)
+    slope = 0.5 * (thresholds.lower + thresholds.upper)
+    gain = slope + omega
+    stationary = psi.derivative_inverse(beta / gain)
+    left, right = grid.interval(piece)
+    assert left < stationary < right

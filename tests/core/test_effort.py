@@ -1,0 +1,178 @@
+"""Unit and property tests for quadratic effort functions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QuadraticEffort
+from repro.errors import EffortFunctionError
+
+#: Strategy over valid concave effort functions with sane magnitudes.
+valid_psi = st.builds(
+    QuadraticEffort,
+    r2=st.floats(min_value=-5.0, max_value=-0.01),
+    r1=st.floats(min_value=0.1, max_value=50.0),
+    r0=st.floats(min_value=0.0, max_value=10.0),
+)
+
+
+class TestValidation:
+    def test_rejects_convex(self):
+        with pytest.raises(EffortFunctionError):
+            QuadraticEffort(r2=0.5, r1=1.0, r0=0.0)
+
+    def test_rejects_zero_curvature(self):
+        with pytest.raises(EffortFunctionError):
+            QuadraticEffort(r2=0.0, r1=1.0, r0=0.0)
+
+    def test_rejects_nonpositive_initial_slope(self):
+        with pytest.raises(EffortFunctionError):
+            QuadraticEffort(r2=-1.0, r1=0.0, r0=0.0)
+        with pytest.raises(EffortFunctionError):
+            QuadraticEffort(r2=-1.0, r1=-2.0, r0=0.0)
+
+    def test_rejects_negative_baseline(self):
+        with pytest.raises(EffortFunctionError):
+            QuadraticEffort(r2=-1.0, r1=1.0, r0=-0.5)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(EffortFunctionError):
+            QuadraticEffort(r2=-1.0, r1=math.inf, r0=0.0)
+        with pytest.raises(EffortFunctionError):
+            QuadraticEffort(r2=math.nan, r1=1.0, r0=0.0)
+
+
+class TestEvaluation:
+    def test_value_at_zero_is_baseline(self, psi):
+        assert psi(0.0) == pytest.approx(psi.r0)
+
+    def test_matches_polynomial_formula(self, psi):
+        y = 3.7
+        assert psi(y) == pytest.approx(psi.r2 * y * y + psi.r1 * y + psi.r0)
+
+    def test_vectorized_evaluation(self, psi):
+        ys = np.array([0.0, 1.0, 2.0])
+        values = psi(ys)
+        assert values.shape == (3,)
+        assert values[1] == pytest.approx(psi(1.0))
+
+    def test_derivative(self, psi):
+        y = 2.0
+        assert psi.derivative(y) == pytest.approx(2 * psi.r2 * y + psi.r1)
+
+    def test_second_derivative_constant_negative(self, psi):
+        assert psi.second_derivative() == pytest.approx(2 * psi.r2)
+        assert psi.second_derivative() < 0
+
+
+class TestDerivedQuantities:
+    def test_max_increasing_effort_is_vertex(self, psi):
+        vertex = psi.max_increasing_effort
+        assert psi.derivative(vertex) == pytest.approx(0.0, abs=1e-12)
+
+    def test_max_feedback_at_vertex(self, psi):
+        assert psi.max_feedback == pytest.approx(psi(psi.max_increasing_effort))
+
+    def test_is_increasing_on(self, psi):
+        assert psi.is_increasing_on(0.5 * psi.max_increasing_effort)
+        assert not psi.is_increasing_on(psi.max_increasing_effort)
+
+    def test_require_increasing_raises_beyond_vertex(self, psi):
+        with pytest.raises(EffortFunctionError):
+            psi.require_increasing_on(psi.max_increasing_effort * 1.01)
+
+    def test_derivative_inverse_roundtrip(self, psi):
+        y = 4.2
+        slope = psi.derivative(y)
+        assert psi.derivative_inverse(slope) == pytest.approx(y)
+
+    def test_inverse_roundtrip_on_increasing_branch(self, psi):
+        y = 3.0
+        assert psi.inverse(psi(y)) == pytest.approx(y)
+
+    def test_inverse_rejects_out_of_range(self, psi):
+        with pytest.raises(EffortFunctionError):
+            psi.inverse(psi.r0 - 1.0)
+        with pytest.raises(EffortFunctionError):
+            psi.inverse(psi.max_feedback + 1.0)
+
+    def test_feedback_breakpoints_strictly_increasing(self, psi):
+        edges = [0.0, 1.0, 2.0, 3.0]
+        breakpoints = psi.feedback_breakpoints(edges)
+        assert all(a < b for a, b in zip(breakpoints, breakpoints[1:]))
+
+    def test_feedback_breakpoints_reject_decreasing_edges(self, psi):
+        with pytest.raises(EffortFunctionError):
+            psi.feedback_breakpoints([1.0, 0.5])
+
+    def test_feedback_breakpoints_reject_empty(self, psi):
+        with pytest.raises(EffortFunctionError):
+            psi.feedback_breakpoints([])
+
+
+class TestCommunityScaling:
+    def test_scaled_function_matches_definition(self, psi):
+        meta = psi.community_scaled(4)
+        total = 6.0
+        assert meta(total) == pytest.approx(4 * psi(total / 4))
+
+    def test_scaled_derivative_matches_per_member(self, psi):
+        meta = psi.community_scaled(5)
+        assert meta.derivative(5 * 1.3) == pytest.approx(psi.derivative(1.3))
+
+    def test_singleton_community_is_identity(self, psi):
+        meta = psi.community_scaled(1)
+        assert meta.coefficients() == pytest.approx(psi.coefficients())
+
+    def test_rejects_nonpositive_members(self, psi):
+        with pytest.raises(EffortFunctionError):
+            psi.community_scaled(0)
+
+
+class TestFactoryAndScaling:
+    def test_from_coefficients_roundtrip(self, psi):
+        rebuilt = QuadraticEffort.from_coefficients(psi.coefficients())
+        assert rebuilt == psi
+
+    def test_from_coefficients_rejects_wrong_length(self):
+        with pytest.raises(EffortFunctionError):
+            QuadraticEffort.from_coefficients([1.0, 2.0])
+
+    def test_scaled_feedback(self, psi):
+        doubled = psi.scaled(2.0)
+        assert doubled(3.0) == pytest.approx(2.0 * psi(3.0))
+
+    def test_scaled_rejects_nonpositive(self, psi):
+        with pytest.raises(EffortFunctionError):
+            psi.scaled(0.0)
+
+
+@given(psi=valid_psi, fraction=st.floats(min_value=0.01, max_value=0.99))
+@settings(max_examples=100, deadline=None)
+def test_property_strictly_increasing_before_vertex(psi, fraction):
+    """psi is strictly increasing anywhere strictly inside the vertex."""
+    y = fraction * psi.max_increasing_effort
+    assert psi.derivative(y) > 0.0
+
+
+@given(psi=valid_psi, y=st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=100, deadline=None)
+def test_property_concavity_midpoint(psi, y):
+    """psi(midpoint) >= average of endpoints (concavity)."""
+    left, right = y, y + 1.0
+    midpoint = 0.5 * (left + right)
+    assert psi(midpoint) >= 0.5 * (psi(left) + psi(right)) - 1e-9
+
+
+@given(psi=valid_psi, fraction=st.floats(min_value=0.0, max_value=0.999))
+@settings(max_examples=100, deadline=None)
+def test_property_inverse_consistency(psi, fraction):
+    """inverse(psi(y)) == y on the increasing branch."""
+    y = fraction * psi.max_increasing_effort
+    recovered = psi.inverse(float(psi(y)))
+    assert recovered == pytest.approx(y, abs=1e-6 * max(1.0, y))

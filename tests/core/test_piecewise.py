@@ -1,0 +1,144 @@
+"""Unit and property tests for piecewise-linear functions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PiecewiseLinear
+from repro.errors import ContractError
+
+
+@pytest.fixture()
+def pl() -> PiecewiseLinear:
+    return PiecewiseLinear(knots=(0.0, 1.0, 3.0, 6.0), values=(0.0, 2.0, 3.0, 3.0))
+
+
+class TestConstruction:
+    def test_requires_two_knots(self):
+        with pytest.raises(ContractError):
+            PiecewiseLinear(knots=(0.0,), values=(1.0,))
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ContractError):
+            PiecewiseLinear(knots=(0.0, 1.0), values=(0.0, 1.0, 2.0))
+
+    def test_requires_strictly_increasing_knots(self):
+        with pytest.raises(ContractError):
+            PiecewiseLinear(knots=(0.0, 0.0), values=(0.0, 1.0))
+        with pytest.raises(ContractError):
+            PiecewiseLinear(knots=(1.0, 0.5), values=(0.0, 1.0))
+
+    def test_requires_finite_entries(self):
+        with pytest.raises(ContractError):
+            PiecewiseLinear(knots=(0.0, float("inf")), values=(0.0, 1.0))
+        with pytest.raises(ContractError):
+            PiecewiseLinear(knots=(0.0, 1.0), values=(0.0, float("nan")))
+
+    def test_from_slopes_matches_direct(self):
+        direct = PiecewiseLinear(knots=(0.0, 1.0, 2.0), values=(1.0, 3.0, 3.5))
+        built = PiecewiseLinear.from_slopes(
+            knots=(0.0, 1.0, 2.0), start_value=1.0, slopes=(2.0, 0.5)
+        )
+        assert built.values == pytest.approx(direct.values)
+
+    def test_from_slopes_rejects_wrong_count(self):
+        with pytest.raises(ContractError):
+            PiecewiseLinear.from_slopes(knots=(0.0, 1.0), start_value=0.0, slopes=(1.0, 2.0))
+
+
+class TestEvaluation:
+    def test_interpolates_inside(self, pl):
+        assert pl(0.5) == pytest.approx(1.0)
+        assert pl(2.0) == pytest.approx(2.5)
+
+    def test_hits_knots_exactly(self, pl):
+        for knot, value in zip(pl.knots, pl.values):
+            assert pl(knot) == pytest.approx(value)
+
+    def test_flat_extrapolation(self, pl):
+        assert pl(-5.0) == pytest.approx(pl.values[0])
+        assert pl(100.0) == pytest.approx(pl.values[-1])
+
+    def test_slopes(self, pl):
+        assert pl.slopes() == pytest.approx((2.0, 0.5, 0.0))
+
+    def test_increments(self, pl):
+        assert pl.increments() == pytest.approx((2.0, 1.0, 0.0))
+
+    def test_slope_rejects_out_of_range(self, pl):
+        with pytest.raises(ContractError):
+            pl.slope(0)
+        with pytest.raises(ContractError):
+            pl.slope(4)
+
+    def test_piece_containing(self, pl):
+        assert pl.piece_containing(-1.0) == 1
+        assert pl.piece_containing(0.5) == 1
+        assert pl.piece_containing(1.0) == 2
+        assert pl.piece_containing(5.9) == 3
+        assert pl.piece_containing(6.0) == 3
+        assert pl.piece_containing(60.0) == 3
+
+
+class TestTransforms:
+    def test_shifted(self, pl):
+        shifted = pl.shifted(2.5)
+        assert shifted(2.0) == pytest.approx(pl(2.0) + 2.5)
+
+    def test_scaled(self, pl):
+        scaled = pl.scaled(3.0)
+        assert scaled(2.0) == pytest.approx(pl(2.0) * 3.0)
+
+    def test_scaled_rejects_negative(self, pl):
+        with pytest.raises(ContractError):
+            pl.scaled(-1.0)
+
+    def test_monotone_detection(self, pl):
+        assert pl.is_monotone_nondecreasing()
+        wiggly = PiecewiseLinear(knots=(0.0, 1.0, 2.0), values=(0.0, 1.0, 0.5))
+        assert not wiggly.is_monotone_nondecreasing()
+        with pytest.raises(ContractError):
+            wiggly.require_monotone()
+
+    def test_pieces_iteration(self, pl):
+        pieces = list(pl.pieces())
+        assert len(pieces) == pl.n_pieces
+        assert pieces[0] == (0.0, 1.0, 0.0, 2.0)
+
+
+#: Sorted unique knot lists with matching value lists.
+_points = st.integers(min_value=2, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.floats(min_value=-100.0, max_value=100.0),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        ),
+        st.lists(
+            st.floats(min_value=-100.0, max_value=100.0), min_size=n, max_size=n
+        ),
+    )
+)
+
+
+@given(points=_points, query=st.floats(min_value=-150.0, max_value=150.0))
+@settings(max_examples=150, deadline=None)
+def test_property_evaluation_within_value_range(points, query):
+    """Linear interpolation never leaves the convex hull of the values."""
+    knots, values = points
+    function = PiecewiseLinear(knots=tuple(sorted(knots)), values=tuple(values))
+    result = function(query)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(points=_points)
+@settings(max_examples=150, deadline=None)
+def test_property_knot_evaluation_roundtrip(points):
+    """Evaluating at every knot returns its stored value."""
+    knots, values = points
+    function = PiecewiseLinear(knots=tuple(sorted(knots)), values=tuple(values))
+    for knot, value in zip(function.knots, function.values):
+        assert function(knot) == pytest.approx(value, abs=1e-9)

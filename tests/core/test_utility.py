@@ -1,0 +1,64 @@
+"""Tests for requester utility accounting (Eqs. 4, 5, 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.utility import (
+    RequesterObjective,
+    per_worker_utility,
+    round_benefit,
+    round_utility,
+)
+from repro.errors import ModelError
+from repro.types import FeedbackWeightParameters, RequesterParameters
+
+
+class TestFunctions:
+    def test_per_worker_utility(self):
+        assert per_worker_utility(2.0, 3.0, 1.0, mu=2.0) == pytest.approx(4.0)
+
+    def test_per_worker_rejects_bad_mu(self):
+        with pytest.raises(ModelError):
+            per_worker_utility(1.0, 1.0, 1.0, mu=0.0)
+
+    def test_round_benefit(self):
+        assert round_benefit([1.0, 2.0], [3.0, 4.0]) == pytest.approx(11.0)
+
+    def test_round_benefit_length_mismatch(self):
+        with pytest.raises(ModelError):
+            round_benefit([1.0], [1.0, 2.0])
+
+    def test_round_utility(self):
+        assert round_utility([1.0], [5.0], [2.0], mu=1.5) == pytest.approx(2.0)
+
+
+class TestObjective:
+    def test_defaults(self):
+        objective = RequesterObjective()
+        assert objective.mu == pytest.approx(1.0)
+
+    def test_feedback_weight_eq5(self):
+        params = RequesterParameters(
+            mu=1.0,
+            weight_params=FeedbackWeightParameters(
+                rho=2.0, kappa=0.1, gamma=0.05, min_deviation=0.1
+            ),
+        )
+        objective = RequesterObjective(params)
+        weight = objective.feedback_weight(
+            review_score=4.0,
+            expert_score=3.0,
+            malice_probability=0.5,
+            n_partners=4,
+        )
+        assert weight == pytest.approx(2.0 / 1.0 - 0.1 * 0.5 - 0.05 * 4)
+
+    def test_round_value(self):
+        objective = RequesterObjective(RequesterParameters(mu=2.0))
+        value = objective.round_value([(1.0, 3.0, 0.5), (2.0, 1.0, 0.25)])
+        assert value == pytest.approx(3.0 + 2.0 - 2.0 * 0.75)
+
+    def test_value_of(self):
+        objective = RequesterObjective(RequesterParameters(mu=3.0))
+        assert objective.value_of(1.0, 6.0, 1.0) == pytest.approx(3.0)

@@ -1,0 +1,67 @@
+"""Tests for CSV export/import of traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import export_csv, import_csv
+from repro.errors import DataError
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, small_trace, tmp_path):
+        stem = tmp_path / "trace"
+        paths = export_csv(small_trace, stem)
+        assert all(path.exists() for path in paths.values())
+        reloaded = import_csv(stem)
+        assert reloaded.stats() == small_trace.stats()
+        # Spot-check a reviewer and a review.
+        worker_id = next(iter(small_trace.reviewers))
+        original = small_trace.reviewers[worker_id]
+        restored = reloaded.reviewers[worker_id]
+        assert restored.worker_type == original.worker_type
+        assert restored.community_id == original.community_id
+        assert restored.latent_expertise == pytest.approx(
+            original.latent_expertise
+        )
+        assert reloaded.reviews[0] == small_trace.reviews[0]
+
+    def test_clustering_identical_after_roundtrip(
+        self, small_trace, small_clusters, tmp_path
+    ):
+        from repro.collusion import cluster_collusive_workers
+
+        stem = tmp_path / "trace"
+        export_csv(small_trace, stem)
+        reloaded = import_csv(stem)
+        clusters = cluster_collusive_workers(reloaded.malicious_targets())
+        assert set(clusters.communities) == set(small_clusters.communities)
+
+
+class TestFailureInjection:
+    def test_missing_file_rejected(self, small_trace, tmp_path):
+        stem = tmp_path / "trace"
+        paths = export_csv(small_trace, stem)
+        paths["reviews"].unlink()
+        with pytest.raises(DataError):
+            import_csv(stem)
+
+    def test_corrupted_header_rejected(self, small_trace, tmp_path):
+        stem = tmp_path / "trace"
+        paths = export_csv(small_trace, stem)
+        content = paths["products"].read_text().splitlines()
+        content[0] = "wrong,header,entirely"
+        paths["products"].write_text("\n".join(content))
+        with pytest.raises(DataError):
+            import_csv(stem)
+
+    def test_corrupted_value_raises(self, small_trace, tmp_path):
+        stem = tmp_path / "trace"
+        paths = export_csv(small_trace, stem)
+        lines = paths["reviews"].read_text().splitlines()
+        first_data = lines[1].split(",")
+        first_data[3] = "not-a-number"
+        lines[1] = ",".join(first_data)
+        paths["reviews"].write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            import_csv(stem)

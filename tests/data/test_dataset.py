@@ -1,0 +1,156 @@
+"""Tests for the ReviewTrace container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Product, Review, ReviewTrace, Reviewer
+from repro.errors import DataError
+from repro.types import WorkerType
+
+
+@pytest.fixture()
+def tiny_trace() -> ReviewTrace:
+    products = [
+        Product(product_id="p1", true_quality=4.0, expert_score=4.1),
+        Product(product_id="p2", true_quality=2.0, expert_score=2.1),
+    ]
+    reviewers = [
+        Reviewer(reviewer_id="alice", worker_type=WorkerType.HONEST),
+        Reviewer(reviewer_id="bob", worker_type=WorkerType.NONCOLLUSIVE_MALICIOUS),
+        Reviewer(
+            reviewer_id="carol",
+            worker_type=WorkerType.COLLUSIVE_MALICIOUS,
+            community_id="c0",
+        ),
+        Reviewer(
+            reviewer_id="dave",
+            worker_type=WorkerType.COLLUSIVE_MALICIOUS,
+            community_id="c0",
+        ),
+    ]
+    reviews = [
+        Review("r1", "alice", "p1", 4.0, 200, 3, latent_effort=1.0),
+        Review("r2", "alice", "p2", 2.5, 400, 5, latent_effort=2.0),
+        Review("r3", "bob", "p1", 5.0, 150, 1, latent_effort=0.8),
+        Review("r4", "carol", "p2", 5.0, 100, 9, latent_effort=0.5),
+        Review("r5", "dave", "p2", 5.0, 120, 8, latent_effort=0.6),
+    ]
+    return ReviewTrace(products=products, reviewers=reviewers, reviews=reviews)
+
+
+class TestConstruction:
+    def test_counts(self, tiny_trace):
+        stats = tiny_trace.stats()
+        assert stats["n_reviews"] == 5
+        assert stats["n_reviewers"] == 4
+        assert stats["n_products"] == 2
+        assert stats["n_honest"] == 1
+        assert stats["n_malicious"] == 3
+
+    def test_unknown_reviewer_rejected(self):
+        products = [Product(product_id="p1", true_quality=3.0, expert_score=3.0)]
+        with pytest.raises(DataError):
+            ReviewTrace(
+                products=products,
+                reviewers=[],
+                reviews=[Review("r1", "ghost", "p1", 3.0, 100, 0)],
+            )
+
+    def test_unknown_product_rejected(self):
+        reviewers = [Reviewer(reviewer_id="w", worker_type=WorkerType.HONEST)]
+        with pytest.raises(DataError):
+            ReviewTrace(
+                products=[],
+                reviewers=reviewers,
+                reviews=[Review("r1", "w", "ghost", 3.0, 100, 0)],
+            )
+
+    def test_duplicate_worker_product_pair_rejected(self, tiny_trace):
+        products = list(tiny_trace.products.values())
+        reviewers = list(tiny_trace.reviewers.values())
+        reviews = tiny_trace.reviews + [
+            Review("r9", "alice", "p1", 3.0, 100, 0)
+        ]
+        with pytest.raises(DataError):
+            ReviewTrace(products=products, reviewers=reviewers, reviews=reviews)
+
+
+class TestQueries:
+    def test_reviews_of(self, tiny_trace):
+        assert len(tiny_trace.reviews_of("alice")) == 2
+        with pytest.raises(DataError):
+            tiny_trace.reviews_of("ghost")
+
+    def test_series_of(self, tiny_trace):
+        series = tiny_trace.series_of("alice")
+        assert series.n_reviews == 2
+        assert series.mean_feedback == pytest.approx(4.0)
+        assert series.product_ids == ("p1", "p2")
+
+    def test_series_of_empty_worker(self):
+        trace = ReviewTrace(
+            products=[],
+            reviewers=[Reviewer(reviewer_id="idle", worker_type=WorkerType.HONEST)],
+            reviews=[],
+        )
+        series = trace.series_of("idle")
+        assert series.n_reviews == 0
+        assert series.mean_feedback == 0.0
+
+    def test_worker_ids_by_type(self, tiny_trace):
+        assert tiny_trace.worker_ids(WorkerType.HONEST) == ["alice"]
+        assert set(tiny_trace.malicious_ids()) == {"bob", "carol", "dave"}
+
+    def test_workers_with_min_reviews(self, tiny_trace):
+        assert tiny_trace.workers_with_min_reviews(2) == ["alice"]
+        everyone = tiny_trace.workers_with_min_reviews(1)
+        assert everyone[0] == "alice"  # most reviews first
+        with pytest.raises(DataError):
+            tiny_trace.workers_with_min_reviews(-1)
+
+    def test_malicious_targets(self, tiny_trace):
+        targets = tiny_trace.malicious_targets()
+        assert targets == {
+            "bob": {"p1"},
+            "carol": {"p2"},
+            "dave": {"p2"},
+        }
+
+    def test_planted_communities(self, tiny_trace):
+        assert tiny_trace.planted_communities() == {"c0": {"carol", "dave"}}
+
+    def test_class_aggregates(self, tiny_trace):
+        aggregates = tiny_trace.class_aggregates()
+        honest = aggregates[WorkerType.HONEST]
+        assert honest["n_workers"] == 1
+        assert honest["mean_effort"] == pytest.approx(1.5)
+        assert honest["mean_feedback"] == pytest.approx(4.0)
+        collusive = aggregates[WorkerType.COLLUSIVE_MALICIOUS]
+        assert collusive["mean_feedback"] == pytest.approx(8.5)
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tiny_trace.save(path)
+        loaded = ReviewTrace.load(path)
+        assert loaded.stats() == tiny_trace.stats()
+        assert loaded.series_of("alice").upvotes.tolist() == (
+            tiny_trace.series_of("alice").upvotes.tolist()
+        )
+        assert loaded.reviewers["carol"].community_id == "c0"
+
+    def test_load_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(DataError):
+            ReviewTrace.load(path)
+
+    def test_load_skips_blank_lines(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tiny_trace.save(path)
+        padded = path.read_text() + "\n\n"
+        path.write_text(padded)
+        loaded = ReviewTrace.load(path)
+        assert loaded.n_reviews == tiny_trace.n_reviews

@@ -1,0 +1,105 @@
+"""Tests for trace record validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Product, Review, Reviewer
+from repro.errors import DataError
+from repro.types import WorkerType
+
+
+class TestProduct:
+    def test_valid(self):
+        product = Product(
+            product_id="p1", true_quality=3.5, expert_score=3.4, category="books"
+        )
+        assert product.category == "books"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(DataError):
+            Product(product_id="", true_quality=3.0, expert_score=3.0)
+
+    def test_score_range_enforced(self):
+        with pytest.raises(DataError):
+            Product(product_id="p", true_quality=0.5, expert_score=3.0)
+        with pytest.raises(DataError):
+            Product(product_id="p", true_quality=3.0, expert_score=5.5)
+
+
+class TestReviewer:
+    def test_honest_reviewer(self):
+        reviewer = Reviewer(reviewer_id="w1", worker_type=WorkerType.HONEST)
+        assert not reviewer.is_malicious
+        assert reviewer.community_id is None
+
+    def test_collusive_requires_community(self):
+        with pytest.raises(DataError):
+            Reviewer(reviewer_id="w1", worker_type=WorkerType.COLLUSIVE_MALICIOUS)
+
+    def test_noncollusive_rejects_community(self):
+        with pytest.raises(DataError):
+            Reviewer(
+                reviewer_id="w1",
+                worker_type=WorkerType.HONEST,
+                community_id="c1",
+            )
+
+    def test_collusive_with_community_valid(self):
+        reviewer = Reviewer(
+            reviewer_id="w1",
+            worker_type=WorkerType.COLLUSIVE_MALICIOUS,
+            community_id="c1",
+        )
+        assert reviewer.is_malicious
+
+    def test_expertise_positive(self):
+        with pytest.raises(DataError):
+            Reviewer(
+                reviewer_id="w1",
+                worker_type=WorkerType.HONEST,
+                latent_expertise=0.0,
+            )
+
+
+class TestReview:
+    def _valid(self, **overrides):
+        payload = dict(
+            review_id="r1",
+            reviewer_id="w1",
+            product_id="p1",
+            rating=4.0,
+            text_length=300,
+            upvotes=5,
+            latent_effort=1.5,
+        )
+        payload.update(overrides)
+        return Review(**payload)
+
+    def test_valid(self):
+        review = self._valid()
+        assert review.upvotes == 5
+
+    def test_missing_ids_rejected(self):
+        with pytest.raises(DataError):
+            self._valid(review_id="")
+        with pytest.raises(DataError):
+            self._valid(reviewer_id="")
+        with pytest.raises(DataError):
+            self._valid(product_id="")
+
+    def test_rating_range(self):
+        with pytest.raises(DataError):
+            self._valid(rating=0.9)
+        with pytest.raises(DataError):
+            self._valid(rating=5.1)
+
+    def test_positive_length(self):
+        with pytest.raises(DataError):
+            self._valid(text_length=0)
+
+    def test_nonnegative_upvotes_and_effort(self):
+        with pytest.raises(DataError):
+            self._valid(upvotes=-1)
+        with pytest.raises(DataError):
+            self._valid(latent_effort=-0.1)

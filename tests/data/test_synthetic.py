@@ -1,0 +1,141 @@
+"""Tests for the calibrated synthetic trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collusion import cluster_collusive_workers
+from repro.data import (
+    PAPER_COMMUNITY_SIZES,
+    AmazonTraceGenerator,
+    TraceConfig,
+)
+from repro.errors import TraceCalibrationError
+from repro.types import WorkerType
+
+
+class TestConfig:
+    def test_paper_counts(self):
+        config = TraceConfig.paper()
+        assert config.n_reviewers == 19_686
+        assert config.n_malicious == 1_524
+        assert config.n_reviews == 118_142
+        assert config.n_products == 75_508
+        assert config.n_collusive == 212
+        assert len(config.community_sizes) == 47
+
+    def test_paper_community_sizes_sum(self):
+        assert sum(PAPER_COMMUNITY_SIZES) == 212
+        assert len(PAPER_COMMUNITY_SIZES) == 47
+        assert all(size >= 2 for size in PAPER_COMMUNITY_SIZES)
+
+    def test_derived_counts(self):
+        config = TraceConfig.small()
+        assert config.n_honest == config.n_reviewers - config.n_malicious
+        assert (
+            config.n_noncollusive_malicious
+            == config.n_malicious - config.n_collusive
+        )
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(TraceCalibrationError):
+            TraceConfig(n_malicious=100, n_reviewers=50)
+        with pytest.raises(TraceCalibrationError):
+            TraceConfig(community_sizes=(1, 2))
+        with pytest.raises(TraceCalibrationError):
+            TraceConfig(n_malicious=5, community_sizes=(4, 4))
+        with pytest.raises(TraceCalibrationError):
+            TraceConfig(n_reviews=10)  # below structural minimum
+        with pytest.raises(TraceCalibrationError):
+            TraceConfig(subtle_fraction=1.5)
+
+
+class TestGeneratedTrace:
+    def test_exact_counts(self, small_trace):
+        config = TraceConfig.small()
+        stats = small_trace.stats()
+        assert stats["n_reviews"] == config.n_reviews
+        assert stats["n_reviewers"] == config.n_reviewers
+        assert stats["n_products"] == config.n_products
+        assert stats["n_malicious"] == config.n_malicious
+        assert stats["n_collusive_malicious"] == config.n_collusive
+
+    def test_deterministic_given_seed(self):
+        config = TraceConfig.small()
+        first = AmazonTraceGenerator(config, seed=5).generate()
+        second = AmazonTraceGenerator(config, seed=5).generate()
+        assert first.stats() == second.stats()
+        assert [r.upvotes for r in first.reviews[:50]] == [
+            r.upvotes for r in second.reviews[:50]
+        ]
+
+    def test_different_seeds_differ(self):
+        config = TraceConfig.small()
+        first = AmazonTraceGenerator(config, seed=5).generate()
+        second = AmazonTraceGenerator(config, seed=6).generate()
+        assert [r.upvotes for r in first.reviews[:100]] != [
+            r.upvotes for r in second.reviews[:100]
+        ]
+
+    def test_clustering_recovers_planted_communities(self, small_trace):
+        clusters = cluster_collusive_workers(small_trace.malicious_targets())
+        planted = {
+            frozenset(m) for m in small_trace.planted_communities().values()
+        }
+        assert set(clusters.communities) == planted
+
+    def test_community_sizes_match_config(self, small_trace):
+        config = TraceConfig.small()
+        sizes = sorted(
+            len(m) for m in small_trace.planted_communities().values()
+        )
+        assert sizes == sorted(config.community_sizes)
+
+    def test_every_worker_reviews(self, small_trace):
+        for worker_id in small_trace.reviewers:
+            assert len(small_trace.reviews_of(worker_id)) >= 1
+
+    def test_prolific_workers_exist(self, small_trace):
+        config = TraceConfig.small()
+        prolific = small_trace.workers_with_min_reviews(
+            config.prolific_min_reviews, WorkerType.HONEST
+        )
+        assert len(prolific) >= config.n_prolific_honest * 0.8
+
+    def test_fig7_signature(self, small_trace):
+        """Similar efforts; collusive feedback strongly dominates."""
+        aggregates = small_trace.class_aggregates()
+        efforts = [aggregates[wt]["mean_effort"] for wt in WorkerType]
+        assert max(efforts) <= 1.5 * min(efforts)
+        cm = aggregates[WorkerType.COLLUSIVE_MALICIOUS]["mean_feedback"]
+        others = max(
+            aggregates[WorkerType.HONEST]["mean_feedback"],
+            aggregates[WorkerType.NONCOLLUSIVE_MALICIOUS]["mean_feedback"],
+        )
+        assert cm > 1.5 * others
+
+    def test_malicious_ratings_biased_upward(self, small_trace):
+        honest_dev, malicious_dev = [], []
+        for review in small_trace.reviews:
+            reviewer = small_trace.reviewers[review.reviewer_id]
+            expert = small_trace.products[review.product_id].expert_score
+            (malicious_dev if reviewer.is_malicious else honest_dev).append(
+                review.rating - expert
+            )
+        assert np.mean(malicious_dev) > np.mean(honest_dev) + 0.5
+
+    def test_malicious_targets_disjoint_across_groups(self, small_trace):
+        """NCM target blocks and community pools never overlap, so
+        clustering recovers exactly the planted structure."""
+        planted = small_trace.planted_communities()
+        community_products = {}
+        for community_id, members in planted.items():
+            pool = set()
+            for member in members:
+                pool |= {r.product_id for r in small_trace.reviews_of(member)}
+            community_products[community_id] = pool
+        pools = list(community_products.values())
+        for index, pool in enumerate(pools):
+            for other in pools[index + 1:]:
+                assert pool.isdisjoint(other)

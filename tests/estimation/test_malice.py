@@ -1,0 +1,107 @@
+"""Tests for malice-probability estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Product, Review, ReviewTrace, Reviewer
+from repro.errors import EstimationError
+from repro.estimation import DeviationMaliceEstimator, OracleMaliceEstimator
+from repro.types import WorkerType
+
+
+@pytest.fixture()
+def trace() -> ReviewTrace:
+    products = [
+        Product(product_id=f"p{i}", true_quality=3.0, expert_score=3.0)
+        for i in range(6)
+    ]
+    reviewers = [
+        Reviewer(reviewer_id="saint", worker_type=WorkerType.HONEST),
+        Reviewer(reviewer_id="shill", worker_type=WorkerType.NONCOLLUSIVE_MALICIOUS),
+        Reviewer(reviewer_id="idle", worker_type=WorkerType.HONEST),
+    ]
+    reviews = [
+        Review("r1", "saint", "p0", 3.1, 100, 1),
+        Review("r2", "saint", "p1", 2.9, 100, 1),
+        Review("r3", "saint", "p2", 3.0, 100, 1),
+        Review("r4", "shill", "p3", 5.0, 100, 1),
+        Review("r5", "shill", "p4", 5.0, 100, 1),
+        Review("r6", "shill", "p5", 4.8, 100, 1),
+    ]
+    return ReviewTrace(products=products, reviewers=reviewers, reviews=reviews)
+
+
+class TestDeviationEstimator:
+    def test_separates_honest_from_biased(self, trace):
+        estimates = DeviationMaliceEstimator().estimate(trace)
+        assert estimates["saint"] < 0.3
+        assert estimates["shill"] > 0.6
+
+    def test_idle_worker_gets_prior(self, trace):
+        estimator = DeviationMaliceEstimator(prior=0.123)
+        assert estimator.estimate(trace)["idle"] == pytest.approx(0.123)
+
+    def test_estimates_bounded(self, trace):
+        estimates = DeviationMaliceEstimator().estimate(trace)
+        assert all(0.0 <= value <= 1.0 for value in estimates.values())
+
+    def test_shrinkage_pulls_toward_prior(self):
+        """One extreme review moves e_mal far less than five do."""
+        products = [
+            Product(product_id=f"p{i}", true_quality=3.0, expert_score=3.0)
+            for i in range(5)
+        ]
+        def build(n_reviews):
+            reviewers = [
+                Reviewer(reviewer_id="w", worker_type=WorkerType.HONEST)
+            ]
+            reviews = [
+                Review(f"r{i}", "w", f"p{i}", 5.0, 100, 0)
+                for i in range(n_reviews)
+            ]
+            return ReviewTrace(products=products, reviewers=reviewers, reviews=reviews)
+
+        estimator = DeviationMaliceEstimator(prior=0.1, shrinkage_reviews=2.0)
+        one = estimator.estimate(build(1))["w"]
+        five = estimator.estimate(build(5))["w"]
+        assert one < five
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EstimationError):
+            DeviationMaliceEstimator(honest_deviation=2.0, malicious_deviation=1.0)
+        with pytest.raises(EstimationError):
+            DeviationMaliceEstimator(prior=1.5)
+        with pytest.raises(EstimationError):
+            DeviationMaliceEstimator(steepness=0.0)
+
+    def test_on_synthetic_trace_separation(self, small_trace, small_malice):
+        """On the full synthetic trace the estimator separates the
+        planted classes in aggregate."""
+        honest, malicious = [], []
+        for worker_id, reviewer in small_trace.reviewers.items():
+            (malicious if reviewer.is_malicious else honest).append(
+                small_malice[worker_id]
+            )
+        assert np.mean(malicious) > np.mean(honest) + 0.3
+
+
+class TestOracleEstimator:
+    def test_reads_labels(self, trace):
+        estimates = OracleMaliceEstimator().estimate(trace)
+        assert estimates["shill"] == pytest.approx(0.95)
+        assert estimates["saint"] == pytest.approx(0.02)
+
+    def test_custom_levels(self, trace):
+        estimates = OracleMaliceEstimator(certainty=0.8, honest_floor=0.1).estimate(
+            trace
+        )
+        assert estimates["shill"] == pytest.approx(0.8)
+        assert estimates["saint"] == pytest.approx(0.1)
+
+    def test_invalid_levels(self):
+        with pytest.raises(EstimationError):
+            OracleMaliceEstimator(certainty=0.5, honest_floor=0.6)
+        with pytest.raises(EstimationError):
+            OracleMaliceEstimator(certainty=1.5)

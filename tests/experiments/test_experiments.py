@@ -1,0 +1,108 @@
+"""End-to-end tests for every experiment driver (small scale).
+
+These are the reproduction's acceptance tests: each driver must run and
+every shape check the paper's narrative claims must pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments import (
+    fig6_bounds,
+    fig7_worker_types,
+    fig8a_compensation,
+    fig8b_mu_sweep,
+    fig8c_baseline,
+    table2_communities,
+    table3_fitting,
+)
+
+
+class TestConfig:
+    def test_scale_validated(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(scale="huge")
+
+    def test_small_factory(self):
+        config = ExperimentConfig.small()
+        assert config.scale == "small"
+        assert config.trace_config().n_reviewers < 5_000
+
+    def test_paper_trace_config(self):
+        config = ExperimentConfig()
+        assert config.trace_config().n_reviewers == 19_686
+
+
+class TestDrivers:
+    def test_table2(self, small_context):
+        result = table2_communities.run(small_context)
+        assert result.experiment_id == "table2"
+        assert result.all_checks_pass, result.format()
+        assert result.data["n_collusive_workers"] == sum(
+            small_context.config.trace_config().community_sizes
+        )
+
+    def test_table3(self, small_context):
+        result = table3_fitting.run(small_context)
+        assert result.all_checks_pass, result.format()
+        for class_label in ("Honest", "NC-Mal", "C-Mal"):
+            nors = result.data[f"nor_{class_label}"]
+            assert len(nors) == 6
+            assert all(value > 0 for value in nors)
+
+    def test_fig6(self, small_context):
+        result = fig6_bounds.run(small_context)
+        assert result.all_checks_pass, result.format()
+        assert result.data["gaps"][-1] < result.data["gaps"][0]
+
+    def test_fig7(self, small_context):
+        result = fig7_worker_types.run(small_context)
+        assert result.all_checks_pass, result.format()
+
+    def test_fig8a(self, small_context):
+        result = fig8a_compensation.run(small_context)
+        assert result.all_checks_pass, result.format()
+        counts = list(small_context.config.fig8a_interval_counts)
+        assert result.data["mean_gaps"][counts[-1]] < (
+            result.data["mean_gaps"][counts[0]]
+        )
+
+    def test_fig8b(self, small_context):
+        result = fig8b_mu_sweep.run(small_context)
+        assert result.all_checks_pass, result.format()
+
+    def test_fig8c(self, small_context):
+        result = fig8c_baseline.run(small_context)
+        assert result.all_checks_pass, result.format()
+        assert result.data["margin"] > 0.0
+
+    def test_results_render(self, small_context):
+        result = table2_communities.run(small_context)
+        rendered = result.format()
+        assert "shape checks" in rendered
+        assert "PASS" in rendered
+
+
+class TestRunner:
+    def test_registry_covers_every_artifact(self):
+        assert set(EXPERIMENTS) == {
+            "table2",
+            "table3",
+            "fig6",
+            "fig7",
+            "fig8a",
+            "fig8b",
+            "fig8c",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+    def test_run_experiment_with_config(self, small_context):
+        result = run_experiment("fig6", small_context.config)
+        assert result.experiment_id == "fig6"

@@ -1,0 +1,127 @@
+"""Tests for the polynomial least-squares substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FitError
+from repro.fitting import PolynomialModel, fit_polynomial
+
+
+class TestFit:
+    def test_recovers_exact_quadratic(self):
+        x = np.linspace(0, 10, 50)
+        y = -0.5 * x**2 + 3.0 * x + 1.0
+        model = fit_polynomial(x, y, order=2)
+        r2, r1, r0 = model.unscaled_coefficients()
+        assert r2 == pytest.approx(-0.5, abs=1e-8)
+        assert r1 == pytest.approx(3.0, abs=1e-7)
+        assert r0 == pytest.approx(1.0, abs=1e-7)
+
+    def test_matches_numpy_polyfit(self, rng):
+        x = rng.uniform(0, 20, size=200)
+        y = 0.3 * x**3 - 2 * x + rng.normal(0, 1, size=200)
+        ours = fit_polynomial(x, y, order=3)
+        reference = np.polyfit(x, y, deg=3)
+        assert np.allclose(ours.unscaled_coefficients(), reference, rtol=1e-5, atol=1e-7)
+
+    def test_order_zero_is_mean(self):
+        y = [1.0, 2.0, 3.0, 6.0]
+        model = fit_polynomial([0, 1, 2, 3], y, order=0)
+        assert model(17.0) == pytest.approx(np.mean(y))
+
+    def test_evaluation_scalar_and_array(self):
+        model = fit_polynomial([0, 1, 2], [1, 2, 5], order=2)
+        scalar = model(1.5)
+        array = model(np.array([1.5, 2.0]))
+        assert isinstance(scalar, float)
+        assert array[0] == pytest.approx(scalar)
+
+    def test_derivative_at(self):
+        x = np.linspace(0, 5, 30)
+        y = 2.0 * x**2 - x + 4.0
+        model = fit_polynomial(x, y, order=2)
+        assert model.derivative_at(1.0) == pytest.approx(2 * 2 * 1.0 - 1.0, abs=1e-6)
+
+    def test_rescaling_conditioning_high_order(self):
+        """Order-6 fit over large abscissae must stay accurate thanks to
+        the internal rescaling."""
+        x = np.linspace(1.0, 1000.0, 400)
+        y = 1e-12 * x**4 + x
+        model = fit_polynomial(x, y, order=6)
+        predictions = model(x)
+        assert np.max(np.abs(predictions - y)) < 1e-3 * np.max(np.abs(y))
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(FitError):
+            fit_polynomial([1, 2, 3], [1, 2], order=1)
+
+    def test_too_few_points(self):
+        with pytest.raises(FitError):
+            fit_polynomial([1, 2], [1, 2], order=2)
+
+    def test_negative_order(self):
+        with pytest.raises(FitError):
+            fit_polynomial([1, 2, 3], [1, 2, 3], order=-1)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(FitError):
+            fit_polynomial([1, 2, np.inf], [1, 2, 3], order=1)
+        with pytest.raises(FitError):
+            fit_polynomial([1, 2, 3], [1, np.nan, 3], order=1)
+
+    def test_2d_rejected(self):
+        with pytest.raises(FitError):
+            fit_polynomial(np.ones((2, 2)), np.ones((2, 2)), order=1)
+
+    def test_model_validation(self):
+        with pytest.raises(FitError):
+            PolynomialModel(coefficients=())
+        with pytest.raises(FitError):
+            PolynomialModel(coefficients=(np.nan,))
+        with pytest.raises(FitError):
+            PolynomialModel(coefficients=(1.0,), scale=0.0)
+
+
+@given(
+    coefficients=st.lists(
+        st.floats(min_value=-5.0, max_value=5.0), min_size=2, max_size=4
+    ),
+    n_points=st.integers(min_value=10, max_value=60),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_exact_recovery_of_noiseless_polynomials(coefficients, n_points):
+    """Fitting a noiseless polynomial of matching order recovers it."""
+    order = len(coefficients) - 1
+    x = np.linspace(0.5, 10.0, n_points)
+    truth = np.zeros_like(x)
+    for coefficient in coefficients:
+        truth = truth * x + coefficient
+    model = fit_polynomial(x, truth, order=order)
+    predictions = model(x)
+    scale = max(1.0, float(np.max(np.abs(truth))))
+    assert np.max(np.abs(predictions - truth)) <= 1e-6 * scale
+
+
+@given(
+    n_points=st.integers(min_value=12, max_value=80),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_higher_order_never_increases_residual(n_points, seed):
+    """Nested least squares: a higher-order fit's SSR cannot exceed a
+    lower-order one's on the same data."""
+    generator = np.random.default_rng(seed)
+    x = generator.uniform(0, 10, size=n_points)
+    y = generator.normal(0, 1, size=n_points) + 0.2 * x
+    residuals = []
+    for order in (1, 2, 3):
+        model = fit_polynomial(x, y, order=order)
+        residuals.append(float(np.sum((model(x) - y) ** 2)))
+    assert residuals[1] <= residuals[0] + 1e-8
+    assert residuals[2] <= residuals[1] + 1e-8

@@ -1,0 +1,92 @@
+"""Tests for the concave-constrained quadratic fit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QuadraticEffort
+from repro.errors import FitError
+from repro.fitting import fit_concave_quadratic
+
+
+class TestUnconstrainedPath:
+    def test_recovers_valid_quadratic(self, rng):
+        truth = QuadraticEffort(r2=-0.4, r1=3.0, r0=1.0)
+        x = rng.uniform(0, 3.0, 500)
+        y = truth(x) + rng.normal(0, 0.05, 500)
+        fitted = fit_concave_quadratic(x, y)
+        assert fitted.r2 == pytest.approx(truth.r2, rel=0.1)
+        assert fitted.r1 == pytest.approx(truth.r1, rel=0.05)
+        assert fitted.r0 == pytest.approx(truth.r0, abs=0.15)
+
+
+class TestRepairPaths:
+    def test_convex_data_clamped_to_concave(self, rng):
+        x = rng.uniform(0, 5, 200)
+        y = 0.5 * x**2 + x  # convex
+        fitted = fit_concave_quadratic(x, y)
+        assert fitted.r2 < 0.0
+        assert fitted.r1 > 0.0
+
+    def test_decreasing_data_gets_positive_slope_floor(self, rng):
+        x = rng.uniform(0, 5, 200)
+        y = -2.0 * x + 10.0  # decreasing
+        fitted = fit_concave_quadratic(x, y)
+        assert fitted.r1 > 0.0
+
+    def test_negative_intercept_clamped(self, rng):
+        x = rng.uniform(1, 5, 200)
+        y = 2.0 * x - 5.0  # intercept -5
+        fitted = fit_concave_quadratic(x, y)
+        assert fitted.r0 >= 0.0
+
+    def test_linear_data_yields_usable_effort_function(self, rng):
+        x = rng.uniform(0, 5, 300)
+        y = 1.5 * x + 0.5 + rng.normal(0, 0.05, 300)
+        fitted = fit_concave_quadratic(x, y)
+        # Valid by construction and nearly linear over the data range.
+        assert fitted.max_increasing_effort > x.max()
+        predictions = fitted(x)
+        assert np.corrcoef(predictions, y)[0, 1] > 0.99
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(FitError):
+            fit_concave_quadratic([1.0, 2.0], [1.0, 2.0])
+
+    def test_negative_efforts_rejected(self):
+        with pytest.raises(FitError):
+            fit_concave_quadratic([-1.0, 0.0, 1.0], [0.0, 1.0, 2.0])
+
+    def test_degenerate_x_rejected(self):
+        with pytest.raises(FitError):
+            fit_concave_quadratic([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_bad_floors_rejected(self):
+        with pytest.raises(FitError):
+            fit_concave_quadratic([0, 1, 2], [0, 1, 2], min_curvature=0.0)
+        with pytest.raises(FitError):
+            fit_concave_quadratic([0, 1, 2], [0, 1, 2], min_slope=-1.0)
+
+
+@given(
+    r2=st.floats(min_value=-1.0, max_value=1.0),
+    r1=st.floats(min_value=-2.0, max_value=5.0),
+    r0=st.floats(min_value=-2.0, max_value=5.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_always_returns_valid_effort_function(r2, r1, r0, seed):
+    """Whatever the data's shape, the result satisfies the paper's
+    assumptions (r2 < 0, r1 > 0, r0 >= 0)."""
+    generator = np.random.default_rng(seed)
+    x = generator.uniform(0, 4, 50)
+    y = r2 * x**2 + r1 * x + r0 + generator.normal(0, 0.2, 50)
+    fitted = fit_concave_quadratic(x, y)
+    assert fitted.r2 < 0.0
+    assert fitted.r1 > 0.0
+    assert fitted.r0 >= 0.0

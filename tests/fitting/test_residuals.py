@@ -1,0 +1,67 @@
+"""Tests for the goodness-of-fit measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.fitting import fit_polynomial, norm_of_residual, r_squared, residuals, rmse
+
+
+def _identity(x):
+    return x
+
+
+class TestResiduals:
+    def test_residual_vector(self):
+        res = residuals(_identity, [1.0, 2.0], [1.5, 1.0])
+        assert res == pytest.approx([0.5, -1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FitError):
+            residuals(_identity, [1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(FitError):
+            residuals(_identity, [], [])
+
+
+class TestNorms:
+    def test_norm_of_residual_is_l2(self):
+        nor = norm_of_residual(_identity, [0.0, 0.0], [3.0, 4.0])
+        assert nor == pytest.approx(5.0)
+
+    def test_rmse_relation(self):
+        x = [0.0, 1.0, 2.0, 3.0]
+        y = [0.5, 0.5, 2.5, 3.5]
+        nor = norm_of_residual(_identity, x, y)
+        assert rmse(_identity, x, y) == pytest.approx(nor / np.sqrt(len(x)))
+
+    def test_perfect_fit_zero(self):
+        assert norm_of_residual(_identity, [1.0, 2.0], [1.0, 2.0]) == 0.0
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        assert r_squared(_identity, [1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_mean_model_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        mean = float(y.mean())
+        assert r_squared(lambda x: np.full_like(x, mean), [0, 1, 2], y) == (
+            pytest.approx(0.0)
+        )
+
+    def test_constant_target_perfect(self):
+        assert r_squared(lambda x: np.full_like(np.asarray(x, float), 2.0),
+                         [0, 1], [2.0, 2.0]) == 1.0
+
+    def test_constant_target_bad_model(self):
+        assert r_squared(_identity, [0.0, 1.0], [2.0, 2.0]) == 0.0
+
+    def test_fitted_model_r2_high_on_structured_data(self, rng):
+        x = rng.uniform(0, 10, 100)
+        y = 2 * x + 1 + rng.normal(0, 0.1, 100)
+        model = fit_polynomial(x, y, order=1)
+        assert r_squared(model, x, y) > 0.99

@@ -1,0 +1,73 @@
+"""Tests for the Table III order sweep and selection rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.fitting import TABLE_III_ORDERS, select_order, sweep_orders
+
+
+class TestSweep:
+    def test_sweep_covers_requested_orders(self, rng):
+        x = rng.uniform(0, 10, 100)
+        y = -0.2 * x**2 + 2 * x + rng.normal(0, 0.5, 100)
+        sweep = sweep_orders(x, y)
+        assert set(sweep.models) == set(TABLE_III_ORDERS)
+        assert set(sweep.nors) == set(TABLE_III_ORDERS)
+
+    def test_nor_row_order(self, rng):
+        x = rng.uniform(0, 10, 50)
+        y = x + rng.normal(0, 0.1, 50)
+        sweep = sweep_orders(x, y, orders=(1, 2))
+        row = sweep.nor_row(orders=(2, 1))
+        assert row == (sweep.nors[2], sweep.nors[1])
+
+    def test_nor_row_missing_order(self, rng):
+        x = rng.uniform(0, 10, 50)
+        sweep = sweep_orders(x, x, orders=(1, 2))
+        with pytest.raises(FitError):
+            sweep.nor_row(orders=(1, 5))
+
+    def test_nor_nonincreasing_with_order(self, rng):
+        x = rng.uniform(0, 10, 200)
+        y = np.sin(x) + rng.normal(0, 0.2, 200)
+        sweep = sweep_orders(x, y)
+        row = sweep.nor_row()
+        assert all(b <= a + 1e-9 for a, b in zip(row, row[1:]))
+
+    def test_empty_orders_rejected(self, rng):
+        with pytest.raises(FitError):
+            sweep_orders([1, 2, 3], [1, 2, 3], orders=())
+
+
+class TestSelection:
+    def test_quadratic_data_selects_quadratic(self, rng):
+        x = rng.uniform(0, 10, 2000)
+        y = -0.3 * x**2 + 4 * x + 1 + rng.normal(0, 1.0, 2000)
+        assert select_order(x, y) == 2
+
+    def test_linear_data_selects_linear(self, rng):
+        x = rng.uniform(0, 10, 2000)
+        y = 2 * x + rng.normal(0, 1.0, 2000)
+        assert select_order(x, y) == 1
+
+    def test_tolerance_zero_returns_best(self, rng):
+        x = rng.uniform(0, 10, 100)
+        y = x**2 + rng.normal(0, 0.1, 100)
+        sweep = sweep_orders(x, y)
+        assert sweep.selected_order(tolerance=0.0) == sweep.best_order
+
+    def test_negative_tolerance_rejected(self, rng):
+        x = rng.uniform(0, 10, 100)
+        sweep = sweep_orders(x, x)
+        with pytest.raises(FitError):
+            sweep.selected_order(tolerance=-0.1)
+
+    def test_perfect_fit_handled(self):
+        """Zero-NoR best fits must not divide by zero in the rule."""
+        x = np.linspace(0, 5, 30)
+        y = 2 * x + 1
+        sweep = sweep_orders(x, y, orders=(1, 2))
+        assert sweep.selected_order() == 1

@@ -1,0 +1,159 @@
+"""Tests for labeling tasks and the effort-to-accuracy model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataError, ModelError
+from repro.labeling import (
+    AccuracyModel,
+    BinaryTask,
+    TaskBatch,
+    TaskGenerator,
+    quadratic_feedback_approximation,
+)
+
+
+class TestTasks:
+    def test_valid_task(self):
+        task = BinaryTask(task_id="t1", truth=True, difficulty=0.3)
+        assert task.truth
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            BinaryTask(task_id="", truth=True)
+        with pytest.raises(DataError):
+            BinaryTask(task_id="t", truth=True, difficulty=1.0)
+        with pytest.raises(DataError):
+            BinaryTask(task_id="t", truth=True, difficulty=-0.1)
+
+    def test_batch_arrays(self):
+        batch = TaskBatch(
+            tasks=[
+                BinaryTask("a", True, 0.1),
+                BinaryTask("b", False, 0.5),
+            ]
+        )
+        assert batch.truths().tolist() == [True, False]
+        assert batch.difficulties().tolist() == [0.1, 0.5]
+        assert len(batch) == 2
+
+    def test_batch_validation(self):
+        with pytest.raises(DataError):
+            TaskBatch(tasks=[])
+        with pytest.raises(DataError):
+            TaskBatch(tasks=[BinaryTask("a", True), BinaryTask("a", False)])
+
+
+class TestGenerator:
+    def test_batch_shape_and_ids_unique(self):
+        generator = TaskGenerator(seed=0)
+        first = generator.batch(30)
+        second = generator.batch(30)
+        ids = {t.task_id for t in first.tasks} | {t.task_id for t in second.tasks}
+        assert len(ids) == 60
+
+    def test_difficulty_mean_tracks_config(self):
+        generator = TaskGenerator(mean_difficulty=0.6, seed=1)
+        batch = generator.batch(3000)
+        assert batch.difficulties().mean() == pytest.approx(0.6, abs=0.05)
+
+    def test_positive_rate(self):
+        generator = TaskGenerator(positive_rate=0.8, seed=1)
+        batch = generator.batch(3000)
+        assert batch.truths().mean() == pytest.approx(0.8, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            TaskGenerator(mean_difficulty=0.0)
+        with pytest.raises(DataError):
+            TaskGenerator(concentration=0.0)
+        with pytest.raises(DataError):
+            TaskGenerator(positive_rate=1.5)
+        with pytest.raises(DataError):
+            TaskGenerator().batch(0)
+
+
+class TestAccuracyModel:
+    def test_zero_effort_is_coin_flip(self):
+        model = AccuracyModel()
+        assert model.accuracy(0.0) == pytest.approx(0.5)
+
+    def test_saturates_at_p_max(self):
+        model = AccuracyModel(p_max=0.9, effort_scale=1.0)
+        assert model.accuracy(100.0) == pytest.approx(0.9, abs=1e-6)
+
+    def test_difficulty_attenuates(self):
+        model = AccuracyModel()
+        assert model.accuracy(3.0, difficulty=0.5) < model.accuracy(3.0, 0.0)
+
+    def test_monotone_in_effort(self):
+        model = AccuracyModel()
+        efforts = np.linspace(0, 10, 50)
+        values = [model.accuracy(float(y)) for y in efforts]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_expected_feedback(self):
+        model = AccuracyModel()
+        batch = TaskBatch(
+            tasks=[BinaryTask("a", True, 0.0), BinaryTask("b", True, 0.5)]
+        )
+        expected = model.accuracy(2.0, 0.0) + model.accuracy(2.0, 0.5)
+        assert model.expected_feedback(2.0, batch) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            AccuracyModel(p_max=0.5)
+        with pytest.raises(ModelError):
+            AccuracyModel(effort_scale=0.0)
+        model = AccuracyModel()
+        with pytest.raises(ModelError):
+            model.accuracy(-1.0)
+        with pytest.raises(ModelError):
+            model.accuracy(1.0, difficulty=1.0)
+
+
+class TestQuadraticApproximation:
+    def test_returns_valid_effort_function(self):
+        approx = quadratic_feedback_approximation(
+            AccuracyModel(), batch_size=40, mean_difficulty=0.3, max_effort=8.0
+        )
+        assert approx.r2 < 0.0
+        assert approx.r1 > 0.0
+
+    def test_close_to_true_curve(self):
+        model = AccuracyModel()
+        approx = quadratic_feedback_approximation(
+            model, batch_size=40, mean_difficulty=0.3, max_effort=8.0
+        )
+        efforts = np.linspace(0, 8, 40)
+        truth = np.array([40 * model.accuracy(float(y), 0.3) for y in efforts])
+        fitted = np.array([float(approx(float(y))) for y in efforts])
+        assert np.max(np.abs(fitted - truth)) < 0.06 * np.max(truth)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            quadratic_feedback_approximation(AccuracyModel(), 0, 0.3, 8.0)
+        with pytest.raises(ModelError):
+            quadratic_feedback_approximation(AccuracyModel(), 10, 1.0, 8.0)
+        with pytest.raises(ModelError):
+            quadratic_feedback_approximation(AccuracyModel(), 10, 0.3, 0.0)
+        with pytest.raises(ModelError):
+            quadratic_feedback_approximation(AccuracyModel(), 10, 0.3, 8.0, n_points=2)
+
+
+@given(
+    p_max=st.floats(min_value=0.55, max_value=1.0),
+    scale=st.floats(min_value=0.2, max_value=10.0),
+    effort=st.floats(min_value=0.0, max_value=50.0),
+    difficulty=st.floats(min_value=0.0, max_value=0.99),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_accuracy_bounded(p_max, scale, effort, difficulty):
+    """Accuracy always lies in [0.5, p_max]."""
+    model = AccuracyModel(p_max=p_max, effort_scale=scale)
+    accuracy = model.accuracy(effort, difficulty)
+    assert 0.5 - 1e-12 <= accuracy <= p_max + 1e-12

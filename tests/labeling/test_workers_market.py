@@ -1,0 +1,196 @@
+"""Tests for labeling workers, aggregation and the labeling market."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.designer import DesignerConfig
+from repro.errors import ModelError, SimulationError
+from repro.labeling import (
+    AccuracyModel,
+    LabelSheet,
+    LabelingMarket,
+    LabelingWorker,
+    TaskGenerator,
+    labeling_accuracy,
+    majority_vote,
+    quadratic_feedback_approximation,
+    weighted_vote,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AccuracyModel(p_max=0.95, effort_scale=2.0)
+
+
+@pytest.fixture(scope="module")
+def feedback_function(model):
+    return quadratic_feedback_approximation(model, 30, 0.3, 8.0)
+
+
+def _worker(model, feedback_function, worker_id="w", omega=0.0, flip_rate=0.0):
+    return LabelingWorker(
+        worker_id,
+        model,
+        feedback_function,
+        beta=1.0,
+        omega=omega,
+        flip_rate=flip_rate,
+    )
+
+
+class TestLabelingWorker:
+    def test_validation(self, model, feedback_function):
+        with pytest.raises(ModelError):
+            LabelingWorker("", model, feedback_function)
+        with pytest.raises(ModelError):
+            _worker(model, feedback_function, omega=0.3, flip_rate=0.0)
+        with pytest.raises(ModelError):
+            _worker(model, feedback_function, omega=0.0, flip_rate=0.5)
+
+    def test_high_effort_labels_more_accurately(self, model, feedback_function, rng):
+        worker = _worker(model, feedback_function)
+        batch = TaskGenerator(seed=2).batch(400)
+        lazy = worker.label(batch, effort=0.0, rng=rng)
+        diligent = worker.label(batch, effort=8.0, rng=rng)
+        truths = batch.truths()
+        assert diligent.agreement_with(truths) > lazy.agreement_with(truths)
+
+    def test_malicious_flips_toward_target(self, model, feedback_function, rng):
+        shill = _worker(
+            model, feedback_function, worker_id="s", omega=0.3, flip_rate=1.0
+        )
+        batch = TaskGenerator(seed=3, positive_rate=0.5).batch(200)
+        sheet = shill.label(batch, effort=8.0, rng=rng)
+        assert sheet.labels.all()  # every label forced to True
+
+    def test_agreement_shape_mismatch(self, model, feedback_function, rng):
+        worker = _worker(model, feedback_function)
+        batch = TaskGenerator(seed=4).batch(10)
+        sheet = worker.label(batch, effort=1.0, rng=rng)
+        with pytest.raises(ModelError):
+            sheet.agreement_with(np.zeros(5, dtype=bool))
+
+
+class TestAggregation:
+    def _sheet(self, worker_id, labels):
+        return LabelSheet(
+            worker_id=worker_id,
+            labels=np.asarray(labels, dtype=bool),
+            effort=1.0,
+        )
+
+    def test_majority_vote(self):
+        sheets = [
+            self._sheet("a", [True, False, True]),
+            self._sheet("b", [True, False, False]),
+            self._sheet("c", [False, False, True]),
+        ]
+        assert majority_vote(sheets).tolist() == [True, False, True]
+
+    def test_majority_tie_breaks_true(self):
+        sheets = [self._sheet("a", [True]), self._sheet("b", [False])]
+        assert majority_vote(sheets).tolist() == [True]
+
+    def test_weighted_vote_downweights_shills(self):
+        sheets = [
+            self._sheet("honest1", [False]),
+            self._sheet("shill1", [True]),
+            self._sheet("shill2", [True]),
+        ]
+        weights = {"honest1": 5.0, "shill1": 0.5, "shill2": 0.5}
+        assert weighted_vote(sheets, weights).tolist() == [False]
+        # Unweighted majority would say True.
+        assert majority_vote(sheets).tolist() == [True]
+
+    def test_weighted_vote_zero_mass_falls_back(self):
+        sheets = [self._sheet("a", [True]), self._sheet("b", [True])]
+        assert weighted_vote(sheets, {}).tolist() == [True]
+
+    def test_mismatched_sheets_rejected(self):
+        sheets = [self._sheet("a", [True]), self._sheet("b", [True, False])]
+        with pytest.raises(ModelError):
+            majority_vote(sheets)
+        with pytest.raises(ModelError):
+            majority_vote([])
+
+    def test_labeling_accuracy(self):
+        batch = TaskGenerator(seed=5).batch(10)
+        perfect = labeling_accuracy(batch.truths(), batch)
+        assert perfect == 1.0
+        inverted = labeling_accuracy(~batch.truths(), batch)
+        assert inverted == 0.0
+
+
+class TestMarket:
+    def _market(self, model, feedback_function, seed=0):
+        workers = [
+            _worker(model, feedback_function, worker_id=f"h{i}") for i in range(5)
+        ] + [
+            _worker(
+                model,
+                feedback_function,
+                worker_id=f"s{i}",
+                omega=0.3,
+                flip_rate=0.5,
+            )
+            for i in range(2)
+        ]
+        weights = {w.worker_id: (1.0 if w.worker_id.startswith("h") else 0.2)
+                   for w in workers}
+        return LabelingMarket(
+            workers=workers,
+            weights=weights,
+            mu=1.0,
+            value_per_correct=2.0,
+            designer_config=DesignerConfig(n_intervals=10),
+            max_effort=8.0,
+            seed=seed,
+        )
+
+    def test_design_contracts_per_worker(self, model, feedback_function):
+        market = self._market(model, feedback_function)
+        contracts = market.design_contracts()
+        assert len(contracts) == 7
+
+    def test_round_accounting(self, model, feedback_function):
+        market = self._market(model, feedback_function)
+        batch = TaskGenerator(seed=6).batch(30)
+        result = market.play_round(batch, market.design_contracts())
+        assert 0.0 <= result.consensus_accuracy <= 1.0
+        assert result.total_pay == pytest.approx(sum(result.worker_pay.values()))
+        expected_utility = (
+            2.0 * result.consensus_accuracy * 30 - result.total_pay
+        )
+        assert result.requester_utility == pytest.approx(expected_utility)
+
+    def test_dynamic_beats_flat_on_accuracy(self, model, feedback_function):
+        market = self._market(model, feedback_function)
+        generator = TaskGenerator(seed=7)
+        dynamic = market.run(generator, batch_size=30, n_rounds=3)
+        market_flat = self._market(model, feedback_function)
+        flat = market_flat.run(
+            TaskGenerator(seed=7),
+            batch_size=30,
+            n_rounds=3,
+            contracts=market_flat.flat_contracts(pay=1.0),
+        )
+        assert np.mean([r.consensus_accuracy for r in dynamic]) > np.mean(
+            [r.consensus_accuracy for r in flat]
+        )
+
+    def test_validation(self, model, feedback_function):
+        with pytest.raises(SimulationError):
+            LabelingMarket(workers=[], weights={})
+        worker = _worker(model, feedback_function)
+        with pytest.raises(SimulationError):
+            LabelingMarket(workers=[worker, worker], weights={})
+        with pytest.raises(SimulationError):
+            LabelingMarket(workers=[worker], weights={}, mu=0.0)
+        market = self._market(model, feedback_function)
+        with pytest.raises(SimulationError):
+            market.flat_contracts(pay=-1.0)
+        with pytest.raises(SimulationError):
+            market.run(TaskGenerator(), batch_size=5, n_rounds=0)

@@ -1,0 +1,167 @@
+"""Tests for the online-adaptive dynamic policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.utility import RequesterObjective
+from repro.errors import SimulationError
+from repro.simulation import (
+    AdaptiveDynamicPolicy,
+    EwmaDeviationTracker,
+    MarketplaceSimulation,
+)
+from repro.types import RequesterParameters, WorkerType
+from repro.workers import CamouflagedWorker, build_population
+
+
+@pytest.fixture()
+def population(small_trace, small_clusters, small_proxy, small_malice):
+    return build_population(
+        trace=small_trace,
+        clusters=small_clusters,
+        proxy=small_proxy,
+        malice_estimates=small_malice,
+        objective=RequesterObjective(RequesterParameters(mu=1.0)),
+        honest_subset=small_trace.worker_ids(WorkerType.HONEST)[:40],
+    )
+
+
+@pytest.fixture()
+def objective():
+    return RequesterObjective(RequesterParameters(mu=1.0))
+
+
+class TestTracker:
+    def test_prior_before_observation(self):
+        tracker = EwmaDeviationTracker(prior_deviation=0.4)
+        assert tracker.estimate("anyone") == pytest.approx(0.4)
+        assert tracker.n_observations("anyone") == 0
+
+    def test_ewma_update(self):
+        tracker = EwmaDeviationTracker(smoothing=0.5, prior_deviation=0.4)
+        tracker.observe("w", 1.0)
+        assert tracker.estimate("w") == pytest.approx(0.7)
+        tracker.observe("w", 1.0)
+        assert tracker.estimate("w") == pytest.approx(0.85)
+        assert tracker.n_observations("w") == 2
+
+    def test_smoothing_one_trusts_latest(self):
+        tracker = EwmaDeviationTracker(smoothing=1.0)
+        tracker.observe("w", 2.0)
+        assert tracker.estimate("w") == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            EwmaDeviationTracker(smoothing=0.0)
+        with pytest.raises(SimulationError):
+            EwmaDeviationTracker(smoothing=1.5)
+        with pytest.raises(SimulationError):
+            EwmaDeviationTracker(prior_deviation=0.0)
+        tracker = EwmaDeviationTracker()
+        with pytest.raises(SimulationError):
+            tracker.observe("w", -0.1)
+
+
+class TestAdaptivePolicy:
+    def test_contracts_for_every_subject(self, population):
+        policy = AdaptiveDynamicPolicy(mu=1.0)
+        contracts = policy.contracts(population)
+        assert set(contracts) == {s.subject_id for s in population.subproblems}
+
+    def test_priors_give_uniform_weights(self, population):
+        policy = AdaptiveDynamicPolicy(mu=1.0)
+        weights = policy.current_weights(population)
+        individual = {
+            s.subject_id: weights[s.subject_id]
+            for s in population.subproblems
+            if s.size == 1
+        }
+        assert len(set(round(w, 9) for w in individual.values())) == 1
+
+    def test_weights_separate_classes_after_rounds(self, population, objective):
+        policy = AdaptiveDynamicPolicy(mu=1.0)
+        MarketplaceSimulation(population, objective, policy, seed=0).run(5)
+        weights = policy.current_weights(population)
+        honest = [
+            weights[s] for s in population.subjects_of_type(WorkerType.HONEST)
+        ]
+        malicious = [
+            weights[s]
+            for s in population.subjects_of_type(
+                WorkerType.NONCOLLUSIVE_MALICIOUS
+            )
+        ]
+        assert np.mean(honest) > np.mean(malicious) + 0.5
+
+    def test_freeze_after_stops_learning(self, population, objective):
+        policy = AdaptiveDynamicPolicy(mu=1.0, freeze_after=1)
+        simulation = MarketplaceSimulation(population, objective, policy, seed=0)
+        simulation.run(1)
+        frozen = dict(policy.tracker._estimates)
+        simulation.run(3)
+        assert dict(policy.tracker._estimates) == frozen
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            AdaptiveDynamicPolicy(mu=0.0)
+        with pytest.raises(SimulationError):
+            AdaptiveDynamicPolicy(freeze_after=0)
+
+    def test_catches_camouflaged_attacker(self, population, objective):
+        attacker_id = population.subjects_of_type(
+            WorkerType.NONCOLLUSIVE_MALICIOUS
+        )[0]
+        old_agent = population.agents[attacker_id]
+        population.agents[attacker_id] = CamouflagedWorker(
+            worker_id=attacker_id,
+            effort_function=old_agent.effort_function,
+            omega=0.5,
+            rating_bias=2.5,
+            attack_round=3,
+        )
+        policy = AdaptiveDynamicPolicy(mu=1.0)
+        ledger = MarketplaceSimulation(
+            population, objective, policy, seed=0
+        ).run(8)
+        weights = [
+            record.outcomes[attacker_id].believed_weight
+            for record in ledger.records
+        ]
+        # Believed weight rises (or holds) during camouflage, collapses
+        # after the flip.
+        assert weights[2] > weights[-1]
+        assert weights[-1] < 1.0
+
+
+class TestEngineIntegration:
+    def test_rating_deviation_recorded(self, population, objective):
+        policy = AdaptiveDynamicPolicy(mu=1.0)
+        record = MarketplaceSimulation(
+            population, objective, policy, seed=0
+        ).step()
+        deviations = [
+            outcome.rating_deviation
+            for outcome in record.outcomes.values()
+            if not outcome.excluded
+        ]
+        assert all(d >= 0.0 for d in deviations)
+        assert any(d > 0.0 for d in deviations)
+
+    def test_policy_belief_recorded_evaluation_weight_fixed(
+        self, population, objective
+    ):
+        policy = AdaptiveDynamicPolicy(mu=1.0, prior_deviation=0.123)
+        record = MarketplaceSimulation(
+            population, objective, policy, seed=0
+        ).step()
+        believed = policy.current_weights(population)
+        for subject_id, outcome in record.outcomes.items():
+            # The policy's belief is recorded...
+            assert outcome.policy_weight == pytest.approx(believed[subject_id])
+            # ...but utility is booked with the reference weight, so a
+            # policy cannot inflate its own score.
+            assert outcome.feedback_weight == pytest.approx(
+                population.weights[subject_id]
+            )

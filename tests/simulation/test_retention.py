@@ -1,0 +1,153 @@
+"""Tests for retention dynamics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.designer import DesignerConfig
+from repro.core.utility import RequesterObjective
+from repro.errors import SimulationError
+from repro.simulation import (
+    DynamicContractPolicy,
+    FixedPaymentPolicy,
+    RetentionModel,
+    RetentionSimulation,
+)
+from repro.types import RequesterParameters, WorkerType
+from repro.workers import build_population
+
+
+@pytest.fixture()
+def population(small_trace, small_clusters, small_proxy, small_malice):
+    return build_population(
+        trace=small_trace,
+        clusters=small_clusters,
+        proxy=small_proxy,
+        malice_estimates=small_malice,
+        objective=RequesterObjective(RequesterParameters(mu=1.0)),
+        honest_subset=small_trace.worker_ids(WorkerType.HONEST)[:40],
+    )
+
+
+@pytest.fixture()
+def objective():
+    return RequesterObjective(RequesterParameters(mu=1.0))
+
+
+class TestRetentionModel:
+    def test_patience_validated(self):
+        with pytest.raises(SimulationError):
+            RetentionModel(patience=0)
+
+    def test_defaults(self):
+        model = RetentionModel()
+        assert model.patience >= 1
+
+
+class TestRetentionSimulation:
+    def test_zero_reservation_retains_everyone(self, population, objective):
+        simulation = RetentionSimulation(
+            population,
+            objective,
+            DynamicContractPolicy(mu=1.0),
+            retention=RetentionModel(reservation_utility=-1.0, patience=1),
+            seed=0,
+        )
+        simulation.run(3)
+        assert simulation.retention_rate() == 1.0
+        assert simulation.departed == set()
+
+    def test_surplus_extraction_drains_pool(self, population, objective):
+        """The paper's minimal-pay contract leaves honest workers at
+        ~zero utility; a positive reservation empties the pool."""
+        simulation = RetentionSimulation(
+            population,
+            objective,
+            DynamicContractPolicy(mu=1.0),
+            retention=RetentionModel(reservation_utility=0.5, patience=2),
+            seed=0,
+        )
+        simulation.run(5)
+        assert simulation.retention_rate(WorkerType.HONEST) < 0.2
+
+    def test_participation_floor_restores_retention(
+        self, population, objective
+    ):
+        simulation = RetentionSimulation(
+            population,
+            objective,
+            DynamicContractPolicy(
+                mu=1.0, config=DesignerConfig(base_pay=0.8)
+            ),
+            retention=RetentionModel(reservation_utility=0.5, patience=2),
+            seed=0,
+        )
+        simulation.run(5)
+        assert simulation.retention_rate(WorkerType.HONEST) >= 0.95
+
+    def test_departed_subjects_stay_gone(self, population, objective):
+        simulation = RetentionSimulation(
+            population,
+            objective,
+            FixedPaymentPolicy(pay_per_member=0.0),
+            retention=RetentionModel(reservation_utility=0.5, patience=1),
+            seed=0,
+        )
+        simulation.run(2)
+        departed = simulation.departed
+        assert departed
+        record = simulation.step()
+        for subject_id in departed:
+            assert record.outcomes[subject_id].excluded
+            assert record.outcomes[subject_id].compensation == 0.0
+
+    def test_patience_delays_departure(self, population, objective):
+        impatient = RetentionSimulation(
+            population,
+            objective,
+            FixedPaymentPolicy(pay_per_member=0.0),
+            retention=RetentionModel(reservation_utility=0.5, patience=1),
+            seed=0,
+        )
+        impatient.step()
+        patient = RetentionSimulation(
+            population,
+            objective,
+            FixedPaymentPolicy(pay_per_member=0.0),
+            retention=RetentionModel(reservation_utility=0.5, patience=3),
+            seed=0,
+        )
+        patient.step()
+        assert len(impatient.departed) > 0
+        assert len(patient.departed) == 0
+
+    def test_retention_rate_type_filter(self, population, objective):
+        simulation = RetentionSimulation(
+            population,
+            objective,
+            DynamicContractPolicy(mu=1.0),
+            retention=RetentionModel(reservation_utility=-1.0),
+            seed=0,
+        )
+        simulation.run(1)
+        assert simulation.retention_rate(WorkerType.COLLUSIVE_MALICIOUS) == 1.0
+
+
+class TestWorkerUtilityBookkeeping:
+    def test_worker_utility_formula(self, population, objective):
+        from repro.simulation import MarketplaceSimulation
+
+        simulation = MarketplaceSimulation(
+            population, objective, DynamicContractPolicy(mu=1.0), seed=0
+        )
+        record = simulation.step()
+        for subject_id, outcome in record.outcomes.items():
+            if outcome.excluded:
+                continue
+            agent = population.agents[subject_id]
+            expected = (
+                outcome.compensation
+                + agent.params.omega * outcome.feedback
+                - agent.params.beta * outcome.effort
+            )
+            assert outcome.worker_utility == pytest.approx(expected)

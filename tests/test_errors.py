@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exception_type = getattr(errors, name)
+            assert issubclass(exception_type, errors.ReproError)
+
+    def test_subsystem_parents(self):
+        assert issubclass(errors.EffortFunctionError, errors.ModelError)
+        assert issubclass(errors.InfeasibleDesignError, errors.DesignError)
+        assert issubclass(errors.TraceCalibrationError, errors.DataError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.FitError("boom")
+        with pytest.raises(errors.ReproError):
+            raise errors.SimulationError("boom")
+
+    def test_library_raises_only_repro_errors_for_bad_model_input(self):
+        """Spot-check that public validation paths raise inside the
+        hierarchy, not bare ValueError."""
+        from repro import QuadraticEffort, WorkerParameters
+
+        with pytest.raises(errors.ReproError):
+            QuadraticEffort(r2=1.0, r1=1.0, r0=0.0)
+        with pytest.raises(errors.ReproError):
+            WorkerParameters.honest(beta=-1.0)

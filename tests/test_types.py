@@ -1,0 +1,189 @@
+"""Tests for shared value types (worker params, weights, grids)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.types import (
+    DiscretizationGrid,
+    FeedbackWeightParameters,
+    RequesterParameters,
+    WorkerParameters,
+    WorkerType,
+)
+
+
+class TestWorkerType:
+    def test_malice_flags(self):
+        assert not WorkerType.HONEST.is_malicious
+        assert WorkerType.NONCOLLUSIVE_MALICIOUS.is_malicious
+        assert WorkerType.COLLUSIVE_MALICIOUS.is_malicious
+
+    def test_short_labels(self):
+        assert WorkerType.HONEST.short_label == "Honest"
+        assert WorkerType.NONCOLLUSIVE_MALICIOUS.short_label == "NC-Mal"
+        assert WorkerType.COLLUSIVE_MALICIOUS.short_label == "C-Mal"
+
+
+class TestWorkerParameters:
+    def test_honest_factory(self):
+        params = WorkerParameters.honest(beta=2.0)
+        assert params.omega == 0.0
+        assert params.worker_type is WorkerType.HONEST
+
+    def test_malicious_factory(self):
+        params = WorkerParameters.malicious(beta=1.0, omega=0.4, collusive=True)
+        assert params.worker_type is WorkerType.COLLUSIVE_MALICIOUS
+
+    def test_honest_with_omega_rejected(self):
+        with pytest.raises(ModelError):
+            WorkerParameters(beta=1.0, omega=0.5, worker_type=WorkerType.HONEST)
+
+    def test_bad_beta_rejected(self):
+        with pytest.raises(ModelError):
+            WorkerParameters.honest(beta=0.0)
+        with pytest.raises(ModelError):
+            WorkerParameters.honest(beta=math.inf)
+
+    def test_negative_omega_rejected(self):
+        with pytest.raises(ModelError):
+            WorkerParameters(
+                beta=1.0, omega=-0.1, worker_type=WorkerType.NONCOLLUSIVE_MALICIOUS
+            )
+
+
+class TestFeedbackWeights:
+    def test_eq5_formula(self):
+        params = FeedbackWeightParameters(
+            rho=1.0, kappa=0.1, gamma=0.1, min_deviation=0.1
+        )
+        weight = params.weight(4.5, 3.0, malice_probability=1.0, n_partners=2)
+        assert weight == pytest.approx(1.0 / 1.5 - 0.1 - 0.2)
+
+    def test_min_deviation_floor(self):
+        params = FeedbackWeightParameters(min_deviation=0.25)
+        exact = params.weight(3.0, 3.0)
+        assert exact == pytest.approx(1.0 / 0.25)
+
+    def test_max_weight_cap(self):
+        params = FeedbackWeightParameters(min_deviation=0.01, max_weight=5.0)
+        assert params.weight(3.0, 3.0) == pytest.approx(5.0)
+
+    def test_infinite_deviation_keeps_penalties(self):
+        params = FeedbackWeightParameters(kappa=0.2, gamma=0.1)
+        weight = params.weight_from_deviation(
+            float("inf"), malice_probability=1.0, n_partners=3
+        )
+        assert weight == pytest.approx(-0.2 - 0.3)
+
+    def test_invalid_inputs(self):
+        params = FeedbackWeightParameters()
+        with pytest.raises(ModelError):
+            params.weight(1.0, 1.0, malice_probability=1.5)
+        with pytest.raises(ModelError):
+            params.weight(1.0, 1.0, n_partners=-1)
+        with pytest.raises(ModelError):
+            params.weight_from_deviation(-0.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ModelError):
+            FeedbackWeightParameters(rho=0.0)
+        with pytest.raises(ModelError):
+            FeedbackWeightParameters(kappa=-0.1)
+        with pytest.raises(ModelError):
+            FeedbackWeightParameters(min_deviation=0.0)
+        with pytest.raises(ModelError):
+            FeedbackWeightParameters(max_weight=-1.0)
+
+    @given(
+        deviation=st.floats(min_value=0.0, max_value=10.0),
+        e_mal=st.floats(min_value=0.0, max_value=1.0),
+        partners=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_weight_decreases_with_penalties(self, deviation, e_mal, partners):
+        params = FeedbackWeightParameters()
+        base = params.weight_from_deviation(deviation)
+        penalized = params.weight_from_deviation(
+            deviation, malice_probability=e_mal, n_partners=partners
+        )
+        assert penalized <= base + 1e-12
+
+
+class TestRequesterParameters:
+    def test_utility(self):
+        params = RequesterParameters(mu=2.0)
+        assert params.utility(10.0, 3.0) == pytest.approx(4.0)
+
+    def test_bad_mu(self):
+        with pytest.raises(ModelError):
+            RequesterParameters(mu=0.0)
+
+
+class TestDiscretizationGrid:
+    def test_edges_and_intervals(self):
+        grid = DiscretizationGrid(n_intervals=4, delta=0.5)
+        assert grid.max_effort == pytest.approx(2.0)
+        assert grid.edges() == pytest.approx((0.0, 0.5, 1.0, 1.5, 2.0))
+        assert grid.interval(1) == (0.0, 0.5)
+        assert grid.interval(4) == (1.5, 2.0)
+
+    def test_edge_accessor(self):
+        grid = DiscretizationGrid(n_intervals=4, delta=0.5)
+        assert grid.edge(0) == 0.0
+        assert grid.edge(4) == pytest.approx(2.0)
+        with pytest.raises(ModelError):
+            grid.edge(5)
+
+    def test_locate(self):
+        grid = DiscretizationGrid(n_intervals=4, delta=0.5)
+        assert grid.locate(0.0) == 1
+        assert grid.locate(0.49) == 1
+        assert grid.locate(0.5) == 2
+        assert grid.locate(1.99) == 4
+        assert grid.locate(100.0) == 4
+        with pytest.raises(ModelError):
+            grid.locate(-0.1)
+
+    def test_for_max_effort(self):
+        grid = DiscretizationGrid.for_max_effort(3.0, 6)
+        assert grid.delta == pytest.approx(0.5)
+        with pytest.raises(ModelError):
+            DiscretizationGrid.for_max_effort(0.0, 3)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ModelError):
+            DiscretizationGrid(n_intervals=0, delta=1.0)
+        with pytest.raises(ModelError):
+            DiscretizationGrid(n_intervals=3, delta=0.0)
+
+    def test_interval_bounds_checked(self):
+        grid = DiscretizationGrid(n_intervals=3, delta=1.0)
+        with pytest.raises(ModelError):
+            grid.interval(0)
+        with pytest.raises(ModelError):
+            grid.interval(4)
+
+    @given(
+        m=st.integers(min_value=1, max_value=50),
+        delta=st.floats(min_value=1e-3, max_value=10.0),
+        fraction=st.floats(min_value=0.0, max_value=0.999),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_locate_consistent_with_interval(self, m, delta, fraction):
+        grid = DiscretizationGrid(n_intervals=m, delta=delta)
+        effort = fraction * grid.max_effort
+        piece = grid.locate(effort)
+        left, right = grid.interval(piece)
+        # Tolerate float rounding at interval edges: `effort` may sit
+        # within one ulp of a boundary, in which case either adjacent
+        # piece is a consistent answer.
+        slack = 1e-9 * max(1.0, grid.max_effort)
+        assert (left - slack <= effort < right + slack) or (
+            piece == m and effort >= left - slack
+        )

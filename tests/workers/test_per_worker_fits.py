@@ -1,0 +1,123 @@
+"""Tests for the per-worker fitting option of build_population."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.utility import RequesterObjective
+from repro.errors import ModelError
+from repro.types import RequesterParameters, WorkerType
+from repro.workers import build_population
+
+
+def _build(small_trace, small_clusters, small_proxy, small_malice, **kwargs):
+    return build_population(
+        trace=small_trace,
+        clusters=small_clusters,
+        proxy=small_proxy,
+        malice_estimates=small_malice,
+        objective=RequesterObjective(RequesterParameters(mu=1.0)),
+        **kwargs,
+    )
+
+
+class TestPerWorkerFits:
+    def test_prolific_workers_get_individual_functions(
+        self, small_trace, small_clusters, small_proxy, small_malice
+    ):
+        population = _build(
+            small_trace,
+            small_clusters,
+            small_proxy,
+            small_malice,
+            per_worker_fits=True,
+            min_reviews_for_fit=15,
+        )
+        class_fit = population.class_functions.honest.coefficients()
+        prolific = small_trace.workers_with_min_reviews(15, WorkerType.HONEST)
+        individual = 0
+        for worker_id in prolific:
+            subproblem = population.subproblem_of(worker_id)
+            if subproblem.effort_function.coefficients() != class_fit:
+                individual += 1
+        # Most prolific workers should get their own fit (a few may fall
+        # back on degenerate scatters).
+        assert individual >= 0.7 * len(prolific)
+
+    def test_thin_histories_fall_back_to_class_fit(
+        self, small_trace, small_clusters, small_proxy, small_malice
+    ):
+        population = _build(
+            small_trace,
+            small_clusters,
+            small_proxy,
+            small_malice,
+            per_worker_fits=True,
+            min_reviews_for_fit=15,
+        )
+        class_fit = population.class_functions.honest.coefficients()
+        for worker_id in population.subjects_of_type(WorkerType.HONEST):
+            if len(small_trace.reviews_of(worker_id)) < 15:
+                subproblem = population.subproblem_of(worker_id)
+                assert subproblem.effort_function.coefficients() == class_fit
+
+    def test_agents_respond_with_their_individual_fit(
+        self, small_trace, small_clusters, small_proxy, small_malice
+    ):
+        population = _build(
+            small_trace,
+            small_clusters,
+            small_proxy,
+            small_malice,
+            per_worker_fits=True,
+        )
+        for worker_id in population.subjects_of_type(WorkerType.HONEST):
+            subproblem = population.subproblem_of(worker_id)
+            agent = population.agents[worker_id]
+            assert (
+                agent.effort_function.coefficients()
+                == subproblem.effort_function.coefficients()
+            )
+
+    def test_default_off_uses_class_fit_everywhere(
+        self, small_trace, small_clusters, small_proxy, small_malice
+    ):
+        population = _build(
+            small_trace, small_clusters, small_proxy, small_malice
+        )
+        class_fit = population.class_functions.honest.coefficients()
+        for worker_id in population.subjects_of_type(WorkerType.HONEST):
+            assert (
+                population.subproblem_of(worker_id).effort_function.coefficients()
+                == class_fit
+            )
+
+    def test_min_reviews_validated(
+        self, small_trace, small_clusters, small_proxy, small_malice
+    ):
+        with pytest.raises(ModelError):
+            _build(
+                small_trace,
+                small_clusters,
+                small_proxy,
+                small_malice,
+                per_worker_fits=True,
+                min_reviews_for_fit=2,
+            )
+
+    def test_designs_solve_with_individual_fits(
+        self, small_trace, small_clusters, small_proxy, small_malice
+    ):
+        from repro.core.decomposition import solve_subproblems
+
+        population = _build(
+            small_trace,
+            small_clusters,
+            small_proxy,
+            small_malice,
+            per_worker_fits=True,
+        )
+        prolific = small_trace.workers_with_min_reviews(15, WorkerType.HONEST)
+        subset = [population.subproblem_of(w) for w in prolific[:10]]
+        solutions = solve_subproblems(subset, mu=1.0)
+        assert all(s.result.contract is not None for s in solutions.values())

@@ -1,0 +1,142 @@
+"""Tests for population assembly (trace -> subproblems/agents/weights)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.utility import RequesterObjective
+from repro.errors import ModelError
+from repro.types import RequesterParameters, WorkerType
+from repro.workers import (
+    BehaviorConfig,
+    build_population,
+    fit_class_functions,
+)
+
+
+@pytest.fixture(scope="module")
+def population(request):
+    small_trace = request.getfixturevalue("small_trace")
+    small_clusters = request.getfixturevalue("small_clusters")
+    small_proxy = request.getfixturevalue("small_proxy")
+    small_malice = request.getfixturevalue("small_malice")
+    return build_population(
+        trace=small_trace,
+        clusters=small_clusters,
+        proxy=small_proxy,
+        malice_estimates=small_malice,
+        objective=RequesterObjective(RequesterParameters(mu=1.0)),
+    )
+
+
+class TestBehaviorConfig:
+    def test_defaults_valid(self):
+        config = BehaviorConfig()
+        assert config.beta == 1.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ModelError):
+            BehaviorConfig(beta=0.0)
+        with pytest.raises(ModelError):
+            BehaviorConfig(omega_noncollusive=0.0)
+        with pytest.raises(ModelError):
+            BehaviorConfig(feedback_noise=-1.0)
+
+
+class TestClassFunctions:
+    def test_fits_are_valid_effort_functions(
+        self, small_trace, small_proxy, small_clusters
+    ):
+        functions = fit_class_functions(small_trace, small_proxy, small_clusters)
+        for psi in (functions.honest, functions.noncollusive, functions.collusive_member):
+            assert psi.r2 < 0.0
+            assert psi.r1 > 0.0
+            assert psi.r0 >= 0.0
+
+    def test_community_function_scales(
+        self, small_trace, small_proxy, small_clusters
+    ):
+        functions = fit_class_functions(small_trace, small_proxy, small_clusters)
+        meta = functions.community_function(4)
+        member = functions.collusive_member
+        assert meta(4.0) == pytest.approx(4 * member(1.0))
+
+
+class TestBuildPopulation:
+    def test_one_subproblem_per_subject(
+        self, population, small_trace, small_clusters
+    ):
+        n_honest = len(small_trace.worker_ids(WorkerType.HONEST))
+        n_ncm = len(small_clusters.noncollusive)
+        n_communities = small_clusters.n_communities
+        assert len(population.subproblems) == n_honest + n_ncm + n_communities
+        assert len(population.agents) == len(population.subproblems)
+
+    def test_subjects_by_type(self, population, small_clusters):
+        communities = population.subjects_of_type(WorkerType.COLLUSIVE_MALICIOUS)
+        assert len(communities) == small_clusters.n_communities
+
+    def test_community_members_recorded(self, population, small_clusters):
+        for subject_id in population.subjects_of_type(
+            WorkerType.COLLUSIVE_MALICIOUS
+        ):
+            subproblem = population.subproblem_of(subject_id)
+            assert subproblem.size >= 2
+            assert frozenset(subproblem.member_ids) in set(
+                small_clusters.communities
+            )
+
+    def test_honest_weights_exceed_malicious(self, population):
+        honest = [
+            population.weights[s]
+            for s in population.subjects_of_type(WorkerType.HONEST)
+        ]
+        malicious = [
+            population.weights[s]
+            for s in population.subjects_of_type(WorkerType.NONCOLLUSIVE_MALICIOUS)
+        ]
+        assert np.mean(honest) > np.mean(malicious)
+
+    def test_effort_caps_positive(self, population):
+        for subproblem in population.subproblems:
+            assert subproblem.max_effort is not None
+            assert subproblem.max_effort > 0.0
+
+    def test_honest_subset_restriction(
+        self, small_trace, small_clusters, small_proxy, small_malice
+    ):
+        subset = small_trace.worker_ids(WorkerType.HONEST)[:10]
+        population = build_population(
+            trace=small_trace,
+            clusters=small_clusters,
+            proxy=small_proxy,
+            malice_estimates=small_malice,
+            objective=RequesterObjective(RequesterParameters(mu=1.0)),
+            honest_subset=subset,
+        )
+        assert len(population.subjects_of_type(WorkerType.HONEST)) == 10
+
+    def test_honest_subset_rejects_malicious_ids(
+        self, small_trace, small_clusters, small_proxy, small_malice
+    ):
+        bad_subset = [small_trace.malicious_ids()[0]]
+        with pytest.raises(ModelError):
+            build_population(
+                trace=small_trace,
+                clusters=small_clusters,
+                proxy=small_proxy,
+                malice_estimates=small_malice,
+                objective=RequesterObjective(RequesterParameters(mu=1.0)),
+                honest_subset=bad_subset,
+            )
+
+    def test_unknown_subject_lookup_raises(self, population):
+        with pytest.raises(ModelError):
+            population.subproblem_of("nobody")
+
+    def test_agents_match_subproblem_types(self, population):
+        for subproblem in population.subproblems:
+            agent = population.agents[subproblem.subject_id]
+            assert agent.params.worker_type is subproblem.params.worker_type
+            assert agent.n_members == subproblem.size

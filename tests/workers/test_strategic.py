@@ -1,0 +1,113 @@
+"""Tests for camouflaged and intermittent malicious workers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Contract
+from repro.errors import ModelError
+from repro.types import DiscretizationGrid, WorkerType
+from repro.workers import CamouflagedWorker, IntermittentWorker
+
+
+class TestCamouflagedWorker:
+    def test_starts_honest(self, psi):
+        worker = CamouflagedWorker("spy", psi, attack_round=3)
+        assert not worker.is_attacking
+        assert worker.params.omega == 0.0
+        assert worker.rating_bias_now == 0.0
+
+    def test_flips_at_attack_round(self, psi):
+        worker = CamouflagedWorker("spy", psi, attack_round=3, omega=0.4, rating_bias=2.0)
+        worker.on_round(2)
+        assert not worker.is_attacking
+        worker.on_round(3)
+        assert worker.is_attacking
+        assert worker.params.omega == pytest.approx(0.4)
+        assert worker.rating_bias_now == pytest.approx(2.0)
+
+    def test_attack_round_zero_starts_malicious(self, psi):
+        worker = CamouflagedWorker("spy", psi, attack_round=0)
+        assert worker.is_attacking
+
+    def test_behaviour_changes_best_response(self, psi):
+        worker = CamouflagedWorker("spy", psi, attack_round=1, omega=0.8)
+        grid = DiscretizationGrid.for_max_effort(0.9 * psi.max_increasing_effort, 8)
+        contract = Contract.flat(grid, psi, pay=0.0)
+        worker.on_round(0)
+        camouflaged_effort = worker.respond(contract).effort
+        worker.on_round(1)
+        attacking_effort = worker.respond(contract).effort
+        # Unpaid: honest phase exerts nothing; attack phase works for
+        # influence.
+        assert camouflaged_effort == pytest.approx(0.0)
+        assert attacking_effort > 0.0
+
+    def test_ground_truth_type_is_malicious(self, psi):
+        assert (
+            CamouflagedWorker("spy", psi).worker_type
+            is WorkerType.NONCOLLUSIVE_MALICIOUS
+        )
+
+    def test_validation(self, psi):
+        with pytest.raises(ModelError):
+            CamouflagedWorker("spy", psi, omega=0.0)
+        with pytest.raises(ModelError):
+            CamouflagedWorker("spy", psi, attack_round=-1)
+
+
+class TestIntermittentWorker:
+    def test_cycle_phases(self, psi):
+        worker = IntermittentWorker(
+            "blinker", psi, honest_rounds=3, attack_rounds=2
+        )
+        expected = [False, False, False, True, True] * 2
+        observed = []
+        for round_index in range(10):
+            worker.on_round(round_index)
+            observed.append(worker.is_attacking)
+        assert observed == expected
+
+    def test_bias_follows_phase(self, psi):
+        worker = IntermittentWorker(
+            "blinker", psi, honest_rounds=1, attack_rounds=1, rating_bias=1.5
+        )
+        worker.on_round(0)
+        assert worker.rating_bias_now == 0.0
+        worker.on_round(1)
+        assert worker.rating_bias_now == pytest.approx(1.5)
+
+    def test_cycle_length(self, psi):
+        worker = IntermittentWorker("blinker", psi, honest_rounds=4, attack_rounds=3)
+        assert worker.cycle_length == 7
+
+    def test_validation(self, psi):
+        with pytest.raises(ModelError):
+            IntermittentWorker("blinker", psi, omega=0.0)
+        with pytest.raises(ModelError):
+            IntermittentWorker("blinker", psi, honest_rounds=0)
+        with pytest.raises(ModelError):
+            IntermittentWorker("blinker", psi, attack_rounds=0)
+
+
+class TestRatingDeviation:
+    def test_honest_deviation_centered_on_noise(self, psi, rng):
+        from repro.workers import HonestWorker
+
+        worker = HonestWorker("h", psi)
+        samples = [worker.rating_deviation(rng) for _ in range(500)]
+        assert 0.1 < sum(samples) / len(samples) < 0.5
+
+    def test_malicious_deviation_centered_on_bias(self, psi, rng):
+        from repro.workers import MaliciousWorker
+
+        worker = MaliciousWorker("m", psi, omega=0.3, rating_bias=2.0)
+        samples = [worker.rating_deviation(rng) for _ in range(500)]
+        assert 1.5 < sum(samples) / len(samples) < 2.5
+
+    def test_noise_free_deviation_is_bias(self, psi):
+        from repro.workers import MaliciousWorker
+
+        worker = MaliciousWorker("m", psi, omega=0.3, rating_bias=1.2)
+        worker.rating_noise = 0.0
+        assert worker.rating_deviation() == pytest.approx(1.2)
