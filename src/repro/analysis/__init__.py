@@ -1,0 +1,48 @@
+"""Theory-lint: static + runtime enforcement of the paper's invariants.
+
+This subpackage machine-checks the fragile mathematical contracts the
+reproduction depends on — Eq. (6) monotone compensations, the
+Lemma 4.1 case windows, the Lemma 4.2/4.3 compensation bounds — in two
+layers:
+
+* a stdlib-only, AST-walking lint engine (:mod:`.engine`,
+  :mod:`.rules`) with domain rules ``REPRO001``-``REPRO008``, run as
+  ``python -m repro.analysis`` or ``repro lint``;
+* a runtime layer (:mod:`.invariants`) whose :func:`check_bounds`
+  decorator re-derives the Lemma 4.2/4.3 bounds on every candidate
+  construction when ``REPRO_CHECK_INVARIANTS=1``.
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and baseline workflow.
+"""
+
+from __future__ import annotations
+
+from .cli import BASELINE_FILENAME, main, run_lint
+from .engine import Diagnostic, LintEngine, load_baseline, package_relative
+from .invariants import (
+    ENV_VAR,
+    InvariantViolation,
+    check_bounds,
+    check_candidate_invariants,
+    check_contract_monotone,
+    invariants_enabled,
+)
+from .rules import ALL_RULES, get_rule
+
+__all__ = [
+    "ALL_RULES",
+    "BASELINE_FILENAME",
+    "Diagnostic",
+    "ENV_VAR",
+    "InvariantViolation",
+    "LintEngine",
+    "check_bounds",
+    "check_candidate_invariants",
+    "check_contract_monotone",
+    "get_rule",
+    "invariants_enabled",
+    "load_baseline",
+    "main",
+    "package_relative",
+    "run_lint",
+]

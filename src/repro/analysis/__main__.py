@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` runs the theory-lint analyzer."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,173 @@
+"""Command-line front end for the theory-lint analyzer.
+
+Reused by both entry points::
+
+    python -m repro.analysis src/repro
+    python -m repro lint src/repro          # via the main repro CLI
+
+Exit status: 0 when no new findings, 1 when findings remain, 2 on
+usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import LintEngine, filter_baseline, format_baseline, load_baseline
+from .rules import ALL_RULES, get_rule
+
+__all__ = ["add_lint_arguments", "run_lint", "main", "BASELINE_FILENAME"]
+
+BASELINE_FILENAME = ".theory-lint-baseline"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared lint flags to an (sub)parser (CLI contract)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files or directories to lint (default: src/repro, else .)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings (default: discover "
+            f"{BASELINE_FILENAME} upward from the first path)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="CODE",
+        help="print a rule's rationale and paper reference, then exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list all rule codes with one-line summaries",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.explain is not None:
+        return _explain(args.explain)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        return 0
+
+    rules = list(ALL_RULES)
+    if args.select:
+        wanted = {code.strip().upper() for code in args.select.split(",")}
+        unknown = wanted - {rule.code for rule in ALL_RULES}
+        if unknown:
+            print(f"error: unknown rule code(s): {', '.join(sorted(unknown))}")
+            return 2
+        rules = [rule for rule in ALL_RULES if rule.code in wanted]
+
+    paths = _resolve_paths(args.paths)
+    if not paths:
+        print("error: no existing paths to lint")
+        return 2
+
+    engine = LintEngine(rules)
+    diagnostics = engine.lint_paths(paths)
+
+    baseline_path = _baseline_path(args, paths)
+    if args.write_baseline:
+        baseline_path.write_text(format_baseline(diagnostics))
+        print(f"wrote {len(diagnostics)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline: Counter = Counter()
+    if not args.no_baseline and baseline_path.is_file():
+        baseline = load_baseline(baseline_path)
+
+    new, stale = filter_baseline(diagnostics, baseline)
+    for diag in new:
+        print(diag.format())
+    suppressed = len(diagnostics) - len(new)
+    if suppressed:
+        print(f"({suppressed} grandfathered finding(s) suppressed by {baseline_path})")
+    for fingerprint in sorted(stale):
+        print(f"stale baseline entry (no longer found): {fingerprint}")
+    if new:
+        print(f"{len(new)} new finding(s)")
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point for ``python -m repro.analysis`` (CLI)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description=(
+            "theory-lint: static analysis enforcing the ICDCS'17 paper's "
+            "invariants (tolerant float comparison, paper citations, "
+            "seeded RNG, validated dataclasses, ...)"
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+def _explain(code: str) -> int:
+    rule = get_rule(code)
+    if rule is None:
+        known = ", ".join(r.code for r in ALL_RULES)
+        print(f"error: unknown rule code {code!r} (known: {known})")
+        return 2
+    print(f"{rule.code} ({rule.name})")
+    print(f"  {rule.summary}")
+    print()
+    for line in rule.rationale.splitlines():
+        print(f"  {line}")
+    return 0
+
+
+def _resolve_paths(raw: List[str]) -> List[Path]:
+    if raw:
+        return [Path(p) for p in raw if Path(p).exists()]
+    default = Path("src/repro")
+    if default.is_dir():
+        return [default]
+    here = Path(".")
+    return [here] if here.is_dir() else []
+
+
+def _baseline_path(args: argparse.Namespace, paths: List[Path]) -> Path:
+    if args.baseline:
+        return Path(args.baseline)
+    # Discover the checked-in baseline by walking up from the first
+    # target, so `python -m repro.analysis src/repro` works from the
+    # repo root and from inside src/.
+    start = paths[0].resolve()
+    if start.is_file():
+        start = start.parent
+    for directory in [start, *start.parents]:
+        candidate = directory / BASELINE_FILENAME
+        if candidate.is_file():
+            return candidate
+    return Path(BASELINE_FILENAME)

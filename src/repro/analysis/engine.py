@@ -1,0 +1,285 @@
+"""AST-walking lint engine for the theory-lint analyzer.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so it
+can run in CI images that carry nothing beyond the library itself.  It
+parses each target file once, hands the tree to every registered
+:class:`Rule`, collects :class:`Diagnostic` records, honours inline
+``# noqa: REPROxxx`` suppressions, and subtracts a checked-in baseline
+of grandfathered findings so the gate only fails on *new* violations.
+
+Diagnostics are identified by a line-number-free *fingerprint*
+(``relpath::CODE::context``) so that unrelated edits above a
+grandfathered finding do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "Rule",
+    "LintEngine",
+    "load_baseline",
+    "format_baseline",
+    "package_relative",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*))?",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation at a specific location.
+
+    Attributes:
+        path: the file the finding is in (as given to the engine).
+        relpath: package-relative path used in fingerprints.
+        line: 1-based line number.
+        column: 0-based column offset.
+        code: rule code, e.g. ``REPRO001``.
+        message: human-readable description of the violation.
+        context: the enclosing symbol (``Class.method``, function name,
+            or ``<module>``) used to build a line-stable fingerprint.
+    """
+
+    path: str
+    relpath: str
+    line: int
+    column: int
+    code: str
+    message: str
+    context: str = "<module>"
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used for baseline matching."""
+        return f"{self.relpath}::{self.code}::{self.context}"
+
+    def format(self) -> str:
+        """Render as a ``file:line:col: CODE message`` diagnostic line."""
+        return f"{self.path}:{self.line}:{self.column + 1}: {self.code} {self.message}"
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to inspect one module."""
+
+    path: Path
+    relpath: str
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+    _scopes: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+        self._scopes = _enclosing_scopes(self.tree)
+
+    def scope_of(self, node: ast.AST) -> str:
+        """The dotted name of the scope enclosing ``node`` (or ``<module>``)."""
+        return self._scopes.get(id(node), "<module>")
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """Whether ``# noqa`` on the physical line silences ``code``."""
+        if not 1 <= line <= len(self.lines):
+            return False
+        match = _NOQA_RE.search(self.lines[line - 1])
+        if match is None:
+            return False
+        codes = match.group("codes")
+        if codes is None:
+            return True  # blanket noqa
+        return code.upper() in {c.strip().upper() for c in codes.split(",")}
+
+
+class Rule:
+    """Base class for theory-lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``rationale`` is the long-form explanation (with its paper
+    equation/lemma reference) printed by ``repro lint --explain CODE``.
+    """
+
+    code: str = "REPRO000"
+    name: str = "abstract-rule"
+    summary: str = ""
+    rationale: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule runs on the module at ``relpath``."""
+        return True
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        """Yield diagnostics for one module."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def diagnostic(
+        self,
+        ctx: LintContext,
+        node: ast.AST,
+        message: str,
+        context: Optional[str] = None,
+    ) -> Diagnostic:
+        """Build a diagnostic anchored at ``node`` with scope context."""
+        return Diagnostic(
+            path=str(ctx.path),
+            relpath=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+            context=context if context is not None else ctx.scope_of(node),
+        )
+
+
+class LintEngine:
+    """Runs a set of rules over files and directories."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+
+    def lint_paths(self, paths: Iterable[Path]) -> List[Diagnostic]:
+        """Lint every ``.py`` file under the given files/directories."""
+        diagnostics: List[Diagnostic] = []
+        for path in _iter_python_files(paths):
+            diagnostics.extend(self.lint_file(path))
+        diagnostics.sort(key=lambda d: (d.relpath, d.line, d.column, d.code))
+        return diagnostics
+
+    def lint_file(self, path: Path) -> List[Diagnostic]:
+        """Lint a single file; syntax errors surface as a diagnostic."""
+        relpath = package_relative(path)
+        try:
+            with tokenize.open(path) as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            return [
+                Diagnostic(
+                    path=str(path),
+                    relpath=relpath,
+                    line=line,
+                    column=0,
+                    code="REPRO000",
+                    message=f"could not parse module: {exc}",
+                )
+            ]
+        ctx = LintContext(path=path, relpath=relpath, tree=tree, source=source)
+        findings: List[Diagnostic] = []
+        for rule in self.rules:
+            if not rule.applies_to(relpath):
+                continue
+            for diag in rule.check(ctx):
+                if not ctx.suppressed(diag.line, diag.code):
+                    findings.append(diag)
+        return findings
+
+
+def filter_baseline(
+    diagnostics: Sequence[Diagnostic], baseline: Counter
+) -> Tuple[List[Diagnostic], Counter]:
+    """Split findings into (new, unused-baseline-entries).
+
+    Each baseline fingerprint absorbs one matching diagnostic; anything
+    left over on either side is reported (new findings fail the gate,
+    stale baseline entries are surfaced so the file can be shrunk).
+    """
+    remaining = Counter(baseline)
+    new: List[Diagnostic] = []
+    for diag in diagnostics:
+        if remaining.get(diag.fingerprint, 0) > 0:
+            remaining[diag.fingerprint] -= 1
+        else:
+            new.append(diag)
+    remaining = Counter({fp: n for fp, n in remaining.items() if n > 0})
+    return new, remaining
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load a baseline file into a fingerprint multiset.
+
+    Lines are fingerprints (``relpath::CODE::context``); blank lines and
+    ``#`` comments are ignored.
+    """
+    entries: Counter = Counter()
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        entries[line] += 1
+    return entries
+
+
+def format_baseline(diagnostics: Sequence[Diagnostic]) -> str:
+    """Render findings as baseline file content (sorted fingerprints)."""
+    header = (
+        "# theory-lint baseline — grandfathered findings.\n"
+        "# One fingerprint (relpath::CODE::context) per line; regenerate\n"
+        "# with `repro lint --write-baseline` and keep this list shrinking.\n"
+    )
+    body = "".join(
+        f"{fingerprint}\n"
+        for fingerprint in sorted(d.fingerprint for d in diagnostics)
+    )
+    return header + body
+
+
+def package_relative(path: Path) -> str:
+    """Path relative to the ``repro`` package root, for stable fingerprints.
+
+    ``src/repro/core/bounds.py`` becomes ``core/bounds.py`` regardless of
+    where the checkout lives; files outside a ``repro`` directory keep
+    their path as given (made posix-style).
+    """
+    parts = path.as_posix().split("/")
+    if "repro" in parts[:-1]:
+        index = parts.index("repro")
+        tail = parts[index + 1 :]
+        if tail:
+            return "/".join(tail)
+    return path.as_posix().lstrip("./")
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def _enclosing_scopes(tree: ast.Module) -> Dict[int, str]:
+    """Map ``id(node)`` to the dotted name of its enclosing scope."""
+    scopes: Dict[int, str] = {}
+
+    def visit(node: ast.AST, scope: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                child_scope = child.name if scope == "<module>" else f"{scope}.{child.name}"
+                scopes[id(child)] = scope
+                visit(child, child_scope)
+            else:
+                scopes[id(child)] = scope
+                visit(child, scope)
+
+    visit(tree, "<module>")
+    return scopes

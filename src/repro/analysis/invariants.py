@@ -1,0 +1,146 @@
+"""Runtime enforcement of the paper's compensation invariants.
+
+Complementing the static rules, this module re-checks — on every
+candidate-contract construction — the three properties the correctness
+of the designer rests on:
+
+* **Eq. (6)/(9) monotonicity** — compensations never decrease in
+  feedback.
+* **Lemma 4.2 ceiling** — the pay accumulated up to the target
+  breakpoint never exceeds the certified per-piece window sum.
+* **Lemma 4.3 floor** — the pay at the designed effort covers the
+  participation floor (skipped for clamped candidates, whose
+  preconditions the lemma does not cover).
+
+The checks cost a handful of bound evaluations per construction, so they
+are **off by default** and enabled via the environment variable
+``REPRO_CHECK_INVARIANTS=1`` (any of ``1/true/yes/on``); the test suite
+turns them on, benchmarks leave them off.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Any, Callable, TypeVar, cast
+
+from ..errors import ReproError
+from ..numerics import geq, leq, monotone_non_decreasing
+
+__all__ = [
+    "InvariantViolation",
+    "invariants_enabled",
+    "check_bounds",
+    "check_candidate_invariants",
+    "check_contract_monotone",
+    "ENV_VAR",
+]
+
+ENV_VAR = "REPRO_CHECK_INVARIANTS"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+# Bound comparisons tolerate a slightly looser relative slack than plain
+# float equality: the Lemma 4.2 window sum accumulates one rounding per
+# piece.
+_REL_SLACK = 1e-7
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+class InvariantViolation(ReproError):
+    """A constructed contract violates a paper invariant at runtime.
+
+    Raised only when ``REPRO_CHECK_INVARIANTS`` is enabled; carries the
+    lemma/equation that failed in its message.
+    """
+
+
+def invariants_enabled() -> bool:
+    """Whether the runtime invariant layer is switched on via env var."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def check_bounds(func: _F) -> _F:
+    """Decorator: validate a returned candidate against Lemmas 4.2/4.3.
+
+    Wraps a function returning a
+    :class:`~repro.core.candidate.CandidateContract` (e.g.
+    ``build_candidate``) and, when :func:`invariants_enabled`, asserts
+    the Eq. (6) monotonicity plus the Lemma 4.2/4.3 compensation bounds
+    on the result before handing it to the caller.  Disabled, the
+    overhead is a single environment lookup.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        result = func(*args, **kwargs)
+        if invariants_enabled():
+            check_candidate_invariants(result)
+        return result
+
+    return cast(_F, wrapper)
+
+
+def check_contract_monotone(contract: Any) -> None:
+    """Assert the Eq. (6)/(9) constraint ``x_(l-1) <= x_l``.
+
+    ``Contract.__post_init__`` enforces this at construction; the
+    re-check here guards against later mutation through
+    ``object.__setattr__`` or numerically degenerate breakpoints.
+    """
+    if not monotone_non_decreasing(contract.compensations):
+        raise InvariantViolation(
+            "Eq. (6) violated: compensations decrease in feedback: "
+            f"{contract.compensations!r}"
+        )
+
+
+def check_candidate_invariants(candidate: Any) -> None:
+    """Assert Lemma 4.2/4.3 and Eq. (6) on a constructed candidate.
+
+    * Eq. (6): the posted compensations are monotone non-decreasing.
+    * Lemma 4.2: the maximum net pay the contract can ever disburse,
+      ``max_l x_l - x_0``, stays below the certified window sum
+      ``sum_l max(beta/psi'(l delta) - omega, 0) * (d_l - d_{l-1})``.
+      The max (not ``x_k``) is what the lemma bounds: pieces beyond the
+      target are flat, so any pay above ``x_k`` in the tail would be
+      reachable by the worker at zero marginal cost to the designer's
+      certificate.
+    * Lemma 4.3: the net pay at the designed effort covers the
+      participation floor ``beta (k-1) delta - omega (psi(k delta) -
+      psi(0))`` (checked only for unclamped candidates — clamping exits
+      the Case III window Lemma 4.3 reasons about).
+    """
+    from ..core.bounds import compensation_lower_bound, compensation_upper_bound
+
+    contract = candidate.contract
+    check_contract_monotone(contract)
+
+    grid = contract.grid
+    psi = contract.effort_function
+    beta = candidate.params.beta
+    omega = candidate.params.omega
+    k = candidate.target_piece
+    base_pay = contract.compensations[0]
+
+    ceiling = compensation_upper_bound(psi, grid, beta, k, omega=omega)
+    max_pay = max(contract.compensations) - base_pay
+    if not leq(max_pay, ceiling, rel_tol=_REL_SLACK):
+        raise InvariantViolation(
+            f"Lemma 4.2 violated for target piece {k}: maximum net pay "
+            f"{max_pay!r} exceeds certified ceiling {ceiling!r}"
+        )
+
+    if not candidate.clamped_pieces:
+        floor = compensation_lower_bound(
+            grid, beta, k, effort_function=psi, omega=omega
+        )
+        pay_at_designed = (
+            contract.pay_for_effort(candidate.designed_effort) - base_pay
+        )
+        if not geq(pay_at_designed, floor, rel_tol=_REL_SLACK):
+            raise InvariantViolation(
+                f"Lemma 4.3 violated for target piece {k}: net pay "
+                f"{pay_at_designed!r} at the designed effort falls below "
+                f"participation floor {floor!r}"
+            )

@@ -1,0 +1,40 @@
+"""Rule registry for the theory-lint analyzer.
+
+Each rule lives in its own module and encodes one invariant the paper
+(or basic numerical hygiene) imposes on this codebase.  Codes are
+stable; never renumber a released rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..engine import Rule
+from .repro001_float_equality import FloatEqualityRule
+from .repro002_paper_citation import PaperCitationRule
+from .repro003_mutable_default import MutableDefaultRule
+from .repro004_module_all import ModuleAllRule
+from .repro005_bare_except import BareExceptRule
+from .repro006_dataclass_validation import DataclassValidationRule
+from .repro007_rng_determinism import RngDeterminismRule
+from .repro008_annotations import AnnotationsRule
+
+__all__ = ["ALL_RULES", "RULES_BY_CODE", "get_rule"]
+
+ALL_RULES: Tuple[Rule, ...] = (
+    FloatEqualityRule(),
+    PaperCitationRule(),
+    MutableDefaultRule(),
+    ModuleAllRule(),
+    BareExceptRule(),
+    DataclassValidationRule(),
+    RngDeterminismRule(),
+    AnnotationsRule(),
+)
+
+RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
+
+
+def get_rule(code: str) -> Optional[Rule]:
+    """Look up a rule by its (case-insensitive) code."""
+    return RULES_BY_CODE.get(code.upper())

@@ -1,0 +1,114 @@
+"""REPRO001 — float equality on utilities/compensations.
+
+Compensations, utilities, slopes and bounds are chained float
+arithmetic; exact ``==``/``!=`` on them silently breaks under rounding
+(the classic failure mode: a candidate slope computed two ways compares
+unequal by one ulp and the designer rejects a valid contract).  Such
+comparisons must go through the :mod:`repro.numerics` tolerance helpers
+(``close``, ``is_zero``, ``leq``, ``geq``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..engine import Diagnostic, LintContext, Rule
+
+__all__ = ["FloatEqualityRule"]
+
+# Identifier tokens that mark a value as a paper quantity (compensation,
+# utility, bound, ...) whose equality comparison is numerically fragile.
+_DOMAIN_TOKENS = frozenset(
+    {
+        "compensation", "compensations", "pay", "payment", "payments",
+        "utility", "utilities", "slope", "slopes", "bound", "bounds",
+        "effort", "efforts", "feedback", "omega", "beta", "mu", "delta",
+        "weight", "weights", "cost", "costs", "epsilon", "benefit",
+        "gap", "budget", "price", "ceiling", "floor", "threshold",
+    }
+)
+
+_TOKEN_RE = re.compile(r"[a-z]+")
+
+
+class FloatEqualityRule(Rule):
+    code = "REPRO001"
+    name = "float-equality"
+    summary = (
+        "exact ==/!= on a float quantity (utility, compensation, slope, "
+        "bound); use the repro.numerics tolerance helpers"
+    )
+    rationale = (
+        "Compensations and utilities are built by long chains of float\n"
+        "arithmetic — the Eq. (39) slope recursion, the Eq. (6) piecewise\n"
+        "contract, the Theorem 4.1 bound sandwich.  Two mathematically\n"
+        "equal quantities routinely differ by an ulp, so exact equality\n"
+        "flips answers nondeterministically (a sign flip in core/cases.py\n"
+        "only surfaces as a subtly wrong Fig. 8 curve).  Compare with\n"
+        "repro.numerics.close / is_zero / leq / geq, which apply the\n"
+        "same slack Contract grants the Eq. (6) monotonicity constraint."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_exempt(left) or _is_exempt(right):
+                    continue
+                if _is_float_constant(left) or _is_float_constant(right):
+                    yield self._diag(ctx, node)
+                    break
+                if _is_domain_value(left) or _is_domain_value(right):
+                    yield self._diag(ctx, node)
+                    break
+
+    def _diag(self, ctx: LintContext, node: ast.Compare) -> Diagnostic:
+        return self.diagnostic(
+            ctx,
+            node,
+            "exact float equality on a utility/compensation quantity; "
+            "use repro.numerics.close/is_zero instead",
+        )
+
+
+def _is_float_constant(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_constant(node.operand)
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_exempt(node: ast.AST) -> bool:
+    """Constants whose equality is exact: str, bytes, bool, None, int."""
+    if isinstance(node, ast.Constant):
+        return not isinstance(node.value, float)
+    # Comparisons against enum members (WorkerType.HONEST, PieceCase.X)
+    # are identity-like and exact.
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.attr.isupper() or node.value.id[:1].isupper():
+            return True
+    return False
+
+
+def _is_domain_value(node: ast.AST) -> bool:
+    name = _identifier_of(node)
+    if name is None:
+        return False
+    return bool(_DOMAIN_TOKENS.intersection(_TOKEN_RE.findall(name.lower())))
+
+
+def _identifier_of(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _identifier_of(node.func)
+    if isinstance(node, ast.Subscript):
+        return _identifier_of(node.value)
+    return None

@@ -1,0 +1,63 @@
+"""REPRO003 — mutable default arguments.
+
+A ``def f(rows=[])`` default is created once at import and shared by all
+calls; accumulating experiment rows or worker histories into it corrupts
+every later run in the same process.  Use ``None`` and construct inside.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Diagnostic, LintContext, Rule
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "Counter", "deque"})
+
+
+class MutableDefaultRule(Rule):
+    code = "REPRO003"
+    name = "mutable-default"
+    summary = "mutable default argument (list/dict/set) shared across calls"
+    rationale = (
+        "Default values are evaluated once at function definition and\n"
+        "shared by every call.  The simulation engine and experiment\n"
+        "drivers are re-entrant (one process runs all of Figs. 6-8 and\n"
+        "Tables II-III back to back), so a mutable default that\n"
+        "accumulates rows or review histories leaks state from one\n"
+        "experiment into the next and destroys reproducibility.  Use\n"
+        "``None`` as the default and build the container in the body."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    yield self.diagnostic(
+                        ctx,
+                        default,
+                        f"mutable default argument in '{node.name}'; default to "
+                        "None and construct inside the function",
+                        context=_context(ctx, node),
+                    )
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+def _context(ctx: LintContext, node: ast.AST) -> str:
+    scope = ctx.scope_of(node)
+    name = getattr(node, "name", "<lambda>")
+    return name if scope == "<module>" else f"{scope}.{name}"

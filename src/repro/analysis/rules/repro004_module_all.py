@@ -1,0 +1,49 @@
+"""REPRO004 — public modules must declare ``__all__``.
+
+The package's import surface is its API contract; ``__all__`` makes the
+surface explicit, keeps ``from module import *`` safe, and lets the
+REPRO002/REPRO008 rules (and mypy's ``--strict`` re-export checks)
+reason about what is public.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Diagnostic, LintContext, Rule
+
+__all__ = ["ModuleAllRule"]
+
+
+class ModuleAllRule(Rule):
+    code = "REPRO004"
+    name = "missing-module-all"
+    summary = "module defines public names but no __all__"
+    rationale = (
+        "Each subsystem (core algorithm, data substrate, simulation\n"
+        "engine) exposes a deliberate API; everything else is free to\n"
+        "change between PRs.  A module that defines public functions or\n"
+        "classes without __all__ leaves its contract implicit, which is\n"
+        "how helper functions ossify into de-facto API.  Declare __all__\n"
+        "listing exactly the supported surface."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        has_public_defs = False
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if not node.name.startswith("_"):
+                    has_public_defs = True
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        return
+        if has_public_defs:
+            yield self.diagnostic(
+                ctx,
+                ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+                "module defines public names but declares no __all__",
+                context="<module>",
+            )

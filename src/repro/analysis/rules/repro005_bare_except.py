@@ -1,0 +1,40 @@
+"""REPRO005 — bare ``except:`` clauses.
+
+A bare except swallows everything, including ``KeyboardInterrupt``,
+``SystemExit`` and the typed :mod:`repro.errors` hierarchy this library
+maintains precisely so callers can catch failures by subsystem.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Diagnostic, LintContext, Rule
+
+__all__ = ["BareExceptRule"]
+
+
+class BareExceptRule(Rule):
+    code = "REPRO005"
+    name = "bare-except"
+    summary = "bare except: clause; catch a ReproError subclass instead"
+    rationale = (
+        "The library raises a typed hierarchy (ModelError, ContractError,\n"
+        "DesignError, SimulationError, ...) exactly so failures can be\n"
+        "handled by subsystem.  A bare except: also traps\n"
+        "KeyboardInterrupt/SystemExit and the InvariantViolation raised\n"
+        "by the runtime Lemma 4.2/4.3 checks — silently discarding the\n"
+        "one signal that the theory was violated.  Name the exception\n"
+        "class you mean."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "bare except: clause; catch specific exceptions "
+                    "(see repro.errors)",
+                )

@@ -1,0 +1,88 @@
+"""REPRO006 — numeric dataclass fields in core//workers/ need validation.
+
+The paper's guarantees hold only on validated parameter ranges
+(``beta > 0``, ``omega >= 0``, ``delta > 0``, monotone compensations).
+A dataclass in the algorithmic layers that carries raw ``float``/``int``
+fields without a ``__post_init__`` accepts NaN, negative costs, or
+out-of-range pieces and defers the blow-up to a distant Fig. 8 curve.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Diagnostic, LintContext, Rule
+
+__all__ = ["DataclassValidationRule"]
+
+_NUMERIC_ANNOTATIONS = frozenset({"float", "int"})
+
+
+class DataclassValidationRule(Rule):
+    code = "REPRO006"
+    name = "unvalidated-dataclass"
+    summary = (
+        "dataclass in core//workers/ has numeric fields but no "
+        "__post_init__ validation"
+    )
+    rationale = (
+        "Every theorem in the paper carries range preconditions: Eq. (11)\n"
+        "needs beta > 0, Lemma 4.1 needs psi' > 0 on the grid, Eq. (9)\n"
+        "needs monotone compensations.  types.WorkerParameters and\n"
+        "DiscretizationGrid enforce theirs in __post_init__; any core/ or\n"
+        "workers/ dataclass holding raw numeric fields must do the same\n"
+        "(at minimum reject non-finite values), otherwise a NaN beta\n"
+        "propagates through the Eq. (39) recursion and the designed\n"
+        "contract is garbage with no traceback pointing at the cause."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(("core/", "workers/")) or relpath == "types.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(_is_dataclass_decorator(d) for d in node.decorator_list):
+                continue
+            numeric_fields = [
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and _is_numeric_annotation(stmt.annotation)
+            ]
+            if not numeric_fields:
+                continue
+            has_post_init = any(
+                isinstance(stmt, ast.FunctionDef) and stmt.name == "__post_init__"
+                for stmt in node.body
+            )
+            if not has_post_init:
+                fields = ", ".join(numeric_fields)
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"dataclass '{node.name}' has numeric fields ({fields}) but "
+                    "no __post_init__ validation",
+                    context=node.name,
+                )
+
+
+def _is_dataclass_decorator(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        return _is_dataclass_decorator(node.func)
+    if isinstance(node, ast.Name):
+        return node.id == "dataclass"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "dataclass"
+    return False
+
+
+def _is_numeric_annotation(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _NUMERIC_ANNOTATIONS
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in _NUMERIC_ANNOTATIONS
+    return False

@@ -1,0 +1,73 @@
+"""REPRO007 — module-level RNG calls break reproducibility.
+
+``random.random()`` / ``np.random.normal()`` draw from hidden global
+state; two experiment runs with the same ``--seed`` then disagree
+whenever an unrelated code path consumes a draw first.  All randomness
+in the simulation and the synthetic-trace generator must flow through
+an explicitly seeded ``random.Random`` / ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Diagnostic, LintContext, Rule
+
+__all__ = ["RngDeterminismRule"]
+
+# Constructing an explicit generator (then threading it) is the fix, so
+# these attribute calls are allowed even on the module objects.
+_ALLOWED = frozenset({"default_rng", "Generator", "SeedSequence", "Random", "PCG64"})
+
+
+class RngDeterminismRule(Rule):
+    code = "REPRO007"
+    name = "nondeterministic-rng"
+    summary = (
+        "global random.*/np.random.* call in simulation//data/synthetic.py; "
+        "thread a seeded Generator instead"
+    )
+    rationale = (
+        "Every experiment (Figs. 6-8, Tables II-III) is keyed by a single\n"
+        "--seed so the synthetic Amazon trace and the marketplace rounds\n"
+        "replay bit-identically.  A call into the process-global RNG\n"
+        "(random.random, np.random.normal, np.random.seed) couples that\n"
+        "replay to import order and to every other consumer of the global\n"
+        "stream.  Construct numpy.random.default_rng(seed) (or\n"
+        "random.Random(seed)) at the entry point and pass it down."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("simulation/") or relpath == "data/synthetic.py"
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            offender = _global_rng_call(node.func)
+            if offender is not None:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"call to global RNG '{offender}'; use an explicitly "
+                    "seeded numpy.random.Generator / random.Random",
+                )
+
+
+def _global_rng_call(func: ast.AST) -> Optional[str]:
+    if not isinstance(func, ast.Attribute) or func.attr in _ALLOWED:
+        return None
+    value = func.value
+    # random.<fn>(...)
+    if isinstance(value, ast.Name) and value.id == "random":
+        return f"random.{func.attr}"
+    # np.random.<fn>(...) / numpy.random.<fn>(...)
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in {"np", "numpy"}
+    ):
+        return f"{value.value.id}.random.{func.attr}"
+    return None

@@ -1,0 +1,80 @@
+"""REPRO008 — public functions must be fully type-annotated.
+
+The package ships a ``py.typed`` marker and is checked under strict
+mypy; an unannotated public parameter or return type punches an ``Any``
+hole through which a ``Contract`` can silently flow where a float
+compensation was meant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from ..engine import Diagnostic, LintContext, Rule
+
+__all__ = ["AnnotationsRule"]
+
+
+class AnnotationsRule(Rule):
+    code = "REPRO008"
+    name = "missing-annotations"
+    summary = "public function is missing parameter or return annotations"
+    rationale = (
+        "The quantities this library passes around are dimensionful —\n"
+        "efforts, feedbacks, compensations, slopes — and most of them are\n"
+        "plain floats.  Annotations (checked by strict mypy, advertised\n"
+        "by the py.typed marker) are the only machine-checked record of\n"
+        "which float a parameter is.  Every public function must annotate\n"
+        "all parameters and its return type; an Any hole here is how an\n"
+        "effort gets passed where a feedback belongs."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node, qualname in _public_functions(ctx.tree):
+            missing = _missing_annotations(node)
+            if missing:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"public function '{node.name}' lacks annotations for: "
+                    + ", ".join(missing),
+                    context=qualname,
+                )
+
+
+def _public_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.FunctionDef, str]]:
+    """Module-level public functions and public methods of public classes.
+
+    Functions nested inside other functions are private implementation
+    detail regardless of name and are not checked.
+    """
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node, node.name
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not stmt.name.startswith("_") or stmt.name == "__init__":
+                        yield stmt, f"{node.name}.{stmt.name}"
+
+
+def _missing_annotations(node: ast.FunctionDef) -> List[str]:
+    missing: List[str] = []
+    args = node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if positional and positional[0].arg in {"self", "cls"}:
+        positional = positional[1:]
+    for arg in positional + list(args.kwonlyargs):
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"*{args.vararg.arg}")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"**{args.kwarg.arg}")
+    if node.returns is None:
+        missing.append("return")
+    return missing

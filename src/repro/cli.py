@@ -67,6 +67,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit the ext_* extension experiments",
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the theory-lint static analyzer (REPRO001-REPRO008)",
+    )
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
     return parser
 
 
@@ -79,6 +87,10 @@ def _config_for(args: argparse.Namespace) -> ExperimentConfig:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        from .analysis.cli import run_lint
+
+        return run_lint(args)
     if args.command == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)

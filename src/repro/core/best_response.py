@@ -62,6 +62,20 @@ class BestResponse:
     compensation: float
     piece: int
 
+    def __post_init__(self) -> None:
+        for name in ("effort", "utility", "feedback", "compensation"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise DesignError(f"{name} must be finite, got {value!r}")
+        if self.effort < 0.0:
+            raise DesignError(f"effort must be >= 0, got {self.effort!r}")
+        if self.compensation < 0.0:
+            raise DesignError(
+                f"compensation must be >= 0, got {self.compensation!r}"
+            )
+        if self.piece < 1:
+            raise DesignError(f"piece must be >= 1, got {self.piece!r}")
+
 
 def worker_utility(
     contract: Contract,
@@ -70,6 +84,9 @@ def worker_utility(
     effort_function: Optional[QuadraticEffort] = None,
 ) -> float:
     """Worker utility ``pay(psi(y)) + omega * psi(y) - beta * y``.
+
+    This is Eq. (14) (the malicious-worker utility); honest workers are
+    the ``omega = 0`` special case, Eq. (11).
 
     Args:
         contract: the posted contract.
@@ -135,6 +152,10 @@ def solve_best_response(
     effort_function: Optional[QuadraticEffort] = None,
 ) -> BestResponse:
     """Solve the worker's inner problem exactly.
+
+    The argmax of Eq. (11)/(14) over efforts: per piece, the optimum is
+    an endpoint or the Eq. (31) interior stationary point, per the case
+    analysis of Lemma 4.1 (candidates enumerated as in Eq. 30).
 
     Args:
         contract: the posted contract.

@@ -23,9 +23,11 @@ shrinking ``UB - achieved`` gap (Fig. 6) certifies convergence.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..errors import DesignError
+from ..numerics import is_zero
 from ..types import DiscretizationGrid
 from .effort import QuadraticEffort
 
@@ -131,7 +133,7 @@ def compensation_lower_bound(
     if omega < 0.0:
         raise DesignError(f"omega must be >= 0, got {omega!r}")
     floor = beta * (target_piece - 1) * grid.delta
-    if omega == 0.0:
+    if is_zero(omega):
         return floor
     if effort_function is None:
         raise DesignError("effort_function is required when omega > 0")
@@ -221,6 +223,12 @@ class UtilityBounds:
     achieved: float
     upper: float
     certified: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("lower", "achieved", "upper"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise DesignError(f"{name} must be finite, got {value!r}")
 
     @property
     def gap(self) -> float:

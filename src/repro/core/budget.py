@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from ..errors import DesignError
+from ..numerics import is_zero
 from .decomposition import SubproblemSolution
 
 __all__ = ["BudgetOption", "BudgetedDesign", "budget_options", "budgeted_selection"]
@@ -66,6 +67,14 @@ class BudgetedDesign:
     total_cost: float
     budget: float
 
+    def __post_init__(self) -> None:
+        for name in ("total_utility", "total_cost", "budget"):
+            value = getattr(self, name)
+            if not np.isfinite(value):
+                raise DesignError(f"{name} must be finite, got {value!r}")
+        if self.budget < 0.0:
+            raise DesignError(f"budget must be >= 0, got {self.budget!r}")
+
     @property
     def n_hired(self) -> int:
         """Subjects engaged with a non-null contract."""
@@ -79,7 +88,10 @@ def budget_options(
 ) -> Dict[str, List[BudgetOption]]:
     """Extract per-subject options from solved subproblems.
 
-    Each candidate evaluation becomes one option (its exact
+    The Section IV-B decomposition already prices every effort interval
+    per subject, so the Eq. (7)/(8) requester objective splits into
+    independent per-subject option menus.  Each candidate evaluation
+    becomes one option (its exact
     best-response utility and pay); a zero-cost null option is always
     included.  Options that are dominated (another option has at least
     the utility at no more cost) are pruned — the knapsack answer is
@@ -124,6 +136,11 @@ def budgeted_selection(
 ) -> BudgetedDesign:
     """Solve the multiple-choice knapsack over all subjects.
 
+    This is the hard-budget variant of the Eqs. (8)-(10) outer problem:
+    maximize the summed Eq. (7) utility subject to total expected pay
+    at most ``budget`` (Singer's budget-feasibility line; see the
+    module docstring).
+
     Args:
         solutions: solved subproblems (each carrying its candidate
             evaluations).
@@ -152,7 +169,7 @@ def budgeted_selection(
             chosen={}, total_utility=0.0, total_cost=0.0, budget=budget
         )
 
-    if budget == 0.0:
+    if is_zero(budget):
         chosen = {
             subject_id: per_subject[subject_id][0] for subject_id in subjects
         }

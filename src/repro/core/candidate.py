@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..analysis.invariants import check_bounds
 from ..errors import DesignError
 from ..types import DiscretizationGrid, WorkerParameters
 from .cases import CaseThresholds, PieceCase, case_thresholds
@@ -70,6 +71,24 @@ class CandidateContract:
     epsilons: Tuple[float, ...]
     cases: Tuple[PieceCase, ...]
     clamped_pieces: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n_intervals = self.contract.grid.n_intervals
+        if not 1 <= self.target_piece <= n_intervals:
+            raise DesignError(
+                f"target_piece must be in [1, {n_intervals}], "
+                f"got {self.target_piece!r}"
+            )
+        if len(self.slopes) != n_intervals or len(self.cases) != n_intervals:
+            raise DesignError(
+                f"expected {n_intervals} slopes/cases, got "
+                f"{len(self.slopes)}/{len(self.cases)}"
+            )
+        if len(self.epsilons) != self.target_piece:
+            raise DesignError(
+                f"expected {self.target_piece} epsilons (pieces 1..k), "
+                f"got {len(self.epsilons)}"
+            )
 
     @property
     def designed_effort(self) -> float:
@@ -116,6 +135,7 @@ def slope_epsilon(
     )
 
 
+@check_bounds
 def build_candidate(
     effort_function: QuadraticEffort,
     grid: DiscretizationGrid,
@@ -124,6 +144,10 @@ def build_candidate(
     base_pay: float = 0.0,
 ) -> CandidateContract:
     """Construct the candidate contract ``xi^(k)`` for ``k = target_piece``.
+
+    Implements the Section IV-C construction: the Eq. (39) slope
+    recursion with the Eq. (40) slack, seeded as derived in DESIGN.md §2,
+    and a flat tail beyond the target piece.
 
     Args:
         effort_function: the worker's fitted effort function ``psi``.

@@ -130,6 +130,6 @@ def classify_piece(
     beta: float,
     omega: float,
 ) -> PieceCase:
-    """Classify the ``piece``-th contract piece given its feedback slope."""
+    """Classify the ``piece``-th contract piece per Lemma 4.1 (Eqs. 32-35)."""
     thresholds = case_thresholds(effort_function, grid, piece, beta, omega)
     return thresholds.classify(slope)

@@ -125,6 +125,12 @@ class CandidateEvaluation:
     requester_utility: float
     on_target: bool
 
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.requester_utility):
+            raise DesignError(
+                f"requester_utility must be finite, got {self.requester_utility!r}"
+            )
+
 
 @dataclass(frozen=True)
 class DesignResult:
@@ -152,6 +158,12 @@ class DesignResult:
     feedback_weight: float
     params: WorkerParameters
 
+    def __post_init__(self) -> None:
+        for name in ("requester_utility", "feedback_weight"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise DesignError(f"{name} must be finite, got {value!r}")
+
     @property
     def hired(self) -> bool:
         """Whether the requester actually offers incentive pay."""
@@ -176,7 +188,7 @@ class ContractDesigner:
         config: designer configuration (grid resolution, base pay...).
     """
 
-    def __init__(self, mu: float = 1.0, config: Optional[DesignerConfig] = None):
+    def __init__(self, mu: float = 1.0, config: Optional[DesignerConfig] = None) -> None:
         if mu <= 0.0:
             raise DesignError(f"mu must be positive, got {mu!r}")
         self.mu = mu

@@ -64,7 +64,7 @@ class QuadraticEffort:
         """Evaluate ``psi`` at a scalar effort or numpy array of efforts."""
         return (self.r2 * effort + self.r1) * effort + self.r0
 
-    def derivative(self, effort):
+    def derivative(self, effort: float) -> float:
         """First derivative ``psi'(y) = 2*r2*y + r1``."""
         return 2.0 * self.r2 * effort + self.r1
 

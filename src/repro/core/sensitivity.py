@@ -18,7 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import math
+
 from ..errors import DesignError
+from ..numerics import close
 from ..types import WorkerParameters
 from .best_response import solve_best_response
 from .designer import ContractDesigner, DesignerConfig, DesignResult
@@ -40,6 +43,9 @@ def perturbed_effort_function(
     slope_factor: float = 1.0,
 ) -> QuadraticEffort:
     """A multiplicatively perturbed copy of ``psi``.
+
+    Models Section IV-B fitting error: the true Eq. (2) effort function
+    deviates from the fitted quadratic by per-coefficient factors.
 
     Args:
         psi: the reference (fitted) effort function.
@@ -80,6 +86,23 @@ class MisfitPoint:
     compensation: float
     requester_utility: float
 
+    def __post_init__(self) -> None:
+        for name in (
+            "curvature_factor",
+            "slope_factor",
+            "effort",
+            "feedback",
+            "compensation",
+            "requester_utility",
+        ):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise DesignError(f"{name} must be finite, got {value!r}")
+        if self.curvature_factor <= 0.0 or self.slope_factor <= 0.0:
+            raise DesignError("perturbation factors must be positive")
+        if self.effort < 0.0 or self.compensation < 0.0:
+            raise DesignError("effort and compensation must be >= 0")
+
 
 @dataclass(frozen=True)
 class MisfitReport:
@@ -94,6 +117,12 @@ class MisfitReport:
     design: DesignResult
     nominal_utility: float
     points: Tuple[MisfitPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.nominal_utility):
+            raise DesignError(
+                f"nominal_utility must be finite, got {self.nominal_utility!r}"
+            )
 
     def worst_case(self) -> MisfitPoint:
         """The perturbation with the lowest realized utility."""
@@ -113,9 +142,8 @@ class MisfitReport:
     ) -> float:
         """Relative utility loss at one grid point."""
         for point in self.points:
-            if (
-                point.curvature_factor == curvature_factor
-                and point.slope_factor == slope_factor
+            if close(point.curvature_factor, curvature_factor) and close(
+                point.slope_factor, slope_factor
             ):
                 scale = max(abs(self.nominal_utility), 1e-12)
                 return max(

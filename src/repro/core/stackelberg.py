@@ -14,6 +14,7 @@ experiments share.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -47,6 +48,20 @@ class SubjectOutcome:
     requester_utility: float
     hired: bool
 
+    def __post_init__(self) -> None:
+        for name in (
+            "effort",
+            "feedback",
+            "compensation",
+            "worker_utility",
+            "requester_utility",
+        ):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise DesignError(f"{name} must be finite, got {value!r}")
+        if self.effort < 0.0 or self.compensation < 0.0:
+            raise DesignError("effort and compensation must be >= 0")
+
 
 @dataclass(frozen=True)
 class RoundOutcome:
@@ -64,6 +79,12 @@ class RoundOutcome:
     total_benefit: float
     total_compensation: float
 
+    def __post_init__(self) -> None:
+        for name in ("total_utility", "total_benefit", "total_compensation"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise DesignError(f"{name} must be finite, got {value!r}")
+
     @property
     def n_hired(self) -> int:
         """Number of subjects that received incentive contracts."""
@@ -77,6 +98,11 @@ def play_round(
     max_workers: int = 1,
 ) -> Tuple[RoundOutcome, Dict[str, SubproblemSolution]]:
     """Play one full Stackelberg round over all subproblems.
+
+    One leader/follower exchange of the Section III game: the requester
+    solves the Eqs. (8)-(10) outer problem per subject (via the
+    Section IV-B decomposition), workers best-respond per Eq. (11)/(14),
+    and the Eq. (7) round utility is aggregated.
 
     Args:
         subproblems: the decomposed per-subject problems.

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import List
+from typing import Dict, List, Union
 
 from ..errors import DataError
 from ..types import WorkerType
@@ -50,7 +50,7 @@ def _paths(stem) -> dict:
     }
 
 
-def export_csv(trace: ReviewTrace, stem) -> dict:
+def export_csv(trace: ReviewTrace, stem: Union[str, Path]) -> Dict[str, Path]:
     """Write the trace to three CSV files; returns the paths used."""
     paths = _paths(stem)
     with paths["products"].open("w", newline="", encoding="utf-8") as handle:
@@ -95,7 +95,7 @@ def export_csv(trace: ReviewTrace, stem) -> dict:
     return paths
 
 
-def import_csv(stem) -> ReviewTrace:
+def import_csv(stem: Union[str, Path]) -> ReviewTrace:
     """Read a trace previously written by :func:`export_csv`.
 
     Raises:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -253,7 +253,7 @@ class ReviewTrace:
     # (De)serialization
     # ------------------------------------------------------------------
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, Path]) -> None:
         """Write the trace as JSON lines (one record per line)."""
         path = Path(path)
         with path.open("w", encoding="utf-8") as handle:
@@ -269,7 +269,7 @@ class ReviewTrace:
                 handle.write(json.dumps({"kind": "review", **asdict(review)}) + "\n")
 
     @staticmethod
-    def load(path) -> "ReviewTrace":
+    def load(path: Union[str, Path]) -> "ReviewTrace":
         """Read a trace previously written by :meth:`save`."""
         path = Path(path)
         products: List[Product] = []

@@ -15,7 +15,7 @@ effort grids stay O(1) regardless of raw upvote and character scales.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
@@ -93,7 +93,7 @@ class EffortProxy:
         return efforts, upvotes
 
     def class_points(
-        self, trace: ReviewTrace, worker_ids
+        self, trace: ReviewTrace, worker_ids: Iterable[str]
     ) -> Tuple[np.ndarray, np.ndarray]:
         """One (mean effort, mean feedback) point per worker.
 

@@ -133,7 +133,12 @@ _CONTEXT_CACHE: Dict[Tuple[str, int], ExperimentContext] = {}
 
 
 def build_context(config: Optional[ExperimentConfig] = None) -> ExperimentContext:
-    """Materialize (or fetch the cached) experiment world."""
+    """Materialize (or fetch the cached) experiment world.
+
+    Builds the Section V evaluation substrate shared by every driver:
+    the calibrated synthetic trace, the Section IV-A collusion clusters,
+    the effort proxy and the Eq. (5) malice estimates.
+    """
     config = config if config is not None else ExperimentConfig()
     key = (config.scale, config.seed)
     cached = _CONTEXT_CACHE.get(key)
@@ -155,5 +160,5 @@ def build_context(config: Optional[ExperimentConfig] = None) -> ExperimentContex
 
 
 def clear_context_cache() -> None:
-    """Drop all cached contexts (tests use this for isolation)."""
+    """Drop all cached Section V contexts (tests use this for isolation)."""
     _CONTEXT_CACHE.clear()

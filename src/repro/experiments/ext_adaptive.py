@@ -31,7 +31,12 @@ _TAIL = 4
 
 
 def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
-    """Run the adaptive-vs-offline convergence experiment."""
+    """Run the adaptive-vs-offline convergence experiment.
+
+    Extension beyond the paper's Fig. 8: the requester estimates worker
+    parameters online and re-designs Eq. (6) contracts each round,
+    converging to the offline (full-information) design.
+    """
     context = context if context is not None else build_context(ExperimentConfig())
     config = context.config
     population = context.population(honest_sample=_HONEST_SAMPLE)

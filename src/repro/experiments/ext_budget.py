@@ -29,7 +29,12 @@ _BUDGET_FRACTIONS = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5)
 
 
 def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
-    """Run the budget-frontier experiment."""
+    """Run the budget-frontier experiment.
+
+    Extension of the Eqs. (8)-(10) requester problem with a hard budget:
+    sweeps the cap and traces the utility/pay frontier of the
+    multiple-choice-knapsack selection (core.budget).
+    """
     context = context if context is not None else build_context(ExperimentConfig())
     config = context.config
     population = context.population(honest_sample=_HONEST_SAMPLE)

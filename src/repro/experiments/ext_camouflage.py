@@ -65,7 +65,12 @@ def _attacker_pay_series(ledger, attacker_ids) -> np.ndarray:
 
 
 def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
-    """Run the camouflage experiment."""
+    """Run the camouflage experiment.
+
+    Stress-test of the Eq. (5) weight estimation: malicious workers rate
+    honestly for a warm-up phase before deploying their bias, and the
+    online estimator must catch the switch.
+    """
     context = context if context is not None else build_context(ExperimentConfig())
     config = context.config
     objective = context.objective()

@@ -79,7 +79,12 @@ def _build_market(seed: int, mu: float) -> LabelingMarket:
 
 
 def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
-    """Run the classification-extension experiment."""
+    """Run the classification-extension experiment.
+
+    Transfers the Section IV-C contract design to binary labeling tasks:
+    efforts map to label accuracy instead of review feedback, and the
+    Eq. (4) benefit becomes weighted-vote accuracy.
+    """
     context = context if context is not None else build_context(ExperimentConfig())
     config = context.config
     generator_seed = config.seed

@@ -43,7 +43,12 @@ _FLOOR = 1.3 * _RESERVATION
 
 
 def run(context: Optional[ExperimentContext] = None) -> ExperimentResult:
-    """Run the retention experiment."""
+    """Run the retention experiment.
+
+    Extension of the Section V simulation: workers whose Eq. (11)/(14)
+    utility stays non-positive leave the platform, and the requester
+    trades current-round utility against the retained pool.
+    """
     context = context if context is not None else build_context(ExperimentConfig())
     config = context.config
     objective = context.objective()

@@ -10,7 +10,7 @@ was seeded from exactly this output.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from ..errors import ExperimentError
 from .common import ExperimentResult, build_context
@@ -21,7 +21,7 @@ __all__ = ["render_markdown", "write_report"]
 
 
 def render_markdown(results: Sequence[ExperimentResult], title: str) -> str:
-    """Render experiment results as a markdown document."""
+    """Render results (Figs. 6-8, Tables II-III checks) as markdown."""
     if not results:
         raise ExperimentError("no results to render")
     lines: List[str] = [f"# {title}", ""]
@@ -50,12 +50,15 @@ def render_markdown(results: Sequence[ExperimentResult], title: str) -> str:
 
 
 def write_report(
-    out_path,
+    out_path: Union[str, Path],
     config: Optional[ExperimentConfig] = None,
     experiment_ids: Optional[Sequence[str]] = None,
     include_extensions: bool = True,
 ) -> Path:
     """Run experiments and write the markdown report.
+
+    Drives the same registry as the CLI (the Fig. 6-8 and Table II-III
+    artifacts) and renders one section per result.
 
     Args:
         out_path: destination file.

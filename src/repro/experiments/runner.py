@@ -48,7 +48,7 @@ EXTENSIONS: Dict[str, Callable[[Optional[ExperimentContext]], ExperimentResult]]
 def run_experiment(
     experiment_id: str, config: Optional[ExperimentConfig] = None
 ) -> ExperimentResult:
-    """Run one experiment (paper artifact or extension) by id."""
+    """Run one experiment by id (a Fig. 6-8/Table II-III artifact or ext_*)."""
     registry = {**EXPERIMENTS, **EXTENSIONS}
     if experiment_id not in registry:
         raise ExperimentError(
@@ -63,7 +63,7 @@ def run_all(
     config: Optional[ExperimentConfig] = None,
     include_extensions: bool = False,
 ) -> List[ExperimentResult]:
-    """Run every paper experiment (and optionally the extensions)."""
+    """Run every paper artifact (Figs. 6-8, Tables II-III; optionally ext_*)."""
     context = build_context(config)
     drivers = list(EXPERIMENTS.values())
     if include_extensions:

@@ -16,6 +16,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from ..errors import FitError
+from ..numerics import is_zero
 
 __all__ = ["PolynomialModel", "fit_polynomial"]
 
@@ -124,7 +125,7 @@ def fit_polynomial(
         raise FitError("x and y must be finite")
 
     scale = float(np.max(np.abs(x_arr))) if rescale else 1.0
-    if scale == 0.0:
+    if is_zero(scale):
         scale = 1.0
     scaled = x_arr / scale
     # Vandermonde with columns x^order, ..., x^1, 1 (highest degree first).

@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import FitError
+from ..numerics import is_zero
 
 __all__ = ["norm_of_residual", "rmse", "r_squared", "residuals"]
 
@@ -69,6 +70,6 @@ def r_squared(
     y_arr = np.asarray(y, dtype=float)
     total = float(np.sum((y_arr - y_arr.mean()) ** 2))
     explained_error = float(np.sum(res * res))
-    if total == 0.0:
-        return 1.0 if explained_error == 0.0 else 0.0
+    if is_zero(total):
+        return 1.0 if is_zero(explained_error) else 0.0
     return 1.0 - explained_error / total

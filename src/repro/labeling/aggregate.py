@@ -13,6 +13,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..errors import ModelError
+from ..numerics import is_zero
 from .tasks import TaskBatch
 from .workers import LabelSheet
 
@@ -55,7 +56,7 @@ def weighted_vote(
     vote_weights = np.array(
         [max(float(weights.get(sheet.worker_id, 0.0)), 0.0) for sheet in sheets]
     )
-    if vote_weights.sum() == 0.0:
+    if is_zero(float(vote_weights.sum())):
         return majority_vote(sheets)
     positive_mass = (stacked * vote_weights[:, None]).sum(axis=0)
     return positive_mass * 2 >= vote_weights.sum()

@@ -19,6 +19,7 @@ from ..core.best_response import BestResponse, solve_best_response
 from ..core.contract import Contract
 from ..core.effort import QuadraticEffort
 from ..errors import ModelError
+from ..numerics import is_zero
 from ..types import WorkerParameters
 from .accuracy import AccuracyModel
 from .tasks import TaskBatch
@@ -80,18 +81,18 @@ class LabelingWorker:
             raise ModelError("worker_id must be non-empty")
         if not 0.0 <= flip_rate <= 1.0:
             raise ModelError(f"flip_rate must lie in [0, 1], got {flip_rate!r}")
-        if omega > 0.0 and flip_rate == 0.0:
+        if omega > 0.0 and is_zero(flip_rate):
             raise ModelError(
                 "a malicious labeling worker (omega > 0) needs flip_rate > 0"
             )
-        if omega == 0.0 and flip_rate > 0.0:
+        if is_zero(omega) and flip_rate > 0.0:
             raise ModelError("an honest labeling worker cannot flip labels")
         self.worker_id = worker_id
         self.accuracy_model = accuracy_model
         self.feedback_function = feedback_function
         self.params = (
             WorkerParameters.honest(beta=beta)
-            if omega == 0.0
+            if is_zero(omega)
             else WorkerParameters.malicious(beta=beta, omega=omega)
         )
         self.target_label = target_label

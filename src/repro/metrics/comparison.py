@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ExperimentError
+from ..numerics import is_zero
 
 __all__ = ["ComparisonRow", "ComparisonTable"]
 
@@ -30,7 +31,7 @@ class ComparisonRow:
     @property
     def ratio(self) -> Optional[float]:
         """measured / paper, when both are available and paper != 0."""
-        if self.paper is None or self.paper == 0.0:
+        if self.paper is None or is_zero(self.paper):
             return None
         return self.measured / self.paper
 

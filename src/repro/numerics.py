@@ -1,0 +1,77 @@
+"""Tolerance helpers for comparing utilities, compensations and bounds.
+
+The contract-design pipeline threads float quantities (compensations,
+utilities, slopes, Lemma 4.2/4.3 bounds) through long chains of
+arithmetic, so exact ``==``/``!=`` comparisons are fragile: a sign flip
+or an accumulated ulp in `core/cases.py` surfaces only as a subtly wrong
+Fig. 8 curve.  Theory-lint rule REPRO001 therefore bans float equality
+on such quantities and requires the helpers below instead.
+
+Two tolerances are used throughout:
+
+* ``ABS_TOL`` (``1e-12``) — the slack already granted by
+  :class:`~repro.core.contract.Contract` when checking the Eq. (6)
+  monotonicity constraint; used for "is this exactly zero/equal up to
+  rounding" questions.
+* ``REL_TOL`` (``1e-9``) — the relative slack used when certifying the
+  Theorem 4.1 sandwich ``lower <= achieved <= upper``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ABS_TOL",
+    "REL_TOL",
+    "close",
+    "is_zero",
+    "leq",
+    "geq",
+    "monotone_non_decreasing",
+]
+
+ABS_TOL = 1e-12
+REL_TOL = 1e-9
+
+
+def close(a: float, b: float, *, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL) -> bool:
+    """Whether ``a`` and ``b`` agree up to the shared tolerances.
+
+    This is the sanctioned replacement for ``a == b`` on utilities and
+    compensations (theory-lint rule REPRO001).
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def is_zero(x: float, *, abs_tol: float = ABS_TOL) -> bool:
+    """Whether ``x`` is zero up to absolute tolerance.
+
+    Used for sentinel checks such as "is this worker honest"
+    (``omega == 0`` in Eq. 14 reduces to the Eq. 11 honest utility).
+    """
+    return abs(x) <= abs_tol
+
+
+def leq(a: float, b: float, *, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL) -> bool:
+    """Whether ``a <= b`` up to tolerance (``a`` may exceed by the slack)."""
+    return a <= b or close(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def geq(a: float, b: float, *, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL) -> bool:
+    """Whether ``a >= b`` up to tolerance (``a`` may fall short by the slack)."""
+    return a >= b or close(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def monotone_non_decreasing(values: Iterable[float], *, abs_tol: float = ABS_TOL) -> bool:
+    """Whether a sequence never decreases by more than ``abs_tol``.
+
+    This is the Eq. (6)/(9) contract constraint ``x_(l-1) <= x_l`` with
+    the same slack :class:`~repro.core.contract.Contract` applies.
+    """
+    sequence: Sequence[float] = list(values)
+    return all(
+        later >= earlier - abs_tol
+        for earlier, later in zip(sequence, sequence[1:])
+    )

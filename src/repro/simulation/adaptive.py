@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, Optional
 
-from ..core.decomposition import solve_subproblems
+from ..core.decomposition import SubproblemSolution, solve_subproblems
+from ..core.contract import Contract
 from ..core.designer import DesignerConfig
 from ..errors import SimulationError
 from ..estimation.malice import deviation_to_malice
@@ -129,7 +130,7 @@ class AdaptiveDynamicPolicy(PaymentPolicy):
         self.freeze_after = freeze_after
         self._observed_rounds = 0
         self._weights: Dict[str, float] = {}
-        self._solutions = None
+        self._solutions: Optional[Dict[str, SubproblemSolution]] = None
 
     def _weight_of(self, subject_id: str, n_partners: int) -> float:
         deviation = self.tracker.estimate(subject_id)
@@ -143,7 +144,7 @@ class AdaptiveDynamicPolicy(PaymentPolicy):
             deviation, malice_probability=malice, n_partners=n_partners
         )
 
-    def contracts(self, population: PopulationModel):
+    def contracts(self, population: PopulationModel) -> Dict[str, Contract]:
         updated = []
         self._weights = {}
         for subproblem in population.subproblems:
@@ -185,6 +186,6 @@ class AdaptiveDynamicPolicy(PaymentPolicy):
         self._observed_rounds += 1
 
     @property
-    def last_solutions(self):
+    def last_solutions(self) -> Optional[Dict[str, SubproblemSolution]]:
         """Per-subject design results of the most recent re-design."""
         return self._solutions

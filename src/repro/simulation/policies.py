@@ -18,9 +18,10 @@ import abc
 from typing import Dict, Optional, Set
 
 from ..core.contract import Contract
-from ..core.decomposition import solve_subproblems
+from ..core.decomposition import SubproblemSolution, solve_subproblems
 from ..core.designer import DesignerConfig
 from ..errors import SimulationError
+from .ledger import RoundRecord
 from ..workers.population import PopulationModel
 
 __all__ = ["PaymentPolicy", "DynamicContractPolicy", "ExclusionPolicy", "FixedPaymentPolicy"]
@@ -45,7 +46,7 @@ class PaymentPolicy(abc.ABC):
         """
         return None
 
-    def observe(self, record) -> None:
+    def observe(self, record: RoundRecord) -> None:
         """Feed one realized round back into the policy (no-op here).
 
         Adaptive policies override this to update their estimators from
@@ -73,7 +74,7 @@ class DynamicContractPolicy(PaymentPolicy):
         self.mu = mu
         self.config = config
         self.max_workers = max_workers
-        self._solutions = None
+        self._solutions: Optional[Dict[str, SubproblemSolution]] = None
 
     def contracts(self, population: PopulationModel) -> Dict[str, Contract]:
         solutions = solve_subproblems(
@@ -89,7 +90,7 @@ class DynamicContractPolicy(PaymentPolicy):
         }
 
     @property
-    def last_solutions(self):
+    def last_solutions(self) -> Optional[Dict[str, SubproblemSolution]]:
         """Per-subject design results of the most recent call."""
         return self._solutions
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from .errors import ModelError
+from .numerics import is_zero
 
 __all__ = [
     "WorkerType",
@@ -77,7 +78,7 @@ class WorkerParameters:
             raise ModelError(f"beta must be finite and positive, got {self.beta!r}")
         if not math.isfinite(self.omega) or self.omega < 0.0:
             raise ModelError(f"omega must be finite and >= 0, got {self.omega!r}")
-        if self.worker_type is WorkerType.HONEST and self.omega != 0.0:
+        if self.worker_type is WorkerType.HONEST and not is_zero(self.omega):
             raise ModelError(
                 "honest workers must have omega == 0 "
                 f"(got omega={self.omega!r}); use a malicious worker type"

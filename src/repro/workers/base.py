@@ -18,6 +18,7 @@ from ..core.best_response import BestResponse, solve_best_response
 from ..core.contract import Contract
 from ..core.effort import QuadraticEffort
 from ..errors import ModelError
+from ..numerics import is_zero
 from ..types import WorkerParameters
 
 __all__ = ["WorkerAgent"]
@@ -84,7 +85,7 @@ class WorkerAgent(abc.ABC):
         into the Eq. (5) accuracy term when estimating online.
         """
         bias = self.rating_bias_now
-        if rng is None or self.rating_noise == 0.0:
+        if rng is None or is_zero(self.rating_noise):
             return abs(bias)
         return abs(bias + float(rng.normal(0.0, self.rating_noise)))
 
@@ -100,7 +101,7 @@ class WorkerAgent(abc.ABC):
         if effort < 0.0:
             raise ModelError(f"effort must be >= 0, got {effort!r}")
         expected = float(self.effort_function(effort))
-        if rng is None or self.feedback_noise == 0.0:
+        if rng is None or is_zero(self.feedback_noise):
             return max(expected, 0.0)
         return max(expected + float(rng.normal(0.0, self.feedback_noise)), 0.0)
 

@@ -1,0 +1,341 @@
+"""The theory-lint gate: the analyzer stays clean and stays sharp.
+
+Two halves:
+
+* the *gate* — running the analyzer over ``src/repro`` with the
+  checked-in baseline yields zero new findings (CI fails on any new
+  violation);
+* the *rule tests* — each REPRO rule fires on a minimal seeded
+  violation and stays quiet on the compliant twin, so the gate cannot
+  rot into a no-op.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_RULES, LintEngine, get_rule, load_baseline
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import filter_baseline, package_relative
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / ".theory-lint-baseline"
+
+ENGINE = LintEngine(ALL_RULES)
+
+
+def lint_snippet(tmp_path: Path, relpath: str, source: str):
+    """Lint one synthetic module placed at a package-relative path."""
+    target = tmp_path / "repro" / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return ENGINE.lint_file(target)
+
+
+def codes(diagnostics) -> set:
+    return {diag.code for diag in diagnostics}
+
+
+class TestGate:
+    def test_src_tree_has_no_new_findings(self):
+        """The shipped tree is clean modulo the checked-in baseline."""
+        diagnostics = ENGINE.lint_paths([SRC])
+        baseline = load_baseline(BASELINE) if BASELINE.is_file() else {}
+        new, _stale = filter_baseline(diagnostics, baseline)
+        assert not new, "new theory-lint findings:\n" + "\n".join(
+            diag.format() for diag in new
+        )
+
+    def test_baseline_has_no_stale_entries(self):
+        """Fixed findings must be removed from the baseline file."""
+        diagnostics = ENGINE.lint_paths([SRC])
+        baseline = load_baseline(BASELINE) if BASELINE.is_file() else {}
+        _new, stale = filter_baseline(diagnostics, baseline)
+        assert not stale, f"stale baseline entries: {sorted(stale)}"
+
+    def test_cli_exits_zero_on_shipped_tree(self):
+        assert lint_main([str(SRC), "--baseline", str(BASELINE)]) == 0
+
+    def test_cli_exits_nonzero_on_seeded_violation(self, tmp_path):
+        """A float == on a compensation must fail the lint run."""
+        bad = tmp_path / "repro" / "core" / "seeded.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            '"""Seeded violation (Eq. 6)."""\n'
+            "__all__ = []\n\n\n"
+            "def _check(compensation: float) -> bool:\n"
+            "    return compensation == 1.0\n"
+        )
+        assert lint_main([str(bad), "--no-baseline"]) == 1
+
+    def test_explain_known_and_unknown_codes(self, capsys):
+        assert lint_main(["--explain", "REPRO001"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO001" in out and "numerics" in out
+        assert lint_main(["--explain", "REPRO999"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.code in out
+
+    def test_every_rule_has_rationale_and_paper_reference(self):
+        for rule in ALL_RULES:
+            assert rule.summary, rule.code
+            assert rule.rationale, rule.code
+
+    def test_get_rule_is_case_insensitive(self):
+        assert get_rule("repro001") is get_rule("REPRO001")
+
+
+class TestBaselineWorkflow:
+    def test_write_and_reuse_baseline(self, tmp_path):
+        bad = tmp_path / "repro" / "core" / "grandfathered.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            '"""Module (Eq. 6)."""\n__all__ = []\n\n\n'
+            "def _helper(pay: float) -> bool:\n    return pay != 0.5\n"
+        )
+        baseline_file = tmp_path / "baseline.txt"
+        assert (
+            lint_main([str(bad), "--write-baseline", "--baseline", str(baseline_file)])
+            == 0
+        )
+        # With the baseline, the same tree is clean; without it, it fails.
+        assert lint_main([str(bad), "--baseline", str(baseline_file)]) == 0
+        assert lint_main([str(bad), "--no-baseline"]) == 1
+
+    def test_stale_entries_are_reported_but_do_not_fail(self, tmp_path, capsys):
+        clean = tmp_path / "repro" / "core" / "clean.py"
+        clean.parent.mkdir(parents=True)
+        clean.write_text('"""Module (Eq. 6)."""\n__all__ = []\n')
+        baseline_file = tmp_path / "baseline.txt"
+        baseline_file.write_text("core/gone.py::REPRO001::_helper\n")
+        assert lint_main([str(clean), "--baseline", str(baseline_file)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestRepro001FloatEquality:
+    def test_flags_float_literal_comparison(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "core/x.py",
+            '"""M (Eq. 6)."""\n__all__ = []\n\n\n'
+            "def _f(value: float) -> bool:\n    return value == 1.5\n",
+        )
+        assert "REPRO001" in codes(diags)
+
+    def test_flags_domain_identifier_comparison(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "metrics/x.py",
+            "__all__ = []\n\n\ndef _f(a: float, utility: float) -> bool:\n"
+            "    return a == utility\n",
+        )
+        assert "REPRO001" in codes(diags)
+
+    def test_ignores_int_string_and_enum_comparisons(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "core/x.py",
+            '"""M (Eq. 6)."""\n__all__ = []\n\n\n'
+            "def _f(piece: int, kind: str, wt: object) -> bool:\n"
+            "    from enum import Enum\n"
+            "    return piece == 0 or kind == 'a' or wt == Enum\n",
+        )
+        assert "REPRO001" not in codes(diags)
+
+    def test_noqa_suppresses(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "core/x.py",
+            '"""M (Eq. 6)."""\n__all__ = []\n\n\n'
+            "def _f(pay: float) -> bool:\n"
+            "    return pay == 1.5  # noqa: REPRO001\n",
+        )
+        assert "REPRO001" not in codes(diags)
+
+
+class TestRepro002PaperCitation:
+    def test_flags_uncited_public_function_in_core(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "core/x.py",
+            '"""M."""\n__all__ = ["f"]\n\n\ndef f() -> None:\n'
+            '    """Does things."""\n',
+        )
+        assert "REPRO002" in codes(diags)
+
+    def test_accepts_cited_function(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "core/x.py",
+            '"""M."""\n__all__ = ["f"]\n\n\ndef f() -> None:\n'
+            '    """Implements Lemma 4.2."""\n',
+        )
+        assert "REPRO002" not in codes(diags)
+
+    def test_does_not_apply_outside_core_and_experiments(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "data/x.py",
+            '"""M."""\n__all__ = ["f"]\n\n\ndef f() -> None:\n'
+            '    """Does things."""\n',
+        )
+        assert "REPRO002" not in codes(diags)
+
+
+class TestRepro003MutableDefault:
+    def test_flags_list_default(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "data/x.py",
+            "__all__ = []\n\n\ndef _f(rows=[]) -> None:\n    rows.append(1)\n",
+        )
+        assert "REPRO003" in codes(diags)
+
+    def test_accepts_none_default(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "data/x.py",
+            "__all__ = []\n\n\ndef _f(rows=None) -> None:\n    pass\n",
+        )
+        assert "REPRO003" not in codes(diags)
+
+
+class TestRepro004ModuleAll:
+    def test_flags_public_module_without_all(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path, "metrics/x.py", "def f() -> None:\n    pass\n"
+        )
+        assert "REPRO004" in codes(diags)
+
+    def test_accepts_private_only_module(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path, "metrics/x.py", "def _f() -> None:\n    pass\n"
+        )
+        assert "REPRO004" not in codes(diags)
+
+
+class TestRepro005BareExcept:
+    def test_flags_bare_except(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "data/x.py",
+            "__all__ = []\n\n\ndef _f() -> None:\n"
+            "    try:\n        pass\n    except:\n        pass\n",
+        )
+        assert "REPRO005" in codes(diags)
+
+    def test_accepts_typed_except(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "data/x.py",
+            "__all__ = []\n\n\ndef _f() -> None:\n"
+            "    try:\n        pass\n    except ValueError:\n        pass\n",
+        )
+        assert "REPRO005" not in codes(diags)
+
+
+class TestRepro006DataclassValidation:
+    SOURCE = (
+        '"""M (Eq. 6)."""\nfrom dataclasses import dataclass\n\n__all__ = []\n\n\n'
+        "@dataclass(frozen=True)\nclass _Record:\n    beta: float\n{post}"
+    )
+
+    def test_flags_unvalidated_numeric_dataclass_in_core(self, tmp_path):
+        diags = lint_snippet(tmp_path, "core/x.py", self.SOURCE.format(post=""))
+        assert "REPRO006" in codes(diags)
+
+    def test_accepts_post_init(self, tmp_path):
+        post = "\n    def __post_init__(self) -> None:\n        pass\n"
+        diags = lint_snippet(tmp_path, "core/x.py", self.SOURCE.format(post=post))
+        assert "REPRO006" not in codes(diags)
+
+    def test_does_not_apply_outside_core_workers(self, tmp_path):
+        diags = lint_snippet(tmp_path, "metrics/x.py", self.SOURCE.format(post=""))
+        assert "REPRO006" not in codes(diags)
+
+
+class TestRepro007RngDeterminism:
+    def test_flags_global_numpy_rng_in_simulation(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "simulation/x.py",
+            "import numpy as np\n\n__all__ = []\n\n\n"
+            "def _f() -> float:\n    return float(np.random.normal())\n",
+        )
+        assert "REPRO007" in codes(diags)
+
+    def test_flags_stdlib_global_rng(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "data/synthetic.py",
+            "import random\n\n__all__ = []\n\n\n"
+            "def _f() -> float:\n    return random.random()\n",
+        )
+        assert "REPRO007" in codes(diags)
+
+    def test_accepts_seeded_generator(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "simulation/x.py",
+            "import numpy as np\n\n__all__ = []\n\n\n"
+            "def _f(seed: int) -> float:\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return float(rng.normal())\n",
+        )
+        assert "REPRO007" not in codes(diags)
+
+
+class TestRepro008Annotations:
+    def test_flags_unannotated_public_function(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "metrics/x.py",
+            '__all__ = ["f"]\n\n\ndef f(x):\n    return x\n',
+        )
+        assert "REPRO008" in codes(diags)
+
+    def test_accepts_annotated_function_and_skips_private(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "metrics/x.py",
+            '__all__ = ["f"]\n\n\ndef f(x: int) -> int:\n    return x\n\n\n'
+            "def _g(y):\n    return y\n",
+        )
+        assert "REPRO008" not in codes(diags)
+
+
+class TestEngineMechanics:
+    def test_package_relative_strips_src_prefix(self):
+        assert (
+            package_relative(Path("src/repro/core/bounds.py")) == "core/bounds.py"
+        )
+
+    def test_syntax_error_becomes_diagnostic(self, tmp_path):
+        target = tmp_path / "repro" / "broken.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def f(:\n")
+        diags = ENGINE.lint_file(target)
+        assert [diag.code for diag in diags] == ["REPRO000"]
+
+    def test_fingerprint_is_line_independent(self, tmp_path):
+        source = (
+            '"""M (Eq. 6)."""\n__all__ = []\n\n\n'
+            "def _f(pay: float) -> bool:\n    return pay == 1.5\n"
+        )
+        first = lint_snippet(tmp_path, "core/a.py", source)
+        shifted = lint_snippet(tmp_path, "core/b.py", "# comment\n" * 7 + source)
+        assert first[0].fingerprint.split("::")[1:] == (
+            shifted[0].fingerprint.split("::")[1:]
+        )
+        assert first[0].line != shifted[0].line
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))
