@@ -1,0 +1,76 @@
+"""Contract serving: batching, caching and streaming contract requests.
+
+Run with::
+
+    python examples/serving_demo.py
+
+Builds a synthetic marketplace population whose workers cluster into a
+handful of archetypes (the Section IV-B class-level fits), then serves
+contract requests three ways:
+
+1. directly through a :class:`repro.serving.SolverPool` — fingerprint
+   dedup collapses the population onto one solve per archetype;
+2. across repeated rounds — the contract cache turns steady-state
+   rounds into dictionary lookups;
+3. through the asyncio :class:`repro.serving.ContractServer` — requests
+   are batched, solved off the event loop and streamed back in
+   completion order, with backpressure bounding the request queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serving import ContractCache, ContractServer, ServingStats, SolverPool
+from repro.serving.workload import synthetic_subproblems
+
+N_SUBJECTS = 120
+N_ARCHETYPES = 12
+N_ROUNDS = 3
+
+
+def pooled_rounds() -> None:
+    """Serve repeated marketplace rounds through the solver pool."""
+    subproblems = synthetic_subproblems(
+        n_subjects=N_SUBJECTS, n_archetypes=N_ARCHETYPES, seed=42
+    )
+    stats = ServingStats()
+    with SolverPool(n_workers=0, cache=ContractCache(), stats=stats) as pool:
+        for round_index in range(N_ROUNDS):
+            solutions, diagnostics = pool.solve_with_diagnostics(subproblems)
+            hits = sum(1 for d in diagnostics.values() if d.cache_hit)
+            hired = sum(1 for s in solutions.values() if s.result.hired)
+            print(
+                f"round {round_index}: {hired}/{len(solutions)} hired, "
+                f"{hits} contracts served from cache"
+            )
+    print(stats.format())
+    print()
+
+
+async def streamed_round() -> None:
+    """Serve one round through the asyncio marketplace front-end."""
+    subproblems = synthetic_subproblems(
+        n_subjects=24, n_archetypes=6, seed=42
+    )
+    async with ContractServer(max_batch=8, batch_window=0.005) as server:
+        print("streaming designs in completion order:")
+        count = 0
+        async for subject_id, design in server.stream(subproblems):
+            count += 1
+            if count <= 5:
+                print(
+                    f"  {subject_id}: k_opt={design.k_opt}, "
+                    f"pay={design.response.compensation:.3f}"
+                )
+        print(f"  ... {count} designs streamed")
+        print(server.stats.format())
+
+
+def main() -> None:
+    pooled_rounds()
+    asyncio.run(streamed_round())
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,14 @@ from .core import (
     solve_subproblems,
 )
 from .errors import ReproError
+from .serving import (
+    ContractCache,
+    ContractServer,
+    ServingStats,
+    SolverPool,
+    design_fingerprint,
+    subproblem_fingerprint,
+)
 from .types import (
     DiscretizationGrid,
     FeedbackWeightParameters,
@@ -62,6 +70,12 @@ __all__ = [
     "solve_best_response",
     "solve_subproblems",
     "ReproError",
+    "ContractCache",
+    "ContractServer",
+    "ServingStats",
+    "SolverPool",
+    "design_fingerprint",
+    "subproblem_fingerprint",
     "DiscretizationGrid",
     "FeedbackWeightParameters",
     "RequesterParameters",

@@ -5,12 +5,16 @@ Examples::
     python -m repro list
     python -m repro run fig8b --scale small
     python -m repro run all --scale paper --seed 7
+    python -m repro run fig8c --parallel 2
+    python -m repro solve --n-subjects 200 --parallel 2 --check
+    python -m repro serve --rounds 3
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from .experiments.config import ExperimentConfig
@@ -51,6 +55,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--seed", type=int, default=7, help="trace/simulation seed (default: 7)"
     )
+    run_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "serving-layer solver processes for the design solves; "
+            "0 = serial in-process path (default: 0)"
+        ),
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="run experiments and write a markdown report"
@@ -62,11 +76,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", choices=["paper", "small"], default="paper"
     )
     report_parser.add_argument("--seed", type=int, default=7)
+    report_parser.add_argument("--parallel", type=int, default=0, metavar="N")
     report_parser.add_argument(
         "--no-extensions",
         action="store_true",
         help="omit the ext_* extension experiments",
     )
+
+    from .serving.cli import add_serve_arguments, add_solve_arguments
+
+    solve_parser = subparsers.add_parser(
+        "solve",
+        help="pooled/cached contract solve over a synthetic population",
+    )
+    add_solve_arguments(solve_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the asyncio contract-serving marketplace demo",
+    )
+    add_serve_arguments(serve_parser)
 
     lint_parser = subparsers.add_parser(
         "lint",
@@ -79,9 +108,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _config_for(args: argparse.Namespace) -> ExperimentConfig:
+    parallel = getattr(args, "parallel", 0)
     if args.scale == "small":
-        return ExperimentConfig.small(seed=args.seed)
-    return ExperimentConfig(scale="paper", seed=args.seed)
+        config = ExperimentConfig.small(seed=args.seed)
+        if parallel:
+            config = replace(config, parallel=parallel)
+        return config
+    return ExperimentConfig(scale="paper", seed=args.seed, parallel=parallel)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -91,6 +124,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis.cli import run_lint
 
         return run_lint(args)
+    if args.command == "solve":
+        from .serving.cli import run_solve
+
+        return run_solve(args)
+    if args.command == "serve":
+        from .serving.cli import run_serve
+
+        return run_serve(args)
     if args.command == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)

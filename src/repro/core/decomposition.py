@@ -89,8 +89,9 @@ def solve_subproblems(
     mu: float = 1.0,
     config: Optional[DesignerConfig] = None,
     max_workers: int = 1,
+    parallel: int = 0,
 ) -> Dict[str, SubproblemSolution]:
-    """Solve every subproblem, optionally with a thread pool.
+    """Solve every subproblem, optionally through the serving layer.
 
     Args:
         subproblems: the decomposed subproblems; subject ids must be
@@ -100,10 +101,25 @@ def solve_subproblems(
         max_workers: thread-pool width; ``1`` solves serially.  The
             subproblems are embarrassingly parallel (Section IV-B), so
             any partitioning is valid.
+        parallel: when positive, route through the
+            :mod:`repro.serving` solver pool with this many worker
+            *processes* (fingerprint dedup included); ``0`` (the
+            default) keeps the in-process path below.
 
     Returns:
-        Mapping from subject id to its :class:`SubproblemSolution`.
+        Mapping from subject id to its :class:`SubproblemSolution`,
+        in input order on every path.
     """
+    if parallel < 0:
+        raise DesignError(f"parallel must be >= 0, got {parallel!r}")
+    if parallel > 0:
+        # Imported lazily: core stays importable without the serving
+        # layer loaded, and the serving layer imports this module.
+        from ..serving.pool import solve_subproblems_parallel
+
+        return solve_subproblems_parallel(
+            subproblems, mu=mu, config=config, n_workers=parallel
+        )
     seen = set()
     for subproblem in subproblems:
         if subproblem.subject_id in seen:

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..errors import DesignError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (no runtime cycle)
+    from ..serving.cache import ContractCache
 from ..types import DiscretizationGrid, WorkerParameters
 from .best_response import BestResponse, solve_best_response
 from .bounds import (
@@ -186,13 +189,27 @@ class ContractDesigner:
     Args:
         mu: the requester's compensation weight.
         config: designer configuration (grid resolution, base pay...).
+        design_cache: optional serving-layer contract cache
+            (:class:`~repro.serving.cache.ContractCache`).  When set,
+            finished designs are keyed by their
+            :func:`~repro.serving.fingerprint.design_fingerprint` and
+            reused across calls — and across designers sharing the
+            cache; cache hits are re-verified against fresh solves under
+            ``REPRO_CHECK_INVARIANTS=1``.  The default ``None`` keeps
+            the original solve-every-call serial path.
     """
 
-    def __init__(self, mu: float = 1.0, config: Optional[DesignerConfig] = None) -> None:
+    def __init__(
+        self,
+        mu: float = 1.0,
+        config: Optional[DesignerConfig] = None,
+        design_cache: Optional["ContractCache"] = None,
+    ) -> None:
         if mu <= 0.0:
             raise DesignError(f"mu must be positive, got {mu!r}")
         self.mu = mu
         self.config = config if config is not None else DesignerConfig()
+        self.design_cache = design_cache
         # Candidate contracts and best responses depend only on
         # (psi, params, grid, base_pay) — not on the feedback weight or
         # mu — so a population sharing class-level effort functions
@@ -222,6 +239,48 @@ class ContractDesigner:
             Theorem 4.1 certificate.
         """
         grid = self.config.grid_for(effort_function, max_effort=max_effort)
+        if self.design_cache is None:
+            return self._design_on_grid(
+                effort_function, params, feedback_weight, grid
+            )
+
+        # Serving-layer route: identical design instances (same psi,
+        # params, grid, weight, mu) share one solve through the cache.
+        from ..serving.cache import maybe_verify_cached
+        from ..serving.fingerprint import design_fingerprint
+
+        fingerprint = design_fingerprint(
+            effort_function,
+            params,
+            grid,
+            base_pay=self.config.base_pay,
+            min_utility=self.config.min_utility,
+            mu=self.mu,
+            feedback_weight=feedback_weight,
+        )
+        cached = self.design_cache.get_design(fingerprint)
+        if cached is not None:
+            maybe_verify_cached(
+                fingerprint,
+                cached,
+                lambda: self._design_on_grid(
+                    effort_function, params, feedback_weight, grid
+                ),
+                stats=self.design_cache.stats,
+            )
+            return cached
+        result = self._design_on_grid(effort_function, params, feedback_weight, grid)
+        self.design_cache.put_design(fingerprint, result)
+        return result
+
+    def _design_on_grid(
+        self,
+        effort_function: QuadraticEffort,
+        params: WorkerParameters,
+        feedback_weight: float,
+        grid: DiscretizationGrid,
+    ) -> DesignResult:
+        """The Section IV-C solve itself, on an already-resolved grid."""
         if feedback_weight <= 0.0 or not math.isfinite(feedback_weight):
             return self._null_result(effort_function, grid, params, feedback_weight)
 

@@ -21,6 +21,7 @@ __all__ = [
     "TraceCalibrationError",
     "EstimationError",
     "SimulationError",
+    "ServingError",
     "ExperimentError",
 ]
 
@@ -72,6 +73,14 @@ class EstimationError(ReproError):
 
 class SimulationError(ReproError):
     """The marketplace simulation entered an invalid state."""
+
+
+class ServingError(ReproError):
+    """The contract-serving layer (cache, pool, server) failed.
+
+    Raised for malformed serving configuration, solver-pool timeouts,
+    fingerprint/replay mismatches and cache-verification failures.
+    """
 
 
 class ExperimentError(ReproError):

@@ -1,0 +1,48 @@
+"""Contract serving: batched, cached, parallel design at marketplace scale.
+
+The Section IV-B decomposition makes contract design one independent
+subproblem per worker / community; this package turns that observation
+into a serving layer:
+
+* :mod:`~repro.serving.fingerprint` — canonical, hash-stable subproblem
+  fingerprints (the cache/batch keys).
+* :mod:`~repro.serving.cache` — a bounded LRU contract cache with
+  hit/miss/eviction counters and a cached==fresh invariant.
+* :mod:`~repro.serving.pool` — fingerprint-dedup plus
+  ``concurrent.futures`` process fan-out with chunking, per-task
+  timeouts and deterministic result ordering.
+* :mod:`~repro.serving.server` — an asyncio front-end that batches
+  requests by fingerprint, applies queue backpressure and streams
+  results.
+* :mod:`~repro.serving.stats` — latency / throughput / cache counters.
+* :mod:`~repro.serving.workload` — synthetic subproblem populations for
+  benchmarks and smoke tests.
+* :mod:`~repro.serving.replay` — ledger-level verification that cached
+  contracts match recomputed ones.
+"""
+
+from __future__ import annotations
+
+from .cache import CacheStats, ContractCache, require_results_agree
+from .fingerprint import design_fingerprint, subproblem_fingerprint
+from .pool import SolveDiagnostics, SolverPool, solve_subproblems_parallel
+from .replay import verify_ledger, verify_round
+from .server import ContractServer
+from .stats import ServingStats
+from .workload import synthetic_subproblems
+
+__all__ = [
+    "CacheStats",
+    "ContractCache",
+    "ContractServer",
+    "ServingStats",
+    "SolveDiagnostics",
+    "SolverPool",
+    "design_fingerprint",
+    "require_results_agree",
+    "solve_subproblems_parallel",
+    "subproblem_fingerprint",
+    "synthetic_subproblems",
+    "verify_ledger",
+    "verify_round",
+]

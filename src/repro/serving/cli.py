@@ -1,0 +1,173 @@
+"""Command-line front end for the contract-serving layer.
+
+Reused by the main ``repro`` CLI::
+
+    repro solve --n-subjects 200 --parallel 2       # one pooled solve
+    repro solve --rounds 5 --check                  # cached rounds + audit
+    repro serve --rounds 3 --n-subjects 200         # asyncio marketplace demo
+
+``repro solve`` drives the :class:`~repro.serving.pool.SolverPool`
+synchronously (this is also the CI serving smoke test); ``repro serve``
+drives the :class:`~repro.serving.server.ContractServer` end to end.
+Exit status: 0 on success, 1 when ``--check`` finds a mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pickle
+import time
+from typing import List
+
+from ..core.decomposition import Subproblem, decomposition_report, solve_subproblems
+from ..errors import ServingError
+from .cache import ContractCache
+from .pool import SolverPool
+from .server import ContractServer
+from .stats import ServingStats
+from .workload import synthetic_subproblems
+
+__all__ = ["add_solve_arguments", "add_serve_arguments", "run_solve", "run_serve"]
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--n-subjects",
+        type=int,
+        default=200,
+        help="synthetic population size (default: 200)",
+    )
+    parser.add_argument(
+        "--archetypes",
+        type=int,
+        default=16,
+        help="distinct worker archetypes in the population (default: 16)",
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="solver-pool processes; 0 = in-process solving (default: 0)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="marketplace rounds to serve (default: 1)",
+    )
+    parser.add_argument(
+        "--mu", type=float, default=1.0, help="requester weight (default: 1.0)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default: 7)"
+    )
+
+
+def add_solve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro solve`` flags to a (sub)parser."""
+    _add_workload_arguments(parser)
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-task wall-clock budget in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify pooled/cached designs are byte-identical to serial",
+    )
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro serve`` flags to a (sub)parser."""
+    _add_workload_arguments(parser)
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="largest request batch the server fulfils at once (default: 64)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="request-queue bound before backpressure (default: 1024)",
+    )
+
+
+def _workload(args: argparse.Namespace) -> List[Subproblem]:
+    if args.rounds < 1:
+        raise ServingError(f"--rounds must be >= 1, got {args.rounds!r}")
+    return synthetic_subproblems(
+        n_subjects=args.n_subjects,
+        n_archetypes=args.archetypes,
+        seed=args.seed,
+    )
+
+
+def run_solve(args: argparse.Namespace) -> int:
+    """Solve a synthetic population through the pool; print a report."""
+    subproblems = _workload(args)
+    stats = ServingStats()
+    cache = ContractCache()
+    with SolverPool(
+        n_workers=args.parallel,
+        mu=args.mu,
+        timeout=args.timeout,
+        cache=cache,
+        stats=stats,
+    ) as pool:
+        started = time.perf_counter()
+        for _ in range(args.rounds):
+            solutions = pool.solve(subproblems)
+        elapsed = time.perf_counter() - started
+
+    report = decomposition_report(solutions, mu=args.mu)
+    print(f"solved {len(subproblems)} subjects x {args.rounds} round(s) "
+          f"in {elapsed:.3f}s ({args.rounds * len(subproblems) / elapsed:.1f} designs/s)")
+    for key, value in report.items():
+        print(f"{key:>20}: {value:.4f}")
+    print(stats.format())
+
+    if args.check:
+        serial = solve_subproblems(subproblems, mu=args.mu)
+        for subject_id, solution in solutions.items():
+            pooled_bytes = pickle.dumps(solution.result.contract.compensations)
+            serial_bytes = pickle.dumps(
+                serial[subject_id].result.contract.compensations
+            )
+            if pooled_bytes != serial_bytes:
+                print(f"CHECK FAILED: {subject_id} differs from the serial path")
+                return 1
+        print(f"check passed: {len(solutions)} pooled/cached contracts "
+              "byte-identical to the serial path")
+    return 0
+
+
+async def _serve_demo(args: argparse.Namespace) -> ServingStats:
+    subproblems = _workload(args)
+    async with ContractServer(
+        mu=args.mu,
+        n_workers=args.parallel,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+    ) as server:
+        for round_index in range(args.rounds):
+            solutions = await server.solve_population(subproblems)
+            report = decomposition_report(solutions, mu=args.mu)
+            print(
+                f"round {round_index}: utility "
+                f"{report['total_utility']:.4f}, hired "
+                f"{int(report['n_hired'])}/{int(report['n_subjects'])}"
+            )
+        return server.stats
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Serve synthetic rounds through the asyncio marketplace front-end."""
+    stats = asyncio.run(_serve_demo(args))
+    print(stats.format())
+    return 0

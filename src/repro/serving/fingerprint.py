@@ -1,0 +1,149 @@
+"""Canonical, hash-stable fingerprints of contract-design subproblems.
+
+A :class:`~repro.core.designer.DesignResult` is a pure function of the
+inputs the Section IV-C algorithm consumes: the effort-function
+coefficients ``(r2, r1, r0)``, the worker parameters ``(beta, omega)``
+and class, the discretization ``(m, delta)``, the designer's
+``base_pay`` / ``min_utility`` knobs, the requester weight ``mu`` and
+the Eq. (5) feedback weight ``w_i``.  Two subproblems agreeing on all of
+these produce *bit-identical* designs, no matter which worker or round
+they belong to — which is what makes contract serving cacheable and
+batchable.
+
+Fingerprints are therefore computed over exactly that tuple, canonically
+encoded (floats via ``float.hex()`` so the encoding is lossless and
+platform-stable, enum members via their value) and hashed with SHA-256.
+The subject id and community membership are deliberately *excluded*:
+identity never enters the design math, and excluding it is what lets a
+marketplace with thousands of workers sharing class-level fits collapse
+to a handful of unique solves per round.
+
+The fingerprint string is versioned (``cd1:``); bump the prefix whenever
+the design algorithm or the encoded field set changes, so stale caches
+can never serve results computed under different semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import TYPE_CHECKING, Optional, Tuple, Union
+
+from ..core.effort import QuadraticEffort
+from ..errors import ServingError
+from ..types import DiscretizationGrid, WorkerParameters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..core.decomposition import Subproblem
+    from ..core.designer import DesignerConfig
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "canonical_float",
+    "design_fingerprint",
+    "subproblem_fingerprint",
+]
+
+#: Version tag baked into every fingerprint.  Bump on any change to the
+#: design algorithm or to the set/encoding of fingerprinted fields.
+FINGERPRINT_VERSION = "cd1"
+
+#: Hex digits kept from the SHA-256 digest.  64 bits of fingerprint make
+#: collisions vanishingly unlikely at marketplace scale (birthday bound
+#: ~2^32 distinct subproblems) while keeping ledger records compact.
+_DIGEST_CHARS = 16
+
+
+def canonical_float(value: Union[float, int]) -> str:
+    """Lossless, platform-stable text encoding of one numeric field.
+
+    ``float.hex()`` round-trips every finite double exactly, so two
+    processes (or two machines) encoding the same value always produce
+    the same fingerprint — unlike ``repr`` formatting, which has changed
+    across Python versions.
+    """
+    number = float(value)
+    if math.isnan(number):
+        raise ServingError("cannot fingerprint a NaN design parameter")
+    return number.hex()
+
+
+def _encode_fields(fields: Tuple[str, ...]) -> str:
+    payload = "|".join(fields)
+    digest = hashlib.sha256(payload.encode("ascii")).hexdigest()
+    return f"{FINGERPRINT_VERSION}:{digest[:_DIGEST_CHARS]}"
+
+
+def design_fingerprint(
+    effort_function: QuadraticEffort,
+    params: WorkerParameters,
+    grid: DiscretizationGrid,
+    *,
+    base_pay: float = 0.0,
+    min_utility: float = 0.0,
+    mu: float = 1.0,
+    feedback_weight: float = 1.0,
+) -> str:
+    """Fingerprint one fully-resolved design instance.
+
+    Args:
+        effort_function: the subject's fitted ``psi``.
+        params: the subject's ``(beta, omega)`` utility parameters.
+        grid: the *resolved* effort discretization the designer will use
+            (fingerprinting the resolved ``(m, delta)`` rather than the
+            config that produced it makes equal grids reached through
+            different ``coverage``/``max_effort`` combinations share an
+            entry).
+        base_pay: the designer's zero-effort pay ``x_0``.
+        min_utility: the designer's hire threshold.
+        mu: the requester's compensation weight.
+        feedback_weight: the Eq. (5) weight ``w_i``.
+
+    Returns:
+        A versioned, hash-stable fingerprint string, e.g.
+        ``"cd1:9f2c4e01ab37d855"``.
+    """
+    r2, r1, r0 = effort_function.coefficients()
+    fields = (
+        canonical_float(r2),
+        canonical_float(r1),
+        canonical_float(r0),
+        canonical_float(params.beta),
+        canonical_float(params.omega),
+        params.worker_type.value,
+        str(grid.n_intervals),
+        canonical_float(grid.delta),
+        canonical_float(base_pay),
+        canonical_float(min_utility),
+        canonical_float(mu),
+        canonical_float(feedback_weight),
+    )
+    return _encode_fields(fields)
+
+
+def subproblem_fingerprint(
+    subproblem: "Subproblem",
+    mu: float = 1.0,
+    config: Optional["DesignerConfig"] = None,
+) -> str:
+    """Fingerprint a decomposed subproblem under a designer configuration.
+
+    Resolves the effort grid exactly the way
+    :meth:`~repro.core.designer.DesignerConfig.grid_for` would (including
+    the subproblem's own ``max_effort`` cap) and delegates to
+    :func:`design_fingerprint`, so the fingerprint keys precisely the
+    design the serving layer would compute.
+    """
+    from ..core.designer import DesignerConfig
+
+    resolved = config if config is not None else DesignerConfig()
+    grid = resolved.grid_for(subproblem.effort_function, max_effort=subproblem.max_effort)
+    return design_fingerprint(
+        subproblem.effort_function,
+        subproblem.params,
+        grid,
+        base_pay=resolved.base_pay,
+        min_utility=resolved.min_utility,
+        mu=mu,
+        feedback_weight=subproblem.feedback_weight,
+    )

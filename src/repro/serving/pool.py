@@ -1,0 +1,329 @@
+"""Process-pool fan-out over the decomposed design subproblems.
+
+Section IV-B makes the bilevel program embarrassingly parallel: one
+independent subproblem per non-collusive worker and per collusive
+community.  The :class:`SolverPool` exploits that two ways:
+
+* **dedup by fingerprint** — workers sharing a class-level fit, the same
+  parameters and the same Eq. (5) weight are the *same* subproblem
+  (:mod:`repro.serving.fingerprint`); each unique fingerprint is solved
+  once per batch and the result fanned out to every requesting subject.
+  This is the dominant win on real populations, where thousands of
+  workers collapse to a handful of archetypes, and it costs nothing on
+  fully heterogeneous populations.
+* **process fan-out** — the surviving unique solves are chunked and
+  dispatched across ``n_workers`` processes (``concurrent.futures``),
+  with per-chunk timeouts and results reassembled in deterministic
+  input order regardless of completion order.
+
+An optional :class:`~repro.serving.cache.ContractCache` carries solved
+designs across batches (i.e. across marketplace rounds); hits are
+re-verified against fresh solves under ``REPRO_CHECK_INVARIANTS=1``.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.decomposition import Subproblem, SubproblemSolution
+from ..core.designer import ContractDesigner, DesignerConfig, DesignResult
+from ..errors import ServingError
+from .cache import ContractCache, maybe_verify_cached
+from .fingerprint import subproblem_fingerprint
+from .stats import ServingStats
+
+__all__ = ["SolveDiagnostics", "SolverPool", "solve_subproblems_parallel"]
+
+
+@dataclass(frozen=True)
+class SolveDiagnostics:
+    """How one subject's design was obtained (ledger provenance).
+
+    Attributes:
+        fingerprint: the subproblem's design fingerprint.
+        cache_hit: whether the design came from the contract cache
+            rather than a fresh solve in this batch.
+    """
+
+    fingerprint: str
+    cache_hit: bool
+
+
+def _solve_chunk(
+    payload: Tuple[Tuple[Subproblem, ...], float, Optional[DesignerConfig]],
+) -> List[DesignResult]:
+    """Solve one chunk of subproblems (runs inside a pool process).
+
+    Module-level so it pickles under every start method; each chunk gets
+    its own :class:`~repro.core.designer.ContractDesigner`, whose
+    candidate cache is shared across the chunk's subproblems.
+    """
+    subproblems, mu, config = payload
+    designer = ContractDesigner(mu=mu, config=config)
+    return [
+        designer.design(
+            effort_function=subproblem.effort_function,
+            params=subproblem.params,
+            feedback_weight=subproblem.feedback_weight,
+            max_effort=subproblem.max_effort,
+        )
+        for subproblem in subproblems
+    ]
+
+
+class SolverPool:
+    """Batched, cached, optionally multi-process subproblem solver.
+
+    Args:
+        n_workers: pool processes; ``0`` solves in-process (still with
+            dedup and caching — the serial fallback).
+        mu: the requester's compensation weight.
+        config: designer configuration shared by all solves.
+        chunk_size: subproblems per dispatched task; ``None`` picks
+            ``ceil(unique / (4 * n_workers))`` so each process sees a
+            few chunks (load balancing without per-task overhead).
+        timeout: optional per-task (per-chunk) wall-clock budget in
+            seconds; exceeding it raises :class:`ServingError`.
+        cache: optional cross-batch contract cache.
+        dedupe: collapse identical fingerprints within a batch onto a
+            single solve (on by default; disable to force one solve per
+            subject, e.g. when benchmarking raw solver throughput).
+        stats: optional serving counters to record batches into.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 0,
+        mu: float = 1.0,
+        config: Optional[DesignerConfig] = None,
+        chunk_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+        cache: Optional[ContractCache] = None,
+        dedupe: bool = True,
+        stats: Optional[ServingStats] = None,
+    ) -> None:
+        if n_workers < 0:
+            raise ServingError(f"n_workers must be >= 0, got {n_workers!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ServingError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        if timeout is not None and timeout <= 0.0:
+            raise ServingError(f"timeout must be positive, got {timeout!r}")
+        self.n_workers = n_workers
+        self.mu = mu
+        self.config = config
+        self.chunk_size = chunk_size
+        self.timeout = timeout
+        self.cache = cache
+        self.dedupe = dedupe
+        self.stats = stats
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "SolverPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._executor
+
+    # -- solving ------------------------------------------------------
+
+    def solve(self, subproblems: Sequence[Subproblem]) -> Dict[str, SubproblemSolution]:
+        """Solve every subproblem; results keyed by subject id, input order."""
+        solutions, _ = self.solve_with_diagnostics(subproblems)
+        return solutions
+
+    def solve_with_diagnostics(
+        self, subproblems: Sequence[Subproblem]
+    ) -> Tuple[Dict[str, SubproblemSolution], Dict[str, SolveDiagnostics]]:
+        """Solve every subproblem and report per-subject provenance.
+
+        Returns:
+            ``(solutions, diagnostics)`` — both keyed by subject id in
+            the input order, regardless of which process finished when.
+        """
+        seen = set()
+        for subproblem in subproblems:
+            if subproblem.subject_id in seen:
+                raise ServingError(
+                    f"duplicate subject_id {subproblem.subject_id!r}"
+                )
+            seen.add(subproblem.subject_id)
+
+        fingerprints = self.fingerprints(subproblems)
+        designs, cache_hits = self.solve_designs(subproblems, fingerprints)
+
+        solutions: Dict[str, SubproblemSolution] = {}
+        diagnostics: Dict[str, SolveDiagnostics] = {}
+        for subproblem, fingerprint, design, hit in zip(
+            subproblems, fingerprints, designs, cache_hits
+        ):
+            solutions[subproblem.subject_id] = SubproblemSolution(
+                subproblem=subproblem, result=design
+            )
+            diagnostics[subproblem.subject_id] = SolveDiagnostics(
+                fingerprint=fingerprint, cache_hit=hit
+            )
+        return solutions, diagnostics
+
+    def fingerprints(self, subproblems: Sequence[Subproblem]) -> List[str]:
+        """Design fingerprints of the subproblems under this pool's config."""
+        return [
+            subproblem_fingerprint(subproblem, mu=self.mu, config=self.config)
+            for subproblem in subproblems
+        ]
+
+    def solve_designs(
+        self,
+        subproblems: Sequence[Subproblem],
+        fingerprints: Optional[Sequence[str]] = None,
+    ) -> Tuple[List[DesignResult], List[bool]]:
+        """Designs aligned with the input order, plus cache-hit flags.
+
+        This is the serving core: requests may repeat fingerprints (and
+        even subject ids — the server batches arbitrary request streams);
+        each unique fingerprint is resolved once via cache lookup or a
+        (possibly pooled) fresh solve, then fanned back out.
+
+        Returns:
+            ``(designs, cache_hits)``, both parallel to ``subproblems``.
+        """
+        started = self.stats.now() if self.stats is not None else 0.0
+        if fingerprints is None:
+            fingerprints = self.fingerprints(subproblems)
+        if len(fingerprints) != len(subproblems):
+            raise ServingError(
+                f"got {len(fingerprints)} fingerprints for "
+                f"{len(subproblems)} subproblems"
+            )
+
+        # Group requests by solve key.  With dedup on, the key is the
+        # fingerprint itself; with dedup off each request is its own
+        # group (but still shares the cache via the fingerprint).
+        groups: Dict[Tuple[str, int], int] = {}
+        for index, fingerprint in enumerate(fingerprints):
+            key = (fingerprint, 0 if self.dedupe else index)
+            groups.setdefault(key, index)
+
+        results: Dict[Tuple[str, int], DesignResult] = {}
+        hit_keys: List[Tuple[str, int]] = []
+        misses: List[Tuple[Tuple[str, int], Subproblem]] = []
+        for key, first_index in groups.items():
+            cached = (
+                self.cache.get_design(key[0]) if self.cache is not None else None
+            )
+            if cached is not None:
+                results[key] = cached
+                hit_keys.append(key)
+            else:
+                misses.append((key, subproblems[first_index]))
+
+        fresh = self._solve_unique([subproblem for _, subproblem in misses])
+        for (key, _), result in zip(misses, fresh):
+            results[key] = result
+            if self.cache is not None:
+                self.cache.put_design(key[0], result)
+
+        for key in hit_keys:
+            representative = subproblems[groups[key]]
+            maybe_verify_cached(
+                key[0],
+                results[key],
+                lambda subproblem=representative: _solve_chunk(
+                    ((subproblem,), self.mu, self.config)
+                )[0],
+                stats=self.cache.stats if self.cache is not None else None,
+            )
+
+        hit_set = set(hit_keys)
+        designs: List[DesignResult] = []
+        cache_hits: List[bool] = []
+        for index, fingerprint in enumerate(fingerprints):
+            key = (fingerprint, 0 if self.dedupe else index)
+            designs.append(results[key])
+            cache_hits.append(key in hit_set)
+
+        if self.stats is not None:
+            self.stats.record_batch(
+                n_requests=len(subproblems),
+                n_unique=len(groups),
+                n_cache_hits=len(hit_keys),
+                duration=self.stats.now() - started,
+            )
+        return designs, cache_hits
+
+    def _solve_unique(self, subproblems: List[Subproblem]) -> List[DesignResult]:
+        """Solve the unique (cache-missed) subproblems, preserving order."""
+        if not subproblems:
+            return []
+        if self.n_workers == 0 or len(subproblems) == 1:
+            return _solve_chunk((tuple(subproblems), self.mu, self.config))
+
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = max(
+                1, math.ceil(len(subproblems) / (4 * self.n_workers))
+            )
+        chunks = [
+            tuple(subproblems[start : start + chunk_size])
+            for start in range(0, len(subproblems), chunk_size)
+        ]
+        executor = self._ensure_executor()
+        futures: List["Future[List[DesignResult]]"] = [
+            executor.submit(_solve_chunk, (chunk, self.mu, self.config))
+            for chunk in chunks
+        ]
+        results: List[DesignResult] = []
+        for index, future in enumerate(futures):
+            try:
+                results.extend(future.result(timeout=self.timeout))
+            except FuturesTimeoutError:
+                for pending in futures[index:]:
+                    pending.cancel()
+                raise ServingError(
+                    f"solver-pool task {index + 1}/{len(futures)} exceeded "
+                    f"its {self.timeout!r}s timeout"
+                ) from None
+        return results
+
+
+def solve_subproblems_parallel(
+    subproblems: Sequence[Subproblem],
+    mu: float = 1.0,
+    config: Optional[DesignerConfig] = None,
+    n_workers: int = 2,
+    chunk_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    cache: Optional[ContractCache] = None,
+    dedupe: bool = True,
+) -> Dict[str, SubproblemSolution]:
+    """One-shot pooled solve (spawns and tears down a :class:`SolverPool`).
+
+    Call sites that solve repeatedly (policies, servers) should hold a
+    :class:`SolverPool` instead, amortizing process start-up.
+    """
+    with SolverPool(
+        n_workers=n_workers,
+        mu=mu,
+        config=config,
+        chunk_size=chunk_size,
+        timeout=timeout,
+        cache=cache,
+        dedupe=dedupe,
+    ) as pool:
+        return pool.solve(subproblems)

@@ -1,0 +1,262 @@
+"""Asyncio in-process marketplace front-end for contract requests.
+
+The :class:`ContractServer` models the requester side of a high-traffic
+marketplace: workers (or the simulation engine on their behalf) submit
+contract requests concurrently; the server
+
+1. **applies backpressure** — requests enter a bounded queue, and
+   ``submit`` suspends the caller once ``max_pending`` requests are in
+   flight (overload slows producers down instead of growing memory);
+2. **batches** — a batcher task drains the queue up to ``max_batch``
+   requests or ``batch_window`` seconds, whichever comes first;
+3. **dedups and solves** — each batch is grouped by subproblem
+   fingerprint and resolved through the shared
+   :class:`~repro.serving.pool.SolverPool` (cache first, then fresh
+   solves, optionally across processes);
+4. **streams results** — every request's future resolves as soon as its
+   batch completes; :meth:`stream` yields results in completion order.
+
+The server is deliberately in-process (an asyncio component, not a
+network daemon): the simulation engine, the CLI and the benchmarks all
+embed it directly, and a transport layer can wrap ``submit`` later
+without touching the batching core.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple
+
+from ..core.decomposition import Subproblem, SubproblemSolution
+from ..core.designer import DesignerConfig, DesignResult
+from ..errors import ServingError
+from .cache import ContractCache
+from .pool import SolverPool
+from .stats import ServingStats
+
+__all__ = ["ContractRequest", "ContractServer"]
+
+
+@dataclass
+class ContractRequest:
+    """One queued contract request (internal bookkeeping).
+
+    Attributes:
+        subproblem: the design subproblem to serve.
+        future: resolves with the :class:`DesignResult`.
+        enqueued_at: stats-clock timestamp at submission.
+    """
+
+    subproblem: Subproblem
+    future: "asyncio.Future[DesignResult]"
+    enqueued_at: float
+
+
+class ContractServer:
+    """Batched, cached, backpressured contract service.
+
+    Args:
+        mu: the requester's compensation weight.
+        config: designer configuration shared by all requests.
+        n_workers: solver-pool processes (``0``: in-process solving).
+        cache: contract cache shared across batches; one is created
+            when ``None``.
+        max_pending: bound of the request queue (backpressure limit).
+        max_batch: most requests fulfilled per batch.
+        batch_window: seconds the batcher waits to fill a batch after
+            the first request arrives.
+        stats: serving counters; one is created when ``None``.
+    """
+
+    def __init__(
+        self,
+        mu: float = 1.0,
+        config: Optional[DesignerConfig] = None,
+        n_workers: int = 0,
+        cache: Optional[ContractCache] = None,
+        max_pending: int = 1024,
+        max_batch: int = 64,
+        batch_window: float = 0.002,
+        stats: Optional[ServingStats] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ServingError(f"max_pending must be >= 1, got {max_pending!r}")
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {max_batch!r}")
+        if batch_window < 0.0:
+            raise ServingError(
+                f"batch_window must be >= 0, got {batch_window!r}"
+            )
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.stats = stats if stats is not None else ServingStats()
+        self.cache = cache if cache is not None else ContractCache()
+        self.pool = SolverPool(
+            n_workers=n_workers,
+            mu=mu,
+            config=config,
+            cache=self.cache,
+            stats=self.stats,
+        )
+        # Created lazily inside the running loop: binding the queue to
+        # whatever loop exists at construction time breaks on Python 3.9,
+        # where Queue captures the loop eagerly.
+        self._queue: "Optional[asyncio.Queue[ContractRequest]]" = None
+        self._batcher: "Optional[asyncio.Task[None]]" = None
+
+    def _ensure_queue(self) -> "asyncio.Queue[ContractRequest]":
+        if self._queue is None:
+            self._queue = asyncio.Queue(maxsize=self.max_pending)
+        return self._queue
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the batcher task is active."""
+        return self._batcher is not None and not self._batcher.done()
+
+    async def start(self) -> None:
+        """Start the batcher task (idempotent)."""
+        if not self.running:
+            self._batcher = asyncio.get_running_loop().create_task(
+                self._run_batcher()
+            )
+
+    async def stop(self) -> None:
+        """Stop the batcher; pending requests fail with ServingError."""
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        while self._queue is not None and not self._queue.empty():
+            request = self._queue.get_nowait()
+            if not request.future.done():
+                request.future.set_exception(
+                    ServingError("contract server stopped with pending requests")
+                )
+        self.pool.close()
+
+    async def __aenter__(self) -> "ContractServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # -- request paths ------------------------------------------------
+
+    async def submit(self, subproblem: Subproblem) -> DesignResult:
+        """Serve one contract request (suspends under backpressure)."""
+        future = await self.enqueue(subproblem)
+        return await future
+
+    async def enqueue(
+        self, subproblem: Subproblem
+    ) -> "asyncio.Future[DesignResult]":
+        """Queue a request and return its result future.
+
+        ``await``-ing the returned future yields the design.  The
+        ``put`` below is where backpressure bites: with ``max_pending``
+        requests already queued, the submitter is suspended until the
+        batcher drains capacity.
+        """
+        loop = asyncio.get_running_loop()
+        request = ContractRequest(
+            subproblem=subproblem,
+            future=loop.create_future(),
+            enqueued_at=self.stats.now(),
+        )
+        await self._ensure_queue().put(request)
+        return request.future
+
+    async def solve_population(
+        self, subproblems: Sequence[Subproblem]
+    ) -> Dict[str, SubproblemSolution]:
+        """Serve one request per subject; results keyed by subject id."""
+        futures = [await self.enqueue(subproblem) for subproblem in subproblems]
+        designs = await asyncio.gather(*futures)
+        return {
+            subproblem.subject_id: SubproblemSolution(
+                subproblem=subproblem, result=design
+            )
+            for subproblem, design in zip(subproblems, designs)
+        }
+
+    async def stream(
+        self, subproblems: Sequence[Subproblem]
+    ) -> AsyncIterator[Tuple[str, DesignResult]]:
+        """Yield ``(subject_id, design)`` pairs in completion order."""
+        pending: Dict[
+            "asyncio.Future[DesignResult]", str
+        ] = {}
+        for subproblem in subproblems:
+            future = await self.enqueue(subproblem)
+            pending[future] = subproblem.subject_id
+        remaining = set(pending)
+        while remaining:
+            done, remaining = await asyncio.wait(
+                remaining, return_when=asyncio.FIRST_COMPLETED
+            )
+            for future in done:
+                yield pending[future], future.result()
+
+    # -- batching core ------------------------------------------------
+
+    async def _collect_batch(self) -> List[ContractRequest]:
+        """Block for the first request, then drain up to the batch bound."""
+        loop = asyncio.get_running_loop()
+        queue = self._ensure_queue()
+        batch = [await queue.get()]
+        deadline = loop.time() + self.batch_window
+        while len(batch) < self.max_batch:
+            remaining = deadline - loop.time()
+            if remaining <= 0.0:
+                break
+            try:
+                batch.append(
+                    await asyncio.wait_for(queue.get(), timeout=remaining)
+                )
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    async def _run_batcher(self) -> None:
+        while True:
+            batch = await self._collect_batch()
+            await self._serve_batch(batch)
+
+    async def _serve_batch(self, batch: List[ContractRequest]) -> None:
+        """Resolve one batch through the pool off the event loop."""
+        loop = asyncio.get_running_loop()
+        subproblems = [request.subproblem for request in batch]
+        try:
+            # The pool call blocks (it may fan out to processes), so it
+            # runs in the default executor to keep the loop serving
+            # submissions — that concurrency is what lets the next batch
+            # accumulate while this one solves.
+            designs, _ = await loop.run_in_executor(
+                None, self.pool.solve_designs, subproblems
+            )
+        except Exception as error:  # noqa: BLE001 - fan failure out to callers
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServingError(f"batch solve failed: {error}")
+                    )
+            return
+        finished = self.stats.now()
+        for request, design in zip(batch, designs):
+            if not request.future.done():
+                request.future.set_result(design)
+        # Batch counters (requests / unique / hits / duration) were
+        # booked by the pool inside solve_designs; only the end-to-end
+        # request latencies are known here.
+        self.stats.record_latencies(
+            [finished - request.enqueued_at for request in batch]
+        )

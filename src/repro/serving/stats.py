@@ -1,0 +1,150 @@
+"""Latency / throughput / cache counters for the serving layer.
+
+One :class:`ServingStats` instance is threaded through the solver pool
+and the marketplace server; the ``repro serve`` / ``repro solve`` CLI
+surfaces its snapshot.  Latencies are kept in a bounded deque (the most
+recent ``max_samples`` observations) and summarized with the same
+:func:`repro.metrics.percentiles.summarize` helper the Fig. 8
+experiments use, so "p95 request latency" here and "p95 compensation"
+there mean the same thing.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..errors import ServingError
+from ..metrics.percentiles import summarize
+
+__all__ = ["ServingStats"]
+
+
+class ServingStats:
+    """Accumulates serving-side counters and latency samples.
+
+    Args:
+        clock: monotonic time source in seconds (injectable for tests).
+        max_samples: bound on retained latency samples; older samples
+            fall off so long-running servers report recent behaviour.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        max_samples: int = 4096,
+    ) -> None:
+        if max_samples < 1:
+            raise ServingError(f"max_samples must be >= 1, got {max_samples!r}")
+        self._clock = clock
+        self.started_at = clock()
+        self.requests = 0
+        self.batches = 0
+        self.unique_solves = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.request_latencies: Deque[float] = deque(maxlen=max_samples)
+        self.batch_latencies: Deque[float] = deque(maxlen=max_samples)
+
+    def now(self) -> float:
+        """The stats clock (callers use it to stamp enqueue times)."""
+        return self._clock()
+
+    def record_batch(
+        self,
+        n_requests: int,
+        n_unique: int,
+        n_cache_hits: int,
+        duration: float,
+        request_latencies: Optional[List[float]] = None,
+    ) -> None:
+        """Book one served batch.
+
+        Args:
+            n_requests: requests fulfilled by the batch (duplicates and
+                cache hits included).
+            n_unique: distinct fingerprints the batch contained.
+            n_cache_hits: fingerprints answered from the cache.
+            duration: wall-clock seconds to fulfil the whole batch.
+            request_latencies: optional per-request enqueue-to-reply
+                latencies.
+        """
+        if n_requests < 0 or n_unique < 0 or n_cache_hits < 0:
+            raise ServingError("batch counters must be non-negative")
+        if n_cache_hits > n_unique or n_unique > n_requests:
+            raise ServingError(
+                f"inconsistent batch counters: requests={n_requests}, "
+                f"unique={n_unique}, cache_hits={n_cache_hits}"
+            )
+        self.requests += n_requests
+        self.batches += 1
+        self.unique_solves += n_unique - n_cache_hits
+        self.cache_hits += n_cache_hits
+        self.cache_misses += n_unique - n_cache_hits
+        self.batch_latencies.append(max(duration, 0.0))
+        if request_latencies:
+            self.record_latencies(request_latencies)
+
+    def record_latencies(self, latencies: List[float]) -> None:
+        """Book per-request enqueue-to-reply latencies (seconds)."""
+        for latency in latencies:
+            self.request_latencies.append(max(latency, 0.0))
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since this stats object was created."""
+        return max(self._clock() - self.started_at, 0.0)
+
+    @property
+    def throughput(self) -> float:
+        """Fulfilled requests per second since creation."""
+        elapsed = self.elapsed
+        return self.requests / elapsed if elapsed > 0.0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of unique lookups answered from the cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of requests collapsed onto another request's solve."""
+        if self.requests == 0:
+            return 0.0
+        distinct = self.cache_hits + self.cache_misses
+        return 1.0 - distinct / self.requests
+
+    def snapshot(self) -> Dict[str, float]:
+        """All counters and derived rates as a flat dict."""
+        snapshot: Dict[str, float] = {
+            "requests": float(self.requests),
+            "batches": float(self.batches),
+            "unique_solves": float(self.unique_solves),
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "cache_hit_rate": self.hit_rate,
+            "dedup_rate": self.dedup_rate,
+            "elapsed_s": self.elapsed,
+            "throughput_rps": self.throughput,
+        }
+        if self.request_latencies:
+            summary = summarize(list(self.request_latencies))
+            snapshot["request_latency_mean_s"] = summary.mean
+            snapshot["request_latency_p95_s"] = summary.p95
+        if self.batch_latencies:
+            summary = summarize(list(self.batch_latencies))
+            snapshot["batch_latency_mean_s"] = summary.mean
+            snapshot["batch_latency_p95_s"] = summary.p95
+        return snapshot
+
+    def format(self) -> str:
+        """Console rendering of the snapshot (``repro serve`` output)."""
+        lines = ["-- serving stats --"]
+        for key, value in self.snapshot().items():
+            if key.endswith(("_rate", "_s")) or key == "throughput_rps":
+                lines.append(f"{key:>24}: {value:.4f}")
+            else:
+                lines.append(f"{key:>24}: {int(value)}")
+        return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Synthetic serving workloads: large populations of design subproblems.
+
+The trace-driven population builder (:mod:`repro.workers.population`)
+materializes a full review marketplace — ideal for the paper's
+experiments, heavyweight for serving benchmarks and smoke tests.  This
+module generates populations of :class:`~repro.core.decomposition.Subproblem`
+directly, with the structure real marketplaces exhibit: workers cluster
+into a limited number of *archetypes* (the Section IV-B class-level fits
+mean many workers share one effort function, parameter set and weight
+bucket), so a round of N requests contains far fewer than N unique
+subproblems.  That clustering is exactly what the serving layer's
+fingerprint dedup and contract cache exploit.
+
+All sampling is driven by an explicitly seeded generator, so a workload
+is a pure function of its arguments — the benchmarks' byte-identical
+comparisons depend on that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.decomposition import Subproblem
+from ..core.effort import QuadraticEffort
+from ..errors import ServingError
+from ..types import WorkerParameters
+
+__all__ = ["synthetic_subproblems"]
+
+
+def synthetic_subproblems(
+    n_subjects: int,
+    n_archetypes: int = 16,
+    seed: int = 0,
+    malicious_fraction: float = 0.25,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Subproblem]:
+    """Generate a synthetic subproblem population for serving workloads.
+
+    Args:
+        n_subjects: total subjects (workers) in the population.
+        n_archetypes: distinct worker archetypes; subjects are drawn
+            from these uniformly, so expect roughly
+            ``n_subjects / n_archetypes`` subjects per unique
+            fingerprint.  Set ``n_archetypes == n_subjects`` for a fully
+            heterogeneous population (every solve unique).
+        seed: seed for the archetype and assignment draws.
+        malicious_fraction: probability an archetype is malicious
+            (``omega > 0``).
+        rng: optional pre-seeded generator (overrides ``seed``).
+
+    Returns:
+        ``n_subjects`` subproblems with unique subject ids, in a
+        deterministic order.
+    """
+    if n_subjects < 1:
+        raise ServingError(f"n_subjects must be >= 1, got {n_subjects!r}")
+    if not 1 <= n_archetypes <= n_subjects:
+        raise ServingError(
+            f"n_archetypes must lie in [1, n_subjects], got {n_archetypes!r}"
+        )
+    if not 0.0 <= malicious_fraction <= 1.0:
+        raise ServingError(
+            f"malicious_fraction must lie in [0, 1], got {malicious_fraction!r}"
+        )
+    generator = rng if rng is not None else np.random.default_rng(seed)
+
+    archetypes: List[dict] = []
+    for _ in range(n_archetypes):
+        r2 = -float(generator.uniform(0.3, 1.2))
+        r1 = float(generator.uniform(6.0, 14.0))
+        r0 = float(generator.uniform(0.0, 2.0))
+        beta = float(generator.uniform(0.8, 1.5))
+        malicious = bool(generator.random() < malicious_fraction)
+        params = (
+            WorkerParameters.malicious(
+                beta=beta, omega=float(generator.uniform(0.2, 0.5))
+            )
+            if malicious
+            else WorkerParameters.honest(beta=beta)
+        )
+        psi = QuadraticEffort(r2=r2, r1=r1, r0=r0)
+        archetypes.append(
+            {
+                "effort_function": psi,
+                "params": params,
+                "feedback_weight": float(generator.uniform(0.5, 2.0)),
+                "max_effort": 0.8 * psi.max_increasing_effort,
+            }
+        )
+
+    # Every archetype appears at least once; the rest of the population
+    # is assigned uniformly at random (deterministic under the seed).
+    assignments = list(range(n_archetypes))
+    assignments.extend(
+        int(index)
+        for index in generator.integers(
+            0, n_archetypes, size=n_subjects - n_archetypes
+        )
+    )
+
+    subproblems: List[Subproblem] = []
+    for subject_index, archetype_index in enumerate(assignments):
+        archetype = archetypes[archetype_index]
+        subproblems.append(
+            Subproblem(
+                subject_id=f"w{subject_index:05d}",
+                effort_function=archetype["effort_function"],
+                params=archetype["params"],
+                feedback_weight=archetype["feedback_weight"],
+                max_effort=archetype["max_effort"],
+            )
+        )
+    return subproblems

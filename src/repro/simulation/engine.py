@@ -131,6 +131,7 @@ class MarketplaceSimulation:
                     policy_weight=believed,
                 )
                 continue
+            diagnostics = self.policy.solve_diagnostics(subject_id)
             contract = self._contracts[subject_id]
             response = agent.respond(contract)
             realized = agent.realize_feedback(response.effort, rng=self._rng)
@@ -159,6 +160,12 @@ class MarketplaceSimulation:
                 rating_deviation=agent.rating_deviation(rng=self._rng),
                 policy_weight=believed,
                 worker_utility=realized_worker_utility,
+                fingerprint=(
+                    diagnostics.fingerprint if diagnostics is not None else None
+                ),
+                cache_hit=(
+                    diagnostics.cache_hit if diagnostics is not None else None
+                ),
             )
             outcomes[subject_id] = outcome
             benefit += outcome.requester_value

@@ -43,6 +43,13 @@ class SubjectRoundOutcome:
         worker_utility: the subject's *realized* utility this round
             (``pay + omega * feedback - beta * effort``), the quantity
             retention decisions hinge on.
+        fingerprint: the serving-layer design fingerprint of the posted
+            contract (``None`` when the contract did not come through
+            the serving layer).  Lets replays re-derive the subproblem
+            and verify the recorded payments against a fresh solve.
+        cache_hit: whether the posted contract came from the contract
+            cache rather than a fresh solve (``None`` off the serving
+            path).
     """
 
     subject_id: str
@@ -56,6 +63,8 @@ class SubjectRoundOutcome:
     rating_deviation: float = 0.0
     policy_weight: Optional[float] = None
     worker_utility: float = 0.0
+    fingerprint: Optional[str] = None
+    cache_hit: Optional[bool] = None
 
     @property
     def believed_weight(self) -> float:
@@ -170,6 +179,25 @@ class SimulationLedger:
             wt: (float(np.mean(values)) if values else 0.0)
             for wt, values in totals.items()
         }
+
+    def cache_hit_rate(self) -> Optional[float]:
+        """Fraction of served (non-excluded) contracts that were cache hits.
+
+        ``None`` when no outcome carries serving provenance (the run
+        never went through the serving layer).
+        """
+        hits = 0
+        served = 0
+        for record in self._records:
+            for outcome in record.outcomes.values():
+                if outcome.cache_hit is None:
+                    continue
+                served += 1
+                if outcome.cache_hit:
+                    hits += 1
+        if served == 0:
+            return None
+        return hits / served
 
     def summary(self) -> Dict[str, float]:
         """Headline totals for quick comparisons."""

@@ -22,6 +22,8 @@ from ..core.decomposition import SubproblemSolution, solve_subproblems
 from ..core.designer import DesignerConfig
 from ..errors import SimulationError
 from .ledger import RoundRecord
+from ..serving.cache import ContractCache
+from ..serving.pool import SolveDiagnostics, SolverPool
 from ..workers.population import PopulationModel
 
 __all__ = ["PaymentPolicy", "DynamicContractPolicy", "ExclusionPolicy", "FixedPaymentPolicy"]
@@ -53,6 +55,17 @@ class PaymentPolicy(abc.ABC):
         the :class:`~repro.simulation.ledger.RoundRecord`.
         """
 
+    def solve_diagnostics(self, subject_id: str) -> Optional[SolveDiagnostics]:
+        """Serving provenance of the subject's current contract.
+
+        ``None`` (the default) means the contract did not come through
+        the serving layer; policies routed through a
+        :class:`~repro.serving.pool.SolverPool` report the design
+        fingerprint and cache-hit flag, which the engine writes into the
+        round ledger for replay verification.
+        """
+        return None
+
 
 class DynamicContractPolicy(PaymentPolicy):
     """The paper's dynamic contract design (Sections III-IV).
@@ -60,7 +73,13 @@ class DynamicContractPolicy(PaymentPolicy):
     Args:
         mu: the requester's compensation weight.
         config: designer configuration.
-        max_workers: parallelism across the independent subproblems.
+        max_workers: thread parallelism across the independent
+            subproblems on the in-process path.
+        parallel: solver-pool process fan-out; any positive value routes
+            the per-round solves through :class:`~repro.serving.pool.SolverPool`.
+        cache: an optional shared contract cache.  Supplying one (even
+            with ``parallel=0``) also routes through the serving layer so
+            repeat subproblems across rounds are deduplicated.
     """
 
     def __init__(
@@ -68,26 +87,68 @@ class DynamicContractPolicy(PaymentPolicy):
         mu: float = 1.0,
         config: Optional[DesignerConfig] = None,
         max_workers: int = 1,
+        parallel: int = 0,
+        cache: Optional[ContractCache] = None,
     ) -> None:
         if mu <= 0.0:
             raise SimulationError(f"mu must be positive, got {mu!r}")
+        if parallel < 0:
+            raise SimulationError(f"parallel must be >= 0, got {parallel!r}")
         self.mu = mu
         self.config = config
         self.max_workers = max_workers
+        self.parallel = parallel
+        self.cache = cache
+        self._pool: Optional[SolverPool] = None
         self._solutions: Optional[Dict[str, SubproblemSolution]] = None
+        self._diagnostics: Dict[str, SolveDiagnostics] = {}
+
+    @property
+    def uses_serving(self) -> bool:
+        """Whether per-round solves route through the serving layer."""
+        return self.parallel > 0 or self.cache is not None
+
+    def _serving_pool(self) -> SolverPool:
+        if self._pool is None:
+            self._pool = SolverPool(
+                n_workers=self.parallel,
+                mu=self.mu,
+                config=self.config,
+                cache=self.cache if self.cache is not None else ContractCache(),
+            )
+            if self.cache is None:
+                self.cache = self._pool.cache
+        return self._pool
 
     def contracts(self, population: PopulationModel) -> Dict[str, Contract]:
-        solutions = solve_subproblems(
-            population.subproblems,
-            mu=self.mu,
-            config=self.config,
-            max_workers=self.max_workers,
-        )
+        if self.uses_serving:
+            pool = self._serving_pool()
+            solutions, diagnostics = pool.solve_with_diagnostics(
+                population.subproblems
+            )
+            self._diagnostics = diagnostics
+        else:
+            solutions = solve_subproblems(
+                population.subproblems,
+                mu=self.mu,
+                config=self.config,
+                max_workers=self.max_workers,
+            )
+            self._diagnostics = {}
         self._solutions = solutions
         return {
             subject_id: solution.result.contract
             for subject_id, solution in solutions.items()
         }
+
+    def solve_diagnostics(self, subject_id: str) -> Optional[SolveDiagnostics]:
+        return self._diagnostics.get(subject_id)
+
+    def close(self) -> None:
+        """Shut down the serving pool, if one was created."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     @property
     def last_solutions(self) -> Optional[Dict[str, SubproblemSolution]]:
@@ -134,6 +195,9 @@ class ExclusionPolicy(PaymentPolicy):
             for subject_id, contract in inner_contracts.items()
             if subject_id not in excluded
         }
+
+    def solve_diagnostics(self, subject_id: str) -> Optional[SolveDiagnostics]:
+        return self.inner.solve_diagnostics(subject_id)
 
 
 class FixedPaymentPolicy(PaymentPolicy):

@@ -1,0 +1,126 @@
+"""Tests for the canonical subproblem fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DesignerConfig, QuadraticEffort, Subproblem
+from repro.errors import ServingError
+from repro.serving import design_fingerprint, subproblem_fingerprint
+from repro.serving.fingerprint import FINGERPRINT_VERSION, canonical_float
+from repro.types import WorkerParameters
+
+
+@pytest.fixture
+def psi():
+    return QuadraticEffort(r2=-0.5, r1=10.0, r0=1.0)
+
+
+def _subproblem(psi, subject_id="w0", feedback_weight=1.0, **kwargs):
+    return Subproblem(
+        subject_id=subject_id,
+        effort_function=psi,
+        params=WorkerParameters.honest(beta=1.0),
+        feedback_weight=feedback_weight,
+        **kwargs,
+    )
+
+
+class TestCanonicalFloat:
+    def test_round_trips_exactly(self):
+        for value in (0.0, -0.0, 1.0 / 3.0, 1e-300, 12345.6789):
+            assert float.fromhex(canonical_float(value)) == float(value)
+
+    def test_int_and_float_agree(self):
+        assert canonical_float(3) == canonical_float(3.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ServingError):
+            canonical_float(float("nan"))
+
+
+class TestDesignFingerprint:
+    def test_stable_across_calls(self, psi):
+        grid = DesignerConfig().grid_for(psi)
+        params = WorkerParameters.honest(beta=1.0)
+        first = design_fingerprint(psi, params, grid, mu=1.0)
+        second = design_fingerprint(psi, params, grid, mu=1.0)
+        assert first == second
+
+    def test_versioned_and_compact(self, psi):
+        grid = DesignerConfig().grid_for(psi)
+        fingerprint = design_fingerprint(
+            psi, WorkerParameters.honest(beta=1.0), grid
+        )
+        prefix, digest = fingerprint.split(":")
+        assert prefix == FINGERPRINT_VERSION
+        assert len(digest) == 16
+        int(digest, 16)  # hex digits only
+
+    def test_every_field_is_significant(self, psi):
+        grid = DesignerConfig().grid_for(psi)
+        params = WorkerParameters.honest(beta=1.0)
+        base = design_fingerprint(psi, params, grid, mu=1.0, feedback_weight=1.0)
+        variants = [
+            design_fingerprint(
+                QuadraticEffort(r2=-0.4, r1=10.0, r0=1.0), params, grid
+            ),
+            design_fingerprint(psi, WorkerParameters.honest(beta=1.5), grid),
+            design_fingerprint(psi, params, grid, mu=2.0),
+            design_fingerprint(psi, params, grid, feedback_weight=0.5),
+            design_fingerprint(psi, params, grid, base_pay=0.1),
+            design_fingerprint(psi, params, grid, min_utility=0.1),
+            design_fingerprint(
+                psi,
+                WorkerParameters.malicious(beta=1.0, omega=0.3),
+                grid,
+            ),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_worker_class_disambiguates_equal_numbers(self, psi):
+        grid = DesignerConfig().grid_for(psi)
+        honest = WorkerParameters.honest(beta=1.0)
+        malicious = WorkerParameters.malicious(beta=1.0, omega=0.0)
+        assert design_fingerprint(psi, honest, grid) != design_fingerprint(
+            psi, malicious, grid
+        )
+
+
+class TestSubproblemFingerprint:
+    def test_subject_identity_excluded(self, psi):
+        """Two workers with identical design inputs share a fingerprint."""
+        a = _subproblem(psi, subject_id="alice")
+        b = _subproblem(psi, subject_id="bob")
+        assert subproblem_fingerprint(a) == subproblem_fingerprint(b)
+
+    def test_weight_included(self, psi):
+        a = _subproblem(psi, feedback_weight=1.0)
+        b = _subproblem(psi, feedback_weight=1.1)
+        assert subproblem_fingerprint(a) != subproblem_fingerprint(b)
+
+    def test_max_effort_changes_grid_and_fingerprint(self, psi):
+        unbounded = _subproblem(psi)
+        capped = _subproblem(psi, max_effort=2.0)
+        assert subproblem_fingerprint(unbounded) != subproblem_fingerprint(capped)
+
+    def test_config_resolution_matches_explicit_grid(self, psi):
+        subproblem = _subproblem(psi)
+        config = DesignerConfig(n_intervals=7)
+        grid = config.grid_for(psi, max_effort=None)
+        explicit = design_fingerprint(
+            psi,
+            subproblem.params,
+            grid,
+            base_pay=config.base_pay,
+            min_utility=config.min_utility,
+            mu=1.3,
+            feedback_weight=subproblem.feedback_weight,
+        )
+        assert subproblem_fingerprint(subproblem, mu=1.3, config=config) == explicit
+
+    def test_mu_included(self, psi):
+        subproblem = _subproblem(psi)
+        assert subproblem_fingerprint(
+            subproblem, mu=1.0
+        ) != subproblem_fingerprint(subproblem, mu=0.9)

@@ -1,0 +1,155 @@
+"""Tests for the asyncio contract-serving front-end."""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+
+import pytest
+
+from repro.core import solve_subproblems
+from repro.errors import ServingError
+from repro.serving import ContractCache, ContractServer
+from repro.serving.workload import synthetic_subproblems
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_subproblems(n_subjects=18, n_archetypes=4, seed=19)
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestServerLifecycle:
+    def test_context_manager_starts_and_stops(self, workload):
+        async def scenario():
+            async with ContractServer() as server:
+                assert server.running
+                result = await server.submit(workload[0])
+            assert not server.running
+            return result
+
+        result = _run(scenario())
+        assert result.hired
+
+    def test_start_is_idempotent(self):
+        async def scenario():
+            server = ContractServer()
+            await server.start()
+            batcher = server._batcher
+            await server.start()
+            assert server._batcher is batcher
+            await server.stop()
+
+        _run(scenario())
+
+    def test_stop_fails_queued_requests(self, workload):
+        async def scenario():
+            server = ContractServer()
+            # Never started: the request stays queued until stop().
+            future = await server.enqueue(workload[0])
+            await server.stop()
+            with pytest.raises(ServingError):
+                await future
+
+        _run(scenario())
+
+
+class TestServerSolving:
+    def test_population_matches_serial(self, workload):
+        serial = solve_subproblems(workload, mu=1.0)
+
+        async def scenario():
+            async with ContractServer() as server:
+                return await server.solve_population(workload)
+
+        served = _run(scenario())
+        assert list(served) == list(serial)
+        for subject_id in serial:
+            assert pickle.dumps(
+                served[subject_id].result.contract.compensations
+            ) == pickle.dumps(serial[subject_id].result.contract.compensations)
+
+    def test_batches_dedup_by_fingerprint(self, workload):
+        async def scenario():
+            async with ContractServer(max_batch=len(workload)) as server:
+                await server.solve_population(workload)
+                return server.stats
+
+        stats = _run(scenario())
+        assert stats.requests == len(workload)
+        # One big batch over 4 archetypes: far fewer solves than requests.
+        assert stats.unique_solves < stats.requests
+
+    def test_cache_shared_across_rounds(self, workload):
+        async def scenario():
+            cache = ContractCache()
+            async with ContractServer(cache=cache) as server:
+                await server.solve_population(workload)
+                await server.solve_population(workload)
+                return server.stats
+
+        stats = _run(scenario())
+        assert stats.cache_hits > 0
+        assert stats.hit_rate > 0.0
+
+    def test_stream_yields_every_subject(self, workload):
+        async def scenario():
+            seen = {}
+            async with ContractServer() as server:
+                async for subject_id, design in server.stream(workload):
+                    seen[subject_id] = design
+            return seen
+
+        seen = _run(scenario())
+        assert set(seen) == {entry.subject_id for entry in workload}
+
+    def test_request_latencies_recorded(self, workload):
+        async def scenario():
+            async with ContractServer() as server:
+                await server.solve_population(workload)
+                return server.stats
+
+        stats = _run(scenario())
+        assert len(stats.request_latencies) == len(workload)
+        assert all(latency >= 0.0 for latency in stats.request_latencies)
+
+
+class TestBackpressure:
+    def test_enqueue_suspends_when_queue_full(self, workload):
+        async def scenario():
+            server = ContractServer(max_pending=2)
+            # Batcher not started: nothing drains the queue.
+            queued = [
+                await server.enqueue(workload[0]),
+                await server.enqueue(workload[1]),
+            ]
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(server.enqueue(workload[2]), timeout=0.05)
+            await server.stop()
+            for future in queued:
+                with pytest.raises(ServingError):
+                    await future
+
+        _run(scenario())
+
+    def test_max_batch_bounds_each_batch(self, workload):
+        async def scenario():
+            async with ContractServer(max_batch=5) as server:
+                await server.solve_population(workload)
+                return server.stats
+
+        stats = _run(scenario())
+        assert stats.batches >= len(workload) // 5
+
+
+class TestServerValidation:
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ServingError):
+            ContractServer(max_pending=0)
+        with pytest.raises(ServingError):
+            ContractServer(max_batch=0)
+        with pytest.raises(ServingError):
+            ContractServer(batch_window=-1.0)

@@ -1,0 +1,94 @@
+"""Tests for the serving-side counters and latency summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import ServingStats
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.time = 0.0
+
+    def __call__(self) -> float:
+        return self.time
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestCounters:
+    def test_batch_accounting(self, clock):
+        stats = ServingStats(clock=clock)
+        stats.record_batch(n_requests=10, n_unique=4, n_cache_hits=1, duration=0.5)
+        assert stats.requests == 10
+        assert stats.batches == 1
+        assert stats.unique_solves == 3
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 3
+        assert stats.hit_rate == pytest.approx(0.25)
+        assert stats.dedup_rate == pytest.approx(1.0 - 4 / 10)
+
+    def test_throughput_uses_injected_clock(self, clock):
+        stats = ServingStats(clock=clock)
+        stats.record_batch(n_requests=20, n_unique=20, n_cache_hits=0, duration=2.0)
+        clock.time = 2.0
+        assert stats.elapsed == pytest.approx(2.0)
+        assert stats.throughput == pytest.approx(10.0)
+
+    def test_idle_rates_are_zero(self, clock):
+        stats = ServingStats(clock=clock)
+        assert stats.hit_rate == 0.0
+        assert stats.dedup_rate == 0.0
+        assert stats.throughput == 0.0
+
+    def test_rejects_inconsistent_batches(self, clock):
+        stats = ServingStats(clock=clock)
+        with pytest.raises(ServingError):
+            stats.record_batch(n_requests=2, n_unique=3, n_cache_hits=0, duration=0.0)
+        with pytest.raises(ServingError):
+            stats.record_batch(n_requests=3, n_unique=2, n_cache_hits=3, duration=0.0)
+        with pytest.raises(ServingError):
+            stats.record_batch(n_requests=-1, n_unique=0, n_cache_hits=0, duration=0.0)
+
+
+class TestLatencies:
+    def test_bounded_samples(self, clock):
+        stats = ServingStats(clock=clock, max_samples=3)
+        stats.record_latencies([0.1, 0.2, 0.3, 0.4])
+        assert list(stats.request_latencies) == [0.2, 0.3, 0.4]
+
+    def test_negative_latencies_clamped(self, clock):
+        stats = ServingStats(clock=clock)
+        stats.record_latencies([-0.5])
+        assert list(stats.request_latencies) == [0.0]
+
+    def test_rejects_bad_max_samples(self):
+        with pytest.raises(ServingError):
+            ServingStats(max_samples=0)
+
+
+class TestSnapshot:
+    def test_latency_keys_appear_once_observed(self, clock):
+        stats = ServingStats(clock=clock)
+        assert "request_latency_mean_s" not in stats.snapshot()
+        stats.record_batch(
+            n_requests=2,
+            n_unique=2,
+            n_cache_hits=0,
+            duration=0.25,
+            request_latencies=[0.1, 0.3],
+        )
+        snapshot = stats.snapshot()
+        assert snapshot["request_latency_mean_s"] == pytest.approx(0.2)
+        assert snapshot["batch_latency_mean_s"] == pytest.approx(0.25)
+
+    def test_format_mentions_all_counters(self, clock):
+        stats = ServingStats(clock=clock)
+        rendered = stats.format()
+        for key in ("requests", "batches", "unique_solves", "cache_hit_rate"):
+            assert key in rendered
