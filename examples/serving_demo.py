@@ -14,7 +14,9 @@ contract requests three ways:
    rounds into dictionary lookups;
 3. through the asyncio :class:`repro.serving.ContractServer` — requests
    are batched, solved off the event loop and streamed back in
-   completion order, with backpressure bounding the request queue.
+   completion order, with backpressure bounding the request queue;
+4. once more with tracing on — ``repro.obs`` records the span tree
+   (batch -> designs) and renders the hottest-spans report.
 """
 
 from __future__ import annotations
@@ -67,9 +69,30 @@ async def streamed_round() -> None:
         print(server.stats.format())
 
 
+def traced_round() -> None:
+    """Trace one pooled round and render the repro.obs span report."""
+    from repro.obs.export import render_report, span_records
+    from repro.obs.trace import Tracer, set_tracer
+
+    tracer = Tracer(enabled=True)
+    previous = set_tracer(tracer)
+    try:
+        subproblems = synthetic_subproblems(
+            n_subjects=24, n_archetypes=6, seed=42
+        )
+        with SolverPool(n_workers=0) as pool:
+            pool.solve(subproblems)
+    finally:
+        set_tracer(previous)
+    print("the same round, traced (repro.obs):")
+    print(render_report(span_records(tracer), top=5), end="")
+
+
 def main() -> None:
     pooled_rounds()
     asyncio.run(streamed_round())
+    print()
+    traced_round()
 
 
 if __name__ == "__main__":

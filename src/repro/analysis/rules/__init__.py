@@ -18,6 +18,7 @@ from .repro005_bare_except import BareExceptRule
 from .repro006_dataclass_validation import DataclassValidationRule
 from .repro007_rng_determinism import RngDeterminismRule
 from .repro008_annotations import AnnotationsRule
+from .repro009_obs_discipline import ObsDisciplineRule
 
 __all__ = ["ALL_RULES", "RULES_BY_CODE", "get_rule"]
 
@@ -30,6 +31,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     DataclassValidationRule(),
     RngDeterminismRule(),
     AnnotationsRule(),
+    ObsDisciplineRule(),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,85 @@
+"""REPRO009 — ad-hoc timing/printing bypasses the observability layer.
+
+The hot pipeline packages (``core``, ``simulation``, ``serving``) are
+instrumented through :mod:`repro.obs`: spans carry monotonic timings,
+metrics carry counters, and every CLI/exporter reads from those.  A
+direct ``time.time()`` call or a stray ``print()`` in those packages
+leaks a second, invisible channel — wall-clock-affected timings that
+never reach a dump, and console output that corrupts machine-read
+stdout (``repro obs report`` pipes, Prometheus scrapes).
+
+Command-line front-ends (``*/cli.py``) are exempt: printing is their
+job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Diagnostic, LintContext, Rule
+
+__all__ = ["ObsDisciplineRule"]
+
+_PACKAGES = ("core/", "simulation/", "serving/")
+
+
+class ObsDisciplineRule(Rule):
+    code = "REPRO009"
+    name = "obs-discipline"
+    summary = (
+        "time.time()/print() in core//simulation//serving; use the "
+        "repro.obs tracer clock / exporters"
+    )
+    rationale = (
+        "The design pipeline, the marketplace simulation and the serving\n"
+        "layer are traced through repro.obs: Tracer.clock is the one\n"
+        "injectable monotonic time source (tests freeze it, dumps carry\n"
+        "it), and reports flow through the exporters.  time.time() is\n"
+        "wall-clock — NTP steps and DST make it jump, so latencies go\n"
+        "negative and span trees interleave wrongly; use\n"
+        "time.perf_counter() via the tracer/stats clock instead.  print()\n"
+        "in library code writes around the ledger, the stats snapshot and\n"
+        "the span dump, so whatever it says is lost to every consumer\n"
+        "that matters (and garbles piped `repro obs report` output).\n"
+        "CLI modules (*/cli.py) are exempt: rendering to stdout is their\n"
+        "purpose."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        if not relpath.startswith(_PACKAGES):
+            return False
+        return not relpath.endswith("/cli.py")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            offender = _undisciplined_call(node.func)
+            if offender == "print":
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "print() in pipeline code; return data or record it "
+                    "through repro.obs (metrics/spans), and render in cli.py",
+                )
+            elif offender == "time.time":
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "time.time() is wall-clock; use the injected obs clock "
+                    "(Tracer.clock / ServingStats.now, monotonic)",
+                )
+
+
+def _undisciplined_call(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name) and func.id == "print":
+        return "print"
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "time"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    ):
+        return "time.time"
+    return None

@@ -65,6 +65,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "0 = serial in-process path (default: 0)"
         ),
     )
+    from .obs.cli import add_obs_arguments, add_obs_out_argument
+
+    add_obs_out_argument(run_parser)
 
     report_parser = subparsers.add_parser(
         "report", help="run experiments and write a markdown report"
@@ -82,6 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit the ext_* extension experiments",
     )
+    add_obs_out_argument(report_parser)
 
     from .serving.cli import add_serve_arguments, add_solve_arguments
 
@@ -99,11 +103,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint_parser = subparsers.add_parser(
         "lint",
-        help="run the theory-lint static analyzer (REPRO001-REPRO008)",
+        help="run the theory-lint static analyzer (REPRO001-REPRO009)",
     )
     from .analysis.cli import add_lint_arguments
 
     add_lint_arguments(lint_parser)
+
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="inspect observability dumps (report / validate / metrics)",
+    )
+    add_obs_arguments(obs_parser)
     return parser
 
 
@@ -132,6 +142,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .serving.cli import run_serve
 
         return run_serve(args)
+    if args.command == "obs":
+        from .obs.cli import run_obs
+
+        return run_obs(args)
     if args.command == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
@@ -139,22 +153,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(experiment_id)
         return 0
 
+    from .obs.cli import obs_session
+
     config = _config_for(args)
     if args.command == "report":
         from .experiments.report import write_report
 
-        path = write_report(
-            args.out,
-            config=config,
-            include_extensions=not args.no_extensions,
-        )
+        with obs_session(args.obs_out):
+            path = write_report(
+                args.out,
+                config=config,
+                include_extensions=not args.no_extensions,
+            )
         print(f"wrote {path}")
         return 0
 
-    if args.experiment == "all":
-        results = run_all(config, include_extensions=args.extensions)
-    else:
-        results = [run_experiment(args.experiment, config)]
+    with obs_session(args.obs_out):
+        if args.experiment == "all":
+            results = run_all(config, include_extensions=args.extensions)
+        else:
+            results = [run_experiment(args.experiment, config)]
 
     all_pass = True
     for result in results:

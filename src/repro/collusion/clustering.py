@@ -17,6 +17,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Set, Tuple
 
 from ..errors import DataError
+from ..obs.trace import get_tracer
 from .graph import Graph, UnionFind
 
 __all__ = [
@@ -132,16 +133,26 @@ def cluster_collusive_workers(
     Returns:
         The :class:`CollusionClusters` partition.
     """
-    graph = build_auxiliary_graph(worker_targets)
-    components = graph.connected_components()
-    communities = [frozenset(c) for c in components if len(c) >= 2]
-    communities.sort(key=lambda c: (-len(c), min(str(w) for w in c)))
-    noncollusive = frozenset(
-        next(iter(c)) for c in components if len(c) == 1
-    )
-    return CollusionClusters(
-        communities=tuple(communities), noncollusive=noncollusive
-    )
+    with get_tracer().span(
+        "collusion.cluster", n_workers=len(worker_targets)
+    ) as span:
+        graph = build_auxiliary_graph(worker_targets)
+        components = graph.connected_components()
+        communities = [frozenset(c) for c in components if len(c) >= 2]
+        communities.sort(key=lambda c: (-len(c), min(str(w) for w in c)))
+        noncollusive = frozenset(
+            next(iter(c)) for c in components if len(c) == 1
+        )
+        clusters = CollusionClusters(
+            communities=tuple(communities), noncollusive=noncollusive
+        )
+        span.set("n_communities", clusters.n_communities)
+        span.set("n_collusive", clusters.n_collusive_workers)
+        span.set(
+            "largest_community",
+            len(clusters.communities[0]) if clusters.communities else 0,
+        )
+        return clusters
 
 
 def cluster_streaming(
@@ -160,25 +171,37 @@ def cluster_streaming(
         malicious_workers: the set of workers labelled malicious; pairs
             from other workers are skipped.
     """
-    sets = UnionFind()
-    last_reviewer_of: Dict[Hashable, Hashable] = {}
-    for worker, product in review_pairs:
-        if worker not in malicious_workers:
-            continue
-        sets.add(worker)
-        if product in last_reviewer_of:
-            sets.union(last_reviewer_of[product], worker)
-        last_reviewer_of[product] = worker
-    communities = [frozenset(g) for g in sets.groups() if len(g) >= 2]
-    communities.sort(key=lambda c: (-len(c), min(str(w) for w in c)))
-    singletons = frozenset(
-        next(iter(g)) for g in sets.groups() if len(g) == 1
-    )
-    # Malicious workers with no reviews at all are trivially non-collusive.
-    unseen = frozenset(w for w in malicious_workers if w not in last_set(sets))
-    return CollusionClusters(
-        communities=tuple(communities), noncollusive=singletons | unseen
-    )
+    with get_tracer().span(
+        "collusion.cluster_streaming", n_workers=len(malicious_workers)
+    ) as span:
+        sets = UnionFind()
+        last_reviewer_of: Dict[Hashable, Hashable] = {}
+        for worker, product in review_pairs:
+            if worker not in malicious_workers:
+                continue
+            sets.add(worker)
+            if product in last_reviewer_of:
+                sets.union(last_reviewer_of[product], worker)
+            last_reviewer_of[product] = worker
+        communities = [frozenset(g) for g in sets.groups() if len(g) >= 2]
+        communities.sort(key=lambda c: (-len(c), min(str(w) for w in c)))
+        singletons = frozenset(
+            next(iter(g)) for g in sets.groups() if len(g) == 1
+        )
+        # Malicious workers with no reviews at all are trivially non-collusive.
+        unseen = frozenset(
+            w for w in malicious_workers if w not in last_set(sets)
+        )
+        clusters = CollusionClusters(
+            communities=tuple(communities), noncollusive=singletons | unseen
+        )
+        span.set("n_communities", clusters.n_communities)
+        span.set("n_collusive", clusters.n_collusive_workers)
+        span.set(
+            "largest_community",
+            len(clusters.communities[0]) if clusters.communities else 0,
+        )
+        return clusters
 
 
 def last_set(sets: UnionFind) -> Set[Hashable]:

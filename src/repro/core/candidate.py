@@ -40,6 +40,7 @@ from typing import List, Tuple
 
 from ..analysis.invariants import check_bounds
 from ..errors import DesignError
+from ..obs.trace import get_tracer
 from ..types import DiscretizationGrid, WorkerParameters
 from .cases import CaseThresholds, PieceCase, case_thresholds
 from .contract import Contract
@@ -163,6 +164,30 @@ def build_candidate(
         DesignError: if the target piece is out of range or the grid
             leaves the increasing range of ``psi``.
     """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _build_candidate(
+            effort_function, grid, params, target_piece, base_pay
+        )
+    with tracer.span(
+        "core.candidate_build", target_piece=target_piece
+    ) as span:
+        candidate = _build_candidate(
+            effort_function, grid, params, target_piece, base_pay
+        )
+        span.set("n_clamped", len(candidate.clamped_pieces))
+        span.set("designed_effort", candidate.designed_effort)
+        return candidate
+
+
+def _build_candidate(
+    effort_function: QuadraticEffort,
+    grid: DiscretizationGrid,
+    params: WorkerParameters,
+    target_piece: int,
+    base_pay: float,
+) -> CandidateContract:
+    """The untraced Section IV-C construction (see :func:`build_candidate`)."""
     if not 1 <= target_piece <= grid.n_intervals:
         raise DesignError(
             f"target_piece must be in [1, {grid.n_intervals}], got {target_piece!r}"

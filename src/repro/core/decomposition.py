@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..errors import DesignError
+from ..obs.trace import get_tracer
 from ..types import WorkerParameters, WorkerType
 from .designer import ContractDesigner, DesignerConfig, DesignResult
 from .effort import QuadraticEffort
@@ -112,39 +113,49 @@ def solve_subproblems(
     """
     if parallel < 0:
         raise DesignError(f"parallel must be >= 0, got {parallel!r}")
-    if parallel > 0:
-        # Imported lazily: core stays importable without the serving
-        # layer loaded, and the serving layer imports this module.
-        from ..serving.pool import solve_subproblems_parallel
+    tracer = get_tracer()
+    with tracer.span(
+        "core.decomposition",
+        n_subjects=len(subproblems),
+        parallel=parallel,
+        max_workers=max_workers,
+    ) as span:
+        if parallel > 0:
+            # Imported lazily: core stays importable without the serving
+            # layer loaded, and the serving layer imports this module.
+            from ..serving.pool import solve_subproblems_parallel
 
-        return solve_subproblems_parallel(
-            subproblems, mu=mu, config=config, n_workers=parallel
+            return solve_subproblems_parallel(
+                subproblems, mu=mu, config=config, n_workers=parallel
+            )
+        seen = set()
+        for subproblem in subproblems:
+            if subproblem.subject_id in seen:
+                raise DesignError(f"duplicate subject_id {subproblem.subject_id!r}")
+            seen.add(subproblem.subject_id)
+        if max_workers < 1:
+            raise DesignError(f"max_workers must be >= 1, got {max_workers!r}")
+
+        designer = ContractDesigner(mu=mu, config=config)
+
+        def _solve(subproblem: Subproblem) -> SubproblemSolution:
+            result = designer.design(
+                effort_function=subproblem.effort_function,
+                params=subproblem.params,
+                feedback_weight=subproblem.feedback_weight,
+                max_effort=subproblem.max_effort,
+            )
+            return SubproblemSolution(subproblem=subproblem, result=result)
+
+        if max_workers == 1 or len(subproblems) <= 1:
+            solutions = [_solve(subproblem) for subproblem in subproblems]
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                solutions = list(pool.map(_solve, subproblems))
+        span.set(
+            "n_hired", sum(1 for entry in solutions if entry.result.hired)
         )
-    seen = set()
-    for subproblem in subproblems:
-        if subproblem.subject_id in seen:
-            raise DesignError(f"duplicate subject_id {subproblem.subject_id!r}")
-        seen.add(subproblem.subject_id)
-    if max_workers < 1:
-        raise DesignError(f"max_workers must be >= 1, got {max_workers!r}")
-
-    designer = ContractDesigner(mu=mu, config=config)
-
-    def _solve(subproblem: Subproblem) -> SubproblemSolution:
-        result = designer.design(
-            effort_function=subproblem.effort_function,
-            params=subproblem.params,
-            feedback_weight=subproblem.feedback_weight,
-            max_effort=subproblem.max_effort,
-        )
-        return SubproblemSolution(subproblem=subproblem, result=result)
-
-    if max_workers == 1 or len(subproblems) <= 1:
-        solutions = [_solve(subproblem) for subproblem in subproblems]
-    else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            solutions = list(pool.map(_solve, subproblems))
-    return {entry.subproblem.subject_id: entry for entry in solutions}
+        return {entry.subproblem.subject_id: entry for entry in solutions}
 
 
 def decomposition_report(

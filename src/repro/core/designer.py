@@ -25,6 +25,7 @@ from ..errors import DesignError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (no runtime cycle)
     from ..serving.cache import ContractCache
+from ..obs.trace import get_tracer
 from ..types import DiscretizationGrid, WorkerParameters
 from .best_response import BestResponse, solve_best_response
 from .bounds import (
@@ -239,9 +240,53 @@ class ContractDesigner:
             Theorem 4.1 certificate.
         """
         grid = self.config.grid_for(effort_function, max_effort=max_effort)
-        if self.design_cache is None:
-            return self._design_on_grid(
+        tracer = get_tracer()
+        if not tracer.enabled:
+            result, _ = self._design_routed(
                 effort_function, params, feedback_weight, grid
+            )
+            return result
+        with tracer.span(
+            "core.design",
+            archetype=params.worker_type.value,
+            K=grid.n_intervals,
+            mu=self.mu,
+        ) as span:
+            result, cache_hit = self._design_routed(
+                effort_function, params, feedback_weight, grid
+            )
+            span.set("k_opt", result.k_opt)
+            span.set("hired", result.hired)
+            if cache_hit is not None:
+                span.set("cache_hit", cache_hit)
+            if result.bounds is not None:
+                # Theorem 4.1 certificate slack: how far the achieved
+                # utility sits from the Lemma 4.2/4.3 bracket edges.
+                span.set(
+                    "slack_lower", result.requester_utility - result.bounds.lower
+                )
+                span.set(
+                    "slack_upper", result.bounds.upper - result.requester_utility
+                )
+            return result
+
+    def _design_routed(
+        self,
+        effort_function: QuadraticEffort,
+        params: WorkerParameters,
+        feedback_weight: float,
+        grid: DiscretizationGrid,
+    ) -> Tuple[DesignResult, Optional[bool]]:
+        """Design on a resolved grid, via the cache when one is wired.
+
+        Returns:
+            ``(result, cache_hit)`` — ``cache_hit`` is ``None`` on the
+            plain serial path (no cache attached).
+        """
+        if self.design_cache is None:
+            return (
+                self._design_on_grid(effort_function, params, feedback_weight, grid),
+                None,
             )
 
         # Serving-layer route: identical design instances (same psi,
@@ -268,10 +313,10 @@ class ContractDesigner:
                 ),
                 stats=self.design_cache.stats,
             )
-            return cached
+            return cached, True
         result = self._design_on_grid(effort_function, params, feedback_weight, grid)
         self.design_cache.put_design(fingerprint, result)
-        return result
+        return result, False
 
     def _design_on_grid(
         self,
@@ -284,10 +329,17 @@ class ContractDesigner:
         if feedback_weight <= 0.0 or not math.isfinite(feedback_weight):
             return self._null_result(effort_function, grid, params, feedback_weight)
 
+        tracer = get_tracer()
+        if not tracer.enabled:
+            sweep = self._candidate_sweep(effort_function, grid, params)
+        else:
+            with tracer.span(
+                "core.candidate_sweep", K=grid.n_intervals
+            ) as sweep_span:
+                sweep = self._candidate_sweep(effort_function, grid, params)
+                sweep_span.set("n_candidates", len(sweep))
         evaluations = []
-        for candidate, response in self._candidate_sweep(
-            effort_function, grid, params
-        ):
+        for candidate, response in sweep:
             utility = per_worker_utility(
                 feedback_weight, response.feedback, response.compensation, self.mu
             )
@@ -300,7 +352,14 @@ class ContractDesigner:
                 )
             )
 
-        best = max(evaluations, key=lambda entry: entry.requester_utility)
+        if not tracer.enabled:
+            best = max(evaluations, key=lambda entry: entry.requester_utility)
+        else:
+            with tracer.span("core.select", K=len(evaluations)) as select_span:
+                best = max(evaluations, key=lambda entry: entry.requester_utility)
+                select_span.set("k_star", best.candidate.target_piece)
+                select_span.set("on_target", best.on_target)
+                select_span.set("requester_utility", best.requester_utility)
         if best.requester_utility < self.config.min_utility:
             return self._null_result(
                 effort_function, grid, params, feedback_weight, tuple(evaluations)

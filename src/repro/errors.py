@@ -22,6 +22,7 @@ __all__ = [
     "EstimationError",
     "SimulationError",
     "ServingError",
+    "ObservabilityError",
     "ExperimentError",
 ]
 
@@ -80,6 +81,15 @@ class ServingError(ReproError):
 
     Raised for malformed serving configuration, solver-pool timeouts,
     fingerprint/replay mismatches and cache-verification failures.
+    """
+
+
+class ObservabilityError(ReproError):
+    """The observability layer (tracer, metrics, exporters) failed.
+
+    Raised for malformed spans/metrics, invalid exporter input and
+    span-record schema violations — never from the disabled hot path,
+    which must stay free of failure modes.
     """
 
 

@@ -1,0 +1,342 @@
+"""Counters, gauges and bounded histograms on one shared registry.
+
+Every subsystem (the serving layer's :class:`~repro.serving.stats.ServingStats`,
+the solver pool, the simulation engine) books its numbers into a
+:class:`MetricsRegistry` so that one exporter pass sees everything.
+Histograms summarize through the same
+:func:`repro.metrics.percentiles.summarize` helper the Fig. 8
+experiments use — "p95 request latency" in an obs dump and "p95
+compensation" in a paper table mean the same estimator.
+
+Histograms are bounded two ways: a *sample reservoir* (most recent
+``max_samples`` observations, for percentile summaries) and exact
+running aggregates (``count``/``total``/``min``/``max``) that never
+saturate.  :func:`merge_histograms` combines any number of histograms
+in one shot over the multiset union of their samples, so the merged
+result is independent of input order — a property the test suite pins
+down with hypothesis.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ObservabilityError
+from ..metrics.percentiles import DistributionSummary, summarize
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_histograms",
+    "get_registry",
+    "set_registry",
+]
+
+
+def _require_name(name: str) -> str:
+    if not name or any(ch.isspace() for ch in name):
+        raise ObservabilityError(
+            f"metric names must be non-empty and whitespace-free, got {name!r}"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count (requests, hits, evictions)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _require_name(name)
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter (negative increments are rejected)."""
+        if amount < 0.0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc {amount!r})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cache size, hit rate)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _require_name(name)
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        if not math.isfinite(value):
+            raise ObservabilityError(
+                f"gauge {self.name!r} must be finite, got {value!r}"
+            )
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: float) -> None:
+        """Adjust the gauge by ``amount`` (either sign)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A bounded sample distribution with exact running aggregates.
+
+    Args:
+        name: metric name (dotted; exporters mangle as needed).
+        help: one-line description for exporters.
+        max_samples: reservoir bound — percentile summaries reflect the
+            most recent ``max_samples`` observations, while ``count``,
+            ``total``, ``min`` and ``max`` stay exact forever.
+    """
+
+    __slots__ = (
+        "name",
+        "help",
+        "max_samples",
+        "_lock",
+        "_samples",
+        "count",
+        "total",
+        "min",
+        "max",
+    )
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", max_samples: int = 4096) -> None:
+        if max_samples < 1:
+            raise ObservabilityError(
+                f"max_samples must be >= 1, got {max_samples!r}"
+            )
+        self.name = _require_name(name)
+        self.help = help
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+        self._samples: Deque[float] = deque(maxlen=max_samples)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if not math.isfinite(value):
+            raise ObservabilityError(
+                f"histogram {self.name!r} observations must be finite, "
+                f"got {value!r}"
+            )
+        with self._lock:
+            self._samples.append(value)
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations."""
+        for value in values:
+            self.observe(value)
+
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        """The retained (most recent) samples, oldest first."""
+        with self._lock:
+            return tuple(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean over *all* observations ever made (0.0 when idle)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Optional[DistributionSummary]:
+        """The Fig. 8-style summary of the retained samples.
+
+        ``None`` when nothing has been observed (``summarize`` rejects
+        empty samples, and an all-zero stand-in would be a lie).
+        """
+        samples = self.samples
+        if not samples:
+            return None
+        return summarize(samples)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Aggregates plus percentile summary as a flat dict."""
+        out: Dict[str, float] = {
+            "count": float(self.count),
+            "total": self.total,
+            "mean": self.mean,
+        }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        summary = self.summary()
+        if summary is not None:
+            out["p5"] = summary.p5
+            out["p95"] = summary.p95
+        return out
+
+
+def merge_histograms(
+    histograms: Iterable[Histogram],
+    name: str = "merged",
+    max_samples: Optional[int] = None,
+) -> Histogram:
+    """Merge histograms order-independently.
+
+    The merged reservoir is the multiset union of the inputs' retained
+    samples, sorted, then (if over the bound) thinned to an evenly
+    strided subsample — every step is a function of the union as a
+    *multiset*, so any permutation of ``histograms`` yields an
+    identical result.  Running aggregates add exactly.
+
+    Args:
+        histograms: the histograms to merge (zero or more).
+        name: name of the merged histogram.
+        max_samples: reservoir bound of the result (default: the largest
+            input bound, or 4096 when merging nothing).
+    """
+    inputs = list(histograms)
+    if max_samples is None:
+        max_samples = max((h.max_samples for h in inputs), default=4096)
+    merged = Histogram(name, max_samples=max_samples)
+    pooled: List[float] = []
+    for histogram in inputs:
+        pooled.extend(histogram.samples)
+        merged.count += histogram.count
+        merged.total += histogram.total
+        if histogram.count:
+            merged.min = min(merged.min, histogram.min)
+            merged.max = max(merged.max, histogram.max)
+    pooled.sort()
+    if len(pooled) > max_samples:
+        # Evenly strided thinning over the sorted union keeps the
+        # empirical distribution's shape and is permutation-invariant.
+        stride = len(pooled) / max_samples
+        pooled = [pooled[int(i * stride)] for i in range(max_samples)]
+    merged._samples.extend(pooled)
+    return merged
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: two call
+    sites naming the same metric share one instrument (registering the
+    same name as two different kinds is an error).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, Any]" = {}
+
+    def _get_or_create(
+        self, name: str, factory: Callable[[], Any], kind: str
+    ) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {kind}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_create(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get_or_create(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self, name: str, help: str = "", max_samples: int = 4096
+    ) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._get_or_create(
+            name, lambda: Histogram(name, help, max_samples=max_samples), "histogram"
+        )
+
+    def get(self, name: str) -> Optional[Any]:
+        """The metric called ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> Tuple[Any, ...]:
+        """Every registered metric, sorted by name."""
+        with self._lock:
+            return tuple(
+                self._metrics[name] for name in sorted(self._metrics)
+            )
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """All metrics as ``{name: {field: value}}`` (export payload)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for metric in self.metrics():
+            if metric.kind == "histogram":
+                out[metric.name] = metric.snapshot()
+            else:
+                out[metric.name] = {"value": metric.value}
+        return out
+
+    def clear(self) -> None:
+        """Drop every registered metric."""
+        with self._lock:
+            self._metrics.clear()
+
+
+# -- global registry --------------------------------------------------
+
+_global_registry = MetricsRegistry()
+_global_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry instrumented modules default to."""
+    return _global_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the global registry; returns the previous one."""
+    global _global_registry
+    with _global_lock:
+        previous = _global_registry
+        _global_registry = registry
+    return previous

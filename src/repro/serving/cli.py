@@ -22,6 +22,8 @@ from typing import List
 
 from ..core.decomposition import Subproblem, decomposition_report, solve_subproblems
 from ..errors import ServingError
+from ..obs.cli import add_obs_out_argument, obs_session
+from ..obs.metrics import get_registry
 from .cache import ContractCache
 from .pool import SolverPool
 from .server import ContractServer
@@ -63,6 +65,7 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=7, help="workload seed (default: 7)"
     )
+    add_obs_out_argument(parser)
 
 
 def add_solve_arguments(parser: argparse.ArgumentParser) -> None:
@@ -108,10 +111,27 @@ def _workload(args: argparse.Namespace) -> List[Subproblem]:
     )
 
 
+def _stats_for(args: argparse.Namespace) -> ServingStats:
+    """Serving stats for one CLI command.
+
+    With ``--obs-out`` the counters publish into the process-global
+    :mod:`repro.obs` registry, so the dump carries serving metrics next
+    to the spans; without it they stay private to the command.
+    """
+    if getattr(args, "obs_out", None) is not None:
+        return ServingStats(registry=get_registry())
+    return ServingStats()
+
+
 def run_solve(args: argparse.Namespace) -> int:
     """Solve a synthetic population through the pool; print a report."""
+    with obs_session(getattr(args, "obs_out", None)):
+        return _run_solve(args)
+
+
+def _run_solve(args: argparse.Namespace) -> int:
     subproblems = _workload(args)
-    stats = ServingStats()
+    stats = _stats_for(args)
     cache = ContractCache()
     with SolverPool(
         n_workers=args.parallel,
@@ -154,6 +174,7 @@ async def _serve_demo(args: argparse.Namespace) -> ServingStats:
         n_workers=args.parallel,
         max_batch=args.max_batch,
         max_pending=args.max_pending,
+        stats=_stats_for(args),
     ) as server:
         for round_index in range(args.rounds):
             solutions = await server.solve_population(subproblems)
@@ -168,6 +189,7 @@ async def _serve_demo(args: argparse.Namespace) -> ServingStats:
 
 def run_serve(args: argparse.Namespace) -> int:
     """Serve synthetic rounds through the asyncio marketplace front-end."""
-    stats = asyncio.run(_serve_demo(args))
-    print(stats.format())
+    with obs_session(getattr(args, "obs_out", None)):
+        stats = asyncio.run(_serve_demo(args))
+        print(stats.format())
     return 0

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.decomposition import Subproblem, SubproblemSolution
 from ..core.designer import ContractDesigner, DesignerConfig, DesignResult
 from ..errors import ServingError
+from ..obs.trace import get_tracer
 from .cache import ContractCache, maybe_verify_cached
 from .fingerprint import subproblem_fingerprint
 from .stats import ServingStats
@@ -203,6 +204,29 @@ class SolverPool:
         Returns:
             ``(designs, cache_hits)``, both parallel to ``subproblems``.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve_designs(subproblems, fingerprints)
+        with tracer.span(
+            "serving.solve_batch", n_requests=len(subproblems)
+        ) as span:
+            if fingerprints is None:
+                fingerprints = self.fingerprints(subproblems)
+            designs, cache_hits = self._solve_designs(subproblems, fingerprints)
+            span.set(
+                "n_unique",
+                len(set(fingerprints)) if self.dedupe else len(subproblems),
+            )
+            span.set("n_hits", sum(1 for hit in cache_hits if hit))
+            span.set("n_workers", self.n_workers)
+            return designs, cache_hits
+
+    def _solve_designs(
+        self,
+        subproblems: Sequence[Subproblem],
+        fingerprints: Optional[Sequence[str]] = None,
+    ) -> Tuple[List[DesignResult], List[bool]]:
+        """The untraced batch-solve core (see :meth:`solve_designs`)."""
         started = self.stats.now() if self.stats is not None else 0.0
         if fingerprints is None:
             fingerprints = self.fingerprints(subproblems)

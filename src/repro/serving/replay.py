@@ -20,6 +20,7 @@ marketplace actually disbursed is reproducible".
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, Optional, Sequence
 
 from ..core.decomposition import Subproblem
@@ -69,6 +70,7 @@ def verify_round(
         ServingError: on a fingerprint mismatch or a payout that a fresh
             solve cannot reproduce.
     """
+    _check_round_provenance(record)
     by_id: Dict[str, Subproblem] = {
         subproblem.subject_id: subproblem for subproblem in subproblems
     }
@@ -100,6 +102,34 @@ def verify_round(
             )
         verified += 1
     return verified
+
+
+def _check_round_provenance(record: RoundRecord) -> None:
+    """Assert the observability fields of a round record round-trip.
+
+    The marketplace engine stamps each round with its redesign cost
+    (``design_ms``) and, when tracing was on, the ``simulation.round``
+    span id (:class:`~repro.simulation.ledger.RoundRecord`).  A replay
+    audits both for well-formedness: a ledger that went through any
+    serialization boundary must come back with a finite non-negative
+    cost and a non-empty span id — never the disabled-tracer sentinel
+    ``""`` that :class:`~repro.obs.trace.NullSpan` carries.
+
+    Raises:
+        ServingError: on a malformed ``design_ms`` or ``span_id``.
+    """
+    if record.design_ms is not None:
+        if not math.isfinite(record.design_ms) or record.design_ms < 0.0:
+            raise ServingError(
+                f"round {record.round_index}: design_ms must be a finite "
+                f"non-negative number, got {record.design_ms!r}"
+            )
+    if record.span_id is not None:
+        if not isinstance(record.span_id, str) or not record.span_id:
+            raise ServingError(
+                f"round {record.round_index}: span_id must be a non-empty "
+                f"string or None, got {record.span_id!r}"
+            )
 
 
 def verify_ledger(

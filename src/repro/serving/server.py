@@ -31,6 +31,7 @@ from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple
 from ..core.decomposition import Subproblem, SubproblemSolution
 from ..core.designer import DesignerConfig, DesignResult
 from ..errors import ServingError
+from ..obs.trace import get_tracer
 from .cache import ContractCache
 from .pool import SolverPool
 from .stats import ServingStats
@@ -232,9 +233,26 @@ class ContractServer:
             await self._serve_batch(batch)
 
     async def _serve_batch(self, batch: List[ContractRequest]) -> None:
-        """Resolve one batch through the pool off the event loop."""
+        """Resolve one batch through the pool off the event loop.
+
+        The batch span nests under whatever span submitted the batcher's
+        task context; the pool's ``serving.solve_batch`` span runs in an
+        executor thread, where :mod:`contextvars` do not follow, so it
+        appears as its own root in dumps.
+        """
         loop = asyncio.get_running_loop()
         subproblems = [request.subproblem for request in batch]
+        tracer = get_tracer()
+        with tracer.span("serving.batch", n_requests=len(batch)) as span:
+            await self._resolve_batch(loop, batch, subproblems, span)
+
+    async def _resolve_batch(
+        self,
+        loop: "asyncio.AbstractEventLoop",
+        batch: List[ContractRequest],
+        subproblems: List[Subproblem],
+        span: object,
+    ) -> None:
         try:
             # The pool call blocks (it may fan out to processes), so it
             # runs in the default executor to keep the loop serving
@@ -257,6 +275,6 @@ class ContractServer:
         # Batch counters (requests / unique / hits / duration) were
         # booked by the pool inside solve_designs; only the end-to-end
         # request latencies are known here.
-        self.stats.record_latencies(
-            [finished - request.enqueued_at for request in batch]
-        )
+        latencies = [finished - request.enqueued_at for request in batch]
+        self.stats.record_latencies(latencies)
+        span.set("max_latency_s", max(latencies, default=0.0))

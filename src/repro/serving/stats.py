@@ -2,23 +2,48 @@
 
 One :class:`ServingStats` instance is threaded through the solver pool
 and the marketplace server; the ``repro serve`` / ``repro solve`` CLI
-surfaces its snapshot.  Latencies are kept in a bounded deque (the most
-recent ``max_samples`` observations) and summarized with the same
-:func:`repro.metrics.percentiles.summarize` helper the Fig. 8
-experiments use, so "p95 request latency" here and "p95 compensation"
-there mean the same thing.
+surfaces its snapshot.
+
+Since the :mod:`repro.obs` layer landed, ``ServingStats`` is a *view*
+over :mod:`repro.obs.metrics` instruments rather than a parallel set of
+hand-rolled ints and deques: counters live in a
+:class:`~repro.obs.metrics.MetricsRegistry` (a private one by default,
+or a shared one so a single exporter pass sees serving traffic next to
+every other subsystem), and latencies live in bounded
+:class:`~repro.obs.metrics.Histogram` reservoirs summarized with the
+same :func:`repro.metrics.percentiles.summarize` helper the Fig. 8
+experiments use — "p95 request latency" here and "p95 compensation"
+there mean the same estimator.
+
+The public API is unchanged: every pre-obs attribute (``requests``,
+``cache_hits``, ``request_latencies``...) still reads the same, and
+``snapshot()`` / ``format()`` emit the same keys.  Directly *assigning*
+the old counter attributes (``stats.requests += 1``) still works
+through a deprecation shim but warns — go through
+:meth:`record_batch` / :meth:`record_latencies` instead.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+import warnings
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ServingError
 from ..metrics.percentiles import summarize
+from ..obs.metrics import Counter, Histogram, MetricsRegistry
 
 __all__ = ["ServingStats"]
+
+#: Legacy mutable-int attribute -> backing counter attribute.  Writes to
+#: these names are intercepted by the deprecation shim below.
+_LEGACY_COUNTER_WRITES: Dict[str, str] = {
+    "requests": "_requests",
+    "batches": "_batches",
+    "unique_solves": "_unique_solves",
+    "cache_hits": "_cache_hits",
+    "cache_misses": "_cache_misses",
+}
 
 
 class ServingStats:
@@ -28,24 +53,80 @@ class ServingStats:
         clock: monotonic time source in seconds (injectable for tests).
         max_samples: bound on retained latency samples; older samples
             fall off so long-running servers report recent behaviour.
+        registry: the :class:`~repro.obs.metrics.MetricsRegistry` to
+            register instruments in.  ``None`` (the default) uses a
+            private registry, so independent stats objects never share
+            counters; pass :func:`repro.obs.metrics.get_registry` to
+            publish into the process-global registry the ``--obs-out``
+            exporters dump.
+        namespace: prefix of the registered metric names (default
+            ``"serving"`` produces ``serving.requests`` etc.); give each
+            stats object sharing a registry its own namespace.
     """
 
     def __init__(
         self,
         clock: Callable[[], float] = time.perf_counter,
         max_samples: int = 4096,
+        registry: Optional[MetricsRegistry] = None,
+        namespace: str = "serving",
     ) -> None:
         if max_samples < 1:
             raise ServingError(f"max_samples must be >= 1, got {max_samples!r}")
         self._clock = clock
         self.started_at = clock()
-        self.requests = 0
-        self.batches = 0
-        self.unique_solves = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.request_latencies: Deque[float] = deque(maxlen=max_samples)
-        self.batch_latencies: Deque[float] = deque(maxlen=max_samples)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.namespace = namespace
+        self._requests: Counter = self.registry.counter(
+            f"{namespace}.requests", "requests fulfilled (dupes and hits included)"
+        )
+        self._batches: Counter = self.registry.counter(
+            f"{namespace}.batches", "batches served"
+        )
+        self._unique_solves: Counter = self.registry.counter(
+            f"{namespace}.unique_solves", "fresh (non-cached) designs solved"
+        )
+        self._cache_hits: Counter = self.registry.counter(
+            f"{namespace}.cache_hits", "unique fingerprints answered from cache"
+        )
+        self._cache_misses: Counter = self.registry.counter(
+            f"{namespace}.cache_misses", "unique fingerprints freshly solved"
+        )
+        self._request_latency: Histogram = self.registry.histogram(
+            f"{namespace}.request_latency_s",
+            "per-request enqueue-to-reply latency (seconds)",
+            max_samples=max_samples,
+        )
+        self._batch_latency: Histogram = self.registry.histogram(
+            f"{namespace}.batch_latency_s",
+            "per-batch fulfilment latency (seconds)",
+            max_samples=max_samples,
+        )
+
+    # -- deprecation shim ---------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        backing = _LEGACY_COUNTER_WRITES.get(name)
+        if backing is not None and backing in self.__dict__:
+            warnings.warn(
+                f"assigning ServingStats.{name} directly is deprecated; "
+                "use record_batch()/record_latencies() (the counters now "
+                "live in a repro.obs MetricsRegistry)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            counter: Counter = self.__dict__[backing]
+            delta = float(value) - counter.value  # type: ignore[arg-type]
+            if delta < 0.0:
+                raise ServingError(
+                    f"ServingStats.{name} cannot decrease "
+                    f"(currently {counter.value!r}, assigned {value!r})"
+                )
+            counter.inc(delta)
+            return
+        super().__setattr__(name, value)
+
+    # -- recording -----------------------------------------------------
 
     def now(self) -> float:
         """The stats clock (callers use it to stamp enqueue times)."""
@@ -77,19 +158,58 @@ class ServingStats:
                 f"inconsistent batch counters: requests={n_requests}, "
                 f"unique={n_unique}, cache_hits={n_cache_hits}"
             )
-        self.requests += n_requests
-        self.batches += 1
-        self.unique_solves += n_unique - n_cache_hits
-        self.cache_hits += n_cache_hits
-        self.cache_misses += n_unique - n_cache_hits
-        self.batch_latencies.append(max(duration, 0.0))
+        self._requests.inc(n_requests)
+        self._batches.inc()
+        self._unique_solves.inc(n_unique - n_cache_hits)
+        self._cache_hits.inc(n_cache_hits)
+        self._cache_misses.inc(n_unique - n_cache_hits)
+        self._batch_latency.observe(max(duration, 0.0))
         if request_latencies:
             self.record_latencies(request_latencies)
 
     def record_latencies(self, latencies: List[float]) -> None:
         """Book per-request enqueue-to-reply latencies (seconds)."""
         for latency in latencies:
-            self.request_latencies.append(max(latency, 0.0))
+            self._request_latency.observe(max(latency, 0.0))
+
+    # -- counters (read-only views over the registry) ------------------
+
+    @property
+    def requests(self) -> int:
+        """Requests fulfilled so far (duplicates and hits included)."""
+        return int(self._requests.value)
+
+    @property
+    def batches(self) -> int:
+        """Batches served so far."""
+        return int(self._batches.value)
+
+    @property
+    def unique_solves(self) -> int:
+        """Fresh (non-cached) designs solved so far."""
+        return int(self._unique_solves.value)
+
+    @property
+    def cache_hits(self) -> int:
+        """Unique fingerprints answered from the cache."""
+        return int(self._cache_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        """Unique fingerprints that fell through to a fresh solve."""
+        return int(self._cache_misses.value)
+
+    @property
+    def request_latencies(self) -> Tuple[float, ...]:
+        """Retained per-request latencies, oldest first."""
+        return self._request_latency.samples
+
+    @property
+    def batch_latencies(self) -> Tuple[float, ...]:
+        """Retained per-batch latencies, oldest first."""
+        return self._batch_latency.samples
+
+    # -- derived rates -------------------------------------------------
 
     @property
     def elapsed(self) -> float:
@@ -115,6 +235,8 @@ class ServingStats:
             return 0.0
         distinct = self.cache_hits + self.cache_misses
         return 1.0 - distinct / self.requests
+
+    # -- reporting -----------------------------------------------------
 
     def snapshot(self) -> Dict[str, float]:
         """All counters and derived rates as a flat dict."""

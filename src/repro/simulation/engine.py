@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.utility import RequesterObjective
 from ..errors import SimulationError
+from ..obs.trace import get_tracer
 from ..workers.population import PopulationModel
 from .ledger import RoundRecord, SimulationLedger, SubjectRoundOutcome
 from .policies import PaymentPolicy
@@ -87,15 +88,27 @@ class MarketplaceSimulation:
 
     def step(self) -> RoundRecord:
         """Simulate one round and return its record."""
+        tracer = get_tracer()
         round_index = self.ledger.n_rounds
+        with tracer.span("simulation.round", round_index=round_index) as span:
+            record = self._step_traced(round_index, tracer, span)
+        self.ledger.append(record)
+        self.policy.observe(record)
+        return record
+
+    def _step_traced(self, round_index, tracer, span) -> RoundRecord:
+        """One round's work, run inside the ``simulation.round`` span."""
         # Strategic agents may change behaviour between rounds; inform
         # them before the requester re-designs, so this round's contracts
         # face this round's behaviour.
         for agent in self.population.agents.values():
             agent.on_round(round_index)
+        design_ms: Optional[float] = None
         if self._contracts is None or round_index % self.redesign_every == 0:
+            design_start = tracer.clock()
             self._contracts = self.policy.contracts(self.population)
             self._excluded = self.policy.excluded_subjects(self.population)
+            design_ms = (tracer.clock() - design_start) * 1e3
         policy_weights = self.policy.current_weights(self.population)
 
         outcomes: Dict[str, SubjectRoundOutcome] = {}
@@ -177,7 +190,12 @@ class MarketplaceSimulation:
             benefit=benefit,
             total_compensation=total_compensation,
             utility=self.objective.params.utility(benefit, total_compensation),
+            design_ms=design_ms,
+            span_id=span.span_id or None,
         )
-        self.ledger.append(record)
-        self.policy.observe(record)
+        span.set("n_subjects", len(outcomes))
+        span.set("n_excluded", sum(1 for o in outcomes.values() if o.excluded))
+        span.set("utility", record.utility)
+        if design_ms is not None:
+            span.set("design_ms", design_ms)
         return record

@@ -97,6 +97,12 @@ class RoundRecord:
         benefit: the requester's realized benefit ``sum w_i q_i``.
         total_compensation: total pay this round.
         utility: ``benefit - mu * total_compensation``.
+        design_ms: wall-clock milliseconds the requester spent
+            (re-)designing contracts this round; ``None`` on rounds that
+            reused the previous design (``redesign_every`` amortization).
+        span_id: id of the round's ``simulation.round`` tracing span
+            (``None`` when the run was untraced).  Lets a span dump be
+            joined back onto the ledger it was produced with.
     """
 
     round_index: int
@@ -104,6 +110,8 @@ class RoundRecord:
     benefit: float
     total_compensation: float
     utility: float
+    design_ms: Optional[float] = None
+    span_id: Optional[str] = None
 
 
 class SimulationLedger:
@@ -179,6 +187,18 @@ class SimulationLedger:
             wt: (float(np.mean(values)) if values else 0.0)
             for wt, values in totals.items()
         }
+
+    def total_design_ms(self) -> float:
+        """Total wall-clock design time booked across all rounds.
+
+        Rounds that reused a previous design contribute zero; the total
+        is the amortized cost a ``redesign_every > 1`` requester pays.
+        """
+        return sum(
+            record.design_ms
+            for record in self._records
+            if record.design_ms is not None
+        )
 
     def cache_hit_rate(self) -> Optional[float]:
         """Fraction of served (non-excluded) contracts that were cache hits.

@@ -1,0 +1,45 @@
+"""Shared fixtures: isolated global tracer/registry per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import Tracer, set_tracer
+
+
+class SteppingClock:
+    """Deterministic clock advancing a fixed step per call."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.time = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        now = self.time
+        self.time += self.step
+        return now
+
+
+@pytest.fixture()
+def clock() -> SteppingClock:
+    return SteppingClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    """A deterministic, enabled tracer installed as the global one."""
+    fresh = Tracer(enabled=True, clock=clock, id_prefix="")
+    fresh.profile_cpu = False
+    previous = set_tracer(fresh)
+    yield fresh
+    set_tracer(previous)
+
+
+@pytest.fixture()
+def registry():
+    """A fresh metrics registry installed as the global one."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)

@@ -1,0 +1,260 @@
+"""Exporter tests: golden JSONL, Prometheus parse check, schema, report."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.export import (
+    SPAN_SCHEMA,
+    metric_records,
+    prometheus_text,
+    read_jsonl,
+    render_report,
+    span_records,
+    validate_records,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+GOLDEN = Path(__file__).parent / "data" / "golden.jsonl"
+
+
+def _stepping_clock():
+    state = {"time": 0.0}
+
+    def clock() -> float:
+        now = state["time"]
+        state["time"] += 1.0
+        return now
+
+    return clock
+
+
+def golden_tracer_and_registry():
+    """The deterministic workload behind the checked-in golden dump."""
+    tracer = Tracer(enabled=True, clock=_stepping_clock(), id_prefix="")
+    tracer.profile_cpu = False
+    with tracer.span("core.design", archetype="honest", K=4) as outer:
+        with tracer.span("core.candidate_build", target_piece=2):
+            pass
+        outer.set("k_opt", 2)
+    registry = MetricsRegistry()
+    registry.counter("serving.requests").inc(10)
+    registry.gauge("serving.queue_depth").set(3.0)
+    histogram = registry.histogram("serving.request_latency_s", max_samples=8)
+    histogram.observe_many([0.1, 0.2, 0.4])
+    return tracer, registry
+
+
+class TestGoldenJsonl:
+    def test_dump_matches_golden_file(self, tmp_path):
+        """Byte-for-byte stable output: ordering, key sorting, floats."""
+        tracer, registry = golden_tracer_and_registry()
+        out = tmp_path / "dump.jsonl"
+        count = write_jsonl(out, tracer=tracer, registry=registry)
+        assert count == 5
+        assert out.read_text() == GOLDEN.read_text()
+
+    def test_golden_file_is_schema_clean(self):
+        records = read_jsonl(GOLDEN)
+        n_spans, problems = validate_records(records)
+        assert problems == []
+        assert n_spans == 2
+
+    def test_round_trip(self, tmp_path):
+        tracer, registry = golden_tracer_and_registry()
+        out = tmp_path / "dump.jsonl"
+        write_jsonl(out, tracer=tracer, registry=registry)
+        records = read_jsonl(out)
+        assert records == span_records(tracer) + metric_records(registry)
+
+
+class TestReadJsonl:
+    def test_rejects_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "span"}\nnot json\n')
+        with pytest.raises(ObservabilityError, match="invalid JSON"):
+            read_jsonl(bad)
+
+    def test_rejects_non_object_lines(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("[1, 2, 3]\n")
+        with pytest.raises(ObservabilityError, match="expected a JSON object"):
+            read_jsonl(bad)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "spaced.jsonl"
+        path.write_text('\n{"kind": "metric", "name": "c", "metric_kind": "counter", "value": 1}\n\n')
+        assert len(read_jsonl(path)) == 1
+
+
+class TestSchemaValidation:
+    def _span(self, **overrides):
+        record = {
+            "kind": "span",
+            "name": "core.design",
+            "span_id": "0001",
+            "parent_id": None,
+            "start_s": 0.0,
+            "end_s": 1.0,
+            "duration_ms": 1000.0,
+            "attributes": {},
+        }
+        record.update(overrides)
+        return record
+
+    def test_valid_span_passes(self):
+        n_spans, problems = validate_records([self._span()])
+        assert (n_spans, problems) == (1, [])
+
+    def test_missing_required_field(self):
+        record = self._span()
+        del record["duration_ms"]
+        _, problems = validate_records([record])
+        assert any("duration_ms" in problem for problem in problems)
+
+    def test_wrong_type_flagged(self):
+        _, problems = validate_records([self._span(start_s="zero")])
+        assert any("start_s" in problem for problem in problems)
+
+    def test_negative_duration_flagged(self):
+        _, problems = validate_records([self._span(duration_ms=-1.0)])
+        assert any("below minimum" in problem for problem in problems)
+
+    def test_empty_name_flagged(self):
+        _, problems = validate_records([self._span(name="")])
+        assert any("shorter than" in problem for problem in problems)
+
+    def test_unknown_kind_rejected(self):
+        _, problems = validate_records([{"kind": "mystery"}])
+        assert problems
+
+    def test_metric_records_shallow_checked(self):
+        good = {"kind": "metric", "name": "c", "metric_kind": "counter"}
+        bad = {"kind": "metric", "name": "c"}
+        _, problems = validate_records([good])
+        assert problems == []
+        _, problems = validate_records([bad])
+        assert any("metric_kind" in problem for problem in problems)
+
+    def test_schema_constant_shape(self):
+        assert SPAN_SCHEMA["required"][0] == "kind"
+        assert SPAN_SCHEMA["properties"]["kind"]["enum"] == ["span"]
+
+
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? [-+0-9.e]+$"
+)
+
+
+class TestPrometheus:
+    def test_every_sample_line_parses(self):
+        _, registry = golden_tracer_and_registry()
+        text = prometheus_text(registry)
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# TYPE ", "# HELP "))
+                continue
+            assert _PROM_LINE.match(line), f"unparseable sample line: {line!r}"
+
+    def test_counter_gauge_and_summary_values(self):
+        _, registry = golden_tracer_and_registry()
+        text = prometheus_text(registry)
+        samples = {}
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            samples[name] = float(value)
+        assert samples["repro_serving_requests"] == 10.0
+        assert samples["repro_serving_queue_depth"] == 3.0
+        assert samples["repro_serving_request_latency_s_count"] == 3.0
+        assert samples["repro_serving_request_latency_s_sum"] == pytest.approx(0.7)
+        assert 'repro_serving_request_latency_s{quantile="0.5"}' in samples
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_name_mangling(self):
+        registry = MetricsRegistry()
+        registry.counter("core.design-total").inc()
+        text = prometheus_text(registry)
+        assert "repro_core_design_total" in text
+
+
+class TestReport:
+    def test_tree_structure_and_attrs(self):
+        tracer, _ = golden_tracer_and_registry()
+        report = render_report(span_records(tracer))
+        lines = report.splitlines()
+        assert lines[0] == "-- span tree --"
+        assert lines[1].startswith("core.design")
+        assert "[K=4, archetype=honest, k_opt=2]" in lines[1]
+        assert lines[2].startswith("  core.candidate_build")
+        assert "-- hottest spans --" in report
+
+    def test_orphans_promoted_to_roots(self):
+        records = [
+            {
+                "kind": "span",
+                "name": "orphan",
+                "span_id": "b",
+                "parent_id": "missing",
+                "start_s": 0.0,
+                "end_s": 1.0,
+                "duration_ms": 1000.0,
+            }
+        ]
+        report = render_report(records)
+        assert "orphan" in report.splitlines()[1]
+
+    def test_children_collapse_beyond_bound(self):
+        records = [
+            {
+                "kind": "span",
+                "name": "root",
+                "span_id": "r",
+                "parent_id": None,
+                "start_s": 0.0,
+                "end_s": 10.0,
+                "duration_ms": 10000.0,
+            }
+        ]
+        for index in range(5):
+            records.append(
+                {
+                    "kind": "span",
+                    "name": f"child{index}",
+                    "span_id": f"c{index}",
+                    "parent_id": "r",
+                    "start_s": float(index),
+                    "end_s": float(index) + 0.5,
+                    "duration_ms": 500.0,
+                }
+            )
+        report = render_report(records, max_children=2)
+        assert "... (+3 more)" in report
+
+    def test_no_spans(self):
+        assert render_report([]) == "no spans recorded\n"
+
+    def test_error_marker(self):
+        records = [
+            {
+                "kind": "span",
+                "name": "bad",
+                "span_id": "x",
+                "parent_id": None,
+                "start_s": 0.0,
+                "end_s": 1.0,
+                "duration_ms": 1000.0,
+                "error": "DesignError",
+            }
+        ]
+        assert "!DesignError" in render_report(records)

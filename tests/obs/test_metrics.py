@@ -1,0 +1,147 @@
+"""Tests for counters, gauges, histograms and order-independent merge."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_histograms,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            Counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(2.0)
+        gauge.add(-0.5)
+        assert gauge.value == pytest.approx(1.5)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ObservabilityError):
+            Gauge("g").set(float("inf"))
+
+
+class TestHistogram:
+    def test_exact_aggregates_survive_reservoir_overflow(self):
+        histogram = Histogram("h", max_samples=3)
+        histogram.observe_many([5.0, 1.0, 2.0, 3.0, 4.0])
+        assert histogram.count == 5
+        assert histogram.total == pytest.approx(15.0)
+        assert histogram.min == pytest.approx(1.0)
+        assert histogram.max == pytest.approx(5.0)
+        assert histogram.samples == (2.0, 3.0, 4.0)
+
+    def test_summary_none_when_idle(self):
+        assert Histogram("h").summary() is None
+        assert Histogram("h").mean == 0.0
+
+    def test_rejects_non_finite_and_bad_bound(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h").observe(float("nan"))
+        with pytest.raises(ObservabilityError):
+            Histogram("h", max_samples=0)
+
+    def test_metric_names_validated(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("has space")
+
+
+class TestRegistry:
+    def test_get_or_create_shares_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("a")
+
+    def test_snapshot_covers_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == {"value": 2.0}
+        assert snapshot["g"] == {"value": 1.5}
+        assert snapshot["h"]["count"] == 1.0
+        assert snapshot["h"]["mean"] == pytest.approx(3.0)
+
+    def test_metrics_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.counter("a")
+        assert [metric.name for metric in registry.metrics()] == ["a", "z"]
+
+
+def _histogram_from(values, max_samples=16):
+    histogram = Histogram("h", max_samples=max_samples)
+    histogram.observe_many(values)
+    return histogram
+
+
+class TestMerge:
+    def test_merge_adds_exact_aggregates(self):
+        merged = merge_histograms(
+            [_histogram_from([1.0, 2.0]), _histogram_from([3.0])]
+        )
+        assert merged.count == 3
+        assert merged.total == pytest.approx(6.0)
+        assert merged.min == pytest.approx(1.0)
+        assert merged.max == pytest.approx(3.0)
+
+    def test_merge_nothing(self):
+        merged = merge_histograms([])
+        assert merged.count == 0
+        assert merged.samples == ()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        groups=st.lists(
+            st.lists(
+                st.floats(
+                    min_value=-1e6,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                max_size=30,
+            ),
+            max_size=6,
+        ),
+        seed=st.randoms(use_true_random=False),
+        bound=st.integers(min_value=1, max_value=20),
+    )
+    def test_merge_is_order_independent(self, groups, seed, bound):
+        """Any permutation of the inputs yields an identical merge."""
+        histograms = [_histogram_from(values, max_samples=bound) for values in groups]
+        shuffled = list(histograms)
+        seed.shuffle(shuffled)
+        merged = merge_histograms(histograms, max_samples=bound)
+        merged_shuffled = merge_histograms(shuffled, max_samples=bound)
+        assert merged.count == merged_shuffled.count
+        assert merged.total == pytest.approx(merged_shuffled.total)
+        assert merged.samples == merged_shuffled.samples
+        if merged.count:
+            assert merged.min == merged_shuffled.min
+            assert merged.max == merged_shuffled.max

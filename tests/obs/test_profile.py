@@ -1,0 +1,88 @@
+"""Tests for per-span wall/CPU profiling aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.profile import SpanProfile, hottest, profile_spans, profiling_enabled
+from repro.obs.trace import Span, Tracer
+
+
+def _finished(name: str, duration_ms: float, cpu_ms: float | None = None) -> Span:
+    span = Span(name=name, span_id=name, parent_id=None, start_s=0.0)
+    span.end_s = duration_ms / 1e3
+    if cpu_ms is not None:
+        span.cpu_start_s = 0.0
+        span.cpu_end_s = cpu_ms / 1e3
+    return span
+
+
+class TestProfileSpans:
+    def test_aggregates_per_name(self):
+        spans = [
+            _finished("a", 10.0, cpu_ms=4.0),
+            _finished("a", 30.0, cpu_ms=6.0),
+            _finished("b", 5.0),
+        ]
+        profiles = profile_spans(spans)
+        assert profiles["a"].count == 2
+        assert profiles["a"].total_ms == pytest.approx(40.0)
+        assert profiles["a"].mean_ms == pytest.approx(20.0)
+        assert profiles["a"].cpu_ms == pytest.approx(10.0)
+        assert profiles["a"].wait_ms == pytest.approx(30.0)
+        assert profiles["b"].cpu_ms == 0.0
+
+    def test_skips_open_spans(self):
+        open_span = Span(name="open", span_id="o", parent_id=None, start_s=0.0)
+        assert profile_spans([open_span]) == {}
+
+    def test_wait_clamped_at_zero(self):
+        profile = SpanProfile(
+            name="x", count=1, total_ms=1.0, mean_ms=1.0, p95_ms=1.0, cpu_ms=2.0
+        )
+        assert profile.wait_ms == 0.0
+
+    def test_profile_rejects_empty_count(self):
+        with pytest.raises(ObservabilityError):
+            SpanProfile(name="x", count=0, total_ms=0.0, mean_ms=0.0, p95_ms=0.0, cpu_ms=0.0)
+
+
+class TestHottest:
+    def test_orders_by_total_wall_time(self):
+        spans = [
+            _finished("cold", 1.0),
+            _finished("hot", 50.0),
+            _finished("warm", 10.0),
+        ]
+        names = [profile.name for profile in hottest(spans)]
+        assert names == ["hot", "warm", "cold"]
+
+    def test_truncates_to_top(self):
+        spans = [_finished(f"s{i}", float(i + 1)) for i in range(5)]
+        assert len(hottest(spans, top=2)) == 2
+
+    def test_rejects_bad_top(self):
+        with pytest.raises(ObservabilityError):
+            hottest([], top=0)
+
+
+class TestProfilingEnabled:
+    def test_requires_tracing_and_cpu_flag(self):
+        tracer = Tracer(enabled=True)
+        tracer.profile_cpu = True
+        assert profiling_enabled(tracer)
+        tracer.profile_cpu = False
+        assert not profiling_enabled(tracer)
+        disabled = Tracer(enabled=False)
+        disabled.profile_cpu = True
+        assert not profiling_enabled(disabled)
+
+    def test_cpu_samples_recorded_when_enabled(self, clock):
+        tracer = Tracer(enabled=True, clock=clock, id_prefix="")
+        tracer.profile_cpu = True
+        with tracer.span("compute"):
+            sum(range(1000))
+        (span,) = tracer.spans()
+        assert span.cpu_ms is not None
+        assert span.cpu_ms >= 0.0

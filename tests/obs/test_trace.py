@@ -1,0 +1,147 @@
+"""Tests for the span tracer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.trace import NULL_SPAN, Span, Tracer, get_tracer, set_tracer
+
+
+class TestSpanLifecycle:
+    def test_nested_spans_link_parent_ids(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        spans = tracer.spans()
+        assert [span.name for span in spans] == ["inner", "outer"]
+        assert spans[1].parent_id is None
+
+    def test_monotonic_timing_from_injected_clock(self, tracer):
+        with tracer.span("timed"):
+            pass
+        (span,) = tracer.spans()
+        assert span.duration_ms == pytest.approx(1000.0)
+        assert span.end_s > span.start_s
+
+    def test_attributes_at_open_and_inside(self, tracer):
+        with tracer.span("attrs", archetype="honest", K=20) as span:
+            span.set("k_star", 7)
+            span.update(cache_hit=True)
+        (span,) = tracer.spans()
+        assert span.attributes == {
+            "archetype": "honest",
+            "K": 20,
+            "k_star": 7,
+            "cache_hit": True,
+        }
+
+    def test_error_recorded_and_reraised(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span.error == "ValueError"
+
+    def test_current_span_tracks_nesting(self, tracer):
+        assert Tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert Tracer.current_span() is outer
+        assert Tracer.current_span() is None
+
+    def test_wrap_decorator(self, tracer):
+        @tracer.wrap("wrapped", source="decorator")
+        def work(x: int) -> int:
+            return x * 2
+
+        assert work(21) == 42
+        (span,) = tracer.spans()
+        assert span.name == "wrapped"
+        assert span.attributes == {"source": "decorator"}
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_null(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored", k=1) as span:
+            assert span is NULL_SPAN
+            span.set("k", 2)  # swallowed, no error
+        assert tracer.spans() == ()
+
+    def test_disabled_context_is_shared_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_null_span_has_empty_id(self):
+        assert NULL_SPAN.span_id == ""
+        assert NULL_SPAN.duration_ms is None
+
+
+class TestBoundsAndThreads:
+    def test_max_spans_drops_oldest_and_counts(self, clock):
+        tracer = Tracer(enabled=True, clock=clock, id_prefix="", max_spans=2)
+        for index in range(4):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [span.name for span in tracer.spans()] == ["s2", "s3"]
+        assert tracer.dropped == 2
+
+    def test_rejects_bad_max_spans(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(max_spans=0)
+
+    def test_spans_in_threads_become_roots(self, tracer):
+        def worker() -> None:
+            with tracer.span("threaded"):
+                pass
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        by_name = {span.name: span for span in tracer.spans()}
+        assert by_name["threaded"].parent_id is None
+
+    def test_ids_unique_across_concurrent_use(self, tracer):
+        ids = []
+
+        def worker() -> None:
+            for _ in range(50):
+                span = tracer.start_span("x")
+                tracer.finish(span)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ids = [span.span_id for span in tracer.spans()]
+        assert len(ids) == len(set(ids)) == 200
+
+
+class TestGlobals:
+    def test_set_tracer_swaps_and_returns_previous(self):
+        replacement = Tracer(enabled=False)
+        previous = set_tracer(replacement)
+        try:
+            assert get_tracer() is replacement
+        finally:
+            set_tracer(previous)
+
+    def test_records_are_json_ready(self, tracer):
+        with tracer.span("record", K=3):
+            pass
+        (record,) = tracer.records()
+        assert record["kind"] == "span"
+        assert record["name"] == "record"
+        assert record["attributes"] == {"K": 3}
+        assert record["duration_ms"] == pytest.approx(1000.0)
+
+
+class TestSpanObject:
+    def test_open_span_has_no_duration(self):
+        span = Span(name="open", span_id="1", parent_id=None, start_s=0.0)
+        assert span.duration_ms is None
+        assert span.cpu_ms is None

@@ -92,3 +92,64 @@ class TestSnapshot:
         rendered = stats.format()
         for key in ("requests", "batches", "unique_solves", "cache_hit_rate"):
             assert key in rendered
+
+
+class TestMetricsBacking:
+    def test_shared_registry_publishes_serving_metrics(self, clock):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stats = ServingStats(clock=clock, registry=registry)
+        stats.record_batch(
+            n_requests=4,
+            n_unique=2,
+            n_cache_hits=1,
+            duration=0.5,
+            request_latencies=[0.1, 0.2],
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["serving.requests"] == {"value": 4.0}
+        assert snapshot["serving.batches"] == {"value": 1.0}
+        assert snapshot["serving.unique_solves"] == {"value": 1.0}
+        assert snapshot["serving.cache_hits"] == {"value": 1.0}
+        assert snapshot["serving.request_latency_s"]["count"] == 2.0
+        assert snapshot["serving.batch_latency_s"]["count"] == 1.0
+
+    def test_private_registries_do_not_collide(self, clock):
+        first = ServingStats(clock=clock)
+        second = ServingStats(clock=clock)
+        first.record_batch(n_requests=5, n_unique=5, n_cache_hits=0, duration=0.1)
+        assert second.requests == 0
+
+    def test_namespace_prefix(self, clock):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stats = ServingStats(clock=clock, registry=registry, namespace="pool")
+        stats.record_batch(n_requests=1, n_unique=1, n_cache_hits=0, duration=0.1)
+        assert registry.snapshot()["pool.requests"] == {"value": 1.0}
+
+
+class TestLegacyWriteShim:
+    def test_direct_assignment_warns_and_increments(self, clock):
+        stats = ServingStats(clock=clock)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            stats.requests = 5
+        assert stats.requests == 5
+        with pytest.warns(DeprecationWarning):
+            stats.requests += 2
+        assert stats.requests == 7
+
+    def test_decreasing_a_counter_is_rejected(self, clock):
+        stats = ServingStats(clock=clock)
+        with pytest.warns(DeprecationWarning):
+            stats.cache_hits = 3
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ServingError):
+                stats.cache_hits = 1
+
+    def test_counters_read_as_ints(self, clock):
+        stats = ServingStats(clock=clock)
+        stats.record_batch(n_requests=2, n_unique=1, n_cache_hits=1, duration=0.1)
+        for name in ("requests", "batches", "unique_solves", "cache_hits", "cache_misses"):
+            assert isinstance(getattr(stats, name), int)

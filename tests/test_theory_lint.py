@@ -311,6 +311,57 @@ class TestRepro008Annotations:
         assert "REPRO008" not in codes(diags)
 
 
+class TestRepro009ObsDiscipline:
+    def test_flags_print_in_serving(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "serving/x.py",
+            'def f() -> None:\n    print("served")\n',
+        )
+        assert "REPRO009" in codes(diags)
+
+    def test_flags_wall_clock_in_core(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "core/x.py",
+            "import time\n\n\ndef f() -> float:\n    return time.time()\n",
+        )
+        assert "REPRO009" in codes(diags)
+
+    def test_flags_wall_clock_in_simulation(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "simulation/x.py",
+            "import time\n\n\ndef f() -> float:\n    return time.time()\n",
+        )
+        assert "REPRO009" in codes(diags)
+
+    def test_cli_modules_exempt(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "serving/cli.py",
+            'def f() -> None:\n    print("allowed at the boundary")\n',
+        )
+        assert "REPRO009" not in codes(diags)
+
+    def test_other_packages_exempt(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "experiments/x.py",
+            'def f() -> None:\n    print("figures narrate progress")\n',
+        )
+        assert "REPRO009" not in codes(diags)
+
+    def test_monotonic_clocks_accepted(self, tmp_path):
+        diags = lint_snippet(
+            tmp_path,
+            "core/x.py",
+            "import time\n\n\ndef f() -> float:\n"
+            "    return time.perf_counter() + time.process_time()\n",
+        )
+        assert "REPRO009" not in codes(diags)
+
+
 class TestEngineMechanics:
     def test_package_relative_strips_src_prefix(self):
         assert (
