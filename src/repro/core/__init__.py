@@ -7,6 +7,8 @@ Public surface of the core algorithm:
 * :class:`~repro.core.contract.Contract` — posted contracts.
 * :func:`~repro.core.best_response.solve_best_response` — follower side.
 * :func:`~repro.core.candidate.build_candidate` — candidate contracts.
+* :mod:`~repro.core.sweep` — the vectorized shared-prefix candidate
+  sweep (the designer hot path; ``REPRO_FASTPATH`` toggles it).
 * :class:`~repro.core.designer.ContractDesigner` — the full algorithm.
 * :mod:`~repro.core.bounds` — Lemma 4.2/4.3 and Theorem 4.1 certificates.
 * :func:`~repro.core.decomposition.solve_subproblems` — BiP decomposition.
@@ -42,6 +44,16 @@ from .sensitivity import (
     robust_design,
 )
 from .stackelberg import RoundOutcome, SubjectOutcome, play_round
+from .sweep import (
+    PrefixTables,
+    SweepStats,
+    fastpath_enabled,
+    legacy_sweep,
+    prefix_tables,
+    sweep_candidates,
+    sweep_candidates_with_stats,
+    vectorized_sweep,
+)
 from .utility import RequesterObjective, per_worker_utility, round_benefit, round_utility
 
 __all__ = [
@@ -84,6 +96,14 @@ __all__ = [
     "RoundOutcome",
     "SubjectOutcome",
     "play_round",
+    "PrefixTables",
+    "SweepStats",
+    "fastpath_enabled",
+    "legacy_sweep",
+    "prefix_tables",
+    "sweep_candidates",
+    "sweep_candidates_with_stats",
+    "vectorized_sweep",
     "RequesterObjective",
     "per_worker_utility",
     "round_benefit",

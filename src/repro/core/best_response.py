@@ -21,8 +21,9 @@ The solver optionally takes the worker's *true* effort function, which
 may differ from the fitted one embedded in the contract — this is what
 lets the marketplace simulation quantify model-misfit effects.
 
-Ties are broken toward the *lowest* effort: a worker indifferent between
-two efforts prefers the cheaper one.
+Ties are broken toward the *lowest* effort: a worker indifferent (up to
+the :mod:`repro.numerics` tolerances) between two efforts prefers the
+cheaper one.
 """
 
 from __future__ import annotations
@@ -32,13 +33,12 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..errors import DesignError
+from ..numerics import close
 from ..types import WorkerParameters
 from .contract import Contract
 from .effort import QuadraticEffort
 
 __all__ = ["BestResponse", "solve_best_response", "worker_utility"]
-
-_TIE_TOLERANCE = 1e-9
 
 
 @dataclass(frozen=True)
@@ -171,7 +171,10 @@ def solve_best_response(
     best_utility = -math.inf
     for effort in sorted(_candidate_efforts(contract, params, psi)):
         utility = worker_utility(contract, params, effort, effort_function=psi)
-        if utility > best_utility + _TIE_TOLERANCE:
+        # Tie breaking at repro.numerics tolerance (REPRO001 float
+        # discipline): a strictly-better-but-close utility does not
+        # justify the costlier effort.
+        if utility > best_utility and not close(utility, best_utility):
             best_utility = utility
             best_effort = effort
     feedback = float(psi(best_effort))

@@ -25,6 +25,7 @@ from ..errors import DesignError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (no runtime cycle)
     from ..serving.cache import ContractCache
+from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..types import DiscretizationGrid, WorkerParameters
 from .best_response import BestResponse, solve_best_response
@@ -33,9 +34,10 @@ from .bounds import (
     requester_utility_lower_bound,
     requester_utility_upper_bound,
 )
-from .candidate import CandidateContract, build_candidate
+from .candidate import CandidateContract
 from .contract import Contract
 from .effort import QuadraticEffort
+from .sweep import SweepStats, sweep_candidates_with_stats
 from .utility import per_worker_utility
 
 __all__ = ["DesignerConfig", "CandidateEvaluation", "DesignResult", "ContractDesigner"]
@@ -198,6 +200,11 @@ class ContractDesigner:
             cache; cache hits are re-verified against fresh solves under
             ``REPRO_CHECK_INVARIANTS=1``.  The default ``None`` keeps
             the original solve-every-call serial path.
+        candidate_cache_size: bound on the designer's internal
+            candidate-sweep LRU (one entry per unique
+            ``(psi, params, grid, base_pay)`` combination); evictions
+            are counted in the shared metrics registry under
+            ``designer.candidate_cache.evictions``.
     """
 
     def __init__(
@@ -205,6 +212,7 @@ class ContractDesigner:
         mu: float = 1.0,
         config: Optional[DesignerConfig] = None,
         design_cache: Optional["ContractCache"] = None,
+        candidate_cache_size: int = 256,
     ) -> None:
         if mu <= 0.0:
             raise DesignError(f"mu must be positive, got {mu!r}")
@@ -215,8 +223,19 @@ class ContractDesigner:
         # (psi, params, grid, base_pay) — not on the feedback weight or
         # mu — so a population sharing class-level effort functions
         # (Section IV-B) reuses one candidate sweep across thousands of
-        # subproblems.
-        self._candidate_cache: dict = {}
+        # subproblems.  The cache is the serving layer's bounded LRU so
+        # long-lived designers facing heterogeneous populations cannot
+        # grow without bound; imported lazily to keep core importable
+        # without the serving layer loaded.
+        from ..serving.cache import LRUCache
+
+        self._candidate_cache = LRUCache(
+            capacity=candidate_cache_size,
+            eviction_counter=get_registry().counter(
+                "designer.candidate_cache.evictions",
+                help="candidate sweeps evicted from designer LRU caches",
+            ),
+        )
 
     def design(
         self,
@@ -331,13 +350,17 @@ class ContractDesigner:
 
         tracer = get_tracer()
         if not tracer.enabled:
-            sweep = self._candidate_sweep(effort_function, grid, params)
+            sweep, _ = self._candidate_sweep(effort_function, grid, params)
         else:
             with tracer.span(
                 "core.candidate_sweep", K=grid.n_intervals
             ) as sweep_span:
-                sweep = self._candidate_sweep(effort_function, grid, params)
+                sweep, sweep_stats = self._candidate_sweep(
+                    effort_function, grid, params
+                )
                 sweep_span.set("n_candidates", len(sweep))
+                sweep_span.set("fastpath", sweep_stats.fastpath)
+                sweep_span.set("n_vectorized", sweep_stats.n_vectorized)
         evaluations = []
         for candidate, response in sweep:
             utility = per_worker_utility(
@@ -395,10 +418,14 @@ class ContractDesigner:
     def _candidate_sweep(
         self,
         effort_function: QuadraticEffort,
-        grid,
+        grid: DiscretizationGrid,
         params: WorkerParameters,
-    ):
-        """All candidate contracts with their best responses (cached)."""
+    ) -> Tuple[list, SweepStats]:
+        """All candidate contracts with their best responses (cached).
+
+        Routed through :mod:`repro.core.sweep`: the vectorized
+        shared-prefix engine unless ``REPRO_FASTPATH=0``.
+        """
         key = (
             effort_function.coefficients(),
             params.beta,
@@ -410,19 +437,11 @@ class ContractDesigner:
         cached = self._candidate_cache.get(key)
         if cached is not None:
             return cached
-        sweep = []
-        for target_piece in range(1, grid.n_intervals + 1):
-            candidate = build_candidate(
-                effort_function=effort_function,
-                grid=grid,
-                params=params,
-                target_piece=target_piece,
-                base_pay=self.config.base_pay,
-            )
-            response = solve_best_response(candidate.contract, params)
-            sweep.append((candidate, response))
-        self._candidate_cache[key] = sweep
-        return sweep
+        sweep, stats = sweep_candidates_with_stats(
+            effort_function, grid, params, base_pay=self.config.base_pay
+        )
+        self._candidate_cache.put(key, (sweep, stats))
+        return sweep, stats
 
     def _null_result(
         self,

@@ -14,9 +14,48 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import ContractError
 
-__all__ = ["PiecewiseLinear"]
+__all__ = ["PiecewiseLinear", "batch_locate"]
+
+
+def batch_locate(
+    knots: np.ndarray, points: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized piece lookup for the Eq. (6) piecewise-linear geometry.
+
+    For each query point, returns the 0-based piece index and the
+    interpolation fraction within that piece, replicating the
+    ``bisect_right``-based branch of :meth:`PiecewiseLinear.__call__`
+    elementwise.  Out-of-range points clamp to the first/last piece with
+    fraction exactly ``0.0``/``1.0`` (callers wanting the *exact* flat
+    extrapolation of Eq. (6) — no interpolation residue — should mask
+    those points separately, as :meth:`PiecewiseLinear.batch` does).
+
+    Args:
+        knots: strictly increasing breakpoint abscissae (length >= 2).
+        points: query abscissae, any shape.
+
+    Returns:
+        ``(indices, fractions)`` arrays shaped like ``points``.
+    """
+    knots = np.asarray(knots, dtype=float)
+    points = np.asarray(points, dtype=float)
+    if knots.ndim != 1 or len(knots) < 2:
+        raise ContractError(
+            f"batch_locate needs >= 2 one-dimensional knots, got shape "
+            f"{knots.shape!r}"
+        )
+    indices = np.clip(
+        np.searchsorted(knots, points, side="right") - 1, 0, len(knots) - 2
+    )
+    left = knots[indices]
+    fractions = (points - left) / (knots[indices + 1] - left)
+    fractions = np.where(points <= knots[0], 0.0, fractions)
+    fractions = np.where(points >= knots[-1], 1.0, fractions)
+    return indices, fractions
 
 
 @dataclass(frozen=True)
@@ -87,15 +126,38 @@ class PiecewiseLinear:
         return dy / dx
 
     def slopes(self) -> Tuple[float, ...]:
-        """Slopes of all pieces, in order."""
-        return tuple(self.slope(piece) for piece in range(1, self.n_pieces + 1))
+        """Slopes of all pieces, in order (single pass over the knots)."""
+        return tuple(
+            (later - earlier) / (right - left)
+            for left, right, earlier, later in zip(
+                self.knots, self.knots[1:], self.values, self.values[1:]
+            )
+        )
 
     def increments(self) -> Tuple[float, ...]:
         """Value increments ``values[l] - values[l-1]`` for all pieces."""
         return tuple(
-            self.values[piece] - self.values[piece - 1]
-            for piece in range(1, self.n_pieces + 1)
+            later - earlier
+            for earlier, later in zip(self.values, self.values[1:])
         )
+
+    def batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`__call__` over an array of abscissae.
+
+        One :func:`batch_locate` pass plus one fused interpolation — the
+        fast path the Section IV-C vectorized candidate sweep
+        (:mod:`repro.core.sweep`) shares for evaluating the Eq. (6)
+        contract at many feedbacks at once.  Flat extrapolation outside
+        the knots is exact, matching the scalar call.
+        """
+        points = np.asarray(points, dtype=float)
+        knots = np.asarray(self.knots)
+        values = np.asarray(self.values)
+        indices, fractions = batch_locate(knots, points)
+        left = values[indices]
+        interpolated = left + fractions * (values[indices + 1] - left)
+        interpolated = np.where(points <= knots[0], values[0], interpolated)
+        return np.where(points >= knots[-1], values[-1], interpolated)
 
     def is_monotone_nondecreasing(self, tolerance: float = 0.0) -> bool:
         """Whether the function never decreases (contract feasibility)."""

@@ -23,7 +23,7 @@ into a serving layer:
 
 from __future__ import annotations
 
-from .cache import CacheStats, ContractCache, require_results_agree
+from .cache import CacheStats, ContractCache, LRUCache, require_results_agree
 from .fingerprint import design_fingerprint, subproblem_fingerprint
 from .pool import SolveDiagnostics, SolverPool, solve_subproblems_parallel
 from .replay import verify_ledger, verify_round
@@ -35,6 +35,7 @@ __all__ = [
     "CacheStats",
     "ContractCache",
     "ContractServer",
+    "LRUCache",
     "ServingStats",
     "SolveDiagnostics",
     "SolverPool",

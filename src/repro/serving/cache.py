@@ -21,15 +21,17 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from ..analysis.invariants import InvariantViolation, invariants_enabled
 from ..core.designer import DesignResult
 from ..errors import ServingError
 from ..numerics import close
+from ..obs.metrics import Counter
 
 __all__ = [
     "CacheStats",
+    "LRUCache",
     "ContractCache",
     "require_results_agree",
     "maybe_verify_cached",
@@ -74,7 +76,83 @@ class CacheStats:
         }
 
 
-class ContractCache:
+class LRUCache:
+    """A bounded, thread-safe LRU map over hashable keys.
+
+    The one eviction policy of the serving layer, shared by the
+    fingerprint-keyed :class:`ContractCache` and the designer's
+    candidate-sweep cache
+    (:class:`~repro.core.designer.ContractDesigner`).
+
+    Args:
+        capacity: maximum number of cached entries; the least recently
+            *used* entry is evicted first.
+        eviction_counter: optional :class:`~repro.obs.metrics.Counter`
+            (typically registered in the shared
+            :func:`~repro.obs.metrics.get_registry`) incremented once
+            per evicted entry, so eviction pressure shows up next to
+            the serving hit/miss metrics in one exporter pass.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        eviction_counter: Optional[Counter] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ServingError(f"cache capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self.eviction_counter = eviction_counter
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's recency.
+        """
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) one entry, evicting LRU overflow."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                if self.eviction_counter is not None:
+                    self.eviction_counter.inc()
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Cached keys from least to most recently used."""
+        with self._lock:
+            return tuple(self._entries)
+
+
+class ContractCache(LRUCache):
     """A bounded, thread-safe LRU map ``fingerprint -> DesignResult``.
 
     Args:
@@ -83,57 +161,24 @@ class ContractCache:
             covers every archetype a large marketplace round produces
             (workers share class-level fits, see
             :mod:`repro.serving.fingerprint`).
+        eviction_counter: optional shared-registry eviction counter
+            (see :class:`LRUCache`).
     """
-
-    def __init__(self, capacity: int = 4096) -> None:
-        if capacity < 1:
-            raise ServingError(f"cache capacity must be >= 1, got {capacity!r}")
-        self.capacity = capacity
-        self.stats = CacheStats()
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[str, DesignResult]" = OrderedDict()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def __contains__(self, fingerprint: str) -> bool:
-        with self._lock:
-            return fingerprint in self._entries
 
     def get_design(self, fingerprint: str) -> Optional[DesignResult]:
         """The cached design for ``fingerprint``, or ``None`` on a miss.
 
         A hit refreshes the entry's recency.
         """
-        with self._lock:
-            result = self._entries.get(fingerprint)
-            if result is None:
-                self.stats.misses += 1
-                return None
-            self._entries.move_to_end(fingerprint)
-            self.stats.hits += 1
-            return result
+        return self.get(fingerprint)
 
     def put_design(self, fingerprint: str, result: DesignResult) -> None:
         """Insert (or refresh) one solved design, evicting LRU overflow."""
-        with self._lock:
-            if fingerprint in self._entries:
-                self._entries.move_to_end(fingerprint)
-            self._entries[fingerprint] = result
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
-
-    def clear(self) -> None:
-        """Drop every entry (counters are preserved)."""
-        with self._lock:
-            self._entries.clear()
+        self.put(fingerprint, result)
 
     def fingerprints(self) -> Tuple[str, ...]:
         """Cached fingerprints from least to most recently used."""
-        with self._lock:
-            return tuple(self._entries)
+        return tuple(str(key) for key in self.keys())
 
 
 def require_results_agree(

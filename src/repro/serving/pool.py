@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.decomposition import Subproblem, SubproblemSolution
 from ..core.designer import ContractDesigner, DesignerConfig, DesignResult
+from ..core.sweep import fastpath_enabled
 from ..errors import ServingError
 from ..obs.trace import get_tracer
 from .cache import ContractCache, maybe_verify_cached
@@ -219,6 +220,7 @@ class SolverPool:
             )
             span.set("n_hits", sum(1 for hit in cache_hits if hit))
             span.set("n_workers", self.n_workers)
+            span.set("fastpath", fastpath_enabled())
             return designs, cache_hits
 
     def _solve_designs(

@@ -23,6 +23,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..core.sweep import fastpath_enabled
 from ..core.utility import RequesterObjective
 from ..errors import SimulationError
 from ..obs.trace import get_tracer
@@ -109,6 +110,9 @@ class MarketplaceSimulation:
             self._contracts = self.policy.contracts(self.population)
             self._excluded = self.policy.excluded_subjects(self.population)
             design_ms = (tracer.clock() - design_start) * 1e3
+            # Which Section IV-C sweep engine priced this round's
+            # contracts (REPRO_FASTPATH routing, see repro.core.sweep).
+            span.set("fastpath", fastpath_enabled())
         policy_weights = self.policy.current_weights(self.population)
 
         outcomes: Dict[str, SubjectRoundOutcome] = {}

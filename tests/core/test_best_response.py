@@ -57,6 +57,34 @@ class TestWorkerUtility:
         ) == pytest.approx(expected)
 
 
+class TestTieBreaking:
+    def test_exact_tie_picks_lowest_effort(self, psi, grid, honest_params):
+        """A flat contract ties every candidate at zero net slope when
+        beta == 0-cost is impossible, so make pay growth exactly cancel
+        the effort cost on the first piece: the solver must keep 0."""
+        contract = Contract.flat(grid, psi, pay=1.0)
+        response = solve_best_response(contract, honest_params)
+        assert response.effort == 0.0
+        assert response.utility == pytest.approx(1.0)
+
+    def test_near_tie_within_numerics_tolerance_prefers_lower(self, psi, grid):
+        """Utilities within repro.numerics tolerance are ties: the solver
+        keeps the earlier (lower-effort) candidate rather than chasing a
+        sub-tolerance improvement (Eq. 30 tie-breaking discipline)."""
+        from repro.numerics import close
+
+        params = WorkerParameters.malicious(beta=1.0, omega=0.3)
+        values = np.linspace(0.0, 5.0, grid.n_intervals + 1)
+        contract = _contract_from_values(psi, grid, values)
+        response = solve_best_response(contract, params)
+        # Any strictly-lower effort the solver passed over must be worse
+        # by more than tolerance OR the solver's pick is the lowest such.
+        for fraction in (0.25, 0.5, 0.75):
+            effort = response.effort * fraction
+            utility = worker_utility(contract, params, effort)
+            assert utility < response.utility or close(utility, response.utility)
+
+
 class TestFlatContract:
     def test_honest_worker_stays_home(self, psi, grid, honest_params):
         contract = Contract.flat(grid, psi, pay=2.0)

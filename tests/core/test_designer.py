@@ -112,6 +112,22 @@ class TestDesign:
         designer.design(other, honest_params, feedback_weight=1.0)
         assert len(designer._candidate_cache) == 2
 
+    def test_candidate_cache_is_bounded(self, psi, honest_params):
+        """A long-lived designer facing many betas cannot grow unboundedly."""
+        designer = ContractDesigner(
+            mu=1.0,
+            config=DesignerConfig(n_intervals=4),
+            candidate_cache_size=3,
+        )
+        for beta in (0.5, 1.0, 1.5, 2.0, 2.5):
+            designer.design(
+                psi,
+                WorkerParameters.honest(beta=beta),
+                feedback_weight=1.0,
+            )
+        assert len(designer._candidate_cache) == 3
+        assert designer._candidate_cache.stats.evictions == 2
+
     def test_rejects_bad_mu(self):
         with pytest.raises(DesignError):
             ContractDesigner(mu=0.0)

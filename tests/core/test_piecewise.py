@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import PiecewiseLinear
+from repro.core.piecewise import batch_locate
 from repro.errors import ContractError
 
 
@@ -80,6 +82,40 @@ class TestEvaluation:
         assert pl.piece_containing(5.9) == 3
         assert pl.piece_containing(6.0) == 3
         assert pl.piece_containing(60.0) == 3
+
+
+class TestBatchEvaluation:
+    """The vectorized fast path must match the scalar __call__ exactly."""
+
+    def test_batch_matches_scalar_exactly(self, pl):
+        points = np.array([-5.0, 0.0, 0.5, 1.0, 2.0, 3.0, 5.9, 6.0, 100.0])
+        batched = pl.batch(points)
+        for point, value in zip(points, batched):
+            assert value == pl(float(point))
+
+    def test_batch_flat_extrapolation_is_exact(self, pl):
+        # No interpolation residue at or beyond the outer knots.
+        batched = pl.batch(np.array([-1e9, pl.knots[0], pl.knots[-1], 1e9]))
+        assert batched[0] == pl.values[0]
+        assert batched[1] == pl.values[0]
+        assert batched[2] == pl.values[-1]
+        assert batched[3] == pl.values[-1]
+
+    def test_batch_locate_indices_and_fractions(self, pl):
+        knots = np.asarray(pl.knots)
+        indices, fractions = batch_locate(knots, np.array([0.5, 1.0, 4.5]))
+        assert indices.tolist() == [0, 1, 2]
+        assert fractions == pytest.approx([0.5, 0.0, 0.5])
+
+    def test_batch_locate_clamps_out_of_range(self, pl):
+        knots = np.asarray(pl.knots)
+        indices, fractions = batch_locate(knots, np.array([-10.0, 99.0]))
+        assert indices.tolist() == [0, len(knots) - 2]
+        assert fractions.tolist() == [0.0, 1.0]
+
+    def test_batch_locate_rejects_scalar_knots(self):
+        with pytest.raises(ContractError):
+            batch_locate(np.array([1.0]), np.array([0.0]))
 
 
 class TestTransforms:

@@ -7,7 +7,8 @@ import pytest
 from repro.analysis.invariants import InvariantViolation
 from repro.core import ContractDesigner, QuadraticEffort
 from repro.errors import ServingError
-from repro.serving import ContractCache
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import ContractCache, LRUCache
 from repro.serving.cache import maybe_verify_cached, require_results_agree
 from repro.types import WorkerParameters
 
@@ -80,6 +81,44 @@ class TestContractCache:
             "cache_verifications",
             "cache_hit_rate",
         }
+
+
+class TestLRUCache:
+    """The generic bounded cache underneath ContractCache and the
+    designer's candidate-sweep memo."""
+
+    def test_roundtrip_with_tuple_keys(self):
+        cache = LRUCache(capacity=4)
+        key = ((-0.5, 10.0, 1.0), 1.0, 0.0, 8)
+        assert cache.get(key) is None
+        cache.put(key, "sweep")
+        assert cache.get(key) == "sweep"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.keys() == ("a", "c")
+        assert cache.stats.evictions == 1
+
+    def test_eviction_counter_feeds_shared_registry(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("designer.candidate_cache.evictions")
+        cache = LRUCache(capacity=1, eviction_counter=counter)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert counter.value == 2
+        assert cache.stats.evictions == 2
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ServingError):
+            LRUCache(capacity=0)
 
 
 class TestCacheInvariant:
