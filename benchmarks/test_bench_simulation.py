@@ -1,0 +1,131 @@
+"""Benchmarks and speedup gate for the vectorized round engine.
+
+The fast round kernel's pitch is quantitative, so the threshold is
+asserted, not just reported: a 1,000-subject, 200-round, re-design-
+every-round simulation must run >= 5x faster through ``fast_step`` +
+delta-aware redesign than through the legacy per-subject loop with full
+re-solves — *and* the two ledgers must be bit-identical
+(``require_ledgers_agree`` uses exact equality; a speedup can never be
+bought with a wrong answer).  Measured headroom is well over an order
+of magnitude; the gate is deliberately conservative for CI runners.
+
+The gate test writes a ``BENCH_simulation.json`` artifact (path
+overridable via ``REPRO_BENCH_OUT``) so CI runs leave a machine-readable
+record (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.utility import RequesterObjective
+from repro.simulation import (
+    DynamicContractPolicy,
+    MarketplaceSimulation,
+    require_ledgers_agree,
+)
+from repro.workers import synthetic_population
+
+_GATE_SPEEDUP = 5.0
+_N_SUBJECTS = 1000
+_N_ARCHETYPES = 16
+_N_ROUNDS = 200
+_SEED = 0
+_FEEDBACK_NOISE = 0.3
+
+
+def _build(fast: bool, n_subjects: int = _N_SUBJECTS,
+           lagged: bool = False) -> MarketplaceSimulation:
+    population = synthetic_population(
+        n_subjects,
+        n_archetypes=_N_ARCHETYPES,
+        seed=_SEED,
+        feedback_noise=_FEEDBACK_NOISE,
+    )
+    return MarketplaceSimulation(
+        population,
+        RequesterObjective(),
+        DynamicContractPolicy(mu=1.0, delta=fast),
+        seed=_SEED,
+        redesign_every=1,
+        lagged_payment=lagged,
+        fast_rounds=fast,
+    )
+
+
+def test_bench_fast_rounds(benchmark):
+    """Time the fast engine on a mid-sized slice of the gate workload."""
+    def run():
+        return _build(True, n_subjects=300).run(30)
+
+    ledger = benchmark(run)
+    assert ledger.n_rounds == 30
+    assert all(record.n_dirty == 0 for record in ledger.records[1:])
+
+
+def test_bench_legacy_rounds(benchmark):
+    """Time the legacy engine on the same slice, for the ratio record."""
+    def run():
+        return _build(False, n_subjects=300).run(30)
+
+    ledger = benchmark(run)
+    assert ledger.n_rounds == 30
+
+
+def test_simulation_speedup_gate():
+    """The ISSUE acceptance gate, asserted on one measured run each."""
+    started = time.perf_counter()
+    fast_ledger = _build(True).run(_N_ROUNDS)
+    fast_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    legacy_ledger = _build(False).run(_N_ROUNDS)
+    legacy_seconds = time.perf_counter() - started
+
+    # Equivalence first: bit-identical ledgers, fast vs legacy.
+    require_ledgers_agree(fast_ledger, legacy_ledger)
+    # Delta redesign over the static population: zero re-solves after
+    # round 0, full reuse every redesign round.
+    assert fast_ledger.records[0].n_dirty == _N_SUBJECTS
+    for record in fast_ledger.records[1:]:
+        assert record.n_dirty == 0
+        assert record.reuse_rate == 1.0
+
+    speedup = legacy_seconds / fast_seconds
+    assert speedup >= _GATE_SPEEDUP, (
+        f"fast round engine only {speedup:.1f}x faster than legacy at "
+        f"{_N_SUBJECTS} subjects x {_N_ROUNDS} rounds; gate is "
+        f"{_GATE_SPEEDUP}x"
+    )
+
+    artifact = {
+        "n_subjects": _N_SUBJECTS,
+        "n_archetypes": _N_ARCHETYPES,
+        "n_rounds": _N_ROUNDS,
+        "redesign_every": 1,
+        "fast_seconds": fast_seconds,
+        "legacy_seconds": legacy_seconds,
+        "speedup": speedup,
+        "mean_reuse_rate": fast_ledger.mean_reuse_rate(),
+        "gates": {"simulation": _GATE_SPEEDUP},
+    }
+    out_path = os.environ.get("REPRO_BENCH_OUT", "BENCH_simulation.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+
+
+def test_lagged_payment_ledgers_bit_identical():
+    """Eq. (1) timing included: seeded lagged runs agree bit for bit."""
+    fast = _build(True, n_subjects=300, lagged=True).run(40)
+    legacy = _build(False, n_subjects=300, lagged=True).run(40)
+    require_ledgers_agree(fast, legacy)
+
+
+def test_fast_engine_in_check_mode(monkeypatch):
+    """Every fast round self-verifies under REPRO_CHECK_INVARIANTS=1."""
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    ledger = _build(True, n_subjects=200, lagged=True).run(10)
+    assert ledger.n_rounds == 10
+    assert all(record.n_dirty == 0 for record in ledger.records[1:])

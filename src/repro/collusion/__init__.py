@@ -2,6 +2,7 @@
 
 from .clustering import (
     CollusionClusters,
+    StreamingClusterer,
     build_auxiliary_graph,
     cluster_collusive_workers,
     cluster_streaming,
@@ -17,6 +18,7 @@ from .graph import Graph, UnionFind
 
 __all__ = [
     "CollusionClusters",
+    "StreamingClusterer",
     "build_auxiliary_graph",
     "cluster_collusive_workers",
     "cluster_streaming",

@@ -22,6 +22,7 @@ from .graph import Graph, UnionFind
 
 __all__ = [
     "CollusionClusters",
+    "StreamingClusterer",
     "build_auxiliary_graph",
     "cluster_collusive_workers",
     "cluster_streaming",
@@ -52,34 +53,49 @@ class CollusionClusters:
         """Total workers inside communities (paper reports 212)."""
         return sum(len(community) for community in self.communities)
 
+    def _membership(self) -> Dict[Hashable, int]:
+        """Worker -> community-index map, built once and cached.
+
+        The instance is frozen and the communities are immutable, so the
+        map is computed lazily on first lookup and reused; this turns
+        :meth:`community_of`/:meth:`partners_of` from per-call scans over
+        every community into dictionary lookups.
+        """
+        cached = getattr(self, "_membership_cache", None)
+        if cached is None:
+            cached = {}
+            for index, community in enumerate(self.communities):
+                for worker in community:
+                    cached[worker] = index
+            object.__setattr__(self, "_membership_cache", cached)
+        return cached
+
     def community_of(self, worker: Hashable) -> FrozenSet[Hashable]:
         """The community containing ``worker``.
 
         Raises:
             DataError: if the worker is not in any community.
         """
-        for community in self.communities:
-            if worker in community:
-                return community
-        raise DataError(f"worker {worker!r} is not in any collusive community")
+        index = self._membership().get(worker)
+        if index is None:
+            raise DataError(
+                f"worker {worker!r} is not in any collusive community"
+            )
+        return self.communities[index]
 
     def partners_of(self, worker: Hashable) -> int:
         """Number of collusive partners ``A_i`` of ``worker`` (Eq. 5).
 
         Non-collusive workers have zero partners.
         """
-        for community in self.communities:
-            if worker in community:
-                return len(community) - 1
-        return 0
+        index = self._membership().get(worker)
+        if index is None:
+            return 0
+        return len(self.communities[index]) - 1
 
     def membership(self) -> Dict[Hashable, int]:
         """Map each collusive worker to its community index."""
-        mapping: Dict[Hashable, int] = {}
-        for index, community in enumerate(self.communities):
-            for worker in community:
-                mapping[worker] = index
-        return mapping
+        return dict(self._membership())
 
     def size_histogram(self) -> Dict[int, int]:
         """Community-size histogram (basis of Table II)."""
@@ -183,18 +199,7 @@ def cluster_streaming(
             if product in last_reviewer_of:
                 sets.union(last_reviewer_of[product], worker)
             last_reviewer_of[product] = worker
-        communities = [frozenset(g) for g in sets.groups() if len(g) >= 2]
-        communities.sort(key=lambda c: (-len(c), min(str(w) for w in c)))
-        singletons = frozenset(
-            next(iter(g)) for g in sets.groups() if len(g) == 1
-        )
-        # Malicious workers with no reviews at all are trivially non-collusive.
-        unseen = frozenset(
-            w for w in malicious_workers if w not in last_set(sets)
-        )
-        clusters = CollusionClusters(
-            communities=tuple(communities), noncollusive=singletons | unseen
-        )
+        clusters = _clusters_from_sets(sets, malicious_workers)
         span.set("n_communities", clusters.n_communities)
         span.set("n_collusive", clusters.n_collusive_workers)
         span.set(
@@ -204,6 +209,88 @@ def cluster_streaming(
         return clusters
 
 
-def last_set(sets: UnionFind) -> Set[Hashable]:
+def _clusters_from_sets(
+    sets: UnionFind, malicious_workers: Set[Hashable]
+) -> CollusionClusters:
+    """Partition a populated union-find into :class:`CollusionClusters`."""
+    groups = sets.groups()
+    communities = [frozenset(g) for g in groups if len(g) >= 2]
+    communities.sort(key=lambda c: (-len(c), min(str(w) for w in c)))
+    singletons = frozenset(next(iter(g)) for g in groups if len(g) == 1)
+    # Malicious workers with no reviews at all are trivially non-collusive.
+    unseen = frozenset(
+        w for w in malicious_workers if w not in _seen_items(sets)
+    )
+    return CollusionClusters(
+        communities=tuple(communities), noncollusive=singletons | unseen
+    )
+
+
+def _seen_items(sets: UnionFind) -> Set[Hashable]:
     """All items a union-find has ever seen (helper for streaming mode)."""
     return {item for group in sets.groups() for item in group}
+
+
+class StreamingClusterer:
+    """Incrementally maintained collusive communities over a review stream.
+
+    Where :func:`cluster_streaming` re-consumes the whole stream on each
+    call, this keeps the union-find, the per-product last-reviewer map
+    and the malicious label set alive between updates, so feeding the
+    next batch of review pairs costs only those pairs — the delta path
+    the simulation's redesign loop uses when the observed stream grows
+    round over round.  Feeding the same stream in any batching yields a
+    :class:`CollusionClusters` identical to the one-shot function.
+
+    Pairs are filtered against the malicious set *at the time they are
+    added*, exactly like the one-shot scan over a fixed label set; add
+    all known labels via :meth:`add_malicious` before streaming pairs.
+    """
+
+    def __init__(
+        self, malicious_workers: Iterable[Hashable] = ()
+    ) -> None:
+        self._sets = UnionFind()
+        self._last_reviewer_of: Dict[Hashable, Hashable] = {}
+        self._malicious: Set[Hashable] = set(malicious_workers)
+        self._cached: "CollusionClusters | None" = None
+
+    @property
+    def n_pairs_retained(self) -> int:
+        """Number of malicious workers currently tracked."""
+        return len(self._sets)
+
+    def add_malicious(self, workers: Iterable[Hashable]) -> None:
+        """Extend the malicious label set (affects future pairs only)."""
+        before = len(self._malicious)
+        self._malicious.update(workers)
+        if len(self._malicious) != before:
+            self._cached = None
+
+    def add_pair(self, worker: Hashable, product: Hashable) -> None:
+        """Ingest one (worker, product) review pair."""
+        if worker not in self._malicious:
+            return
+        self._sets.add(worker)
+        if product in self._last_reviewer_of:
+            self._sets.union(self._last_reviewer_of[product], worker)
+        self._last_reviewer_of[product] = worker
+        self._cached = None
+
+    def add_pairs(
+        self, review_pairs: Iterable[Tuple[Hashable, Hashable]]
+    ) -> None:
+        """Ingest a batch of review pairs in stream order."""
+        for worker, product in review_pairs:
+            self.add_pair(worker, product)
+
+    def clusters(self) -> CollusionClusters:
+        """The current partition (cached until the next update)."""
+        if self._cached is None:
+            with get_tracer().span(
+                "collusion.cluster_incremental", n_workers=len(self._malicious)
+            ) as span:
+                self._cached = _clusters_from_sets(self._sets, self._malicious)
+                span.set("n_communities", self._cached.n_communities)
+                span.set("n_collusive", self._cached.n_collusive_workers)
+        return self._cached

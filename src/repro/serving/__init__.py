@@ -25,7 +25,14 @@ from __future__ import annotations
 
 from .cache import CacheStats, ContractCache, LRUCache, require_results_agree
 from .fingerprint import design_fingerprint, subproblem_fingerprint
-from .pool import SolveDiagnostics, SolverPool, solve_subproblems_parallel
+from .pool import (
+    DeltaSolveState,
+    RedesignStats,
+    SolveDiagnostics,
+    SolverPool,
+    require_redesigns_agree,
+    solve_subproblems_parallel,
+)
 from .replay import verify_ledger, verify_round
 from .server import ContractServer
 from .stats import ServingStats
@@ -35,11 +42,14 @@ __all__ = [
     "CacheStats",
     "ContractCache",
     "ContractServer",
+    "DeltaSolveState",
     "LRUCache",
+    "RedesignStats",
     "ServingStats",
     "SolveDiagnostics",
     "SolverPool",
     "design_fingerprint",
+    "require_redesigns_agree",
     "require_results_agree",
     "solve_subproblems_parallel",
     "subproblem_fingerprint",

@@ -27,18 +27,35 @@ import math
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..analysis.invariants import InvariantViolation, invariants_enabled
 from ..core.decomposition import Subproblem, SubproblemSolution
 from ..core.designer import ContractDesigner, DesignerConfig, DesignResult
 from ..core.sweep import fastpath_enabled
 from ..errors import ServingError
+from ..numerics import close
 from ..obs.trace import get_tracer
 from .cache import ContractCache, maybe_verify_cached
 from .fingerprint import subproblem_fingerprint
 from .stats import ServingStats
 
-__all__ = ["SolveDiagnostics", "SolverPool", "solve_subproblems_parallel"]
+__all__ = [
+    "DeltaSolveState",
+    "RedesignStats",
+    "SolveDiagnostics",
+    "SolverPool",
+    "require_redesigns_agree",
+    "solve_subproblems_parallel",
+]
+
+#: Signature of the fresh-solve callback a :class:`DeltaSolveState`
+#: falls back on for its dirty set: subproblems in, per-subject
+#: solutions plus (possibly empty) serving diagnostics out.
+SolveFn = Callable[
+    [Sequence[Subproblem]],
+    Tuple[Dict[str, SubproblemSolution], Dict[str, "SolveDiagnostics"]],
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +70,225 @@ class SolveDiagnostics:
 
     fingerprint: str
     cache_hit: bool
+
+
+@dataclass(frozen=True)
+class RedesignStats:
+    """Dirty-set accounting of one delta-aware redesign epoch.
+
+    Attributes:
+        n_subjects: subjects in the redesign request.
+        n_dirty: subjects whose design inputs changed since the previous
+            epoch and were therefore re-solved.  Equals ``n_subjects``
+            for a full (non-delta) redesign and for the first epoch.
+    """
+
+    n_subjects: int
+    n_dirty: int
+
+    def __post_init__(self) -> None:
+        if self.n_subjects < 0:
+            raise ServingError(
+                f"n_subjects must be >= 0, got {self.n_subjects!r}"
+            )
+        if not 0 <= self.n_dirty <= self.n_subjects:
+            raise ServingError(
+                f"n_dirty must lie in [0, {self.n_subjects}], "
+                f"got {self.n_dirty!r}"
+            )
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of subjects whose previous design was reused."""
+        if self.n_subjects == 0:
+            return 1.0
+        return 1.0 - self.n_dirty / self.n_subjects
+
+
+def require_redesigns_agree(
+    reused: Mapping[str, SubproblemSolution],
+    reference: Mapping[str, SubproblemSolution],
+) -> None:
+    """Assert delta-reused designs match freshly solved ones.
+
+    The dirty-set detector's correctness contract: every solution it
+    chose *not* to re-solve must equal what a full re-solve would have
+    produced (same posted compensations, same target piece, same best
+    response).
+
+    Raises:
+        InvariantViolation: on the first disagreement.
+    """
+    for subject_id, kept in reused.items():
+        fresh = reference.get(subject_id)
+        if fresh is None:
+            raise InvariantViolation(
+                f"delta redesign reused a design for {subject_id!r} that a "
+                "full redesign does not produce"
+            )
+        if kept.result.k_opt != fresh.result.k_opt:
+            raise InvariantViolation(
+                f"delta redesign reused a stale design for {subject_id!r}: "
+                f"k_opt {kept.result.k_opt!r} != {fresh.result.k_opt!r}"
+            )
+        kept_pay = kept.result.contract.compensations
+        fresh_pay = fresh.result.contract.compensations
+        if len(kept_pay) != len(fresh_pay) or any(
+            not close(a, b) for a, b in zip(kept_pay, fresh_pay)
+        ):
+            raise InvariantViolation(
+                f"delta redesign reused a stale contract for {subject_id!r}: "
+                f"compensations {kept_pay!r} != {fresh_pay!r}"
+            )
+        if not close(kept.result.response.effort, fresh.result.response.effort):
+            raise InvariantViolation(
+                f"delta redesign reused a stale best response for "
+                f"{subject_id!r}: effort {kept.result.response.effort!r} != "
+                f"{fresh.result.response.effort!r}"
+            )
+
+
+class DeltaSolveState:
+    """Previous design epoch for dirty-set (delta-aware) redesign.
+
+    A redesign round rarely changes every subject's design inputs: a
+    static population never does, and an adaptive policy only moves the
+    Eq. (5) weights of subjects whose estimates shifted.  This state
+    object remembers, per subject, the subproblem that was last solved
+    and its solution, and on the next epoch splits the request into a
+    *clean* set (reuse the stored solution) and a *dirty* set (hand to a
+    fresh solve).
+
+    Cleanliness is decided in two tiers, cheapest first:
+
+    1. **identity** — the same :class:`Subproblem` object as last epoch
+       is clean with zero hashing (the static-population fast path);
+    2. **fingerprint** — a different object with an equal serving
+       fingerprint (:func:`repro.serving.fingerprint.subproblem_fingerprint`)
+       is clean; fingerprints are computed lazily and only for subjects
+       that fail the identity check.
+
+    Under ``REPRO_CHECK_INVARIANTS=1`` every epoch with reuse is
+    cross-verified: the clean set is re-solved fresh and compared via
+    :func:`require_redesigns_agree`.
+    """
+
+    def __init__(self) -> None:
+        self._subproblems: Dict[str, Subproblem] = {}
+        self._fingerprints: Dict[str, Optional[str]] = {}
+        self._solutions: Dict[str, SubproblemSolution] = {}
+        self._diagnostics: Dict[str, SolveDiagnostics] = {}
+        self._epoch = 0
+        self.last_stats: Optional[RedesignStats] = None
+
+    @property
+    def epoch(self) -> int:
+        """How many redesign epochs this state has absorbed."""
+        return self._epoch
+
+    def _fingerprint_of_previous(
+        self, subject_id: str, fingerprint_of: Callable[[Subproblem], str]
+    ) -> str:
+        cached = self._fingerprints.get(subject_id)
+        if cached is None:
+            cached = fingerprint_of(self._subproblems[subject_id])
+            self._fingerprints[subject_id] = cached
+        return cached
+
+    def resolve(
+        self,
+        subproblems: Sequence[Subproblem],
+        fingerprint_of: Callable[[Subproblem], str],
+        solve: SolveFn,
+    ) -> Tuple[
+        Dict[str, SubproblemSolution],
+        Dict[str, SolveDiagnostics],
+        RedesignStats,
+    ]:
+        """Solve one redesign epoch, reusing every clean subject.
+
+        Args:
+            subproblems: this epoch's full design request.
+            fingerprint_of: maps a subproblem to its serving fingerprint
+                under the caller's ``(mu, config)``.
+            solve: fresh-solve callback for the dirty set; returns
+                per-subject solutions and (possibly empty) diagnostics.
+
+        Returns:
+            ``(solutions, diagnostics, stats)`` — solutions keyed by
+            subject id in input order; reused subjects report their
+            stored fingerprint with ``cache_hit=True`` (or no
+            diagnostics at all when none were ever recorded).
+        """
+        dirty: List[Subproblem] = []
+        clean_ids: List[str] = []
+        new_fingerprints: Dict[str, str] = {}
+        for subproblem in subproblems:
+            subject_id = subproblem.subject_id
+            previous = self._subproblems.get(subject_id)
+            if previous is None:
+                dirty.append(subproblem)
+                continue
+            if previous is subproblem:
+                clean_ids.append(subject_id)
+                continue
+            fingerprint = fingerprint_of(subproblem)
+            new_fingerprints[subject_id] = fingerprint
+            if fingerprint == self._fingerprint_of_previous(
+                subject_id, fingerprint_of
+            ):
+                clean_ids.append(subject_id)
+            else:
+                dirty.append(subproblem)
+
+        if dirty:
+            fresh_solutions, fresh_diagnostics = solve(dirty)
+        else:
+            fresh_solutions, fresh_diagnostics = {}, {}
+
+        if clean_ids and invariants_enabled():
+            reference, _ = solve(
+                [s for s in subproblems if s.subject_id in set(clean_ids)]
+            )
+            require_redesigns_agree(
+                {sid: self._solutions[sid] for sid in clean_ids}, reference
+            )
+
+        solutions: Dict[str, SubproblemSolution] = {}
+        diagnostics: Dict[str, SolveDiagnostics] = {}
+        for subproblem in subproblems:
+            subject_id = subproblem.subject_id
+            if subject_id in fresh_solutions:
+                solutions[subject_id] = fresh_solutions[subject_id]
+                diag = fresh_diagnostics.get(subject_id)
+                if diag is not None:
+                    diagnostics[subject_id] = diag
+                    self._diagnostics[subject_id] = diag
+                    self._fingerprints[subject_id] = diag.fingerprint
+                else:
+                    self._diagnostics.pop(subject_id, None)
+                    self._fingerprints[subject_id] = new_fingerprints.get(
+                        subject_id
+                    )
+            else:
+                solutions[subject_id] = self._solutions[subject_id]
+                fingerprint = self._fingerprints.get(subject_id)
+                if fingerprint is None:
+                    prior = self._diagnostics.get(subject_id)
+                    fingerprint = prior.fingerprint if prior is not None else None
+                if fingerprint is not None:
+                    diag = SolveDiagnostics(
+                        fingerprint=fingerprint, cache_hit=True
+                    )
+                    diagnostics[subject_id] = diag
+                    self._diagnostics[subject_id] = diag
+            self._subproblems[subject_id] = subproblem
+            self._solutions[subject_id] = solutions[subject_id]
+
+        stats = RedesignStats(n_subjects=len(subproblems), n_dirty=len(dirty))
+        self.last_stats = stats
+        self._epoch += 1
+        return solutions, diagnostics, stats
 
 
 def _solve_chunk(
@@ -182,6 +418,34 @@ class SolverPool:
                 fingerprint=fingerprint, cache_hit=hit
             )
         return solutions, diagnostics
+
+    def solve_delta(
+        self, subproblems: Sequence[Subproblem], state: DeltaSolveState
+    ) -> Tuple[
+        Dict[str, SubproblemSolution],
+        Dict[str, SolveDiagnostics],
+        RedesignStats,
+    ]:
+        """Dirty-set batch solve against a previous design epoch.
+
+        Subjects whose subproblem is unchanged since ``state``'s last
+        epoch (same object, or equal serving fingerprint) reuse their
+        stored solution; only the dirty set goes through
+        :meth:`solve_with_diagnostics`.  Reused subjects report their
+        stored fingerprint with ``cache_hit=True``.
+
+        Returns:
+            ``(solutions, diagnostics, stats)`` keyed by subject id in
+            input order.
+        """
+        return state.resolve(
+            subproblems,
+            fingerprint_of=self._fingerprint_of,
+            solve=self.solve_with_diagnostics,
+        )
+
+    def _fingerprint_of(self, subproblem: Subproblem) -> str:
+        return subproblem_fingerprint(subproblem, mu=self.mu, config=self.config)
 
     def fingerprints(self, subproblems: Sequence[Subproblem]) -> List[str]:
         """Design fingerprints of the subproblems under this pool's config."""

@@ -1,7 +1,14 @@
 """Round-based crowdsourcing marketplace simulation."""
 
 from .adaptive import AdaptiveDynamicPolicy, EwmaDeviationTracker
-from .engine import MarketplaceSimulation
+from .engine import (
+    MarketplaceSimulation,
+    StepOutcomes,
+    fast_step,
+    legacy_step,
+    require_ledgers_agree,
+    require_steps_agree,
+)
 from .ledger import RoundRecord, SimulationLedger, SubjectRoundOutcome
 from .retention import RetentionModel, RetentionSimulation
 from .policies import (
@@ -19,9 +26,14 @@ __all__ = [
     "RetentionSimulation",
     "RoundRecord",
     "SimulationLedger",
+    "StepOutcomes",
     "SubjectRoundOutcome",
     "DynamicContractPolicy",
     "ExclusionPolicy",
     "FixedPaymentPolicy",
     "PaymentPolicy",
+    "fast_step",
+    "legacy_step",
+    "require_ledgers_agree",
+    "require_steps_agree",
 ]

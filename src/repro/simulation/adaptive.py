@@ -19,13 +19,16 @@ withdraws incentive pay within a few rounds of a behaviour flip — the
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.decomposition import SubproblemSolution, solve_subproblems
+from ..core.decomposition import Subproblem, SubproblemSolution, solve_subproblems
 from ..core.contract import Contract
 from ..core.designer import DesignerConfig
+from ..core.sweep import fastpath_enabled
 from ..errors import SimulationError
 from ..estimation.malice import deviation_to_malice
+from ..serving.fingerprint import subproblem_fingerprint
+from ..serving.pool import DeltaSolveState, RedesignStats, SolveDiagnostics
 from ..types import FeedbackWeightParameters
 from ..workers.population import PopulationModel
 from .ledger import RoundRecord
@@ -96,6 +99,12 @@ class AdaptiveDynamicPolicy(PaymentPolicy):
             once (the paper's offline estimation) and never re-checks —
             the baseline the camouflage experiment exposes.  ``None``
             (default) keeps learning forever.
+        delta: dirty-set redesign — re-solve only subjects whose
+            Eq. (5) weight (or base subproblem) actually moved since the
+            last re-design and reuse the stored designs for the rest.
+            ``None`` (the default) follows the ``REPRO_FASTPATH``
+            convention; reuse is cross-verified under
+            ``REPRO_CHECK_INVARIANTS=1``.
     """
 
     def __init__(
@@ -109,6 +118,7 @@ class AdaptiveDynamicPolicy(PaymentPolicy):
         malicious_deviation: float = 1.5,
         steepness: float = 4.0,
         freeze_after: Optional[int] = None,
+        delta: Optional[bool] = None,
     ) -> None:
         if mu <= 0.0:
             raise SimulationError(f"mu must be positive, got {mu!r}")
@@ -128,9 +138,19 @@ class AdaptiveDynamicPolicy(PaymentPolicy):
         self.malicious_deviation = malicious_deviation
         self.steepness = steepness
         self.freeze_after = freeze_after
+        self.delta = delta
         self._observed_rounds = 0
         self._weights: Dict[str, float] = {}
         self._solutions: Optional[Dict[str, SubproblemSolution]] = None
+        self._delta_state: Optional[DeltaSolveState] = None
+        self._stats: Optional[RedesignStats] = None
+        # Per-subject weight-substituted subproblems from the previous
+        # re-design, plus the population subproblem each derived from.
+        # Reusing the *same object* when neither moved is what lets the
+        # DeltaSolveState identity check (and the engine's identity-keyed
+        # response caches) hit without hashing anything.
+        self._updated: Dict[str, Subproblem] = {}
+        self._bases: Dict[str, Subproblem] = {}
 
     def _weight_of(self, subject_id: str, n_partners: int) -> float:
         deviation = self.tracker.estimate(subject_id)
@@ -144,21 +164,74 @@ class AdaptiveDynamicPolicy(PaymentPolicy):
             deviation, malice_probability=malice, n_partners=n_partners
         )
 
+    def _delta_enabled(self) -> bool:
+        return self.delta if self.delta is not None else fastpath_enabled()
+
+    def _updated_subproblem(
+        self, subproblem: Subproblem, weight: float
+    ) -> Subproblem:
+        """The weight-substituted subproblem, object-reused when clean."""
+        subject_id = subproblem.subject_id
+        previous = self._updated.get(subject_id)
+        if (
+            previous is not None
+            and self._bases.get(subject_id) is subproblem
+            # Exact comparison on purpose (a cache-key question, not a
+            # numeric one): the EWMA arithmetic is deterministic, so an
+            # unchanged estimate reproduces the identical float, and any
+            # real movement must dirty the design.
+            and previous.feedback_weight == weight  # noqa: REPRO001
+        ):
+            return previous
+        fresh = replace(subproblem, feedback_weight=weight)
+        self._updated[subject_id] = fresh
+        self._bases[subject_id] = subproblem
+        return fresh
+
+    def _solve_fresh(
+        self, subproblems: Sequence[Subproblem]
+    ) -> Tuple[Dict[str, SubproblemSolution], Dict[str, SolveDiagnostics]]:
+        return (
+            solve_subproblems(subproblems, mu=self.mu, config=self.config),
+            {},
+        )
+
+    def _fingerprint_of(self, subproblem: Subproblem) -> str:
+        return subproblem_fingerprint(subproblem, mu=self.mu, config=self.config)
+
     def contracts(self, population: PopulationModel) -> Dict[str, Contract]:
-        updated = []
+        delta = self._delta_enabled()
+        updated: List[Subproblem] = []
         self._weights = {}
         for subproblem in population.subproblems:
             weight = self._weight_of(
                 subproblem.subject_id, subproblem.size - 1
             )
             self._weights[subproblem.subject_id] = weight
-            updated.append(replace(subproblem, feedback_weight=weight))
-        solutions = solve_subproblems(updated, mu=self.mu, config=self.config)
+            if delta:
+                updated.append(self._updated_subproblem(subproblem, weight))
+            else:
+                updated.append(replace(subproblem, feedback_weight=weight))
+        if delta:
+            if self._delta_state is None:
+                self._delta_state = DeltaSolveState()
+            solutions, _, stats = self._delta_state.resolve(
+                updated,
+                fingerprint_of=self._fingerprint_of,
+                solve=self._solve_fresh,
+            )
+        else:
+            solutions, _ = self._solve_fresh(updated)
+            stats = RedesignStats(n_subjects=len(updated), n_dirty=len(updated))
+        self._stats = stats
         self._solutions = solutions
         return {
             subject_id: solution.result.contract
             for subject_id, solution in solutions.items()
         }
+
+    def redesign_stats(self) -> Optional[RedesignStats]:
+        return self._stats
 
     def current_weights(self, population: PopulationModel) -> Dict[str, float]:
         """The online Eq. (5) weights used for the latest contracts."""

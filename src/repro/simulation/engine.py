@@ -15,23 +15,440 @@ completion of one task"):
 
 Excluded subjects (the Fig. 8c baseline) neither get paid nor have
 their feedback counted — they are outside the system.
+
+Two interchangeable round kernels drive step 2-5: :func:`legacy_step`,
+the reference per-subject Python loop, and :func:`fast_step`, a batched
+kernel that dedups best responses across archetypes, caches each
+contract's Eq. (6) pay function, realizes the whole population's noise
+from one structured generator draw, and reduces with NumPy — while
+emitting per-subject outcomes *bit-identical* to the loop.
+:func:`require_steps_agree` is the executable equivalence contract
+(mirroring ``repro.core.sweep.require_sweeps_agree``); under
+``REPRO_CHECK_INVARIANTS=1`` every fast round is cross-verified against
+a legacy replay from the same generator state.
+
+The RNG draw order is pinned (and regression-tested): subjects in
+``population.subproblems`` order; per subject, the feedback-noise draw
+comes first, then the rating-deviation draw; zero-noise agents and
+excluded subjects consume nothing.  See docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..analysis.invariants import InvariantViolation, invariants_enabled
+from ..core.contract import Contract
+from ..core.piecewise import PiecewiseLinear
 from ..core.sweep import fastpath_enabled
 from ..core.utility import RequesterObjective
 from ..errors import SimulationError
 from ..obs.trace import get_tracer
+from ..workers.base import ResponseCache, WorkerAgent, respond_batch
 from ..workers.population import PopulationModel
 from .ledger import RoundRecord, SimulationLedger, SubjectRoundOutcome
 from .policies import PaymentPolicy
 
-__all__ = ["MarketplaceSimulation"]
+__all__ = [
+    "MarketplaceSimulation",
+    "StepOutcomes",
+    "fast_step",
+    "legacy_step",
+    "require_ledgers_agree",
+    "require_steps_agree",
+]
+
+#: Per-subject cache of each posted contract's Eq. (6) feedback->pay
+#: function.  ``Contract.pay_for_feedback`` rebuilds the interpolant on
+#: every call; entries here are validated by contract identity, so a
+#: re-designed subject can never pay off a stale schedule.
+PaymentCache = Dict[str, Tuple[Contract, PiecewiseLinear]]
+
+
+@dataclass(frozen=True)
+class StepOutcomes:
+    """What one round's population pass produced (either kernel).
+
+    Attributes:
+        outcomes: per-subject outcomes in ``population.subproblems``
+            order.
+        benefit: the realized ``sum_i w_i q_i`` over active subjects.
+        total_compensation: total pay over active subjects.
+    """
+
+    outcomes: Dict[str, SubjectRoundOutcome]
+    benefit: float
+    total_compensation: float
+
+
+def legacy_step(
+    population: PopulationModel,
+    contracts: Dict[str, Contract],
+    excluded_ids: Set[str],
+    policy: PaymentPolicy,
+    policy_weights: Optional[Dict[str, float]],
+    previous_feedback: Dict[str, float],
+    lagged_payment: bool,
+    rng: np.random.Generator,
+) -> StepOutcomes:
+    """The reference per-subject round loop (Section III, Eq. 1).
+
+    One scalar pass per subject: best response, feedback realization,
+    payment, utility booking.  This is the oracle the fast kernel is
+    verified against; it consumes generator draws in the pinned order
+    documented at module level.
+    """
+    outcomes: Dict[str, SubjectRoundOutcome] = {}
+    benefit = 0.0
+    total_compensation = 0.0
+    for subproblem in population.subproblems:
+        subject_id = subproblem.subject_id
+        agent = population.agents[subject_id]
+        # Utility is always booked with the reference (population)
+        # weight; the policy's belief is recorded for diagnostics
+        # but cannot inflate the score.
+        evaluation_weight = population.weights[subject_id]
+        believed = (
+            policy_weights.get(subject_id)
+            if policy_weights is not None
+            else None
+        )
+        if subject_id in excluded_ids or subject_id not in contracts:
+            outcomes[subject_id] = SubjectRoundOutcome(
+                subject_id=subject_id,
+                worker_type=subproblem.params.worker_type,
+                effort=0.0,
+                feedback=0.0,
+                compensation=0.0,
+                feedback_weight=evaluation_weight,
+                excluded=True,
+                n_members=agent.n_members,
+                policy_weight=believed,
+            )
+            continue
+        diagnostics = policy.solve_diagnostics(subject_id)
+        contract = contracts[subject_id]
+        response = agent.respond(contract)
+        realized = agent.realize_feedback(response.effort, rng=rng)
+        if lagged_payment:
+            # Eq. (1): this round's pay rewards last round's feedback.
+            pay = contract.pay_for_feedback(
+                previous_feedback.get(subject_id, 0.0)
+            )
+            previous_feedback[subject_id] = realized
+        else:
+            pay = contract.pay_for_feedback(realized)
+        realized_worker_utility = (
+            pay
+            + agent.params.omega * realized
+            - agent.params.beta * response.effort
+        )
+        outcome = SubjectRoundOutcome(
+            subject_id=subject_id,
+            worker_type=subproblem.params.worker_type,
+            effort=response.effort,
+            feedback=realized,
+            compensation=pay,
+            feedback_weight=evaluation_weight,
+            excluded=False,
+            n_members=agent.n_members,
+            rating_deviation=agent.rating_deviation(rng=rng),
+            policy_weight=believed,
+            worker_utility=realized_worker_utility,
+            fingerprint=(
+                diagnostics.fingerprint if diagnostics is not None else None
+            ),
+            cache_hit=(
+                diagnostics.cache_hit if diagnostics is not None else None
+            ),
+        )
+        outcomes[subject_id] = outcome
+        benefit += outcome.requester_value
+        total_compensation += pay
+    return StepOutcomes(
+        outcomes=outcomes,
+        benefit=benefit,
+        total_compensation=total_compensation,
+    )
+
+
+def _payment_function(
+    contract: Contract, subject_id: str, cache: Optional[PaymentCache]
+) -> PiecewiseLinear:
+    """The contract's posted Eq. (6) pay function, cached per subject."""
+    if cache is not None:
+        entry = cache.get(subject_id)
+        if entry is not None and entry[0] is contract:
+            return entry[1]
+    function = contract.as_feedback_function()
+    if cache is not None:
+        cache[subject_id] = (contract, function)
+    return function
+
+
+def fast_step(
+    population: PopulationModel,
+    contracts: Dict[str, Contract],
+    excluded_ids: Set[str],
+    policy: PaymentPolicy,
+    policy_weights: Optional[Dict[str, float]],
+    previous_feedback: Dict[str, float],
+    lagged_payment: bool,
+    rng: np.random.Generator,
+    response_cache: Optional[ResponseCache] = None,
+    payment_cache: Optional[PaymentCache] = None,
+) -> StepOutcomes:
+    """The batched population round kernel (bit-identical to the loop).
+
+    Four vectorized stages over the stacked active subjects:
+
+    1. best responses via :func:`repro.workers.base.respond_batch` —
+       one Eq. (30) solve per distinct (class, contract, psi, params)
+       archetype, optionally carried across rounds in
+       ``response_cache``;
+    2. population-wide noise from structured generator draws in the
+       pinned per-subject order (feedback draw, then rating draw),
+       realized through the workers' batch entry points;
+    3. payments via each contract's cached pay function and
+       ``PiecewiseLinear.batch`` (one ``batch_locate`` per distinct
+       contract), honoring the Eq. (1) lag when requested;
+    4. benefit/compensation reduced with a NumPy cumulative sum, whose
+       left-to-right accumulation reproduces the legacy ``+=`` bits.
+    """
+    excluded_outcomes: Dict[str, SubjectRoundOutcome] = {}
+    active_ids: List[str] = []
+    agents: List[WorkerAgent] = []
+    evaluation_weights: List[float] = []
+    for subproblem in population.subproblems:
+        subject_id = subproblem.subject_id
+        agent = population.agents[subject_id]
+        evaluation_weight = population.weights[subject_id]
+        if subject_id in excluded_ids or subject_id not in contracts:
+            excluded_outcomes[subject_id] = SubjectRoundOutcome(
+                subject_id=subject_id,
+                worker_type=subproblem.params.worker_type,
+                effort=0.0,
+                feedback=0.0,
+                compensation=0.0,
+                feedback_weight=evaluation_weight,
+                excluded=True,
+                n_members=agent.n_members,
+                policy_weight=(
+                    policy_weights.get(subject_id)
+                    if policy_weights is not None
+                    else None
+                ),
+            )
+            continue
+        active_ids.append(subject_id)
+        agents.append(agent)
+        evaluation_weights.append(evaluation_weight)
+
+    n_active = len(active_ids)
+    posted = [contracts[subject_id] for subject_id in active_ids]
+    responses = respond_batch(agents, posted, cache=response_cache)
+    efforts = np.array([response.effort for response in responses])
+    # Recompute the expectation through each agent's true psi exactly as
+    # the scalar realize_feedback does (the response's own feedback field
+    # is numerically equal, but bit-identity is the contract here).
+    expected = np.array(
+        [
+            float(agent.effort_function(response.effort))
+            for agent, response in zip(agents, responses)
+        ]
+    )
+
+    # Structured noise: one standard-normal block in the pinned draw
+    # order, scattered back to per-subject feedback/rating slots.  A
+    # scalar Generator.normal(0, s) is exactly s * standard_normal(), so
+    # this consumes and applies the identical stream.
+    feedback_scales = np.zeros(n_active)
+    feedback_draws = np.zeros(n_active)
+    rating_scales = np.zeros(n_active)
+    rating_draws = np.zeros(n_active)
+    scales: List[float] = []
+    feedback_slots: List[Tuple[int, int]] = []
+    rating_slots: List[Tuple[int, int]] = []
+    for index, agent in enumerate(agents):
+        if agent.needs_feedback_draw:
+            feedback_slots.append((index, len(scales)))
+            scales.append(agent.feedback_noise)
+        if agent.needs_rating_draw:
+            rating_slots.append((index, len(scales)))
+            scales.append(agent.rating_noise)
+    if scales:
+        draws = rng.standard_normal(len(scales))
+        for index, slot in feedback_slots:
+            feedback_scales[index] = scales[slot]
+            feedback_draws[index] = draws[slot]
+        for index, slot in rating_slots:
+            rating_scales[index] = scales[slot]
+            rating_draws[index] = draws[slot]
+
+    realized = WorkerAgent.realize_feedback_batch(
+        expected, feedback_scales, feedback_draws
+    )
+    biases = np.array([agent.rating_bias_now for agent in agents])
+    rating_deviations = WorkerAgent.rating_deviation_batch(
+        biases, rating_scales, rating_draws
+    )
+
+    # Payments: group by posted contract object (archetype sharing makes
+    # these few) and evaluate each group's pay schedule in one batch.
+    if lagged_payment:
+        basis = np.array(
+            [previous_feedback.get(subject_id, 0.0) for subject_id in active_ids]
+        )
+    else:
+        basis = realized
+    pay = np.zeros(n_active)
+    contract_groups: Dict[int, List[int]] = {}
+    for index, contract in enumerate(posted):
+        contract_groups.setdefault(id(contract), []).append(index)
+    for indices in contract_groups.values():
+        representative = indices[0]
+        pay_function = _payment_function(
+            posted[representative], active_ids[representative], payment_cache
+        )
+        selector = np.asarray(indices, dtype=np.intp)
+        pay[selector] = pay_function.batch(basis[selector])
+    if lagged_payment:
+        for subject_id, value in zip(active_ids, realized):
+            previous_feedback[subject_id] = float(value)
+
+    omegas = np.array([agent.params.omega for agent in agents])
+    betas = np.array([agent.params.beta for agent in agents])
+    worker_utilities = pay + omegas * realized - betas * efforts
+
+    if n_active:
+        # cumsum accumulates strictly left to right, matching the bits
+        # of the legacy loop's sequential `+=` (np.sum pairwise-splits).
+        benefit = float(
+            np.cumsum(np.asarray(evaluation_weights) * realized)[-1]
+        )
+        total_compensation = float(np.cumsum(pay)[-1])
+    else:
+        benefit = 0.0
+        total_compensation = 0.0
+
+    index_of = {subject_id: i for i, subject_id in enumerate(active_ids)}
+    outcomes: Dict[str, SubjectRoundOutcome] = {}
+    for subproblem in population.subproblems:
+        subject_id = subproblem.subject_id
+        excluded_outcome = excluded_outcomes.get(subject_id)
+        if excluded_outcome is not None:
+            outcomes[subject_id] = excluded_outcome
+            continue
+        index = index_of[subject_id]
+        diagnostics = policy.solve_diagnostics(subject_id)
+        outcomes[subject_id] = SubjectRoundOutcome(
+            subject_id=subject_id,
+            worker_type=subproblem.params.worker_type,
+            effort=float(efforts[index]),
+            feedback=float(realized[index]),
+            compensation=float(pay[index]),
+            feedback_weight=evaluation_weights[index],
+            excluded=False,
+            n_members=agents[index].n_members,
+            rating_deviation=float(rating_deviations[index]),
+            policy_weight=(
+                policy_weights.get(subject_id)
+                if policy_weights is not None
+                else None
+            ),
+            worker_utility=float(worker_utilities[index]),
+            fingerprint=(
+                diagnostics.fingerprint if diagnostics is not None else None
+            ),
+            cache_hit=(
+                diagnostics.cache_hit if diagnostics is not None else None
+            ),
+        )
+    return StepOutcomes(
+        outcomes=outcomes,
+        benefit=benefit,
+        total_compensation=total_compensation,
+    )
+
+
+def require_steps_agree(fast: StepOutcomes, legacy: StepOutcomes) -> None:
+    """Assert the fast kernel reproduced the legacy loop bit for bit.
+
+    Unlike the sweep contract (stated at :mod:`repro.numerics`
+    tolerance), the round kernels share every arithmetic expression and
+    the exact draw stream, so the contract is *equality*: tolerance
+    here would hide a reordered reduction or a skewed noise stream.
+
+    Raises:
+        InvariantViolation: on the first disagreement.
+    """
+    if set(fast.outcomes) != set(legacy.outcomes):
+        raise InvariantViolation(
+            "fast round kernel covered different subjects than the legacy "
+            f"loop: {sorted(fast.outcomes)!r} != {sorted(legacy.outcomes)!r}"
+        )
+    for subject_id, reference in legacy.outcomes.items():
+        produced = fast.outcomes[subject_id]
+        if produced != reference:
+            raise InvariantViolation(
+                "fast round kernel disagrees with the legacy loop on "
+                f"subject {subject_id!r}: {produced!r} != {reference!r}"
+            )
+    if (
+        fast.benefit != legacy.benefit  # noqa: REPRO001 - bit-identity contract
+        or fast.total_compensation != legacy.total_compensation  # noqa: REPRO001
+    ):
+        raise InvariantViolation(
+            "fast round kernel disagrees on the round reductions: "
+            f"benefit {fast.benefit!r} != {legacy.benefit!r} or pay "
+            f"{fast.total_compensation!r} != {legacy.total_compensation!r}"
+        )
+
+
+def require_ledgers_agree(
+    fast: SimulationLedger, legacy: SimulationLedger
+) -> None:
+    """Assert two simulation ledgers recorded bit-identical rounds.
+
+    Compares everything the marketplace *realized* — per-subject
+    outcomes, benefit, compensation, utility — and ignores the
+    timing/provenance fields (``design_ms``, ``span_id``, ``n_dirty``,
+    ``reuse_rate``), which legitimately differ between engine routings.
+
+    Raises:
+        InvariantViolation: on the first disagreement.
+    """
+    if fast.n_rounds != legacy.n_rounds:
+        raise InvariantViolation(
+            f"ledgers cover different horizons: {fast.n_rounds} rounds != "
+            f"{legacy.n_rounds} rounds"
+        )
+    for produced, reference in zip(fast.records, legacy.records):
+        try:
+            require_steps_agree(
+                StepOutcomes(
+                    outcomes=produced.outcomes,
+                    benefit=produced.benefit,
+                    total_compensation=produced.total_compensation,
+                ),
+                StepOutcomes(
+                    outcomes=reference.outcomes,
+                    benefit=reference.benefit,
+                    total_compensation=reference.total_compensation,
+                ),
+            )
+        except InvariantViolation as error:
+            raise InvariantViolation(
+                f"round {reference.round_index}: {error}"
+            ) from None
+        if produced.utility != reference.utility:  # noqa: REPRO001 - bit-identity
+            raise InvariantViolation(
+                f"round {reference.round_index}: utility "
+                f"{produced.utility!r} != {reference.utility!r}"
+            )
 
 
 class MarketplaceSimulation:
@@ -50,6 +467,12 @@ class MarketplaceSimulation:
             (Eq. 1).  Round 0 pays the contract's zero-feedback value.
             The default (False) settles each round on its own feedback,
             which has the same steady state and simpler accounting.
+        fast_rounds: route rounds through the batched
+            :func:`fast_step` kernel instead of the per-subject
+            :func:`legacy_step` loop.  ``None`` (the default) follows
+            the ``REPRO_FASTPATH`` convention; pass ``True``/``False``
+            to force.  Under ``REPRO_CHECK_INVARIANTS=1`` every fast
+            round is cross-verified against a legacy replay.
     """
 
     def __init__(
@@ -60,6 +483,7 @@ class MarketplaceSimulation:
         seed: int = 0,
         redesign_every: int = 1,
         lagged_payment: bool = False,
+        fast_rounds: Optional[bool] = None,
     ) -> None:
         if redesign_every < 1:
             raise SimulationError(
@@ -70,14 +494,19 @@ class MarketplaceSimulation:
         self.policy = policy
         self.redesign_every = redesign_every
         self.lagged_payment = lagged_payment
+        self.fast_rounds = fast_rounds
         self._previous_feedback: Dict[str, float] = {}
         self._rng = np.random.default_rng(seed)
         self.ledger = SimulationLedger()
-        self._contracts: Optional[Dict[str, object]] = None
-        self._excluded = None
+        self._contracts: Optional[Dict[str, Contract]] = None
+        self._excluded: Set[str] = set()
         # Subjects that have left the marketplace for good (populated by
         # retention-aware subclasses; the base engine never adds here).
         self._departed: set = set()
+        # Cross-round caches of the fast kernel (identity-validated, so
+        # a redesign or behaviour flip invalidates them for free).
+        self._response_cache: ResponseCache = {}
+        self._payment_cache: PaymentCache = {}
 
     def run(self, n_rounds: int) -> SimulationLedger:
         """Simulate ``n_rounds`` task rounds and return the ledger."""
@@ -97,6 +526,13 @@ class MarketplaceSimulation:
         self.policy.observe(record)
         return record
 
+    def _fast_rounds_enabled(self) -> bool:
+        return (
+            self.fast_rounds
+            if self.fast_rounds is not None
+            else fastpath_enabled()
+        )
+
     def _step_traced(self, round_index, tracer, span) -> RoundRecord:
         """One round's work, run inside the ``simulation.round`` span."""
         # Strategic agents may change behaviour between rounds; inform
@@ -105,6 +541,7 @@ class MarketplaceSimulation:
         for agent in self.population.agents.values():
             agent.on_round(round_index)
         design_ms: Optional[float] = None
+        stats = None
         if self._contracts is None or round_index % self.redesign_every == 0:
             design_start = tracer.clock()
             self._contracts = self.policy.contracts(self.population)
@@ -113,92 +550,78 @@ class MarketplaceSimulation:
             # Which Section IV-C sweep engine priced this round's
             # contracts (REPRO_FASTPATH routing, see repro.core.sweep).
             span.set("fastpath", fastpath_enabled())
+            stats = self.policy.redesign_stats()
+            if stats is not None:
+                span.set("n_dirty", stats.n_dirty)
+                span.set("reuse_rate", stats.reuse_rate)
         policy_weights = self.policy.current_weights(self.population)
+        excluded_ids = set(self._excluded) | self._departed
+        fast = self._fast_rounds_enabled()
+        span.set("round_fastpath", fast)
 
-        outcomes: Dict[str, SubjectRoundOutcome] = {}
-        benefit = 0.0
-        total_compensation = 0.0
-        for subproblem in self.population.subproblems:
-            subject_id = subproblem.subject_id
-            agent = self.population.agents[subject_id]
-            # Utility is always booked with the reference (population)
-            # weight; the policy's belief is recorded for diagnostics
-            # but cannot inflate the score.
-            evaluation_weight = self.population.weights[subject_id]
-            believed = (
-                policy_weights.get(subject_id)
-                if policy_weights is not None
-                else None
+        if fast:
+            check = invariants_enabled()
+            if check:
+                # Clone the generator state and payment history so the
+                # verifying legacy replay consumes the identical stream
+                # without advancing the real one twice.
+                replay_rng = np.random.default_rng(0)
+                replay_rng.bit_generator.state = self._rng.bit_generator.state
+                replay_feedback = dict(self._previous_feedback)
+            result = fast_step(
+                self.population,
+                self._contracts,
+                excluded_ids,
+                self.policy,
+                policy_weights,
+                self._previous_feedback,
+                self.lagged_payment,
+                self._rng,
+                response_cache=self._response_cache,
+                payment_cache=self._payment_cache,
             )
-            excluded = (
-                subject_id in self._excluded
-                or subject_id in self._departed
-                or subject_id not in self._contracts
-            )
-            if excluded:
-                outcomes[subject_id] = SubjectRoundOutcome(
-                    subject_id=subject_id,
-                    worker_type=subproblem.params.worker_type,
-                    effort=0.0,
-                    feedback=0.0,
-                    compensation=0.0,
-                    feedback_weight=evaluation_weight,
-                    excluded=True,
-                    n_members=agent.n_members,
-                    policy_weight=believed,
+            if check:
+                reference = legacy_step(
+                    self.population,
+                    self._contracts,
+                    excluded_ids,
+                    self.policy,
+                    policy_weights,
+                    replay_feedback,
+                    self.lagged_payment,
+                    replay_rng,
                 )
-                continue
-            diagnostics = self.policy.solve_diagnostics(subject_id)
-            contract = self._contracts[subject_id]
-            response = agent.respond(contract)
-            realized = agent.realize_feedback(response.effort, rng=self._rng)
-            if self.lagged_payment:
-                # Eq. (1): this round's pay rewards last round's feedback.
-                pay = contract.pay_for_feedback(
-                    self._previous_feedback.get(subject_id, 0.0)
-                )
-                self._previous_feedback[subject_id] = realized
-            else:
-                pay = contract.pay_for_feedback(realized)
-            realized_worker_utility = (
-                pay
-                + agent.params.omega * realized
-                - agent.params.beta * response.effort
+                require_steps_agree(result, reference)
+        else:
+            result = legacy_step(
+                self.population,
+                self._contracts,
+                excluded_ids,
+                self.policy,
+                policy_weights,
+                self._previous_feedback,
+                self.lagged_payment,
+                self._rng,
             )
-            outcome = SubjectRoundOutcome(
-                subject_id=subject_id,
-                worker_type=subproblem.params.worker_type,
-                effort=response.effort,
-                feedback=realized,
-                compensation=pay,
-                feedback_weight=evaluation_weight,
-                excluded=False,
-                n_members=agent.n_members,
-                rating_deviation=agent.rating_deviation(rng=self._rng),
-                policy_weight=believed,
-                worker_utility=realized_worker_utility,
-                fingerprint=(
-                    diagnostics.fingerprint if diagnostics is not None else None
-                ),
-                cache_hit=(
-                    diagnostics.cache_hit if diagnostics is not None else None
-                ),
-            )
-            outcomes[subject_id] = outcome
-            benefit += outcome.requester_value
-            total_compensation += pay
 
         record = RoundRecord(
             round_index=round_index,
-            outcomes=outcomes,
-            benefit=benefit,
-            total_compensation=total_compensation,
-            utility=self.objective.params.utility(benefit, total_compensation),
+            outcomes=result.outcomes,
+            benefit=result.benefit,
+            total_compensation=result.total_compensation,
+            utility=self.objective.params.utility(
+                result.benefit, result.total_compensation
+            ),
             design_ms=design_ms,
             span_id=span.span_id or None,
+            n_dirty=stats.n_dirty if stats is not None else None,
+            reuse_rate=stats.reuse_rate if stats is not None else None,
         )
-        span.set("n_subjects", len(outcomes))
-        span.set("n_excluded", sum(1 for o in outcomes.values() if o.excluded))
+        span.set("n_subjects", len(result.outcomes))
+        span.set(
+            "n_excluded",
+            sum(1 for o in result.outcomes.values() if o.excluded),
+        )
         span.set("utility", record.utility)
         if design_ms is not None:
             span.set("design_ms", design_ms)

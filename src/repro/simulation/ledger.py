@@ -103,6 +103,14 @@ class RoundRecord:
         span_id: id of the round's ``simulation.round`` tracing span
             (``None`` when the run was untraced).  Lets a span dump be
             joined back onto the ledger it was produced with.
+        n_dirty: subjects the policy actually re-solved on this round's
+            re-design (delta-aware redesign provenance; ``None`` on
+            rounds without a re-design or for policies that don't track
+            deltas).
+        reuse_rate: fraction of subjects whose previous design was
+            reused on this round's re-design (``None`` like ``n_dirty``).
+            A static population reports 1.0 on every redesign round
+            after the first.
     """
 
     round_index: int
@@ -112,6 +120,8 @@ class RoundRecord:
     utility: float
     design_ms: Optional[float] = None
     span_id: Optional[str] = None
+    n_dirty: Optional[int] = None
+    reuse_rate: Optional[float] = None
 
 
 class SimulationLedger:
@@ -199,6 +209,21 @@ class SimulationLedger:
             for record in self._records
             if record.design_ms is not None
         )
+
+    def mean_reuse_rate(self) -> Optional[float]:
+        """Mean delta-redesign reuse rate across redesign rounds.
+
+        ``None`` when no round carries dirty-set provenance (the policy
+        never tracked redesign deltas).
+        """
+        rates = [
+            record.reuse_rate
+            for record in self._records
+            if record.reuse_rate is not None
+        ]
+        if not rates:
+            return None
+        return float(np.mean(rates))
 
     def cache_hit_rate(self) -> Optional[float]:
         """Fraction of served (non-excluded) contracts that were cache hits.

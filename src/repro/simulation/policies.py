@@ -15,15 +15,22 @@ Three policies cover the paper's evaluation:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from ..core.contract import Contract
-from ..core.decomposition import SubproblemSolution, solve_subproblems
+from ..core.decomposition import Subproblem, SubproblemSolution, solve_subproblems
 from ..core.designer import DesignerConfig
+from ..core.sweep import fastpath_enabled
 from ..errors import SimulationError
 from .ledger import RoundRecord
 from ..serving.cache import ContractCache
-from ..serving.pool import SolveDiagnostics, SolverPool
+from ..serving.fingerprint import subproblem_fingerprint
+from ..serving.pool import (
+    DeltaSolveState,
+    RedesignStats,
+    SolveDiagnostics,
+    SolverPool,
+)
 from ..workers.population import PopulationModel
 
 __all__ = ["PaymentPolicy", "DynamicContractPolicy", "ExclusionPolicy", "FixedPaymentPolicy"]
@@ -66,6 +73,17 @@ class PaymentPolicy(abc.ABC):
         """
         return None
 
+    def redesign_stats(self) -> Optional[RedesignStats]:
+        """Dirty-set accounting of the most recent :meth:`contracts` call.
+
+        ``None`` (the default) means the policy does not track redesign
+        deltas; delta-aware policies report how many subjects were
+        re-solved vs reused, which the engine stamps onto the
+        ``simulation.round`` span (``n_dirty``, ``reuse_rate``) and the
+        round ledger.
+        """
+        return None
+
 
 class DynamicContractPolicy(PaymentPolicy):
     """The paper's dynamic contract design (Sections III-IV).
@@ -80,6 +98,13 @@ class DynamicContractPolicy(PaymentPolicy):
         cache: an optional shared contract cache.  Supplying one (even
             with ``parallel=0``) also routes through the serving layer so
             repeat subproblems across rounds are deduplicated.
+        delta: dirty-set redesign — on repeat calls, re-solve only
+            subjects whose subproblem changed since the previous call
+            (same object or equal serving fingerprint means unchanged)
+            and reuse the stored designs for the rest.  ``None`` (the
+            default) follows the ``REPRO_FASTPATH`` convention; pass
+            ``True``/``False`` to force.  Reuse is cross-verified
+            against fresh solves under ``REPRO_CHECK_INVARIANTS=1``.
     """
 
     def __init__(
@@ -89,6 +114,7 @@ class DynamicContractPolicy(PaymentPolicy):
         max_workers: int = 1,
         parallel: int = 0,
         cache: Optional[ContractCache] = None,
+        delta: Optional[bool] = None,
     ) -> None:
         if mu <= 0.0:
             raise SimulationError(f"mu must be positive, got {mu!r}")
@@ -99,7 +125,10 @@ class DynamicContractPolicy(PaymentPolicy):
         self.max_workers = max_workers
         self.parallel = parallel
         self.cache = cache
+        self.delta = delta
         self._pool: Optional[SolverPool] = None
+        self._delta_state: Optional[DeltaSolveState] = None
+        self._stats: Optional[RedesignStats] = None
         self._solutions: Optional[Dict[str, SubproblemSolution]] = None
         self._diagnostics: Dict[str, SolveDiagnostics] = {}
 
@@ -120,21 +149,42 @@ class DynamicContractPolicy(PaymentPolicy):
                 self.cache = self._pool.cache
         return self._pool
 
-    def contracts(self, population: PopulationModel) -> Dict[str, Contract]:
+    def _delta_enabled(self) -> bool:
+        return self.delta if self.delta is not None else fastpath_enabled()
+
+    def _solve_fresh(
+        self, subproblems: Sequence[Subproblem]
+    ) -> Tuple[Dict[str, SubproblemSolution], Dict[str, SolveDiagnostics]]:
         if self.uses_serving:
-            pool = self._serving_pool()
-            solutions, diagnostics = pool.solve_with_diagnostics(
-                population.subproblems
+            return self._serving_pool().solve_with_diagnostics(subproblems)
+        solutions = solve_subproblems(
+            subproblems,
+            mu=self.mu,
+            config=self.config,
+            max_workers=self.max_workers,
+        )
+        return solutions, {}
+
+    def _fingerprint_of(self, subproblem: Subproblem) -> str:
+        return subproblem_fingerprint(subproblem, mu=self.mu, config=self.config)
+
+    def contracts(self, population: PopulationModel) -> Dict[str, Contract]:
+        subproblems = population.subproblems
+        if self._delta_enabled():
+            if self._delta_state is None:
+                self._delta_state = DeltaSolveState()
+            solutions, diagnostics, stats = self._delta_state.resolve(
+                subproblems,
+                fingerprint_of=self._fingerprint_of,
+                solve=self._solve_fresh,
             )
-            self._diagnostics = diagnostics
         else:
-            solutions = solve_subproblems(
-                population.subproblems,
-                mu=self.mu,
-                config=self.config,
-                max_workers=self.max_workers,
+            solutions, diagnostics = self._solve_fresh(subproblems)
+            stats = RedesignStats(
+                n_subjects=len(subproblems), n_dirty=len(subproblems)
             )
-            self._diagnostics = {}
+        self._stats = stats
+        self._diagnostics = diagnostics
         self._solutions = solutions
         return {
             subject_id: solution.result.contract
@@ -143,6 +193,9 @@ class DynamicContractPolicy(PaymentPolicy):
 
     def solve_diagnostics(self, subject_id: str) -> Optional[SolveDiagnostics]:
         return self._diagnostics.get(subject_id)
+
+    def redesign_stats(self) -> Optional[RedesignStats]:
+        return self._stats
 
     def close(self) -> None:
         """Shut down the serving pool, if one was created."""
@@ -198,6 +251,9 @@ class ExclusionPolicy(PaymentPolicy):
 
     def solve_diagnostics(self, subject_id: str) -> Optional[SolveDiagnostics]:
         return self.inner.solve_diagnostics(subject_id)
+
+    def redesign_stats(self) -> Optional[RedesignStats]:
+        return self.inner.redesign_stats()
 
 
 class FixedPaymentPolicy(PaymentPolicy):

@@ -63,6 +63,8 @@ class RetentionSimulation(MarketplaceSimulation):
         retention: the departure rule.
         seed: feedback-noise seed.
         redesign_every: policy re-design cadence.
+        fast_rounds: round-kernel routing, as in
+            :class:`~repro.simulation.engine.MarketplaceSimulation`.
     """
 
     def __init__(
@@ -73,6 +75,7 @@ class RetentionSimulation(MarketplaceSimulation):
         retention: Optional[RetentionModel] = None,
         seed: int = 0,
         redesign_every: int = 1,
+        fast_rounds: Optional[bool] = None,
     ) -> None:
         super().__init__(
             population=population,
@@ -80,6 +83,7 @@ class RetentionSimulation(MarketplaceSimulation):
             policy=policy,
             seed=seed,
             redesign_every=redesign_every,
+            fast_rounds=fast_rounds,
         )
         self.retention = retention if retention is not None else RetentionModel()
         self._bad_rounds: Dict[str, int] = {}

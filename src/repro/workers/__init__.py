@@ -1,6 +1,6 @@
 """Behavioural worker agents and population assembly."""
 
-from .base import WorkerAgent
+from .base import ResponseCache, WorkerAgent, respond_batch
 from .collusive import CollusiveCommunity
 from .honest import HonestWorker
 from .malicious import MaliciousWorker
@@ -12,9 +12,13 @@ from .population import (
     build_population,
     fit_class_functions,
 )
+from .synthetic import synthetic_population
 
 __all__ = [
+    "ResponseCache",
     "WorkerAgent",
+    "respond_batch",
+    "synthetic_population",
     "CollusiveCommunity",
     "HonestWorker",
     "MaliciousWorker",

@@ -34,6 +34,7 @@ class CollusiveCommunity(WorkerAgent):
         omega: the community's shared influence weight.
         rating_bias: rating bias of the members' reviews.
         feedback_noise: std of realized-feedback noise on the sum.
+        rating_noise: std of the observed rating-deviation noise.
     """
 
     def __init__(
@@ -45,6 +46,7 @@ class CollusiveCommunity(WorkerAgent):
         omega: float = 0.5,
         rating_bias: float = 2.0,
         feedback_noise: float = 0.0,
+        rating_noise: float = 0.35,
     ) -> None:
         members = tuple(dict.fromkeys(member_ids))
         if len(members) < 2:
@@ -58,6 +60,7 @@ class CollusiveCommunity(WorkerAgent):
             params=WorkerParameters.malicious(beta=beta, omega=omega, collusive=True),
             effort_function=effort_function,
             feedback_noise=feedback_noise,
+            rating_noise=rating_noise,
         )
         self.member_ids: Tuple[str, ...] = members
         self.rating_bias = rating_bias

@@ -17,6 +17,7 @@ class HonestWorker(WorkerAgent):
         effort_function: the worker's true ``psi``.
         beta: effort-cost weight.
         feedback_noise: std of realized-feedback noise.
+        rating_noise: std of the observed rating-deviation noise.
     """
 
     def __init__(
@@ -25,12 +26,14 @@ class HonestWorker(WorkerAgent):
         effort_function: QuadraticEffort,
         beta: float = 1.0,
         feedback_noise: float = 0.0,
+        rating_noise: float = 0.35,
     ) -> None:
         super().__init__(
             worker_id=worker_id,
             params=WorkerParameters.honest(beta=beta),
             effort_function=effort_function,
             feedback_noise=feedback_noise,
+            rating_noise=rating_noise,
         )
 
     @property

@@ -27,6 +27,7 @@ class MaliciousWorker(WorkerAgent):
             :class:`~repro.workers.honest.HonestWorker`).
         rating_bias: how far above truth the worker rates its targets.
         feedback_noise: std of realized-feedback noise.
+        rating_noise: std of the observed rating-deviation noise.
     """
 
     def __init__(
@@ -37,6 +38,7 @@ class MaliciousWorker(WorkerAgent):
         omega: float = 0.5,
         rating_bias: float = 2.0,
         feedback_noise: float = 0.0,
+        rating_noise: float = 0.35,
     ) -> None:
         if omega <= 0.0:
             raise ModelError(
@@ -48,6 +50,7 @@ class MaliciousWorker(WorkerAgent):
             params=WorkerParameters.malicious(beta=beta, omega=omega),
             effort_function=effort_function,
             feedback_noise=feedback_noise,
+            rating_noise=rating_noise,
         )
         self.rating_bias = rating_bias
 

@@ -1,0 +1,125 @@
+"""Synthetic agent populations for engine benchmarks and property tests.
+
+:func:`repro.serving.workload.synthetic_subproblems` generates the
+*requester-side* view of a large population (archetype-clustered design
+subproblems); this module completes it with the *follower* side —
+behavioural agents whose true effort functions and parameters match the
+subproblems exactly — so a full :class:`~repro.simulation.engine.MarketplaceSimulation`
+can run on it.  The trace-driven
+:func:`~repro.workers.population.build_population` stays the fidelity
+path for the paper's experiments; this builder is the scale path for
+round-engine benchmarks, equivalence tests and smoke jobs.
+
+Everything is a pure function of the arguments (the subproblem draws
+are seeded, the agents are deterministic), which the engine's
+bit-identical fast/legacy comparisons depend on.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from ..serving.workload import synthetic_subproblems
+from .base import WorkerAgent
+from .honest import HonestWorker
+from .malicious import MaliciousWorker
+from .population import ClassEffortFunctions, PopulationModel
+
+__all__ = ["synthetic_population"]
+
+
+def synthetic_population(
+    n_subjects: int,
+    n_archetypes: int = 16,
+    seed: int = 0,
+    malicious_fraction: float = 0.25,
+    feedback_noise: float = 0.0,
+    rating_noise: float = 0.35,
+) -> PopulationModel:
+    """A fully simulatable population over synthetic archetypes.
+
+    Args:
+        n_subjects: total subjects (one agent per subproblem).
+        n_archetypes: distinct worker archetypes (see
+            :func:`~repro.serving.workload.synthetic_subproblems`).
+        seed: seed for the archetype and assignment draws.
+        malicious_fraction: probability an archetype is malicious.
+        feedback_noise: per-agent std of realized-feedback noise.
+        rating_noise: per-agent std of the rating-deviation noise.
+
+    Returns:
+        A :class:`~repro.workers.population.PopulationModel` whose
+        agents' true ``psi``/parameters equal the requester's fitted
+        ones (the oracle-knowledge setting of Fig. 8), with evaluation
+        weights taken from the subproblems and oracle malice labels.
+    """
+    if feedback_noise < 0.0:
+        raise ModelError(
+            f"feedback_noise must be >= 0, got {feedback_noise!r}"
+        )
+    subproblems = synthetic_subproblems(
+        n_subjects=n_subjects,
+        n_archetypes=n_archetypes,
+        seed=seed,
+        malicious_fraction=malicious_fraction,
+    )
+
+    agents: dict = {}
+    weights: dict = {}
+    malice: dict = {}
+    for subproblem in subproblems:
+        subject_id = subproblem.subject_id
+        params = subproblem.params
+        agent: WorkerAgent
+        if params.worker_type.is_malicious:
+            agent = MaliciousWorker(
+                worker_id=subject_id,
+                effort_function=subproblem.effort_function,
+                beta=params.beta,
+                omega=params.omega,
+                feedback_noise=feedback_noise,
+                rating_noise=rating_noise,
+            )
+            malice[subject_id] = 1.0
+        else:
+            agent = HonestWorker(
+                worker_id=subject_id,
+                effort_function=subproblem.effort_function,
+                beta=params.beta,
+                feedback_noise=feedback_noise,
+                rating_noise=rating_noise,
+            )
+            malice[subject_id] = 0.0
+        agents[subject_id] = agent
+        weights[subject_id] = subproblem.feedback_weight
+
+    # Class-level fits are per-archetype in this synthetic world; the
+    # first honest/malicious psi stands in for the Section IV-B class
+    # functions (nothing in the engine consumes them, but downstream
+    # diagnostics expect a complete PopulationModel).
+    honest_psi = next(
+        (
+            s.effort_function
+            for s in subproblems
+            if not s.params.worker_type.is_malicious
+        ),
+        subproblems[0].effort_function,
+    )
+    malicious_psi = next(
+        (
+            s.effort_function
+            for s in subproblems
+            if s.params.worker_type.is_malicious
+        ),
+        subproblems[0].effort_function,
+    )
+    return PopulationModel(
+        subproblems=subproblems,
+        agents=agents,
+        weights=weights,
+        class_functions=ClassEffortFunctions(
+            honest=honest_psi,
+            noncollusive=malicious_psi,
+            collusive_member=malicious_psi,
+        ),
+        malice=malice,
+    )

@@ -1,0 +1,100 @@
+"""Incremental streaming clusterer and membership-cache satellites.
+
+``StreamingClusterer`` must agree exactly with the one-shot
+``cluster_streaming`` over any batching of the same pair stream, and the
+cached membership map behind ``community_of``/``partners_of`` must stay
+a pure lookup equivalent of the original scans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collusion import (
+    StreamingClusterer,
+    cluster_collusive_workers,
+    cluster_streaming,
+)
+from repro.errors import DataError
+
+
+def _random_stream(seed, n_workers=40, n_products=15, n_pairs=120):
+    rng = np.random.default_rng(seed)
+    workers = [f"w{i}" for i in range(n_workers)]
+    products = [f"p{i}" for i in range(n_products)]
+    pairs = [
+        (workers[rng.integers(n_workers)], products[rng.integers(n_products)])
+        for _ in range(n_pairs)
+    ]
+    malicious = {w for w in workers if rng.random() < 0.6}
+    return pairs, malicious
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_incremental_equals_batch_over_random_streams(seed):
+    pairs, malicious = _random_stream(seed)
+    batch = cluster_streaming(pairs, malicious)
+    clusterer = StreamingClusterer(malicious)
+    # Feed in uneven chunks to exercise cache invalidation mid-stream.
+    rng = np.random.default_rng(seed + 1000)
+    index = 0
+    while index < len(pairs):
+        chunk = int(rng.integers(1, 10))
+        clusterer.add_pairs(pairs[index : index + chunk])
+        clusterer.clusters()  # interleaved queries must not corrupt state
+        index += chunk
+    assert clusterer.clusters() == batch
+
+
+def test_incremental_updates_extend_communities():
+    clusterer = StreamingClusterer({"a", "b", "c", "d"})
+    clusterer.add_pairs([("a", "p1"), ("b", "p1")])
+    first = clusterer.clusters()
+    assert first.communities == (frozenset({"a", "b"}),)
+    assert first.noncollusive == frozenset({"c", "d"})
+    # Cached until the next update: same object back.
+    assert clusterer.clusters() is first
+    clusterer.add_pair("c", "p1")
+    second = clusterer.clusters()
+    assert second.communities == (frozenset({"a", "b", "c"}),)
+    assert second.noncollusive == frozenset({"d"})
+
+
+def test_non_malicious_pairs_are_filtered_at_add_time():
+    clusterer = StreamingClusterer({"a"})
+    clusterer.add_pairs([("x", "p1"), ("a", "p1")])
+    # "x" was not labelled malicious when its pair arrived, so it never
+    # entered the graph — matching the one-shot scan's semantics.
+    assert clusterer.clusters().noncollusive == frozenset({"a"})
+    clusterer.add_malicious({"x"})
+    clusterer.add_pair("x", "p1")
+    clusters = clusterer.clusters()
+    assert clusters.communities == (frozenset({"a", "x"}),)
+
+
+def test_membership_lookups_match_linear_scans():
+    clusters = cluster_collusive_workers(
+        {
+            "a": ["p1"],
+            "b": ["p1", "p2"],
+            "c": ["p2"],
+            "d": ["p3"],
+            "e": ["p3"],
+            "f": ["p9"],
+        }
+    )
+    membership = clusters.membership()
+    for worker, index in membership.items():
+        assert clusters.community_of(worker) == clusters.communities[index]
+        assert clusters.partners_of(worker) == len(
+            clusters.communities[index]
+        ) - 1
+    assert clusters.partners_of("f") == 0
+    with pytest.raises(DataError):
+        clusters.community_of("f")
+    with pytest.raises(DataError):
+        clusters.community_of("nobody")
+    # The cache must not leak into the public copy.
+    membership["a"] = 999
+    assert clusters.membership()["a"] != 999
