@@ -6,8 +6,13 @@ Lemma 4.1 case windows, the Lemma 4.2/4.3 compensation bounds — in two
 layers:
 
 * a stdlib-only, AST-walking lint engine (:mod:`.engine`,
-  :mod:`.rules`) with domain rules ``REPRO001``-``REPRO008``, run as
-  ``python -m repro.analysis`` or ``repro lint``;
+  :mod:`.rules`) with per-file domain rules ``REPRO001``-``REPRO009``,
+  run as ``python -m repro.analysis`` or ``repro lint``;
+* a cross-module flow layer (:mod:`.flow`) with whole-program passes
+  ``REPRO010``-``REPRO013`` enforcing the fast/legacy kernel
+  disciplines (batch-path purity, pinned RNG draw order, equivalence
+  contract coverage, serving lock discipline), run with
+  ``repro lint --flow``;
 * a runtime layer (:mod:`.invariants`) whose :func:`check_bounds`
   decorator re-derives the Lemma 4.2/4.3 bounds on every candidate
   construction when ``REPRO_CHECK_INVARIANTS=1``.
@@ -17,8 +22,11 @@ See ``docs/ANALYSIS.md`` for the rule catalogue and baseline workflow.
 
 from __future__ import annotations
 
+from .cache import FindingsCache, ruleset_fingerprint
 from .cli import BASELINE_FILENAME, main, run_lint
 from .engine import Diagnostic, LintEngine, load_baseline, package_relative
+from .flow import FLOW_PASSES, ProjectIndex, get_flow_pass, run_flow
+from .formats import render_json, render_sarif, render_text
 from .invariants import (
     ENV_VAR,
     InvariantViolation,
@@ -34,15 +42,24 @@ __all__ = [
     "BASELINE_FILENAME",
     "Diagnostic",
     "ENV_VAR",
+    "FLOW_PASSES",
+    "FindingsCache",
     "InvariantViolation",
     "LintEngine",
+    "ProjectIndex",
     "check_bounds",
     "check_candidate_invariants",
     "check_contract_monotone",
+    "get_flow_pass",
     "get_rule",
     "invariants_enabled",
     "load_baseline",
     "main",
     "package_relative",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "ruleset_fingerprint",
+    "run_flow",
     "run_lint",
 ]

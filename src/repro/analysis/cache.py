@@ -1,0 +1,149 @@
+"""Per-file findings cache for repeated ``repro lint`` runs.
+
+Parsing and rule-walking every module dominates lint wall-clock; on a
+warm tree almost nothing changes between runs.  The cache stores each
+file's findings keyed by ``(resolved path, mtime_ns, size)`` under a
+single JSON document in ``.theory-lint-cache/`` at the repository root,
+and the whole document is discarded when the *rule set* changes — the
+validity hash covers the source of the entire analysis package plus the
+selected rule codes, so editing any rule, pass, or the draw-order
+manifest safely invalidates every entry.
+
+Flow-pass findings are never cached: they are cross-module properties,
+so no single file's ``(mtime, size)`` can witness their validity.
+
+``repro lint --no-cache`` bypasses the cache entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .engine import Diagnostic
+
+__all__ = ["CACHE_DIR_NAME", "FindingsCache", "ruleset_fingerprint"]
+
+#: Directory (under the repo root) holding the cache document.
+CACHE_DIR_NAME = ".theory-lint-cache"
+
+_CACHE_FILE = "cache.json"
+_VERSION = 1
+
+_DIAG_FIELDS = ("path", "relpath", "line", "column", "code", "message", "context")
+
+
+class FindingsCache:
+    """Validity-checked per-file findings cache (JSON on disk)."""
+
+    def __init__(self, directory: Path, ruleset_hash: str) -> None:
+        self.directory = directory
+        self.ruleset_hash = ruleset_hash
+        self._entries: Dict[str, Dict] = {}
+        self._dirty = False
+        self._load()
+
+    @property
+    def path(self) -> Path:
+        """The cache document location."""
+        return self.directory / _CACHE_FILE
+
+    def lookup(self, path: Path) -> Optional[List[Diagnostic]]:
+        """Cached findings for ``path`` if its entry is still valid."""
+        key, stat = self._key_and_stat(path)
+        if key is None or stat is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.get("mtime_ns") != stat.st_mtime_ns or entry.get("size") != stat.st_size:
+            return None
+        try:
+            return [
+                Diagnostic(**{field: record[field] for field in _DIAG_FIELDS})
+                for record in entry.get("findings", [])
+            ]
+        except (KeyError, TypeError):
+            return None
+
+    def store(self, path: Path, findings: Sequence[Diagnostic]) -> None:
+        """Record fresh findings for ``path``."""
+        key, stat = self._key_and_stat(path)
+        if key is None or stat is None:
+            return
+        self._entries[key] = {
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+            "findings": [
+                {field: getattr(diag, field) for field in _DIAG_FIELDS}
+                for diag in findings
+            ],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache document (no-op when unchanged)."""
+        if not self._dirty:
+            return
+        document = {
+            "version": _VERSION,
+            "ruleset": self.ruleset_hash,
+            "entries": self._entries,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=_CACHE_FILE, dir=str(self.directory)
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            os.replace(tmp_name, self.path)
+            self._dirty = False
+        except OSError:  # pragma: no cover - read-only filesystems
+            pass
+
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(document, dict):
+            return
+        if document.get("version") != _VERSION:
+            return
+        if document.get("ruleset") != self.ruleset_hash:
+            return
+        entries = document.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    @staticmethod
+    def _key_and_stat(path: Path) -> Tuple[Optional[str], Optional[os.stat_result]]:
+        try:
+            resolved = path.resolve()
+            return str(resolved), resolved.stat()
+        except OSError:
+            return None, None
+
+
+def ruleset_fingerprint(codes: Sequence[str]) -> str:
+    """Hash of the analysis package source plus the selected rule codes.
+
+    Covers every ``.py`` and ``.toml`` file under ``repro/analysis`` so
+    that editing any rule, flow pass, or the draw-order manifest
+    invalidates the cache wholesale — the safe direction.
+    """
+    digest = hashlib.sha256()
+    package = Path(__file__).resolve().parent
+    for path in sorted([*package.rglob("*.py"), *package.rglob("*.toml")]):
+        digest.update(path.relative_to(package).as_posix().encode("utf-8"))
+        try:
+            digest.update(path.read_bytes())
+        except OSError:  # pragma: no cover - filesystem race
+            continue
+    digest.update(",".join(sorted(c.upper() for c in codes)).encode("utf-8"))
+    return digest.hexdigest()

@@ -5,6 +5,12 @@ Reused by both entry points::
     python -m repro.analysis src/repro
     python -m repro lint src/repro          # via the main repro CLI
 
+Per-file rules (REPRO001–REPRO009) always run; ``--flow`` adds the
+cross-module passes (REPRO010–REPRO013) over a whole-tree index.
+``--format json|sarif`` renders machine-readable reports, and repeated
+runs are served from a per-file findings cache under
+``.theory-lint-cache/`` (``--no-cache`` bypasses it).
+
 Exit status: 0 when no new findings, 1 when findings remain, 2 on
 usage/IO errors.
 """
@@ -14,9 +20,19 @@ from __future__ import annotations
 import argparse
 from collections import Counter
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
-from .engine import LintEngine, filter_baseline, format_baseline, load_baseline
+from .cache import CACHE_DIR_NAME, FindingsCache, ruleset_fingerprint
+from .engine import (
+    Diagnostic,
+    LintEngine,
+    dedupe_diagnostics,
+    filter_baseline,
+    format_baseline,
+    load_baseline,
+)
+from .flow import FLOW_PASSES, ProjectIndex, get_flow_pass, run_flow
+from .formats import LINT_FORMATS, render_json, render_sarif, render_text
 from .rules import ALL_RULES, get_rule
 
 __all__ = ["add_lint_arguments", "run_lint", "main", "BASELINE_FILENAME"]
@@ -67,6 +83,29 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="list all rule codes with one-line summaries",
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the cross-module flow passes (REPRO010-REPRO013)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="format",
+        choices=LINT_FORMATS,
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the rendered report to PATH",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"bypass the per-file findings cache under {CACHE_DIR_NAME}/",
+    )
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -76,24 +115,55 @@ def run_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.code}  {rule.name}: {rule.summary}")
+        for flow_pass in FLOW_PASSES:
+            print(f"{flow_pass.code}  {flow_pass.name}: {flow_pass.summary} [--flow]")
         return 0
 
     rules = list(ALL_RULES)
+    passes = list(FLOW_PASSES)
+    selected_codes = sorted(
+        [r.code for r in rules] + ([p.code for p in passes] if args.flow else [])
+    )
     if args.select:
         wanted = {code.strip().upper() for code in args.select.split(",")}
-        unknown = wanted - {rule.code for rule in ALL_RULES}
+        known = {rule.code for rule in ALL_RULES} | {p.code for p in FLOW_PASSES}
+        unknown = wanted - known
         if unknown:
             print(f"error: unknown rule code(s): {', '.join(sorted(unknown))}")
             return 2
         rules = [rule for rule in ALL_RULES if rule.code in wanted]
+        passes = [p for p in FLOW_PASSES if p.code in wanted]
+        selected_codes = sorted(
+            [r.code for r in rules] + ([p.code for p in passes] if args.flow else [])
+        )
 
-    paths = _resolve_paths(args.paths)
+    paths, missing = _resolve_paths(args.paths)
+    if missing:
+        for name in missing:
+            print(f"error: path does not exist: {name}")
+        return 2
     if not paths:
         print("error: no existing paths to lint")
         return 2
 
+    cache: Optional[FindingsCache] = None
+    if not args.no_cache:
+        cache_root = _repo_root(paths[0])
+        if cache_root is not None:
+            cache = FindingsCache(
+                cache_root / CACHE_DIR_NAME,
+                ruleset_fingerprint(selected_codes),
+            )
+
     engine = LintEngine(rules)
-    diagnostics = engine.lint_paths(paths)
+    diagnostics = engine.lint_paths(paths, cache=cache)
+    if args.flow and passes:
+        index = ProjectIndex.build(paths)
+        diagnostics = diagnostics + run_flow(index=index, passes=passes)
+        diagnostics.sort(key=lambda d: (d.relpath, d.line, d.column, d.code))
+    diagnostics = dedupe_diagnostics(diagnostics)
+    if cache is not None:
+        cache.save()
 
     baseline_path = _baseline_path(args, paths)
     if args.write_baseline:
@@ -106,17 +176,17 @@ def run_lint(args: argparse.Namespace) -> int:
         baseline = load_baseline(baseline_path)
 
     new, stale = filter_baseline(diagnostics, baseline)
-    for diag in new:
-        print(diag.format())
     suppressed = len(diagnostics) - len(new)
-    if suppressed:
-        print(f"({suppressed} grandfathered finding(s) suppressed by {baseline_path})")
-    for fingerprint in sorted(stale):
-        print(f"stale baseline entry (no longer found): {fingerprint}")
-    if new:
-        print(f"{len(new)} new finding(s)")
-        return 1
-    return 0
+    report = _render(args.format, new, stale, suppressed, baseline_path, rules, passes)
+    if report:
+        print(report)
+    if args.output is not None:
+        try:
+            Path(args.output).write_text(report + "\n", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: could not write report to {args.output}: {exc}")
+            return 2
+    return 1 if new else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -126,17 +196,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         description=(
             "theory-lint: static analysis enforcing the ICDCS'17 paper's "
             "invariants (tolerant float comparison, paper citations, "
-            "seeded RNG, validated dataclasses, ...)"
+            "seeded RNG, validated dataclasses, fast-path kernel "
+            "discipline, ...)"
         ),
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))
 
 
+def _render(
+    fmt: str,
+    new: Sequence[Diagnostic],
+    stale: Counter,
+    suppressed: int,
+    baseline_path: Path,
+    rules: Sequence,
+    passes: Sequence,
+) -> str:
+    if fmt == "json":
+        return render_json(new, stale, suppressed)
+    if fmt == "sarif":
+        return render_sarif(new, [*rules, *passes])
+    return render_text(new, stale, suppressed, baseline_path)
+
+
 def _explain(code: str) -> int:
-    rule = get_rule(code)
+    rule = get_rule(code) or get_flow_pass(code)
     if rule is None:
-        known = ", ".join(r.code for r in ALL_RULES)
+        known = ", ".join(
+            [r.code for r in ALL_RULES] + [p.code for p in FLOW_PASSES]
+        )
         print(f"error: unknown rule code {code!r} (known: {known})")
         return 2
     print(f"{rule.code} ({rule.name})")
@@ -147,14 +236,41 @@ def _explain(code: str) -> int:
     return 0
 
 
-def _resolve_paths(raw: List[str]) -> List[Path]:
+def _resolve_paths(raw: List[str]) -> Tuple[List[Path], List[str]]:
+    """Split explicit path arguments into (existing, missing).
+
+    Explicitly named paths that do not exist are *errors* (exit 2), not
+    silently dropped — a typo in CI must not turn the gate green.
+    """
     if raw:
-        return [Path(p) for p in raw if Path(p).exists()]
+        paths: List[Path] = []
+        missing: List[str] = []
+        for name in raw:
+            path = Path(name)
+            if path.exists():
+                paths.append(path)
+            else:
+                missing.append(name)
+        return paths, missing
     default = Path("src/repro")
     if default.is_dir():
-        return [default]
+        return [default], []
     here = Path(".")
-    return [here] if here.is_dir() else []
+    return ([here] if here.is_dir() else []), []
+
+
+def _repo_root(start: Path) -> Optional[Path]:
+    """Nearest ancestor with a repo marker, for the cache directory."""
+    try:
+        resolved = start.resolve()
+    except OSError:  # pragma: no cover - filesystem race
+        return None
+    if resolved.is_file():
+        resolved = resolved.parent
+    for directory in [resolved, *resolved.parents]:
+        if (directory / "pyproject.toml").is_file() or (directory / ".git").exists():
+            return directory
+    return None
 
 
 def _baseline_path(args: argparse.Namespace, paths: List[Path]) -> Path:

@@ -20,16 +20,19 @@ import tokenize
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 __all__ = [
     "Diagnostic",
     "LintContext",
     "Rule",
     "LintEngine",
+    "FindingsCacheProtocol",
+    "dedupe_diagnostics",
     "load_baseline",
     "format_baseline",
     "package_relative",
+    "repo_relative",
 ]
 
 _NOQA_RE = re.compile(
@@ -43,7 +46,9 @@ class Diagnostic:
     """One finding: a rule violation at a specific location.
 
     Attributes:
-        path: the file the finding is in (as given to the engine).
+        path: the file the finding is in, normalized to a repository
+            relative posix path (see :func:`repo_relative`) so output is
+            identical regardless of the invocation directory.
         relpath: package-relative path used in fingerprints.
         line: 1-based line number.
         column: 0-based column offset.
@@ -80,11 +85,14 @@ class LintContext:
     tree: ast.Module
     source: str
     lines: List[str] = field(default_factory=list)
+    display: str = ""
     _scopes: Dict[int, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.lines:
             self.lines = self.source.splitlines()
+        if not self.display:
+            self.display = repo_relative(self.path)
         self._scopes = _enclosing_scopes(self.tree)
 
     def scope_of(self, node: ast.AST) -> str:
@@ -135,7 +143,7 @@ class Rule:
     ) -> Diagnostic:
         """Build a diagnostic anchored at ``node`` with scope context."""
         return Diagnostic(
-            path=str(ctx.path),
+            path=ctx.display,
             relpath=ctx.relpath,
             line=getattr(node, "lineno", 1),
             column=getattr(node, "col_offset", 0),
@@ -145,23 +153,49 @@ class Rule:
         )
 
 
+class FindingsCacheProtocol(Protocol):
+    """Duck type of the per-file findings cache accepted by the engine."""
+
+    def lookup(self, path: Path) -> Optional[List[Diagnostic]]:
+        """Return cached findings for ``path``, or ``None`` on a miss."""
+
+    def store(self, path: Path, findings: Sequence[Diagnostic]) -> None:
+        """Record fresh findings for ``path``."""
+
+
 class LintEngine:
     """Runs a set of rules over files and directories."""
 
     def __init__(self, rules: Sequence[Rule]) -> None:
         self.rules: Tuple[Rule, ...] = tuple(rules)
 
-    def lint_paths(self, paths: Iterable[Path]) -> List[Diagnostic]:
-        """Lint every ``.py`` file under the given files/directories."""
+    def lint_paths(
+        self, paths: Iterable[Path], cache: Optional[FindingsCacheProtocol] = None
+    ) -> List[Diagnostic]:
+        """Lint every ``.py`` file under the given files/directories.
+
+        Overlapping paths (a directory plus a file inside it, the same
+        tree given twice, relative and absolute spellings) are deduped
+        on the resolved file path, so each module is linted — and
+        reported — exactly once.  With ``cache``, files whose
+        ``(path, mtime, size)`` entry is still valid are answered from
+        the cache instead of re-parsed.
+        """
         diagnostics: List[Diagnostic] = []
         for path in _iter_python_files(paths):
-            diagnostics.extend(self.lint_file(path))
+            findings = cache.lookup(path) if cache is not None else None
+            if findings is None:
+                findings = self.lint_file(path)
+                if cache is not None:
+                    cache.store(path, findings)
+            diagnostics.extend(findings)
         diagnostics.sort(key=lambda d: (d.relpath, d.line, d.column, d.code))
         return diagnostics
 
     def lint_file(self, path: Path) -> List[Diagnostic]:
         """Lint a single file; syntax errors surface as a diagnostic."""
         relpath = package_relative(path)
+        display = repo_relative(path)
         try:
             with tokenize.open(path) as handle:
                 source = handle.read()
@@ -170,7 +204,7 @@ class LintEngine:
             line = getattr(exc, "lineno", 1) or 1
             return [
                 Diagnostic(
-                    path=str(path),
+                    path=display,
                     relpath=relpath,
                     line=line,
                     column=0,
@@ -238,6 +272,43 @@ def format_baseline(diagnostics: Sequence[Diagnostic]) -> str:
     return header + body
 
 
+def dedupe_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """Drop exact-duplicate findings, preserving order.
+
+    Two findings are duplicates when every identifying field matches —
+    this protects the CLI when per-file rules and flow passes (or
+    overlapping scan roots) would otherwise report the same violation
+    twice.
+    """
+    seen = set()
+    unique: List[Diagnostic] = []
+    for diag in diagnostics:
+        key = (diag.relpath, diag.line, diag.column, diag.code, diag.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(diag)
+    return unique
+
+
+def repo_relative(path: Path) -> str:
+    """Display path relative to the enclosing repository root.
+
+    Walks up from the file looking for a ``pyproject.toml`` or ``.git``
+    marker; the path is rendered relative to the first directory that
+    has one, so ``repro lint`` output is identical no matter which
+    directory it is invoked from.  Paths outside any repository (e.g.
+    pytest tmp trees without markers) fall back to the path as given.
+    """
+    try:
+        resolved = path.resolve()
+    except OSError:  # pragma: no cover - filesystem race
+        return path.as_posix()
+    for directory in [resolved.parent, *resolved.parent.parents]:
+        if (directory / "pyproject.toml").is_file() or (directory / ".git").exists():
+            return resolved.relative_to(directory).as_posix()
+    return path.as_posix()
+
+
 def package_relative(path: Path) -> str:
     """Path relative to the ``repro`` package root, for stable fingerprints.
 
@@ -247,7 +318,10 @@ def package_relative(path: Path) -> str:
     """
     parts = path.as_posix().split("/")
     if "repro" in parts[:-1]:
-        index = parts.index("repro")
+        # Use the *last* occurrence so fixture trees that nest a
+        # ``repro`` package under the real repository still fingerprint
+        # relative to the innermost package root.
+        index = len(parts) - 2 - parts[:-1][::-1].index("repro")
         tail = parts[index + 1 :]
         if tail:
             return "/".join(tail)
@@ -262,8 +336,12 @@ def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
         else:
             candidates = [path]
         for candidate in candidates:
-            if candidate not in seen:
-                seen.add(candidate)
+            try:
+                key = candidate.resolve()
+            except OSError:  # pragma: no cover - filesystem race
+                key = candidate
+            if key not in seen:
+                seen.add(key)
                 yield candidate
 
 

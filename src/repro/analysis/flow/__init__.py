@@ -1,0 +1,70 @@
+"""Cross-module flow passes for the theory-lint analyzer.
+
+Where :mod:`repro.analysis.rules` checks one module at a time, this
+package loads the whole ``src/repro`` tree into a single
+:class:`~repro.analysis.flow.index.ProjectIndex` and enforces the
+*cross-module* disciplines the fast/legacy kernel split depends on:
+
+* ``REPRO010`` — fast kernels stay on the batch path (no per-subject
+  object-path loops);
+* ``REPRO011`` — generator draw order matches the checked-in manifest
+  ``analysis/draw_order.toml``;
+* ``REPRO012`` — every fast kernel keeps its legacy twin, a
+  ``require_*_agree`` contract call site, and a two-path test;
+* ``REPRO013`` — serving classes owning a lock mutate shared state only
+  under it.
+
+Run them with ``repro lint --flow`` (or :func:`run_flow`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .base import FlowPass, run_flow
+from .concurrency import ConcurrencyPass
+from .contracts import ContractCoveragePass
+from .draworder import (
+    DrawOrderManifest,
+    DrawOrderPass,
+    extract_draw_order,
+    load_manifest,
+    manifest_path,
+)
+from .index import FunctionInfo, ModuleInfo, ProjectIndex
+from .purity import PurityPass
+
+__all__ = [
+    "FLOW_PASSES",
+    "PASSES_BY_CODE",
+    "ConcurrencyPass",
+    "ContractCoveragePass",
+    "DrawOrderManifest",
+    "DrawOrderPass",
+    "FlowPass",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "PurityPass",
+    "extract_draw_order",
+    "get_flow_pass",
+    "load_manifest",
+    "manifest_path",
+    "run_flow",
+]
+
+#: All registered flow passes, in code order.
+FLOW_PASSES: Tuple[FlowPass, ...] = (
+    PurityPass(),
+    DrawOrderPass(),
+    ContractCoveragePass(),
+    ConcurrencyPass(),
+)
+
+#: Passes indexed by their REPRO code.
+PASSES_BY_CODE: Dict[str, FlowPass] = {p.code: p for p in FLOW_PASSES}
+
+
+def get_flow_pass(code: str) -> Optional[FlowPass]:
+    """Look up a flow pass by code (case-insensitive)."""
+    return PASSES_BY_CODE.get(code.upper())

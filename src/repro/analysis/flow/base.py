@@ -1,0 +1,89 @@
+"""Base class and runner for cross-module flow passes.
+
+A :class:`FlowPass` is the whole-program analogue of the per-file
+:class:`repro.analysis.engine.Rule`: same ``code``/``name``/``summary``/
+``rationale`` surface (so ``--explain``, ``--select`` and the baseline
+machinery treat both uniformly), but :meth:`FlowPass.check` receives the
+:class:`~repro.analysis.flow.index.ProjectIndex` instead of a single
+module context.  Findings are ordinary :class:`Diagnostic` records and
+honour inline ``# noqa`` suppression via the owning module's context.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from ..engine import Diagnostic, repo_relative
+from .index import ProjectIndex
+
+__all__ = ["FlowPass", "run_flow"]
+
+
+class FlowPass:
+    """Base class for project-wide analysis passes (REPRO010+)."""
+
+    code: str = "REPRO010"
+    name: str = "abstract-flow-pass"
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield diagnostics over the whole indexed tree."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def diagnostic(
+        self,
+        index: ProjectIndex,
+        relpath: str,
+        node: ast.AST,
+        message: str,
+        context: Optional[str] = None,
+    ) -> Diagnostic:
+        """Build a diagnostic anchored at ``node`` in module ``relpath``."""
+        info = index.modules.get(relpath)
+        if context is None:
+            context = info.ctx.scope_of(node) if info is not None else "<module>"
+        display = info.ctx.display if info is not None else repo_relative(Path(relpath))
+        return Diagnostic(
+            path=display,
+            relpath=relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+            context=context,
+        )
+
+
+def run_flow(
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    index: Optional[ProjectIndex] = None,
+    passes: Optional[Sequence[FlowPass]] = None,
+) -> List[Diagnostic]:
+    """Run flow passes over a tree and return suppression-filtered findings.
+
+    Either ``paths`` (a tree to index) or a prebuilt ``index`` must be
+    given.  ``# noqa: REPROxxx`` comments on the flagged line suppress a
+    finding exactly as they do for per-file rules.
+    """
+    if index is None:
+        if paths is None:
+            raise ValueError("run_flow needs either paths or a prebuilt index")
+        index = ProjectIndex.build(list(paths))
+    if passes is None:
+        from . import FLOW_PASSES
+
+        passes = FLOW_PASSES
+    diagnostics: List[Diagnostic] = []
+    for flow_pass in passes:
+        for diag in flow_pass.check(index):
+            info = index.modules.get(diag.relpath)
+            if info is not None and info.ctx.suppressed(diag.line, diag.code):
+                continue
+            diagnostics.append(diag)
+    diagnostics.sort(key=lambda d: (d.relpath, d.line, d.column, d.code))
+    return diagnostics

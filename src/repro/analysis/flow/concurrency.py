@@ -1,0 +1,265 @@
+"""REPRO013: serving classes must mutate shared state under their lock.
+
+The serving tier (``serving/``) is the one place in the repository where
+real concurrency exists: the LRU contract cache is shared across
+server worker tasks and guards its map and statistics with a
+``threading.Lock``.  The discipline is structural — *every* mutation of
+instance state in a lock-owning class happens inside ``with
+self._lock:`` (or ``async with``) — but nothing enforced it: a new
+method that bumps a counter or evicts an entry outside the guard is a
+data race that no single-threaded test will ever catch.
+
+This pass finds classes in ``serving/`` modules that assign a
+``threading.Lock``/``RLock`` or ``asyncio.Lock`` to an attribute in
+``__init__``, then flags any method statement that mutates another
+``self.*`` attribute (assignment, augmented assignment, deletion, or a
+mutating container-method call such as ``.clear()``/``.pop()``/
+``.move_to_end()``) outside a ``with``-block on one of the lock
+attributes.  ``__init__`` itself is exempt — construction happens
+before the object is shared.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..engine import Diagnostic
+from .base import FlowPass
+from .index import ProjectIndex
+
+__all__ = ["ConcurrencyPass"]
+
+#: Container/method calls that mutate their receiver in place.
+_MUTATING_METHODS: Tuple[str, ...] = (
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "update",
+)
+
+#: Methods that run before the instance can be shared across threads.
+_CONSTRUCTION_METHODS: Tuple[str, ...] = ("__init__", "__post_init__", "__new__")
+
+_LOCK_FACTORIES: Tuple[str, ...] = ("Lock", "RLock")
+
+
+class ConcurrencyPass(FlowPass):
+    """Flag unguarded shared-state mutations in lock-owning serving classes."""
+
+    code = "REPRO013"
+    name = "serving-lock-discipline"
+    summary = "serving classes owning a lock must mutate shared attributes under it"
+    rationale = (
+        "serving/ is the only genuinely concurrent tier: caches and pools\n"
+        "are shared across server worker tasks and guard their state with\n"
+        "threading/asyncio locks.  The invariant is structural — every\n"
+        "mutation of instance state in a lock-owning class happens inside\n"
+        "`with self._lock:` — but a single-threaded test cannot catch a\n"
+        "method that bumps a counter or evicts an entry outside the guard.\n"
+        "This pass flags assignments, augmented assignments, deletions and\n"
+        "mutating container calls (`.clear()`, `.pop()`, `.move_to_end()`,\n"
+        "...) on self attributes outside a with-block on the lock, in any\n"
+        "serving/ class that assigns a Lock in __init__ (construction\n"
+        "itself is exempt)."
+    )
+
+    def check(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Scan every class in ``serving/`` modules that owns a lock."""
+        for relpath, info in sorted(index.modules.items()):
+            if not relpath.startswith("serving/"):
+                continue
+            for node in ast.walk(info.ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(index, relpath, node)
+
+    def _check_class(
+        self, index: ProjectIndex, relpath: str, cls: ast.ClassDef
+    ) -> Iterator[Diagnostic]:
+        lock_names = _lock_attributes(cls)
+        if not lock_names:
+            return
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _CONSTRUCTION_METHODS:
+                continue
+            self_name = _self_parameter(item)
+            if self_name is None:
+                continue
+            findings: List[Diagnostic] = []
+            self._scan_method(
+                index,
+                relpath,
+                f"{cls.name}.{item.name}",
+                item,
+                self_name,
+                lock_names,
+                guarded=False,
+                out=findings,
+            )
+            yield from findings
+
+    def _scan_method(
+        self,
+        index: ProjectIndex,
+        relpath: str,
+        qualname: str,
+        node: ast.AST,
+        self_name: str,
+        lock_names: Set[str],
+        guarded: bool,
+        out: List[Diagnostic],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                inner_guarded = guarded or any(
+                    _is_lock_expr(item.context_expr, self_name, lock_names)
+                    for item in child.items
+                )
+                for item in child.items:
+                    self._scan_method(
+                        index, relpath, qualname, item, self_name, lock_names, guarded, out
+                    )
+                for stmt in child.body:
+                    self._scan_method(
+                        index, relpath, qualname, stmt, self_name, lock_names, inner_guarded, out
+                    )
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not guarded:
+                attr = _mutated_attribute(child, self_name, lock_names)
+                if attr is not None:
+                    out.append(
+                        self.diagnostic(
+                            index,
+                            relpath,
+                            child,
+                            f"`{qualname}` mutates shared attribute `self.{attr}` "
+                            "outside `with self._lock`",
+                            context=qualname,
+                        )
+                    )
+            self._scan_method(
+                index, relpath, qualname, child, self_name, lock_names, guarded, out
+            )
+
+
+def _lock_attributes(cls: ast.ClassDef) -> Set[str]:
+    """Attribute names assigned a Lock/RLock anywhere in the class body."""
+    locks: Set[str] = set()
+    for node in ast.walk(cls):
+        value: Optional[ast.AST] = None
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            value = node.value
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value = node.value
+            targets = [node.target]
+        if value is None or not _is_lock_factory_call(value):
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                locks.add(target.attr)
+    return locks
+
+
+def _is_lock_factory_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    return False
+
+
+def _self_parameter(method: ast.AST) -> Optional[str]:
+    args = getattr(method, "args", None)
+    if args is None:
+        return None
+    positional = [*args.posonlyargs, *args.args]
+    if not positional:
+        return None
+    return positional[0].arg
+
+
+def _is_lock_expr(expr: ast.AST, self_name: str, lock_names: Set[str]) -> bool:
+    """Whether ``expr`` is ``self.<lock>`` (or a call on it, e.g. RLock)."""
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == self_name
+        and expr.attr in lock_names
+    )
+
+
+def _mutated_attribute(
+    node: ast.AST, self_name: str, lock_names: Set[str]
+) -> Optional[str]:
+    """The ``self.<attr>`` a statement mutates, or ``None``.
+
+    Covers plain/augmented/annotated assignment, ``del``, and mutating
+    container-method calls whose receiver is rooted at ``self``.
+    """
+    targets: List[ast.AST] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, ast.AugAssign):
+        targets = [node.target]
+    elif isinstance(node, ast.AnnAssign):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS:
+            attr = _self_rooted_attribute(func.value, self_name)
+            if attr is not None and attr not in lock_names:
+                return attr
+        return None
+    for target in targets:
+        attr = _self_rooted_attribute(target, self_name)
+        if attr is not None and attr not in lock_names:
+            return attr
+    return None
+
+
+def _self_rooted_attribute(node: ast.AST, self_name: str) -> Optional[str]:
+    """First attribute above ``self`` in an attribute/subscript chain.
+
+    ``self.stats.misses`` → ``stats``; ``self._entries[key]`` →
+    ``_entries``; returns ``None`` for chains not rooted at ``self``.
+    """
+    attr: Optional[str] = None
+    current = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            attr = current.attr
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        else:
+            break
+    if isinstance(current, ast.Name) and current.id == self_name and attr is not None:
+        return attr
+    return None

@@ -1,0 +1,169 @@
+"""REPRO012: every fast kernel needs its equivalence contract and tests.
+
+The repository's fast-path discipline (docs/PERFORMANCE.md) is that a
+``fast_*``/``vectorized_*`` kernel is only trustworthy while three
+artifacts exist together: the ``legacy_*`` twin it is measured against,
+a ``require_*_agree`` contract call in the code path that routes between
+them (so ``REPRO_CHECK_INVARIANTS`` cross-verifies in production code,
+not just in tests), and at least one test module exercising both paths
+by name.  Deleting any leg — most insidiously the ``require_*_agree``
+call inside the router — leaves a fast kernel whose equivalence is
+asserted by nothing.
+
+This pass statically rebuilds that registry:
+
+* each fast kernel must have a same-module ``legacy_*`` twin;
+* some source function must reference the fast kernel *and* call a
+  ``require_*_agree`` contract (the router/verifier);
+* some test or benchmark module must reference both the fast and the
+  legacy kernel names;
+* each ``require_*_agree`` definition must have at least one call site
+  (in source, tests, or benchmarks) — a dead contract guards nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Set
+
+from ..engine import Diagnostic
+from .base import FlowPass
+from .index import (
+    FunctionInfo,
+    ProjectIndex,
+    legacy_twin_name,
+    referenced_names,
+)
+
+__all__ = ["ContractCoveragePass"]
+
+_REQUIRE_RE = re.compile(r"^require_\w+_agree$")
+
+
+class ContractCoveragePass(FlowPass):
+    """Verify the fast kernel / contract / test triangle is closed."""
+
+    code = "REPRO012"
+    name = "equivalence-contract-coverage"
+    summary = "fast kernels need a legacy twin, a require_*_agree call site, and tests"
+    rationale = (
+        "A fast_*/vectorized_* kernel is only trustworthy while (1) its\n"
+        "legacy_* reference twin exists in the same module, (2) a source\n"
+        "function that routes to the fast kernel also calls a\n"
+        "require_*_agree equivalence contract — so REPRO_CHECK_INVARIANTS\n"
+        "cross-verifies the pair in production code paths — and (3) at\n"
+        "least one test or benchmark module references both kernel names.\n"
+        "Deleting the require_*_agree call (or the twin, or the test)\n"
+        "leaves an unverified fast path whose drift nothing can catch;\n"
+        "this pass rebuilds the registry statically so the gate fails\n"
+        "instead."
+    )
+
+    def check(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Check every fast kernel and every contract definition."""
+        contract_callers = _functions_calling_contracts(index)
+        test_sources = index.test_sources()
+        for fn in index.fast_kernels():
+            twin = legacy_twin_name(fn.name)
+            module_functions = index.module_functions(fn.relpath)
+            if twin not in module_functions:
+                yield self.diagnostic(
+                    index,
+                    fn.relpath,
+                    fn.node,
+                    f"fast kernel `{fn.qualname}` has no `{twin}` reference twin "
+                    "in the same module",
+                    context=fn.qualname,
+                )
+            if not _has_contract_coverage(fn, contract_callers):
+                yield self.diagnostic(
+                    index,
+                    fn.relpath,
+                    fn.node,
+                    f"fast kernel `{fn.qualname}` is not covered by a "
+                    "require_*_agree equivalence contract: no source function "
+                    "references it and calls a contract",
+                    context=fn.qualname,
+                )
+            if twin in module_functions and not _has_test_coverage(
+                fn.name, twin, test_sources
+            ):
+                yield self.diagnostic(
+                    index,
+                    fn.relpath,
+                    fn.node,
+                    f"no test or benchmark module references both `{fn.name}` "
+                    f"and `{twin}`; add an equivalence test exercising both paths",
+                    context=fn.qualname,
+                )
+        yield from self._check_dead_contracts(index, test_sources)
+
+    def _check_dead_contracts(
+        self, index: ProjectIndex, test_sources: Dict
+    ) -> Iterator[Diagnostic]:
+        definitions = [
+            fn
+            for fn in index.functions()
+            if "." not in fn.qualname and _REQUIRE_RE.match(fn.name)
+        ]
+        for definition in definitions:
+            called_in_src = any(
+                definition.name in _called_names(other.node)
+                for other in index.functions()
+                if other.key != definition.key
+            )
+            called_in_tests = any(
+                f"{definition.name}(" in source for source in test_sources.values()
+            )
+            if not called_in_src and not called_in_tests:
+                yield self.diagnostic(
+                    index,
+                    definition.relpath,
+                    definition.node,
+                    f"equivalence contract `{definition.qualname}` is never called "
+                    "from source, tests, or benchmarks; a dead contract guards "
+                    "nothing",
+                    context=definition.qualname,
+                )
+
+
+def _functions_calling_contracts(index: ProjectIndex) -> List[FunctionInfo]:
+    """Source functions that contain at least one ``require_*_agree`` call."""
+    callers = []
+    for fn in index.functions():
+        if any(_REQUIRE_RE.match(name) for name in _called_names(fn.node)):
+            callers.append(fn)
+    return callers
+
+
+def _called_names(fn: ast.AST) -> Set[str]:
+    """Bare and attribute callee names of every call inside ``fn``."""
+    names: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                names.add(node.func.id)
+            elif isinstance(node.func, ast.Attribute):
+                names.add(node.func.attr)
+    return names
+
+
+def _has_contract_coverage(
+    fast: FunctionInfo, contract_callers: List[FunctionInfo]
+) -> bool:
+    """Whether some contract-calling function also references the kernel."""
+    for caller in contract_callers:
+        if caller.key == fast.key:
+            continue
+        if fast.name in referenced_names(caller.node):
+            return True
+    return False
+
+
+def _has_test_coverage(fast_name: str, twin_name: str, test_sources: Dict) -> bool:
+    """Whether any test/benchmark module names both kernel paths."""
+    return any(
+        fast_name in source and twin_name in source
+        for source in test_sources.values()
+    )

@@ -1,0 +1,142 @@
+"""Output renderers for ``repro lint``: text, JSON, and SARIF 2.1.0.
+
+The JSON format is a small stable schema for scripting; the SARIF
+document targets the subset GitHub code scanning consumes (driver
+rules, results with ``ruleId``/``message``/``locations`` and a
+``partialFingerprints`` entry carrying the theory-lint baseline
+fingerprint), built with the stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from .engine import Diagnostic
+
+__all__ = ["LINT_FORMATS", "render_json", "render_sarif", "render_text"]
+
+#: Formats accepted by ``repro lint --format``.
+LINT_FORMATS = ("text", "json", "sarif")
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_TOOL_NAME = "theory-lint"
+
+
+class RuleLike:
+    """Minimal shape shared by per-file rules and flow passes."""
+
+    code: str
+    name: str
+    summary: str
+    rationale: str
+
+
+def render_text(
+    new: Sequence[Diagnostic],
+    stale: Iterable[str],
+    suppressed: int,
+    baseline_path: object,
+) -> str:
+    """The classic human-readable report (one finding per line)."""
+    lines: List[str] = [diag.format() for diag in new]
+    if suppressed:
+        lines.append(
+            f"({suppressed} grandfathered finding(s) suppressed by {baseline_path})"
+        )
+    for fingerprint in sorted(stale):
+        lines.append(f"stale baseline entry (no longer found): {fingerprint}")
+    if new:
+        lines.append(f"{len(new)} new finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Diagnostic],
+    stale: Iterable[str],
+    suppressed: int,
+) -> str:
+    """Findings as one JSON document (stable schema for scripting)."""
+    document = {
+        "tool": _TOOL_NAME,
+        "findings": [
+            {
+                "path": diag.path,
+                "line": diag.line,
+                "column": diag.column + 1,
+                "code": diag.code,
+                "message": diag.message,
+                "context": diag.context,
+                "fingerprint": diag.fingerprint,
+            }
+            for diag in new
+        ],
+        "suppressed": suppressed,
+        "stale_baseline_entries": sorted(stale),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    new: Sequence[Diagnostic],
+    rules: Sequence[RuleLike],
+) -> str:
+    """Findings as a SARIF 2.1.0 document (GitHub code-scanning subset)."""
+    used_codes = {diag.code for diag in new}
+    driver_rules: List[Dict[str, object]] = []
+    indices: Dict[str, int] = {}
+    for rule in rules:
+        if rule.code not in used_codes:
+            continue
+        indices[rule.code] = len(driver_rules)
+        driver_rules.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results: List[Dict[str, object]] = []
+    for diag in new:
+        result: Dict[str, object] = {
+            "ruleId": diag.code,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": diag.line,
+                            "startColumn": diag.column + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"theoryLintFingerprint/v1": diag.fingerprint},
+        }
+        if diag.code in indices:
+            result["ruleIndex"] = indices[diag.code]
+        results.append(result)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -103,7 +103,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint_parser = subparsers.add_parser(
         "lint",
-        help="run the theory-lint static analyzer (REPRO001-REPRO009)",
+        help=(
+            "run the theory-lint static analyzer (REPRO001-REPRO009; "
+            "--flow adds cross-module passes REPRO010-REPRO013)"
+        ),
     )
     from .analysis.cli import add_lint_arguments
 

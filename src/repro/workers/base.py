@@ -217,7 +217,10 @@ def respond_batch(
         key = agent.response_key(contract)
         response = shared.get(key)
         if response is None:
-            response = agent.respond(contract)
+            # Deliberate scalar fallback: this IS the memoized batch
+            # layer — one Eq. (30) solve per distinct response_key, not
+            # per subject.
+            response = agent.respond(contract)  # noqa: REPRO010
             shared[key] = response
         if cache is not None:
             cache[agent.worker_id] = (

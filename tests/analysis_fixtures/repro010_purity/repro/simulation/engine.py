@@ -1,0 +1,37 @@
+"""Seeded REPRO010 corpus: a fast kernel regressing to the object path.
+
+Never imported at runtime — parsed by the flow analyzer in
+``tests/analysis_flow/test_flow_passes.py``.  The loop body commits all
+three purity sins: a scalar object-path call, a per-element generator
+draw, and per-element designer-object construction, each of which the
+pass must flag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["Contract", "fast_step"]
+
+
+class Contract:
+    """Stand-in designer object constructed per subject (the violation)."""
+
+    def __init__(self, payment: float) -> None:
+        self.payment = payment
+
+
+def fast_step(
+    agents: Sequence[Any],
+    contracts: Dict[str, Contract],
+    rng: Any,
+) -> List[float]:
+    """A "fast" kernel that quietly loops scalar work over the population."""
+    payments: List[float] = []
+    for agent in agents:
+        contract = contracts[agent.worker_id]
+        response = agent.respond(contract)
+        noise = float(rng.normal(0.0, 0.1))
+        posted = Contract(response.effort + noise)
+        payments.append(posted.payment)
+    return payments

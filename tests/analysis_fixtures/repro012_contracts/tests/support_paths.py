@@ -1,0 +1,12 @@
+"""Fixture test stand-in proving two-path coverage for ``fast_solve``.
+
+Referenced by name only (this module is never collected by pytest): the
+REPRO012 test-coverage check looks for a test module mentioning both
+``fast_solve`` and ``legacy_solve``, which this file satisfies — so the
+fixture isolates the *contract-call* finding for ``fast_solve`` from
+the *test-coverage* finding.
+"""
+
+__all__ = ["KERNELS_UNDER_TEST"]
+
+KERNELS_UNDER_TEST = ("fast_solve", "legacy_solve")

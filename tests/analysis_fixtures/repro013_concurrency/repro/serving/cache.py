@@ -1,0 +1,47 @@
+"""Seeded REPRO013 corpus: a lock-owning cache with unguarded mutations.
+
+Never imported at runtime — parsed by the flow analyzer in
+``tests/analysis_flow/test_flow_passes.py``.  ``get`` bumps a counter
+after releasing the lock, ``put`` writes the shared map before taking
+it, and ``clear`` skips the lock entirely; ``guarded_put`` shows the
+correct shape and must not be flagged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["LeakyCache"]
+
+
+class LeakyCache:
+    """An LRU-ish cache that leaks mutations outside its lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, float] = {}
+        self.hits = 0
+
+    def get(self, key: str) -> Optional[float]:
+        """Counter bump happens after the lock is released (violation)."""
+        with self._lock:
+            value = self._entries.get(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: float) -> None:
+        """Writes the shared map before taking the lock (violation)."""
+        self._entries[key] = value
+        with self._lock:
+            self.hits = max(self.hits, 0)
+
+    def clear(self) -> None:
+        """Mutating container call with no lock at all (violation)."""
+        self._entries.clear()
+
+    def guarded_put(self, key: str, value: float) -> None:
+        """The correct shape: every mutation under the lock (clean)."""
+        with self._lock:
+            self._entries[key] = value
+            self.hits += 1

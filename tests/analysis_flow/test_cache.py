@@ -1,0 +1,109 @@
+"""The per-file findings cache: hits, invalidation, and the escape hatch."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cache import CACHE_DIR_NAME, FindingsCache, ruleset_fingerprint
+from repro.analysis.cli import main
+from repro.analysis.engine import Diagnostic
+
+
+def _seed_repo(tmp_path: Path) -> Path:
+    """A tiny repo (pyproject marker + one REPRO001 violation)."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'demo'\n")
+    tree = tmp_path / "repro" / "core"
+    tree.mkdir(parents=True)
+    (tree / "demo.py").write_text(
+        '"""Demo."""\n\n__all__ = ["f"]\n\n\ndef f(x: float) -> bool:\n'
+        '    """Eq. (1)."""\n    return x == 1.0\n'
+    )
+    return tmp_path
+
+
+def _run(root: Path, *extra: str) -> int:
+    return main([str(root / "repro"), "--no-baseline", *extra])
+
+
+def test_cache_file_created_and_reused(tmp_path, capsys):
+    root = _seed_repo(tmp_path)
+    assert _run(root) == 1
+    cache_file = root / CACHE_DIR_NAME / "cache.json"
+    assert cache_file.is_file()
+    capsys.readouterr()
+
+    # Prove the second run is served from the cache: falsify the cached
+    # findings and watch the gate go (wrongly, but observably) green.
+    document = json.loads(cache_file.read_text())
+    for entry in document["entries"].values():
+        entry["findings"] = []
+    cache_file.write_text(json.dumps(document))
+    assert _run(root) == 0
+    capsys.readouterr()
+
+    # --no-cache bypasses the poisoned cache and sees the violation.
+    assert _run(root, "--no-cache") == 1
+    capsys.readouterr()
+
+
+def test_cache_invalidated_by_file_change(tmp_path, capsys):
+    root = _seed_repo(tmp_path)
+    assert _run(root) == 1
+    capsys.readouterr()
+    cache_file = root / CACHE_DIR_NAME / "cache.json"
+    document = json.loads(cache_file.read_text())
+    for entry in document["entries"].values():
+        entry["findings"] = []
+    cache_file.write_text(json.dumps(document))
+
+    # Rewriting the module (different size) must invalidate its entry.
+    demo = root / "repro" / "core" / "demo.py"
+    demo.write_text(demo.read_text() + "\n\n# trailing comment\n")
+    assert _run(root) == 1
+    capsys.readouterr()
+
+
+def test_cache_invalidated_by_ruleset_hash(tmp_path):
+    directory = tmp_path / CACHE_DIR_NAME
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n")
+    diag = Diagnostic(
+        path="mod.py",
+        relpath="mod.py",
+        line=1,
+        column=0,
+        code="REPRO001",
+        message="m",
+        context="<module>",
+    )
+    cache = FindingsCache(directory, "hash-a")
+    cache.store(target, [diag])
+    cache.save()
+
+    same = FindingsCache(directory, "hash-a")
+    found = same.lookup(target)
+    assert found is not None and found[0] == diag
+
+    other = FindingsCache(directory, "hash-b")
+    assert other.lookup(target) is None
+
+
+def test_cache_corrupt_document_ignored(tmp_path):
+    directory = tmp_path / CACHE_DIR_NAME
+    directory.mkdir()
+    (directory / "cache.json").write_text("{not json")
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n")
+    cache = FindingsCache(directory, "h")
+    assert cache.lookup(target) is None
+    cache.store(target, [])
+    cache.save()
+    assert json.loads((directory / "cache.json").read_text())["ruleset"] == "h"
+
+
+def test_ruleset_fingerprint_depends_on_selection():
+    assert ruleset_fingerprint(["REPRO001"]) != ruleset_fingerprint(["REPRO002"])
+    assert ruleset_fingerprint(["REPRO001", "repro002"]) == ruleset_fingerprint(
+        ["REPRO002", "REPRO001"]
+    )

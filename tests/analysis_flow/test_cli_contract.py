@@ -1,0 +1,305 @@
+"""The lint CLI contract: exit codes, noqa parsing, paths, baseline I/O."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.cli import main
+from repro.analysis.engine import (
+    Diagnostic,
+    format_baseline,
+    load_baseline,
+    repo_relative,
+)
+
+CLEAN = (
+    '"""Demo module."""\n\n__all__ = ["f"]\n\n\ndef f(x: float) -> float:\n'
+    '    """Eq. (1)."""\n    return x + 1.0\n'
+)
+DIRTY = (
+    '"""Demo module."""\n\n__all__ = ["f"]\n\n\ndef f(x: float) -> bool:\n'
+    '    """Eq. (1)."""\n    return x == 1.0\n'
+)
+DIRTY_MULTI_NOQA = DIRTY.replace(
+    "return x == 1.0", "return x == 1.0  # noqa: REPRO001,REPRO011"
+)
+DIRTY_OTHER_NOQA = DIRTY.replace(
+    "return x == 1.0", "return x == 1.0  # noqa: REPRO011"
+)
+
+
+def _repo(tmp_path: Path, source: str) -> Path:
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'demo'\n")
+    tree = tmp_path / "repro" / "simulation"
+    tree.mkdir(parents=True)
+    (tree / "demo.py").write_text(source)
+    return tmp_path
+
+
+# ---------------------------------------------------------------- exit codes
+
+
+def test_exit_0_when_clean(tmp_path, capsys):
+    root = _repo(tmp_path, CLEAN)
+    assert main([str(root / "repro"), "--no-baseline", "--no-cache"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_exit_1_on_finding(tmp_path, capsys):
+    root = _repo(tmp_path, DIRTY)
+    assert main([str(root / "repro"), "--no-baseline", "--no-cache"]) == 1
+    assert "REPRO001" in capsys.readouterr().out
+
+
+def test_exit_2_on_unknown_select(capsys):
+    assert main(["src/repro", "--select", "REPRO999", "--no-cache"]) == 2
+    assert "unknown rule code" in capsys.readouterr().out
+
+
+def test_exit_2_on_unknown_explain(capsys):
+    assert main(["--explain", "NOPE123"]) == 2
+    assert "unknown rule code" in capsys.readouterr().out
+
+
+def test_exit_2_on_missing_path(capsys):
+    assert main(["definitely/not/here", "--no-cache"]) == 2
+    assert "path does not exist" in capsys.readouterr().out
+
+
+def test_exit_codes_with_flow_and_formats(tmp_path, capsys):
+    root = _repo(tmp_path, CLEAN)
+    for fmt in ("text", "json", "sarif"):
+        assert (
+            main(
+                [
+                    str(root / "repro"),
+                    "--flow",
+                    "--format",
+                    fmt,
+                    "--no-baseline",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        ), fmt
+        capsys.readouterr()
+    dirty = _repo(tmp_path / "dirty", DIRTY)
+    for fmt in ("text", "json", "sarif"):
+        assert (
+            main(
+                [
+                    str(dirty / "repro"),
+                    "--flow",
+                    "--format",
+                    fmt,
+                    "--no-baseline",
+                    "--no-cache",
+                ]
+            )
+            == 1
+        ), fmt
+        capsys.readouterr()
+
+
+def test_flow_codes_selectable_and_explainable(capsys):
+    assert main(["--explain", "repro013"]) == 0
+    out = capsys.readouterr().out
+    assert "REPRO013" in out and "serving" in out
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("REPRO001", "REPRO010", "REPRO011", "REPRO012", "REPRO013"):
+        assert code in out
+
+
+# ---------------------------------------------------------------- noqa
+
+
+def test_multi_code_noqa_suppresses(tmp_path, capsys):
+    root = _repo(tmp_path, DIRTY_MULTI_NOQA)
+    assert main([str(root / "repro"), "--no-baseline", "--no-cache"]) == 0
+    capsys.readouterr()
+
+
+def test_noqa_for_other_code_does_not_suppress(tmp_path, capsys):
+    root = _repo(tmp_path, DIRTY_OTHER_NOQA)
+    assert main([str(root / "repro"), "--no-baseline", "--no-cache"]) == 1
+    assert "REPRO001" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------- paths
+
+
+def _json_findings(capsys) -> list:
+    return json.loads(capsys.readouterr().out)["findings"]
+
+
+def test_findings_are_invocation_directory_independent(tmp_path, capsys, monkeypatch):
+    root = _repo(tmp_path, DIRTY)
+    target = str((root / "repro").resolve())
+    args = [target, "--no-baseline", "--no-cache", "--format", "json"]
+
+    monkeypatch.chdir(root)
+    assert main(args) == 1
+    from_root = _json_findings(capsys)
+
+    monkeypatch.chdir(root / "repro")
+    assert main(args) == 1
+    from_inside = _json_findings(capsys)
+
+    assert from_root == from_inside
+    assert from_root[0]["path"] == "repro/simulation/demo.py"
+
+
+def test_overlapping_paths_deduped(tmp_path, capsys):
+    root = _repo(tmp_path, DIRTY)
+    tree = root / "repro"
+    file = tree / "simulation" / "demo.py"
+    args = ["--no-baseline", "--no-cache", "--format", "json"]
+
+    assert main([str(tree), *args]) == 1
+    single = _json_findings(capsys)
+    assert main([str(tree), str(file), str(tree), *args]) == 1
+    overlapped = _json_findings(capsys)
+    assert overlapped == single
+
+
+def test_output_flag_writes_report(tmp_path, capsys):
+    root = _repo(tmp_path, DIRTY)
+    report = tmp_path / "report.sarif"
+    assert (
+        main(
+            [
+                str(root / "repro"),
+                "--no-baseline",
+                "--no-cache",
+                "--format",
+                "sarif",
+                "--output",
+                str(report),
+            ]
+        )
+        == 1
+    )
+    capsys.readouterr()
+    document = json.loads(report.read_text())
+    assert document["version"] == "2.1.0"
+    assert document["runs"][0]["results"]
+
+
+def test_repo_relative_normalizes_against_marker(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    target = nested / "mod.py"
+    target.write_text("x = 1\n")
+    assert repo_relative(target) == "a/b/mod.py"
+
+
+# ---------------------------------------------------------------- baseline
+
+_component = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_-."
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(
+    st.lists(
+        st.tuples(_component, st.sampled_from(["REPRO001", "REPRO011"]), _component),
+        max_size=20,
+    )
+)
+def test_baseline_round_trip(entries):
+    """format_baseline → load_baseline is the identity on fingerprints,
+    including multiplicity (the baseline is a multiset)."""
+    diagnostics = [
+        Diagnostic(
+            path=f"src/repro/{rel}.py",
+            relpath=f"{rel}.py",
+            line=i + 1,
+            column=0,
+            code=code,
+            message="m",
+            context=context,
+        )
+        for i, (rel, code, context) in enumerate(entries)
+    ]
+    text = format_baseline(diagnostics)
+    loaded = load_baseline_from_text(text)
+    assert loaded == Counter(d.fingerprint for d in diagnostics)
+
+
+def load_baseline_from_text(text: str) -> Counter:
+    import tempfile
+
+    with tempfile.NamedTemporaryFile("w", suffix=".baseline", delete=False) as handle:
+        handle.write(text)
+        name = handle.name
+    try:
+        return load_baseline(Path(name))
+    finally:
+        Path(name).unlink()
+
+
+def test_write_baseline_then_gate_green(tmp_path, capsys):
+    root = _repo(tmp_path, DIRTY)
+    baseline = root / ".theory-lint-baseline"
+    assert (
+        main(
+            [
+                str(root / "repro"),
+                "--write-baseline",
+                "--baseline",
+                str(baseline),
+                "--no-cache",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert (
+        main(
+            [str(root / "repro"), "--baseline", str(baseline), "--no-cache"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "grandfathered" in out
+
+
+def test_stale_baseline_entry_reported(tmp_path, capsys):
+    root = _repo(tmp_path, CLEAN)
+    baseline = root / ".theory-lint-baseline"
+    baseline.write_text("gone.py::REPRO001::f\n")
+    assert (
+        main([str(root / "repro"), "--baseline", str(baseline), "--no-cache"]) == 0
+    )
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("fmt", ["json", "sarif"])
+def test_machine_formats_parse(tmp_path, capsys, fmt):
+    root = _repo(tmp_path, DIRTY)
+    assert (
+        main(
+            [
+                str(root / "repro"),
+                "--no-baseline",
+                "--no-cache",
+                "--format",
+                fmt,
+            ]
+        )
+        == 1
+    )
+    json.loads(capsys.readouterr().out)

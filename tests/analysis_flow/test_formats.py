@@ -1,0 +1,85 @@
+"""JSON and SARIF renderers: schema shape, fingerprints, determinism."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import Diagnostic
+from repro.analysis.flow import FLOW_PASSES
+from repro.analysis.formats import render_json, render_sarif, render_text
+from repro.analysis.rules import ALL_RULES
+
+
+def _diag(code="REPRO001", line=3, message="float equality", context="f"):
+    return Diagnostic(
+        path="src/repro/core/demo.py",
+        relpath="core/demo.py",
+        line=line,
+        column=4,
+        code=code,
+        message=message,
+        context=context,
+    )
+
+
+def test_render_json_schema():
+    document = json.loads(render_json([_diag()], ["old::REPRO001::gone"], 2))
+    assert document["tool"] == "theory-lint"
+    assert document["suppressed"] == 2
+    assert document["stale_baseline_entries"] == ["old::REPRO001::gone"]
+    (finding,) = document["findings"]
+    assert finding["path"] == "src/repro/core/demo.py"
+    assert finding["line"] == 3
+    assert finding["column"] == 5  # 1-based for humans
+    assert finding["code"] == "REPRO001"
+    assert finding["fingerprint"] == "core/demo.py::REPRO001::f"
+
+
+def test_render_sarif_2_1_0_shape():
+    rules = [*ALL_RULES, *FLOW_PASSES]
+    document = json.loads(
+        render_sarif([_diag(), _diag(code="REPRO011", context="fast_step")], rules)
+    )
+    assert document["version"] == "2.1.0"
+    assert "sarif-2.1.0" in document["$schema"]
+    (run,) = document["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "theory-lint"
+    # Only rules with results are listed, both per-file and flow.
+    assert {r["id"] for r in driver["rules"]} == {"REPRO001", "REPRO011"}
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["fullDescription"]["text"]
+    assert len(run["results"]) == 2
+    for result in run["results"]:
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/core/demo.py"
+        assert location["region"]["startLine"] == 3
+        assert location["region"]["startColumn"] == 5
+        fingerprint = result["partialFingerprints"]["theoryLintFingerprint/v1"]
+        assert fingerprint.startswith("core/demo.py::")
+        assert result["ruleId"] in {"REPRO001", "REPRO011"}
+        assert "ruleIndex" in result
+
+
+def test_render_sarif_empty_is_valid():
+    document = json.loads(render_sarif([], list(ALL_RULES)))
+    assert document["runs"][0]["results"] == []
+    assert document["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+def test_render_text_matches_cli_contract():
+    text = render_text([_diag()], ["old::REPRO001::gone"], 1, "BASE")
+    lines = text.splitlines()
+    assert lines[0] == "src/repro/core/demo.py:3:5: REPRO001 float equality"
+    assert lines[1] == "(1 grandfathered finding(s) suppressed by BASE)"
+    assert lines[2] == "stale baseline entry (no longer found): old::REPRO001::gone"
+    assert lines[3] == "1 new finding(s)"
+    assert render_text([], [], 0, "BASE") == ""
+
+
+def test_renderers_are_deterministic():
+    diags = [_diag(), _diag(code="REPRO011")]
+    assert render_json(diags, [], 0) == render_json(list(diags), [], 0)
+    rules = [*ALL_RULES, *FLOW_PASSES]
+    assert render_sarif(diags, rules) == render_sarif(list(diags), rules)

@@ -152,3 +152,43 @@ def test_same_seed_same_ledger_across_kernels():
         assert produced.outcomes == reference.outcomes
         assert produced.benefit == reference.benefit
         assert produced.total_compensation == reference.total_compensation
+
+
+def test_draw_order_manifest_matches_kernels():
+    """analysis/draw_order.toml pins exactly what the kernels consume.
+
+    This is the regression test the manifest names (REPRO011): the
+    statically extracted generator-consuming call sites of ``fast_step``
+    and ``legacy_step`` must equal the manifested sequences, so a new or
+    reordered ``rng.*`` draw cannot land without editing the manifest —
+    and this file — in the same commit.
+    """
+    import ast
+    import inspect
+    from pathlib import Path
+
+    import repro.analysis as analysis_pkg
+    from repro.analysis.flow import extract_draw_order, load_manifest
+    from repro.simulation.engine import fast_step, legacy_step
+
+    manifest = load_manifest(
+        Path(analysis_pkg.__file__).parent / "draw_order.toml"
+    )
+    assert manifest.regression_test == "tests/simulation/test_rng_order.py"
+
+    for kernel, key in [
+        (fast_step, "simulation/engine.py::fast_step"),
+        (legacy_step, "simulation/engine.py::legacy_step"),
+    ]:
+        node = ast.parse(inspect.getsource(kernel)).body[0]
+        extracted = tuple(site.name for site in extract_draw_order(node))
+        assert extracted == manifest.kernels[key], key
+
+    # The engine draws exactly these shapes: fast_step one stacked
+    # standard-normal block per round; legacy_step a forwarded feedback
+    # draw then a forwarded rating draw per subject.
+    assert manifest.kernels["simulation/engine.py::fast_step"] == ("standard_normal",)
+    assert manifest.kernels["simulation/engine.py::legacy_step"] == (
+        "realize_feedback",
+        "rating_deviation",
+    )
