@@ -16,12 +16,17 @@ contract requests three ways:
    are batched, solved off the event loop and streamed back in
    completion order, with backpressure bounding the request queue;
 4. once more with tracing on — ``repro.obs`` records the span tree
-   (batch -> designs) and renders the hottest-spans report.
+   (batch -> designs) and renders the hottest-spans report;
+5. over HTTP against a 2-shard cluster — a plain ``http.client``
+   consumer posts JSON to the :class:`repro.serving.ShardRouter`'s
+   front end and reads back the same contracts the pool produced.
 """
 
 from __future__ import annotations
 
 import asyncio
+import http.client
+import json
 
 from repro.serving import ContractCache, ContractServer, ServingStats, SolverPool
 from repro.serving.workload import synthetic_subproblems
@@ -88,11 +93,52 @@ def traced_round() -> None:
     print(render_report(span_records(tracer), top=5), end="")
 
 
+def clustered_round() -> None:
+    """Serve one round over HTTP against a sharded cluster.
+
+    This is the full network path: a stdlib ``http.client`` consumer,
+    JSON on the wire, a shard router hashing each design fingerprint to
+    its owning worker process.  The contracts that come back are
+    byte-identical to the pooled path above.
+    """
+    from repro.serving import HTTPServerThread, ShardRouter
+    from repro.serving.cluster.codec import subproblem_to_json
+
+    subproblems = synthetic_subproblems(
+        n_subjects=24, n_archetypes=6, seed=42
+    )
+    with ShardRouter(n_shards=2, supervise_interval=0.0) as router:
+        with HTTPServerThread(router) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=30.0)
+            try:
+                body = json.dumps(
+                    {"subproblems": [subproblem_to_json(s) for s in subproblems]}
+                )
+                conn.request("POST", "/solve_batch", body=body)
+                designs = json.loads(conn.getresponse().read())["designs"]
+                hired = sum(1 for d in designs if d["hired"])
+                print(
+                    f"HTTP /solve_batch on {len(router.shard_ids)} shards: "
+                    f"{hired}/{len(designs)} hired"
+                )
+                conn.request("GET", "/healthz")
+                health = json.loads(conn.getresponse().read())
+                print(
+                    f"/healthz: {health['status']} "
+                    f"({health['n_healthy']}/{health['n_shards']} shards)"
+                )
+            finally:
+                conn.close()
+
+
 def main() -> None:
     pooled_rounds()
     asyncio.run(streamed_round())
     print()
     traced_round()
+    print()
+    clustered_round()
 
 
 if __name__ == "__main__":

@@ -101,6 +101,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_serve_arguments(serve_parser)
 
+    from .serving.cluster.cli import add_bench_serve_arguments
+
+    bench_serve_parser = subparsers.add_parser(
+        "bench-serve",
+        help="closed-loop load benchmark against the sharded serving cluster",
+    )
+    add_bench_serve_arguments(bench_serve_parser)
+
     lint_parser = subparsers.add_parser(
         "lint",
         help=(
@@ -145,6 +153,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .serving.cli import run_serve
 
         return run_serve(args)
+    if args.command == "bench-serve":
+        from .serving.cluster.cli import run_bench_serve
+
+        return run_bench_serve(args)
     if args.command == "obs":
         from .obs.cli import run_obs
 

@@ -19,11 +19,35 @@ into a serving layer:
   benchmarks and smoke tests.
 * :mod:`~repro.serving.replay` — ledger-level verification that cached
   contracts match recomputed ones.
+* :mod:`~repro.serving.cluster` — sharded multi-process serving: a
+  consistent-hash shard router with failover and supervision, fronted
+  by a stdlib HTTP/JSON server (``/solve``, ``/solve_batch``,
+  ``/healthz``, ``/stats``).
+* :mod:`~repro.serving.loadgen` — a closed-loop load harness recording
+  p50/p99 latency through :mod:`repro.obs` histograms
+  (``repro bench-serve`` on the CLI).
 """
 
 from __future__ import annotations
 
 from .cache import CacheStats, ContractCache, LRUCache, require_results_agree
+from .cluster import (
+    ClusterHTTPServer,
+    ClusterStats,
+    HashRing,
+    HTTPServerThread,
+    ShardProcess,
+    ShardRouter,
+    ShardSpec,
+)
+from .loadgen import (
+    LoadGenerator,
+    LoadReport,
+    http_target,
+    pool_target,
+    router_target,
+    synthetic_request_batches,
+)
 from .fingerprint import design_fingerprint, subproblem_fingerprint
 from .pool import (
     DeltaSolveState,
@@ -40,19 +64,32 @@ from .workload import synthetic_subproblems
 
 __all__ = [
     "CacheStats",
+    "ClusterHTTPServer",
+    "ClusterStats",
     "ContractCache",
     "ContractServer",
     "DeltaSolveState",
+    "HTTPServerThread",
+    "HashRing",
     "LRUCache",
+    "LoadGenerator",
+    "LoadReport",
     "RedesignStats",
     "ServingStats",
+    "ShardProcess",
+    "ShardRouter",
+    "ShardSpec",
     "SolveDiagnostics",
     "SolverPool",
     "design_fingerprint",
+    "http_target",
+    "pool_target",
     "require_redesigns_agree",
     "require_results_agree",
+    "router_target",
     "solve_subproblems_parallel",
     "subproblem_fingerprint",
+    "synthetic_request_batches",
     "synthetic_subproblems",
     "verify_ledger",
     "verify_round",

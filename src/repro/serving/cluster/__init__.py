@@ -1,0 +1,50 @@
+"""Sharded multi-process contract serving (`repro.serving.cluster`).
+
+The single-process :class:`~repro.serving.server.ContractServer` tops
+out at one GIL-bound process and one cache's worth of warm contracts.
+This package scales the serving layer out:
+
+* :mod:`~repro.serving.cluster.ring` — a stable consistent-hash ring
+  over shard ids; design fingerprints map to shards with cache affinity
+  that survives resizes (adding/removing a shard moves ~1/N of keys).
+* :mod:`~repro.serving.cluster.shard` — one worker *process* per shard,
+  each running its own :class:`~repro.serving.pool.SolverPool` +
+  :class:`~repro.serving.cache.ContractCache`, spoken to over a pipe.
+* :mod:`~repro.serving.cluster.router` — fingerprint routing, bounded
+  retry/backoff failover, a supervisor that restarts crashed shards
+  with warm-cache handoff, and a local last-resort solver so no request
+  is ever lost.
+* :mod:`~repro.serving.cluster.http` — a minimal stdlib HTTP/JSON front
+  end (``/solve``, ``/solve_batch``, ``/healthz``, ``/stats``).
+* :mod:`~repro.serving.cluster.codec` — the JSON wire format for
+  subproblems and solved designs.
+
+The closed-loop load harness lives one level up in
+:mod:`repro.serving.loadgen` (``repro bench-serve`` on the CLI).
+"""
+
+from __future__ import annotations
+
+from .codec import (
+    design_to_json,
+    subproblem_from_json,
+    subproblem_to_json,
+)
+from .http import ClusterHTTPServer, HTTPServerThread, run_http_in_thread
+from .ring import HashRing
+from .router import ClusterStats, ShardRouter
+from .shard import ShardProcess, ShardSpec
+
+__all__ = [
+    "ClusterHTTPServer",
+    "ClusterStats",
+    "HTTPServerThread",
+    "HashRing",
+    "ShardProcess",
+    "ShardRouter",
+    "ShardSpec",
+    "design_to_json",
+    "run_http_in_thread",
+    "subproblem_from_json",
+    "subproblem_to_json",
+]

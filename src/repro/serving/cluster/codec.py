@@ -1,0 +1,107 @@
+"""JSON wire format for subproblems and solved designs.
+
+The HTTP front end (:mod:`repro.serving.cluster.http`) speaks plain
+JSON.  A subproblem serializes to exactly the fields the Section IV-C
+designer consumes (the same tuple the design fingerprint hashes); a
+solved design serializes to the quantities downstream consumers read
+off a :class:`~repro.core.designer.DesignResult` — the posted
+compensation vector, the selected piece, the best response and the
+requester utility.
+
+Python's :mod:`json` emits ``repr``-style floats, which round-trip
+every finite double exactly, so a compensation vector survives the HTTP
+hop bit-identically — the cluster benchmarks assert that against serial
+solving.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from ...core.decomposition import Subproblem
+from ...core.designer import DesignResult
+from ...core.effort import QuadraticEffort
+from ...errors import ServingError
+from ...types import WorkerParameters, WorkerType
+
+__all__ = [
+    "design_to_json",
+    "subproblem_from_json",
+    "subproblem_to_json",
+]
+
+
+def subproblem_to_json(subproblem: Subproblem) -> Dict[str, Any]:
+    """Encode one subproblem as a JSON-serializable dict."""
+    r2, r1, r0 = subproblem.effort_function.coefficients()
+    return {
+        "subject_id": subproblem.subject_id,
+        "r2": r2,
+        "r1": r1,
+        "r0": r0,
+        "beta": subproblem.params.beta,
+        "omega": subproblem.params.omega,
+        "worker_type": subproblem.params.worker_type.value,
+        "feedback_weight": subproblem.feedback_weight,
+        "member_ids": list(subproblem.member_ids),
+        "max_effort": subproblem.max_effort,
+    }
+
+
+def subproblem_from_json(payload: Mapping[str, Any]) -> Subproblem:
+    """Decode one subproblem from its JSON dict.
+
+    Raises:
+        ServingError: on missing fields or invalid values (the model
+            layer's own validation errors are re-raised as such, so the
+            HTTP front end can map them to a 400).
+    """
+    try:
+        effort_function = QuadraticEffort(
+            r2=float(payload["r2"]),
+            r1=float(payload["r1"]),
+            r0=float(payload.get("r0", 0.0)),
+        )
+        params = WorkerParameters(
+            beta=float(payload.get("beta", 1.0)),
+            omega=float(payload.get("omega", 0.0)),
+            worker_type=WorkerType(payload.get("worker_type", "honest")),
+        )
+        max_effort = payload.get("max_effort")
+        return Subproblem(
+            subject_id=str(payload["subject_id"]),
+            effort_function=effort_function,
+            params=params,
+            feedback_weight=float(payload.get("feedback_weight", 1.0)),
+            member_ids=tuple(payload.get("member_ids") or ()),
+            max_effort=None if max_effort is None else float(max_effort),
+        )
+    except ServingError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise ServingError(f"malformed subproblem payload: {error}") from error
+    except Exception as error:  # noqa: BLE001 - model validation -> 400
+        raise ServingError(f"invalid subproblem: {error}") from error
+
+
+def design_to_json(
+    subject_id: str,
+    result: DesignResult,
+    fingerprint: Optional[str] = None,
+    cache_hit: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """Encode one solved design as a JSON-serializable dict."""
+    payload: Dict[str, Any] = {
+        "subject_id": subject_id,
+        "hired": result.hired,
+        "k_opt": result.k_opt,
+        "compensations": list(result.contract.compensations),
+        "requester_utility": result.requester_utility,
+        "effort": result.effort,
+        "compensation": result.compensation,
+    }
+    if fingerprint is not None:
+        payload["fingerprint"] = fingerprint
+    if cache_hit is not None:
+        payload["cache_hit"] = cache_hit
+    return payload

@@ -1,0 +1,374 @@
+"""Minimal stdlib HTTP/JSON front end over the shard router.
+
+An :mod:`asyncio`-streams HTTP/1.1 server (no third-party framework)
+exposing the cluster to anything that can speak JSON over a socket:
+
+* ``POST /solve`` — one subproblem in, one solved design out;
+* ``POST /solve_batch`` — ``{"subproblems": [...]}`` in,
+  ``{"designs": [...]}`` out, input order preserved;
+* ``GET /healthz`` — shard liveness + overall ``ok``/``degraded``;
+* ``GET /stats`` — router counters and per-shard serving counters.
+
+Solving is CPU + IPC work, so request handlers push it off the event
+loop into the default executor — the loop keeps accepting connections
+while the cluster solves.  Responses serialize floats via ``repr``
+(:mod:`json`'s default), which round-trips every finite double exactly:
+a compensation vector survives the HTTP hop bit-identically.
+
+:class:`HTTPServerThread` hosts the server on a private event loop in a
+daemon thread so synchronous callers (the CLI, the load generator,
+tests) can stand a cluster endpoint up with two calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ...errors import ServingError
+from ...obs.trace import get_tracer
+from .codec import design_to_json, subproblem_from_json
+from .router import ShardRouter
+
+__all__ = ["ClusterHTTPServer", "HTTPServerThread", "run_http_in_thread"]
+
+#: Largest accepted request body, in bytes (a defensive bound; a batch
+#: of a few thousand subproblems stays well under it).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ClusterHTTPServer:
+    """Asyncio HTTP/1.1 JSON server fronting a :class:`ShardRouter`.
+
+    Args:
+        router: the (started) cluster router requests are served from.
+        host: bind address.
+        port: bind port (``0``: pick a free one; see :attr:`port`).
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.router = router
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the server is accepting connections."""
+        return self._server is not None and self._server.is_serving()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServingError("HTTP server is not running (call start())")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` the server is bound to."""
+        return (self.host, self.port)
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (idempotent)."""
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self._requested_port
+            )
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "ClusterHTTPServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._dispatch(method, path, body)
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            except asyncio.CancelledError:
+                # Shutdown cancels parked keep-alive handlers; the
+                # transport is being torn down with the loop anyway.
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one HTTP/1.1 request; ``None`` on a cleanly closed socket."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            return None
+        if not request_line or request_line.strip() == b"":
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, raw_path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ServingError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte bound"
+            )
+        body = await reader.readexactly(length) if length else b""
+        path = raw_path.split("?", 1)[0]
+        return method, path, headers, body
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Route one request to its handler; JSON status + payload out."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return await self._dispatch_inner(method, path, body)
+        with tracer.span("cluster.http_request", method=method, path=path) as span:
+            status, payload = await self._dispatch_inner(method, path, body)
+            span.set("status", status)
+            return status, payload
+
+    async def _dispatch_inner(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    return 405, {"error": f"{method} not allowed on {path}"}
+                report = self.router.healthz()
+                status = 200 if report["status"] == "ok" else 503
+                return status, report
+            if path == "/stats":
+                if method != "GET":
+                    return 405, {"error": f"{method} not allowed on {path}"}
+                return 200, self.router.stats_snapshot()
+            if path == "/solve":
+                if method != "POST":
+                    return 405, {"error": f"{method} not allowed on {path}"}
+                return 200, await self._solve_payload(body, batch=False)
+            if path == "/solve_batch":
+                if method != "POST":
+                    return 405, {"error": f"{method} not allowed on {path}"}
+                return 200, await self._solve_payload(body, batch=True)
+            return 404, {"error": f"no such endpoint: {path}"}
+        except ServingError as error:
+            return 400, {"error": str(error)}
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+
+    async def _solve_payload(self, body: bytes, batch: bool) -> Dict[str, Any]:
+        """Decode, solve off-loop, and encode one solve request."""
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServingError(f"request body is not valid JSON: {error}") from error
+        if batch:
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("subproblems"), list
+            ):
+                raise ServingError(
+                    'batch requests need a JSON object with a "subproblems" list'
+                )
+            raw_items = payload["subproblems"]
+        else:
+            if not isinstance(payload, dict):
+                raise ServingError("solve requests need a JSON subproblem object")
+            raw_items = [payload]
+        subproblems = [subproblem_from_json(item) for item in raw_items]
+        fingerprints = self.router.fingerprints(subproblems)
+        loop = asyncio.get_running_loop()
+        designs, cache_hits = await loop.run_in_executor(
+            None, self.router.solve_designs, subproblems, fingerprints
+        )
+        encoded = [
+            design_to_json(
+                subproblem.subject_id,
+                design,
+                fingerprint=fingerprint,
+                cache_hit=hit,
+            )
+            for subproblem, design, fingerprint, hit in zip(
+                subproblems, designs, fingerprints, cache_hits
+            )
+        ]
+        if batch:
+            return {"designs": encoded}
+        return encoded[0]
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+class HTTPServerThread:
+    """A :class:`ClusterHTTPServer` on a private loop in a daemon thread.
+
+    Synchronous callers (the CLI, the load generator, tests) start the
+    thread, read :attr:`address`, and talk plain HTTP to it.
+
+    Args:
+        router: the (started) cluster router to serve from.
+        host: bind address.
+        port: bind port (``0``: pick a free one).
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.router = router
+        self.host = host
+        self._requested_port = port
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[ClusterHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` the server is bound to (after :meth:`start`)."""
+        if self._server is None:
+            raise ServingError("HTTP server thread is not running")
+        return self._server.address
+
+    def start(self, timeout: float = 10.0) -> "HTTPServerThread":
+        """Boot the loop thread and wait for the server to bind."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-cluster-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServingError("HTTP server thread failed to start in time")
+        if self._startup_error is not None:
+            raise ServingError(
+                f"HTTP server failed to bind: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the server and join the loop thread."""
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=timeout)
+        self._loop = None
+        self._thread = None
+        self._server = None
+        self._ready.clear()
+
+    def __enter__(self) -> "HTTPServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        server = ClusterHTTPServer(
+            self.router, host=self.host, port=self._requested_port
+        )
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as error:  # noqa: BLE001 - surfaced in start()
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self._server = server
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(server.stop())
+            # Keep-alive handler tasks may still be parked on a read;
+            # cancel them so the loop closes without pending work.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+
+def run_http_in_thread(
+    router: ShardRouter, host: str = "127.0.0.1", port: int = 0
+) -> HTTPServerThread:
+    """Start a :class:`HTTPServerThread` and return it once bound."""
+    return HTTPServerThread(router, host=host, port=port).start()

@@ -1,0 +1,127 @@
+"""Stable consistent-hash ring over shard ids.
+
+The cluster routes every design fingerprint to one shard so that repeated
+requests for the same subproblem always land on the same warm
+:class:`~repro.serving.cache.ContractCache`.  A plain ``hash(fp) %
+n_shards`` would reshuffle *every* fingerprint whenever the shard count
+changes; a consistent-hash ring moves only ~``1/N`` of them — the keys
+that now belong to the joining (or leaving) shard — so cache affinity
+survives resizes and the warm-cache handoff only has to ship that
+sliver.
+
+The ring is deterministic and platform-stable: both shard points and
+keys hash through SHA-256 (never Python's seeded ``hash``), so two
+routers built from the same shard ids agree on every assignment.  The
+ring itself is a plain data structure with no locking; the
+:class:`~repro.serving.cluster.router.ShardRouter` owns it and guards
+mutation with its own lock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...errors import ServingError
+
+__all__ = ["HashRing"]
+
+#: Virtual nodes per shard.  More replicas smooth the key distribution
+#: (and the fraction moved on resize) at the cost of ring size; 64 keeps
+#: the imbalance within a few percent for small shard counts.
+DEFAULT_REPLICAS = 64
+
+
+def _hash64(payload: str) -> int:
+    """A stable 64-bit ring position for ``payload``."""
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent assignment of string keys to shard ids.
+
+    Args:
+        shard_ids: initial shards (order-independent; ids must be
+            unique and non-empty).
+        replicas: virtual nodes per shard (>= 1).
+    """
+
+    def __init__(
+        self,
+        shard_ids: Sequence[str] = (),
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if replicas < 1:
+            raise ServingError(f"replicas must be >= 1, got {replicas!r}")
+        self.replicas = replicas
+        self._shards: List[str] = []
+        self._points: List[Tuple[int, str]] = []
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    # -- membership ----------------------------------------------------
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        """Current shards, sorted by id."""
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    def add(self, shard_id: str) -> None:
+        """Join one shard (its ~1/N slice of keys moves onto it)."""
+        if not shard_id:
+            raise ServingError("shard_id must be a non-empty string")
+        if shard_id in self._shards:
+            raise ServingError(f"shard {shard_id!r} already on the ring")
+        self._shards.append(shard_id)
+        for replica in range(self.replicas):
+            point = _hash64(f"ring:{shard_id}#{replica}")
+            bisect.insort(self._points, (point, shard_id))
+
+    def remove(self, shard_id: str) -> None:
+        """Leave one shard (its keys move to their ring successors)."""
+        if shard_id not in self._shards:
+            raise ServingError(f"shard {shard_id!r} not on the ring")
+        self._shards.remove(shard_id)
+        self._points = [
+            entry for entry in self._points if entry[1] != shard_id
+        ]
+
+    # -- assignment ----------------------------------------------------
+
+    def assign(self, key: str) -> str:
+        """The shard owning ``key`` (the first point at/after its hash)."""
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: str, n: Optional[int] = None) -> List[str]:
+        """Distinct shards in ring order from ``key``'s position.
+
+        The first entry is the owner; the rest are the failover order
+        the router walks when the owner is down.  ``n`` bounds the list
+        (default: every shard).
+        """
+        if not self._points:
+            raise ServingError("cannot assign keys on an empty ring")
+        want = len(self._shards) if n is None else max(1, min(n, len(self._shards)))
+        start = bisect.bisect_right(self._points, (_hash64(f"key:{key}"), "\uffff"))
+        ordered: List[str] = []
+        seen: set = set()
+        for offset in range(len(self._points)):
+            _, shard_id = self._points[(start + offset) % len(self._points)]
+            if shard_id not in seen:
+                seen.add(shard_id)
+                ordered.append(shard_id)
+                if len(ordered) >= want:
+                    break
+        return ordered
+
+    def assignments(self, keys: Iterable[str]) -> Dict[str, str]:
+        """``{key: owner}`` for every key (test/inspection helper)."""
+        return {key: self.assign(key) for key in keys}

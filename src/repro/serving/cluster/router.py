@@ -1,0 +1,623 @@
+"""Fingerprint routing, failover and supervision over shard processes.
+
+The :class:`ShardRouter` is the cluster's brain: it owns the consistent
+hash ring (:class:`~repro.serving.cluster.ring.HashRing`), one
+:class:`~repro.serving.cluster.shard.ShardProcess` per shard, and the
+request path that ties them together:
+
+1. **route** — each request's design fingerprint maps through the ring
+   to its owner shard, so repeats of the same subproblem always hit the
+   same warm cache;
+2. **retry / failover** — a shard that stops answering (transport
+   failure, not an application error) is retried with linear backoff on
+   the ring successors, bounded by ``max_retries``;
+3. **degrade, never drop** — when every shard attempt is exhausted the
+   router solves locally in-process (its own small
+   :class:`~repro.serving.pool.SolverPool`), so a request can slow down
+   but never be lost;
+4. **supervise** — a daemon thread restarts dead shards and re-warms
+   them from the surviving peers' caches (the peers served the dead
+   shard's keys during the outage, so the handoff restores affinity
+   without re-solving anything).
+
+Routing, retries and lifecycle transitions are all visible through
+:mod:`repro.obs`: counters/histograms on :class:`ClusterStats` and
+spans (``cluster.solve_batch``, ``cluster.solve_group``) when tracing
+is enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...core.decomposition import Subproblem, SubproblemSolution
+from ...core.designer import DesignerConfig, DesignResult
+from ...errors import ServingError
+from ...obs.metrics import Counter, Histogram, MetricsRegistry
+from ...obs.trace import get_tracer
+from ..cache import ContractCache
+from ..fingerprint import subproblem_fingerprint
+from ..pool import SolverPool
+from .ring import DEFAULT_REPLICAS, HashRing
+from .shard import ShardProcess, ShardSpec, ShardTransportError
+
+__all__ = ["ClusterStats", "ShardRouter"]
+
+
+class ClusterStats:
+    """Obs-backed counters of the cluster router.
+
+    A lock-free facade: every instrument below is an
+    :mod:`repro.obs.metrics` primitive with its own internal lock, so
+    the router can bump counters from any thread without coordination.
+
+    Attributes:
+        registry: the backing :class:`MetricsRegistry` (private unless
+            one is injected — pass :func:`repro.obs.metrics.get_registry`
+            to publish next to the rest of the process).
+        requests: requests routed through the cluster.
+        batches: solve batches the router has served.
+        routed: per-shard group dispatches (one per owner per batch).
+        failovers: dispatches that landed on a non-owner shard.
+        retries: shard attempts after the first, across all requests.
+        transport_errors: shard attempts that died in transport.
+        local_fallbacks: groups solved by the router's in-process pool.
+        restarts: shard processes revived by the supervisor.
+        handoff_entries: cached designs shipped in warm handoffs.
+        request_latency: end-to-end seconds per routed group dispatch.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        namespace: str = "cluster",
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.namespace = namespace
+        prefix = f"{namespace}." if namespace else ""
+        self.requests: Counter = self.registry.counter(
+            prefix + "requests", "requests routed through the cluster"
+        )
+        self.batches: Counter = self.registry.counter(
+            prefix + "batches", "solve batches served by the router"
+        )
+        self.routed: Counter = self.registry.counter(
+            prefix + "routed", "per-shard group dispatches"
+        )
+        self.failovers: Counter = self.registry.counter(
+            prefix + "failovers", "dispatches served by a non-owner shard"
+        )
+        self.retries: Counter = self.registry.counter(
+            prefix + "retries", "shard attempts after the first"
+        )
+        self.transport_errors: Counter = self.registry.counter(
+            prefix + "transport_errors", "shard attempts that died in transport"
+        )
+        self.local_fallbacks: Counter = self.registry.counter(
+            prefix + "local_fallbacks", "groups solved by the local fallback pool"
+        )
+        self.restarts: Counter = self.registry.counter(
+            prefix + "restarts", "shards revived by the supervisor"
+        )
+        self.handoff_entries: Counter = self.registry.counter(
+            prefix + "handoff_entries", "cached designs shipped in warm handoffs"
+        )
+        self.request_latency: Histogram = self.registry.histogram(
+            prefix + "group_latency_s", "seconds per routed group dispatch"
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Every cluster metric as ``{name: {field: value}}``."""
+        return self.registry.snapshot()
+
+
+class ShardRouter:
+    """Consistent-hash request router over shard processes.
+
+    Args:
+        n_shards: shards to boot (ids ``shard-0`` ... ``shard-{n-1}``).
+        mu: the requester's compensation weight (shared by all shards).
+        config: designer configuration shared by all shards.
+        cache_capacity: per-shard contract-cache bound.
+        replicas: ring virtual nodes per shard.
+        request_timeout: seconds one shard attempt may take.
+        max_retries: shard attempts after the first before the local
+            fallback pool takes the group.
+        backoff: base seconds of the linear inter-attempt backoff.
+        supervise_interval: seconds between supervisor liveness sweeps
+            (``0`` disables the supervisor thread).
+        start_method: :mod:`multiprocessing` start method for shards.
+        stats: cluster counters; a private one is created when ``None``.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        mu: float = 1.0,
+        config: Optional[DesignerConfig] = None,
+        cache_capacity: int = 4096,
+        replicas: int = DEFAULT_REPLICAS,
+        request_timeout: Optional[float] = 30.0,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        supervise_interval: float = 0.5,
+        start_method: Optional[str] = None,
+        stats: Optional[ClusterStats] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ServingError(f"n_shards must be >= 1, got {n_shards!r}")
+        if max_retries < 0:
+            raise ServingError(f"max_retries must be >= 0, got {max_retries!r}")
+        if backoff < 0.0:
+            raise ServingError(f"backoff must be >= 0, got {backoff!r}")
+        if supervise_interval < 0.0:
+            raise ServingError(
+                f"supervise_interval must be >= 0, got {supervise_interval!r}"
+            )
+        self.mu = mu
+        self.config = config
+        self.cache_capacity = cache_capacity
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.supervise_interval = supervise_interval
+        self.stats = stats if stats is not None else ClusterStats()
+        self._start_method = start_method
+        self._initial_shards = n_shards
+        self._lock = threading.RLock()
+        self._ring = HashRing(replicas=replicas)
+        self._shards: Dict[str, ShardProcess] = {}
+        self._next_index = 0
+        self._started = False
+        self._stop_event = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        # Last-resort solver: small private cache, in-process solving.
+        self._fallback_pool = SolverPool(
+            n_workers=0,
+            mu=mu,
+            config=config,
+            cache=ContractCache(capacity=max(64, cache_capacity // 4)),
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the router has been started and not yet closed."""
+        with self._lock:
+            return self._started
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        """Current shard ids, sorted."""
+        with self._lock:
+            return self._ring.shard_ids
+
+    def start(self) -> None:
+        """Boot the initial shards and the supervisor (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(2, self._initial_shards),
+                thread_name_prefix="repro-cluster",
+            )
+            for _ in range(self._initial_shards):
+                self.add_shard()
+            if self.supervise_interval > 0.0:
+                supervisor = threading.Thread(
+                    target=self._supervise_loop,
+                    name="repro-cluster-supervisor",
+                    daemon=True,
+                )
+                supervisor.start()
+                self._supervisor = supervisor
+
+    def close(self) -> None:
+        """Stop the supervisor, every shard and the fallback pool."""
+        with self._lock:
+            if not self._started:
+                return
+            self._started = False
+            self._stop_event.set()
+            supervisor = self._supervisor
+            self._supervisor = None
+        if supervisor is not None:
+            supervisor.join(timeout=10.0)
+        with self._lock:
+            processes = list(self._shards.values())
+            self._shards.clear()
+            self._ring = HashRing(replicas=self._ring.replicas)
+            executor = self._executor
+            self._executor = None
+        for process in processes:
+            process.stop()
+        if executor is not None:
+            executor.shutdown(wait=True)
+        self._fallback_pool.close()
+
+    def __enter__(self) -> "ShardRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- membership ---------------------------------------------------
+
+    def add_shard(self, shard_id: Optional[str] = None) -> str:
+        """Join one shard, warming its cache from the surviving peers.
+
+        The handoff ships only the entries the *new* ring assigns to the
+        joining shard — the ~1/N sliver that just moved — so affinity is
+        restored without re-solving anything.
+
+        Returns:
+            The joined shard's id.
+        """
+        with self._lock:
+            if shard_id is None:
+                shard_id = f"shard-{self._next_index}"
+                self._next_index += 1
+            if shard_id in self._ring:
+                raise ServingError(f"shard {shard_id!r} already in the cluster")
+            spec = ShardSpec(
+                shard_id=shard_id,
+                mu=self.mu,
+                config=self.config,
+                cache_capacity=self.cache_capacity,
+            )
+            process = ShardProcess(spec, start_method=self._start_method)
+            process.start()
+            exported = self._export_peer_caches(exclude=shard_id)
+            self._ring.add(shard_id)
+            self._shards[shard_id] = process
+            owned = [
+                (fingerprint, design)
+                for fingerprint, design in exported
+                if self._ring.assign(fingerprint) == shard_id
+            ]
+            self._import_entries(process, owned)
+            return shard_id
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Gracefully leave one shard, handing its cache to successors."""
+        with self._lock:
+            process = self._shards.get(shard_id)
+            if process is None:
+                raise ServingError(f"shard {shard_id!r} not in the cluster")
+            if len(self._shards) <= 1:
+                raise ServingError("cannot remove the last shard")
+            exported: List[Tuple[str, DesignResult]] = []
+            if process.alive:
+                try:
+                    exported = process.cache_export(timeout=self.request_timeout)
+                except ServingError:
+                    exported = []
+            self._ring.remove(shard_id)
+            del self._shards[shard_id]
+            by_owner: Dict[str, List[Tuple[str, DesignResult]]] = {}
+            for fingerprint, design in exported:
+                owner = self._ring.assign(fingerprint)
+                by_owner.setdefault(owner, []).append((fingerprint, design))
+            for owner, entries in by_owner.items():
+                peer = self._shards.get(owner)
+                if peer is not None:
+                    self._import_entries(peer, entries)
+        process.stop()
+
+    def kill_shard(self, shard_id: str) -> None:
+        """SIGKILL one shard without touching the ring (fault injection).
+
+        In-flight requests fail over to ring successors; the supervisor
+        revives the shard on its next sweep.
+        """
+        with self._lock:
+            process = self._shards.get(shard_id)
+        if process is None:
+            raise ServingError(f"shard {shard_id!r} not in the cluster")
+        process.kill()
+
+    def _export_peer_caches(
+        self, exclude: Optional[str] = None
+    ) -> List[Tuple[str, DesignResult]]:
+        """Every live peer's cached entries (best-effort, under lock)."""
+        exported: List[Tuple[str, DesignResult]] = []
+        for peer_id, peer in self._shards.items():
+            if peer_id == exclude or not peer.alive:
+                continue
+            try:
+                exported.extend(peer.cache_export(timeout=self.request_timeout))
+            except ServingError:
+                continue
+        return exported
+
+    def _import_entries(
+        self, process: ShardProcess, entries: List[Tuple[str, DesignResult]]
+    ) -> None:
+        """Best-effort warm-cache import into one shard."""
+        if not entries:
+            return
+        try:
+            imported = process.cache_import(entries, timeout=self.request_timeout)
+        except ServingError:
+            return
+        self.stats.handoff_entries.inc(imported)
+
+    # -- supervision --------------------------------------------------
+
+    def _supervise_loop(self) -> None:
+        """Daemon body: revive dead shards until the router closes."""
+        while not self._stop_event.wait(self.supervise_interval):
+            try:
+                self.revive_dead_shards()
+            except ServingError:
+                continue
+
+    def revive_dead_shards(self) -> Tuple[str, ...]:
+        """Restart every dead shard, re-warming it from live peers.
+
+        Returns:
+            Ids of the shards revived in this sweep (empty when all
+            shards were healthy).  Public so tests and the CLI can force
+            a sweep instead of waiting out ``supervise_interval``.
+        """
+        revived: List[str] = []
+        with self._lock:
+            if not self._started:
+                return ()
+            for shard_id, process in self._shards.items():
+                if process.alive:
+                    continue
+                process.start()
+                self.stats.restarts.inc()
+                revived.append(shard_id)
+                exported = self._export_peer_caches(exclude=shard_id)
+                owned = [
+                    (fingerprint, design)
+                    for fingerprint, design in exported
+                    if self._ring.assign(fingerprint) == shard_id
+                ]
+                self._import_entries(process, owned)
+        return tuple(revived)
+
+    # -- request path -------------------------------------------------
+
+    def fingerprints(self, subproblems: Sequence[Subproblem]) -> List[str]:
+        """Design fingerprints under this cluster's ``(mu, config)``."""
+        return [
+            subproblem_fingerprint(subproblem, mu=self.mu, config=self.config)
+            for subproblem in subproblems
+        ]
+
+    def solve(
+        self, subproblems: Sequence[Subproblem]
+    ) -> Dict[str, SubproblemSolution]:
+        """Solve every subproblem; results keyed by subject id."""
+        seen = set()
+        for subproblem in subproblems:
+            if subproblem.subject_id in seen:
+                raise ServingError(
+                    f"duplicate subject_id {subproblem.subject_id!r}"
+                )
+            seen.add(subproblem.subject_id)
+        designs, _ = self.solve_designs(subproblems)
+        return {
+            subproblem.subject_id: SubproblemSolution(
+                subproblem=subproblem, result=design
+            )
+            for subproblem, design in zip(subproblems, designs)
+        }
+
+    def solve_designs(
+        self,
+        subproblems: Sequence[Subproblem],
+        fingerprints: Optional[Sequence[str]] = None,
+    ) -> Tuple[List[DesignResult], List[bool]]:
+        """Route one batch through the cluster.
+
+        Requests are grouped by owner shard (ring assignment of each
+        design fingerprint) and the groups dispatched concurrently; the
+        returned designs and cache-hit flags align with the input order
+        regardless of which shard answered when.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve_designs(subproblems, fingerprints)
+        with tracer.span(
+            "cluster.solve_batch", n_requests=len(subproblems)
+        ) as span:
+            designs, cache_hits = self._solve_designs(subproblems, fingerprints)
+            span.set("n_shards", len(self.shard_ids))
+            span.set("n_hits", sum(1 for hit in cache_hits if hit))
+            return designs, cache_hits
+
+    def _solve_designs(
+        self,
+        subproblems: Sequence[Subproblem],
+        fingerprints: Optional[Sequence[str]] = None,
+    ) -> Tuple[List[DesignResult], List[bool]]:
+        if not self.running:
+            raise ServingError("cluster router is not running (call start())")
+        if fingerprints is None:
+            fingerprints = self.fingerprints(subproblems)
+        if len(fingerprints) != len(subproblems):
+            raise ServingError(
+                f"got {len(fingerprints)} fingerprints for "
+                f"{len(subproblems)} subproblems"
+            )
+        if not subproblems:
+            return [], []
+
+        with self._lock:
+            owners = [self._ring.assign(fp) for fp in fingerprints]
+            executor = self._executor
+
+        groups: Dict[str, List[int]] = {}
+        for index, owner in enumerate(owners):
+            groups.setdefault(owner, []).append(index)
+
+        designs: List[Optional[DesignResult]] = [None] * len(subproblems)
+        cache_hits: List[bool] = [False] * len(subproblems)
+
+        def serve_group(
+            owner: str, indices: List[int]
+        ) -> Tuple[List[DesignResult], List[bool]]:
+            return self._solve_group(
+                owner,
+                [subproblems[i] for i in indices],
+                [fingerprints[i] for i in indices],
+            )
+
+        ordered = sorted(groups.items())
+        if len(ordered) == 1 or executor is None:
+            outcomes = [serve_group(owner, idx) for owner, idx in ordered]
+        else:
+            futures: List["Future[Tuple[List[DesignResult], List[bool]]]"] = [
+                executor.submit(serve_group, owner, idx)
+                for owner, idx in ordered
+            ]
+            outcomes = [future.result() for future in futures]
+
+        for (owner, indices), (group_designs, group_hits) in zip(
+            ordered, outcomes
+        ):
+            for position, index in enumerate(indices):
+                designs[index] = group_designs[position]
+                cache_hits[index] = group_hits[position]
+
+        self.stats.requests.inc(len(subproblems))
+        self.stats.batches.inc()
+        return [design for design in designs if design is not None], cache_hits
+
+    def _solve_group(
+        self,
+        owner: str,
+        subproblems: List[Subproblem],
+        fingerprints: List[str],
+    ) -> Tuple[List[DesignResult], List[bool]]:
+        """One owner group: owner shard, then ring successors, then local.
+
+        Transport failures walk the failover chain with linear backoff;
+        application errors propagate immediately (retrying a bad request
+        elsewhere cannot fix it).  The local fallback pool is the
+        guaranteed last resort — a group can degrade but never fail for
+        lack of shards.
+        """
+        started = time.perf_counter()
+        with self._lock:
+            chain = self._ring.preference(fingerprints[0])
+        if owner in chain:
+            chain = [owner] + [sid for sid in chain if sid != owner]
+        attempts = 0
+        last_error: Optional[ShardTransportError] = None
+        for shard_id in chain:
+            if attempts > self.max_retries:
+                break
+            with self._lock:
+                process = self._shards.get(shard_id)
+            if process is None or not process.alive:
+                continue
+            if attempts > 0:
+                self.stats.retries.inc()
+                if self.backoff > 0.0:
+                    time.sleep(self.backoff * attempts)
+            attempts += 1
+            try:
+                group_designs, group_hits = process.solve(
+                    subproblems, fingerprints, timeout=self.request_timeout
+                )
+            except ShardTransportError as error:
+                self.stats.transport_errors.inc()
+                last_error = error
+                continue
+            self.stats.routed.inc()
+            if shard_id != owner:
+                self.stats.failovers.inc()
+            self.stats.request_latency.observe(time.perf_counter() - started)
+            self._trace_group(owner, shard_id, attempts, len(subproblems))
+            return group_designs, group_hits
+
+        # Every shard attempt exhausted: degrade to the local pool so
+        # the request is slowed down, never lost.
+        self.stats.local_fallbacks.inc()
+        group_designs, group_hits = self._fallback_pool.solve_designs(
+            subproblems, fingerprints
+        )
+        self.stats.request_latency.observe(time.perf_counter() - started)
+        self._trace_group(owner, "local", attempts, len(subproblems), last_error)
+        return group_designs, group_hits
+
+    def _trace_group(
+        self,
+        owner: str,
+        served_by: str,
+        attempts: int,
+        n_requests: int,
+        last_error: Optional[ShardTransportError] = None,
+    ) -> None:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        with tracer.span(
+            "cluster.solve_group",
+            owner=owner,
+            served_by=served_by,
+            attempts=attempts,
+            n_requests=n_requests,
+        ) as span:
+            if last_error is not None:
+                span.set("transport_error", str(last_error))
+
+    # -- introspection ------------------------------------------------
+
+    def healthz(self, timeout: float = 2.0) -> Dict[str, Any]:
+        """Liveness of every shard plus an overall status.
+
+        ``status`` is ``"ok"`` when every shard answers its health
+        probe, ``"degraded"`` otherwise (the cluster still serves — via
+        failover and the local fallback — while degraded).
+        """
+        with self._lock:
+            processes = dict(self._shards)
+        shards: Dict[str, Dict[str, Any]] = {}
+        healthy = 0
+        for shard_id in sorted(processes):
+            process = processes[shard_id]
+            if not process.alive:
+                shards[shard_id] = {"alive": False}
+                continue
+            try:
+                info = process.health(timeout=timeout)
+            except ServingError as error:
+                shards[shard_id] = {"alive": False, "error": str(error)}
+                continue
+            info["alive"] = True
+            shards[shard_id] = info
+            healthy += 1
+        return {
+            "status": "ok" if healthy == len(processes) and processes else "degraded",
+            "n_shards": len(processes),
+            "n_healthy": healthy,
+            "shards": shards,
+        }
+
+    def stats_snapshot(self, timeout: float = 2.0) -> Dict[str, Any]:
+        """Router counters plus best-effort per-shard serving counters."""
+        with self._lock:
+            processes = dict(self._shards)
+        per_shard: Dict[str, Dict[str, float]] = {}
+        for shard_id in sorted(processes):
+            process = processes[shard_id]
+            if not process.alive:
+                continue
+            try:
+                per_shard[shard_id] = process.stats_snapshot(timeout=timeout)
+            except ServingError:
+                continue
+        return {"router": self.stats.snapshot(), "shards": per_shard}

@@ -1,0 +1,370 @@
+"""One contract-serving shard per worker process.
+
+A shard is the smallest serving unit of the cluster: its own OS process
+running the existing single-process stack — a
+:class:`~repro.serving.pool.SolverPool` in front of a private
+:class:`~repro.serving.cache.ContractCache` — spoken to over a
+:mod:`multiprocessing` pipe with a tiny ``(op, payload)`` protocol.
+
+The parent-side handle (:class:`ShardProcess`) draws one distinction
+that the router's failover logic leans on:
+
+* **application errors** (the shard replied ``("error", message)``, e.g.
+  an infeasible design) re-raise as plain :class:`ServingError` — the
+  request itself is bad, so retrying it on another shard cannot help;
+* **transport failures** (pipe timeout, EOF, broken pipe — the shard
+  died or wedged) raise :class:`ShardTransportError` and tear the
+  connection down, because after an unanswered request the pipe framing
+  is unrecoverable — the router fails the request over to a ring
+  successor and lets the supervisor restart the shard.
+
+The handle serializes pipe access behind an ``RLock``; every state
+mutation happens under it (the serving-tier lock discipline, REPRO013).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from dataclasses import dataclass, replace
+from multiprocessing.connection import Connection
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...core.decomposition import Subproblem
+from ...core.designer import DesignerConfig, DesignResult
+from ...errors import ServingError
+from ..cache import ContractCache
+from ..pool import SolverPool
+from ..stats import ServingStats
+
+__all__ = ["ShardProcess", "ShardSpec", "ShardTransportError", "shard_main"]
+
+
+class ShardTransportError(ServingError):
+    """The shard process is unreachable (died, wedged, or pipe broke).
+
+    Distinct from a plain :class:`ServingError` so the router can tell
+    "this request is bad" (no failover) from "this shard is bad"
+    (failover to a ring successor, supervisor restarts the shard).
+    """
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Configuration one shard process boots with.
+
+    Attributes:
+        shard_id: stable identity on the hash ring.
+        mu: the requester's compensation weight.
+        config: designer configuration shared by all solves.
+        cache_capacity: bound of the shard's private contract cache.
+    """
+
+    shard_id: str
+    mu: float = 1.0
+    config: Optional[DesignerConfig] = None
+    cache_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if not self.shard_id:
+            raise ServingError("shard_id must be a non-empty string")
+        if self.cache_capacity < 1:
+            raise ServingError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity!r}"
+            )
+
+
+def shard_main(conn: Connection, spec: ShardSpec) -> None:
+    """The shard process body: serve ``(op, payload)`` requests forever.
+
+    Ops: ``solve`` (subproblems + fingerprints in, designs + hit flags
+    out), ``health``/``stats`` (snapshots), ``cache_export`` /
+    ``cache_import`` (warm handoff), ``shutdown`` (clean exit) and
+    ``crash`` (fault injection: die without replying).  Application
+    errors are reported as ``("error", message)`` replies; the loop
+    only exits on shutdown or a dead pipe.
+    """
+    cache = ContractCache(capacity=spec.cache_capacity)
+    stats = ServingStats()
+    pool = SolverPool(
+        n_workers=0,
+        mu=spec.mu,
+        config=spec.config,
+        cache=cache,
+        stats=stats,
+    )
+    while True:
+        try:
+            op, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if op == "shutdown":
+            try:
+                conn.send(("ok", None))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        if op == "crash":
+            # Fault injection: die mid-protocol, leaving the parent's
+            # request unanswered so the transport path gets exercised.
+            os._exit(17)
+        try:
+            reply = _dispatch(op, payload, spec, pool, cache, stats)
+        except Exception as error:  # noqa: BLE001 - fan app errors to parent
+            try:
+                conn.send(("error", f"{type(error).__name__}: {error}"))
+            except (BrokenPipeError, OSError):
+                break
+            continue
+        try:
+            conn.send(("ok", reply))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+def _slim(result: DesignResult) -> DesignResult:
+    """Drop the per-candidate sweep table before pickling to the pipe.
+
+    ``DesignResult.evaluations`` holds one entry per target piece, each
+    carrying its own full contract — O(m^2) floats for an m-interval
+    grid, two orders of magnitude heavier than the selected contract it
+    annotates.  It exists for designer introspection, not serving, so
+    the wire format ships the result with ``evaluations=()`` and keeps
+    the pipe cost proportional to the contracts actually served.  The
+    shard's own cache keeps the full object.
+    """
+    if not result.evaluations:
+        return result
+    return replace(result, evaluations=())
+
+
+def _dispatch(
+    op: str,
+    payload: Any,
+    spec: ShardSpec,
+    pool: SolverPool,
+    cache: ContractCache,
+    stats: ServingStats,
+) -> Any:
+    """Execute one shard op (inside the shard process)."""
+    if op == "solve":
+        subproblems, fingerprints = payload
+        designs, cache_hits = pool.solve_designs(subproblems, fingerprints)
+        return ([_slim(design) for design in designs], cache_hits)
+    if op == "health":
+        return {
+            "shard_id": spec.shard_id,
+            "pid": os.getpid(),
+            "cache_entries": len(cache),
+            "requests": stats.requests,
+        }
+    if op == "stats":
+        snapshot = stats.snapshot()
+        snapshot.update(cache.stats.snapshot())
+        snapshot["cache_entries"] = float(len(cache))
+        return snapshot
+    if op == "cache_export":
+        entries = []
+        for fingerprint in cache.fingerprints():
+            design = cache.get_design(fingerprint)
+            if design is not None:
+                design = _slim(design)
+            entries.append((fingerprint, design))
+        return entries
+    if op == "cache_import":
+        imported = 0
+        for fingerprint, design in payload:
+            if design is not None:
+                cache.put_design(fingerprint, design)
+                imported += 1
+        return imported
+    raise ServingError(f"unknown shard op {op!r}")
+
+
+class ShardProcess:
+    """Parent-side handle of one shard process.
+
+    Owns the pipe and serializes access to it: one request/reply cycle
+    at a time, every attribute mutation under ``self._lock`` (an RLock,
+    so the teardown helper can run while :meth:`request` already holds
+    it).
+
+    Args:
+        spec: the shard's boot configuration.
+        start_method: :mod:`multiprocessing` start method (``None``:
+            platform default — ``fork`` on Linux, which boots fastest).
+    """
+
+    def __init__(
+        self, spec: ShardSpec, start_method: Optional[str] = None
+    ) -> None:
+        self.spec = spec
+        self.restarts = 0
+        self._ctx = multiprocessing.get_context(start_method)
+        self._lock = threading.RLock()
+        self._process: Optional[multiprocessing.process.BaseProcess] = None
+        self._conn: Optional[Connection] = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def shard_id(self) -> str:
+        """The shard's stable ring identity."""
+        return self.spec.shard_id
+
+    @property
+    def alive(self) -> bool:
+        """Whether the shard process is running and reachable."""
+        with self._lock:
+            return (
+                self._process is not None
+                and self._process.is_alive()
+                and self._conn is not None
+            )
+
+    @property
+    def pid(self) -> Optional[int]:
+        """The shard process id (``None`` before start / after stop)."""
+        with self._lock:
+            return self._process.pid if self._process is not None else None
+
+    def start(self) -> None:
+        """Boot (or re-boot) the shard process; idempotent while alive."""
+        with self._lock:
+            if self.alive:
+                return
+            if self._process is not None:
+                self.restarts += 1
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=shard_main,
+                args=(child_conn, self.spec),
+                name=f"repro-shard-{self.spec.shard_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._process = process
+            self._conn = parent_conn
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut the shard down cleanly, escalating to SIGKILL on timeout."""
+        with self._lock:
+            conn, process = self._conn, self._process
+            if conn is not None and process is not None and process.is_alive():
+                try:
+                    conn.send(("shutdown", None))
+                    if conn.poll(timeout):
+                        conn.recv()
+                except (EOFError, BrokenPipeError, OSError):
+                    pass
+            if process is not None:
+                process.join(timeout=timeout)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=timeout)
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self._conn = None
+            self._process = None
+
+    def kill(self) -> None:
+        """SIGKILL the shard process (fault injection)."""
+        with self._lock:
+            if self._process is not None and self._process.is_alive():
+                self._process.kill()
+                self._process.join(timeout=5.0)
+            self._teardown_conn()
+
+    def _teardown_conn(self) -> None:
+        """Drop the (desynced or dead) pipe; keeps the process handle."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except OSError:
+                    pass
+            self._conn = None
+
+    # -- protocol -----------------------------------------------------
+
+    def request(
+        self, op: str, payload: Any = None, timeout: Optional[float] = None
+    ) -> Any:
+        """One request/reply cycle with the shard.
+
+        Raises:
+            ShardTransportError: the shard is down or stopped answering
+                (the pipe is torn down — framing is unrecoverable after
+                an unanswered request).
+            ServingError: the shard replied with an application error.
+        """
+        with self._lock:
+            conn, process = self._conn, self._process
+            if conn is None or process is None or not process.is_alive():
+                raise ShardTransportError(
+                    f"shard {self.spec.shard_id!r} is not running"
+                )
+            try:
+                conn.send((op, payload))
+                if timeout is not None and not conn.poll(timeout):
+                    self._teardown_conn()
+                    raise ShardTransportError(
+                        f"shard {self.spec.shard_id!r} did not answer "
+                        f"{op!r} within {timeout!r}s"
+                    )
+                status, reply = conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
+                self._teardown_conn()
+                raise ShardTransportError(
+                    f"shard {self.spec.shard_id!r} connection failed during "
+                    f"{op!r}: {error}"
+                ) from error
+        if status == "error":
+            raise ServingError(
+                f"shard {self.spec.shard_id!r} failed {op!r}: {reply}"
+            )
+        return reply
+
+    # -- typed convenience wrappers -----------------------------------
+
+    def solve(
+        self,
+        subproblems: Sequence[Subproblem],
+        fingerprints: Sequence[str],
+        timeout: Optional[float] = None,
+    ) -> Tuple[List[DesignResult], List[bool]]:
+        """Solve a batch on this shard; designs + cache-hit flags."""
+        designs, cache_hits = self.request(
+            "solve", (tuple(subproblems), tuple(fingerprints)), timeout=timeout
+        )
+        return list(designs), list(cache_hits)
+
+    def health(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """The shard's health snapshot (id, pid, cache size, requests)."""
+        return dict(self.request("health", timeout=timeout))
+
+    def stats_snapshot(self, timeout: Optional[float] = None) -> Dict[str, float]:
+        """The shard's serving + cache counters as a flat dict."""
+        return dict(self.request("stats", timeout=timeout))
+
+    def cache_export(
+        self, timeout: Optional[float] = None
+    ) -> List[Tuple[str, DesignResult]]:
+        """Every cached ``(fingerprint, design)`` pair, LRU order."""
+        return list(self.request("cache_export", timeout=timeout))
+
+    def cache_import(
+        self,
+        entries: Sequence[Tuple[str, DesignResult]],
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Warm the shard's cache with ``entries``; returns count imported."""
+        return int(
+            self.request("cache_import", tuple(entries), timeout=timeout)
+        )

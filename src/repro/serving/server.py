@@ -106,6 +106,8 @@ class ContractServer:
         # where Queue captures the loop eagerly.
         self._queue: "Optional[asyncio.Queue[ContractRequest]]" = None
         self._batcher: "Optional[asyncio.Task[None]]" = None
+        self._inflight: "Optional[asyncio.Task[None]]" = None
+        self._inflight_batch: List[ContractRequest] = []
 
     def _ensure_queue(self) -> "asyncio.Queue[ContractRequest]":
         if self._queue is None:
@@ -126,8 +128,21 @@ class ContractServer:
                 self._run_batcher()
             )
 
-    async def stop(self) -> None:
-        """Stop the batcher; pending requests fail with ServingError."""
+    async def stop(self, drain: Optional[float] = 5.0) -> None:
+        """Stop the batcher, draining the in-flight batch first.
+
+        A batch already handed to the solver pool keeps running (the
+        batcher task is cancelled, but the batch task is shielded) and
+        its futures resolve normally, up to the ``drain`` deadline in
+        seconds.  Everything still unresolved after the deadline — the
+        in-flight batch on timeout, plus every queued request — fails
+        with a :class:`ServingError` instead of being left pending
+        forever.
+
+        Args:
+            drain: seconds to wait for the in-flight batch; ``None`` or
+                ``0`` fails it immediately.
+        """
         if self._batcher is not None:
             self._batcher.cancel()
             try:
@@ -135,6 +150,22 @@ class ContractServer:
             except asyncio.CancelledError:
                 pass
             self._batcher = None
+        inflight = self._inflight
+        if inflight is not None and not inflight.done() and drain:
+            try:
+                await asyncio.wait_for(asyncio.shield(inflight), timeout=drain)
+            except asyncio.TimeoutError:
+                pass
+        for request in self._inflight_batch:
+            if not request.future.done():
+                request.future.set_exception(
+                    ServingError(
+                        "contract server stopped before its in-flight batch "
+                        "finished (drain deadline exceeded)"
+                    )
+                )
+        self._inflight = None
+        self._inflight_batch = []
         while self._queue is not None and not self._queue.empty():
             request = self._queue.get_nowait()
             if not request.future.done():
@@ -228,9 +259,21 @@ class ContractServer:
         return batch
 
     async def _run_batcher(self) -> None:
+        loop = asyncio.get_running_loop()
         while True:
             batch = await self._collect_batch()
-            await self._serve_batch(batch)
+            # The batch runs as its own shielded task: cancelling the
+            # batcher (stop()) must not abandon futures the solver pool
+            # is already working on — stop() drains this task instead.
+            task = loop.create_task(self._serve_batch(batch))
+            self._inflight = task
+            self._inflight_batch = batch
+            try:
+                await asyncio.shield(task)
+            finally:
+                if task.done():
+                    self._inflight = None
+                    self._inflight_batch = []
 
     async def _serve_batch(self, batch: List[ContractRequest]) -> None:
         """Resolve one batch through the pool off the event loop.

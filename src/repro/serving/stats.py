@@ -15,18 +15,18 @@ same :func:`repro.metrics.percentiles.summarize` helper the Fig. 8
 experiments use — "p95 request latency" here and "p95 compensation"
 there mean the same estimator.
 
-The public API is unchanged: every pre-obs attribute (``requests``,
-``cache_hits``, ``request_latencies``...) still reads the same, and
-``snapshot()`` / ``format()`` emit the same keys.  Directly *assigning*
-the old counter attributes (``stats.requests += 1``) still works
-through a deprecation shim but warns — go through
-:meth:`record_batch` / :meth:`record_latencies` instead.
+The public read API is unchanged: every pre-obs attribute
+(``requests``, ``cache_hits``, ``request_latencies``...) still reads
+the same, and ``snapshot()`` / ``format()`` emit the same keys.  The
+counters are read-only properties: writes go through
+:meth:`record_batch` / :meth:`record_latencies` (the PR 3
+``DeprecationWarning`` shim for direct counter assignment has been
+removed — assigning ``stats.requests`` now raises ``AttributeError``).
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ServingError
@@ -34,16 +34,6 @@ from ..metrics.percentiles import summarize
 from ..obs.metrics import Counter, Histogram, MetricsRegistry
 
 __all__ = ["ServingStats"]
-
-#: Legacy mutable-int attribute -> backing counter attribute.  Writes to
-#: these names are intercepted by the deprecation shim below.
-_LEGACY_COUNTER_WRITES: Dict[str, str] = {
-    "requests": "_requests",
-    "batches": "_batches",
-    "unique_solves": "_unique_solves",
-    "cache_hits": "_cache_hits",
-    "cache_misses": "_cache_misses",
-}
 
 
 class ServingStats:
@@ -102,29 +92,6 @@ class ServingStats:
             "per-batch fulfilment latency (seconds)",
             max_samples=max_samples,
         )
-
-    # -- deprecation shim ---------------------------------------------
-
-    def __setattr__(self, name: str, value: object) -> None:
-        backing = _LEGACY_COUNTER_WRITES.get(name)
-        if backing is not None and backing in self.__dict__:
-            warnings.warn(
-                f"assigning ServingStats.{name} directly is deprecated; "
-                "use record_batch()/record_latencies() (the counters now "
-                "live in a repro.obs MetricsRegistry)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            counter: Counter = self.__dict__[backing]
-            delta = float(value) - counter.value  # type: ignore[arg-type]
-            if delta < 0.0:
-                raise ServingError(
-                    f"ServingStats.{name} cannot decrease "
-                    f"(currently {counter.value!r}, assigned {value!r})"
-                )
-            counter.inc(delta)
-            return
-        super().__setattr__(name, value)
 
     # -- recording -----------------------------------------------------
 

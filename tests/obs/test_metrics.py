@@ -65,6 +65,64 @@ class TestHistogram:
             Histogram("has space")
 
 
+class TestQuantile:
+    def test_linear_interpolation_between_closest_ranks(self):
+        histogram = Histogram("h")
+        histogram.observe_many([1.0, 2.0, 3.0, 4.0])
+        assert histogram.quantile(0.0) == pytest.approx(1.0)
+        assert histogram.quantile(0.5) == pytest.approx(2.5)
+        assert histogram.quantile(1.0) == pytest.approx(4.0)
+        assert histogram.quantile(0.25) == pytest.approx(1.75)
+
+    def test_matches_numpy_convention(self):
+        import numpy as np
+
+        values = [0.4, 2.7, 1.1, 9.3, 5.5, 0.1, 3.3]
+        histogram = Histogram("h")
+        histogram.observe_many(values)
+        for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(
+                float(np.quantile(values, q))
+            )
+
+    def test_single_sample_is_every_quantile(self):
+        histogram = Histogram("h")
+        histogram.observe(3.25)
+        assert histogram.quantile(0.0) == pytest.approx(3.25)
+        assert histogram.quantile(0.99) == pytest.approx(3.25)
+
+    def test_quantile_over_retained_reservoir_only(self):
+        histogram = Histogram("h", max_samples=3)
+        histogram.observe_many([100.0, 1.0, 2.0, 3.0])
+        # The reservoir retains [1, 2, 3]; the evicted 100 is gone.
+        assert histogram.quantile(1.0) == pytest.approx(3.0)
+        assert histogram.quantile(0.5) == pytest.approx(2.0)
+
+    def test_rejects_out_of_range_and_empty(self):
+        histogram = Histogram("h")
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(1.1)
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(0.5)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=1,
+            max_size=64,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_lies_within_sample_range(self, values, q):
+        histogram = Histogram("h")
+        histogram.observe_many(values)
+        result = histogram.quantile(q)
+        assert min(values) <= result <= max(values)
+
+
 class TestRegistry:
     def test_get_or_create_shares_instruments(self):
         registry = MetricsRegistry()

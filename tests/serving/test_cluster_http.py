@@ -1,0 +1,166 @@
+"""Tests for the cluster HTTP/JSON front end (stdlib client, real sockets)."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import pickle
+
+import pytest
+
+from repro.core import solve_subproblems
+from repro.serving import HTTPServerThread, ShardRouter
+from repro.serving.cluster.codec import (
+    design_to_json,
+    subproblem_from_json,
+    subproblem_to_json,
+)
+from repro.serving.fingerprint import subproblem_fingerprint
+from repro.errors import ServingError
+from repro.serving.workload import synthetic_subproblems
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_subproblems(n_subjects=12, n_archetypes=4, seed=31)
+
+
+@pytest.fixture(scope="module")
+def endpoint(workload):
+    with ShardRouter(n_shards=2, supervise_interval=0.0) as router:
+        with HTTPServerThread(router) as thread:
+            yield thread.address
+
+
+def _call(endpoint, method, path, payload=None):
+    host, port = endpoint
+    conn = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+class TestCodec:
+    def test_round_trip_preserves_fingerprint(self, workload):
+        for subproblem in workload:
+            rebuilt = subproblem_from_json(subproblem_to_json(subproblem))
+            assert subproblem_fingerprint(rebuilt) == subproblem_fingerprint(
+                subproblem
+            )
+
+    def test_json_round_trip_preserves_float_bytes(self, workload):
+        encoded = json.loads(json.dumps(subproblem_to_json(workload[0])))
+        rebuilt = subproblem_from_json(encoded)
+        assert rebuilt.params.beta == workload[0].params.beta
+        assert rebuilt.effort_function.coefficients() == (
+            workload[0].effort_function.coefficients()
+        )
+
+    def test_malformed_payload_raises_serving_error(self):
+        with pytest.raises(ServingError):
+            subproblem_from_json({"subject_id": "w0"})  # no effort fields
+        with pytest.raises(ServingError):
+            subproblem_from_json(
+                {"subject_id": "w0", "r2": -0.5, "r1": 8.0, "worker_type": "nope"}
+            )
+
+    def test_design_encoding_fields(self, workload):
+        solution = solve_subproblems(workload[:1], mu=1.0)
+        result = next(iter(solution.values())).result
+        payload = design_to_json("w0", result, fingerprint="fp", cache_hit=True)
+        assert payload["subject_id"] == "w0"
+        assert payload["fingerprint"] == "fp"
+        assert payload["cache_hit"] is True
+        assert isinstance(payload["compensations"], list)
+
+
+class TestEndpoints:
+    def test_healthz(self, endpoint):
+        status, payload = _call(endpoint, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["n_healthy"] == 2
+
+    def test_stats(self, endpoint):
+        status, payload = _call(endpoint, "GET", "/stats")
+        assert status == 200
+        assert "router" in payload and "shards" in payload
+
+    def test_solve_matches_serial_bit_for_bit(self, endpoint, workload):
+        serial = solve_subproblems(workload[:1], mu=1.0)
+        expected = next(iter(serial.values())).result
+        status, payload = _call(
+            endpoint, "POST", "/solve", subproblem_to_json(workload[0])
+        )
+        assert status == 200
+        assert payload["subject_id"] == workload[0].subject_id
+        # JSON repr-floats round-trip doubles exactly: bit-identical.
+        assert pickle.dumps(payload["compensations"]) == pickle.dumps(
+            list(expected.contract.compensations)
+        )
+
+    def test_solve_batch_preserves_order_and_reports_hits(
+        self, endpoint, workload
+    ):
+        body = {"subproblems": [subproblem_to_json(s) for s in workload]}
+        status, payload = _call(endpoint, "POST", "/solve_batch", body)
+        assert status == 200
+        designs = payload["designs"]
+        assert [d["subject_id"] for d in designs] == [
+            s.subject_id for s in workload
+        ]
+        status, payload = _call(endpoint, "POST", "/solve_batch", body)
+        assert all(d["cache_hit"] for d in payload["designs"])
+
+    def test_bad_json_is_400(self, endpoint):
+        host, port = endpoint
+        conn = http.client.HTTPConnection(host, port, timeout=30.0)
+        try:
+            conn.request("POST", "/solve", body="{not json")
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert "JSON" in payload["error"]
+
+    def test_missing_fields_is_400(self, endpoint):
+        status, payload = _call(endpoint, "POST", "/solve", {"subject_id": "x"})
+        assert status == 400
+        assert "error" in payload
+
+    def test_unknown_path_is_404(self, endpoint):
+        status, _ = _call(endpoint, "GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, endpoint):
+        status, _ = _call(endpoint, "POST", "/healthz", {})
+        assert status == 405
+        status, _ = _call(endpoint, "GET", "/solve")
+        assert status == 405
+
+    def test_keep_alive_serves_multiple_requests(self, endpoint, workload):
+        host, port = endpoint
+        conn = http.client.HTTPConnection(host, port, timeout=30.0)
+        try:
+            for _ in range(3):
+                conn.request(
+                    "POST", "/solve", body=json.dumps(subproblem_to_json(workload[0]))
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            conn.close()
+
+    def test_degraded_healthz_is_503(self, workload):
+        with ShardRouter(n_shards=2, supervise_interval=0.0) as router:
+            with HTTPServerThread(router) as thread:
+                router.kill_shard(router.shard_ids[0])
+                status, payload = _call(thread.address, "GET", "/healthz")
+                assert status == 503
+                assert payload["status"] == "degraded"

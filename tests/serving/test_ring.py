@@ -1,0 +1,122 @@
+"""Tests for the consistent-hash ring (stability, balance, ~1/N moves)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServingError
+from repro.serving.cluster.ring import DEFAULT_REPLICAS, HashRing
+
+
+def _keys(n):
+    return [f"cd1:{index:06d}" for index in range(n)]
+
+
+class TestMembership:
+    def test_add_remove_and_contains(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        ring.add("c")
+        assert ring.shard_ids == ("a", "b", "c")
+        ring.remove("b")
+        assert ring.shard_ids == ("a", "c")
+
+    def test_rejects_duplicates_empty_ids_and_unknown_removes(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ServingError):
+            ring.add("a")
+        with pytest.raises(ServingError):
+            ring.add("")
+        with pytest.raises(ServingError):
+            ring.remove("zz")
+        with pytest.raises(ServingError):
+            HashRing(replicas=0)
+
+    def test_empty_ring_cannot_assign(self):
+        with pytest.raises(ServingError):
+            HashRing().assign("k")
+
+
+class TestAssignment:
+    def test_deterministic_across_instances(self):
+        first = HashRing(["a", "b", "c"])
+        second = HashRing(["c", "a", "b"])  # order-independent
+        for key in _keys(200):
+            assert first.assign(key) == second.assign(key)
+
+    def test_preference_starts_with_owner_and_covers_all(self):
+        ring = HashRing(["a", "b", "c"])
+        for key in _keys(50):
+            chain = ring.preference(key)
+            assert chain[0] == ring.assign(key)
+            assert sorted(chain) == ["a", "b", "c"]
+            assert ring.preference(key, 2) == chain[:2]
+
+    def test_roughly_balanced(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        counts = {sid: 0 for sid in ring.shard_ids}
+        n = 4000
+        for key, owner in ring.assignments(_keys(n)).items():
+            counts[owner] += 1
+        for owner, count in counts.items():
+            # Each of 4 shards should see its fair share within 2x.
+            assert n / 8 <= count <= n / 2, (owner, counts)
+
+
+class TestResizeMovesOnlyASliver:
+    """The consistent-hashing contract: resizes move ~1/N of keys."""
+
+    @given(
+        n_shards=st.integers(min_value=1, max_value=8),
+        n_keys=st.integers(min_value=100, max_value=400),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_add_moves_only_keys_onto_the_new_shard(
+        self, n_shards, n_keys, seed
+    ):
+        ring = HashRing([f"s{i}" for i in range(n_shards)])
+        keys = [f"cd1:{seed}:{index}" for index in range(n_keys)]
+        before = ring.assignments(keys)
+        ring.add("joiner")
+        after = ring.assignments(keys)
+        moved = [key for key in keys if before[key] != after[key]]
+        # Exact property: every moved key lands on the joining shard.
+        assert all(after[key] == "joiner" for key in moved)
+        # Statistical property: the moved fraction is ~1/(N+1), far from
+        # the ~N/(N+1) a mod-N scheme would reshuffle.  Slack covers
+        # virtual-node variance at small replica counts.
+        expected = 1.0 / (n_shards + 1)
+        assert len(moved) / n_keys <= 2.5 * expected + 0.05
+
+    @given(
+        n_shards=st.integers(min_value=2, max_value=8),
+        n_keys=st.integers(min_value=100, max_value=400),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_remove_only_moves_the_leavers_keys(self, n_shards, n_keys, seed):
+        shard_ids = [f"s{i}" for i in range(n_shards)]
+        ring = HashRing(shard_ids)
+        keys = [f"cd1:{seed}:{index}" for index in range(n_keys)]
+        before = ring.assignments(keys)
+        leaver = shard_ids[seed % n_shards]
+        ring.remove(leaver)
+        after = ring.assignments(keys)
+        # Exact property: keys not owned by the leaver keep their owner.
+        for key in keys:
+            if before[key] != leaver:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != leaver
+
+    def test_add_then_remove_restores_assignments(self):
+        ring = HashRing(["a", "b", "c"], replicas=DEFAULT_REPLICAS)
+        keys = _keys(300)
+        before = ring.assignments(keys)
+        ring.add("d")
+        ring.remove("d")
+        assert ring.assignments(keys) == before

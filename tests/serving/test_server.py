@@ -57,6 +57,68 @@ class TestServerLifecycle:
         _run(scenario())
 
 
+class TestStopDrain:
+    def test_stop_drains_in_flight_batch(self, workload):
+        """Requests the solver already started resolve through stop()."""
+
+        async def scenario():
+            server = ContractServer(batch_window=0.0)
+            await server.start()
+            futures = [await server.enqueue(entry) for entry in workload[:4]]
+            # Let the batcher collect the batch and hand it to the pool.
+            await asyncio.sleep(0.01)
+            await server.stop(drain=30.0)
+            return [await future for future in futures]
+
+        results = _run(scenario())
+        assert len(results) == 4
+        assert all(result.hired for result in results)
+
+    def test_drain_deadline_fails_in_flight_batch(self, workload):
+        """A batch slower than the deadline fails with a clear error."""
+
+        async def scenario():
+            server = ContractServer(batch_window=0.0)
+            original = server.pool.solve_designs
+
+            def slow_solve(subproblems, fingerprints=None):
+                import time as _time
+
+                _time.sleep(0.4)
+                return original(subproblems, fingerprints)
+
+            server.pool.solve_designs = slow_solve
+            await server.start()
+            future = await server.enqueue(workload[0])
+            await asyncio.sleep(0.01)  # batch is now in flight
+            await server.stop(drain=0.05)
+            with pytest.raises(ServingError, match="drain deadline"):
+                await future
+
+        _run(scenario())
+
+    def test_zero_drain_fails_in_flight_batch(self, workload):
+        async def scenario():
+            server = ContractServer(batch_window=0.0)
+            original = server.pool.solve_designs
+
+            def slow_solve(subproblems, fingerprints=None):
+                import time as _time
+
+                _time.sleep(0.4)
+                return original(subproblems, fingerprints)
+
+            server.pool.solve_designs = slow_solve
+            await server.start()
+            future = await server.enqueue(workload[0])
+            await asyncio.sleep(0.01)
+            await server.stop(drain=None)
+            with pytest.raises(ServingError):
+                await future
+
+        _run(scenario())
+
+
 class TestServerSolving:
     def test_population_matches_serial(self, workload):
         serial = solve_subproblems(workload, mu=1.0)

@@ -130,23 +130,21 @@ class TestMetricsBacking:
         assert registry.snapshot()["pool.requests"] == {"value": 1.0}
 
 
-class TestLegacyWriteShim:
-    def test_direct_assignment_warns_and_increments(self, clock):
-        stats = ServingStats(clock=clock)
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            stats.requests = 5
-        assert stats.requests == 5
-        with pytest.warns(DeprecationWarning):
-            stats.requests += 2
-        assert stats.requests == 7
+class TestReadOnlyCounters:
+    """The PR 3 legacy counter-write shim is gone: counters are read-only."""
 
-    def test_decreasing_a_counter_is_rejected(self, clock):
+    def test_direct_assignment_raises(self, clock):
         stats = ServingStats(clock=clock)
-        with pytest.warns(DeprecationWarning):
-            stats.cache_hits = 3
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ServingError):
-                stats.cache_hits = 1
+        for name in ("requests", "batches", "unique_solves", "cache_hits", "cache_misses"):
+            with pytest.raises(AttributeError):
+                setattr(stats, name, 5)
+
+    def test_augmented_assignment_raises(self, clock):
+        stats = ServingStats(clock=clock)
+        stats.record_batch(n_requests=2, n_unique=2, n_cache_hits=0, duration=0.1)
+        with pytest.raises(AttributeError):
+            stats.requests += 1
+        assert stats.requests == 2
 
     def test_counters_read_as_ints(self, clock):
         stats = ServingStats(clock=clock)
