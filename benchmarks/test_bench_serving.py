@@ -165,7 +165,9 @@ def cluster_workload():
     )
 
 
-def test_cluster_throughput_latency_and_equivalence(cluster_workload):
+def test_cluster_throughput_latency_and_equivalence(
+    cluster_workload, bench_history
+):
     """The ISSUE cluster gate: 4 shards >= 2x one process, p99 via obs.
 
     Both sides replay the *same* pre-drawn request batches through the
@@ -250,3 +252,18 @@ def test_cluster_throughput_latency_and_equivalence(cluster_workload):
     out_path = os.environ.get("REPRO_BENCH_OUT", "BENCH_cluster.json")
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(artifact, handle, indent=2)
+    bench_history(
+        "cluster",
+        {
+            "speedup": speedup,
+            "throughput_rps": cluster.throughput_rps,
+            "p50_s": cluster.p50_s,
+            "p99_s": cluster.p99_s,
+        },
+        directions={
+            "speedup": "higher",
+            "throughput_rps": "higher",
+            "p50_s": "lower",
+            "p99_s": "lower",
+        },
+    )

@@ -74,7 +74,7 @@ def test_bench_legacy_rounds(benchmark):
     assert ledger.n_rounds == 30
 
 
-def test_simulation_speedup_gate():
+def test_simulation_speedup_gate(bench_history):
     """The ISSUE acceptance gate, asserted on one measured run each."""
     started = time.perf_counter()
     fast_ledger = _build(True).run(_N_ROUNDS)
@@ -114,6 +114,14 @@ def test_simulation_speedup_gate():
     out_path = os.environ.get("REPRO_BENCH_OUT", "BENCH_simulation.json")
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(artifact, handle, indent=2)
+    bench_history(
+        "simulation",
+        {
+            "speedup": speedup,
+            "mean_reuse_rate": fast_ledger.mean_reuse_rate(),
+        },
+        directions={"speedup": "higher", "mean_reuse_rate": "higher"},
+    )
 
 
 def test_lagged_payment_ledgers_bit_identical():

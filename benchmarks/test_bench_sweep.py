@@ -78,7 +78,7 @@ def test_bench_sweep_vectorized_k20(benchmark, psi, grid, honest_params):
     assert len(pairs) == grid.n_intervals
 
 
-def test_sweep_speedup_gates(psi, honest_params, monkeypatch):
+def test_sweep_speedup_gates(psi, honest_params, monkeypatch, bench_history):
     """The ISSUE acceptance gates, asserted on one measured run."""
     grid = _gate_grid(psi, _GATE_K)
 
@@ -129,3 +129,8 @@ def test_sweep_speedup_gates(psi, honest_params, monkeypatch):
     out_path = os.environ.get("REPRO_BENCH_OUT", "BENCH_sweep.json")
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(artifact, handle, indent=2)
+    bench_history(
+        "sweep",
+        {"sweep_speedup": sweep_speedup, "e2e_speedup": e2e_speedup},
+        directions={"sweep_speedup": "higher", "e2e_speedup": "higher"},
+    )

@@ -19,7 +19,11 @@ contract requests three ways:
    (batch -> designs) and renders the hottest-spans report;
 5. over HTTP against a 2-shard cluster — a plain ``http.client``
    consumer posts JSON to the :class:`repro.serving.ShardRouter`'s
-   front end and reads back the same contracts the pool produced.
+   front end and reads back the same contracts the pool produced;
+6. the cluster round again with tracing on — the span context crosses
+   the HTTP hop and the shard pipes, the shards' spans are scraped
+   back over ``obs_export``, and the merged report shows one trace
+   tree spanning three processes next to the federated shard counters.
 """
 
 from __future__ import annotations
@@ -132,6 +136,55 @@ def clustered_round() -> None:
                 conn.close()
 
 
+def traced_cluster_round() -> None:
+    """Trace one HTTP cluster round end to end across processes.
+
+    The ``traceparent`` header carries the trace across the HTTP hop,
+    the pipe protocol carries it into the shard processes, and
+    ``obs_scrape`` brings the shards' spans back — so the report below
+    renders ONE tree: ``cluster.http_request`` parenting the router's
+    dispatch spans parenting each shard's ``serving.solve_batch``.
+    """
+    from repro.obs.export import render_report, span_records
+    from repro.obs.trace import Tracer, set_tracer
+    from repro.serving import HTTPServerThread, ShardRouter
+    from repro.serving.cluster.codec import subproblem_to_json
+
+    subproblems = synthetic_subproblems(
+        n_subjects=24, n_archetypes=6, seed=42
+    )
+    tracer = Tracer(enabled=True)
+    previous = set_tracer(tracer)
+    try:
+        with ShardRouter(n_shards=2, supervise_interval=0.0) as router:
+            with HTTPServerThread(router) as server:
+                host, port = server.address
+                conn = http.client.HTTPConnection(host, port, timeout=30.0)
+                try:
+                    body = json.dumps(
+                        {
+                            "subproblems": [
+                                subproblem_to_json(s) for s in subproblems
+                            ]
+                        }
+                    )
+                    conn.request("POST", "/solve_batch", body=body)
+                    conn.getresponse().read()
+                finally:
+                    conn.close()
+            scrape = router.obs_scrape(include_spans=True)
+    finally:
+        set_tracer(previous)
+
+    print("the cluster round, traced across processes (repro.obs):")
+    records = list(span_records(tracer)) + list(scrape.span_records())
+    print(render_report(records, top=5), end="")
+    print("federated shard counters (obs_scrape):")
+    for source, value in scrape.shard_values("serving.requests").items():
+        print(f"  {source}: serving.requests = {value:.0f}")
+    print(f"  cluster total: {scrape.value('serving.requests'):.0f}")
+
+
 def main() -> None:
     pooled_rounds()
     asyncio.run(streamed_round())
@@ -139,6 +192,8 @@ def main() -> None:
     traced_round()
     print()
     clustered_round()
+    print()
+    traced_cluster_round()
 
 
 if __name__ == "__main__":

@@ -1,7 +1,8 @@
 """REPRO009 — ad-hoc timing/printing bypasses the observability layer.
 
-The hot pipeline packages (``core``, ``simulation``, ``serving``) are
-instrumented through :mod:`repro.obs`: spans carry monotonic timings,
+The hot pipeline packages (``core``, ``simulation``, ``serving`` —
+including the sharded cluster — and the :mod:`repro.obs` layer itself)
+are instrumented through :mod:`repro.obs`: spans carry monotonic timings,
 metrics carry counters, and every CLI/exporter reads from those.  A
 direct ``time.time()`` call or a stray ``print()`` in those packages
 leaks a second, invisible channel — wall-clock-affected timings that
@@ -21,14 +22,14 @@ from ..engine import Diagnostic, LintContext, Rule
 
 __all__ = ["ObsDisciplineRule"]
 
-_PACKAGES = ("core/", "simulation/", "serving/")
+_PACKAGES = ("core/", "simulation/", "serving/", "obs/")
 
 
 class ObsDisciplineRule(Rule):
     code = "REPRO009"
     name = "obs-discipline"
     summary = (
-        "time.time()/print() in core//simulation//serving; use the "
+        "time.time()/print() in core//simulation//serving//obs; use the "
         "repro.obs tracer clock / exporters"
     )
     rationale = (

@@ -12,6 +12,11 @@ One dependency-free observability layer across the whole pipeline:
   and the ``repro obs report`` tree view.
 * :mod:`repro.obs.profile` — opt-in per-span wall/CPU sampling gated by
   ``REPRO_OBS=1``, near-zero overhead when disabled.
+* :mod:`repro.obs.aggregate` — cluster-wide metrics federation: shard
+  exports merged into one registry, live ``/metrics`` exposition.
+* :mod:`repro.obs.bench_history` — benchmark-gate trajectory records
+  (``BENCH_history.jsonl``) with regression detection.
+* :mod:`repro.obs.dashboard` — the ``repro obs top`` terminal view.
 
 Everything is **off by default**; turn it on with :func:`enable`, the
 ``--obs-out`` CLI flags, or ``REPRO_OBS=1``.  Span taxonomy and metric
@@ -22,6 +27,24 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .aggregate import (
+    ClusterScrape,
+    ScrapeLoop,
+    ShardExport,
+    federate,
+    local_export,
+    metric_samples,
+    validate_prometheus_text,
+)
+from .bench_history import (
+    BenchRecord,
+    Regression,
+    append_history,
+    detect_regressions,
+    load_history,
+    render_trajectory,
+)
+from .dashboard import ClusterTop, TopFrame, render_frame, snapshot_frame
 from .export import (
     SPAN_SCHEMA,
     prometheus_text,
@@ -43,23 +66,31 @@ from .profile import SpanProfile, hottest, profile_spans, profiling_enabled
 from .trace import (
     ENV_VAR,
     NULL_SPAN,
+    TRACEPARENT_HEADER,
     NullSpan,
     Span,
+    SpanContext,
     Tracer,
     env_enabled,
+    format_traceparent,
     get_tracer,
+    parse_traceparent,
     set_tracer,
 )
 
 __all__ = [
     "ENV_VAR",
+    "TRACEPARENT_HEADER",
     "Span",
+    "SpanContext",
     "NullSpan",
     "NULL_SPAN",
     "Tracer",
     "get_tracer",
     "set_tracer",
     "env_enabled",
+    "format_traceparent",
+    "parse_traceparent",
     "Counter",
     "Gauge",
     "Histogram",
@@ -77,6 +108,23 @@ __all__ = [
     "profile_spans",
     "profiling_enabled",
     "hottest",
+    "ClusterScrape",
+    "ScrapeLoop",
+    "ShardExport",
+    "federate",
+    "local_export",
+    "metric_samples",
+    "validate_prometheus_text",
+    "BenchRecord",
+    "Regression",
+    "append_history",
+    "detect_regressions",
+    "load_history",
+    "render_trajectory",
+    "ClusterTop",
+    "TopFrame",
+    "render_frame",
+    "snapshot_frame",
     "enable",
     "disable",
 ]

@@ -1,0 +1,475 @@
+"""Cluster-wide metrics federation and trace collection.
+
+PR 7 split the serving tier across OS processes, which left each
+shard's :class:`~repro.obs.metrics.MetricsRegistry` and tracer as a
+per-process island.  This module is the router-side half of the
+``obs_export`` pipe op: every shard serializes its instruments
+(histograms *with* their retained reservoirs, not just summaries) and
+the router federates them into one registry it can render as
+Prometheus text or fold into ``/stats``.
+
+Merge semantics are explicit per instrument kind:
+
+* **counter** — always summed across sources.
+* **gauge** — summed by default (cache sizes, queue depths add up); a
+  source may tag a record with ``"agg": "max"`` or ``"agg": "last"``
+  for gauges where a sum is meaningless (e.g. a schema version).
+  ``last`` takes the value from the lexicographically last source name
+  so the merge stays order-independent.
+* **histogram** — :func:`~repro.obs.metrics.merge_histograms` over the
+  shipped reservoirs; exact ``count``/``total``/``min``/``max``
+  aggregates add exactly.
+
+Nothing here touches wall-clock time or stdout: the scrape loop runs
+on a monotonic clock and all rendering returns strings (REPRO009
+obs-discipline applies to this module).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from ..errors import ObservabilityError
+from ..metrics.percentiles import summarize
+from .export import _prom_name, _prom_value
+from .metrics import Histogram, MetricsRegistry, merge_histograms
+from .trace import Tracer
+
+__all__ = [
+    "AGG_SUM",
+    "AGG_MAX",
+    "AGG_LAST",
+    "metric_samples",
+    "histogram_from_record",
+    "ShardExport",
+    "local_export",
+    "ClusterScrape",
+    "federate",
+    "validate_prometheus_text",
+    "ScrapeLoop",
+]
+
+AGG_SUM = "sum"
+AGG_MAX = "max"
+AGG_LAST = "last"
+_AGGREGATIONS = (AGG_SUM, AGG_MAX, AGG_LAST)
+
+
+def metric_samples(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """Federation records for every instrument in ``registry``.
+
+    Unlike :func:`repro.obs.export.metric_records` (snapshot summaries
+    for human dumps), these carry histogram reservoirs verbatim so the
+    receiving side can rebuild the instruments and merge them
+    order-independently with :func:`merge_histograms`.
+    """
+    records: List[Dict[str, Any]] = []
+    for metric in registry.metrics():
+        record: Dict[str, Any] = {
+            "kind": "metric",
+            "name": metric.name,
+            "metric_kind": metric.kind,
+        }
+        if metric.kind == "histogram":
+            record["count"] = float(metric.count)
+            record["total"] = metric.total
+            record["max_samples"] = metric.max_samples
+            record["samples"] = [float(v) for v in metric.samples]
+            if metric.count:
+                record["min"] = metric.min
+                record["max"] = metric.max
+        else:
+            record["value"] = metric.value
+        records.append(record)
+    return records
+
+
+def histogram_from_record(record: Mapping[str, Any]) -> Histogram:
+    """Rebuild a :class:`Histogram` from a :func:`metric_samples` record."""
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        raise ObservabilityError(f"histogram record needs a name, got {record!r}")
+    histogram = Histogram(name, max_samples=int(record.get("max_samples", 4096)))
+    histogram._samples.extend(float(v) for v in record.get("samples", ()))
+    histogram.count = int(record.get("count", len(histogram._samples)))
+    histogram.total = float(record.get("total", 0.0))
+    if histogram.count:
+        histogram.min = float(record["min"])
+        histogram.max = float(record["max"])
+    return histogram
+
+
+@dataclass
+class ShardExport:
+    """One source's contribution to a cluster scrape.
+
+    Args:
+        source: label for per-source Prometheus samples (a shard id, or
+            ``"router"`` for the parent process's own registry).
+        pid: OS pid of the source process, when known.
+        spans: drained span records (``Span.to_record()`` dicts).
+        metrics: :func:`metric_samples` records.
+    """
+
+    source: str
+    pid: Optional[int] = None
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ShardExport":
+        """Build from an ``obs_export`` pipe-op reply dict."""
+        source = payload.get("shard_id") or payload.get("source")
+        if not isinstance(source, str) or not source:
+            raise ObservabilityError(
+                f"obs_export payload needs a shard_id/source, got {payload!r}"
+            )
+        pid = payload.get("pid")
+        return cls(
+            source=source,
+            pid=int(pid) if pid is not None else None,
+            spans=list(payload.get("spans", ())),
+            metrics=list(payload.get("metrics", ())),
+        )
+
+
+def local_export(
+    source: str,
+    registry: MetricsRegistry,
+    tracer: Optional[Tracer] = None,
+    pid: Optional[int] = None,
+) -> ShardExport:
+    """An in-process export (the router contributes its own registry)."""
+    spans: List[Dict[str, Any]] = []
+    if tracer is not None:
+        spans = [span.to_record() for span in tracer.spans()]
+    return ShardExport(
+        source=source, pid=pid, spans=spans, metrics=metric_samples(registry)
+    )
+
+
+@dataclass
+class ClusterScrape:
+    """A federated view over one round of shard exports.
+
+    ``merged`` holds the aggregated instruments (counters summed,
+    gauges per their ``agg`` tag, histograms reservoir-merged);
+    ``per_source`` maps ``metric name -> {source: value}`` for the
+    scalar kinds so exporters can emit per-shard labeled samples.
+    """
+
+    exports: Tuple[ShardExport, ...]
+    merged: MetricsRegistry
+    per_source: Dict[str, Dict[str, float]]
+    kinds: Dict[str, str]
+    #: histogram name -> {source: (count, total)} for labeled _count/_sum.
+    hist_sources: Dict[str, Dict[str, Tuple[float, float]]] = field(
+        default_factory=dict
+    )
+
+    def sources(self) -> Tuple[str, ...]:
+        """Source labels, sorted."""
+        return tuple(sorted(export.source for export in self.exports))
+
+    def span_records(self) -> List[Dict[str, Any]]:
+        """All shipped span records, tagged with their ``source``."""
+        records: List[Dict[str, Any]] = []
+        for export in self.exports:
+            for record in export.spans:
+                tagged = dict(record)
+                tagged.setdefault("source", export.source)
+                records.append(tagged)
+        return records
+
+    def value(self, name: str) -> float:
+        """The aggregated value of a counter/gauge called ``name``."""
+        metric = self.merged.get(name)
+        if metric is None or metric.kind == "histogram":
+            raise ObservabilityError(
+                f"no aggregated scalar metric called {name!r}"
+            )
+        return float(metric.value)
+
+    def shard_values(self, name: str) -> Dict[str, float]:
+        """Per-source values of a scalar metric (empty when unknown)."""
+        return dict(self.per_source.get(name, {}))
+
+    def prometheus_text(self) -> str:
+        """Prometheus text exposition with per-source labeled samples.
+
+        Scalar kinds render one ``{shard="..."}`` sample per source
+        plus the unlabeled aggregate; histograms render as summaries:
+        labeled ``_count``/``_sum`` per source plus merged quantiles.
+        """
+        lines: List[str] = []
+        for metric in self.merged.metrics():
+            name = _prom_name(metric.name)
+            shards = self.per_source.get(metric.name, {})
+            if metric.kind in ("counter", "gauge"):
+                lines.append(f"# TYPE {name} {metric.kind}")
+                for source in sorted(shards):
+                    lines.append(
+                        f'{name}{{shard="{source}"}} {_prom_value(shards[source])}'
+                    )
+                lines.append(f"{name} {_prom_value(metric.value)}")
+                continue
+            lines.append(f"# TYPE {name} summary")
+            stats = self.hist_sources.get(metric.name, {})
+            for source in sorted(stats):
+                count, total = stats[source]
+                lines.append(f'{name}_count{{shard="{source}"}} {_prom_value(count)}')
+                lines.append(f'{name}_sum{{shard="{source}"}} {_prom_value(total)}')
+            samples = metric.samples
+            if samples:
+                summary = summarize(samples)
+                median = float(sorted(samples)[len(samples) // 2])
+                lines.append(f'{name}{{quantile="0.05"}} {_prom_value(summary.p5)}')
+                lines.append(f'{name}{{quantile="0.5"}} {_prom_value(median)}')
+                lines.append(f'{name}{{quantile="0.95"}} {_prom_value(summary.p95)}')
+            lines.append(f"{name}_count {_prom_value(float(metric.count))}")
+            lines.append(f"{name}_sum {_prom_value(metric.total)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def federate(exports: Sequence[ShardExport]) -> ClusterScrape:
+    """Merge shard exports into one :class:`ClusterScrape`.
+
+    Sources are processed in sorted-label order so the result is
+    independent of scrape arrival order; a metric reported with two
+    different kinds by two sources is an error (all shards run the
+    same code, so a mismatch means corrupted exports).
+    """
+    ordered = sorted(exports, key=lambda export: export.source)
+    seen = set()
+    for export in ordered:
+        if export.source in seen:
+            raise ObservabilityError(
+                f"duplicate scrape source {export.source!r}"
+            )
+        seen.add(export.source)
+
+    kinds: Dict[str, str] = {}
+    aggs: Dict[str, str] = {}
+    scalar_by_name: Dict[str, Dict[str, float]] = {}
+    hists_by_name: Dict[str, List[Histogram]] = {}
+    hist_source_stats: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for export in ordered:
+        for record in export.metrics:
+            name = record.get("name")
+            metric_kind = record.get("metric_kind")
+            if not isinstance(name, str) or metric_kind not in (
+                "counter",
+                "gauge",
+                "histogram",
+            ):
+                raise ObservabilityError(
+                    f"malformed metric record from {export.source!r}: {record!r}"
+                )
+            known = kinds.setdefault(name, metric_kind)
+            if known != metric_kind:
+                raise ObservabilityError(
+                    f"metric {name!r} is a {known} on one source and a "
+                    f"{metric_kind} on {export.source!r}"
+                )
+            if metric_kind == "histogram":
+                hists_by_name.setdefault(name, []).append(
+                    histogram_from_record(record)
+                )
+                hist_source_stats.setdefault(name, {})[export.source] = (
+                    float(record.get("count", 0.0)),
+                    float(record.get("total", 0.0)),
+                )
+                continue
+            agg = record.get("agg", AGG_SUM)
+            if agg not in _AGGREGATIONS:
+                raise ObservabilityError(
+                    f"metric {name!r} has unknown agg {agg!r}"
+                )
+            previous = aggs.setdefault(name, agg)
+            if previous != agg:
+                raise ObservabilityError(
+                    f"metric {name!r} mixes agg modes {previous!r}/{agg!r}"
+                )
+            scalar_by_name.setdefault(name, {})[export.source] = float(
+                record.get("value", 0.0)
+            )
+
+    merged = MetricsRegistry()
+    per_source: Dict[str, Dict[str, float]] = {}
+    for name, values in scalar_by_name.items():
+        per_source[name] = dict(values)
+        agg = aggs[name]
+        ordered_values = [values[source] for source in sorted(values)]
+        if agg == AGG_SUM:
+            resolved = float(sum(ordered_values))
+        elif agg == AGG_MAX:
+            resolved = max(ordered_values)
+        else:  # AGG_LAST: lexicographically last source wins.
+            resolved = ordered_values[-1]
+        if kinds[name] == "counter":
+            merged.counter(name).inc(resolved)
+        else:
+            merged.gauge(name).set(resolved)
+    for name, histograms in hists_by_name.items():
+        merged.adopt(merge_histograms(histograms, name=name))
+
+    return ClusterScrape(
+        exports=tuple(ordered),
+        merged=merged,
+        per_source=per_source,
+        kinds=kinds,
+        hist_sources=hist_source_stats,
+    )
+
+
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})?\s+[^\s]+$"
+)
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Shallow validation of Prometheus text exposition output.
+
+    Checks that every sample line parses (``name{labels} value`` with a
+    float value), that every sample family has a preceding ``# TYPE``,
+    and that ``# TYPE`` lines name a known kind.  Returns a problem
+    list; empty means clean.  Dependency-free on purpose: the CI smoke
+    job curls ``/metrics`` and runs this instead of needing a real
+    Prometheus binary.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "summary",
+                "histogram",
+            ):
+                problems.append(f"line {number}: malformed TYPE comment: {line!r}")
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        if not _PROM_SAMPLE.match(line):
+            problems.append(f"line {number}: unparseable sample: {line!r}")
+            continue
+        name = re.split(r"[{\s]", line, maxsplit=1)[0]
+        value = line.rsplit(None, 1)[-1]
+        try:
+            float(value)
+        except ValueError:
+            problems.append(f"line {number}: non-numeric value {value!r}")
+        family = name
+        for suffix in ("_count", "_sum"):
+            if family.endswith(suffix) and family[: -len(suffix)] in typed:
+                family = family[: -len(suffix)]
+                break
+        if family not in typed:
+            problems.append(
+                f"line {number}: sample {name!r} has no preceding # TYPE"
+            )
+    return problems
+
+
+T = TypeVar("T")
+
+
+class ScrapeLoop(Generic[T]):
+    """Periodically run a scrape callable on a daemon thread.
+
+    The dashboard (`repro obs top`) and any long-running exporter sit
+    on one of these: ``latest()`` returns the most recent
+    ``(monotonic_timestamp, result)`` pair and scrape failures are
+    counted instead of killing the thread.
+
+    Args:
+        scrape: zero-arg callable producing one scrape result.
+        interval_s: seconds between scrapes (monotonic clock).
+        clock: injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        scrape: Callable[[], T],
+        interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval_s <= 0:
+            raise ObservabilityError(
+                f"scrape interval must be positive, got {interval_s!r}"
+            )
+        self._scrape = scrape
+        self._interval_s = interval_s
+        self._clock = clock
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._latest: Optional[Tuple[float, T]] = None
+        self._errors = 0
+        self._thread: Optional[threading.Thread] = None
+
+    def scrape_once(self) -> Optional[T]:
+        """Run one scrape synchronously; ``None`` (and count) on failure."""
+        try:
+            result = self._scrape()
+        except Exception:
+            with self._lock:
+                self._errors += 1
+            return None
+        with self._lock:
+            self._latest = (self._clock(), result)
+        return result
+
+    def start(self) -> "ScrapeLoop[T]":
+        """Start the background thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="obs-scrape", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 2.0) -> None:
+        """Stop and join the background thread."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout_s)
+        self._thread = None
+
+    def latest(self) -> Optional[Tuple[float, T]]:
+        """Most recent ``(monotonic_timestamp, result)``, or ``None``."""
+        with self._lock:
+            return self._latest
+
+    @property
+    def errors(self) -> int:
+        """Number of scrapes that raised."""
+        with self._lock:
+            return self._errors
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.scrape_once()
+            self._stop.wait(self._interval_s)

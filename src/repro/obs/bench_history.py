@@ -1,0 +1,374 @@
+"""Benchmark-trajectory tracker: append-only gate history + regression check.
+
+Every benchmark gate (``benchmarks/test_bench_*.py``) measures a
+headline number — sweep speedup, cluster throughput, obs overhead —
+that until now evaporated with the CI run.  This module gives those
+numbers a memory: each gate appends one schema-validated record to a
+``BENCH_history.jsonl`` file (opt-in via the ``REPRO_BENCH_HISTORY``
+environment variable), and ``repro obs bench`` reads the accumulated
+file back to report per-gate trajectories and flag regressions against
+the trailing median.
+
+Records never carry implicit wall-clock reads: callers pass
+``recorded_unix`` in (the benchmark conftest stamps it), which keeps
+this module clock-free per the REPRO009 obs-discipline rule and makes
+every function a pure data transform.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ObservabilityError
+from ..numerics import is_zero
+
+__all__ = [
+    "HISTORY_ENV",
+    "HISTORY_SCHEMA",
+    "BenchRecord",
+    "Regression",
+    "validate_history_record",
+    "append_history",
+    "load_history",
+    "detect_regressions",
+    "render_trajectory",
+]
+
+#: Environment variable naming the history file benchmark gates append to.
+HISTORY_ENV = "REPRO_BENCH_HISTORY"
+
+#: Directions a tracked metric can improve in.
+_DIRECTIONS = ("higher", "lower")
+
+#: JSON Schema (draft-07 subset) every history record obeys.
+HISTORY_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro.obs benchmark-history record",
+    "type": "object",
+    "required": ["kind", "gate", "metrics", "recorded_unix"],
+    "properties": {
+        "kind": {"type": "string", "enum": ["bench"]},
+        "gate": {"type": "string", "minLength": 1},
+        "metrics": {"type": "object"},
+        "directions": {"type": "object"},
+        "recorded_unix": {"type": "number", "minimum": 0},
+        "meta": {"type": "object"},
+    },
+}
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark gate's measured numbers at one point in time.
+
+    Attributes:
+        gate: stable gate name (``"sweep"``, ``"cluster"``, ...).
+        metrics: measured numbers, ``{metric: value}``.
+        recorded_unix: wall-clock timestamp (seconds since the epoch),
+            supplied by the caller.
+        directions: which way each tracked metric improves
+            (``{metric: "higher" | "lower"}``); metrics without a
+            direction are recorded but never flagged.
+        meta: free-form string annotations (git sha, runner name...).
+    """
+
+    gate: str
+    metrics: Dict[str, float]
+    recorded_unix: float
+    directions: Dict[str, str] = field(default_factory=dict)
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.gate:
+            raise ObservabilityError("gate name must be non-empty")
+        if not self.metrics:
+            raise ObservabilityError(
+                f"gate {self.gate!r} must record at least one metric"
+            )
+        for metric, direction in self.directions.items():
+            if direction not in _DIRECTIONS:
+                raise ObservabilityError(
+                    f"gate {self.gate!r} metric {metric!r}: direction must "
+                    f"be one of {_DIRECTIONS}, got {direction!r}"
+                )
+            if metric not in self.metrics:
+                raise ObservabilityError(
+                    f"gate {self.gate!r} directs unknown metric {metric!r}"
+                )
+
+    def to_record(self) -> Dict[str, Any]:
+        """The JSON-serializable history record."""
+        record: Dict[str, Any] = {
+            "kind": "bench",
+            "gate": self.gate,
+            "metrics": {k: float(v) for k, v in self.metrics.items()},
+            "recorded_unix": float(self.recorded_unix),
+        }
+        if self.directions:
+            record["directions"] = dict(self.directions)
+        if self.meta:
+            record["meta"] = dict(self.meta)
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "BenchRecord":
+        """Parse (and validate) one history record."""
+        problems = validate_history_record(record)
+        if problems:
+            raise ObservabilityError(
+                "invalid bench-history record: " + "; ".join(problems)
+            )
+        return cls(
+            gate=record["gate"],
+            metrics={k: float(v) for k, v in record["metrics"].items()},
+            recorded_unix=float(record["recorded_unix"]),
+            directions=dict(record.get("directions", {})),
+            meta={k: str(v) for k, v in record.get("meta", {}).items()},
+        )
+
+
+def validate_history_record(record: Mapping[str, Any]) -> List[str]:
+    """Problems with one record against :data:`HISTORY_SCHEMA` (empty: clean)."""
+    problems: List[str] = []
+    for key in HISTORY_SCHEMA["required"]:
+        if key not in record:
+            problems.append(f"missing required field {key!r}")
+    if problems:
+        return problems
+    if record["kind"] != "bench":
+        problems.append(f"kind must be 'bench', got {record['kind']!r}")
+    if not isinstance(record["gate"], str) or not record["gate"]:
+        problems.append(f"gate must be a non-empty string, got {record['gate']!r}")
+    metrics = record["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("metrics must be a non-empty object")
+    else:
+        for key, value in metrics.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"metric {key!r} value must be a number")
+    recorded = record["recorded_unix"]
+    if (
+        not isinstance(recorded, (int, float))
+        or isinstance(recorded, bool)
+        or recorded < 0
+    ):
+        problems.append("recorded_unix must be a non-negative number")
+    directions = record.get("directions", {})
+    if not isinstance(directions, dict):
+        problems.append("directions must be an object")
+    else:
+        for key, value in directions.items():
+            if value not in _DIRECTIONS:
+                problems.append(
+                    f"direction for {key!r} must be one of {_DIRECTIONS}"
+                )
+            elif isinstance(metrics, dict) and key not in metrics:
+                problems.append(f"direction for unknown metric {key!r}")
+    return problems
+
+
+def append_history(path: Union[str, Path], record: BenchRecord) -> None:
+    """Append one record to the history file (creating parents as needed)."""
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="ascii") as handle:
+        handle.write(json.dumps(record.to_record(), sort_keys=True))
+        handle.write("\n")
+
+
+def load_history(path: Union[str, Path]) -> List[BenchRecord]:
+    """Read a history file back, in append order.
+
+    Raises:
+        ObservabilityError: on unparseable lines or schema-invalid
+            records (an append-only file that went bad should fail
+            loudly, not half-load).
+    """
+    records: List[BenchRecord] = []
+    target = Path(path)
+    if not target.exists():
+        return records
+    for number, line in enumerate(target.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{target}:{number}: invalid JSON record: {exc}"
+            ) from exc
+        if not isinstance(raw, dict):
+            raise ObservabilityError(
+                f"{target}:{number}: expected a JSON object"
+            )
+        try:
+            records.append(BenchRecord.from_record(raw))
+        except ObservabilityError as exc:
+            raise ObservabilityError(f"{target}:{number}: {exc}") from exc
+    return records
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric moving the wrong way past tolerance.
+
+    Attributes:
+        gate: the gate the metric belongs to.
+        metric: the regressing metric name.
+        value: the latest measured value.
+        baseline: the trailing median it was compared against.
+        ratio: ``value / baseline`` (``inf`` when the baseline is 0).
+        direction: which way the metric is supposed to move.
+    """
+
+    gate: str
+    metric: str
+    value: float
+    baseline: float
+    ratio: float
+    direction: str
+
+    def describe(self) -> str:
+        """One human line, e.g. for CI logs."""
+        return (
+            f"{self.gate}.{self.metric}: {self.value:.6g} vs trailing "
+            f"median {self.baseline:.6g} ({self.direction} is better)"
+        )
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _grouped(
+    records: Sequence[BenchRecord],
+) -> Dict[str, List[BenchRecord]]:
+    by_gate: Dict[str, List[BenchRecord]] = {}
+    for record in records:
+        by_gate.setdefault(record.gate, []).append(record)
+    for runs in by_gate.values():
+        runs.sort(key=lambda r: r.recorded_unix)
+    return by_gate
+
+
+def detect_regressions(
+    records: Sequence[BenchRecord],
+    tolerance: float = 0.10,
+    window: int = 5,
+) -> List[Regression]:
+    """Latest run of each gate vs the trailing median of earlier runs.
+
+    For each direction-tagged metric with at least two runs, the latest
+    value is compared against the median of the up-to-``window``
+    preceding runs; moving the wrong way by more than ``tolerance``
+    (fractional) flags a :class:`Regression`.  The median baseline
+    tolerates single-run noise that a latest-vs-previous diff would
+    flag constantly.
+    """
+    if tolerance < 0.0:
+        raise ObservabilityError(f"tolerance must be >= 0, got {tolerance!r}")
+    if window < 1:
+        raise ObservabilityError(f"window must be >= 1, got {window!r}")
+    regressions: List[Regression] = []
+    for gate, runs in sorted(_grouped(records).items()):
+        if len(runs) < 2:
+            continue
+        latest = runs[-1]
+        history = runs[:-1][-window:]
+        for metric, direction in sorted(latest.directions.items()):
+            value = latest.metrics[metric]
+            past = [
+                run.metrics[metric]
+                for run in history
+                if metric in run.metrics
+            ]
+            if not past:
+                continue
+            baseline = _median(past)
+            if is_zero(baseline):
+                worse = (direction == "lower" and value > 0.0) or (
+                    direction == "higher" and value < 0.0
+                )
+                ratio = float("inf") if value else 1.0
+            elif direction == "higher":
+                worse = value < baseline * (1.0 - tolerance)
+                ratio = value / baseline
+            else:
+                worse = value > baseline * (1.0 + tolerance)
+                ratio = value / baseline
+            if worse:
+                regressions.append(
+                    Regression(
+                        gate=gate,
+                        metric=metric,
+                        value=value,
+                        baseline=baseline,
+                        ratio=ratio,
+                        direction=direction,
+                    )
+                )
+    return regressions
+
+
+def render_trajectory(
+    records: Sequence[BenchRecord],
+    tolerance: float = 0.10,
+    window: int = 5,
+    gate: Optional[str] = None,
+) -> Tuple[str, List[Regression]]:
+    """Per-gate trajectory table plus the detected regressions.
+
+    Returns the rendered report and the regression list so the CLI can
+    pick its exit code without re-deriving anything.
+    """
+    by_gate = _grouped(records)
+    if gate is not None:
+        by_gate = {name: runs for name, runs in by_gate.items() if name == gate}
+    lines: List[str] = ["-- benchmark trajectory --"]
+    if not by_gate:
+        lines.append("no bench-history records" + (f" for gate {gate!r}" if gate else ""))
+        return "\n".join(lines) + "\n", []
+    header = (
+        f"{'gate':<22} {'metric':<26} {'runs':>4} {'first':>12} "
+        f"{'median':>12} {'latest':>12} {'delta':>8}"
+    )
+    lines.append(header)
+    for gate_name, runs in sorted(by_gate.items()):
+        metric_names = sorted({m for run in runs for m in run.metrics})
+        for metric in metric_names:
+            values = [run.metrics[metric] for run in runs if metric in run.metrics]
+            if not values:
+                continue
+            baseline = _median(values[:-1][-window:]) if len(values) > 1 else values[-1]
+            delta = (
+                (values[-1] - baseline) / baseline if baseline else float("nan")
+            )
+            direction = runs[-1].directions.get(metric, "")
+            tag = f" ({direction})" if direction else ""
+            lines.append(
+                f"{gate_name:<22} {metric + tag:<26} {len(values):>4} "
+                f"{values[0]:>12.6g} {baseline:>12.6g} {values[-1]:>12.6g} "
+                f"{delta:>+7.1%}"
+            )
+    flagged = detect_regressions(
+        [run for runs in by_gate.values() for run in runs],
+        tolerance=tolerance,
+        window=window,
+    )
+    lines.append("")
+    if flagged:
+        lines.append(f"-- regressions (tolerance {tolerance:.0%}) --")
+        for regression in flagged:
+            lines.append("  " + regression.describe())
+    else:
+        lines.append(f"no regressions (tolerance {tolerance:.0%})")
+    return "\n".join(lines) + "\n", flagged

@@ -3,8 +3,11 @@
 Reused by the main ``repro`` CLI::
 
     repro obs report /tmp/spans.jsonl       # span tree + hottest spans
+    repro obs report a.jsonl b.jsonl        # merged cross-process tree
     repro obs validate /tmp/spans.jsonl     # JSON-schema check (CI gate)
     repro obs schema                        # print the span schema
+    repro obs top http://127.0.0.1:8787     # live cluster dashboard
+    repro obs bench BENCH_history.jsonl     # gate trajectory + regressions
     repro run fig7 --obs-out /tmp/spans.jsonl
     repro solve --obs-out /tmp/spans.jsonl
     repro serve --rounds 2 --obs-out /tmp/spans.jsonl
@@ -22,10 +25,15 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import sys
+import urllib.error
+import urllib.request
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 from ..errors import ObservabilityError
+from .bench_history import load_history, render_trajectory
+from .dashboard import ClusterTop
 from .export import (
     SPAN_SCHEMA,
     prometheus_text,
@@ -47,7 +55,15 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     report = actions.add_parser(
         "report", help="render a span dump as a tree + hottest-spans table"
     )
-    report.add_argument("path", help="spans JSONL file (from --obs-out)")
+    report.add_argument(
+        "paths",
+        nargs="+",
+        metavar="path",
+        help=(
+            "spans JSONL file(s) (from --obs-out); several files merge "
+            "into one cross-process tree via shared trace/span ids"
+        ),
+    )
     report.add_argument(
         "--top", type=int, default=10, help="hottest-span rows (default: 10)"
     )
@@ -70,6 +86,48 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
     metrics.add_argument("path", help="obs JSONL file (from --obs-out)")
 
+    top = actions.add_parser(
+        "top", help="live terminal dashboard over a cluster /stats endpoint"
+    )
+    top.add_argument(
+        "url",
+        help="cluster base URL (e.g. http://127.0.0.1:8787); /stats is appended",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between polls (default: 1.0)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="frames to render before exiting; 0 = until interrupted",
+    )
+
+    bench = actions.add_parser(
+        "bench", help="benchmark-gate trajectory + regression check"
+    )
+    bench.add_argument(
+        "path", help="BENCH_history.jsonl file (see REPRO_BENCH_HISTORY)"
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="fractional worsening vs trailing median to flag (default: 0.10)",
+    )
+    bench.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="trailing runs the median baseline covers (default: 5)",
+    )
+    bench.add_argument(
+        "--gate", default=None, help="restrict the report to one gate"
+    )
+
 
 def add_obs_out_argument(parser: argparse.ArgumentParser) -> None:
     """Attach the shared ``--obs-out PATH`` flag to a command parser."""
@@ -90,15 +148,28 @@ def run_obs(args: argparse.Namespace) -> int:
         print(json.dumps(SPAN_SCHEMA, indent=2, sort_keys=True))
         return 0
 
+    if args.obs_command == "top":
+        return _run_top(args)
+
+    if args.obs_command == "bench":
+        return _run_bench(args)
+
+    if args.obs_command == "report":
+        records: List[Dict[str, Any]] = []
+        try:
+            for path in args.paths:
+                records.extend(read_jsonl(path))
+        except (OSError, ObservabilityError) as exc:
+            print(f"error: {exc}")
+            return 2
+        print(render_report(records, top=args.top), end="")
+        return 0
+
     try:
         records = read_jsonl(args.path)
     except (OSError, ObservabilityError) as exc:
         print(f"error: {exc}")
         return 2
-
-    if args.obs_command == "report":
-        print(render_report(records, top=args.top), end="")
-        return 0
 
     if args.obs_command == "metrics":
         print(_metrics_from_records(records), end="")
@@ -119,6 +190,62 @@ def run_obs(args: argparse.Namespace) -> int:
         return 1
     print(f"{n_spans} span record(s) valid against the span schema")
     return 0
+
+
+def _http_stats_poll(url: str, timeout: float = 5.0) -> Callable[[], Dict[str, Any]]:
+    """A poll callable GETting ``<url>/stats`` as JSON."""
+    endpoint = url.rstrip("/") + "/stats"
+
+    def poll() -> Dict[str, Any]:
+        with urllib.request.urlopen(endpoint, timeout=timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ObservabilityError(f"{endpoint} did not return a JSON object")
+        return payload
+
+    return poll
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    """``repro obs top URL`` — poll /stats and render the dashboard."""
+    try:
+        top = ClusterTop(
+            poll=_http_stats_poll(args.url),
+            out=sys.stdout,
+            interval_s=args.interval,
+        )
+    except ObservabilityError as exc:
+        print(f"error: {exc}")
+        return 2
+    try:
+        successes = top.run(iterations=args.iterations)
+    except KeyboardInterrupt:
+        return 0
+    except urllib.error.URLError as exc:
+        print(f"error: {exc}")
+        return 2
+    return 0 if successes else 2
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """``repro obs bench PATH`` — trajectory report, exit 1 on regression."""
+    try:
+        history = load_history(args.path)
+    except (OSError, ObservabilityError) as exc:
+        print(f"error: {exc}")
+        return 2
+    try:
+        report, regressions = render_trajectory(
+            history,
+            tolerance=args.tolerance,
+            window=args.window,
+            gate=args.gate,
+        )
+    except ObservabilityError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(report, end="")
+    return 1 if regressions else 0
 
 
 def _metrics_from_records(records: list) -> str:
@@ -149,7 +276,10 @@ def _metrics_from_records(records: list) -> str:
 
 
 @contextlib.contextmanager
-def obs_session(path: Optional[str]) -> Iterator[None]:
+def obs_session(
+    path: Optional[str],
+    extra_records: Optional[Callable[[], Iterable[Dict[str, Any]]]] = None,
+) -> Iterator[None]:
     """Enable tracing for one CLI command and dump on exit.
 
     A ``None`` path is a no-op (the command runs untraced), so call
@@ -157,6 +287,13 @@ def obs_session(path: Optional[str]) -> Iterator[None]:
 
         with obs_session(args.obs_out):
             run_command(args)
+
+    Args:
+        path: the JSONL dump target (``--obs-out``), or ``None``.
+        extra_records: called at dump time for additional records to
+            merge into the file — the cluster CLI hands over shard-side
+            span/metric records scraped over the pipes, producing one
+            merged cross-process dump.
     """
     if path is None:
         yield
@@ -168,5 +305,11 @@ def obs_session(path: Optional[str]) -> Iterator[None]:
         yield
     finally:
         tracer.enabled = was_enabled
-        n_records = write_jsonl(Path(path), tracer=tracer, registry=get_registry())
+        merged = list(extra_records()) if extra_records is not None else None
+        n_records = write_jsonl(
+            Path(path),
+            tracer=tracer,
+            registry=get_registry(),
+            extra_records=merged,
+        )
         print(f"wrote {n_records} obs record(s) to {path}")

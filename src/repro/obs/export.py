@@ -51,6 +51,7 @@ SPAN_SCHEMA: Dict[str, Any] = {
         "kind": {"type": "string", "enum": ["span"]},
         "name": {"type": "string", "minLength": 1},
         "span_id": {"type": "string", "minLength": 1},
+        "trace_id": {"type": "string"},
         "parent_id": {"type": ["string", "null"]},
         "start_s": {"type": "number"},
         "end_s": {"type": ["number", "null"]},
@@ -276,14 +277,22 @@ def render_report(
     children: Dict[Optional[str], List[Dict[str, Any]]] = {}
     for record in spans:
         by_id[record["span_id"]] = record
-    # Spans whose parent never reached the dump (bounded-buffer drop)
-    # are promoted to roots rather than lost.
+    # Spans whose parent never reached the dump (bounded-buffer drop,
+    # or a cross-process parent whose dump was not merged in) gather
+    # under a synthetic <detached> root rather than being lost or
+    # silently promoted to look like real roots.
+    detached: List[Dict[str, Any]] = []
     for record in spans:
         parent = record.get("parent_id")
-        key = parent if parent in by_id else None
-        children.setdefault(key, []).append(record)
+        if parent is None:
+            children.setdefault(None, []).append(record)
+        elif parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            detached.append(record)
     for siblings in children.values():
         siblings.sort(key=lambda r: (r.get("start_s") or 0.0, r["span_id"]))
+    detached.sort(key=lambda r: (r.get("start_s") or 0.0, r["span_id"]))
 
     lines: List[str] = ["-- span tree --"]
 
@@ -312,6 +321,17 @@ def render_report(
         emit(root, 0)
     if len(roots) > max_children:
         lines.append(f"... (+{len(roots) - max_children} more roots)")
+    if detached:
+        lines.append(
+            f"<detached>  ({len(detached)} span(s) whose parent is not "
+            "in this dump)"
+        )
+        for orphan in detached[:max_children]:
+            emit(orphan, 1)
+        if len(detached) > max_children:
+            lines.append(
+                f"  ... (+{len(detached) - max_children} more)"
+            )
 
     lines.append("")
     lines.append("-- hottest spans --")

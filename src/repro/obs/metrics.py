@@ -330,6 +330,27 @@ class MetricsRegistry:
             name, lambda: Histogram(name, help, max_samples=max_samples), "histogram"
         )
 
+    def adopt(self, metric: Any) -> Any:
+        """Register an already-built instrument under its own name.
+
+        The federation path (:mod:`repro.obs.aggregate`) builds merged
+        histograms with :func:`merge_histograms` and adopts them into a
+        result registry; ``histogram()`` cannot express that because it
+        always constructs empty instruments.  Adopting a name that is
+        already registered (to a different object) is an error.
+        """
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if existing is metric:
+                    return metric
+                raise ObservabilityError(
+                    f"metric {metric.name!r} already registered; cannot "
+                    "adopt a second instrument under the same name"
+                )
+            self._metrics[metric.name] = metric
+            return metric
+
     def get(self, name: str) -> Optional[Any]:
         """The metric called ``name``, or ``None``."""
         with self._lock:

@@ -25,6 +25,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from contextvars import ContextVar
@@ -33,13 +34,17 @@ from ..errors import ObservabilityError
 
 __all__ = [
     "ENV_VAR",
+    "TRACEPARENT_HEADER",
     "Span",
+    "SpanContext",
     "NullSpan",
     "NULL_SPAN",
     "Tracer",
     "get_tracer",
     "set_tracer",
     "env_enabled",
+    "format_traceparent",
+    "parse_traceparent",
 ]
 
 #: Environment variable that switches the observability layer on
@@ -53,6 +58,85 @@ def env_enabled() -> bool:
     return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
 
 
+#: HTTP header (and pipe-envelope key) the trace context travels in.
+TRACEPARENT_HEADER = "traceparent"
+
+#: W3C traceparent version this layer emits.
+_TRACEPARENT_VERSION = "00"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The cross-process identity of one span.
+
+    A W3C-traceparent-style context: every span belongs to a *trace*
+    (one end-to-end request, shared across the HTTP front end, the
+    router and the shard processes) and carries its own ``span_id`` so
+    a child opened in another process can point back at it.
+
+    Attributes:
+        trace_id: 32-hex-char trace identifier shared by every span of
+            one request, across process boundaries.
+        span_id: the span's own identifier (process-local format).
+        flags: W3C trace flags; bit 0 = sampled (this layer always
+            propagates ``0x01`` — an unsampled context is not sent).
+    """
+
+    trace_id: str
+    span_id: str
+    flags: int = 1
+
+
+def format_traceparent(context: SpanContext) -> str:
+    """Encode a context in the W3C-traceparent wire format.
+
+    ``00-<trace_id>-<span_id>-<flags>`` — the version, a 32-hex trace
+    id, this layer's span id, and two hex flag digits.
+    """
+    return (
+        f"{_TRACEPARENT_VERSION}-{context.trace_id}-"
+        f"{context.span_id}-{context.flags:02x}"
+    )
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[SpanContext]:
+    """Decode a traceparent header; ``None`` on anything malformed.
+
+    Tolerant by design (a bad header must never fail a request): the
+    version must be two hex digits, the trace id 32 hex chars, the
+    flags two hex digits.  Span ids may contain ``-`` (this tracer's
+    ids do), so the span-id field is everything between the trace id
+    and the trailing flags.
+    """
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id = parts[0], parts[1]
+    flags_text = parts[-1]
+    span_id = "-".join(parts[2:-1])
+    if len(version) != 2 or not _is_hex(version) or version == "ff":
+        return None
+    if len(trace_id) != 32 or not _is_hex(trace_id) or set(trace_id) == {"0"}:
+        return None
+    if not span_id:
+        return None
+    if len(flags_text) != 2 or not _is_hex(flags_text):
+        return None
+    return SpanContext(
+        trace_id=trace_id, span_id=span_id, flags=int(flags_text, 16)
+    )
+
+
+def _is_hex(text: str) -> bool:
+    try:
+        int(text, 16)
+    except ValueError:
+        return False
+    return True
+
+
 class Span:
     """One recorded unit of work.
 
@@ -60,7 +144,12 @@ class Span:
         name: dotted span name from the taxonomy in
             ``docs/OBSERVABILITY.md`` (e.g. ``"core.design"``).
         span_id: unique (per tracer) hex identifier.
+        trace_id: 32-hex trace identifier shared by every span of one
+            request, including spans recorded in other processes.
         parent_id: the enclosing span's id, or ``None`` for a root.
+            A parent may live in another process (trace propagation);
+            exporters render such spans under their remote parent once
+            the per-process dumps are merged.
         start_s: monotonic-clock start time in seconds.
         end_s: monotonic-clock end time (``None`` while open).
         cpu_start_s / cpu_end_s: process CPU clock samples, present only
@@ -72,6 +161,7 @@ class Span:
     __slots__ = (
         "name",
         "span_id",
+        "trace_id",
         "parent_id",
         "start_s",
         "end_s",
@@ -88,9 +178,11 @@ class Span:
         parent_id: Optional[str],
         start_s: float,
         attributes: Optional[Dict[str, Any]] = None,
+        trace_id: str = "",
     ) -> None:
         self.name = name
         self.span_id = span_id
+        self.trace_id = trace_id
         self.parent_id = parent_id
         self.start_s = start_s
         self.end_s: Optional[float] = None
@@ -121,12 +213,18 @@ class Span:
             return None
         return (self.cpu_end_s - self.cpu_start_s) * 1e3
 
+    @property
+    def context(self) -> SpanContext:
+        """This span's propagatable :class:`SpanContext`."""
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
     def to_record(self) -> Dict[str, Any]:
         """The span as a JSON-serializable export record."""
         record: Dict[str, Any] = {
             "kind": "span",
             "name": self.name,
             "span_id": self.span_id,
+            "trace_id": self.trace_id,
             "parent_id": self.parent_id,
             "start_s": self.start_s,
             "end_s": self.end_s,
@@ -153,6 +251,7 @@ class NullSpan:
 
     name = "<null>"
     span_id = ""
+    trace_id = ""
     parent_id = None
     duration_ms = None
     cpu_ms = None
@@ -186,8 +285,47 @@ class _NullSpanContext:
 
 _NULL_CONTEXT = _NullSpanContext()
 
+
+class _RemoteSpan:
+    """A never-recorded stand-in for a span open in another process.
+
+    Installed by :meth:`Tracer.attach` so that the next span opened in
+    this thread/task parents under the remote span's ids — the local
+    side of cross-process trace propagation.  It is never finished and
+    never exported; only its identity matters.
+    """
+
+    __slots__ = ("span_id", "trace_id")
+
+    name = "<remote>"
+
+    def __init__(self, context: SpanContext) -> None:
+        self.span_id = context.span_id
+        self.trace_id = context.trace_id
+
+
+class _AttachContext:
+    """Context manager installing a remote parent (``None``: no-op)."""
+
+    __slots__ = ("_remote", "_token")
+
+    def __init__(self, remote: Optional["_RemoteSpan"]) -> None:
+        self._remote = remote
+        self._token: Any = None
+
+    def __enter__(self) -> None:
+        if self._remote is not None:
+            self._token = _current.set(self._remote)
+
+    def __exit__(self, *exc_info: object) -> bool:
+        if self._token is not None:
+            _current.reset(self._token)
+        return False
+
+
 #: Current span of this thread / asyncio task (parent for new spans).
-_current: "ContextVar[Optional[Span]]" = ContextVar("repro_obs_span", default=None)
+#: Holds a live local :class:`Span` or a :class:`_RemoteSpan` shim.
+_current: "ContextVar[Optional[Any]]" = ContextVar("repro_obs_span", default=None)
 
 
 class _SpanContext:
@@ -275,22 +413,62 @@ class Tracer:
         """
         with self._lock:
             self._id_counter += 1
-            span_id = f"{self._id_prefix}{self._id_counter:012x}"
+            counter = self._id_counter
+            span_id = f"{self._id_prefix}{counter:012x}"
         parent = _current.get()
+        if parent is not None:
+            parent_id: Optional[str] = parent.span_id
+            trace_id = parent.trace_id
+        else:
+            parent_id = None
+            trace_id = self._new_trace_id(counter)
         span = Span(
             name=name,
             span_id=span_id,
-            parent_id=parent.span_id if parent is not None else None,
+            parent_id=parent_id,
             start_s=self.clock(),
             attributes=attributes if attributes else None,
+            trace_id=trace_id,
         )
         if self.profile_cpu:
             span.cpu_start_s = self.cpu_clock()
         return span
 
+    def _new_trace_id(self, counter: int) -> str:
+        """A fresh 32-hex trace id for a root span.
+
+        Random by default so traces from different runs never collide
+        in merged dumps; deterministic (the span counter, zero-padded)
+        when the tracer was built with ``id_prefix=""`` so golden-file
+        tests stay reproducible.
+        """
+        if self._id_prefix:
+            return os.urandom(16).hex()
+        return f"{counter:032x}"
+
     def finish(self, span: Span) -> None:
         """Close an explicitly started span and record it."""
         self._finish(span, None)
+
+    # -- cross-process propagation ------------------------------------
+
+    def attach(self, context: Optional[SpanContext]) -> _AttachContext:
+        """Adopt a remote parent for spans opened inside the ``with``.
+
+        The propagation receive side: a process handed a traceparent
+        (HTTP header, shard pipe envelope) attaches it so its next span
+        parents under the remote caller's span and shares its trace id::
+
+            with tracer.attach(parse_traceparent(header)):
+                with tracer.span("serving.solve_batch") as sp:
+                    ...  # sp.trace_id == remote trace, parent == caller
+
+        ``attach(None)`` is a no-op, so call sites can attach
+        unconditionally.  Attaching never records anything by itself.
+        """
+        if context is None:
+            return _AttachContext(None)
+        return _AttachContext(_RemoteSpan(context))
 
     def _finish(self, span: Span, exc_type: Any) -> None:
         if self.profile_cpu:
@@ -329,7 +507,25 @@ class Tracer:
     @staticmethod
     def current_span() -> Optional[Span]:
         """The innermost open span of this thread/task, if any."""
-        return _current.get()
+        current = _current.get()
+        if isinstance(current, _RemoteSpan):
+            return None
+        return current
+
+    @staticmethod
+    def current_context() -> Optional[SpanContext]:
+        """The propagatable context of the innermost open span.
+
+        Unlike :meth:`current_span` this also answers under a remote
+        attachment (:meth:`attach`), so a relay hop that opens no span
+        of its own still forwards its caller's context.
+        """
+        current = _current.get()
+        if current is None:
+            return None
+        return SpanContext(
+            trace_id=current.trace_id, span_id=current.span_id
+        )
 
     def spans(self) -> Tuple[Span, ...]:
         """All finished spans, in completion order."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 import argparse
 import pickle
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ...core.decomposition import Subproblem, solve_subproblems
 from ...errors import ServingError
@@ -96,6 +96,15 @@ def add_bench_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "--http",
         action="store_true",
         help="serve over the HTTP front end instead of in-process routing",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help=(
+            "bind port for the HTTP front end (default: 0 = pick a free "
+            "one; a fixed port lets CI curl /metrics mid-run)"
+        ),
     )
     parser.add_argument(
         "--kill-shard-at",
@@ -180,11 +189,34 @@ def _print_report(report: LoadReport, stats: ClusterStats) -> None:
 
 def run_bench_serve(args: argparse.Namespace) -> int:
     """Boot a cluster, replay closed-loop traffic, print the report."""
-    with obs_session(getattr(args, "obs_out", None)):
-        return _run_bench_serve(args)
+    # Shard-side records scraped over the pipes land here before the
+    # cluster shuts down; obs_session merges them into the dump so
+    # --obs-out yields ONE cross-process JSONL file.
+    scraped: List[Dict[str, Any]] = []
+    with obs_session(
+        getattr(args, "obs_out", None), extra_records=lambda: scraped
+    ):
+        return _run_bench_serve(args, scraped)
 
 
-def _run_bench_serve(args: argparse.Namespace) -> int:
+def _scrape_into(router: ShardRouter, scraped: List[Dict[str, Any]]) -> None:
+    """Collect shard span records into ``scraped`` (best effort)."""
+    try:
+        scrape = router.obs_scrape(include_spans=True)
+    except Exception as error:  # noqa: BLE001 - dump what we have anyway
+        print(f"obs scrape failed: {type(error).__name__}: {error}")
+        return
+    records = scrape.span_records()
+    scraped.extend(records)
+    print(
+        f"scraped {len(records)} shard span record(s) from "
+        f"{len(scrape.sources())} source(s)"
+    )
+
+
+def _run_bench_serve(
+    args: argparse.Namespace, scraped: Optional[List[Dict[str, Any]]] = None
+) -> int:
     if args.requests < 1:
         raise ServingError(f"--requests must be >= 1, got {args.requests!r}")
     population = synthetic_subproblems(
@@ -212,7 +244,7 @@ def _run_bench_serve(args: argparse.Namespace) -> int:
     with router:
         try:
             if args.http:
-                http_thread = HTTPServerThread(router).start()
+                http_thread = HTTPServerThread(router, port=args.port).start()
                 host, port = http_thread.address
                 target = http_target(host, port)
                 print(f"cluster HTTP front end on http://{host}:{port}")
@@ -254,6 +286,8 @@ def _run_bench_serve(args: argparse.Namespace) -> int:
             ):
                 exit_code = 1
         finally:
+            if scraped is not None and getattr(args, "obs_out", None):
+                _scrape_into(router, scraped)
             if http_thread is not None:
                 http_thread.stop()
     return exit_code

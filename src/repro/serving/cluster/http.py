@@ -6,8 +6,18 @@ exposing the cluster to anything that can speak JSON over a socket:
 * ``POST /solve`` — one subproblem in, one solved design out;
 * ``POST /solve_batch`` — ``{"subproblems": [...]}`` in,
   ``{"designs": [...]}`` out, input order preserved;
-* ``GET /healthz`` — shard liveness + overall ``ok``/``degraded``;
-* ``GET /stats`` — router counters and per-shard serving counters.
+* ``GET /healthz`` — shard liveness (with per-shard restart counts) +
+  overall ``ok``/``degraded``;
+* ``GET /stats`` — router counters, per-shard serving counters (pid,
+  cache hit-rate) and cluster totals;
+* ``GET /metrics`` — live Prometheus text exposition federated across
+  every shard registry (per-shard ``{shard="..."}`` samples plus
+  unlabeled aggregates; see :mod:`repro.obs.aggregate`).
+
+Solve requests honour an incoming W3C ``traceparent`` header: when
+tracing is enabled the request span attaches under the remote caller
+and the context keeps propagating through the router into the shard
+processes, so one trace id follows the request end to end.
 
 Solving is CPU + IPC work, so request handlers push it off the event
 loop into the default executor — the loop keeps accepting connections
@@ -23,12 +33,13 @@ tests) can stand a cluster endpoint up with two calls.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import threading
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ...errors import ServingError
-from ...obs.trace import get_tracer
+from ...obs.trace import TRACEPARENT_HEADER, Tracer, get_tracer, parse_traceparent
 from .codec import design_to_json, subproblem_from_json
 from .router import ShardRouter
 
@@ -120,7 +131,7 @@ class ClusterHTTPServer:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload = await self._dispatch(method, path, body)
+                status, payload = await self._dispatch(method, path, headers, body)
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 await self._write_response(writer, status, payload, keep_alive)
                 if not keep_alive:
@@ -170,20 +181,29 @@ class ClusterHTTPServer:
         return method, path, headers, body
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
-        """Route one request to its handler; JSON status + payload out."""
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Union[Dict[str, Any], str]]:
+        """Route one request to its handler; status + payload out.
+
+        When tracing is enabled the handler runs inside a
+        ``cluster.http_request`` span, attached under the caller's
+        span when the request carried a ``traceparent`` header.
+        """
         tracer = get_tracer()
         if not tracer.enabled:
             return await self._dispatch_inner(method, path, body)
-        with tracer.span("cluster.http_request", method=method, path=path) as span:
-            status, payload = await self._dispatch_inner(method, path, body)
-            span.set("status", status)
-            return status, payload
+        remote = parse_traceparent(headers.get(TRACEPARENT_HEADER))
+        with tracer.attach(remote):
+            with tracer.span(
+                "cluster.http_request", method=method, path=path
+            ) as span:
+                status, payload = await self._dispatch_inner(method, path, body)
+                span.set("status", status)
+                return status, payload
 
     async def _dispatch_inner(
         self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Union[Dict[str, Any], str]]:
         try:
             if path == "/healthz":
                 if method != "GET":
@@ -195,6 +215,20 @@ class ClusterHTTPServer:
                 if method != "GET":
                     return 405, {"error": f"{method} not allowed on {path}"}
                 return 200, self.router.stats_snapshot()
+            if path == "/metrics":
+                if method != "GET":
+                    return 405, {"error": f"{method} not allowed on {path}"}
+                # Scraping talks to every shard over the pipes — off
+                # the event loop, like solving.  Metrics only: span
+                # drains stay with the trace-dump path.
+                loop = asyncio.get_running_loop()
+                scrape = await loop.run_in_executor(
+                    None,
+                    functools.partial(
+                        self.router.obs_scrape, include_spans=False
+                    ),
+                )
+                return 200, scrape.prometheus_text()
             if path == "/solve":
                 if method != "POST":
                     return 405, {"error": f"{method} not allowed on {path}"}
@@ -230,8 +264,20 @@ class ClusterHTTPServer:
         subproblems = [subproblem_from_json(item) for item in raw_items]
         fingerprints = self.router.fingerprints(subproblems)
         loop = asyncio.get_running_loop()
+        # Executor threads don't see this task's contextvars, so the
+        # request span's context is captured here and handed to the
+        # router explicitly — the batch span still parents under it.
+        trace_context = (
+            Tracer.current_context() if get_tracer().enabled else None
+        )
         designs, cache_hits = await loop.run_in_executor(
-            None, self.router.solve_designs, subproblems, fingerprints
+            None,
+            functools.partial(
+                self.router.solve_designs,
+                subproblems,
+                fingerprints,
+                trace_context=trace_context,
+            ),
         )
         encoded = [
             design_to_json(
@@ -252,14 +298,20 @@ class ClusterHTTPServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Dict[str, Any],
+        payload: Union[Dict[str, Any], str],
         keep_alive: bool,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Pre-rendered text body (the /metrics Prometheus page).
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         reason = _STATUS_REASONS.get(status, "Unknown")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"

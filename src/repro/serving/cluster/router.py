@@ -28,6 +28,7 @@ is enabled.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -36,8 +37,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ...core.decomposition import Subproblem, SubproblemSolution
 from ...core.designer import DesignerConfig, DesignResult
 from ...errors import ServingError
+from ...obs.aggregate import ClusterScrape, ShardExport, federate, local_export
 from ...obs.metrics import Counter, Histogram, MetricsRegistry
-from ...obs.trace import get_tracer
+from ...obs.trace import NULL_SPAN, SpanContext, Tracer, get_tracer
 from ..cache import ContractCache
 from ..fingerprint import subproblem_fingerprint
 from ..pool import SolverPool
@@ -271,6 +273,7 @@ class ShardRouter:
                 mu=self.mu,
                 config=self.config,
                 cache_capacity=self.cache_capacity,
+                obs=get_tracer().enabled,
             )
             process = ShardProcess(spec, start_method=self._start_method)
             process.start()
@@ -418,6 +421,7 @@ class ShardRouter:
         self,
         subproblems: Sequence[Subproblem],
         fingerprints: Optional[Sequence[str]] = None,
+        trace_context: Optional[SpanContext] = None,
     ) -> Tuple[List[DesignResult], List[bool]]:
         """Route one batch through the cluster.
 
@@ -425,17 +429,25 @@ class ShardRouter:
         design fingerprint) and the groups dispatched concurrently; the
         returned designs and cache-hit flags align with the input order
         regardless of which shard answered when.
+
+        ``trace_context`` parents the ``cluster.solve_batch`` span under
+        a caller's span from another thread or process (the HTTP front
+        end captures its request span's context before hopping to the
+        executor, since :mod:`contextvars` don't cross that boundary).
         """
         tracer = get_tracer()
         if not tracer.enabled:
             return self._solve_designs(subproblems, fingerprints)
-        with tracer.span(
-            "cluster.solve_batch", n_requests=len(subproblems)
-        ) as span:
-            designs, cache_hits = self._solve_designs(subproblems, fingerprints)
-            span.set("n_shards", len(self.shard_ids))
-            span.set("n_hits", sum(1 for hit in cache_hits if hit))
-            return designs, cache_hits
+        with tracer.attach(trace_context):
+            with tracer.span(
+                "cluster.solve_batch", n_requests=len(subproblems)
+            ) as span:
+                designs, cache_hits = self._solve_designs(
+                    subproblems, fingerprints
+                )
+                span.set("n_shards", len(self.shard_ids))
+                span.set("n_hits", sum(1 for hit in cache_hits if hit))
+                return designs, cache_hits
 
     def _solve_designs(
         self,
@@ -465,6 +477,13 @@ class ShardRouter:
         designs: List[Optional[DesignResult]] = [None] * len(subproblems)
         cache_hits: List[bool] = [False] * len(subproblems)
 
+        # Executor threads don't inherit this thread's contextvars, so
+        # the batch span's context rides along explicitly and each group
+        # re-attaches it before opening its own span.
+        batch_context = (
+            Tracer.current_context() if get_tracer().enabled else None
+        )
+
         def serve_group(
             owner: str, indices: List[int]
         ) -> Tuple[List[DesignResult], List[bool]]:
@@ -472,6 +491,7 @@ class ShardRouter:
                 owner,
                 [subproblems[i] for i in indices],
                 [fingerprints[i] for i in indices],
+                trace_context=batch_context,
             )
 
         ordered = sorted(groups.items())
@@ -500,6 +520,7 @@ class ShardRouter:
         owner: str,
         subproblems: List[Subproblem],
         fingerprints: List[str],
+        trace_context: Optional[SpanContext] = None,
     ) -> Tuple[List[DesignResult], List[bool]]:
         """One owner group: owner shard, then ring successors, then local.
 
@@ -508,8 +529,33 @@ class ShardRouter:
         elsewhere cannot fix it).  The local fallback pool is the
         guaranteed last resort — a group can degrade but never fail for
         lack of shards.
+
+        When tracing, the whole chain walk runs inside one
+        ``cluster.solve_group`` span (parented under ``trace_context``,
+        the batch span) whose context travels to the serving shard in
+        the pipe envelope.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve_group_inner(owner, subproblems, fingerprints, NULL_SPAN)
+        with tracer.attach(trace_context):
+            with tracer.span(
+                "cluster.solve_group", owner=owner, n_requests=len(subproblems)
+            ) as span:
+                return self._solve_group_inner(
+                    owner, subproblems, fingerprints, span
+                )
+
+    def _solve_group_inner(
+        self,
+        owner: str,
+        subproblems: List[Subproblem],
+        fingerprints: List[str],
+        span: Any,
+    ) -> Tuple[List[DesignResult], List[bool]]:
         started = time.perf_counter()
+        tracer = get_tracer()
+        group_context = Tracer.current_context() if tracer.enabled else None
         with self._lock:
             chain = self._ring.preference(fingerprints[0])
         if owner in chain:
@@ -530,7 +576,10 @@ class ShardRouter:
             attempts += 1
             try:
                 group_designs, group_hits = process.solve(
-                    subproblems, fingerprints, timeout=self.request_timeout
+                    subproblems,
+                    fingerprints,
+                    timeout=self.request_timeout,
+                    trace_context=group_context,
                 )
             except ShardTransportError as error:
                 self.stats.transport_errors.inc()
@@ -540,7 +589,7 @@ class ShardRouter:
             if shard_id != owner:
                 self.stats.failovers.inc()
             self.stats.request_latency.observe(time.perf_counter() - started)
-            self._trace_group(owner, shard_id, attempts, len(subproblems))
+            span.update(served_by=shard_id, attempts=attempts)
             return group_designs, group_hits
 
         # Every shard attempt exhausted: degrade to the local pool so
@@ -550,29 +599,10 @@ class ShardRouter:
             subproblems, fingerprints
         )
         self.stats.request_latency.observe(time.perf_counter() - started)
-        self._trace_group(owner, "local", attempts, len(subproblems), last_error)
+        span.update(served_by="local", attempts=attempts)
+        if last_error is not None:
+            span.set("transport_error", str(last_error))
         return group_designs, group_hits
-
-    def _trace_group(
-        self,
-        owner: str,
-        served_by: str,
-        attempts: int,
-        n_requests: int,
-        last_error: Optional[ShardTransportError] = None,
-    ) -> None:
-        tracer = get_tracer()
-        if not tracer.enabled:
-            return
-        with tracer.span(
-            "cluster.solve_group",
-            owner=owner,
-            served_by=served_by,
-            attempts=attempts,
-            n_requests=n_requests,
-        ) as span:
-            if last_error is not None:
-                span.set("transport_error", str(last_error))
 
     # -- introspection ------------------------------------------------
 
@@ -590,14 +620,19 @@ class ShardRouter:
         for shard_id in sorted(processes):
             process = processes[shard_id]
             if not process.alive:
-                shards[shard_id] = {"alive": False}
+                shards[shard_id] = {"alive": False, "restarts": process.restarts}
                 continue
             try:
                 info = process.health(timeout=timeout)
             except ServingError as error:
-                shards[shard_id] = {"alive": False, "error": str(error)}
+                shards[shard_id] = {
+                    "alive": False,
+                    "error": str(error),
+                    "restarts": process.restarts,
+                }
                 continue
             info["alive"] = True
+            info["restarts"] = process.restarts
             shards[shard_id] = info
             healthy += 1
         return {
@@ -608,16 +643,80 @@ class ShardRouter:
         }
 
     def stats_snapshot(self, timeout: float = 2.0) -> Dict[str, Any]:
-        """Router counters plus best-effort per-shard serving counters."""
+        """Router counters plus best-effort per-shard serving counters.
+
+        Each shard entry carries the shard's own serving/cache counters
+        (including ``cache_hit_rate``) plus the parent-side ``pid`` and
+        ``restarts``; ``totals`` sums the shard counters so dashboards
+        don't have to.
+        """
         with self._lock:
             processes = dict(self._shards)
         per_shard: Dict[str, Dict[str, float]] = {}
+        totals: Dict[str, float] = {}
         for shard_id in sorted(processes):
             process = processes[shard_id]
             if not process.alive:
                 continue
             try:
-                per_shard[shard_id] = process.stats_snapshot(timeout=timeout)
+                snapshot = process.stats_snapshot(timeout=timeout)
             except ServingError:
                 continue
-        return {"router": self.stats.snapshot(), "shards": per_shard}
+            pid = process.pid
+            if pid is not None:
+                snapshot["pid"] = float(pid)
+            snapshot["restarts"] = float(process.restarts)
+            per_shard[shard_id] = snapshot
+            for key in (
+                "requests",
+                "batches",
+                "unique_solves",
+                "cache_hits",
+                "cache_misses",
+                "cache_entries",
+            ):
+                if key in snapshot:
+                    totals[key] = totals.get(key, 0.0) + snapshot[key]
+        lookups = totals.get("cache_hits", 0.0) + totals.get("cache_misses", 0.0)
+        totals["cache_hit_rate"] = (
+            totals.get("cache_hits", 0.0) / lookups if lookups else 0.0
+        )
+        return {
+            "router": self.stats.snapshot(),
+            "shards": per_shard,
+            "totals": totals,
+        }
+
+    def obs_scrape(
+        self,
+        include_spans: bool = True,
+        drain: bool = True,
+        timeout: float = 5.0,
+    ) -> ClusterScrape:
+        """Federate every live shard's spans and metrics with the router's.
+
+        Each shard answers the ``obs_export`` pipe op with its metric
+        reservoirs (cumulative) and span records (drained by default so
+        repeated scrapes never duplicate a span); the router contributes
+        its own :class:`ClusterStats` registry under the ``"router"``
+        source label.  Dead or unresponsive shards are skipped — a
+        scrape degrades, it doesn't fail.
+        """
+        with self._lock:
+            processes = dict(self._shards)
+        exports: List[ShardExport] = []
+        for shard_id in sorted(processes):
+            process = processes[shard_id]
+            if not process.alive:
+                continue
+            try:
+                payload = process.obs_export(
+                    include_spans=include_spans, drain=drain, timeout=timeout
+                )
+            except ServingError:
+                continue
+            exports.append(ShardExport.from_payload(payload))
+        exports.append(
+            local_export("router", self.stats.registry, pid=os.getpid())
+        )
+        return federate(exports)

@@ -4,7 +4,13 @@ A shard is the smallest serving unit of the cluster: its own OS process
 running the existing single-process stack — a
 :class:`~repro.serving.pool.SolverPool` in front of a private
 :class:`~repro.serving.cache.ContractCache` — spoken to over a
-:mod:`multiprocessing` pipe with a tiny ``(op, payload)`` protocol.
+:mod:`multiprocessing` pipe with a tiny ``(op, payload, meta)``
+protocol.  ``meta`` is the out-of-band envelope: today it carries the
+W3C-style ``traceparent`` of the router's dispatch span, so the
+shard's ``serving.solve_batch`` span joins the caller's trace across
+the process boundary, and the ``obs_export`` op ships the shard's
+spans and metric reservoirs back for federation
+(:mod:`repro.obs.aggregate`).
 
 The parent-side handle (:class:`ShardProcess`) draws one distinction
 that the router's failover logic leans on:
@@ -34,6 +40,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ...core.decomposition import Subproblem
 from ...core.designer import DesignerConfig, DesignResult
 from ...errors import ServingError
+from ...obs.aggregate import metric_samples
+from ...obs.trace import (
+    TRACEPARENT_HEADER,
+    SpanContext,
+    Tracer,
+    format_traceparent,
+    get_tracer,
+    parse_traceparent,
+    set_tracer,
+)
 from ..cache import ContractCache
 from ..pool import SolverPool
 from ..stats import ServingStats
@@ -59,12 +75,16 @@ class ShardSpec:
         mu: the requester's compensation weight.
         config: designer configuration shared by all solves.
         cache_capacity: bound of the shard's private contract cache.
+        obs: boot the shard with tracing enabled (the router sets this
+            from its own tracer state, so a traced cluster records
+            spans in every process from the first request).
     """
 
     shard_id: str
     mu: float = 1.0
     config: Optional[DesignerConfig] = None
     cache_capacity: int = 4096
+    obs: bool = False
 
     def __post_init__(self) -> None:
         if not self.shard_id:
@@ -76,14 +96,19 @@ class ShardSpec:
 
 
 def shard_main(conn: Connection, spec: ShardSpec) -> None:
-    """The shard process body: serve ``(op, payload)`` requests forever.
+    """The shard process body: serve ``(op, payload, meta)`` forever.
 
     Ops: ``solve`` (subproblems + fingerprints in, designs + hit flags
     out), ``health``/``stats`` (snapshots), ``cache_export`` /
-    ``cache_import`` (warm handoff), ``shutdown`` (clean exit) and
-    ``crash`` (fault injection: die without replying).  Application
-    errors are reported as ``("error", message)`` replies; the loop
-    only exits on shutdown or a dead pipe.
+    ``cache_import`` (warm handoff), ``obs_export`` (spans + metric
+    reservoirs for federation), ``shutdown`` (clean exit) and ``crash``
+    (fault injection: die without replying).  Application errors are
+    reported as ``("error", message)`` replies; the loop only exits on
+    shutdown or a dead pipe.
+
+    When ``meta`` carries a ``traceparent``, the op runs attached to
+    that remote context so any spans it opens parent under the caller's
+    dispatch span.
     """
     cache = ContractCache(capacity=spec.cache_capacity)
     stats = ServingStats()
@@ -94,11 +119,18 @@ def shard_main(conn: Connection, spec: ShardSpec) -> None:
         cache=cache,
         stats=stats,
     )
+    # A fresh tracer, not the inherited one: under fork the parent's
+    # tracer arrives with its id prefix and counter intact, so reusing
+    # it would mint span ids colliding with the router's in merged
+    # dumps. A new Tracer draws a new random prefix in this process.
+    tracer = Tracer(enabled=True) if spec.obs else Tracer()
+    set_tracer(tracer)
     while True:
         try:
-            op, payload = conn.recv()
+            message = conn.recv()
         except (EOFError, OSError):
             break
+        op, payload, meta = message
         if op == "shutdown":
             try:
                 conn.send(("ok", None))
@@ -109,8 +141,14 @@ def shard_main(conn: Connection, spec: ShardSpec) -> None:
             # Fault injection: die mid-protocol, leaving the parent's
             # request unanswered so the transport path gets exercised.
             os._exit(17)
+        context = None
+        if meta:
+            traceparent = meta.get(TRACEPARENT_HEADER)
+            if traceparent:
+                context = parse_traceparent(traceparent)
         try:
-            reply = _dispatch(op, payload, spec, pool, cache, stats)
+            with tracer.attach(context):
+                reply = _dispatch(op, payload, spec, pool, cache, stats)
         except Exception as error:  # noqa: BLE001 - fan app errors to parent
             try:
                 conn.send(("error", f"{type(error).__name__}: {error}"))
@@ -151,7 +189,15 @@ def _dispatch(
     """Execute one shard op (inside the shard process)."""
     if op == "solve":
         subproblems, fingerprints = payload
+        started = stats.now()
         designs, cache_hits = pool.solve_designs(subproblems, fingerprints)
+        # Each request in a synchronously-solved pipe batch waited the
+        # whole op: book that as its latency so shard snapshots carry
+        # the p50/p99 the /stats consumers (repro obs top) render.
+        # The pool only books counters + batch latency here, so this
+        # double-counts nothing.
+        elapsed = stats.now() - started
+        stats.record_latencies([elapsed] * len(subproblems))
         return ([_slim(design) for design in designs], cache_hits)
     if op == "health":
         return {
@@ -180,7 +226,55 @@ def _dispatch(
                 cache.put_design(fingerprint, design)
                 imported += 1
         return imported
+    if op == "obs_export":
+        options = payload or {}
+        return _obs_export(
+            spec,
+            cache,
+            stats,
+            include_spans=bool(options.get("spans", True)),
+            drain=bool(options.get("drain", True)),
+        )
     raise ServingError(f"unknown shard op {op!r}")
+
+
+def _obs_export(
+    spec: ShardSpec,
+    cache: ContractCache,
+    stats: ServingStats,
+    include_spans: bool,
+    drain: bool,
+) -> Dict[str, Any]:
+    """Build one ``obs_export`` reply (inside the shard process).
+
+    Metrics ship with their histogram reservoirs so the router can
+    merge them order-independently; they are cumulative, so repeated
+    scrapes stay monotonic.  Spans are *drained* by default — each
+    record leaves the shard exactly once, so merging successive scrape
+    outputs never duplicates a span.
+    """
+    tracer = get_tracer()
+    spans: List[Dict[str, Any]] = []
+    if include_spans and tracer.enabled:
+        spans = [span.to_record() for span in tracer.spans()]
+        if drain:
+            tracer.clear()
+    metrics = metric_samples(stats.registry)
+    metrics.append(
+        {
+            "kind": "metric",
+            "name": "cache.entries",
+            "metric_kind": "gauge",
+            "value": float(len(cache)),
+            "agg": "sum",
+        }
+    )
+    return {
+        "shard_id": spec.shard_id,
+        "pid": os.getpid(),
+        "spans": spans,
+        "metrics": metrics,
+    }
 
 
 class ShardProcess:
@@ -255,7 +349,7 @@ class ShardProcess:
             conn, process = self._conn, self._process
             if conn is not None and process is not None and process.is_alive():
                 try:
-                    conn.send(("shutdown", None))
+                    conn.send(("shutdown", None, None))
                     if conn.poll(timeout):
                         conn.recv()
                 except (EOFError, BrokenPipeError, OSError):
@@ -294,9 +388,20 @@ class ShardProcess:
     # -- protocol -----------------------------------------------------
 
     def request(
-        self, op: str, payload: Any = None, timeout: Optional[float] = None
+        self,
+        op: str,
+        payload: Any = None,
+        timeout: Optional[float] = None,
+        meta: Optional[Dict[str, str]] = None,
     ) -> Any:
         """One request/reply cycle with the shard.
+
+        Args:
+            op: the shard op name.
+            payload: op-specific payload.
+            timeout: seconds to wait for the reply.
+            meta: out-of-band envelope (e.g. the ``traceparent`` of the
+                caller's span for cross-process trace propagation).
 
         Raises:
             ShardTransportError: the shard is down or stopped answering
@@ -311,7 +416,7 @@ class ShardProcess:
                     f"shard {self.spec.shard_id!r} is not running"
                 )
             try:
-                conn.send((op, payload))
+                conn.send((op, payload, meta))
                 if timeout is not None and not conn.poll(timeout):
                     self._teardown_conn()
                     raise ShardTransportError(
@@ -338,10 +443,22 @@ class ShardProcess:
         subproblems: Sequence[Subproblem],
         fingerprints: Sequence[str],
         timeout: Optional[float] = None,
+        trace_context: Optional[SpanContext] = None,
     ) -> Tuple[List[DesignResult], List[bool]]:
-        """Solve a batch on this shard; designs + cache-hit flags."""
+        """Solve a batch on this shard; designs + cache-hit flags.
+
+        ``trace_context`` (the caller's span context) travels in the
+        pipe envelope so the shard's ``serving.solve_batch`` span
+        parents under it.
+        """
+        meta: Optional[Dict[str, str]] = None
+        if trace_context is not None:
+            meta = {TRACEPARENT_HEADER: format_traceparent(trace_context)}
         designs, cache_hits = self.request(
-            "solve", (tuple(subproblems), tuple(fingerprints)), timeout=timeout
+            "solve",
+            (tuple(subproblems), tuple(fingerprints)),
+            timeout=timeout,
+            meta=meta,
         )
         return list(designs), list(cache_hits)
 
@@ -367,4 +484,23 @@ class ShardProcess:
         """Warm the shard's cache with ``entries``; returns count imported."""
         return int(
             self.request("cache_import", tuple(entries), timeout=timeout)
+        )
+
+    def obs_export(
+        self,
+        include_spans: bool = True,
+        drain: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Scrape the shard's spans and metric reservoirs.
+
+        Metrics are cumulative; spans are drained by default (each span
+        record leaves the shard exactly once across repeated scrapes).
+        """
+        return dict(
+            self.request(
+                "obs_export",
+                {"spans": include_spans, "drain": drain},
+                timeout=timeout,
+            )
         )

@@ -35,6 +35,7 @@ import numpy as np
 from ..core.decomposition import Subproblem
 from ..errors import ServingError
 from ..obs.metrics import Counter, Histogram, MetricsRegistry
+from ..obs.trace import TRACEPARENT_HEADER, Tracer, format_traceparent, get_tracer
 from .cluster.codec import subproblem_to_json
 from .cluster.router import ShardRouter
 from .pool import SolverPool
@@ -201,7 +202,18 @@ class LoadGenerator:
                 batch = batches[index]
                 begun = time.perf_counter()
                 try:
-                    self.target(batch)
+                    # Each round-trip gets a client-side root span when
+                    # tracing is on; HTTP targets forward its context in
+                    # the traceparent header, making the loadgen the
+                    # root of the end-to-end cross-process trace.
+                    tracer = get_tracer()
+                    if tracer.enabled:
+                        with tracer.span(
+                            "loadgen.request", batch=index, n_requests=len(batch)
+                        ):
+                            self.target(batch)
+                    else:
+                        self.target(batch)
                 except Exception as error:  # noqa: BLE001 - tally and continue
                     self.failed.inc()
                     with state_lock:
@@ -290,12 +302,17 @@ def http_target(host: str, port: int, timeout: float = 30.0) -> Target:
         body = json.dumps(
             {"subproblems": [subproblem_to_json(item) for item in batch]}
         )
+        headers = {"Content-Type": "application/json"}
+        if get_tracer().enabled:
+            context = Tracer.current_context()
+            if context is not None:
+                headers[TRACEPARENT_HEADER] = format_traceparent(context)
         try:
             conn.request(
                 "POST",
                 "/solve_batch",
                 body=body,
-                headers={"Content-Type": "application/json"},
+                headers=headers,
             )
             response = conn.getresponse()
             payload = json.loads(response.read().decode("utf-8"))

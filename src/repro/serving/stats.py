@@ -221,7 +221,9 @@ class ServingStats:
         if self.request_latencies:
             summary = summarize(list(self.request_latencies))
             snapshot["request_latency_mean_s"] = summary.mean
+            snapshot["request_latency_p50_s"] = self._request_latency.quantile(0.5)
             snapshot["request_latency_p95_s"] = summary.p95
+            snapshot["request_latency_p99_s"] = self._request_latency.quantile(0.99)
         if self.batch_latencies:
             summary = summarize(list(self.batch_latencies))
             snapshot["batch_latency_mean_s"] = summary.mean

@@ -1,0 +1,339 @@
+"""Tests for cluster-wide metrics federation (repro.obs.aggregate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.aggregate import (
+    ClusterScrape,
+    ScrapeLoop,
+    ShardExport,
+    federate,
+    histogram_from_record,
+    local_export,
+    metric_samples,
+    validate_prometheus_text,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _export(source: str, **metrics) -> ShardExport:
+    """A ShardExport with counters built from keyword values."""
+    registry = MetricsRegistry()
+    for name, value in metrics.items():
+        registry.counter(name).inc(value)
+    return local_export(source, registry)
+
+
+class TestMetricSamples:
+    def test_scalar_records(self):
+        registry = MetricsRegistry()
+        registry.counter("serving.requests").inc(4)
+        registry.gauge("serving.cache_entries").set(7.0)
+        records = {r["name"]: r for r in metric_samples(registry)}
+        assert records["serving.requests"]["metric_kind"] == "counter"
+        assert records["serving.requests"]["value"] == 4.0
+        assert records["serving.cache_entries"]["value"] == 7.0
+
+    def test_histogram_record_carries_the_reservoir(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("serving.latency_s", max_samples=8)
+        histogram.observe_many([0.1, 0.2, 0.4])
+        (record,) = metric_samples(registry)
+        assert record["metric_kind"] == "histogram"
+        assert record["samples"] == [0.1, 0.2, 0.4]
+        assert record["count"] == 3.0
+        assert record["max_samples"] == 8
+        assert record["min"] == 0.1
+        assert record["max"] == 0.4
+
+    def test_histogram_round_trips_through_record(self):
+        original = Histogram("h", max_samples=8)
+        original.observe_many([1.0, 2.0, 3.0])
+        registry = MetricsRegistry()
+        registry.adopt(original)
+        (record,) = metric_samples(registry)
+        rebuilt = histogram_from_record(record)
+        assert rebuilt.samples == original.samples
+        assert rebuilt.count == original.count
+        assert rebuilt.total == pytest.approx(original.total)
+        assert rebuilt.min == original.min
+        assert rebuilt.max == original.max
+
+    def test_histogram_record_requires_a_name(self):
+        with pytest.raises(ObservabilityError, match="needs a name"):
+            histogram_from_record({"samples": [1.0]})
+
+
+class TestShardExport:
+    def test_from_payload_reads_shard_fields(self):
+        export = ShardExport.from_payload(
+            {
+                "shard_id": "shard-0",
+                "pid": 4242,
+                "spans": [{"kind": "span", "name": "s"}],
+                "metrics": [],
+            }
+        )
+        assert export.source == "shard-0"
+        assert export.pid == 4242
+        assert len(export.spans) == 1
+
+    def test_from_payload_requires_a_source(self):
+        with pytest.raises(ObservabilityError, match="shard_id/source"):
+            ShardExport.from_payload({"spans": []})
+
+    def test_local_export_includes_tracer_spans(self):
+        tracer = Tracer(enabled=True, id_prefix="")
+        with tracer.span("router.work"):
+            pass
+        registry = MetricsRegistry()
+        registry.counter("cluster.routed").inc()
+        export = local_export("router", registry, tracer=tracer, pid=1)
+        assert export.source == "router"
+        assert [s["name"] for s in export.spans] == ["router.work"]
+        assert export.metrics[0]["name"] == "cluster.routed"
+
+
+class TestFederate:
+    def test_counters_sum_across_sources(self):
+        scrape = federate(
+            [
+                _export("shard-0", **{"serving.requests": 3}),
+                _export("shard-1", **{"serving.requests": 5}),
+            ]
+        )
+        assert scrape.value("serving.requests") == 8.0
+        assert scrape.shard_values("serving.requests") == {
+            "shard-0": 3.0,
+            "shard-1": 5.0,
+        }
+
+    def test_result_is_order_independent(self):
+        a = _export("shard-0", **{"serving.requests": 3})
+        b = _export("shard-1", **{"serving.requests": 5})
+        assert federate([a, b]).value("serving.requests") == federate(
+            [b, a]
+        ).value("serving.requests")
+        assert federate([b, a]).sources() == ("shard-0", "shard-1")
+
+    def test_gauges_sum_by_default(self):
+        def gauge_export(source, value):
+            registry = MetricsRegistry()
+            registry.gauge("serving.cache_entries").set(value)
+            return local_export(source, registry)
+
+        scrape = federate([gauge_export("a", 2.0), gauge_export("b", 3.0)])
+        assert scrape.value("serving.cache_entries") == 5.0
+
+    @pytest.mark.parametrize(
+        "agg, expected", [("max", 9.0), ("last", 4.0), ("sum", 13.0)]
+    )
+    def test_gauge_agg_overrides(self, agg, expected):
+        def tagged(source, value):
+            return ShardExport(
+                source=source,
+                metrics=[
+                    {
+                        "kind": "metric",
+                        "name": "g",
+                        "metric_kind": "gauge",
+                        "value": value,
+                        "agg": agg,
+                    }
+                ],
+            )
+
+        # "last" resolves to the lexicographically last source (z).
+        scrape = federate([tagged("z", 4.0), tagged("a", 9.0)])
+        assert scrape.value("g") == expected
+
+    def test_histograms_reservoir_merge(self):
+        def hist_export(source, values):
+            registry = MetricsRegistry()
+            registry.histogram("serving.latency_s").observe_many(values)
+            return local_export(source, registry)
+
+        scrape = federate(
+            [hist_export("a", [0.1, 0.3]), hist_export("b", [0.2])]
+        )
+        merged = scrape.merged.get("serving.latency_s")
+        assert merged.count == 3
+        assert merged.samples == (0.1, 0.2, 0.3)
+        assert scrape.hist_sources["serving.latency_s"]["a"] == (2.0, pytest.approx(0.4))
+
+    def test_duplicate_source_rejected(self):
+        with pytest.raises(ObservabilityError, match="duplicate"):
+            federate([_export("a", c=1), _export("a", c=2)])
+
+    def test_kind_conflict_rejected(self):
+        counter_side = _export("a", **{"m": 1})
+        gauge_side = ShardExport(
+            source="b",
+            metrics=[
+                {"kind": "metric", "name": "m", "metric_kind": "gauge", "value": 1.0}
+            ],
+        )
+        with pytest.raises(ObservabilityError, match="counter"):
+            federate([counter_side, gauge_side])
+
+    def test_mixed_agg_modes_rejected(self):
+        def tagged(source, agg):
+            return ShardExport(
+                source=source,
+                metrics=[
+                    {
+                        "kind": "metric",
+                        "name": "g",
+                        "metric_kind": "gauge",
+                        "value": 1.0,
+                        "agg": agg,
+                    }
+                ],
+            )
+
+        with pytest.raises(ObservabilityError, match="mixes agg"):
+            federate([tagged("a", "max"), tagged("b", "last")])
+
+    def test_unknown_agg_rejected(self):
+        bad = ShardExport(
+            source="a",
+            metrics=[
+                {
+                    "kind": "metric",
+                    "name": "g",
+                    "metric_kind": "gauge",
+                    "value": 1.0,
+                    "agg": "median",
+                }
+            ],
+        )
+        with pytest.raises(ObservabilityError, match="unknown agg"):
+            federate([bad])
+
+    def test_malformed_record_rejected(self):
+        bad = ShardExport(source="a", metrics=[{"kind": "metric", "name": "x"}])
+        with pytest.raises(ObservabilityError, match="malformed"):
+            federate([bad])
+
+    def test_disjoint_metric_names_stay_separate(self):
+        scrape = federate(
+            [_export("a", **{"only.a": 1}), _export("b", **{"only.b": 2})]
+        )
+        assert scrape.value("only.a") == 1.0
+        assert scrape.value("only.b") == 2.0
+        assert scrape.shard_values("only.a") == {"a": 1.0}
+
+    def test_value_rejects_unknown_and_histogram_names(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        scrape = federate([local_export("a", registry)])
+        with pytest.raises(ObservabilityError, match="no aggregated scalar"):
+            scrape.value("h")
+        with pytest.raises(ObservabilityError, match="no aggregated scalar"):
+            scrape.value("missing")
+
+    def test_span_records_tagged_with_source(self):
+        tracer = Tracer(enabled=True, id_prefix="")
+        with tracer.span("work"):
+            pass
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        scrape = federate([local_export("shard-3", registry, tracer=tracer)])
+        (record,) = scrape.span_records()
+        assert record["source"] == "shard-3"
+        assert record["name"] == "work"
+
+
+class TestPrometheusText:
+    def _scrape(self) -> ClusterScrape:
+        def hist_export(source, values, requests):
+            registry = MetricsRegistry()
+            registry.counter("serving.requests").inc(requests)
+            registry.histogram("serving.latency_s").observe_many(values)
+            return local_export(source, registry)
+
+        return federate(
+            [hist_export("shard-0", [0.1, 0.2], 3), hist_export("shard-1", [0.4], 5)]
+        )
+
+    def test_labeled_and_aggregate_samples(self):
+        text = self._scrape().prometheus_text()
+        assert 'repro_serving_requests{shard="shard-0"} 3' in text
+        assert 'repro_serving_requests{shard="shard-1"} 5' in text
+        assert "\nrepro_serving_requests 8" in text
+        assert 'repro_serving_latency_s_count{shard="shard-0"} 2' in text
+        assert 'repro_serving_latency_s_sum{shard="shard-1"} 0.4' in text
+        assert "repro_serving_latency_s_count 3" in text
+        assert 'repro_serving_latency_s{quantile="0.5"}' in text
+
+    def test_exposition_validates_clean(self):
+        assert validate_prometheus_text(self._scrape().prometheus_text()) == []
+
+    def test_empty_scrape_renders_empty(self):
+        scrape = federate([])
+        assert scrape.prometheus_text() == ""
+        assert scrape.sources() == ()
+
+
+class TestValidatePrometheusText:
+    def test_flags_sample_without_type(self):
+        problems = validate_prometheus_text("repro_orphan 1\n")
+        assert any("no preceding # TYPE" in p for p in problems)
+
+    def test_flags_bad_type_comment(self):
+        problems = validate_prometheus_text("# TYPE repro_x wat\nrepro_x 1\n")
+        assert any("malformed TYPE" in p for p in problems)
+
+    def test_flags_non_numeric_value(self):
+        problems = validate_prometheus_text(
+            "# TYPE repro_x counter\nrepro_x NaNope\n"
+        )
+        assert any("non-numeric" in p for p in problems)
+
+    def test_count_sum_resolve_to_their_family(self):
+        text = (
+            "# TYPE repro_h summary\n"
+            "repro_h_count 2\n"
+            "repro_h_sum 0.5\n"
+        )
+        assert validate_prometheus_text(text) == []
+
+
+class TestScrapeLoop:
+    def test_scrape_once_records_latest(self):
+        clock_value = {"now": 10.0}
+        loop = ScrapeLoop(lambda: 42, interval_s=0.01, clock=lambda: clock_value["now"])
+        assert loop.scrape_once() == 42
+        assert loop.latest() == (10.0, 42)
+        assert loop.errors == 0
+
+    def test_failures_counted_not_raised(self):
+        def boom():
+            raise RuntimeError("no")
+
+        loop = ScrapeLoop(boom, interval_s=0.01)
+        assert loop.scrape_once() is None
+        assert loop.errors == 1
+        assert loop.latest() is None
+
+    def test_background_thread_scrapes_and_stops(self):
+        loop = ScrapeLoop(lambda: "ok", interval_s=0.005)
+        loop.start()
+        try:
+            deadline = 200
+            while loop.latest() is None and deadline:
+                deadline -= 1
+                import time
+
+                time.sleep(0.005)
+        finally:
+            loop.stop()
+        assert loop.latest() is not None
+        assert loop.latest()[1] == "ok"
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ObservabilityError, match="interval"):
+            ScrapeLoop(lambda: None, interval_s=0.0)

@@ -1,0 +1,223 @@
+"""Tests for the benchmark-trajectory tracker (repro.obs.bench_history)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.bench_history import (
+    BenchRecord,
+    append_history,
+    detect_regressions,
+    load_history,
+    render_trajectory,
+    validate_history_record,
+)
+
+
+def _record(gate="sweep", at=1.0, **metrics) -> BenchRecord:
+    metrics = metrics or {"speedup": 10.0}
+    return BenchRecord(
+        gate=gate,
+        metrics=dict(metrics),
+        recorded_unix=at,
+        directions={name: "higher" for name in metrics},
+    )
+
+
+def _run(gate: str, at: float, value: float, direction: str = "higher") -> BenchRecord:
+    return BenchRecord(
+        gate=gate,
+        metrics={"m": value},
+        recorded_unix=at,
+        directions={"m": direction},
+    )
+
+
+class TestBenchRecord:
+    def test_round_trips_through_record_dict(self):
+        original = BenchRecord(
+            gate="cluster",
+            metrics={"speedup": 2.5, "p99_s": 0.02},
+            recorded_unix=1700000000.0,
+            directions={"speedup": "higher", "p99_s": "lower"},
+            meta={"sha": "abc123"},
+        )
+        assert BenchRecord.from_record(original.to_record()) == original
+
+    def test_rejects_empty_gate_and_metrics(self):
+        with pytest.raises(ObservabilityError, match="gate name"):
+            BenchRecord(gate="", metrics={"m": 1.0}, recorded_unix=0.0)
+        with pytest.raises(ObservabilityError, match="at least one metric"):
+            BenchRecord(gate="g", metrics={}, recorded_unix=0.0)
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ObservabilityError, match="direction"):
+            BenchRecord(
+                gate="g",
+                metrics={"m": 1.0},
+                recorded_unix=0.0,
+                directions={"m": "sideways"},
+            )
+
+    def test_rejects_direction_for_unknown_metric(self):
+        with pytest.raises(ObservabilityError, match="unknown metric"):
+            BenchRecord(
+                gate="g",
+                metrics={"m": 1.0},
+                recorded_unix=0.0,
+                directions={"other": "higher"},
+            )
+
+
+class TestValidateHistoryRecord:
+    def test_clean_record(self):
+        assert validate_history_record(_record().to_record()) == []
+
+    def test_missing_fields_reported(self):
+        problems = validate_history_record({"kind": "bench"})
+        assert any("gate" in p for p in problems)
+        assert any("recorded_unix" in p for p in problems)
+
+    def test_wrong_kind_and_bad_values(self):
+        problems = validate_history_record(
+            {
+                "kind": "span",
+                "gate": "g",
+                "metrics": {"m": "fast"},
+                "recorded_unix": -3,
+            }
+        )
+        assert any("kind" in p for p in problems)
+        assert any("must be a number" in p for p in problems)
+        assert any("recorded_unix" in p for p in problems)
+
+
+class TestAppendLoad:
+    def test_append_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "nested" / "BENCH_history.jsonl"
+        first = _record(at=1.0)
+        second = _record(at=2.0, speedup=11.0)
+        append_history(path, first)
+        append_history(path, second)
+        assert load_history(path) == [first, second]
+        # Append-only: two records, one JSON object per line.
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_bad_line_fails_loudly_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(_record().to_record()) + "\nnot json\n")
+        with pytest.raises(ObservabilityError, match=r"bad\.jsonl:2"):
+            load_history(path)
+
+    def test_schema_invalid_record_fails_loudly(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "bench", "gate": ""}\n')
+        with pytest.raises(ObservabilityError, match=":1"):
+            load_history(path)
+
+
+class TestDetectRegressions:
+    def test_higher_metric_dropping_past_tolerance_flags(self):
+        runs = [_run("g", t, 10.0) for t in range(5)] + [_run("g", 5.0, 8.0)]
+        (regression,) = detect_regressions(runs, tolerance=0.10)
+        assert regression.gate == "g"
+        assert regression.metric == "m"
+        assert regression.value == 8.0
+        assert regression.baseline == 10.0
+        assert "trailing median" in regression.describe()
+
+    def test_within_tolerance_not_flagged(self):
+        runs = [_run("g", t, 10.0) for t in range(5)] + [_run("g", 5.0, 9.5)]
+        assert detect_regressions(runs, tolerance=0.10) == []
+
+    def test_lower_metric_rising_flags(self):
+        runs = [
+            _run("g", 0.0, 0.010, "lower"),
+            _run("g", 1.0, 0.010, "lower"),
+            _run("g", 2.0, 0.015, "lower"),
+        ]
+        (regression,) = detect_regressions(runs, tolerance=0.10)
+        assert regression.direction == "lower"
+
+    def test_improvement_never_flags(self):
+        runs = [_run("g", 0.0, 10.0), _run("g", 1.0, 20.0)]
+        assert detect_regressions(runs) == []
+
+    def test_single_run_gates_skipped(self):
+        assert detect_regressions([_run("g", 0.0, 10.0)]) == []
+
+    def test_undirected_metrics_never_flag(self):
+        runs = [
+            BenchRecord(gate="g", metrics={"m": 10.0}, recorded_unix=0.0),
+            BenchRecord(gate="g", metrics={"m": 1.0}, recorded_unix=1.0),
+        ]
+        assert detect_regressions(runs) == []
+
+    def test_window_bounds_the_baseline(self):
+        # Old bad runs fall out of the window; the recent median rules.
+        runs = [_run("g", float(t), 2.0) for t in range(3)]
+        runs += [_run("g", 10.0 + t, 10.0) for t in range(5)]
+        runs.append(_run("g", 20.0, 8.0))
+        (regression,) = detect_regressions(runs, tolerance=0.10, window=5)
+        assert regression.baseline == 10.0
+
+    def test_median_tolerates_one_noisy_run(self):
+        runs = [
+            _run("g", 0.0, 10.0),
+            _run("g", 1.0, 30.0),  # one-off spike must not set the bar
+            _run("g", 2.0, 10.0),
+            _run("g", 3.0, 9.8),
+        ]
+        assert detect_regressions(runs, tolerance=0.10) == []
+
+    def test_zero_baseline_direction_aware(self):
+        runs = [
+            _run("g", 0.0, 0.0, "lower"),
+            _run("g", 1.0, 0.5, "lower"),
+        ]
+        (regression,) = detect_regressions(runs)
+        assert regression.ratio == float("inf")
+
+    def test_rejects_bad_tolerance_and_window(self):
+        with pytest.raises(ObservabilityError, match="tolerance"):
+            detect_regressions([], tolerance=-0.1)
+        with pytest.raises(ObservabilityError, match="window"):
+            detect_regressions([], window=0)
+
+    def test_unsorted_input_grouped_by_timestamp(self):
+        runs = [_run("g", 5.0, 8.0)] + [_run("g", float(t), 10.0) for t in range(5)]
+        (regression,) = detect_regressions(runs, tolerance=0.10)
+        assert regression.value == 8.0
+
+
+class TestRenderTrajectory:
+    def test_table_and_regressions_section(self):
+        runs = [_run("g", t, 10.0) for t in range(4)] + [_run("g", 4.0, 7.0)]
+        report, regressions = render_trajectory(runs, tolerance=0.10)
+        assert report.startswith("-- benchmark trajectory --")
+        assert "m (higher)" in report
+        assert "-- regressions" in report
+        assert len(regressions) == 1
+
+    def test_clean_history_reports_no_regressions(self):
+        runs = [_run("g", t, 10.0) for t in range(3)]
+        report, regressions = render_trajectory(runs)
+        assert regressions == []
+        assert "no regressions" in report
+
+    def test_gate_filter(self):
+        runs = [_run("a", 0.0, 1.0), _run("b", 0.0, 2.0)]
+        report, _ = render_trajectory(runs, gate="a")
+        assert "a" in report.splitlines()[2]
+        assert all("b " not in line for line in report.splitlines()[2:])
+
+    def test_empty_history(self):
+        report, regressions = render_trajectory([])
+        assert "no bench-history records" in report
+        assert regressions == []

@@ -113,3 +113,125 @@ class TestObsSession:
                     pass
                 raise RuntimeError("boom")
         assert path.exists()
+
+
+class TestReportMultiPath:
+    def test_multiple_files_merge_into_one_tree(self, tmp_path, tracer, capsys):
+        """Router-side and shard-side dumps merge via shared span ids."""
+        with tracer.span("cluster.solve_group") as group:
+            pass
+        router_dump = tmp_path / "router.jsonl"
+        write_jsonl(router_dump, tracer=tracer)
+        shard_dump = tmp_path / "shard.jsonl"
+        shard_dump.write_text(
+            json.dumps(
+                {
+                    "kind": "span",
+                    "name": "serving.solve_batch",
+                    "span_id": "shard-01",
+                    "parent_id": group.span_id,
+                    "trace_id": group.trace_id,
+                    "start_s": 0.1,
+                    "end_s": 0.2,
+                    "duration_ms": 100.0,
+                }
+            )
+            + "\n"
+        )
+        assert run_obs(_parse(["report", str(router_dump), str(shard_dump)])) == 0
+        out = capsys.readouterr().out
+        assert "cluster.solve_group" in out
+        assert "  serving.solve_batch" in out
+        assert "<detached>" not in out
+
+
+class TestTop:
+    def test_unreachable_endpoint_exits_2(self, capsys):
+        code = run_obs(
+            _parse(
+                [
+                    "top",
+                    "http://127.0.0.1:1",  # nothing listens on port 1
+                    "--iterations",
+                    "1",
+                    "--interval",
+                    "0.01",
+                ]
+            )
+        )
+        assert code == 2
+
+
+class TestBench:
+    def _history(self, tmp_path, values):
+        from repro.obs.bench_history import BenchRecord, append_history
+
+        path = tmp_path / "BENCH_history.jsonl"
+        for at, value in enumerate(values):
+            append_history(
+                path,
+                BenchRecord(
+                    gate="sweep",
+                    metrics={"speedup": value},
+                    recorded_unix=float(at),
+                    directions={"speedup": "higher"},
+                ),
+            )
+        return path
+
+    def test_clean_history_exits_0(self, tmp_path, capsys):
+        path = self._history(tmp_path, [10.0, 10.5, 10.2])
+        assert run_obs(_parse(["bench", str(path)])) == 0
+        out = capsys.readouterr().out
+        assert "-- benchmark trajectory --" in out
+        assert "no regressions" in out
+
+    def test_regression_exits_1(self, tmp_path, capsys):
+        path = self._history(tmp_path, [10.0, 10.0, 10.0, 6.0])
+        assert run_obs(_parse(["bench", str(path)])) == 1
+        assert "-- regressions" in capsys.readouterr().out
+
+    def test_missing_history_exits_0_with_empty_report(self, tmp_path, capsys):
+        path = tmp_path / "absent.jsonl"
+        assert run_obs(_parse(["bench", str(path)])) == 0
+        assert "no bench-history records" in capsys.readouterr().out
+
+    def test_corrupt_history_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert run_obs(_parse(["bench", str(path)])) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_gate_filter_flag(self, tmp_path, capsys):
+        path = self._history(tmp_path, [10.0, 10.0])
+        assert run_obs(_parse(["bench", str(path), "--gate", "other"])) == 0
+        assert "no bench-history records for gate 'other'" in (
+            capsys.readouterr().out
+        )
+
+
+class TestObsSessionExtraRecords:
+    def test_extra_records_merge_into_the_dump(
+        self, tmp_path, tracer, registry, capsys
+    ):
+        path = tmp_path / "merged.jsonl"
+        extra = [
+            {
+                "kind": "span",
+                "name": "serving.solve_batch",
+                "span_id": "shard-x",
+                "parent_id": None,
+                "start_s": 0.0,
+                "end_s": 1.0,
+                "duration_ms": 1000.0,
+                "source": "shard-0",
+            }
+        ]
+        with obs_session(str(path), extra_records=lambda: extra):
+            with tracer.span("router.side"):
+                pass
+        names = {
+            json.loads(line)["name"] for line in path.read_text().splitlines()
+        }
+        assert names == {"router.side", "serving.solve_batch"}
+        assert "wrote 2 obs record(s)" in capsys.readouterr().out

@@ -199,7 +199,10 @@ class TestReport:
         assert lines[2].startswith("  core.candidate_build")
         assert "-- hottest spans --" in report
 
-    def test_orphans_promoted_to_roots(self):
+    def test_orphans_render_under_detached_root(self):
+        """A span whose parent was evicted from the bounded buffer (or
+        lives in an unmerged dump) lands under the synthetic <detached>
+        root — indented, not promoted to look like a real root."""
         records = [
             {
                 "kind": "span",
@@ -212,7 +215,38 @@ class TestReport:
             }
         ]
         report = render_report(records)
-        assert "orphan" in report.splitlines()[1]
+        lines = report.splitlines()
+        assert lines[1].startswith("<detached>")
+        assert "1 span(s)" in lines[1]
+        assert lines[2].startswith("  orphan")
+
+    def test_detached_subtree_keeps_its_children(self):
+        """An orphan's own descendants still render beneath it."""
+        records = [
+            {
+                "kind": "span",
+                "name": "orphan",
+                "span_id": "b",
+                "parent_id": "missing",
+                "start_s": 0.0,
+                "end_s": 2.0,
+                "duration_ms": 2000.0,
+            },
+            {
+                "kind": "span",
+                "name": "leaf",
+                "span_id": "c",
+                "parent_id": "b",
+                "start_s": 0.5,
+                "end_s": 1.0,
+                "duration_ms": 500.0,
+            },
+        ]
+        report = render_report(records)
+        lines = report.splitlines()
+        assert lines[1].startswith("<detached>")
+        assert lines[2].startswith("  orphan")
+        assert lines[3].startswith("    leaf")
 
     def test_children_collapse_beyond_bound(self):
         records = [

@@ -203,3 +203,94 @@ class TestMerge:
         if merged.count:
             assert merged.min == merged_shuffled.min
             assert merged.max == merged_shuffled.max
+
+
+class TestMergeEdgeCases:
+    def test_merge_histograms_from_empty_registries(self):
+        """Merging only-idle instruments yields a well-formed zero."""
+        registries = [MetricsRegistry(), MetricsRegistry()]
+        histograms = [r.histogram("serving.latency_s") for r in registries]
+        merged = merge_histograms(histograms, name="serving.latency_s")
+        assert merged.count == 0
+        assert merged.total == 0.0
+        assert merged.samples == ()
+        assert merged.summary() is None
+
+    def test_merge_mixes_empty_and_populated(self):
+        empty = Histogram("h")
+        full = Histogram("h")
+        full.observe_many([1.0, 2.0])
+        merged = merge_histograms([empty, full])
+        assert merged.count == 2
+        assert merged.min == 1.0
+        assert merged.max == 2.0
+
+    def test_disjoint_metric_names_merge_into_named_result(self):
+        """merge_histograms pools reservoirs regardless of input names;
+        the caller picks the output name (federate merges per name, so
+        disjoint names never pool there -- see test_aggregate)."""
+        a = Histogram("serving.a_s")
+        b = Histogram("serving.b_s")
+        a.observe(1.0)
+        b.observe(3.0)
+        merged = merge_histograms([a, b], name="serving.pooled_s")
+        assert merged.name == "serving.pooled_s"
+        assert merged.count == 2
+        assert merged.samples == (1.0, 3.0)
+
+    def test_max_samples_overflow_during_merge_keeps_exact_aggregates(self):
+        """A merge whose union exceeds the bound thins the reservoir but
+        never the exact count/total/min/max."""
+        left = Histogram("h", max_samples=64)
+        right = Histogram("h", max_samples=64)
+        left.observe_many(float(v) for v in range(60))
+        right.observe_many(float(v) for v in range(60, 120))
+        merged = merge_histograms([left, right], max_samples=16)
+        assert len(merged.samples) == 16
+        assert merged.count == 120
+        assert merged.total == pytest.approx(sum(range(120)))
+        assert merged.min == 0.0
+        assert merged.max == 119.0
+        # Thinned reservoir stays sorted and within the observed range.
+        assert list(merged.samples) == sorted(merged.samples)
+        assert merged.samples[0] >= 0.0 and merged.samples[-1] <= 119.0
+
+    def test_quantile_single_sample_matches_numpy(self):
+        import numpy as np
+
+        histogram = Histogram("h")
+        histogram.observe(42.0)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == float(np.quantile([42.0], q))
+
+    def test_quantile_duplicate_samples_match_numpy(self):
+        import numpy as np
+
+        values = [2.0, 2.0, 2.0, 5.0, 5.0]
+        histogram = Histogram("h")
+        histogram.observe_many(values)
+        for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+            assert histogram.quantile(q) == pytest.approx(
+                float(np.quantile(values, q))
+            )
+
+
+class TestAdopt:
+    def test_adopt_registers_a_prebuilt_instrument(self):
+        registry = MetricsRegistry()
+        merged = merge_histograms([], name="serving.latency_s")
+        registry.adopt(merged)
+        assert registry.get("serving.latency_s") is merged
+
+    def test_adopt_same_object_is_idempotent(self):
+        registry = MetricsRegistry()
+        merged = merge_histograms([], name="h")
+        registry.adopt(merged)
+        registry.adopt(merged)
+        assert registry.get("h") is merged
+
+    def test_adopt_name_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("clash")
+        with pytest.raises(ObservabilityError, match="clash"):
+            registry.adopt(Histogram("clash"))

@@ -7,7 +7,16 @@ import threading
 import pytest
 
 from repro.errors import ObservabilityError
-from repro.obs.trace import NULL_SPAN, Span, Tracer, get_tracer, set_tracer
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    Tracer,
+    format_traceparent,
+    get_tracer,
+    parse_traceparent,
+    set_tracer,
+)
 
 
 class TestSpanLifecycle:
@@ -145,3 +154,91 @@ class TestSpanObject:
         span = Span(name="open", span_id="1", parent_id=None, start_s=0.0)
         assert span.duration_ms is None
         assert span.cpu_ms is None
+
+
+class TestTraceContext:
+    def test_root_span_trace_id_deterministic_without_prefix(self, tracer):
+        with tracer.span("root") as root:
+            pass
+        assert root.trace_id == f"{1:032x}"
+
+    def test_children_inherit_the_root_trace_id(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+
+    def test_random_trace_ids_differ_across_roots(self):
+        traced = Tracer(enabled=True)
+        with traced.span("a") as a:
+            pass
+        with traced.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+        assert len(a.trace_id) == 32
+
+    def test_context_round_trips_through_traceparent(self, tracer):
+        with tracer.span("root") as root:
+            header = format_traceparent(root.context)
+        assert parse_traceparent(header) == root.context
+
+    def test_dashed_span_ids_survive_the_wire_format(self):
+        context = SpanContext(trace_id="ab" * 16, span_id="3fa9c1-000000000007")
+        assert parse_traceparent(format_traceparent(context)) == context
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "not-a-traceparent",
+            "00-zz-1-01",                      # non-hex trace id
+            "ff-" + "ab" * 16 + "-1-01",       # forbidden version
+            "00-" + "00" * 16 + "-1-01",       # all-zero trace id
+            "00-" + "ab" * 16 + "--01",        # empty span id
+            "00-" + "ab" * 16 + "-1-0",        # short flags
+            "00-" + "ab" * 8 + "-1-01",        # short trace id
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_attach_adopts_remote_parent_and_trace(self, tracer):
+        remote = SpanContext(trace_id="cd" * 16, span_id="remote-01")
+        with tracer.attach(remote):
+            with tracer.span("local") as span:
+                pass
+        assert span.trace_id == remote.trace_id
+        assert span.parent_id == remote.span_id
+
+    def test_attach_none_is_a_no_op(self, tracer):
+        with tracer.attach(None):
+            with tracer.span("local") as span:
+                pass
+        assert span.parent_id is None
+
+    def test_attach_restores_previous_parent(self, tracer):
+        remote = SpanContext(trace_id="cd" * 16, span_id="remote-01")
+        with tracer.span("outer") as outer:
+            with tracer.attach(remote):
+                pass
+            with tracer.span("after") as after:
+                pass
+        assert after.parent_id == outer.span_id
+
+    def test_current_context_visible_under_attach(self, tracer):
+        remote = SpanContext(trace_id="cd" * 16, span_id="remote-01")
+        with tracer.attach(remote):
+            assert Tracer.current_context() == remote
+            assert Tracer.current_span() is None
+        assert Tracer.current_context() is None
+
+    def test_record_carries_trace_id(self, tracer):
+        with tracer.span("root"):
+            pass
+        (record,) = tracer.records()
+        assert record["trace_id"] == f"{1:032x}"
+
+    def test_null_span_has_empty_trace_id(self):
+        assert NULL_SPAN.trace_id == ""

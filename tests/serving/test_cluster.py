@@ -47,10 +47,28 @@ class TestShardProcess:
             health = shard.health()
             assert health["shard_id"] == "s0"
             assert health["cache_entries"] == 3
-            assert shard.stats_snapshot()["requests"] == 6.0
+            snapshot = shard.stats_snapshot()
+            assert snapshot["requests"] == 6.0
+            # Pipe-op solves book per-request latencies, so /stats
+            # consumers (repro obs top) get live p50/p99 columns.
+            assert snapshot["request_latency_p50_s"] > 0.0
+            assert snapshot["request_latency_p99_s"] >= (
+                snapshot["request_latency_p50_s"]
+            )
         finally:
             shard.stop()
         assert not shard.alive
+
+    def test_stop_is_a_clean_exit(self):
+        # Regression: the shutdown frame must match the 3-tuple
+        # (op, payload, meta) protocol — a malformed frame kills the
+        # shard with an unpack error instead of a clean exit 0.
+        shard = ShardProcess(ShardSpec(shard_id="s0"))
+        shard.start()
+        process = shard._process
+        shard.stop()
+        assert process is not None
+        assert process.exitcode == 0
 
     def test_cache_export_import_round_trip(self, workload):
         source = ShardProcess(ShardSpec(shard_id="src"))

@@ -44,6 +44,33 @@ def _call(endpoint, method, path, payload=None):
         conn.close()
 
 
+def _call_text(endpoint, method, path):
+    """Raw-text variant of _call for the Prometheus exposition."""
+    host, port = endpoint
+    conn = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        conn.request(method, path)
+        response = conn.getresponse()
+        return (
+            response.status,
+            response.getheader("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+    finally:
+        conn.close()
+
+
+def _prometheus_samples(text):
+    """``{sample_name_with_labels: value}`` from exposition text."""
+    samples = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
 class TestCodec:
     def test_round_trip_preserves_fingerprint(self, workload):
         for subproblem in workload:
@@ -157,6 +184,30 @@ class TestEndpoints:
         finally:
             conn.close()
 
+    def test_stats_reports_shard_pids_hit_rate_and_totals(
+        self, endpoint, workload
+    ):
+        body = {"subproblems": [subproblem_to_json(s) for s in workload]}
+        _call(endpoint, "POST", "/solve_batch", body)
+        status, payload = _call(endpoint, "GET", "/stats")
+        assert status == 200
+        assert payload["shards"]
+        for snapshot in payload["shards"].values():
+            assert snapshot["pid"] > 0
+            assert 0.0 <= snapshot["cache_hit_rate"] <= 1.0
+            assert snapshot["restarts"] == 0.0
+        totals = payload["totals"]
+        assert totals["requests"] == sum(
+            s["requests"] for s in payload["shards"].values()
+        )
+        assert 0.0 <= totals["cache_hit_rate"] <= 1.0
+
+    def test_healthz_reports_restart_counts(self, endpoint):
+        status, payload = _call(endpoint, "GET", "/healthz")
+        assert status == 200
+        for shard in payload["shards"].values():
+            assert shard["restarts"] == 0
+
     def test_degraded_healthz_is_503(self, workload):
         with ShardRouter(n_shards=2, supervise_interval=0.0) as router:
             with HTTPServerThread(router) as thread:
@@ -164,3 +215,69 @@ class TestEndpoints:
                 status, payload = _call(thread.address, "GET", "/healthz")
                 assert status == 503
                 assert payload["status"] == "degraded"
+
+
+class TestMetricsEndpoint:
+    """ISSUE acceptance: /metrics during a 4-shard load is valid
+    Prometheus text whose per-shard counters sum to the router totals."""
+
+    @pytest.fixture(scope="class")
+    def loaded_endpoint(self, workload):
+        with ShardRouter(n_shards=4, supervise_interval=0.0) as router:
+            with HTTPServerThread(router) as thread:
+                body = {
+                    "subproblems": [subproblem_to_json(s) for s in workload]
+                }
+                for _ in range(3):
+                    status, _ = _call(thread.address, "POST", "/solve_batch", body)
+                    assert status == 200
+                yield thread.address, len(workload) * 3
+
+    def test_metrics_is_valid_prometheus_text(self, loaded_endpoint):
+        from repro.obs.aggregate import validate_prometheus_text
+
+        address, _ = loaded_endpoint
+        status, content_type, text = _call_text(address, "GET", "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert validate_prometheus_text(text) == []
+
+    def test_per_shard_counters_sum_to_router_totals(self, loaded_endpoint):
+        address, n_requests = loaded_endpoint
+        _, _, text = _call_text(address, "GET", "/metrics")
+        samples = _prometheus_samples(text)
+
+        shard_requests = {
+            name: value
+            for name, value in samples.items()
+            if name.startswith('repro_serving_requests{shard="shard-')
+        }
+        assert len(shard_requests) == 4
+        # No fallbacks in this run: every request landed on a shard and
+        # the labeled per-shard counters sum to both aggregates.
+        assert samples["repro_cluster_local_fallbacks"] == 0.0
+        assert sum(shard_requests.values()) == samples["repro_cluster_requests"]
+        assert samples["repro_cluster_requests"] == float(n_requests)
+        assert samples["repro_serving_requests"] == float(n_requests)
+
+        shard_batches = [
+            value
+            for name, value in samples.items()
+            if name.startswith('repro_serving_batches{shard="shard-')
+        ]
+        assert sum(shard_batches) == samples["repro_cluster_routed"]
+
+    def test_metrics_scrape_is_repeatable(self, loaded_endpoint):
+        address, _ = loaded_endpoint
+        _, _, first = _call_text(address, "GET", "/metrics")
+        _, _, second = _call_text(address, "GET", "/metrics")
+        # Metrics are cumulative (scrapes must not drain them).
+        assert _prometheus_samples(first)[
+            "repro_cluster_requests"
+        ] == _prometheus_samples(second)["repro_cluster_requests"]
+
+    def test_metrics_rejects_post(self, loaded_endpoint):
+        address, _ = loaded_endpoint
+        status, _ = _call(address, "POST", "/metrics", {})
+        assert status == 405
