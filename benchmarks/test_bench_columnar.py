@@ -1,0 +1,214 @@
+"""Benchmarks and gates for the columnar (structure-of-arrays) engine.
+
+Two quantitative claims back the columnar path, and both are asserted:
+
+* **Speed** — at 100k subjects, stepping a ``ColumnarPopulation``
+  through ``fast_columnar_step`` into a ``StreamingLedger`` must be
+  >= 3x faster than the object fast path on the identical workload,
+  while the streamed utility series stays bit-identical to the eager
+  ledger's.  Measured headroom is ~35x; the gate is deliberately
+  conservative for CI runners.
+* **Memory** — a 1M-subject, multi-round run (a 10x scale model of the
+  10M-subject target) must stay under a hard RSS ceiling, checked in a
+  subprocess via ``getrusage``.  The object path allocates per-subject
+  agents, subproblems, and outcome dataclasses and blows through the
+  same ceiling well before 1M subjects; the columnar path holds eight
+  float64 columns plus running aggregates.
+
+The gate test writes a ``BENCH_columnar.json`` artifact (path
+overridable via ``REPRO_BENCH_OUT``) so CI runs leave a
+machine-readable record (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.utility import RequesterObjective
+from repro.simulation import (
+    DynamicContractPolicy,
+    MarketplaceSimulation,
+    StreamingLedger,
+)
+from repro.workers import synthetic_population
+from repro.workers.columnar import synthetic_columnar
+
+_GATE_SPEEDUP = 3.0
+_N_SUBJECTS = 100_000
+_N_ARCHETYPES = 16
+_N_ROUNDS = 3
+_SEED = 0
+_FEEDBACK_NOISE = 0.3
+_MILLION = 1_000_000
+_RSS_CEILING_MB = 1024.0
+
+
+def _columnar_simulation(n_subjects: int, ledger: StreamingLedger):
+    population = synthetic_columnar(
+        n_subjects,
+        n_archetypes=_N_ARCHETYPES,
+        seed=_SEED,
+        feedback_noise=_FEEDBACK_NOISE,
+    )
+    return MarketplaceSimulation(
+        population,
+        RequesterObjective(),
+        DynamicContractPolicy(mu=1.0, delta=True),
+        seed=_SEED,
+        fast_rounds=True,
+        ledger=ledger,
+    )
+
+
+def _object_simulation(n_subjects: int):
+    population = synthetic_population(
+        n_subjects,
+        n_archetypes=_N_ARCHETYPES,
+        seed=_SEED,
+        feedback_noise=_FEEDBACK_NOISE,
+    )
+    return MarketplaceSimulation(
+        population,
+        RequesterObjective(),
+        DynamicContractPolicy(mu=1.0, delta=True),
+        seed=_SEED,
+        fast_rounds=True,
+    )
+
+
+def test_bench_columnar_rounds(benchmark):
+    """Time the columnar engine on a mid-sized slice of the gate load."""
+
+    def run():
+        ledger = StreamingLedger()
+        _columnar_simulation(20_000, ledger).run(_N_ROUNDS)
+        return ledger
+
+    ledger = benchmark(run)
+    assert ledger.n_rounds == _N_ROUNDS
+
+
+def test_columnar_speedup_gate(bench_history):
+    """The ISSUE acceptance gate: >= 3x at 100k subjects, bit-identical.
+
+    Construction stays outside the timed region on both sides — the
+    claim under test is round stepping, and building 100k worker
+    objects would otherwise dominate the object side's clock.
+    """
+    streaming = StreamingLedger()
+    columnar_sim = _columnar_simulation(_N_SUBJECTS, streaming)
+    started = time.perf_counter()
+    columnar_sim.run(_N_ROUNDS)
+    columnar_seconds = time.perf_counter() - started
+
+    object_sim = _object_simulation(_N_SUBJECTS)
+    started = time.perf_counter()
+    eager = object_sim.run(_N_ROUNDS)
+    object_seconds = time.perf_counter() - started
+
+    # Equivalence first: a speedup can never be bought with a wrong
+    # answer.  The streamed reductions are bit-identical to the eager
+    # ledger's (same seed, same pinned draw order, same cumsum bits).
+    assert np.array_equal(streaming.utility_series(), eager.utility_series())
+    assert streaming.total_utility() == eager.total_utility()
+    assert streaming.n_rounds == eager.n_rounds == _N_ROUNDS
+
+    speedup = object_seconds / columnar_seconds
+    assert speedup >= _GATE_SPEEDUP, (
+        f"columnar engine only {speedup:.1f}x faster than the object "
+        f"fast path at {_N_SUBJECTS} subjects x {_N_ROUNDS} rounds; "
+        f"gate is {_GATE_SPEEDUP}x"
+    )
+
+    rss_mb = _million_subject_rss_mb()
+    assert rss_mb <= _RSS_CEILING_MB, (
+        f"1M-subject columnar run peaked at {rss_mb:.0f} MB RSS; "
+        f"ceiling is {_RSS_CEILING_MB:.0f} MB"
+    )
+
+    artifact = {
+        "n_subjects": _N_SUBJECTS,
+        "n_archetypes": _N_ARCHETYPES,
+        "n_rounds": _N_ROUNDS,
+        "columnar_seconds": columnar_seconds,
+        "object_seconds": object_seconds,
+        "speedup": speedup,
+        "million_subject_rss_mb": rss_mb,
+        "gates": {
+            "columnar_speedup": _GATE_SPEEDUP,
+            "rss_ceiling_mb": _RSS_CEILING_MB,
+        },
+    }
+    out_path = os.environ.get("REPRO_BENCH_OUT", "BENCH_columnar.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+    bench_history(
+        "columnar",
+        {"speedup": speedup, "million_subject_rss_mb": rss_mb},
+        directions={
+            "speedup": "higher",
+            "million_subject_rss_mb": "lower",
+        },
+    )
+
+
+_RSS_SCRIPT = """
+import resource
+from repro.core.utility import RequesterObjective
+from repro.simulation import (
+    DynamicContractPolicy, MarketplaceSimulation, StreamingLedger,
+)
+from repro.workers.columnar import synthetic_columnar
+
+population = synthetic_columnar(
+    {n_subjects}, n_archetypes={n_archetypes}, seed={seed},
+    feedback_noise={feedback_noise},
+)
+ledger = StreamingLedger()
+MarketplaceSimulation(
+    population,
+    RequesterObjective(),
+    DynamicContractPolicy(mu=1.0, delta=True),
+    seed={seed},
+    fast_rounds=True,
+    ledger=ledger,
+).run(2)
+assert ledger.n_rounds == 2
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+def _million_subject_rss_mb() -> float:
+    """Peak RSS (MB) of a 1M-subject, 2-round run in a fresh process.
+
+    A subprocess keeps the measurement honest: ``ru_maxrss`` is a
+    process-lifetime high-water mark, so measuring in the test process
+    would report whatever earlier tests peaked at.
+    """
+    script = _RSS_SCRIPT.format(
+        n_subjects=_MILLION,
+        n_archetypes=_N_ARCHETYPES,
+        seed=_SEED,
+        feedback_noise=_FEEDBACK_NOISE,
+    )
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    completed = subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=600,
+    )
+    ru_maxrss_kb = float(completed.stdout.strip().splitlines()[-1])
+    return ru_maxrss_kb / 1024.0

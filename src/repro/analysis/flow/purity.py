@@ -19,6 +19,15 @@ This pass flags, inside registered fast kernels and batch helpers:
 * construction of designer-layer objects (``Contract``,
   ``PiecewiseLinear``, ...) inside loops over populations.
 
+Columnar kernels (PR 12's ``fast_columnar_step`` family — any
+registered kernel with ``columnar`` in its name) are held to a stricter
+standard still: indexing the lazy ``.agents``/``.subproblems`` views
+(``population.agents[...]``) materializes one Python object per subject,
+and reading ``.effort_function``/``.params`` inside a loop re-routes the
+psi coefficients and worker parameters through object attribute dispatch
+— both defeat the structure-of-arrays layout even when no scalar call is
+made, so the pass flags them in columnar kernels specifically.
+
 Loops over fixed small structures (contract pieces, partitions) are
 fine; only population-shaped iteration is held to the batch discipline.
 """
@@ -55,6 +64,20 @@ _DESIGN_CLASSES: Tuple[str, ...] = (
     "ContractDesigner",
 )
 
+#: Lazy per-subject views whose subscripting inside a columnar kernel
+#: materializes one Python object per subject.
+_COLUMNAR_VIEW_ATTRS: Tuple[str, ...] = (
+    "agents",
+    "subproblems",
+)
+
+#: Object attributes whose per-element load inside a columnar-kernel
+#: loop regresses the psi/parameter reads to attribute dispatch.
+_COLUMNAR_OBJECT_ATTRS: Tuple[str, ...] = (
+    "effort_function",
+    "params",
+)
+
 #: Substrings of a loop iterable that mark it as population-shaped.
 _POPULATION_HINTS: Tuple[str, ...] = (
     "population",
@@ -80,9 +103,12 @@ class PurityPass(FlowPass):
         "solve_best_response, ...), a per-element generator draw, or\n"
         "designer-object construction inside a population loop keeps every\n"
         "test green while regressing the round cost back to O(population)\n"
-        "Python dispatch.  Such work belongs in the legacy kernel or a\n"
-        "batched helper.  Deliberate scalar fallbacks (e.g. the memoized\n"
-        "solve inside respond_batch) carry `# noqa: REPRO010` with a\n"
+        "Python dispatch.  Columnar kernels additionally must not index\n"
+        "the lazy .agents/.subproblems views or read\n"
+        ".effort_function/.params per element — the columns ARE that\n"
+        "data.  Such work belongs in the legacy kernel or a batched\n"
+        "helper.  Deliberate scalar fallbacks (e.g. the memoized solve\n"
+        "inside respond_batch) carry `# noqa: REPRO010` with a\n"
         "justifying comment."
     )
 
@@ -137,7 +163,53 @@ class PurityPass(FlowPass):
             else:
                 if isinstance(child, ast.Call):
                     self._check_call(index, fn, child, rng_names, loop_depth, population_depth, out)
+                if "columnar" in fn.name:
+                    self._check_columnar(index, fn, child, loop_depth, out)
                 self._scan(index, fn, child, rng_names, loop_depth, population_depth, out)
+
+    def _check_columnar(
+        self,
+        index: ProjectIndex,
+        fn: FunctionInfo,
+        node: ast.AST,
+        loop_depth: int,
+        out: List[Diagnostic],
+    ) -> None:
+        """Columnar kernels must read columns, not per-subject objects."""
+        if isinstance(node, ast.Subscript):
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr in _COLUMNAR_VIEW_ATTRS
+            ):
+                out.append(
+                    self.diagnostic(
+                        index,
+                        fn.relpath,
+                        node,
+                        f"columnar kernel `{fn.qualname}` indexes the lazy "
+                        f"`.{value.attr}` view per subject; read the "
+                        "population columns instead",
+                        context=fn.qualname,
+                    )
+                )
+        elif (
+            loop_depth > 0
+            and isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and node.attr in _COLUMNAR_OBJECT_ATTRS
+        ):
+            out.append(
+                self.diagnostic(
+                    index,
+                    fn.relpath,
+                    node,
+                    f"columnar kernel `{fn.qualname}` reads `.{node.attr}` "
+                    "per element inside a loop; psi coefficients and worker "
+                    "parameters are columns",
+                    context=fn.qualname,
+                )
+            )
 
     def _check_call(
         self,

@@ -72,6 +72,30 @@ class Contract:
         """Breakpoints ``d_l = psi(l * delta)`` in feedback space."""
         return self.effort_function.feedback_breakpoints(self.grid.edges())
 
+    def content_key(self) -> Tuple[float, ...]:
+        """A value fingerprint of the posted schedule.
+
+        Two contracts with equal keys award the identical pay for every
+        feedback value: the key pins the discretization, the fitted psi
+        (which fixes the feedback breakpoints), and the compensations at
+        those breakpoints.  Delta-redesign paths rebuild value-equal
+        contract objects for unchanged subjects; caches keyed on this
+        fingerprint keep hitting where ``is`` identity would miss.
+        """
+        cached = getattr(self, "_content_key", None)
+        if cached is None:
+            psi = self.effort_function
+            cached = (
+                float(self.grid.n_intervals),
+                self.grid.max_effort,
+                psi.r2,
+                psi.r1,
+                psi.r0,
+                *self.compensations,
+            )
+            object.__setattr__(self, "_content_key", cached)
+        return cached  # type: ignore[no-any-return]
+
     def as_feedback_function(self) -> PiecewiseLinear:
         """The posted contract ``f_i``: feedback -> compensation (Eq. 6)."""
         return PiecewiseLinear(

@@ -26,10 +26,22 @@ from __future__ import annotations
 import math
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
 
 from ..analysis.invariants import InvariantViolation, invariants_enabled
+from ..core.contract import Contract
 from ..core.decomposition import Subproblem, SubproblemSolution
 from ..core.designer import ContractDesigner, DesignerConfig, DesignResult
 from ..core.sweep import fastpath_enabled
@@ -40,7 +52,12 @@ from .cache import ContractCache, maybe_verify_cached
 from .fingerprint import subproblem_fingerprint
 from .stats import ServingStats
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from ..workers.columnar import ColumnarPopulation
+
 __all__ = [
+    "ColumnarDeltaState",
+    "ContractAssignment",
     "DeltaSolveState",
     "RedesignStats",
     "SolveDiagnostics",
@@ -289,6 +306,199 @@ class DeltaSolveState:
         self.last_stats = stats
         self._epoch += 1
         return solutions, diagnostics, stats
+
+
+@dataclass(frozen=True)
+class ContractAssignment:
+    """Posted contracts in columnar form: a table plus per-subject codes.
+
+    The columnar analogue of the engine's ``{subject_id: Contract}``
+    mapping: ``contracts`` holds one object per design archetype and
+    ``codes[i]`` indexes a subject's contract (``-1`` = no contract
+    posted, i.e. excluded by the policy).
+
+    Attributes:
+        contracts: the archetype contract table.
+        codes: per-subject index into ``contracts`` (``int64``; ``-1``
+            for subjects without a posted contract).
+    """
+
+    contracts: Tuple[Contract, ...]
+    codes: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        codes = np.ascontiguousarray(np.asarray(self.codes, dtype=np.int64))
+        codes.flags.writeable = False
+        object.__setattr__(self, "codes", codes)
+        if codes.ndim != 1:
+            raise ServingError(
+                f"codes must be one-dimensional, got shape {codes.shape!r}"
+            )
+        if codes.size and (
+            codes.min() < -1 or codes.max() >= len(self.contracts)
+        ):
+            raise ServingError(
+                "codes must index into contracts (or be -1); got range "
+                f"[{int(codes.min())}, {int(codes.max())}] for "
+                f"{len(self.contracts)} contracts"
+            )
+
+    @property
+    def n_subjects(self) -> int:
+        """Number of subjects the assignment covers."""
+        return int(self.codes.shape[0])
+
+    def to_mapping(self, population: "ColumnarPopulation") -> Dict[str, Contract]:
+        """Materialize the legacy per-subject contract dict (O(n))."""
+        contracts = self.contracts
+        return {
+            population.subject_id(index): contracts[code]
+            for index, code in enumerate(self.codes.tolist())
+            if code >= 0
+        }
+
+    @classmethod
+    def from_mapping(
+        cls,
+        contracts: Mapping[str, Contract],
+        population: "ColumnarPopulation",
+    ) -> "ContractAssignment":
+        """Pack a legacy per-subject contract dict into an assignment.
+
+        Contract objects are deduplicated by identity (archetype-shared
+        contracts collapse to one table entry).  This is the O(n)
+        compatibility path for policies without a columnar override.
+        """
+        table: List[Contract] = []
+        slots: Dict[int, int] = {}
+        codes = np.full(population.n_subjects, -1, dtype=np.int64)
+        for index in range(population.n_subjects):
+            contract = contracts.get(population.subject_id(index))
+            if contract is None:
+                continue
+            slot = slots.get(id(contract))
+            if slot is None:
+                slot = len(table)
+                table.append(contract)
+                slots[id(contract)] = slot
+            codes[index] = slot
+        return cls(contracts=tuple(table), codes=codes)
+
+
+class ColumnarDeltaState:
+    """Delta-aware redesign over a columnar population.
+
+    The object-path :class:`DeltaSolveState` diffs per-subject
+    ``Subproblem`` objects (identity, then fingerprint).  On a columnar
+    store there are no per-subject objects to compare, so this state
+    diffs the packed **design matrix** instead: a subject is clean iff
+    its design row is bit-equal to the previous epoch's row.  Solutions
+    are stored per *row value* (``row.tobytes()``), so a subject that
+    moves onto a previously-seen archetype reuses that archetype's
+    stored design without a fresh solve.
+
+    Under ``REPRO_CHECK_INVARIANTS=1`` every epoch with reuse re-solves
+    the reused archetype representatives fresh and cross-verifies via
+    :func:`require_redesigns_agree`.
+    """
+
+    def __init__(self) -> None:
+        self._matrix: Optional[np.ndarray] = None
+        self._solutions: Dict[bytes, SubproblemSolution] = {}
+        self._epoch = 0
+        self.last_stats: Optional[RedesignStats] = None
+
+    @property
+    def epoch(self) -> int:
+        """How many redesign epochs this state has absorbed."""
+        return self._epoch
+
+    def resolve(
+        self,
+        population: "ColumnarPopulation",
+        solve: SolveFn,
+    ) -> Tuple[ContractAssignment, RedesignStats]:
+        """Solve one redesign epoch, reusing stored archetype designs.
+
+        Args:
+            population: the columnar population to design for.
+            solve: fresh-solve callback (archetype representative
+                subproblems in, per-subject-id solutions out).
+
+        Returns:
+            ``(assignment, stats)`` — the posted contract table plus
+            dirty-set accounting, where ``n_dirty`` counts *subjects*
+            whose design row required a fresh archetype solve this
+            epoch (0 on a repeat epoch over a static population).
+        """
+        matrix = population.design_matrix()
+        codes = population.archetype_codes
+        representatives = population.archetype_representatives
+        n_subjects = matrix.shape[0]
+
+        previous = self._matrix
+        if previous is not None and previous.shape == matrix.shape:
+            # NaN-free by construction (max_effort is sentinel-encoded),
+            # so row equality is plain bit equality.
+            dirty_rows = np.any(matrix != previous, axis=1)
+        else:
+            dirty_rows = np.ones(n_subjects, dtype=bool)
+
+        reps = population.archetype_subproblems()
+        keys = [
+            matrix[int(row)].tobytes() for row in representatives.tolist()
+        ]
+        missing = [
+            (slot, rep)
+            for slot, (key, rep) in enumerate(zip(keys, reps))
+            if key not in self._solutions
+        ]
+        if missing:
+            fresh, _ = solve([rep for _, rep in missing])
+            for slot, rep in missing:
+                solution = fresh.get(rep.subject_id)
+                if solution is None:
+                    raise ServingError(
+                        f"fresh solve returned no solution for archetype "
+                        f"representative {rep.subject_id!r}"
+                    )
+                self._solutions[keys[slot]] = solution
+        solved_slots = {slot for slot, _ in missing}
+
+        reused_slots = [
+            slot for slot in range(len(reps)) if slot not in solved_slots
+        ]
+        if reused_slots and invariants_enabled():
+            reference, _ = solve([reps[slot] for slot in reused_slots])
+            require_redesigns_agree(
+                {
+                    reps[slot].subject_id: self._solutions[keys[slot]]
+                    for slot in reused_slots
+                },
+                reference,
+            )
+
+        assignment = ContractAssignment(
+            contracts=tuple(
+                self._solutions[key].result.contract for key in keys
+            ),
+            codes=codes,
+        )
+        # A subject is dirty iff its row changed *and* that change
+        # required a fresh archetype solve (moving onto an already-
+        # stored archetype is a reuse, exactly like the fingerprint
+        # tier of the object path).
+        if solved_slots:
+            freshly_solved = np.zeros(len(reps), dtype=bool)
+            freshly_solved[sorted(solved_slots)] = True
+            n_dirty = int(np.count_nonzero(dirty_rows & freshly_solved[codes]))
+        else:
+            n_dirty = 0
+        stats = RedesignStats(n_subjects=n_subjects, n_dirty=n_dirty)
+        self.last_stats = stats
+        self._matrix = matrix
+        self._epoch += 1
+        return assignment, stats
 
 
 def _solve_chunk(

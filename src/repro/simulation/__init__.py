@@ -2,9 +2,12 @@
 
 from .adaptive import AdaptiveDynamicPolicy, EwmaDeviationTracker
 from .engine import (
+    ColumnarStepResult,
     MarketplaceSimulation,
     StepOutcomes,
+    fast_columnar_step,
     fast_step,
+    legacy_columnar_step,
     legacy_step,
     require_ledgers_agree,
     require_steps_agree,
@@ -17,23 +20,36 @@ from .policies import (
     FixedPaymentPolicy,
     PaymentPolicy,
 )
+from .streaming import (
+    OutcomeSpill,
+    StreamingHistogram,
+    StreamingLedger,
+    require_ledger_views_agree,
+)
 
 __all__ = [
     "AdaptiveDynamicPolicy",
+    "ColumnarStepResult",
     "EwmaDeviationTracker",
     "MarketplaceSimulation",
+    "OutcomeSpill",
     "RetentionModel",
     "RetentionSimulation",
     "RoundRecord",
     "SimulationLedger",
     "StepOutcomes",
+    "StreamingHistogram",
+    "StreamingLedger",
     "SubjectRoundOutcome",
     "DynamicContractPolicy",
     "ExclusionPolicy",
     "FixedPaymentPolicy",
     "PaymentPolicy",
+    "fast_columnar_step",
     "fast_step",
+    "legacy_columnar_step",
     "legacy_step",
+    "require_ledger_views_agree",
     "require_ledgers_agree",
     "require_steps_agree",
 ]

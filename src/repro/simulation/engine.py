@@ -31,12 +31,23 @@ The RNG draw order is pinned (and regression-tested): subjects in
 ``population.subproblems`` order; per subject, the feedback-noise draw
 comes first, then the rating-deviation draw; zero-noise agents and
 excluded subjects consume nothing.  See docs/PERFORMANCE.md.
+
+A third routing exists for :class:`~repro.workers.columnar.ColumnarPopulation`
+state: :func:`fast_columnar_step` runs the same four stages straight on
+the population's contiguous columns — archetype dedup via ``np.unique``
+over packed integer keys, zero per-subject Python objects on the hot
+path — and :func:`legacy_columnar_step` is its escape hatch, forwarding
+the lazy object views through :func:`legacy_step`.  Both consume the
+identical pinned draw stream, so the equivalence contracts above apply
+unchanged; pair the columnar engine with a
+:class:`~repro.simulation.streaming.StreamingLedger` and a 10M-subject
+round runs in bounded memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union, cast
 
 import numpy as np
 
@@ -46,16 +57,27 @@ from ..core.piecewise import PiecewiseLinear
 from ..core.sweep import fastpath_enabled
 from ..core.utility import RequesterObjective
 from ..errors import SimulationError
+from ..numerics import ABS_TOL
 from ..obs.trace import get_tracer
+from ..serving.pool import ContractAssignment
 from ..workers.base import ResponseCache, WorkerAgent, respond_batch
+from ..workers.columnar import (
+    WORKER_TYPE_ORDER,
+    ColumnarPopulation,
+    ColumnarResponseCache,
+)
 from ..workers.population import PopulationModel
 from .ledger import RoundRecord, SimulationLedger, SubjectRoundOutcome
 from .policies import PaymentPolicy
+from .streaming import StreamingLedger
 
 __all__ = [
+    "ColumnarStepResult",
     "MarketplaceSimulation",
     "StepOutcomes",
+    "fast_columnar_step",
     "fast_step",
+    "legacy_columnar_step",
     "legacy_step",
     "require_ledgers_agree",
     "require_steps_agree",
@@ -63,8 +85,10 @@ __all__ = [
 
 #: Per-subject cache of each posted contract's Eq. (6) feedback->pay
 #: function.  ``Contract.pay_for_feedback`` rebuilds the interpolant on
-#: every call; entries here are validated by contract identity, so a
-#: re-designed subject can never pay off a stale schedule.
+#: every call; entries here are validated by contract identity first and
+#: by ``Contract.content_key()`` second, so a re-designed subject can
+#: never pay off a stale schedule while a delta-reused schedule rebuilt
+#: as a new (value-equal) object still hits.
 PaymentCache = Dict[str, Tuple[Contract, PiecewiseLinear]]
 
 
@@ -178,11 +202,24 @@ def legacy_step(
 def _payment_function(
     contract: Contract, subject_id: str, cache: Optional[PaymentCache]
 ) -> PiecewiseLinear:
-    """The contract's posted Eq. (6) pay function, cached per subject."""
+    """The contract's posted Eq. (6) pay function, cached per subject.
+
+    Entries are validated by object identity first (free) and by
+    :meth:`Contract.content_key` second: delta-redesign reuse rebuilds
+    value-equal contract objects for unchanged subjects, and keying on
+    ``is`` alone would silently rebuild every pay interpolant each
+    round.  A content hit refreshes the stored object so later rounds
+    hit on identity again.
+    """
     if cache is not None:
         entry = cache.get(subject_id)
-        if entry is not None and entry[0] is contract:
-            return entry[1]
+        if entry is not None:
+            cached_contract, function = entry
+            if cached_contract is contract:
+                return function
+            if cached_contract.content_key() == contract.content_key():
+                cache[subject_id] = (contract, function)
+                return function
     function = contract.as_feedback_function()
     if cache is not None:
         cache[subject_id] = (contract, function)
@@ -374,6 +411,275 @@ def fast_step(
     )
 
 
+@dataclass(frozen=True)
+class ColumnarStepResult:
+    """One columnar round's realized columns (population row order).
+
+    The columnar twin of :class:`StepOutcomes`: per-subject results stay
+    as contiguous arrays instead of outcome objects, so a 10M-subject
+    round costs eight arrays, not ten million dataclasses.  Excluded
+    rows hold zeros (matching the object path's excluded outcomes).
+
+    Attributes:
+        active: per-subject participation mask; ``False`` rows were
+            excluded (by policy, mask, or a missing contract).
+        efforts: realized best-response efforts.
+        feedback: realized (noisy) feedback.
+        compensation: realized pay.
+        rating_deviation: realized rating deviations.
+        worker_utility: realized per-subject worker utility.
+        benefit: the realized ``sum_i w_i q_i`` over active subjects.
+        total_compensation: total pay over active subjects.
+    """
+
+    active: np.ndarray
+    efforts: np.ndarray
+    feedback: np.ndarray
+    compensation: np.ndarray
+    rating_deviation: np.ndarray
+    worker_utility: np.ndarray
+    benefit: float
+    total_compensation: float
+
+
+def fast_columnar_step(
+    population: ColumnarPopulation,
+    assignment: ContractAssignment,
+    excluded_mask: np.ndarray,
+    previous_feedback: np.ndarray,
+    lagged_payment: bool,
+    rng: np.random.Generator,
+    response_cache: Optional[ColumnarResponseCache] = None,
+    payment_cache: Optional[PaymentCache] = None,
+) -> ColumnarStepResult:
+    """The structure-of-arrays round kernel (bit-identical to the loop).
+
+    The same four stages as :func:`fast_step`, but sourced from the
+    population's columns with zero per-subject Python objects:
+
+    1. best responses via
+       :meth:`~repro.workers.columnar.ColumnarPopulation.respond_unique`
+       — one Eq. (30) solve per distinct (contract, behaviour archetype)
+       pair, found with ``np.unique`` over a packed integer key;
+    2. population noise from one structured generator draw in the
+       pinned per-subject order (feedback slot, then rating slot;
+       zero-noise rows consume nothing), realized through the workers'
+       batch entry points;
+    3. payments grouped by contract *code* (the archetype table index),
+       one ``PiecewiseLinear.batch`` per distinct posted contract;
+    4. benefit/compensation reduced with a NumPy cumulative sum whose
+       left-to-right accumulation reproduces the legacy ``+=`` bits.
+
+    Args:
+        population: the columnar population store.
+        assignment: archetype contract table plus per-subject codes
+            (code ``-1`` means "no contract": the subject is excluded).
+        excluded_mask: per-subject exclusion mask (policy + departures).
+        previous_feedback: per-subject previous-round feedback column;
+            mutated in place when ``lagged_payment`` is set, exactly as
+            the object path mutates its feedback dict.
+        lagged_payment: pay this round on last round's feedback (Eq. 1).
+        rng: the round's noise generator (pinned draw order).
+        response_cache: optional cross-round best-response cache keyed
+            by (contract code, response archetype), identity-validated.
+        payment_cache: optional cross-round pay-function cache keyed by
+            contract code, content-validated.
+    """
+    codes = assignment.codes
+    n_subjects = population.n_subjects
+    active = ~np.asarray(excluded_mask, dtype=bool) & (codes >= 0)
+    rows = np.flatnonzero(active)
+    efforts = np.zeros(n_subjects)
+    feedback = np.zeros(n_subjects)
+    compensation = np.zeros(n_subjects)
+    rating_deviation = np.zeros(n_subjects)
+    worker_utility = np.zeros(n_subjects)
+    if rows.size == 0:
+        return ColumnarStepResult(
+            active=active,
+            efforts=efforts,
+            feedback=feedback,
+            compensation=compensation,
+            rating_deviation=rating_deviation,
+            worker_utility=worker_utility,
+            benefit=0.0,
+            total_compensation=0.0,
+        )
+
+    active_codes = codes[rows]
+    best_efforts, expected = population.respond_unique(
+        assignment.contracts, active_codes, rows, cache=response_cache
+    )
+
+    # Structured noise: the scalar path asks each agent whether it
+    # consumes a draw (not is_zero(noise)); the columnar predicate is
+    # the exact complement of that tolerance check.  Draw slots are laid
+    # out per active subject — feedback first, then rating — so one
+    # standard-normal block consumes the identical pinned stream.
+    feedback_noise = population.feedback_noise[rows]
+    rating_noise = population.rating_noise[rows]
+    needs_feedback = np.abs(feedback_noise) > ABS_TOL
+    needs_rating = np.abs(rating_noise) > ABS_TOL
+    counts = needs_feedback.astype(np.int64) + needs_rating.astype(np.int64)
+    offsets = np.cumsum(counts) - counts
+    total_draws = int(offsets[-1] + counts[-1])
+    feedback_draws = np.zeros(rows.size)
+    rating_draws = np.zeros(rows.size)
+    feedback_scales = np.where(needs_feedback, feedback_noise, 0.0)
+    rating_scales = np.where(needs_rating, rating_noise, 0.0)
+    if total_draws:
+        draws = rng.standard_normal(total_draws)
+        feedback_draws[needs_feedback] = draws[offsets[needs_feedback]]
+        rating_positions = offsets + needs_feedback.astype(np.int64)
+        rating_draws[needs_rating] = draws[rating_positions[needs_rating]]
+    realized = WorkerAgent.realize_feedback_batch(
+        expected, feedback_scales, feedback_draws
+    )
+    rating_active = WorkerAgent.rating_deviation_batch(
+        population.rating_bias[rows], rating_scales, rating_draws
+    )
+
+    # Payments: one batch evaluation per distinct contract code.  The
+    # pay function is elementwise per subject, so the grouping scheme
+    # cannot perturb bits relative to the object path's id() groups.
+    if lagged_payment:
+        basis = previous_feedback[rows]
+    else:
+        basis = realized
+    pay = np.zeros(rows.size)
+    for code in np.unique(active_codes).tolist():
+        contract = assignment.contracts[int(code)]
+        pay_function = _payment_function(
+            contract, f"@contract:{int(code)}", payment_cache
+        )
+        selector = active_codes == code
+        pay[selector] = pay_function.batch(basis[selector])
+    if lagged_payment:
+        previous_feedback[rows] = realized
+
+    utilities = (
+        pay
+        + population.omega[rows] * realized
+        - population.beta[rows] * best_efforts
+    )
+    # cumsum accumulates strictly left to right, matching the bits of
+    # the legacy loop's sequential `+=` (np.sum pairwise-splits).
+    benefit = float(np.cumsum(population.eval_weight[rows] * realized)[-1])
+    total_compensation = float(np.cumsum(pay)[-1])
+
+    efforts[rows] = best_efforts
+    feedback[rows] = realized
+    compensation[rows] = pay
+    rating_deviation[rows] = rating_active
+    worker_utility[rows] = utilities
+    return ColumnarStepResult(
+        active=active,
+        efforts=efforts,
+        feedback=feedback,
+        compensation=compensation,
+        rating_deviation=rating_deviation,
+        worker_utility=worker_utility,
+        benefit=benefit,
+        total_compensation=total_compensation,
+    )
+
+
+def legacy_columnar_step(
+    population: ColumnarPopulation,
+    assignment: ContractAssignment,
+    excluded_mask: np.ndarray,
+    policy: PaymentPolicy,
+    policy_weights: Optional[Dict[str, float]],
+    previous_feedback: Dict[str, float],
+    lagged_payment: bool,
+    rng: np.random.Generator,
+) -> StepOutcomes:
+    """The columnar escape hatch: the reference loop over lazy views.
+
+    Materializes the assignment back to a per-subject contract mapping
+    and runs :func:`legacy_step` over the population's object views —
+    the generator is consumed by the callee, in the same pinned order.
+    This is the oracle :func:`fast_columnar_step` is verified against.
+    """
+    contracts = assignment.to_mapping(population)
+    excluded_ids = {
+        population.subject_id(int(row))
+        for row in np.flatnonzero(np.asarray(excluded_mask, dtype=bool))
+    }
+    return legacy_step(
+        cast(PopulationModel, population),
+        contracts,
+        excluded_ids,
+        policy,
+        policy_weights,
+        previous_feedback,
+        lagged_payment,
+        rng,
+    )
+
+
+def _materialize_columnar(
+    population: ColumnarPopulation,
+    result: ColumnarStepResult,
+    policy: PaymentPolicy,
+    policy_weights: Optional[Dict[str, float]],
+) -> StepOutcomes:
+    """Expand a columnar round back to per-subject outcome objects.
+
+    Off the hot path: used when the engine feeds an eager
+    :class:`SimulationLedger` (small populations) and by the
+    ``REPRO_CHECK_INVARIANTS`` cross-verification, where the outcomes
+    must compare bit-for-bit against the legacy loop's.
+    """
+    outcomes: Dict[str, SubjectRoundOutcome] = {}
+    for row in range(population.n_subjects):
+        subject_id = population.subject_id(row)
+        worker_type = WORKER_TYPE_ORDER[int(population.type_codes[row])]
+        believed = (
+            policy_weights.get(subject_id)
+            if policy_weights is not None
+            else None
+        )
+        if not result.active[row]:
+            outcomes[subject_id] = SubjectRoundOutcome(
+                subject_id=subject_id,
+                worker_type=worker_type,
+                effort=0.0,
+                feedback=0.0,
+                compensation=0.0,
+                feedback_weight=float(population.eval_weight[row]),
+                excluded=True,
+                n_members=int(population.n_members[row]),
+                policy_weight=believed,
+            )
+            continue
+        diagnostics = policy.solve_diagnostics(subject_id)
+        outcomes[subject_id] = SubjectRoundOutcome(
+            subject_id=subject_id,
+            worker_type=worker_type,
+            effort=float(result.efforts[row]),
+            feedback=float(result.feedback[row]),
+            compensation=float(result.compensation[row]),
+            feedback_weight=float(population.eval_weight[row]),
+            excluded=False,
+            n_members=int(population.n_members[row]),
+            rating_deviation=float(result.rating_deviation[row]),
+            policy_weight=believed,
+            worker_utility=float(result.worker_utility[row]),
+            fingerprint=(
+                diagnostics.fingerprint if diagnostics is not None else None
+            ),
+            cache_hit=(
+                diagnostics.cache_hit if diagnostics is not None else None
+            ),
+        )
+    return StepOutcomes(
+        outcomes=outcomes,
+        benefit=result.benefit,
+        total_compensation=result.total_compensation,
+    )
+
+
 def require_steps_agree(fast: StepOutcomes, legacy: StepOutcomes) -> None:
     """Assert the fast kernel reproduced the legacy loop bit for bit.
 
@@ -472,18 +778,27 @@ class MarketplaceSimulation:
             :func:`legacy_step` loop.  ``None`` (the default) follows
             the ``REPRO_FASTPATH`` convention; pass ``True``/``False``
             to force.  Under ``REPRO_CHECK_INVARIANTS=1`` every fast
-            round is cross-verified against a legacy replay.
+            round is cross-verified against a legacy replay.  Columnar
+            populations route through :func:`fast_columnar_step` /
+            :func:`legacy_columnar_step` under the same switch.
+        ledger: the round sink; default a fresh eager
+            :class:`SimulationLedger`.  Pass a
+            :class:`~repro.simulation.streaming.StreamingLedger` to run
+            huge populations in bounded memory — with a columnar
+            population and fast rounds, per-subject outcomes are staged
+            straight from the kernel's columns and never materialized.
     """
 
     def __init__(
         self,
-        population: PopulationModel,
+        population: Union[PopulationModel, ColumnarPopulation],
         objective: RequesterObjective,
         policy: PaymentPolicy,
         seed: int = 0,
         redesign_every: int = 1,
         lagged_payment: bool = False,
         fast_rounds: Optional[bool] = None,
+        ledger: Optional[Union[SimulationLedger, StreamingLedger]] = None,
     ) -> None:
         if redesign_every < 1:
             raise SimulationError(
@@ -497,7 +812,18 @@ class MarketplaceSimulation:
         self.fast_rounds = fast_rounds
         self._previous_feedback: Dict[str, float] = {}
         self._rng = np.random.default_rng(seed)
-        self.ledger = SimulationLedger()
+        self.ledger: Union[SimulationLedger, StreamingLedger] = (
+            ledger if ledger is not None else SimulationLedger()
+        )
+        if isinstance(self.ledger, StreamingLedger) and (
+            type(policy).observe is not PaymentPolicy.observe
+        ):
+            raise SimulationError(
+                "streaming ledgers do not materialize per-subject "
+                f"outcomes, but policy {type(policy).__name__} overrides "
+                "observe() and would silently read empty rounds; use an "
+                "eager SimulationLedger with adaptive policies"
+            )
         self._contracts: Optional[Dict[str, Contract]] = None
         self._excluded: Set[str] = set()
         # Subjects that have left the marketplace for good (populated by
@@ -507,8 +833,21 @@ class MarketplaceSimulation:
         # a redesign or behaviour flip invalidates them for free).
         self._response_cache: ResponseCache = {}
         self._payment_cache: PaymentCache = {}
+        # Columnar routing state: the contract assignment and exclusion
+        # mask play the role of self._contracts/self._excluded, and the
+        # previous-feedback column replaces the feedback dict.
+        self._columnar = isinstance(population, ColumnarPopulation)
+        self._assignment: Optional[ContractAssignment] = None
+        self._columnar_excluded: Optional[np.ndarray] = None
+        self._columnar_response_cache: ColumnarResponseCache = {}
+        self._previous_feedback_columns: Optional[np.ndarray] = None
+        self._departed_mask: Optional[np.ndarray] = None
+        self._last_columnar_result: Optional[ColumnarStepResult] = None
+        if isinstance(population, ColumnarPopulation):
+            self._previous_feedback_columns = np.zeros(population.n_subjects)
+            self._departed_mask = np.zeros(population.n_subjects, dtype=bool)
 
-    def run(self, n_rounds: int) -> SimulationLedger:
+    def run(self, n_rounds: int) -> Union[SimulationLedger, StreamingLedger]:
         """Simulate ``n_rounds`` task rounds and return the ledger."""
         if n_rounds < 1:
             raise SimulationError(f"n_rounds must be >= 1, got {n_rounds!r}")
@@ -535,6 +874,8 @@ class MarketplaceSimulation:
 
     def _step_traced(self, round_index, tracer, span) -> RoundRecord:
         """One round's work, run inside the ``simulation.round`` span."""
+        if self._columnar:
+            return self._step_columnar(round_index, tracer, span)
         # Strategic agents may change behaviour between rounds; inform
         # them before the requester re-designs, so this round's contracts
         # face this round's behaviour.
@@ -622,6 +963,160 @@ class MarketplaceSimulation:
             "n_excluded",
             sum(1 for o in result.outcomes.values() if o.excluded),
         )
+        span.set("utility", record.utility)
+        if design_ms is not None:
+            span.set("design_ms", design_ms)
+        return record
+
+    def _previous_feedback_mapping(self) -> Dict[str, float]:
+        """The previous-feedback column as the object path's dict.
+
+        The column stores 0.0 for never-paid subjects, which is exactly
+        the dict's ``.get(subject_id, 0.0)`` default — so the full
+        materialization is equivalent to the sparse dict.
+        """
+        population = cast(ColumnarPopulation, self.population)
+        assert self._previous_feedback_columns is not None
+        return {
+            population.subject_id(row): float(value)
+            for row, value in enumerate(self._previous_feedback_columns)
+        }
+
+    def _step_columnar(self, round_index, tracer, span) -> RoundRecord:
+        """One columnar round inside the ``simulation.round`` span.
+
+        Mirrors :meth:`_step_traced` with columns in place of objects:
+        contracts come as an archetype table plus per-subject codes,
+        exclusion is a boolean mask, and — when the ledger streams —
+        per-subject outcomes are staged as arrays and never expanded.
+        The strategic ``on_round`` fan-out is skipped entirely: the
+        columnar store only admits agents whose behaviour is constant
+        across rounds (``from_population`` rejects the rest).
+        """
+        population = cast(ColumnarPopulation, self.population)
+        assert self._previous_feedback_columns is not None
+        assert self._departed_mask is not None
+        design_ms: Optional[float] = None
+        stats = None
+        if self._assignment is None or round_index % self.redesign_every == 0:
+            design_start = tracer.clock()
+            self._assignment = self.policy.contracts_columnar(population)
+            self._columnar_excluded = self.policy.excluded_mask(population)
+            design_ms = (tracer.clock() - design_start) * 1e3
+            span.set("fastpath", fastpath_enabled())
+            stats = self.policy.redesign_stats()
+            if stats is not None:
+                span.set("n_dirty", stats.n_dirty)
+                span.set("reuse_rate", stats.reuse_rate)
+        assert self._assignment is not None
+        assert self._columnar_excluded is not None
+        policy_weights = self.policy.current_weights(
+            cast(PopulationModel, population)
+        )
+        excluded_mask = (
+            self._columnar_excluded | self._departed_mask | population.excluded
+        )
+        fast = self._fast_rounds_enabled()
+        span.set("round_fastpath", fast)
+        streaming = isinstance(self.ledger, StreamingLedger)
+
+        outcomes: Dict[str, SubjectRoundOutcome] = {}
+        if fast:
+            check = invariants_enabled()
+            if check:
+                replay_rng = np.random.default_rng(0)
+                replay_rng.bit_generator.state = self._rng.bit_generator.state
+                replay_feedback = self._previous_feedback_mapping()
+            result = fast_columnar_step(
+                population,
+                self._assignment,
+                excluded_mask,
+                self._previous_feedback_columns,
+                self.lagged_payment,
+                self._rng,
+                response_cache=self._columnar_response_cache,
+                payment_cache=self._payment_cache,
+            )
+            self._last_columnar_result = result
+            materialized: Optional[StepOutcomes] = None
+            if check:
+                reference = legacy_columnar_step(
+                    population,
+                    self._assignment,
+                    excluded_mask,
+                    self.policy,
+                    policy_weights,
+                    replay_feedback,
+                    self.lagged_payment,
+                    replay_rng,
+                )
+                materialized = _materialize_columnar(
+                    population, result, self.policy, policy_weights
+                )
+                require_steps_agree(materialized, reference)
+            benefit = result.benefit
+            total_compensation = result.total_compensation
+            if streaming:
+                cast(StreamingLedger, self.ledger).stage_arrays(
+                    type_codes=population.type_codes,
+                    n_members=population.n_members,
+                    excluded=~result.active,
+                    efforts=result.efforts,
+                    feedback=result.feedback,
+                    compensation=result.compensation,
+                    rating_deviation=result.rating_deviation,
+                    worker_utility=result.worker_utility,
+                )
+            else:
+                if materialized is None:
+                    materialized = _materialize_columnar(
+                        population, result, self.policy, policy_weights
+                    )
+                outcomes = materialized.outcomes
+            n_subjects = population.n_subjects
+            n_excluded = n_subjects - int(np.count_nonzero(result.active))
+        else:
+            previous = self._previous_feedback_mapping()
+            step_result = legacy_columnar_step(
+                population,
+                self._assignment,
+                excluded_mask,
+                self.policy,
+                policy_weights,
+                previous,
+                self.lagged_payment,
+                self._rng,
+            )
+            if self.lagged_payment:
+                for row in range(population.n_subjects):
+                    self._previous_feedback_columns[row] = previous[
+                        population.subject_id(row)
+                    ]
+            self._last_columnar_result = None
+            outcomes = step_result.outcomes
+            benefit = step_result.benefit
+            total_compensation = step_result.total_compensation
+            # A streaming ledger absorbs these materialized outcomes
+            # from the record itself — the slow path is the escape
+            # hatch, not the bounded-memory path.
+            n_subjects = len(outcomes)
+            n_excluded = sum(1 for o in outcomes.values() if o.excluded)
+
+        record = RoundRecord(
+            round_index=round_index,
+            outcomes=outcomes,
+            benefit=benefit,
+            total_compensation=total_compensation,
+            utility=self.objective.params.utility(
+                benefit, total_compensation
+            ),
+            design_ms=design_ms,
+            span_id=span.span_id or None,
+            n_dirty=stats.n_dirty if stats is not None else None,
+            reuse_rate=stats.reuse_rate if stats is not None else None,
+        )
+        span.set("n_subjects", n_subjects)
+        span.set("n_excluded", n_excluded)
         span.set("utility", record.utility)
         if design_ms is not None:
             span.set("design_ms", design_ms)

@@ -15,7 +15,9 @@ Three policies cover the paper's evaluation:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple, cast
+
+import numpy as np
 
 from ..core.contract import Contract
 from ..core.decomposition import Subproblem, SubproblemSolution, solve_subproblems
@@ -26,12 +28,20 @@ from .ledger import RoundRecord
 from ..serving.cache import ContractCache
 from ..serving.fingerprint import subproblem_fingerprint
 from ..serving.pool import (
+    ColumnarDeltaState,
+    ContractAssignment,
     DeltaSolveState,
     RedesignStats,
     SolveDiagnostics,
     SolverPool,
 )
+from ..workers.columnar import WORKER_TYPE_ORDER, ColumnarPopulation
 from ..workers.population import PopulationModel
+
+#: ``type_codes -> is_malicious`` lookup for vectorized exclusion.
+_MALICIOUS_TYPE = np.array(
+    [worker_type.is_malicious for worker_type in WORKER_TYPE_ORDER]
+)
 
 __all__ = ["PaymentPolicy", "DynamicContractPolicy", "ExclusionPolicy", "FixedPaymentPolicy"]
 
@@ -84,6 +94,30 @@ class PaymentPolicy(abc.ABC):
         """
         return None
 
+    def contracts_columnar(
+        self, population: ColumnarPopulation
+    ) -> ContractAssignment:
+        """Columnar contracts: an archetype table plus per-subject codes.
+
+        The default packs the object-path :meth:`contracts` result
+        through :meth:`ContractAssignment.from_mapping` (an O(n)
+        compatibility bridge — it materializes the lazy object views).
+        Columnar-aware policies override this to design per archetype
+        without touching per-subject objects.
+        """
+        mapping = self.contracts(cast(PopulationModel, population))
+        return ContractAssignment.from_mapping(mapping, population)
+
+    def excluded_mask(self, population: ColumnarPopulation) -> np.ndarray:
+        """Boolean per-subject exclusion mask (columnar twin of
+        :meth:`excluded_subjects`); the default materializes the id set."""
+        mask = np.zeros(population.n_subjects, dtype=bool)
+        for subject_id in self.excluded_subjects(
+            cast(PopulationModel, population)
+        ):
+            mask[population.index_of(subject_id)] = True
+        return mask
+
 
 class DynamicContractPolicy(PaymentPolicy):
     """The paper's dynamic contract design (Sections III-IV).
@@ -128,6 +162,7 @@ class DynamicContractPolicy(PaymentPolicy):
         self.delta = delta
         self._pool: Optional[SolverPool] = None
         self._delta_state: Optional[DeltaSolveState] = None
+        self._columnar_delta: Optional[ColumnarDeltaState] = None
         self._stats: Optional[RedesignStats] = None
         self._solutions: Optional[Dict[str, SubproblemSolution]] = None
         self._diagnostics: Dict[str, SolveDiagnostics] = {}
@@ -191,6 +226,43 @@ class DynamicContractPolicy(PaymentPolicy):
             for subject_id, solution in solutions.items()
         }
 
+    def contracts_columnar(
+        self, population: ColumnarPopulation
+    ) -> ContractAssignment:
+        """Design one contract per archetype; fan out by code.
+
+        The delta path diffs the packed design matrix across epochs
+        (:class:`~repro.serving.pool.ColumnarDeltaState`) so a static
+        population costs zero solves after the first round.  Per-subject
+        serving diagnostics are not tracked on this path (there are no
+        per-subject solves to attribute them to), matching the
+        non-serving object path.
+        """
+        if self._delta_enabled():
+            if self._columnar_delta is None:
+                self._columnar_delta = ColumnarDeltaState()
+            assignment, stats = self._columnar_delta.resolve(
+                population, solve=self._solve_fresh
+            )
+        else:
+            representatives = population.archetype_subproblems()
+            solutions, _ = self._solve_fresh(representatives)
+            assignment = ContractAssignment(
+                contracts=tuple(
+                    solutions[rep.subject_id].result.contract
+                    for rep in representatives
+                ),
+                codes=population.archetype_codes,
+            )
+            stats = RedesignStats(
+                n_subjects=population.n_subjects,
+                n_dirty=population.n_subjects,
+            )
+        self._stats = stats
+        self._diagnostics = {}
+        self._solutions = None
+        return assignment
+
     def solve_diagnostics(self, subject_id: str) -> Optional[SolveDiagnostics]:
         return self._diagnostics.get(subject_id)
 
@@ -249,6 +321,18 @@ class ExclusionPolicy(PaymentPolicy):
             if subject_id not in excluded
         }
 
+    def excluded_mask(self, population: ColumnarPopulation) -> np.ndarray:
+        return (population.e_mal > self.malice_threshold) | _MALICIOUS_TYPE[
+            population.type_codes
+        ]
+
+    def contracts_columnar(
+        self, population: ColumnarPopulation
+    ) -> ContractAssignment:
+        inner = self.inner.contracts_columnar(population)
+        codes = np.where(self.excluded_mask(population), -1, inner.codes)
+        return ContractAssignment(contracts=inner.contracts, codes=codes)
+
     def solve_diagnostics(self, subject_id: str) -> Optional[SolveDiagnostics]:
         return self.inner.solve_diagnostics(subject_id)
 
@@ -288,3 +372,26 @@ class FixedPaymentPolicy(PaymentPolicy):
                 pay=self.pay_per_member * len(subproblem.member_ids),
             )
         return posted
+
+    def contracts_columnar(
+        self, population: ColumnarPopulation
+    ) -> ContractAssignment:
+        # Membership size is part of the design-archetype key, so one
+        # flat contract per archetype is exact.
+        config = DesignerConfig(n_intervals=self.n_intervals)
+        contracts = []
+        for representative in population.archetype_subproblems():
+            grid = config.grid_for(
+                representative.effort_function,
+                max_effort=representative.max_effort,
+            )
+            contracts.append(
+                Contract.flat(
+                    grid,
+                    representative.effort_function,
+                    pay=self.pay_per_member * len(representative.member_ids),
+                )
+            )
+        return ContractAssignment(
+            contracts=tuple(contracts), codes=population.archetype_codes
+        )

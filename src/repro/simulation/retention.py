@@ -16,15 +16,19 @@ experiment quantifies exactly that against the dynamic contract.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Union, cast
+
+import numpy as np
 
 from ..core.utility import RequesterObjective
 from ..errors import SimulationError
 from ..types import WorkerType
+from ..workers.columnar import WORKER_TYPE_CODES, ColumnarPopulation
 from ..workers.population import PopulationModel
 from .engine import MarketplaceSimulation
-from .ledger import RoundRecord
+from .ledger import RoundRecord, SimulationLedger
 from .policies import PaymentPolicy
+from .streaming import StreamingLedger
 
 __all__ = ["RetentionModel", "RetentionSimulation"]
 
@@ -69,13 +73,14 @@ class RetentionSimulation(MarketplaceSimulation):
 
     def __init__(
         self,
-        population: PopulationModel,
+        population: Union[PopulationModel, ColumnarPopulation],
         objective: RequesterObjective,
         policy: PaymentPolicy,
         retention: Optional[RetentionModel] = None,
         seed: int = 0,
         redesign_every: int = 1,
         fast_rounds: Optional[bool] = None,
+        ledger: Optional[Union[SimulationLedger, StreamingLedger]] = None,
     ) -> None:
         super().__init__(
             population=population,
@@ -84,9 +89,14 @@ class RetentionSimulation(MarketplaceSimulation):
             seed=seed,
             redesign_every=redesign_every,
             fast_rounds=fast_rounds,
+            ledger=ledger,
         )
         self.retention = retention if retention is not None else RetentionModel()
         self._bad_rounds: Dict[str, int] = {}
+        # Columnar twin of the bad-round dict: one counter per row.
+        self._bad_counts: Optional[np.ndarray] = None
+        if isinstance(population, ColumnarPopulation):
+            self._bad_counts = np.zeros(population.n_subjects, dtype=np.int64)
 
     @property
     def departed(self) -> Set[str]:
@@ -95,6 +105,20 @@ class RetentionSimulation(MarketplaceSimulation):
 
     def retention_rate(self, worker_type: Optional[WorkerType] = None) -> float:
         """Fraction of (optionally type-filtered) subjects still active."""
+        if self._columnar:
+            population = cast(ColumnarPopulation, self.population)
+            assert self._departed_mask is not None
+            if worker_type is None:
+                selected = np.ones(population.n_subjects, dtype=bool)
+            else:
+                selected = (
+                    population.type_codes == WORKER_TYPE_CODES[worker_type]
+                )
+            total = int(np.count_nonzero(selected))
+            if not total:
+                return 1.0
+            departed = int(np.count_nonzero(selected & self._departed_mask))
+            return (total - departed) / total
         subjects = [
             subproblem.subject_id
             for subproblem in self.population.subproblems
@@ -106,9 +130,51 @@ class RetentionSimulation(MarketplaceSimulation):
         active = sum(1 for s in subjects if s not in self._departed)
         return active / len(subjects)
 
+    def _apply_departures_columnar(self, record: RoundRecord) -> None:
+        """The departure rule over columns (no per-subject objects).
+
+        Uses the round's realized utility columns when the fast kernel
+        ran; on the legacy escape hatch, the columns are rebuilt from
+        the record's materialized outcomes.  Comparisons are the scalar
+        rule's exact ``<`` on the same float64 values, and — matching
+        the object path — excluded subjects' counters are left alone,
+        not reset.
+        """
+        population = cast(ColumnarPopulation, self.population)
+        assert self._bad_counts is not None
+        assert self._departed_mask is not None
+        result = self._last_columnar_result
+        if result is not None:
+            active = result.active
+            per_member = result.worker_utility / population.n_members
+        else:
+            active = np.zeros(population.n_subjects, dtype=bool)
+            per_member = np.zeros(population.n_subjects)
+            for subject_id, outcome in record.outcomes.items():
+                if outcome.excluded:
+                    continue
+                row = population.index_of(subject_id)
+                active[row] = True
+                per_member[row] = (
+                    outcome.worker_utility / outcome.n_members
+                )
+        bad = active & (per_member < self.retention.reservation_utility)
+        good = active & ~bad
+        self._bad_counts[bad] += 1
+        self._bad_counts[good] = 0
+        departed_now = self._bad_counts >= self.retention.patience
+        fresh = departed_now & ~self._departed_mask
+        if fresh.any():
+            self._departed_mask |= departed_now
+            for row in np.flatnonzero(fresh):
+                self._departed.add(population.subject_id(int(row)))
+
     def step(self) -> RoundRecord:
         """One round, then apply the departure rule."""
         record = super().step()
+        if self._columnar:
+            self._apply_departures_columnar(record)
+            return record
         for subject_id, outcome in record.outcomes.items():
             if outcome.excluded:
                 continue

@@ -2,6 +2,13 @@
 
 from .base import ResponseCache, WorkerAgent, respond_batch
 from .collusive import CollusiveCommunity
+from .columnar import (
+    WORKER_TYPE_CODES,
+    WORKER_TYPE_ORDER,
+    ColumnarPopulation,
+    ColumnarResponseCache,
+    synthetic_columnar,
+)
 from .honest import HonestWorker
 from .malicious import MaliciousWorker
 from .strategic import CamouflagedWorker, IntermittentWorker
@@ -15,9 +22,14 @@ from .population import (
 from .synthetic import synthetic_population
 
 __all__ = [
+    "WORKER_TYPE_CODES",
+    "WORKER_TYPE_ORDER",
+    "ColumnarPopulation",
+    "ColumnarResponseCache",
     "ResponseCache",
     "WorkerAgent",
     "respond_batch",
+    "synthetic_columnar",
     "synthetic_population",
     "CollusiveCommunity",
     "HonestWorker",

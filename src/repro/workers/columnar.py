@@ -1,0 +1,918 @@
+"""Columnar (structure-of-arrays) population state.
+
+A :class:`~repro.workers.population.PopulationModel` is a list of
+per-subject Python objects; at 10M subjects the round engine spends its
+time (and memory) traversing objects, not computing.  This module holds
+the same population as contiguous NumPy columns — psi coefficients,
+utility parameters, evaluation weights, noise scales, malice scores,
+worker-type codes, community ids and exclusion masks — so a round is
+pure array passes (see ``fast_columnar_step`` in
+:mod:`repro.simulation.engine`).
+
+Two code systems make the hot path object-free:
+
+* **design archetypes** — ``np.unique`` over the packed design matrix
+  (fitted psi, params, weight, effort cap, membership size).  Contract
+  design runs once per archetype; ``archetype_codes`` fans contracts
+  back out to subjects.  This is the column-slice analogue of the
+  serving fingerprint (which hashes exactly these fields, membership
+  aside — see :mod:`repro.serving.fingerprint`).
+* **response archetypes** — ``np.unique`` over the behavioural columns
+  (true psi, params).  Best responses are solved once per
+  (contract, response archetype) pair in :meth:`ColumnarPopulation.respond_unique`.
+
+The legacy object API stays available through lazy views:
+``columnar.subproblems``, ``columnar.agents``, ``columnar.weights`` and
+``columnar.malice`` materialize on first access (sharing one psi/params
+object per archetype), so :func:`~repro.simulation.engine.legacy_step`
+runs unmodified on a columnar store — which is how the bit-identity
+contracts cross-verify the columnar kernel.
+
+Only stationary agent classes (honest / malicious / collusive) can be
+held columnar: strategic workers mutate their parameters per round,
+which contradicts frozen columns, so :meth:`ColumnarPopulation.from_population`
+rejects them.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..core.best_response import solve_best_response
+from ..core.contract import Contract
+from ..core.decomposition import Subproblem
+from ..core.effort import QuadraticEffort
+from ..errors import ModelError
+from ..types import WorkerParameters, WorkerType
+from .base import WorkerAgent
+from .collusive import CollusiveCommunity
+from .honest import HonestWorker
+from .malicious import MaliciousWorker
+from .population import ClassEffortFunctions, PopulationModel
+
+__all__ = [
+    "WORKER_TYPE_ORDER",
+    "WORKER_TYPE_CODES",
+    "ColumnarPopulation",
+    "ColumnarResponseCache",
+    "synthetic_columnar",
+]
+
+#: Integer encoding of :class:`~repro.types.WorkerType` used by the
+#: ``type_codes`` column (enum declaration order; stable by definition).
+WORKER_TYPE_ORDER: Tuple[WorkerType, ...] = tuple(WorkerType)
+WORKER_TYPE_CODES: Dict[WorkerType, int] = {
+    worker_type: code for code, worker_type in enumerate(WORKER_TYPE_ORDER)
+}
+
+#: Cross-round cache of deduplicated best responses, keyed by
+#: (contract code, response-archetype code) and validated by contract
+#: identity — a redesign that swaps the posted contract object re-solves.
+ColumnarResponseCache = Dict[Tuple[int, int], Tuple[Contract, float, float]]
+
+#: ``max_effort`` is optional; ``None`` is encoded as this sentinel in
+#: the packed design matrix (valid caps are strictly positive) so that
+#: ``np.unique`` groups capless rows together (NaN would never compare
+#: equal and explode the archetype count).
+_NO_MAX_EFFORT = -1.0
+
+#: Agent classes whose behaviour is a pure function of frozen columns.
+_COLUMNAR_AGENT_TYPES = (HonestWorker, MaliciousWorker, CollusiveCommunity)
+
+
+def _float_column(values: object, n: int, name: str) -> np.ndarray:
+    column = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+    if column.shape != (n,):
+        raise ModelError(
+            f"column {name!r} must have shape ({n},), got {column.shape!r}"
+        )
+    column.flags.writeable = False
+    return column
+
+
+def _int_column(values: object, n: int, name: str) -> np.ndarray:
+    column = np.ascontiguousarray(np.asarray(values, dtype=np.int64))
+    if column.shape != (n,):
+        raise ModelError(
+            f"column {name!r} must have shape ({n},), got {column.shape!r}"
+        )
+    column.flags.writeable = False
+    return column
+
+
+class _LazyAgents(Mapping[str, WorkerAgent]):
+    """Dict-compatible view building ``WorkerAgent`` objects on demand."""
+
+    def __init__(self, store: "ColumnarPopulation") -> None:
+        self._store = store
+        self._built: Dict[str, WorkerAgent] = {}
+
+    def __getitem__(self, subject_id: str) -> WorkerAgent:
+        agent = self._built.get(subject_id)
+        if agent is None:
+            agent = self._store._build_agent(self._store.index_of(subject_id))
+            self._built[subject_id] = agent
+        return agent
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._store.subject_ids())
+
+    def __len__(self) -> int:
+        return self._store.n_subjects
+
+
+class ColumnarPopulation:
+    """A population held as contiguous per-field NumPy arrays.
+
+    All columns are full-length (one slot per subject, in subproblem
+    order) and frozen (``writeable=False``) except the ``excluded``
+    base mask.  Design state is mutated only through
+    :meth:`update_design_columns`, which swaps whole columns and
+    invalidates the archetype caches — exactly the hook the
+    column-slice delta redesign diffs against.
+
+    Args:
+        r2, r1, r0: the requester's *fitted* psi coefficients (design
+            side, per subject).
+        act_r2, act_r1, act_r0: the subjects' *true* psi coefficients
+            (behaviour side; equal to the fitted ones in the oracle
+            setting).
+        beta, omega: utility parameters (shared by both sides, as in
+            every population builder).
+        design_weight: Eq. (5) weight the *designer* sees
+            (``subproblem.feedback_weight``).
+        eval_weight: Eq. (5) weight the *requester's book* uses
+            (``population.weights``); equal to ``design_weight`` in all
+            synthetic worlds.
+        max_effort: per-subject effort-grid cap; NaN encodes "no cap".
+        type_codes: :data:`WORKER_TYPE_CODES` per subject.
+        e_mal: oracle/estimated malice scores (the ``malice`` dict).
+        feedback_noise, rating_noise, rating_bias: behavioural noise
+            model per subject.
+        n_members: workers behind each subject (communities > 1).
+        community_ids: index into ``communities`` or -1 for individuals.
+        communities: member-id tuples for collusive meta-workers.
+        subject_ids: explicit ids, or ``None`` to derive ids from
+            ``id_format`` (saves ~80 MB of Python strings at 10M
+            subjects for formulaic populations).
+        id_format: ``str.format`` template used when ``subject_ids`` is
+            ``None``.
+        class_functions: Section IV-B class-level psi fits carried for
+            ``PopulationModel`` compatibility.
+        deviations: optional diagnostic rating-deviation estimates.
+    """
+
+    def __init__(
+        self,
+        *,
+        r2: object,
+        r1: object,
+        r0: object,
+        act_r2: object,
+        act_r1: object,
+        act_r0: object,
+        beta: object,
+        omega: object,
+        design_weight: object,
+        eval_weight: object,
+        max_effort: object,
+        type_codes: object,
+        e_mal: object,
+        feedback_noise: object,
+        rating_noise: object,
+        rating_bias: object,
+        n_members: object,
+        community_ids: object,
+        communities: Sequence[Tuple[str, ...]] = (),
+        subject_ids: Optional[Sequence[str]] = None,
+        id_format: str = "w{index:05d}",
+        class_functions: Optional[ClassEffortFunctions] = None,
+        deviations: Optional[Dict[str, float]] = None,
+    ) -> None:
+        first = np.asarray(r2, dtype=np.float64)
+        n = int(first.shape[0]) if first.ndim == 1 else -1
+        if n < 1:
+            raise ModelError(
+                f"columnar population needs >= 1 subject, got shape {first.shape!r}"
+            )
+        self.r2 = _float_column(r2, n, "r2")
+        self.r1 = _float_column(r1, n, "r1")
+        self.r0 = _float_column(r0, n, "r0")
+        self.act_r2 = _float_column(act_r2, n, "act_r2")
+        self.act_r1 = _float_column(act_r1, n, "act_r1")
+        self.act_r0 = _float_column(act_r0, n, "act_r0")
+        self.beta = _float_column(beta, n, "beta")
+        self.omega = _float_column(omega, n, "omega")
+        self.design_weight = _float_column(design_weight, n, "design_weight")
+        self.eval_weight = _float_column(eval_weight, n, "eval_weight")
+        self.max_effort = _float_column(max_effort, n, "max_effort")
+        self.type_codes = _int_column(type_codes, n, "type_codes")
+        if self.type_codes.size and (
+            self.type_codes.min() < 0
+            or self.type_codes.max() >= len(WORKER_TYPE_ORDER)
+        ):
+            raise ModelError("type_codes contains values outside WorkerType range")
+        self.e_mal = _float_column(e_mal, n, "e_mal")
+        self.feedback_noise = _float_column(feedback_noise, n, "feedback_noise")
+        self.rating_noise = _float_column(rating_noise, n, "rating_noise")
+        self.rating_bias = _float_column(rating_bias, n, "rating_bias")
+        self.n_members = _int_column(n_members, n, "n_members")
+        self.community_ids = _int_column(community_ids, n, "community_ids")
+        self.communities: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(members) for members in communities
+        )
+        if self.community_ids.size and self.community_ids.max() >= len(
+            self.communities
+        ):
+            raise ModelError("community_ids references a missing community")
+        #: Base exclusion mask (the store's own, before policy/departure
+        #: masks); the one writable column.
+        self.excluded = np.zeros(n, dtype=bool)
+        self._n = n
+        self._subject_ids: Optional[List[str]] = (
+            list(subject_ids) if subject_ids is not None else None
+        )
+        if self._subject_ids is not None and len(self._subject_ids) != n:
+            raise ModelError(
+                f"subject_ids must have length {n}, got {len(self._subject_ids)}"
+            )
+        self._id_format = id_format
+        self._invalidate()
+        self.class_functions = (
+            class_functions
+            if class_functions is not None
+            else self._default_class_functions()
+        )
+        self.deviations: Dict[str, float] = dict(deviations or {})
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    @property
+    def n_subjects(self) -> int:
+        """Number of subjects (rows) in the store."""
+        return self._n
+
+    def subject_id(self, index: int) -> str:
+        """The id of the subject at ``index`` (O(1), no materialization)."""
+        if self._subject_ids is not None:
+            return self._subject_ids[index]
+        return self._id_format.format(index=index)
+
+    def subject_ids(self) -> List[str]:
+        """All subject ids, materialized once and cached."""
+        if self._subject_ids is None:
+            self._subject_ids = [
+                self._id_format.format(index=index) for index in range(self._n)
+            ]
+        return self._subject_ids
+
+    def index_of(self, subject_id: str) -> int:
+        """Row index of ``subject_id`` (O(n) dict build on first use)."""
+        if self._index_of is None:
+            self._index_of = {
+                sid: index for index, sid in enumerate(self.subject_ids())
+            }
+        try:
+            return self._index_of[subject_id]
+        except KeyError:
+            raise ModelError(f"unknown subject id {subject_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # archetypes
+    # ------------------------------------------------------------------
+
+    def design_matrix(self) -> np.ndarray:
+        """The packed per-subject design key (everything contract design
+        reads): fitted psi, params, type, designer weight, effort cap
+        (``None`` encoded as a sentinel) and membership size.  Two
+        subjects with equal rows receive identical contracts under every
+        policy, which is what archetype dedup and the column-slice delta
+        redesign rely on."""
+        if self._design_matrix is None:
+            capped = np.where(
+                np.isnan(self.max_effort), _NO_MAX_EFFORT, self.max_effort
+            )
+            matrix = np.column_stack(
+                [
+                    self.r2,
+                    self.r1,
+                    self.r0,
+                    self.beta,
+                    self.omega,
+                    self.type_codes.astype(np.float64),
+                    self.design_weight,
+                    capped,
+                    self.n_members.astype(np.float64),
+                ]
+            )
+            matrix.flags.writeable = False
+            self._design_matrix = matrix
+        return self._design_matrix
+
+    def _design_archetypes(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._arch_codes is None:
+            _, representatives, inverse = np.unique(
+                self.design_matrix(),
+                axis=0,
+                return_index=True,
+                return_inverse=True,
+            )
+            self._arch_codes = np.ascontiguousarray(
+                inverse.reshape(-1), dtype=np.int64
+            )
+            self._arch_reps = np.ascontiguousarray(
+                representatives, dtype=np.int64
+            )
+        assert self._arch_reps is not None
+        return self._arch_codes, self._arch_reps
+
+    @property
+    def archetype_codes(self) -> np.ndarray:
+        """Per-subject design-archetype index (``int64``, shape (n,))."""
+        return self._design_archetypes()[0]
+
+    @property
+    def archetype_representatives(self) -> np.ndarray:
+        """One representative row index per design archetype."""
+        return self._design_archetypes()[1]
+
+    @property
+    def n_archetypes(self) -> int:
+        """Number of distinct design archetypes."""
+        return int(self.archetype_representatives.shape[0])
+
+    def archetype_subproblems(self) -> List[Subproblem]:
+        """One designer :class:`Subproblem` per design archetype.
+
+        Subject ids are the representatives' real ids, so serving
+        fingerprints and solution keys stay meaningful; psi/params
+        objects are the shared archetype objects.
+        """
+        if self._arch_subproblems is None:
+            subproblems = []
+            for rep in self.archetype_representatives.tolist():
+                subproblems.append(self._build_subproblem(rep))
+            self._arch_subproblems = subproblems
+        return self._arch_subproblems
+
+    def _response_archetypes(self) -> np.ndarray:
+        if self._resp_codes is None:
+            matrix = np.column_stack(
+                [
+                    self.act_r2,
+                    self.act_r1,
+                    self.act_r0,
+                    self.beta,
+                    self.omega,
+                    self.type_codes.astype(np.float64),
+                ]
+            )
+            _, representatives, inverse = np.unique(
+                matrix, axis=0, return_index=True, return_inverse=True
+            )
+            self._resp_codes = np.ascontiguousarray(
+                inverse.reshape(-1), dtype=np.int64
+            )
+            self._resp_reps = np.ascontiguousarray(
+                representatives, dtype=np.int64
+            )
+        return self._resp_codes
+
+    @property
+    def response_codes(self) -> np.ndarray:
+        """Per-subject behaviour-archetype index (true psi + params)."""
+        return self._response_archetypes()
+
+    @property
+    def n_response_archetypes(self) -> int:
+        """Number of distinct behaviour archetypes."""
+        self._response_archetypes()
+        assert self._resp_reps is not None
+        return int(self._resp_reps.shape[0])
+
+    def _response_objects(
+        self, code: int
+    ) -> Tuple[QuadraticEffort, WorkerParameters]:
+        objects = self._resp_objects.get(code)
+        if objects is None:
+            self._response_archetypes()
+            assert self._resp_reps is not None
+            row = int(self._resp_reps[code])
+            psi = QuadraticEffort(
+                r2=float(self.act_r2[row]),
+                r1=float(self.act_r1[row]),
+                r0=float(self.act_r0[row]),
+            )
+            objects = (psi, self._params_at(row))
+            self._resp_objects[code] = objects
+        return objects
+
+    def respond_unique(
+        self,
+        contracts: Sequence[Contract],
+        contract_codes: np.ndarray,
+        rows: np.ndarray,
+        cache: Optional[ColumnarResponseCache] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Deduplicated best responses for the subjects at ``rows``.
+
+        Solves Eq. (30) once per distinct (contract, behaviour
+        archetype) pair and fans the scalar results back out — the
+        columnar analogue of :func:`repro.workers.base.respond_batch`,
+        with ``np.unique`` over a packed integer key replacing the
+        per-agent grouping loop.
+
+        Args:
+            contracts: the archetype contract table.
+            contract_codes: per-row contract index into ``contracts``.
+            rows: subject row indices to respond for.
+            cache: optional cross-round response cache (validated by
+                contract identity).
+
+        Returns:
+            ``(efforts, expected_feedback)`` arrays aligned with
+            ``rows``; the expectation is evaluated through the true psi
+            exactly as the scalar ``realize_feedback`` does.
+        """
+        response_codes = self.response_codes[rows]
+        n_response = self.n_response_archetypes
+        packed = contract_codes.astype(np.int64) * n_response + response_codes
+        unique_keys, inverse = np.unique(packed, return_inverse=True)
+        efforts = np.empty(unique_keys.shape[0], dtype=np.float64)
+        expected = np.empty(unique_keys.shape[0], dtype=np.float64)
+        for slot, key in enumerate(unique_keys.tolist()):
+            contract_code = key // n_response
+            response_code = key % n_response
+            contract = contracts[contract_code]
+            cache_key = (contract_code, response_code)
+            entry = cache.get(cache_key) if cache is not None else None
+            if entry is not None and entry[0] is contract:
+                efforts[slot] = entry[1]
+                expected[slot] = entry[2]
+                continue
+            psi, params = self._response_objects(response_code)
+            response = solve_best_response(
+                contract, params, effort_function=psi
+            )
+            effort = response.effort
+            expectation = float(psi(effort))
+            efforts[slot] = effort
+            expected[slot] = expectation
+            if cache is not None:
+                cache[cache_key] = (contract, effort, expectation)
+        return efforts[inverse.reshape(-1)], expected[inverse.reshape(-1)]
+
+    # ------------------------------------------------------------------
+    # lazy object views (legacy API compatibility)
+    # ------------------------------------------------------------------
+
+    def _params_at(self, row: int) -> WorkerParameters:
+        worker_type = WORKER_TYPE_ORDER[int(self.type_codes[row])]
+        if worker_type is WorkerType.HONEST:
+            return WorkerParameters.honest(beta=float(self.beta[row]))
+        return WorkerParameters.malicious(
+            beta=float(self.beta[row]),
+            omega=float(self.omega[row]),
+            collusive=worker_type is WorkerType.COLLUSIVE_MALICIOUS,
+        )
+
+    def _member_ids_at(self, row: int) -> Tuple[str, ...]:
+        community = int(self.community_ids[row])
+        if community >= 0:
+            return self.communities[community]
+        return (self.subject_id(row),)
+
+    def _build_subproblem(self, row: int) -> Subproblem:
+        code = int(self.archetype_codes[row])
+        psi = self._arch_psis.get(code)
+        if psi is None:
+            psi = QuadraticEffort(
+                r2=float(self.r2[row]),
+                r1=float(self.r1[row]),
+                r0=float(self.r0[row]),
+            )
+            self._arch_psis[code] = psi
+        params = self._arch_params.get(code)
+        if params is None:
+            params = self._params_at(row)
+            self._arch_params[code] = params
+        cap = float(self.max_effort[row])
+        return Subproblem(
+            subject_id=self.subject_id(row),
+            effort_function=psi,
+            params=params,
+            feedback_weight=float(self.design_weight[row]),
+            member_ids=self._member_ids_at(row),
+            max_effort=None if np.isnan(cap) else cap,
+        )
+
+    def _acting_psi(self, row: int) -> QuadraticEffort:
+        code = int(self.response_codes[row])
+        psi = self._resp_psis.get(code)
+        if psi is None:
+            psi = QuadraticEffort(
+                r2=float(self.act_r2[row]),
+                r1=float(self.act_r1[row]),
+                r0=float(self.act_r0[row]),
+            )
+            self._resp_psis[code] = psi
+        return psi
+
+    def _build_agent(self, row: int) -> WorkerAgent:
+        worker_type = WORKER_TYPE_ORDER[int(self.type_codes[row])]
+        subject_id = self.subject_id(row)
+        psi = self._acting_psi(row)
+        if worker_type is WorkerType.HONEST:
+            return HonestWorker(
+                worker_id=subject_id,
+                effort_function=psi,
+                beta=float(self.beta[row]),
+                feedback_noise=float(self.feedback_noise[row]),
+                rating_noise=float(self.rating_noise[row]),
+            )
+        if worker_type is WorkerType.NONCOLLUSIVE_MALICIOUS:
+            return MaliciousWorker(
+                worker_id=subject_id,
+                effort_function=psi,
+                beta=float(self.beta[row]),
+                omega=float(self.omega[row]),
+                rating_bias=float(self.rating_bias[row]),
+                feedback_noise=float(self.feedback_noise[row]),
+                rating_noise=float(self.rating_noise[row]),
+            )
+        return CollusiveCommunity(
+            community_id=subject_id,
+            member_ids=self._member_ids_at(row),
+            effort_function=psi,
+            beta=float(self.beta[row]),
+            omega=float(self.omega[row]),
+            rating_bias=float(self.rating_bias[row]),
+            feedback_noise=float(self.feedback_noise[row]),
+            rating_noise=float(self.rating_noise[row]),
+        )
+
+    @property
+    def subproblems(self) -> List[Subproblem]:
+        """Per-subject designer subproblems (materialized lazily, psi
+        and params objects shared per archetype)."""
+        if self._subproblems is None:
+            self._subproblems = [
+                self._build_subproblem(row) for row in range(self._n)
+            ]
+        return self._subproblems
+
+    @property
+    def agents(self) -> Mapping[str, WorkerAgent]:
+        """Lazy ``{subject_id: WorkerAgent}`` view (legacy loop API)."""
+        if self._agents is None:
+            self._agents = _LazyAgents(self)
+        return self._agents
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        """Evaluation weights as the legacy dict (materialized lazily)."""
+        if self._weights is None:
+            self._weights = {
+                self.subject_id(row): float(self.eval_weight[row])
+                for row in range(self._n)
+            }
+        return self._weights
+
+    @property
+    def malice(self) -> Dict[str, float]:
+        """Malice scores as the legacy dict (materialized lazily)."""
+        if self._malice is None:
+            self._malice = {
+                self.subject_id(row): float(self.e_mal[row])
+                for row in range(self._n)
+            }
+        return self._malice
+
+    def _default_class_functions(self) -> ClassEffortFunctions:
+        honest_row = malicious_row = None
+        for row in range(self._n):
+            malicious = WORKER_TYPE_ORDER[int(self.type_codes[row])].is_malicious
+            if not malicious and honest_row is None:
+                honest_row = row
+            if malicious and malicious_row is None:
+                malicious_row = row
+            if honest_row is not None and malicious_row is not None:
+                break
+        honest_psi = self._build_subproblem(
+            honest_row if honest_row is not None else 0
+        ).effort_function
+        malicious_psi = self._build_subproblem(
+            malicious_row if malicious_row is not None else 0
+        ).effort_function
+        return ClassEffortFunctions(
+            honest=honest_psi,
+            noncollusive=malicious_psi,
+            collusive_member=malicious_psi,
+        )
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_population(cls, model: PopulationModel) -> "ColumnarPopulation":
+        """Pack an object population into columns.
+
+        Raises:
+            ModelError: if an agent is of a non-stationary (strategic)
+                class, its parameters diverge from its subproblem's, or
+                the weights dict diverges from the subproblem weights
+                (the store keeps one design-weight column).
+        """
+        n = len(model.subproblems)
+        if n < 1:
+            raise ModelError("cannot build a columnar store from an empty population")
+        columns: Dict[str, List[float]] = {
+            name: []
+            for name in (
+                "r2", "r1", "r0", "act_r2", "act_r1", "act_r0",
+                "beta", "omega", "design_weight", "eval_weight",
+                "max_effort", "e_mal", "feedback_noise", "rating_noise",
+                "rating_bias",
+            )
+        }
+        type_codes: List[int] = []
+        n_members: List[int] = []
+        community_ids: List[int] = []
+        communities: List[Tuple[str, ...]] = []
+        community_index: Dict[Tuple[str, ...], int] = {}
+        subject_ids: List[str] = []
+        for subproblem in model.subproblems:
+            subject_id = subproblem.subject_id
+            agent = model.agents.get(subject_id)
+            if agent is None:
+                raise ModelError(f"no agent for subject {subject_id!r}")
+            if type(agent) not in _COLUMNAR_AGENT_TYPES:
+                raise ModelError(
+                    f"agent {subject_id!r} is {type(agent).__name__}; only "
+                    "stationary honest/malicious/collusive agents can be "
+                    "held columnar (strategic workers mutate their "
+                    "parameters per round)"
+                )
+            if agent.params != subproblem.params:
+                raise ModelError(
+                    f"agent {subject_id!r} parameters {agent.params!r} diverge "
+                    f"from its subproblem's {subproblem.params!r}; the "
+                    "columnar store keeps one parameter column"
+                )
+            eval_weight = model.weights.get(subject_id)
+            if eval_weight is None:
+                raise ModelError(f"no evaluation weight for subject {subject_id!r}")
+            design_r2, design_r1, design_r0 = (
+                subproblem.effort_function.r2,
+                subproblem.effort_function.r1,
+                subproblem.effort_function.r0,
+            )
+            acting = agent.effort_function
+            columns["r2"].append(design_r2)
+            columns["r1"].append(design_r1)
+            columns["r0"].append(design_r0)
+            columns["act_r2"].append(acting.r2)
+            columns["act_r1"].append(acting.r1)
+            columns["act_r0"].append(acting.r0)
+            columns["beta"].append(subproblem.params.beta)
+            columns["omega"].append(subproblem.params.omega)
+            columns["design_weight"].append(subproblem.feedback_weight)
+            columns["eval_weight"].append(float(eval_weight))
+            columns["max_effort"].append(
+                float("nan")
+                if subproblem.max_effort is None
+                else float(subproblem.max_effort)
+            )
+            columns["e_mal"].append(float(model.malice.get(subject_id, 0.0)))
+            columns["feedback_noise"].append(agent.feedback_noise)
+            columns["rating_noise"].append(agent.rating_noise)
+            columns["rating_bias"].append(float(getattr(agent, "rating_bias", 0.0)))
+            type_codes.append(WORKER_TYPE_CODES[subproblem.params.worker_type])
+            n_members.append(agent.n_members)
+            if isinstance(agent, CollusiveCommunity):
+                members = tuple(agent.member_ids)
+                slot = community_index.get(members)
+                if slot is None:
+                    slot = len(communities)
+                    communities.append(members)
+                    community_index[members] = slot
+                community_ids.append(slot)
+            else:
+                community_ids.append(-1)
+            subject_ids.append(subject_id)
+        return cls(
+            type_codes=type_codes,
+            n_members=n_members,
+            community_ids=community_ids,
+            communities=communities,
+            subject_ids=subject_ids,
+            class_functions=model.class_functions,
+            deviations=dict(model.deviations),
+            **columns,
+        )
+
+    def to_population(self) -> PopulationModel:
+        """Materialize back into an object :class:`PopulationModel`.
+
+        The round trip is value-faithful: subproblems, agents, weights
+        and malice carry the same numbers (psi/params objects are the
+        shared archetype objects, not the originals).
+        """
+        agents = {subject_id: self.agents[subject_id] for subject_id in self.agents}
+        return PopulationModel(
+            subproblems=list(self.subproblems),
+            agents=agents,
+            weights=dict(self.weights),
+            class_functions=self.class_functions,
+            deviations=dict(self.deviations),
+            malice=dict(self.malice),
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def update_design_columns(
+        self,
+        *,
+        r2: Optional[np.ndarray] = None,
+        r1: Optional[np.ndarray] = None,
+        r0: Optional[np.ndarray] = None,
+        beta: Optional[np.ndarray] = None,
+        omega: Optional[np.ndarray] = None,
+        design_weight: Optional[np.ndarray] = None,
+        eval_weight: Optional[np.ndarray] = None,
+        max_effort: Optional[np.ndarray] = None,
+    ) -> None:
+        """Swap whole design columns and invalidate the derived caches.
+
+        This is the supported mutation path: the delta-redesign state
+        diffs the packed design matrix against its previous value, so
+        columns must never be edited in place (they are frozen).  The
+        behaviour (``act_*``) columns are deliberately not updatable —
+        agents are stationary by the columnar contract.
+        """
+        updates = {
+            "r2": r2, "r1": r1, "r0": r0, "beta": beta, "omega": omega,
+            "design_weight": design_weight, "eval_weight": eval_weight,
+            "max_effort": max_effort,
+        }
+        for name, column in updates.items():
+            if column is None:
+                continue
+            setattr(self, name, _float_column(column, self._n, name))
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Reset every cache derived from the columns."""
+        self._design_matrix: Optional[np.ndarray] = None
+        self._arch_codes: Optional[np.ndarray] = None
+        self._arch_reps: Optional[np.ndarray] = None
+        self._arch_subproblems: Optional[List[Subproblem]] = None
+        self._arch_psis: Dict[int, QuadraticEffort] = {}
+        self._arch_params: Dict[int, WorkerParameters] = {}
+        self._resp_codes: Optional[np.ndarray] = None
+        self._resp_reps: Optional[np.ndarray] = None
+        self._resp_psis: Dict[int, QuadraticEffort] = {}
+        self._resp_objects: Dict[int, Tuple[QuadraticEffort, WorkerParameters]] = {}
+        self._subproblems: Optional[List[Subproblem]] = None
+        self._agents: Optional[_LazyAgents] = None
+        self._weights: Optional[Dict[str, float]] = None
+        self._malice: Optional[Dict[str, float]] = None
+        self._index_of: Optional[Dict[str, int]] = None
+
+
+def synthetic_columnar(
+    n_subjects: int,
+    n_archetypes: int = 16,
+    seed: int = 0,
+    malicious_fraction: float = 0.25,
+    feedback_noise: float = 0.0,
+    rating_noise: float = 0.35,
+) -> ColumnarPopulation:
+    """The columnar twin of :func:`repro.workers.synthetic.synthetic_population`.
+
+    Consumes the *identical* generator stream as
+    :func:`repro.serving.workload.synthetic_subproblems` (archetype
+    draws in the same order, then one ``integers`` assignment draw), so
+    ``synthetic_columnar(...)`` and
+    ``ColumnarPopulation.from_population(synthetic_population(...))``
+    hold bit-identical columns — but this builder never materializes a
+    per-subject object, which is what makes 10M-subject populations
+    buildable in bounded memory.
+    """
+    if n_subjects < 1:
+        raise ModelError(f"n_subjects must be >= 1, got {n_subjects!r}")
+    if not 1 <= n_archetypes <= n_subjects:
+        raise ModelError(
+            f"n_archetypes must lie in [1, n_subjects], got {n_archetypes!r}"
+        )
+    if not 0.0 <= malicious_fraction <= 1.0:
+        raise ModelError(
+            f"malicious_fraction must lie in [0, 1], got {malicious_fraction!r}"
+        )
+    if feedback_noise < 0.0:
+        raise ModelError(f"feedback_noise must be >= 0, got {feedback_noise!r}")
+    generator = np.random.default_rng(seed)
+
+    # Archetype draws, in synthetic_subproblems' exact order.
+    arch_r2 = np.empty(n_archetypes)
+    arch_r1 = np.empty(n_archetypes)
+    arch_r0 = np.empty(n_archetypes)
+    arch_beta = np.empty(n_archetypes)
+    arch_omega = np.zeros(n_archetypes)
+    arch_weight = np.empty(n_archetypes)
+    arch_cap = np.empty(n_archetypes)
+    arch_malicious = np.zeros(n_archetypes, dtype=bool)
+    first_honest = first_malicious = -1
+    for index in range(n_archetypes):
+        r2 = -float(generator.uniform(0.3, 1.2))
+        r1 = float(generator.uniform(6.0, 14.0))
+        r0 = float(generator.uniform(0.0, 2.0))
+        beta = float(generator.uniform(0.8, 1.5))
+        malicious = bool(generator.random() < malicious_fraction)
+        omega = float(generator.uniform(0.2, 0.5)) if malicious else 0.0
+        weight = float(generator.uniform(0.5, 2.0))
+        psi = QuadraticEffort(r2=r2, r1=r1, r0=r0)
+        arch_r2[index] = r2
+        arch_r1[index] = r1
+        arch_r0[index] = r0
+        arch_beta[index] = beta
+        arch_omega[index] = omega
+        arch_weight[index] = weight
+        arch_cap[index] = 0.8 * psi.max_increasing_effort
+        arch_malicious[index] = malicious
+        if malicious and first_malicious < 0:
+            first_malicious = index
+        if not malicious and first_honest < 0:
+            first_honest = index
+
+    assignments = np.concatenate(
+        [
+            np.arange(n_archetypes, dtype=np.int64),
+            generator.integers(
+                0, n_archetypes, size=n_subjects - n_archetypes
+            ).astype(np.int64),
+        ]
+    )
+
+    malicious_mask = arch_malicious[assignments]
+    type_codes = np.where(
+        malicious_mask,
+        WORKER_TYPE_CODES[WorkerType.NONCOLLUSIVE_MALICIOUS],
+        WORKER_TYPE_CODES[WorkerType.HONEST],
+    ).astype(np.int64)
+    honest_psi = QuadraticEffort(
+        r2=float(arch_r2[first_honest if first_honest >= 0 else 0]),
+        r1=float(arch_r1[first_honest if first_honest >= 0 else 0]),
+        r0=float(arch_r0[first_honest if first_honest >= 0 else 0]),
+    )
+    malicious_psi = QuadraticEffort(
+        r2=float(arch_r2[first_malicious if first_malicious >= 0 else 0]),
+        r1=float(arch_r1[first_malicious if first_malicious >= 0 else 0]),
+        r0=float(arch_r0[first_malicious if first_malicious >= 0 else 0]),
+    )
+    r2_column = arch_r2[assignments]
+    r1_column = arch_r1[assignments]
+    r0_column = arch_r0[assignments]
+    return ColumnarPopulation(
+        r2=r2_column,
+        r1=r1_column,
+        r0=r0_column,
+        act_r2=r2_column,
+        act_r1=r1_column,
+        act_r0=r0_column,
+        beta=arch_beta[assignments],
+        omega=arch_omega[assignments],
+        design_weight=arch_weight[assignments],
+        eval_weight=arch_weight[assignments],
+        max_effort=arch_cap[assignments],
+        type_codes=type_codes,
+        e_mal=malicious_mask.astype(np.float64),
+        feedback_noise=np.full(n_subjects, float(feedback_noise)),
+        rating_noise=np.full(n_subjects, float(rating_noise)),
+        rating_bias=np.where(malicious_mask, 2.0, 0.0),
+        n_members=np.ones(n_subjects, dtype=np.int64),
+        community_ids=np.full(n_subjects, -1, dtype=np.int64),
+        communities=(),
+        subject_ids=None,
+        id_format="w{index:05d}",
+        class_functions=ClassEffortFunctions(
+            honest=honest_psi,
+            noncollusive=malicious_psi,
+            collusive_member=malicious_psi,
+        ),
+    )

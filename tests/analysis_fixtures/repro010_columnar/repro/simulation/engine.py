@@ -1,0 +1,25 @@
+"""Seeded REPRO010 corpus: a columnar kernel falling back to objects.
+
+Never imported at runtime — parsed by the flow analyzer in
+``tests/analysis_flow/test_flow_passes.py``.  The kernel reads its
+per-subject data through the lazy object views — an ``agents[...]``
+subscript plus ``.effort_function``/``.params`` attribute loads inside
+the loop — instead of the population columns, each of which the
+columnar-scoped REPRO010 checks must flag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+__all__ = ["fast_columnar_step"]
+
+
+def fast_columnar_step(population: Any, rows: Any) -> List[float]:
+    """A "columnar" kernel that quietly materializes per-subject objects."""
+    utilities: List[float] = []
+    for row in rows.tolist():
+        agent = population.agents[population.subject_id(row)]
+        expected = agent.effort_function(population.efforts[row])
+        utilities.append(agent.params.omega * expected)
+    return utilities

@@ -40,6 +40,28 @@ def test_repro010_purity_fixture_exact_findings():
     assert "draws `rng.normal(...)` per element inside a loop" in messages[2]
 
 
+def test_repro010_columnar_fixture_exact_findings():
+    """Columnar-scoped checks: lazy-view subscripts and per-element
+    object attribute loads are flagged inside `*columnar*` kernels."""
+    findings = _findings("repro010_columnar", PurityPass())
+    assert [d.code for d in findings] == ["REPRO010"] * 3
+    assert {d.context for d in findings} == {"fast_columnar_step"}
+    assert {d.relpath for d in findings} == {"simulation/engine.py"}
+    messages = sorted(d.message for d in findings)
+    assert "indexes the lazy `.agents` view per subject" in messages[0]
+    assert "reads `.effort_function` per element inside a loop" in messages[1]
+    assert "reads `.params` per element inside a loop" in messages[2]
+
+
+def test_repro010_columnar_checks_skip_plain_fast_kernels():
+    """The object-path fixture (`fast_step`) keeps exactly its three
+    generic findings: columnar checks never fire outside columnar
+    kernels, where `.agents[...]` access is the legitimate path."""
+    findings = _findings("repro010_purity", PurityPass())
+    assert len(findings) == 3
+    assert not any("columnar" in d.message for d in findings)
+
+
 def test_repro011_draworder_fixture_exact_findings():
     findings = _findings("repro011_draworder", DrawOrderPass())
     assert [d.code for d in findings] == ["REPRO011"] * 2
@@ -103,6 +125,7 @@ def test_repro013_concurrency_fixture_exact_findings():
     ("fixture", "code"),
     [
         ("repro010_purity", "REPRO010"),
+        ("repro010_columnar", "REPRO010"),
         ("repro011_draworder", "REPRO011"),
         ("repro012_contracts", "REPRO012"),
         ("repro013_concurrency", "REPRO013"),

@@ -1,0 +1,286 @@
+"""Columnar engine equivalence: `fast_columnar_step` / `legacy_columnar_step`.
+
+The contract is bit-identity: a `ColumnarPopulation` routed through
+either columnar kernel must produce the same ledger — every outcome
+field, every reduction — as the object-based engine on the same seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.utility import RequesterObjective
+from repro.errors import SimulationError
+from repro.serving.pool import ColumnarDeltaState, ContractAssignment
+from repro.simulation import (
+    DynamicContractPolicy,
+    ExclusionPolicy,
+    FixedPaymentPolicy,
+    MarketplaceSimulation,
+    RetentionModel,
+    RetentionSimulation,
+    SimulationLedger,
+    StreamingLedger,
+    require_ledgers_agree,
+)
+from repro.simulation.engine import (
+    _payment_function,
+    fast_columnar_step,
+    legacy_columnar_step,
+)
+from repro.workers import synthetic_population
+from repro.workers.columnar import ColumnarPopulation
+
+SEED = 21
+
+
+def _population():
+    return synthetic_population(
+        n_subjects=14, n_archetypes=5, seed=SEED, feedback_noise=0.3
+    )
+
+
+def _columnar():
+    return ColumnarPopulation.from_population(_population())
+
+
+POLICIES = [
+    ("dynamic", lambda: DynamicContractPolicy(mu=1.0, delta=False)),
+    ("dynamic-delta", lambda: DynamicContractPolicy(mu=1.0, delta=True)),
+    (
+        "exclusion",
+        lambda: ExclusionPolicy(DynamicContractPolicy(mu=1.0, delta=False)),
+    ),
+    ("fixed", lambda: FixedPaymentPolicy(pay_per_member=0.4)),
+]
+
+
+def _run(population, policy, fast_rounds, lagged=False, ledger=None, n=4):
+    simulation = MarketplaceSimulation(
+        population,
+        RequesterObjective(),
+        policy,
+        seed=7,
+        lagged_payment=lagged,
+        fast_rounds=fast_rounds,
+        ledger=ledger,
+    )
+    return simulation.run(n)
+
+
+@pytest.mark.parametrize("lagged", [False, True])
+@pytest.mark.parametrize("fast_rounds", [False, True])
+@pytest.mark.parametrize("name,policy_factory", POLICIES)
+def test_columnar_engine_bit_identical(name, policy_factory, fast_rounds, lagged):
+    reference = _run(_population(), policy_factory(), fast_rounds, lagged)
+    produced = _run(_columnar(), policy_factory(), fast_rounds, lagged)
+    assert isinstance(reference, SimulationLedger)
+    assert isinstance(produced, SimulationLedger)
+    require_ledgers_agree(produced, reference)
+
+
+def test_columnar_cross_verified_under_invariants(monkeypatch):
+    """REPRO_CHECK_INVARIANTS replays every fast columnar round through
+    the legacy escape hatch and demands exact agreement."""
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    produced = _run(
+        _columnar(), DynamicContractPolicy(mu=1.0, delta=True), True, lagged=True
+    )
+    reference = _run(
+        _population(), DynamicContractPolicy(mu=1.0, delta=True), True, lagged=True
+    )
+    assert isinstance(produced, SimulationLedger)
+    assert isinstance(reference, SimulationLedger)
+    require_ledgers_agree(produced, reference)
+
+
+@pytest.mark.parametrize("redesign_every", [2, 3])
+def test_columnar_redesign_cadence(redesign_every):
+    def build(population):
+        return MarketplaceSimulation(
+            population,
+            RequesterObjective(),
+            DynamicContractPolicy(mu=1.0, delta=False),
+            seed=7,
+            redesign_every=redesign_every,
+            fast_rounds=True,
+        )
+
+    reference = build(_population()).run(5)
+    produced = build(_columnar()).run(5)
+    assert isinstance(produced, SimulationLedger)
+    assert isinstance(reference, SimulationLedger)
+    require_ledgers_agree(produced, reference)
+
+
+@pytest.mark.parametrize("fast_rounds", [False, True])
+def test_columnar_retention_matches_object_path(fast_rounds):
+    def build(population):
+        return RetentionSimulation(
+            population,
+            RequesterObjective(),
+            FixedPaymentPolicy(pay_per_member=0.05),
+            retention=RetentionModel(reservation_utility=0.2, patience=2),
+            seed=5,
+            fast_rounds=fast_rounds,
+        )
+
+    reference_sim = build(_population())
+    produced_sim = build(_columnar())
+    reference = reference_sim.run(6)
+    produced = produced_sim.run(6)
+    assert isinstance(produced, SimulationLedger)
+    assert isinstance(reference, SimulationLedger)
+    require_ledgers_agree(produced, reference)
+    assert produced_sim.departed == reference_sim.departed
+    assert produced_sim.retention_rate() == reference_sim.retention_rate()
+
+
+def test_streaming_ledger_rejects_adaptive_policies():
+    from repro.simulation import AdaptiveDynamicPolicy
+
+    population = _population()
+    policy = AdaptiveDynamicPolicy(mu=1.0)
+    with pytest.raises(SimulationError, match="observe"):
+        MarketplaceSimulation(
+            population,
+            RequesterObjective(),
+            policy,
+            ledger=StreamingLedger(),
+        )
+
+
+class TestColumnarDeltaState:
+    def test_first_epoch_solves_everything(self):
+        columnar = _columnar()
+        policy = DynamicContractPolicy(mu=1.0, delta=True)
+        assignment = policy.contracts_columnar(columnar)
+        stats = policy.redesign_stats()
+        assert isinstance(assignment, ContractAssignment)
+        assert stats is not None
+        assert stats.n_subjects == columnar.n_subjects
+        assert stats.n_dirty == columnar.n_subjects
+
+    def test_unchanged_population_reuses_all(self):
+        columnar = _columnar()
+        policy = DynamicContractPolicy(mu=1.0, delta=True)
+        first = policy.contracts_columnar(columnar)
+        second = policy.contracts_columnar(columnar)
+        stats = policy.redesign_stats()
+        assert stats is not None
+        assert stats.n_dirty == 0
+        assert stats.reuse_rate == 1.0
+        assert np.array_equal(first.codes, second.codes)
+        for a, b in zip(first.contracts, second.contracts):
+            assert a.content_key() == b.content_key()
+
+    def test_single_subject_mutation_dirties_one_archetype(self):
+        columnar = _columnar()
+        policy = DynamicContractPolicy(mu=1.0, delta=True)
+        policy.contracts_columnar(columnar)
+        weights = columnar.design_weight.copy()
+        row = 0
+        weights[row] = weights[row] * 2.0 + 1.0
+        columnar.update_design_columns(design_weight=weights)
+        policy.contracts_columnar(columnar)
+        stats = policy.redesign_stats()
+        assert stats is not None
+        # Only the mutated row's (now unique) archetype re-solves.
+        assert stats.n_dirty == 1
+        assert 0.0 < stats.reuse_rate < 1.0
+
+    def test_delta_state_is_consistent_with_fresh_solve(self):
+        columnar_a = _columnar()
+        columnar_b = _columnar()
+        delta_policy = DynamicContractPolicy(mu=1.0, delta=True)
+        fresh_policy = DynamicContractPolicy(mu=1.0, delta=False)
+        delta_policy.contracts_columnar(columnar_a)
+        reused = delta_policy.contracts_columnar(columnar_a)
+        fresh = fresh_policy.contracts_columnar(columnar_b)
+        mapping_reused = reused.to_mapping(columnar_a)
+        mapping_fresh = fresh.to_mapping(columnar_b)
+        assert set(mapping_reused) == set(mapping_fresh)
+        for subject_id, contract in mapping_fresh.items():
+            assert (
+                mapping_reused[subject_id].content_key()
+                == contract.content_key()
+            )
+
+    def test_resolve_requires_columnar_population(self):
+        state = ColumnarDeltaState()
+        assert state.last_stats is None
+
+
+class TestPaymentCacheContentKey:
+    def test_value_equal_contract_hits_cache(self):
+        """Satellite regression: delta-reused contracts are rebuilt as
+        new objects; the payment cache must hit on content, not `is`."""
+        columnar = _columnar()
+        policy = DynamicContractPolicy(mu=1.0, delta=False)
+        first = policy.contracts_columnar(columnar).contracts[0]
+        second = policy.contracts_columnar(columnar).contracts[0]
+        assert first is not second
+        assert first.content_key() == second.content_key()
+        cache = {}
+        function_first = _payment_function(first, "@contract:0", cache)
+        function_second = _payment_function(second, "@contract:0", cache)
+        assert function_second is function_first
+        # The content hit refreshed the stored object: identity now hits.
+        assert cache["@contract:0"][0] is second
+
+    def test_different_contract_misses_cache(self):
+        columnar = _columnar()
+        assignment = DynamicContractPolicy(mu=1.0).contracts_columnar(columnar)
+        contracts = assignment.contracts
+        assert len(contracts) >= 2
+        cache = {}
+        function_a = _payment_function(contracts[0], "@contract:0", cache)
+        function_b = _payment_function(contracts[1], "@contract:0", cache)
+        assert function_a is not function_b
+        assert cache["@contract:0"][0] is contracts[1]
+
+    def test_cross_round_cache_reuse_in_simulation(self):
+        """A no-delta dynamic run redesigns every round with value-equal
+        contracts; the engine-level payment cache must keep hitting."""
+        simulation = MarketplaceSimulation(
+            _columnar(),
+            RequesterObjective(),
+            DynamicContractPolicy(mu=1.0, delta=False),
+            seed=7,
+            fast_rounds=True,
+        )
+        simulation.step()
+        functions_before = {
+            key: entry[1] for key, entry in simulation._payment_cache.items()
+        }
+        assert functions_before
+        simulation.step()
+        for key, function in functions_before.items():
+            assert simulation._payment_cache[key][1] is function
+
+
+def test_kernel_signatures_cover_escape_hatch():
+    """Both columnar kernels agree on one hand-built round."""
+    columnar = _columnar()
+    policy = DynamicContractPolicy(mu=1.0, delta=False)
+    assignment = policy.contracts_columnar(columnar)
+    excluded = np.zeros(columnar.n_subjects, dtype=bool)
+    excluded[2] = True
+    rng_fast = np.random.default_rng(3)
+    rng_legacy = np.random.default_rng(3)
+    previous = np.zeros(columnar.n_subjects)
+    result = fast_columnar_step(
+        columnar, assignment, excluded, previous, False, rng_fast
+    )
+    reference = legacy_columnar_step(
+        columnar, assignment, excluded, policy, None, {}, False, rng_legacy
+    )
+    assert result.benefit == reference.benefit
+    assert result.total_compensation == reference.total_compensation
+    for row in range(columnar.n_subjects):
+        outcome = reference.outcomes[columnar.subject_id(row)]
+        assert result.active[row] == (not outcome.excluded)
+        assert result.efforts[row] == outcome.effort
+        assert result.feedback[row] == outcome.feedback
+        assert result.compensation[row] == outcome.compensation

@@ -154,6 +154,23 @@ def test_same_seed_same_ledger_across_kernels():
         assert produced.total_compensation == reference.total_compensation
 
 
+@pytest.mark.parametrize("fast_rounds", [False, True])
+def test_columnar_kernels_consume_pinned_stream(fast_rounds):
+    """The columnar kernels replay the identical pinned draw order.
+
+    ``fast_columnar_step`` lays out draw slots from the noise columns
+    and ``legacy_columnar_step`` forwards the generator through the lazy
+    views; both must reconstruct from a fresh generator exactly like the
+    object kernels do.
+    """
+    from repro.workers.columnar import ColumnarPopulation
+
+    population = _mixed_population()
+    columnar = ColumnarPopulation.from_population(_mixed_population())
+    ledger = _run(columnar, DynamicContractPolicy(mu=1.0), fast_rounds)
+    _replay_and_check(population, ledger)
+
+
 def test_draw_order_manifest_matches_kernels():
     """analysis/draw_order.toml pins exactly what the kernels consume.
 
@@ -169,7 +186,12 @@ def test_draw_order_manifest_matches_kernels():
 
     import repro.analysis as analysis_pkg
     from repro.analysis.flow import extract_draw_order, load_manifest
-    from repro.simulation.engine import fast_step, legacy_step
+    from repro.simulation.engine import (
+        fast_columnar_step,
+        fast_step,
+        legacy_columnar_step,
+        legacy_step,
+    )
 
     manifest = load_manifest(
         Path(analysis_pkg.__file__).parent / "draw_order.toml"
@@ -179,16 +201,25 @@ def test_draw_order_manifest_matches_kernels():
     for kernel, key in [
         (fast_step, "simulation/engine.py::fast_step"),
         (legacy_step, "simulation/engine.py::legacy_step"),
+        (fast_columnar_step, "simulation/engine.py::fast_columnar_step"),
+        (legacy_columnar_step, "simulation/engine.py::legacy_columnar_step"),
     ]:
         node = ast.parse(inspect.getsource(kernel)).body[0]
         extracted = tuple(site.name for site in extract_draw_order(node))
         assert extracted == manifest.kernels[key], key
 
-    # The engine draws exactly these shapes: fast_step one stacked
-    # standard-normal block per round; legacy_step a forwarded feedback
-    # draw then a forwarded rating draw per subject.
+    # The engine draws exactly these shapes: the fast kernels one
+    # stacked standard-normal block per round; legacy_step a forwarded
+    # feedback draw then a forwarded rating draw per subject; the
+    # columnar escape hatch forwards the generator whole.
     assert manifest.kernels["simulation/engine.py::fast_step"] == ("standard_normal",)
     assert manifest.kernels["simulation/engine.py::legacy_step"] == (
         "realize_feedback",
         "rating_deviation",
+    )
+    assert manifest.kernels["simulation/engine.py::fast_columnar_step"] == (
+        "standard_normal",
+    )
+    assert manifest.kernels["simulation/engine.py::legacy_columnar_step"] == (
+        "legacy_step",
     )

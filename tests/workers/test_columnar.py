@@ -1,0 +1,229 @@
+"""ColumnarPopulation: round-trips, lazy views, archetype grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import Subproblem
+from repro.core.effort import QuadraticEffort
+from repro.errors import ModelError
+from repro.types import WorkerParameters, WorkerType
+from repro.workers import (
+    CamouflagedWorker,
+    CollusiveCommunity,
+    HonestWorker,
+    synthetic_population,
+)
+from repro.workers.columnar import (
+    WORKER_TYPE_CODES,
+    ColumnarPopulation,
+    synthetic_columnar,
+)
+from repro.workers.population import ClassEffortFunctions, PopulationModel
+
+
+def _population(n=10, seed=3, **kwargs):
+    kwargs.setdefault("n_archetypes", 4)
+    kwargs.setdefault("feedback_noise", 0.3)
+    return synthetic_population(n_subjects=n, seed=seed, **kwargs)
+
+
+def test_from_population_columns_match_objects():
+    population = _population()
+    columnar = ColumnarPopulation.from_population(population)
+    assert columnar.n_subjects == len(population.subproblems)
+    for row, subproblem in enumerate(population.subproblems):
+        agent = population.agents[subproblem.subject_id]
+        assert columnar.subject_id(row) == subproblem.subject_id
+        assert columnar.r2[row] == subproblem.effort_function.r2
+        assert columnar.r1[row] == subproblem.effort_function.r1
+        assert columnar.act_r2[row] == agent.effort_function.r2
+        assert columnar.beta[row] == subproblem.params.beta
+        assert columnar.omega[row] == subproblem.params.omega
+        assert columnar.design_weight[row] == subproblem.feedback_weight
+        assert (
+            columnar.eval_weight[row]
+            == population.weights[subproblem.subject_id]
+        )
+        assert columnar.feedback_noise[row] == agent.feedback_noise
+        assert columnar.rating_noise[row] == agent.rating_noise
+        assert (
+            WORKER_TYPE_CODES[subproblem.params.worker_type]
+            == columnar.type_codes[row]
+        )
+
+
+def test_round_trip_preserves_population():
+    population = _population()
+    columnar = ColumnarPopulation.from_population(population)
+    rebuilt = columnar.to_population()
+    assert [s.subject_id for s in rebuilt.subproblems] == [
+        s.subject_id for s in population.subproblems
+    ]
+    for original, copy in zip(population.subproblems, rebuilt.subproblems):
+        assert original.effort_function == copy.effort_function
+        assert original.params == copy.params
+        assert original.feedback_weight == copy.feedback_weight
+        assert original.max_effort == copy.max_effort
+        assert original.member_ids == copy.member_ids
+    assert rebuilt.weights == population.weights
+    assert rebuilt.malice == population.malice
+    for subject_id, agent in population.agents.items():
+        twin = rebuilt.agents[subject_id]
+        assert type(twin) is type(agent)
+        assert twin.params == agent.params
+        assert twin.effort_function == agent.effort_function
+
+
+def test_lazy_agents_share_archetype_objects():
+    columnar = ColumnarPopulation.from_population(_population())
+    agents = columnar.agents
+    subproblems = columnar.subproblems
+    # Archetype-mates share one psi/params object pair (SoA dedup).
+    by_code = {}
+    for row, code in enumerate(columnar.archetype_codes.tolist()):
+        subproblem = subproblems[row]
+        if code in by_code:
+            reference = by_code[code]
+            assert subproblem.effort_function is reference.effort_function
+            assert subproblem.params is reference.params
+        else:
+            by_code[code] = subproblem
+    # The lazy mapping builds each agent once and caches it.
+    subject_id = columnar.subject_id(0)
+    assert agents[subject_id] is agents[subject_id]
+    assert len(agents) == columnar.n_subjects
+    assert set(iter(agents)) == set(columnar.subject_ids())
+
+
+def test_synthetic_columnar_matches_object_builder():
+    population = synthetic_population(
+        n_subjects=40, n_archetypes=8, seed=11, feedback_noise=0.0
+    )
+    columnar = synthetic_columnar(n_subjects=40, n_archetypes=8, seed=11)
+    assert columnar.n_subjects == 40
+    for row, subproblem in enumerate(population.subproblems):
+        assert columnar.r2[row] == subproblem.effort_function.r2
+        assert columnar.r1[row] == subproblem.effort_function.r1
+        assert columnar.r0[row] == subproblem.effort_function.r0
+        assert columnar.beta[row] == subproblem.params.beta
+        assert columnar.omega[row] == subproblem.params.omega
+        assert columnar.design_weight[row] == subproblem.feedback_weight
+        assert (
+            WORKER_TYPE_CODES[subproblem.params.worker_type]
+            == columnar.type_codes[row]
+        )
+
+
+def test_strategic_agents_are_rejected():
+    population = _population()
+    subject_id = population.subproblems[0].subject_id
+    agent = population.agents[subject_id]
+    population.agents[subject_id] = CamouflagedWorker(
+        worker_id=subject_id,
+        effort_function=agent.effort_function,
+        beta=agent.params.beta,
+        omega=0.5,
+        rating_bias=2.0,
+        attack_round=3,
+    )
+    with pytest.raises(ModelError, match="strategic"):
+        ColumnarPopulation.from_population(population)
+
+
+def test_collusive_round_trip():
+    psi = QuadraticEffort(r2=-0.5, r1=10.0, r0=1.0)
+    params = WorkerParameters.malicious(beta=1.0, omega=0.4, collusive=True)
+    members = ("m1", "m2", "m3")
+    community = CollusiveCommunity(
+        community_id="c0",
+        member_ids=members,
+        effort_function=psi,
+        beta=1.0,
+        omega=0.4,
+        rating_bias=2.0,
+    )
+    honest = HonestWorker(worker_id="h0", effort_function=psi, beta=1.2)
+    subproblems = [
+        Subproblem(
+            subject_id="c0",
+            effort_function=psi,
+            params=params,
+            feedback_weight=1.5,
+            member_ids=members,
+        ),
+        Subproblem(
+            subject_id="h0",
+            effort_function=psi,
+            params=WorkerParameters.honest(beta=1.2),
+            feedback_weight=1.0,
+        ),
+    ]
+    population = PopulationModel(
+        subproblems=subproblems,
+        agents={"c0": community, "h0": honest},
+        weights={"c0": 1.5, "h0": 1.0},
+        class_functions=ClassEffortFunctions(
+            honest=psi, noncollusive=psi, collusive_member=psi
+        ),
+        malice={"c0": 1.0, "h0": 0.0},
+    )
+    columnar = ColumnarPopulation.from_population(population)
+    assert int(columnar.n_members[0]) == 3
+    assert int(columnar.n_members[1]) == 1
+    rebuilt = columnar.to_population()
+    twin = rebuilt.agents["c0"]
+    assert isinstance(twin, CollusiveCommunity)
+    assert twin.member_ids == members
+    assert rebuilt.subproblems[0].member_ids == members
+    assert (
+        rebuilt.subproblems[0].params.worker_type
+        is WorkerType.COLLUSIVE_MALICIOUS
+    )
+
+
+def test_max_effort_nan_round_trip():
+    population = _population()
+    assert any(s.max_effort is not None for s in population.subproblems)
+    columnar = ColumnarPopulation.from_population(population)
+    rebuilt = columnar.to_population()
+    for original, copy in zip(population.subproblems, rebuilt.subproblems):
+        assert original.max_effort == copy.max_effort
+
+
+def test_archetype_grouping_is_exact():
+    columnar = synthetic_columnar(n_subjects=50, n_archetypes=6, seed=2)
+    codes = columnar.archetype_codes
+    matrix = columnar.design_matrix()
+    for code in np.unique(codes):
+        rows = np.flatnonzero(codes == code)
+        assert np.all(matrix[rows] == matrix[rows[0]])
+    # Distinct codes differ in at least one design column.
+    representatives = columnar.archetype_representatives
+    for a in range(len(representatives)):
+        for b in range(a + 1, len(representatives)):
+            assert not np.array_equal(
+                matrix[representatives[a]], matrix[representatives[b]]
+            )
+
+
+def test_update_design_columns_invalidates_archetypes():
+    columnar = synthetic_columnar(n_subjects=20, n_archetypes=4, seed=9)
+    before = columnar.archetype_codes.copy()
+    weights = columnar.design_weight.copy()
+    weights[3] = weights[3] + 10.0
+    columnar.update_design_columns(design_weight=weights)
+    after = columnar.archetype_codes
+    assert columnar.design_weight[3] == weights[3]
+    # Row 3 now sits in its own archetype; everyone else may re-code but
+    # must keep their grouping structure.
+    assert np.count_nonzero(after == after[3]) == 1
+    assert before.shape == after.shape
+
+
+def test_index_of_unknown_subject():
+    columnar = synthetic_columnar(n_subjects=5, n_archetypes=2, seed=0)
+    assert columnar.index_of(columnar.subject_id(3)) == 3
+    with pytest.raises(ModelError):
+        columnar.index_of("nope")
