@@ -16,7 +16,11 @@ Kernel discovery follows the repository's conventions:
 * each fast kernel's reference twin is the ``legacy_*`` function with
   the same stem in the same module;
 * batch helpers are ``*_batch`` functions (or static methods) inside
-  ``workers/`` modules.
+  ``workers/`` modules;
+* sharded parallel kernels are module-level ``parallel_*`` functions —
+  held to the same draw-order and batch-purity discipline as fast
+  kernels, but exempt from the legacy-twin demand (their reference is
+  the fast kernel they shard, pinned by ``require_parallel_*_agree``).
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ __all__ = [
     "BATCH_HELPER_SUFFIX",
     "FAST_KERNEL_PREFIXES",
     "LEGACY_KERNEL_PREFIX",
+    "PARALLEL_KERNEL_PREFIXES",
     "FunctionInfo",
     "ModuleInfo",
     "ProjectIndex",
@@ -46,6 +51,10 @@ FAST_KERNEL_PREFIXES: Tuple[str, ...] = ("fast_", "vectorized_")
 
 #: The reference twin of a fast kernel carries this prefix.
 LEGACY_KERNEL_PREFIX: str = "legacy_"
+
+#: Module-level functions with these prefixes are sharded parallel
+#: kernels (multi-process front ends over a fast kernel).
+PARALLEL_KERNEL_PREFIXES: Tuple[str, ...] = ("parallel_",)
 
 #: Batch helpers in ``workers/`` modules end with this suffix.
 BATCH_HELPER_SUFFIX: str = "_batch"
@@ -139,6 +148,14 @@ class ProjectIndex:
             fn
             for fn in self.functions()
             if "." not in fn.qualname and fn.name.startswith(FAST_KERNEL_PREFIXES)
+        ]
+
+    def parallel_kernels(self) -> List[FunctionInfo]:
+        """Module-level ``parallel_*`` sharded kernels."""
+        return [
+            fn
+            for fn in self.functions()
+            if "." not in fn.qualname and fn.name.startswith(PARALLEL_KERNEL_PREFIXES)
         ]
 
     def legacy_kernels(self) -> List[FunctionInfo]:

@@ -12,11 +12,28 @@ Python's :mod:`json` emits ``repr``-style floats, which round-trip
 every finite double exactly, so a compensation vector survives the HTTP
 hop bit-identically — the cluster benchmarks assert that against serial
 solving.
+
+This module also defines the **columnar batch frame**: the zero-pickle
+wire format for whole solve batches.  A population batch holds at most
+a few dozen *design archetypes* (unique fingerprints) among millions of
+subjects, so instead of shipping O(population) pickled
+:class:`Subproblem` objects, a frame packs one ``(K, 7)`` float64
+archetype table + per-archetype worker types / representative ids /
+fingerprints, plus an ``(n,)`` int64 code vector mapping each request
+to its archetype row.  A shard solves the K representatives (fed with
+the frame's own fingerprints, so its cache keys and hit semantics are
+identical to the object path) and replies with K designs; the caller
+fans the results back out through the codes.  Fingerprints deliberately
+exclude ``subject_id``/``member_ids``, which is what makes the
+rebuilt ``member_ids=()`` representatives solve and cache exactly as
+the originals.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ...core.decomposition import Subproblem
 from ...core.designer import DesignResult
@@ -25,10 +42,26 @@ from ...errors import ServingError
 from ...types import WorkerParameters, WorkerType
 
 __all__ = [
+    "columnar_frame",
     "design_to_json",
+    "expand_frame_results",
+    "frame_from_json",
+    "frame_to_json",
     "subproblem_from_json",
     "subproblem_to_json",
+    "subproblems_from_frame",
 ]
+
+#: Wire sentinel for "no effort cap" in the archetype table.  Caps are
+#: strictly positive, and a float sentinel keeps the table NaN-free so
+#: it survives JSON (which cannot carry NaN) and byte comparisons.
+_NO_MAX_EFFORT_WIRE = -1.0
+
+#: Worker types in wire-code order (index == code).
+_WIRE_WORKER_TYPES: Tuple[WorkerType, ...] = tuple(WorkerType)
+_WIRE_WORKER_CODES: Dict[WorkerType, int] = {
+    worker_type: code for code, worker_type in enumerate(_WIRE_WORKER_TYPES)
+}
 
 
 def subproblem_to_json(subproblem: Subproblem) -> Dict[str, Any]:
@@ -105,3 +138,210 @@ def design_to_json(
     if cache_hit is not None:
         payload["cache_hit"] = cache_hit
     return payload
+
+
+def columnar_frame(
+    subproblems: Sequence[Subproblem], fingerprints: Sequence[str]
+) -> Dict[str, Any]:
+    """Pack a solve batch into the archetype-table + codes wire frame.
+
+    Groups requests by fingerprint: row ``k`` of the table holds the
+    k-th distinct archetype (in first-appearance order) and
+    ``codes[i]`` maps request ``i`` to its row.  The frame carries the
+    *given* fingerprints so the receiving side never recomputes them —
+    cache keys stay bit-identical to the object wire format.
+    """
+    if len(subproblems) != len(fingerprints):
+        raise ServingError(
+            f"frame needs one fingerprint per subproblem, got "
+            f"{len(subproblems)} subproblems and {len(fingerprints)} "
+            "fingerprints"
+        )
+    slots: Dict[str, int] = {}
+    codes = np.empty(len(subproblems), dtype=np.int64)
+    representatives: List[Subproblem] = []
+    rep_fingerprints: List[str] = []
+    for index, (subproblem, fingerprint) in enumerate(
+        zip(subproblems, fingerprints)
+    ):
+        slot = slots.get(fingerprint)
+        if slot is None:
+            slot = len(representatives)
+            slots[fingerprint] = slot
+            representatives.append(subproblem)
+            rep_fingerprints.append(fingerprint)
+        codes[index] = slot
+    table = np.empty((len(representatives), 7), dtype=np.float64)
+    worker_types = np.empty(len(representatives), dtype=np.int64)
+    for slot, subproblem in enumerate(representatives):
+        r2, r1, r0 = subproblem.effort_function.coefficients()
+        table[slot] = (
+            r2,
+            r1,
+            r0,
+            subproblem.params.beta,
+            subproblem.params.omega,
+            subproblem.feedback_weight,
+            _NO_MAX_EFFORT_WIRE
+            if subproblem.max_effort is None
+            else subproblem.max_effort,
+        )
+        worker_types[slot] = _WIRE_WORKER_CODES[subproblem.params.worker_type]
+    return {
+        "table": table,
+        "worker_types": worker_types,
+        "subject_ids": tuple(
+            subproblem.subject_id for subproblem in representatives
+        ),
+        "fingerprints": tuple(rep_fingerprints),
+        "codes": codes,
+    }
+
+
+def subproblems_from_frame(
+    frame: Mapping[str, Any],
+) -> Tuple[List[Subproblem], List[str]]:
+    """Rebuild one representative :class:`Subproblem` per archetype row.
+
+    ``member_ids`` are dropped (``()``): the design fingerprint — and
+    therefore the designed contract and every cache key — deliberately
+    excludes them, so the rebuilt representative solves identically to
+    the original batch's subproblems.
+
+    Returns:
+        ``(subproblems, fingerprints)`` of length K, aligned by row.
+
+    Raises:
+        ServingError: on malformed frames (shape/code-range/field
+            errors), so transports can map them to a 400.
+    """
+    try:
+        table = np.asarray(frame["table"], dtype=np.float64)
+        worker_types = np.asarray(frame["worker_types"], dtype=np.int64)
+        subject_ids = tuple(frame["subject_ids"])
+        fingerprints = [str(value) for value in frame["fingerprints"]]
+        codes = np.asarray(frame["codes"], dtype=np.int64)
+    except (KeyError, TypeError, ValueError) as error:
+        raise ServingError(f"malformed columnar frame: {error}") from error
+    if table.ndim != 2 or table.shape[1] != 7:
+        raise ServingError(
+            f"frame table must have shape (K, 7), got {table.shape!r}"
+        )
+    n_archetypes = table.shape[0]
+    if not (
+        len(subject_ids) == len(fingerprints) == worker_types.shape[0]
+        == n_archetypes
+    ):
+        raise ServingError(
+            "frame archetype fields disagree on K: "
+            f"table {n_archetypes}, worker_types {worker_types.shape[0]}, "
+            f"subject_ids {len(subject_ids)}, "
+            f"fingerprints {len(fingerprints)}"
+        )
+    if codes.ndim != 1:
+        raise ServingError(
+            f"frame codes must be one-dimensional, got {codes.shape!r}"
+        )
+    if codes.size and not (
+        0 <= int(codes.min()) and int(codes.max()) < n_archetypes
+    ):
+        raise ServingError(
+            f"frame codes reference archetypes outside [0, {n_archetypes})"
+        )
+    if worker_types.size and not (
+        0 <= int(worker_types.min())
+        and int(worker_types.max()) < len(_WIRE_WORKER_TYPES)
+    ):
+        raise ServingError("frame worker_types outside the wire-code range")
+    subproblems: List[Subproblem] = []
+    try:
+        for slot in range(n_archetypes):
+            r2, r1, r0, beta, omega, weight, cap = (
+                float(value) for value in table[slot]
+            )
+            subproblems.append(
+                Subproblem(
+                    subject_id=str(subject_ids[slot]),
+                    effort_function=QuadraticEffort(r2=r2, r1=r1, r0=r0),
+                    params=WorkerParameters(
+                        beta=beta,
+                        omega=omega,
+                        worker_type=_WIRE_WORKER_TYPES[
+                            int(worker_types[slot])
+                        ],
+                    ),
+                    feedback_weight=weight,
+                    member_ids=(),
+                    max_effort=(
+                        None
+                        if cap == _NO_MAX_EFFORT_WIRE  # noqa: REPRO001 - exact wire sentinel
+                        else cap
+                    ),
+                )
+            )
+    except ServingError:
+        raise
+    except Exception as error:  # noqa: BLE001 - model validation -> 400
+        raise ServingError(f"invalid frame archetype: {error}") from error
+    return subproblems, fingerprints
+
+
+def expand_frame_results(
+    frame: Mapping[str, Any],
+    designs: Sequence[Any],
+    cache_hits: Sequence[bool],
+) -> Tuple[List[Any], List[bool]]:
+    """Fan K per-archetype results back out to the frame's n requests.
+
+    Exactly the object path's dedupe semantics: every request in a
+    fingerprint group shares its group's design object and hit flag.
+    """
+    codes = np.asarray(frame["codes"], dtype=np.int64)
+    if len(designs) != len(cache_hits):
+        raise ServingError(
+            f"got {len(designs)} designs but {len(cache_hits)} hit flags"
+        )
+    n_archetypes = len(designs)
+    if codes.size and not (
+        0 <= int(codes.min()) and int(codes.max()) < n_archetypes
+    ):
+        raise ServingError(
+            f"frame codes reference archetypes outside [0, {n_archetypes})"
+        )
+    code_list = codes.tolist()
+    return (
+        [designs[code] for code in code_list],
+        [bool(cache_hits[code]) for code in code_list],
+    )
+
+
+def frame_to_json(frame: Mapping[str, Any]) -> Dict[str, Any]:
+    """Encode a columnar frame as a JSON-serializable dict."""
+    return {
+        "table": np.asarray(frame["table"], dtype=np.float64).tolist(),
+        "worker_types": np.asarray(
+            frame["worker_types"], dtype=np.int64
+        ).tolist(),
+        "subject_ids": list(frame["subject_ids"]),
+        "fingerprints": list(frame["fingerprints"]),
+        "codes": np.asarray(frame["codes"], dtype=np.int64).tolist(),
+    }
+
+
+def frame_from_json(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Decode a columnar frame from JSON (packs lists back to arrays)."""
+    try:
+        table = np.asarray(payload["table"], dtype=np.float64)
+        if table.size == 0:
+            table = table.reshape(0, 7)
+        return {
+            "table": table,
+            "worker_types": np.asarray(
+                payload["worker_types"], dtype=np.int64
+            ),
+            "subject_ids": tuple(payload["subject_ids"]),
+            "fingerprints": tuple(payload["fingerprints"]),
+            "codes": np.asarray(payload["codes"], dtype=np.int64),
+        }
+    except (KeyError, TypeError, ValueError) as error:
+        raise ServingError(f"malformed columnar frame: {error}") from error

@@ -5,7 +5,11 @@ exposing the cluster to anything that can speak JSON over a socket:
 
 * ``POST /solve`` — one subproblem in, one solved design out;
 * ``POST /solve_batch`` — ``{"subproblems": [...]}`` in,
-  ``{"designs": [...]}`` out, input order preserved;
+  ``{"designs": [...]}`` out, input order preserved; or the columnar
+  variant ``{"columnar": frame}`` in, ``{"columnar": true, "designs":
+  [K per-archetype designs], "codes": [...]}`` out — O(K) JSON per hop
+  for an n-subject batch (see
+  :func:`~repro.serving.cluster.codec.columnar_frame`);
 * ``GET /healthz`` — shard liveness (with per-shard restart counts) +
   overall ``ok``/``degraded``;
 * ``GET /stats`` — router counters, per-shard serving counters (pid,
@@ -38,9 +42,16 @@ import json
 import threading
 from typing import Any, Dict, Optional, Tuple, Union
 
+import numpy as np
+
 from ...errors import ServingError
 from ...obs.trace import TRACEPARENT_HEADER, Tracer, get_tracer, parse_traceparent
-from .codec import design_to_json, subproblem_from_json
+from .codec import (
+    design_to_json,
+    frame_from_json,
+    subproblem_from_json,
+    subproblems_from_frame,
+)
 from .router import ShardRouter
 
 __all__ = ["ClusterHTTPServer", "HTTPServerThread", "run_http_in_thread"]
@@ -250,11 +261,14 @@ class ClusterHTTPServer:
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise ServingError(f"request body is not valid JSON: {error}") from error
         if batch:
+            if isinstance(payload, dict) and "columnar" in payload:
+                return await self._solve_columnar_payload(payload["columnar"])
             if not isinstance(payload, dict) or not isinstance(
                 payload.get("subproblems"), list
             ):
                 raise ServingError(
-                    'batch requests need a JSON object with a "subproblems" list'
+                    'batch requests need a JSON object with a "subproblems" '
+                    'list (or a "columnar" frame)'
                 )
             raw_items = payload["subproblems"]
         else:
@@ -293,6 +307,48 @@ class ClusterHTTPServer:
         if batch:
             return {"designs": encoded}
         return encoded[0]
+
+    async def _solve_columnar_payload(self, raw_frame: Any) -> Dict[str, Any]:
+        """Solve a columnar batch frame posted to ``/solve_batch``.
+
+        The request carries ``{"columnar": frame}`` — the archetype
+        table + per-request codes of
+        :func:`~repro.serving.cluster.codec.columnar_frame` in JSON
+        form — and the response stays columnar: K per-archetype designs
+        plus the echoed codes, so an n-subject batch costs O(K) JSON on
+        both hops.  The caller fans results out through the codes.
+        """
+        frame = frame_from_json(raw_frame)
+        representatives, fingerprints = subproblems_from_frame(frame)
+        loop = asyncio.get_running_loop()
+        trace_context = (
+            Tracer.current_context() if get_tracer().enabled else None
+        )
+        designs, cache_hits = await loop.run_in_executor(
+            None,
+            functools.partial(
+                self.router.solve_designs,
+                representatives,
+                fingerprints,
+                trace_context=trace_context,
+            ),
+        )
+        encoded = [
+            design_to_json(
+                subproblem.subject_id,
+                design,
+                fingerprint=fingerprint,
+                cache_hit=hit,
+            )
+            for subproblem, design, fingerprint, hit in zip(
+                representatives, designs, fingerprints, cache_hits
+            )
+        ]
+        return {
+            "columnar": True,
+            "designs": encoded,
+            "codes": np.asarray(frame["codes"], dtype=np.int64).tolist(),
+        }
 
     async def _write_response(
         self,

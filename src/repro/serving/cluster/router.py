@@ -43,6 +43,11 @@ from ...obs.trace import NULL_SPAN, SpanContext, Tracer, get_tracer
 from ..cache import ContractCache
 from ..fingerprint import subproblem_fingerprint
 from ..pool import SolverPool
+from .codec import (
+    columnar_frame,
+    expand_frame_results,
+    subproblems_from_frame,
+)
 from .ring import DEFAULT_REPLICAS, HashRing
 from .shard import ShardProcess, ShardSpec, ShardTransportError
 
@@ -556,6 +561,10 @@ class ShardRouter:
         started = time.perf_counter()
         tracer = get_tracer()
         group_context = Tracer.current_context() if tracer.enabled else None
+        # Encode once per group: every retry/failover attempt ships the
+        # same packed archetype frame (O(K) floats), never O(n) pickled
+        # Subproblem objects.
+        frame = columnar_frame(subproblems, fingerprints)
         with self._lock:
             chain = self._ring.preference(fingerprints[0])
         if owner in chain:
@@ -575,9 +584,8 @@ class ShardRouter:
                     time.sleep(self.backoff * attempts)
             attempts += 1
             try:
-                group_designs, group_hits = process.solve(
-                    subproblems,
-                    fingerprints,
+                rep_designs, rep_hits = process.solve_columnar(
+                    frame,
                     timeout=self.request_timeout,
                     trace_context=group_context,
                 )
@@ -590,19 +598,22 @@ class ShardRouter:
                 self.stats.failovers.inc()
             self.stats.request_latency.observe(time.perf_counter() - started)
             span.update(served_by=shard_id, attempts=attempts)
-            return group_designs, group_hits
+            return expand_frame_results(frame, rep_designs, rep_hits)
 
         # Every shard attempt exhausted: degrade to the local pool so
-        # the request is slowed down, never lost.
+        # the request is slowed down, never lost.  Solving the K frame
+        # representatives (with the frame's fingerprints) and fanning
+        # out is exactly the pool's own dedupe semantics.
         self.stats.local_fallbacks.inc()
-        group_designs, group_hits = self._fallback_pool.solve_designs(
-            subproblems, fingerprints
+        representatives, rep_fingerprints = subproblems_from_frame(frame)
+        rep_designs, rep_hits = self._fallback_pool.solve_designs(
+            representatives, rep_fingerprints
         )
         self.stats.request_latency.observe(time.perf_counter() - started)
         span.update(served_by="local", attempts=attempts)
         if last_error is not None:
             span.set("transport_error", str(last_error))
-        return group_designs, group_hits
+        return expand_frame_results(frame, rep_designs, rep_hits)
 
     # -- introspection ------------------------------------------------
 

@@ -53,6 +53,7 @@ from ...obs.trace import (
 from ..cache import ContractCache
 from ..pool import SolverPool
 from ..stats import ServingStats
+from .codec import subproblems_from_frame
 
 __all__ = ["ShardProcess", "ShardSpec", "ShardTransportError", "shard_main"]
 
@@ -199,6 +200,25 @@ def _dispatch(
         elapsed = stats.now() - started
         stats.record_latencies([elapsed] * len(subproblems))
         return ([_slim(design) for design in designs], cache_hits)
+    if op == "solve_columnar":
+        # Zero-pickle batch path: the frame carries K archetype rows +
+        # n request codes.  Solve the K representatives (with the
+        # frame's own fingerprints, so cache keys match the object
+        # path bit for bit) and reply O(K); the caller fans out.
+        frame = payload
+        representatives, fingerprints = subproblems_from_frame(frame)
+        n_requests = len(frame["codes"])
+        started = stats.now()
+        designs, cache_hits = pool.solve_designs(
+            representatives, fingerprints
+        )
+        elapsed = stats.now() - started
+        # The pool booked the K archetype solves; top the request
+        # counter up to the n subjects this batch actually served and
+        # book each one's wall wait, mirroring the object "solve" op.
+        stats.record_fanout(n_requests - len(representatives))
+        stats.record_latencies([elapsed] * n_requests)
+        return ([_slim(design) for design in designs], list(cache_hits))
     if op == "health":
         return {
             "shard_id": spec.shard_id,
@@ -459,6 +479,28 @@ class ShardProcess:
             (tuple(subproblems), tuple(fingerprints)),
             timeout=timeout,
             meta=meta,
+        )
+        return list(designs), list(cache_hits)
+
+    def solve_columnar(
+        self,
+        frame: Dict[str, Any],
+        timeout: Optional[float] = None,
+        trace_context: Optional[SpanContext] = None,
+    ) -> Tuple[List[DesignResult], List[bool]]:
+        """Solve a columnar batch frame on this shard.
+
+        Ships the packed archetype table + codes
+        (:func:`~repro.serving.cluster.codec.columnar_frame`) instead of
+        O(n) pickled subproblems, and receives the K per-archetype
+        designs + hit flags; fan out with
+        :func:`~repro.serving.cluster.codec.expand_frame_results`.
+        """
+        meta: Optional[Dict[str, str]] = None
+        if trace_context is not None:
+            meta = {TRACEPARENT_HEADER: format_traceparent(trace_context)}
+        designs, cache_hits = self.request(
+            "solve_columnar", frame, timeout=timeout, meta=meta
         )
         return list(designs), list(cache_hits)
 

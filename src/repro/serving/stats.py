@@ -134,6 +134,22 @@ class ServingStats:
         if request_latencies:
             self.record_latencies(request_latencies)
 
+    def record_fanout(self, n_requests: int) -> None:
+        """Book requests answered by archetype fan-out, not fresh work.
+
+        A columnar batch frame is solved as K archetype representatives
+        (booked normally through :meth:`record_batch` by the pool) and
+        then fanned out to its n requests; the ``n - K`` remainder is
+        booked here so ``requests`` keeps meaning "subjects served"
+        regardless of wire format.  Adds no batch, no unique solve and
+        no cache traffic — those happened exactly once per archetype.
+        """
+        if n_requests < 0:
+            raise ServingError(
+                f"fan-out request count must be >= 0, got {n_requests!r}"
+            )
+        self._requests.inc(n_requests)
+
     def record_latencies(self, latencies: List[float]) -> None:
         """Book per-request enqueue-to-reply latencies (seconds)."""
         for latency in latencies:

@@ -47,7 +47,16 @@ round runs in bounded memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple, Union, cast
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+    cast,
+)
 
 import numpy as np
 
@@ -58,7 +67,9 @@ from ..core.sweep import fastpath_enabled
 from ..core.utility import RequesterObjective
 from ..errors import SimulationError
 from ..numerics import ABS_TOL
+from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
+from ..serving.cache import LRUCache
 from ..serving.pool import ContractAssignment
 from ..workers.base import ResponseCache, WorkerAgent, respond_batch
 from ..workers.columnar import (
@@ -71,9 +82,13 @@ from .ledger import RoundRecord, SimulationLedger, SubjectRoundOutcome
 from .policies import PaymentPolicy
 from .streaming import StreamingLedger
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel -> engine)
+    from .parallel import ParallelRoundEngine
+
 __all__ = [
     "ColumnarStepResult",
     "MarketplaceSimulation",
+    "PaymentCache",
     "StepOutcomes",
     "fast_columnar_step",
     "fast_step",
@@ -83,13 +98,35 @@ __all__ = [
     "require_steps_agree",
 ]
 
-#: Per-subject cache of each posted contract's Eq. (6) feedback->pay
-#: function.  ``Contract.pay_for_feedback`` rebuilds the interpolant on
-#: every call; entries here are validated by contract identity first and
-#: by ``Contract.content_key()`` second, so a re-designed subject can
-#: never pay off a stale schedule while a delta-reused schedule rebuilt
-#: as a new (value-equal) object still hits.
-PaymentCache = Dict[str, Tuple[Contract, PiecewiseLinear]]
+#: Default bound on cached pay functions per simulation.  Keys are one
+#: per contract *group* (fast path) or posted-contract code (columnar
+#: path), so even adaptive runs sit far below this; the bound exists so
+#: a long run cycling through many distinct contracts cannot grow the
+#: cache without limit.
+PAYMENT_CACHE_CAPACITY = 4096
+
+
+class PaymentCache(LRUCache):
+    """Bounded cache of each posted contract's Eq. (6) feedback->pay
+    function, keyed per subject/contract group.
+
+    ``Contract.pay_for_feedback`` rebuilds the interpolant on every
+    call; entries here are validated by contract identity first and by
+    ``Contract.content_key()`` second, so a re-designed subject can
+    never pay off a stale schedule while a delta-reused schedule rebuilt
+    as a new (value-equal) object still hits.  Backed by the generic
+    serving LRU so long adaptive runs stay bounded; evictions are
+    counted under ``simulation.payment_cache.evictions``.
+    """
+
+    def __init__(self, capacity: int = PAYMENT_CACHE_CAPACITY) -> None:
+        super().__init__(
+            capacity=capacity,
+            eviction_counter=get_registry().counter(
+                "simulation.payment_cache.evictions",
+                help="pay functions evicted from round-engine payment caches",
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -218,11 +255,11 @@ def _payment_function(
             if cached_contract is contract:
                 return function
             if cached_contract.content_key() == contract.content_key():
-                cache[subject_id] = (contract, function)
+                cache.put(subject_id, (contract, function))
                 return function
     function = contract.as_feedback_function()
     if cache is not None:
-        cache[subject_id] = (contract, function)
+        cache.put(subject_id, (contract, function))
     return function
 
 
@@ -787,6 +824,14 @@ class MarketplaceSimulation:
             huge populations in bounded memory — with a columnar
             population and fast rounds, per-subject outcomes are staged
             straight from the kernel's columns and never materialized.
+        round_workers: shard fast columnar rounds across this many
+            persistent worker processes over shared memory
+            (:class:`~repro.simulation.parallel.ParallelRoundEngine`).
+            Bit-identical to the sequential kernel — noise is drawn by
+            the coordinator in the pinned order and sliced per shard.
+            Requires a columnar population; call :meth:`close` (or use
+            the simulation as a context manager) to release the shared
+            segment promptly.  ``None`` (default) stays single-process.
     """
 
     def __init__(
@@ -799,11 +844,23 @@ class MarketplaceSimulation:
         lagged_payment: bool = False,
         fast_rounds: Optional[bool] = None,
         ledger: Optional[Union[SimulationLedger, StreamingLedger]] = None,
+        round_workers: Optional[int] = None,
     ) -> None:
         if redesign_every < 1:
             raise SimulationError(
                 f"redesign_every must be >= 1, got {redesign_every!r}"
             )
+        if round_workers is not None:
+            if round_workers < 1:
+                raise SimulationError(
+                    f"round_workers must be >= 1, got {round_workers!r}"
+                )
+            if not isinstance(population, ColumnarPopulation):
+                raise SimulationError(
+                    "round_workers requires a ColumnarPopulation: the "
+                    "parallel engine shards contiguous columns over "
+                    "shared memory"
+                )
         self.population = population
         self.objective = objective
         self.policy = policy
@@ -832,7 +889,7 @@ class MarketplaceSimulation:
         # Cross-round caches of the fast kernel (identity-validated, so
         # a redesign or behaviour flip invalidates them for free).
         self._response_cache: ResponseCache = {}
-        self._payment_cache: PaymentCache = {}
+        self._payment_cache: PaymentCache = PaymentCache()
         # Columnar routing state: the contract assignment and exclusion
         # mask play the role of self._contracts/self._excluded, and the
         # previous-feedback column replaces the feedback dict.
@@ -843,9 +900,46 @@ class MarketplaceSimulation:
         self._previous_feedback_columns: Optional[np.ndarray] = None
         self._departed_mask: Optional[np.ndarray] = None
         self._last_columnar_result: Optional[ColumnarStepResult] = None
+        # Parallel round state: the engine (persistent worker pool +
+        # shared-memory segment) is built lazily on the first fast
+        # columnar round so sequential runs never pay for it.
+        self._round_workers = round_workers
+        self._parallel_engine: Optional["ParallelRoundEngine"] = None
         if isinstance(population, ColumnarPopulation):
             self._previous_feedback_columns = np.zeros(population.n_subjects)
             self._departed_mask = np.zeros(population.n_subjects, dtype=bool)
+
+    def close(self) -> None:
+        """Release parallel-round resources (workers + shared memory).
+
+        Idempotent and safe to skip — the parallel engine also unlinks
+        its ``/dev/shm`` segment from a GC/atexit finalizer — but an
+        explicit close is how long-lived callers release the segment
+        promptly.  Sequential simulations are a no-op.
+        """
+        if self._parallel_engine is not None:
+            self._parallel_engine.close()
+            self._parallel_engine = None
+
+    def __enter__(self) -> "MarketplaceSimulation":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _parallel_round_engine(self) -> Optional["ParallelRoundEngine"]:
+        if self._round_workers is None:
+            return None
+        if self._parallel_engine is None:
+            # Deferred import: parallel.py wraps this module's kernel,
+            # so the dependency edge points parallel -> engine.
+            from .parallel import ParallelRoundEngine
+
+            self._parallel_engine = ParallelRoundEngine(
+                cast(ColumnarPopulation, self.population),
+                n_workers=self._round_workers,
+            )
+        return self._parallel_engine
 
     def run(self, n_rounds: int) -> Union[SimulationLedger, StreamingLedger]:
         """Simulate ``n_rounds`` task rounds and return the ledger."""
@@ -1027,16 +1121,50 @@ class MarketplaceSimulation:
                 replay_rng = np.random.default_rng(0)
                 replay_rng.bit_generator.state = self._rng.bit_generator.state
                 replay_feedback = self._previous_feedback_mapping()
-            result = fast_columnar_step(
-                population,
-                self._assignment,
-                excluded_mask,
-                self._previous_feedback_columns,
-                self.lagged_payment,
-                self._rng,
-                response_cache=self._columnar_response_cache,
-                payment_cache=self._payment_cache,
-            )
+            engine = self._parallel_round_engine()
+            if engine is not None:
+                from .parallel import (
+                    parallel_columnar_step,
+                    require_parallel_steps_agree,
+                )
+
+                if check:
+                    fast_rng = np.random.default_rng(0)
+                    fast_rng.bit_generator.state = (
+                        self._rng.bit_generator.state
+                    )
+                    fast_feedback = self._previous_feedback_columns.copy()
+                result = parallel_columnar_step(
+                    population,
+                    self._assignment,
+                    excluded_mask,
+                    self._previous_feedback_columns,
+                    self.lagged_payment,
+                    self._rng,
+                    engine,
+                )
+                if check:
+                    sequential = fast_columnar_step(
+                        population,
+                        self._assignment,
+                        excluded_mask,
+                        fast_feedback,
+                        self.lagged_payment,
+                        fast_rng,
+                    )
+                    require_parallel_steps_agree(result, sequential)
+                span.set("round_workers", engine.n_workers)
+            else:
+                result = fast_columnar_step(
+                    population,
+                    self._assignment,
+                    excluded_mask,
+                    self._previous_feedback_columns,
+                    self.lagged_payment,
+                    self._rng,
+                    response_cache=self._columnar_response_cache,
+                    payment_cache=self._payment_cache,
+                )
             self._last_columnar_result = result
             materialized: Optional[StepOutcomes] = None
             if check:

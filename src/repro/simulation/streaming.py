@@ -149,6 +149,26 @@ class OutcomeSpill:
             raise SimulationError("spill holds no rounds yet")
         if self._handle is not None:
             self.flush()
+        # np.memmap silently maps whatever bytes exist; a truncated or
+        # partially-written file must fail loudly, not return a map
+        # that reads past EOF (or short rounds) as garbage.
+        expected = (
+            self._n_rounds * self._n_subjects * SPILL_DTYPE.itemsize
+        )
+        actual = self.path.stat().st_size
+        if actual != expected:
+            raise SimulationError(
+                f"spill file {self.path} holds {actual} bytes but "
+                f"{self._n_rounds} rounds x {self._n_subjects} subjects "
+                f"requires exactly {expected}; the file is truncated or "
+                "was written by another spill"
+            )
+        if expected == 0:
+            # mmap rejects empty files; an empty-population (or
+            # zero-round) spill is still a valid, empty history.
+            return np.zeros(
+                (self._n_rounds, self._n_subjects), dtype=SPILL_DTYPE
+            )
         return np.memmap(
             self.path,
             dtype=SPILL_DTYPE,

@@ -1,0 +1,28 @@
+"""Seeded REPRO010 corpus: a parallel kernel churning segments per element.
+
+Never imported at runtime — parsed by the flow analyzer in
+``tests/analysis_flow/test_flow_passes.py``.  The shard loop re-attaches
+the shared-memory segment for every subject and detaches it again
+(``SharedMemory(...)`` construction plus ``.close()``/``.unlink()``
+inside the loop) instead of attaching once per worker process; each of
+the three lifecycle calls must be flagged by the shared-memory-scoped
+REPRO010 checks.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Any, List
+
+__all__ = ["parallel_shard_step"]
+
+
+def parallel_shard_step(names: Any) -> List[float]:
+    """A shard loop that attaches and detaches the segment per element."""
+    totals: List[float] = []
+    for name in names:
+        segment = shared_memory.SharedMemory(name=name)
+        totals.append(float(segment.buf[0]))
+        segment.close()
+        segment.unlink()
+    return totals

@@ -1,0 +1,277 @@
+"""Columnar wire format for the cluster tier: frame codec, shard op, HTTP.
+
+A solve batch of n subjects collapsing onto K archetypes used to cross
+the shard pipe (and the HTTP hop) as n pickled `Subproblem` objects;
+the columnar frame ships a (K, 7) float table plus an (n,) int64 code
+vector instead.  These tests pin the properties the engine relies on:
+the frame round-trips bit-exactly (including through JSON), the shard
+solves the frame's OWN fingerprints (cache keys identical to the object
+wire format), results fan back out in request order, and the serving
+counters keep meaning "subjects served" regardless of wire format.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import solve_subproblems
+from repro.errors import ServingError
+from repro.serving import (
+    HTTPServerThread,
+    ShardProcess,
+    ShardRouter,
+    ShardSpec,
+)
+from repro.serving.cluster.codec import (
+    columnar_frame,
+    expand_frame_results,
+    frame_from_json,
+    frame_to_json,
+    subproblems_from_frame,
+)
+from repro.serving.fingerprint import subproblem_fingerprint
+from repro.serving.workload import synthetic_subproblems
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_subproblems(n_subjects=30, n_archetypes=6, seed=23)
+
+
+@pytest.fixture(scope="module")
+def fingerprints(workload):
+    return [subproblem_fingerprint(subproblem) for subproblem in workload]
+
+
+@pytest.fixture(scope="module")
+def frame(workload, fingerprints):
+    return columnar_frame(workload, fingerprints)
+
+
+class TestFrameCodec:
+    def test_frame_is_archetype_sized(self, workload, fingerprints, frame):
+        n_unique = len(set(fingerprints))
+        assert frame["table"].shape == (n_unique, 7)
+        assert frame["worker_types"].shape == (n_unique,)
+        assert len(frame["subject_ids"]) == n_unique
+        assert len(frame["fingerprints"]) == n_unique
+        assert frame["codes"].shape == (len(workload),)
+        assert frame["codes"].max() == n_unique - 1
+
+    def test_codes_point_at_matching_archetypes(
+        self, workload, fingerprints, frame
+    ):
+        for index, fingerprint in enumerate(fingerprints):
+            slot = int(frame["codes"][index])
+            assert frame["fingerprints"][slot] == fingerprint
+
+    def test_representatives_solve_bit_identically(self, workload, frame):
+        """The K rebuilt archetypes produce the same contracts as the n
+        original objects — fingerprints are carried, never recomputed,
+        and member_ids are excluded from the solve."""
+        representatives, rep_fingerprints = subproblems_from_frame(frame)
+        assert rep_fingerprints == list(frame["fingerprints"])
+        serial = solve_subproblems(workload, mu=1.0)
+        rep_serial = solve_subproblems(representatives, mu=1.0)
+        for index, subproblem in enumerate(workload):
+            slot = int(frame["codes"][index])
+            rebuilt = representatives[slot]
+            assert pickle.dumps(
+                rep_serial[rebuilt.subject_id].result.contract.compensations
+            ) == pickle.dumps(
+                serial[subproblem.subject_id].result.contract.compensations
+            )
+
+    def test_expand_restores_request_order(self, workload, frame):
+        designs = [f"design-{slot}" for slot in range(len(frame["fingerprints"]))]
+        hits = [slot % 2 == 0 for slot in range(len(designs))]
+        fanned_designs, fanned_hits = expand_frame_results(frame, designs, hits)
+        assert len(fanned_designs) == len(workload)
+        for index in range(len(workload)):
+            slot = int(frame["codes"][index])
+            assert fanned_designs[index] == designs[slot]
+            assert fanned_hits[index] == hits[slot]
+
+    def test_json_round_trip_is_exact(self, frame):
+        rebuilt = frame_from_json(frame_to_json(frame))
+        assert np.array_equal(rebuilt["table"], frame["table"])
+        assert rebuilt["table"].tobytes() == frame["table"].tobytes()
+        assert np.array_equal(rebuilt["worker_types"], frame["worker_types"])
+        assert np.array_equal(rebuilt["codes"], frame["codes"])
+        assert tuple(rebuilt["subject_ids"]) == tuple(frame["subject_ids"])
+        assert tuple(rebuilt["fingerprints"]) == tuple(frame["fingerprints"])
+
+    def test_max_effort_survives_round_trip(self, workload):
+        """A finite cap round-trips bit-exactly; `None` rides the -1.0
+        wire sentinel (caps are strictly positive) and comes back None."""
+        from dataclasses import replace
+
+        capped = workload[0]
+        assert capped.max_effort is not None
+        uncapped = replace(workload[1], max_effort=None)
+        frame = columnar_frame([capped, uncapped], ["fp0", "fp1"])
+        representatives, _ = subproblems_from_frame(
+            frame_from_json(frame_to_json(frame))
+        )
+        assert representatives[0].max_effort == capped.max_effort
+        assert representatives[1].max_effort is None
+
+    def test_length_mismatch_raises(self, workload):
+        with pytest.raises(ServingError, match="one fingerprint per"):
+            columnar_frame(workload, ["fp0"])
+
+    def test_malformed_frames_raise(self, frame):
+        bad_table = dict(frame)
+        bad_table["table"] = frame["table"][:, :5]
+        with pytest.raises(ServingError):
+            subproblems_from_frame(bad_table)
+        bad_codes = dict(frame)
+        bad_codes["codes"] = frame["codes"] + len(frame["fingerprints"])
+        with pytest.raises(ServingError):
+            subproblems_from_frame(bad_codes)
+        negative_codes = dict(frame)
+        negative_codes["codes"] = frame["codes"] - 1 - frame["codes"].max()
+        with pytest.raises(ServingError):
+            subproblems_from_frame(negative_codes)
+        bad_types = dict(frame)
+        bad_types["worker_types"] = frame["worker_types"] + 99
+        with pytest.raises(ServingError):
+            subproblems_from_frame(bad_types)
+
+    def test_empty_frame_round_trips(self):
+        frame = columnar_frame([], [])
+        assert frame["table"].shape == (0, 7)
+        rebuilt = frame_from_json(frame_to_json(frame))
+        assert rebuilt["table"].shape == (0, 7)
+        representatives, rep_fingerprints = subproblems_from_frame(rebuilt)
+        assert representatives == [] and rep_fingerprints == []
+
+
+class TestShardColumnarOp:
+    def test_solve_columnar_matches_object_op(self, workload, fingerprints):
+        frame = columnar_frame(workload, fingerprints)
+        object_shard = ShardProcess(ShardSpec(shard_id="obj"))
+        frame_shard = ShardProcess(ShardSpec(shard_id="col"))
+        object_shard.start()
+        frame_shard.start()
+        try:
+            designs, hits = object_shard.solve(workload, fingerprints)
+            rep_designs, rep_hits = frame_shard.solve_columnar(frame)
+            assert len(rep_designs) == len(frame["fingerprints"])
+            assert not any(rep_hits)
+            fanned, fanned_hits = expand_frame_results(
+                frame, rep_designs, rep_hits
+            )
+            for object_design, frame_design in zip(designs, fanned):
+                assert pickle.dumps(
+                    object_design.contract.compensations
+                ) == pickle.dumps(frame_design.contract.compensations)
+            # Same fingerprints were cached: a repeat frame is all hits.
+            _, warm_hits = frame_shard.solve_columnar(frame)
+            assert all(warm_hits)
+        finally:
+            object_shard.stop()
+            frame_shard.stop()
+
+    def test_requests_counter_means_subjects_served(
+        self, workload, fingerprints
+    ):
+        """The shard books n requests for an n-subject frame even though
+        it only solved K archetypes — `requests` stays comparable across
+        wire formats (and across the cluster aggregation)."""
+        frame = columnar_frame(workload, fingerprints)
+        shard = ShardProcess(ShardSpec(shard_id="s0"))
+        shard.start()
+        try:
+            shard.solve_columnar(frame)
+            snapshot = shard.stats_snapshot()
+            assert snapshot["requests"] == float(len(workload))
+            assert snapshot["unique_solves"] == float(
+                len(frame["fingerprints"])
+            )
+            shard.solve_columnar(frame)
+            snapshot = shard.stats_snapshot()
+            assert snapshot["requests"] == 2.0 * len(workload)
+            assert snapshot["cache_hits"] == float(len(frame["fingerprints"]))
+        finally:
+            shard.stop()
+
+
+class TestRouterColumnarPath:
+    def test_router_matches_serial_through_frames(self, workload):
+        """`solve_designs` now ships frames to the shards internally;
+        results must stay bit-identical to the serial solver and to the
+        pre-frame wire format's semantics (order, hit flags)."""
+        serial = solve_subproblems(workload, mu=1.0)
+        with ShardRouter(n_shards=2, supervise_interval=0.0) as router:
+            designs, hits = router.solve_designs(workload)
+            assert not any(hits)
+            for subproblem, design in zip(workload, designs):
+                assert pickle.dumps(
+                    design.contract.compensations
+                ) == pickle.dumps(
+                    serial[subproblem.subject_id].result.contract.compensations
+                )
+            _, warm_hits = router.solve_designs(workload)
+            assert all(warm_hits)
+            snapshot = router.stats_snapshot()
+            assert snapshot["totals"]["requests"] == 2.0 * len(workload)
+
+
+class TestHTTPColumnar:
+    @pytest.fixture(scope="class")
+    def endpoint(self):
+        with ShardRouter(n_shards=2, supervise_interval=0.0) as router:
+            with HTTPServerThread(router) as thread:
+                yield thread.address
+
+    def _post(self, endpoint, payload):
+        import http.client
+        import json
+
+        host, port = endpoint
+        conn = http.client.HTTPConnection(host, port, timeout=30.0)
+        try:
+            conn.request("POST", "/solve_batch", body=json.dumps(payload))
+            response = conn.getresponse()
+            return response.status, json.loads(
+                response.read().decode("utf-8")
+            )
+        finally:
+            conn.close()
+
+    def test_columnar_batch_matches_serial(
+        self, endpoint, workload, fingerprints, frame
+    ):
+        serial = solve_subproblems(workload, mu=1.0)
+        status, payload = self._post(
+            endpoint, {"columnar": frame_to_json(frame)}
+        )
+        assert status == 200
+        assert payload["columnar"] is True
+        designs = payload["designs"]
+        assert len(designs) == len(frame["fingerprints"])
+        assert payload["codes"] == frame["codes"].tolist()
+        for index, subproblem in enumerate(workload):
+            slot = int(frame["codes"][index])
+            assert pickle.dumps(
+                designs[slot]["compensations"]
+            ) == pickle.dumps(
+                list(
+                    serial[
+                        subproblem.subject_id
+                    ].result.contract.compensations
+                )
+            )
+        status, payload = self._post(
+            endpoint, {"columnar": frame_to_json(frame)}
+        )
+        assert all(design["cache_hit"] for design in payload["designs"])
+
+    def test_malformed_columnar_frame_is_400(self, endpoint):
+        status, payload = self._post(endpoint, {"columnar": {"table": []}})
+        assert status == 400
+        assert "error" in payload

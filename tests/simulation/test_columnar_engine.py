@@ -25,6 +25,7 @@ from repro.simulation import (
     require_ledgers_agree,
 )
 from repro.simulation.engine import (
+    PaymentCache,
     _payment_function,
     fast_columnar_step,
     legacy_columnar_step,
@@ -222,23 +223,25 @@ class TestPaymentCacheContentKey:
         second = policy.contracts_columnar(columnar).contracts[0]
         assert first is not second
         assert first.content_key() == second.content_key()
-        cache = {}
+        cache = PaymentCache()
         function_first = _payment_function(first, "@contract:0", cache)
         function_second = _payment_function(second, "@contract:0", cache)
         assert function_second is function_first
         # The content hit refreshed the stored object: identity now hits.
-        assert cache["@contract:0"][0] is second
+        entry = cache.get("@contract:0")
+        assert entry is not None and entry[0] is second
 
     def test_different_contract_misses_cache(self):
         columnar = _columnar()
         assignment = DynamicContractPolicy(mu=1.0).contracts_columnar(columnar)
         contracts = assignment.contracts
         assert len(contracts) >= 2
-        cache = {}
+        cache = PaymentCache()
         function_a = _payment_function(contracts[0], "@contract:0", cache)
         function_b = _payment_function(contracts[1], "@contract:0", cache)
         assert function_a is not function_b
-        assert cache["@contract:0"][0] is contracts[1]
+        entry = cache.get("@contract:0")
+        assert entry is not None and entry[0] is contracts[1]
 
     def test_cross_round_cache_reuse_in_simulation(self):
         """A no-delta dynamic run redesigns every round with value-equal
@@ -251,13 +254,15 @@ class TestPaymentCacheContentKey:
             fast_rounds=True,
         )
         simulation.step()
+        cache = simulation._payment_cache
         functions_before = {
-            key: entry[1] for key, entry in simulation._payment_cache.items()
+            key: cache.get(key)[1] for key in cache.keys()
         }
         assert functions_before
         simulation.step()
         for key, function in functions_before.items():
-            assert simulation._payment_cache[key][1] is function
+            entry = cache.get(key)
+            assert entry is not None and entry[1] is function
 
 
 def test_kernel_signatures_cover_escape_hatch():

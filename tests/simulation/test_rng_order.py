@@ -192,6 +192,7 @@ def test_draw_order_manifest_matches_kernels():
         legacy_columnar_step,
         legacy_step,
     )
+    from repro.simulation.parallel import parallel_columnar_step
 
     manifest = load_manifest(
         Path(analysis_pkg.__file__).parent / "draw_order.toml"
@@ -203,6 +204,7 @@ def test_draw_order_manifest_matches_kernels():
         (legacy_step, "simulation/engine.py::legacy_step"),
         (fast_columnar_step, "simulation/engine.py::fast_columnar_step"),
         (legacy_columnar_step, "simulation/engine.py::legacy_columnar_step"),
+        (parallel_columnar_step, "simulation/parallel.py::parallel_columnar_step"),
     ]:
         node = ast.parse(inspect.getsource(kernel)).body[0]
         extracted = tuple(site.name for site in extract_draw_order(node))
@@ -222,4 +224,9 @@ def test_draw_order_manifest_matches_kernels():
     )
     assert manifest.kernels["simulation/engine.py::legacy_columnar_step"] == (
         "legacy_step",
+    )
+    # The sharded front end draws the same single block in the
+    # coordinator; shards consume pre-drawn slices, never a generator.
+    assert manifest.kernels["simulation/parallel.py::parallel_columnar_step"] == (
+        "standard_normal",
     )

@@ -1,0 +1,92 @@
+"""`unique_rows` regression: the void-dtype view equals `np.unique(axis=0)`.
+
+Archetype detection moved from ``np.unique(axis=0)`` (which sorts whole
+float rows lexicographically, an O(n log n) pass over 7-column keys) to
+a void-dtype row view uniqued as flat bytes.  Byte order is NOT value
+order for doubles (negative values sort after positive ones, and -0.0
+differs from +0.0 bitwise), so the helper canonicalizes signed zeros
+and re-ranks by ``np.lexsort`` — these tests pin exact equality of
+representatives, codes, and archetype order against the numpy baseline
+so the swap can never silently renumber archetypes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workers.columnar import unique_rows
+
+
+def _reference(matrix: np.ndarray):
+    _, first_rows, inverse = np.unique(
+        matrix, axis=0, return_index=True, return_inverse=True
+    )
+    return first_rows, inverse.reshape(-1)
+
+
+def _assert_matches(matrix: np.ndarray) -> None:
+    representatives, codes = unique_rows(matrix)
+    expected_rows, expected_codes = _reference(matrix)
+    assert np.array_equal(representatives, expected_rows)
+    assert np.array_equal(codes, expected_codes)
+    # Codes point back at value-identical rows.
+    assert np.array_equal(matrix[representatives][codes], matrix)
+
+
+def test_matches_numpy_on_duplicates():
+    matrix = np.array(
+        [
+            [1.0, 2.0, 3.0],
+            [1.0, 2.0, 3.0],
+            [0.5, -2.0, 3.0],
+            [1.0, 2.0, 3.0],
+            [0.5, -2.0, 3.0],
+        ]
+    )
+    _assert_matches(matrix)
+
+
+def test_negative_values_keep_value_order():
+    """Byte order sorts negative doubles after positive; the rank remap
+    must restore numpy's value-lexicographic archetype numbering."""
+    matrix = np.array([[-1.0, 0.0], [1.0, 0.0], [-2.0, 5.0], [1.0, 0.0]])
+    _assert_matches(matrix)
+    representatives, _ = unique_rows(matrix)
+    ordered = matrix[representatives]
+    assert np.array_equal(ordered[np.lexsort(ordered.T[::-1])], ordered)
+
+
+def test_signed_zero_rows_collapse():
+    """-0.0 and +0.0 differ bitwise but compare equal; one archetype."""
+    matrix = np.array([[0.0, 1.0], [-0.0, 1.0]])
+    representatives, codes = unique_rows(matrix)
+    assert len(representatives) == 1
+    assert np.array_equal(codes, [0, 0])
+    _assert_matches(np.abs(matrix) * np.sign(matrix + 0.0))
+
+
+def test_single_row_and_single_column():
+    _assert_matches(np.array([[3.25]]))
+    _assert_matches(np.array([[1.0], [2.0], [1.0]]))
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_matches_numpy_randomized(seed):
+    rng = np.random.default_rng(seed)
+    n_rows = int(rng.integers(1, 60))
+    n_cols = int(rng.integers(1, 8))
+    pool = rng.normal(size=(max(1, n_rows // 3), n_cols)).round(2)
+    matrix = pool[rng.integers(0, pool.shape[0], size=n_rows)]
+    # Sprinkle negatives and signed zeros.
+    matrix = matrix * rng.choice([-1.0, 1.0, 1.0], size=matrix.shape)
+    zero_mask = rng.random(matrix.shape) < 0.1
+    matrix[zero_mask] = -0.0
+    _assert_matches(matrix)
+
+
+def test_noncontiguous_input_accepted():
+    base = np.arange(24, dtype=float).reshape(4, 6)
+    view = base[:, ::2]
+    assert not view.flags["C_CONTIGUOUS"]
+    _assert_matches(view)
